@@ -1,0 +1,35 @@
+//! Ablation of the fast-forward K-loop iteration (Sec. IV-C): the fused
+//! scheme (1b) with and without it, at a long vector width where masking
+//! waste matters most.
+
+use bench::SiliconWorkload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::potential::{ComputeOutput, Potential};
+use std::time::Duration;
+use tersoff::params::TersoffParams;
+use tersoff::scheme_b::TersoffSchemeB;
+
+fn bench_fast_forward(c: &mut Criterion) {
+    let workload = SiliconWorkload::new(1000);
+    let mut out = ComputeOutput::zeros(workload.atoms.n_total());
+    let mut group = c.benchmark_group("fast_forward_ablation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    let mut with_ff = TersoffSchemeB::<f32, f64, 16>::new(TersoffParams::silicon());
+    group.bench_function("scheme_b_w16_fast_forward", |b| {
+        b.iter(|| with_ff.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+    });
+    let mut without_ff =
+        TersoffSchemeB::<f32, f64, 16>::new(TersoffParams::silicon()).without_fast_forward();
+    group.bench_function("scheme_b_w16_naive_iteration", |b| {
+        b.iter(|| {
+            without_ff.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_forward);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Pair-potential baseline: the Lennard-Jones kernel on the same workload as
+//! the Tersoff kernels, quantifying the "multi-body potentials are far more
+//! expensive per pair" premise of the paper's introduction.
+
+use bench::SiliconWorkload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::pair_lj::LennardJones;
+use md_core::potential::{ComputeOutput, Potential};
+use std::time::Duration;
+use tersoff::params::TersoffParams;
+use tersoff::reference::TersoffRef;
+
+fn bench_lj_vs_tersoff(c: &mut Criterion) {
+    let workload = SiliconWorkload::new(1000);
+    let mut out = ComputeOutput::zeros(workload.atoms.n_total());
+    let mut group = c.benchmark_group("pair_vs_multibody");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    let mut lj = LennardJones::new(0.1, 2.0, 3.0);
+    group.bench_function("lennard_jones_pair", |b| {
+        b.iter(|| lj.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+    });
+    let mut tersoff = TersoffRef::new(TersoffParams::silicon());
+    group.bench_function("tersoff_multibody_ref", |b| {
+        b.iter(|| tersoff.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lj_vs_tersoff);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Neighbor-list infrastructure benchmarks: the binned O(N) builder against
+//! the naive O(N²) reference, and the cutoff filtering step of Sec. IV-D that
+//! strips skin atoms before the vector kernels run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::lattice::Lattice;
+use md_core::neighbor::{NeighborList, NeighborSettings};
+use std::time::Duration;
+use tersoff::filter::{FilteredNeighbors, PackedPairs};
+
+fn bench_neighbor(c: &mut Criterion) {
+    let (sim_box, atoms) = Lattice::silicon([5, 5, 5]).build_perturbed(0.05, 7);
+    let settings = NeighborSettings::new(3.0, 1.0);
+    let list = NeighborList::build_binned(&atoms, &sim_box, settings);
+
+    let mut group = c.benchmark_group("neighbor_lists");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    group.bench_function("binned_build_1000_atoms", |b| {
+        b.iter(|| NeighborList::build_binned(&atoms, &sim_box, settings))
+    });
+    group.bench_function("naive_build_1000_atoms", |b| {
+        b.iter(|| NeighborList::build_naive(&atoms, &sim_box, settings))
+    });
+    group.bench_function("filter_by_max_cutoff", |b| {
+        b.iter(|| FilteredNeighbors::build(&atoms, &sim_box, &list, 3.0))
+    });
+    let filtered = FilteredNeighbors::build(&atoms, &sim_box, &list, 3.0);
+    group.bench_function("pack_pairs", |b| b.iter(|| PackedPairs::build(&filtered)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Precision-mode comparison (the Opt-D / Opt-S / Opt-M split of Fig. 4):
+//! the same fused-pair kernel (scheme 1b) in double, single and mixed
+//! precision, at the widths the paper would choose for each.
+
+use bench::SiliconWorkload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::potential::{ComputeOutput, Potential};
+use std::time::Duration;
+use tersoff::params::TersoffParams;
+use tersoff::scheme_b::TersoffSchemeB;
+
+fn bench_precision(c: &mut Criterion) {
+    let workload = SiliconWorkload::new(1000);
+    let mut out = ComputeOutput::zeros(workload.atoms.n_total());
+    let mut group = c.benchmark_group("precision_modes");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    let mut opt_d = TersoffSchemeB::<f64, f64, 8>::new(TersoffParams::silicon());
+    group.bench_function("opt_d_w8", |b| {
+        b.iter(|| opt_d.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+    });
+    let mut opt_s = TersoffSchemeB::<f32, f32, 16>::new(TersoffParams::silicon());
+    group.bench_function("opt_s_w16", |b| {
+        b.iter(|| opt_s.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+    });
+    let mut opt_m = TersoffSchemeB::<f32, f64, 16>::new(TersoffParams::silicon());
+    group.bench_function("opt_m_w16", |b| {
+        b.iter(|| opt_m.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_precision);
+criterion_main!(benches);

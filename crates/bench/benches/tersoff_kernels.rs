@@ -1,0 +1,60 @@
+//! Kernel-level comparison of the Tersoff implementations: the reference
+//! (Algorithm 2), the scalar-optimized variant (Algorithm 3) and the three
+//! vectorization schemes, all in double precision on the same silicon
+//! workload. This is the microbenchmark behind the paper's "isolated kernel"
+//! speedup quotes.
+
+use bench::SiliconWorkload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::potential::{ComputeOutput, Potential};
+use std::time::Duration;
+use tersoff::params::TersoffParams;
+use tersoff::reference::TersoffRef;
+use tersoff::scalar_opt::TersoffOptD;
+use tersoff::scheme_a::TersoffSchemeA;
+use tersoff::scheme_b::TersoffSchemeB;
+use tersoff::scheme_c::TersoffSchemeC;
+
+fn bench_kernels(c: &mut Criterion) {
+    let workload = SiliconWorkload::new(1000);
+    let mut out = ComputeOutput::zeros(workload.atoms.n_total());
+    let mut group = c.benchmark_group("tersoff_kernels");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    macro_rules! bench_impl {
+        ($name:expr, $pot:expr) => {{
+            let mut pot = $pot;
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    pot.compute(
+                        &workload.atoms,
+                        &workload.sim_box,
+                        &workload.neighbors,
+                        &mut out,
+                    )
+                })
+            });
+        }};
+    }
+
+    bench_impl!("ref_algorithm2", TersoffRef::new(TersoffParams::silicon()));
+    bench_impl!("scalar_opt_algorithm3", TersoffOptD::new(TersoffParams::silicon()));
+    bench_impl!(
+        "scheme_a_w4_double",
+        TersoffSchemeA::<f64, f64, 4>::new(TersoffParams::silicon())
+    );
+    bench_impl!(
+        "scheme_b_w8_double",
+        TersoffSchemeB::<f64, f64, 8>::new(TersoffParams::silicon())
+    );
+    bench_impl!(
+        "scheme_c_w8_double",
+        TersoffSchemeC::<f64, f64, 8>::new(TersoffParams::silicon())
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

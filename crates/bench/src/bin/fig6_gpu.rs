@@ -1,0 +1,51 @@
+//! Figure 6: GPU offload on the Kepler nodes (K20X, K40), 256 000 atoms —
+//! the LAMMPS GPU-package references (double/single/mixed), the KOKKOS
+//! double-precision reference, and the paper's optimized Opt-KK-D, plus the
+//! projected Opt-KK-S the paper expects at ≈5 ns/s.
+
+use arch_model::cost::{CostModel, WorkloadShape};
+use arch_model::machines::Machine;
+use bench::figure_header;
+
+fn main() {
+    figure_header(
+        "Figure 6",
+        "offload to GPU: reference ports vs the optimized warp-scheme (1c) port",
+        "256 000 Si atoms; projections from the cost model (Kepler occupancy model)",
+    );
+    let model = CostModel::default();
+    let shape = WorkloadShape::silicon(256_000);
+
+    println!(
+        "{:<14} {:>10} {:>10}    note",
+        "series", "K20X", "K40"
+    );
+    println!("{:-<64}", "");
+    let series: [(&str, bool, bool, &str); 5] = [
+        ("Ref-GPU-D", false, false, "LAMMPS GPU package, double"),
+        ("Ref-GPU-S", false, true, "LAMMPS GPU package, single"),
+        ("Ref-GPU-M", false, true, "LAMMPS GPU package, mixed (≈single rate)"),
+        ("Ref-KK-D", false, false, "KOKKOS port, double"),
+        ("Opt-KK-D", true, false, "this work: scheme 1c + warp votes"),
+    ];
+    let machines = [Machine::k20x(), Machine::k40()];
+    for (label, optimized, single, note) in series {
+        let vals: Vec<f64> = machines
+            .iter()
+            .map(|m| model.gpu_ns_per_day(m, optimized, single, &shape))
+            .collect();
+        println!("{:<14} {:>10.3} {:>10.3}    {}", label, vals[0], vals[1], note);
+    }
+    let opt_s: Vec<f64> = machines
+        .iter()
+        .map(|m| model.gpu_ns_per_day(m, true, true, &shape))
+        .collect();
+    println!(
+        "{:<14} {:>10.3} {:>10.3}    projected single-precision port (paper: ≈5 ns/s)",
+        "Opt-KK-S*", opt_s[0], opt_s[1]
+    );
+
+    let speedup = model.gpu_ns_per_day(&machines[0], true, false, &shape)
+        / model.gpu_ns_per_day(&machines[0], false, false, &shape);
+    println!("\nOpt-KK-D over Ref-KK-D (K20X): {speedup:.1}x  (paper: ≈3x end-to-end, ≈5x kernel-only)");
+}

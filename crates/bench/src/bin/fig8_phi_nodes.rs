@@ -1,0 +1,47 @@
+//! Figure 8: performance of Xeon-Phi-augmented nodes (host + accelerator
+//! sharing the work through the offload path), Opt-M, 512 000 atoms:
+//! SB+KNC, HW+KNC, IV+2KNC and the self-hosted KNL.
+
+use arch_model::cost::{CostModel, Mode, WorkloadShape};
+use arch_model::machines::Machine;
+use bench::figure_header;
+
+fn main() {
+    figure_header(
+        "Figure 8",
+        "Xeon Phi node performance (Opt-M), host + accelerator offload",
+        "512 000 Si atoms; projections from the cost model",
+    );
+    let model = CostModel::default();
+    let shape = WorkloadShape::silicon(512_000);
+
+    println!("{:<10} {:>14}   composition", "node", "Opt-M ns/day");
+    println!("{:-<64}", "");
+    let mut values = Vec::new();
+    for m in Machine::table3() {
+        let ns = model.accelerated_node_ns_per_day(&m, Mode::OptM, &shape);
+        values.push((m.name, ns));
+        let composition = match m.accelerator {
+            Some(acc) => format!("{} + {}x {}", m.cpu, acc.count, acc.name),
+            None => format!("{} (self-hosted)", m.cpu),
+        };
+        println!("{:<10} {:>14.3}   {}", m.name, ns, composition);
+    }
+
+    println!("\nshape checks against the paper:");
+    let get = |n: &str| values.iter().find(|(name, _)| *name == n).unwrap().1;
+    let checks = [
+        (
+            "a single KNC node beats the CPU-only SB node",
+            get("SB+KNC") > model.node_ns_per_day(&Machine::sandy_bridge(), Mode::OptM, &shape),
+        ),
+        (
+            "adding a second KNC improves the IV node",
+            get("IV+2KNC") > get("SB+KNC"),
+        ),
+        ("KNL beats IV+2KNC", get("KNL") > get("IV+2KNC")),
+    ];
+    for (label, ok) in checks {
+        println!("  [{}] {}", if ok { "ok" } else { "MISMATCH" }, label);
+    }
+}

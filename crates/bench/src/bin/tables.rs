@@ -1,0 +1,69 @@
+//! Regenerate Tables I, II and III of the paper: the hardware used in the
+//! evaluation, as encoded in `arch-model`.
+
+use arch_model::machines::Machine;
+
+fn print_cpu_table(title: &str, machines: &[Machine]) {
+    println!("{title}");
+    println!("{:<10} {:<26} {:>7} {:>10}  {}", "Name", "Processor", "Cores", "GHz", "Vector ISA");
+    println!("{:-<70}", "");
+    for m in machines {
+        println!(
+            "{:<10} {:<26} {:>7} {:>10.2}  {}",
+            m.name,
+            m.cpu,
+            m.cores,
+            m.freq_ghz,
+            m.isa.name()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    print_cpu_table("TABLE I: Hardware used for CPU benchmarks", &Machine::table1());
+
+    println!("TABLE II: Hardware used for GPU benchmarks");
+    println!(
+        "{:<10} {:<22} {:>7} {:>6}  {:<22}",
+        "Name", "CPU", "Cores", "ISA", "Accelerator"
+    );
+    println!("{:-<74}", "");
+    for m in Machine::table2() {
+        let acc = m.accelerator.unwrap();
+        println!(
+            "{:<10} {:<22} {:>7} {:>6}  {:<22}",
+            m.name,
+            m.cpu,
+            m.cores,
+            m.isa.name(),
+            acc.name
+        );
+    }
+    println!();
+
+    println!("TABLE III: Hardware used in the evaluation of the Xeon Phi performance");
+    println!(
+        "{:<10} {:<22} {:>7} {:>8}  {:<26} {:>7} {:>8}",
+        "Name", "CPU", "Cores", "ISA", "Accelerator", "Cores", "ISA"
+    );
+    println!("{:-<96}", "");
+    for m in Machine::table3() {
+        match m.accelerator {
+            Some(acc) => println!(
+                "{:<10} {:<22} {:>7} {:>8}  {:<26} {:>7} {:>8}",
+                m.name,
+                m.cpu,
+                m.cores,
+                m.isa.name(),
+                format!("{} x{}", acc.name, acc.count),
+                acc.cores * acc.count,
+                acc.isa.name()
+            ),
+            None => println!(
+                "{:<10} {:<22} {:>7} {:>8}  {:<26} {:>7} {:>8}",
+                "KNL", "-", "-", "-", m.cpu, m.cores, m.isa.name()
+            ),
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Spatial domain decomposition with ghost-atom exchange.
+//!
+//! LAMMPS parallelizes across nodes with an MPI domain decomposition; the
+//! paper's single-node and cluster measurements (Figs. 5, 8, 9) run on top of
+//! it unchanged. This module reproduces the same structure in-process: the
+//! box is split into a grid of sub-domains ("ranks"), each rank owns the
+//! atoms inside its sub-domain, receives ghost copies of all atoms within the
+//! interaction cutoff of its boundary (with periodic images), computes forces
+//! for its own atoms, and finally the partial forces accumulated on ghost
+//! copies are folded back onto the owning rank (the "reverse communication"
+//! of LAMMPS' newton-on mode, which the three-body force terms require).
+//!
+//! Ranks can be processed sequentially (deterministic, used by the
+//! equivalence tests) or concurrently with scoped threads.
+
+use crate::atom::AtomData;
+use crate::neighbor::{NeighborList, NeighborSettings};
+use crate::potential::{ComputeOutput, Potential};
+use crate::simbox::SimBox;
+use crate::timer::{Stage, Timers};
+use std::collections::HashMap;
+
+/// One rank's share of the system.
+#[derive(Clone, Debug)]
+pub struct RankDomain {
+    /// Rank index (row-major over the grid).
+    pub rank: usize,
+    /// Grid coordinate of this rank.
+    pub coord: [usize; 3],
+    /// The spatial sub-domain owned by this rank.
+    pub domain: SimBox,
+    /// Local + ghost atoms of this rank.
+    pub atoms: AtomData,
+    /// Force-computation output of the last call.
+    pub output: ComputeOutput,
+}
+
+/// A decomposed system.
+pub struct DecomposedSystem {
+    /// The global periodic box.
+    pub global_box: SimBox,
+    /// Decomposition grid (ranks per dimension).
+    pub grid: [usize; 3],
+    /// Per-rank domains.
+    pub ranks: Vec<RankDomain>,
+    /// Ghost cutoff used by the last exchange.
+    pub ghost_cutoff: f64,
+    /// Aggregated communication/neighbor/force timers.
+    pub timers: Timers,
+}
+
+impl DecomposedSystem {
+    /// Total number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Decompose a single-domain system onto a grid of ranks. Atoms are
+    /// assigned to the rank whose sub-domain contains them.
+    pub fn new(atoms: &AtomData, global_box: SimBox, grid: [usize; 3]) -> Self {
+        assert!(grid.iter().all(|&g| g >= 1), "grid dimensions must be >= 1");
+        assert_eq!(atoms.n_ghost(), 0, "decompose from a ghost-free system");
+
+        let mut ranks = Vec::new();
+        for ix in 0..grid[0] {
+            for iy in 0..grid[1] {
+                for iz in 0..grid[2] {
+                    let coord = [ix, iy, iz];
+                    let rank = Self::rank_index(grid, coord);
+                    ranks.push(RankDomain {
+                        rank,
+                        coord,
+                        domain: global_box.subdomain(grid, coord),
+                        atoms: AtomData::new(),
+                        output: ComputeOutput::default(),
+                    });
+                }
+            }
+        }
+        ranks.sort_by_key(|r| r.rank);
+
+        let lengths = global_box.lengths();
+        for i in 0..atoms.n_local {
+            let p = global_box.wrap(atoms.x[i]);
+            let mut coord = [0usize; 3];
+            for d in 0..3 {
+                let rel = (p[d] - global_box.lo[d]) / lengths[d];
+                coord[d] = ((rel * grid[d] as f64).floor() as usize).min(grid[d] - 1);
+            }
+            let rank = Self::rank_index(grid, coord);
+            ranks[rank].atoms.push_local(p, atoms.v[i], atoms.type_[i], atoms.id[i]);
+        }
+
+        DecomposedSystem {
+            global_box,
+            grid,
+            ranks,
+            ghost_cutoff: 0.0,
+            timers: Timers::new(),
+        }
+    }
+
+    fn rank_index(grid: [usize; 3], coord: [usize; 3]) -> usize {
+        coord[0] * grid[1] * grid[2] + coord[1] * grid[2] + coord[2]
+    }
+
+    /// Exchange ghost atoms: every rank receives a copy of every atom (from
+    /// any rank, including periodic images of its own atoms) that lies within
+    /// `cutoff` of its sub-domain. Ghost positions are stored already shifted
+    /// by the periodic image vector so that rank-local computations never
+    /// need to apply minimum-image corrections.
+    pub fn exchange_ghosts(&mut self, cutoff: f64) {
+        assert!(cutoff > 0.0);
+        self.ghost_cutoff = cutoff;
+        let lengths = self.global_box.lengths();
+        let periodic = self.global_box.periodic;
+
+        // Snapshot of all owned atoms (id, type, position, owner rank).
+        let mut all: Vec<(u64, usize, [f64; 3], usize)> = Vec::new();
+        for r in &mut self.ranks {
+            r.atoms.clear_ghosts();
+            for i in 0..r.atoms.n_local {
+                all.push((r.atoms.id[i], r.atoms.type_[i], r.atoms.x[i], r.rank));
+            }
+        }
+
+        let shifts_for = |d: usize| -> Vec<f64> {
+            if periodic[d] && self.grid[d] >= 1 {
+                vec![-lengths[d], 0.0, lengths[d]]
+            } else {
+                vec![0.0]
+            }
+        };
+        let (sx, sy, sz) = (shifts_for(0), shifts_for(1), shifts_for(2));
+
+        let start = std::time::Instant::now();
+        for r in &mut self.ranks {
+            let lo = r.domain.lo;
+            let hi = r.domain.hi;
+            for &(id, type_, x, owner) in &all {
+                for &dx in &sx {
+                    for &dy in &sy {
+                        for &dz in &sz {
+                            let img = [x[0] + dx, x[1] + dy, x[2] + dz];
+                            // Skip the atom's own primary copy on its own rank.
+                            if owner == r.rank && dx == 0.0 && dy == 0.0 && dz == 0.0 {
+                                continue;
+                            }
+                            // Within `cutoff` of this rank's sub-domain?
+                            let mut inside = true;
+                            for d in 0..3 {
+                                let p = img[d];
+                                if p < lo[d] - cutoff || p > hi[d] + cutoff {
+                                    inside = false;
+                                    break;
+                                }
+                            }
+                            if inside {
+                                r.atoms.push_ghost(img, type_, id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.timers.add(Stage::Comm, start.elapsed());
+    }
+
+    /// Compute forces on every rank with a freshly constructed potential per
+    /// rank, then fold the partial forces accumulated on ghost atoms back
+    /// onto the owning rank's local copy (reverse communication).
+    ///
+    /// Neighbor settings use the potential's cutoff with the given skin; the
+    /// ghost exchange must have been performed with at least
+    /// `cutoff + skin`.
+    pub fn compute_forces<P: Potential>(&mut self, make_potential: impl Fn() -> P, skin: f64) {
+        let mut potential = make_potential();
+        let settings = NeighborSettings::new(potential.cutoff(), skin);
+        assert!(
+            self.ghost_cutoff + 1e-12 >= settings.build_cutoff(),
+            "ghost exchange cutoff {} is smaller than neighbor cutoff {}",
+            self.ghost_cutoff,
+            settings.build_cutoff()
+        );
+
+        // Per-rank force computation.
+        for r in &mut self.ranks {
+            let atoms = &r.atoms;
+            let global_box = &self.global_box;
+            let list = self
+                .timers
+                .time(Stage::Neighbor, || NeighborList::build_binned(atoms, global_box, settings));
+            r.output.reset(atoms.n_total());
+            let out = &mut r.output;
+            self.timers.time(Stage::Force, || {
+                potential.compute(atoms, global_box, &list, out);
+            });
+        }
+
+        // Reverse communication: ghost forces go back to the owner.
+        let start = std::time::Instant::now();
+        let mut ghost_contributions: HashMap<u64, [f64; 3]> = HashMap::new();
+        for r in &self.ranks {
+            for g in r.atoms.n_local..r.atoms.n_total() {
+                let f = r.output.forces[g];
+                if f == [0.0; 3] {
+                    continue;
+                }
+                let entry = ghost_contributions.entry(r.atoms.id[g]).or_insert([0.0; 3]);
+                for d in 0..3 {
+                    entry[d] += f[d];
+                }
+            }
+        }
+        for r in &mut self.ranks {
+            for i in 0..r.atoms.n_local {
+                if let Some(extra) = ghost_contributions.get(&r.atoms.id[i]) {
+                    for d in 0..3 {
+                        r.output.forces[i][d] += extra[d];
+                    }
+                }
+            }
+        }
+        self.timers.add(Stage::Comm, start.elapsed());
+    }
+
+    /// Total potential energy over all ranks.
+    pub fn total_energy(&self) -> f64 {
+        self.ranks.iter().map(|r| r.output.energy).sum()
+    }
+
+    /// Total number of locally owned atoms over all ranks.
+    pub fn total_local_atoms(&self) -> usize {
+        self.ranks.iter().map(|r| r.atoms.n_local).sum()
+    }
+
+    /// Collect the force on every owned atom, keyed by atom id.
+    pub fn collect_forces(&self) -> HashMap<u64, [f64; 3]> {
+        let mut map = HashMap::new();
+        for r in &self.ranks {
+            for i in 0..r.atoms.n_local {
+                map.insert(r.atoms.id[i], r.output.forces[i]);
+            }
+        }
+        map
+    }
+
+    /// Per-rank owned-atom counts — the load-balance view.
+    pub fn atoms_per_rank(&self) -> Vec<usize> {
+        self.ranks.iter().map(|r| r.atoms.n_local).collect()
+    }
+
+    /// Fraction of total atom copies that are ghosts — a proxy for the
+    /// communication volume that grows as domains shrink (the surface-to-
+    /// volume effect behind the strong-scaling curve of Fig. 9).
+    pub fn ghost_fraction(&self) -> f64 {
+        let local: usize = self.ranks.iter().map(|r| r.atoms.n_local).sum();
+        let ghost: usize = self.ranks.iter().map(|r| r.atoms.n_ghost()).sum();
+        if local + ghost == 0 {
+            0.0
+        } else {
+            ghost as f64 / (local + ghost) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Lattice;
+    use crate::pair_lj::LennardJones;
+
+    fn reference_forces(
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        skin: f64,
+    ) -> (HashMap<u64, [f64; 3]>, f64) {
+        let mut lj = LennardJones::new(0.1, 2.0, 4.0);
+        let list = NeighborList::build_binned(atoms, sim_box, NeighborSettings::new(lj.cutoff(), skin));
+        let mut out = ComputeOutput::zeros(atoms.n_total());
+        lj.compute(atoms, sim_box, &list, &mut out);
+        let mut map = HashMap::new();
+        for i in 0..atoms.n_local {
+            map.insert(atoms.id[i], out.forces[i]);
+        }
+        (map, out.energy)
+    }
+
+    #[test]
+    fn decomposition_partitions_all_atoms() {
+        let (b, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.02, 5);
+        let dec = DecomposedSystem::new(&atoms, b, [2, 2, 1]);
+        assert_eq!(dec.n_ranks(), 4);
+        assert_eq!(dec.total_local_atoms(), atoms.n_local);
+        // Every rank owns a roughly equal share of a homogeneous crystal.
+        for &n in &dec.atoms_per_rank() {
+            assert!(n > 0);
+        }
+    }
+
+    #[test]
+    fn ghosts_cover_the_halo() {
+        let (b, atoms) = Lattice::silicon([3, 3, 3]).build();
+        let mut dec = DecomposedSystem::new(&atoms, b, [2, 2, 2]);
+        dec.exchange_ghosts(4.2);
+        for r in &dec.ranks {
+            assert!(r.atoms.n_ghost() > 0, "rank {} has no ghosts", r.rank);
+        }
+        assert!(dec.ghost_fraction() > 0.0 && dec.ghost_fraction() < 1.0);
+    }
+
+    #[test]
+    fn decomposed_forces_match_single_domain() {
+        let (b, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.05, 17);
+        let skin = 0.5;
+        let (reference, ref_energy) = reference_forces(&atoms, &b, skin);
+
+        for grid in [[2, 1, 1], [2, 2, 1], [2, 2, 2]] {
+            let mut dec = DecomposedSystem::new(&atoms, b, grid);
+            dec.exchange_ghosts(4.0 + skin);
+            dec.compute_forces(|| LennardJones::new(0.1, 2.0, 4.0), skin);
+
+            assert!(
+                (dec.total_energy() - ref_energy).abs() < 1e-9,
+                "grid {grid:?}: energy {} vs {}",
+                dec.total_energy(),
+                ref_energy
+            );
+            let forces = dec.collect_forces();
+            assert_eq!(forces.len(), reference.len());
+            for (id, f_ref) in &reference {
+                let f = forces[id];
+                for d in 0..3 {
+                    assert!(
+                        (f[d] - f_ref[d]).abs() < 1e-9,
+                        "grid {grid:?}, atom {id}, dim {d}: {} vs {}",
+                        f[d],
+                        f_ref[d]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_fraction_grows_with_rank_count() {
+        let (b, atoms) = Lattice::silicon([4, 4, 4]).build();
+        let mut one = DecomposedSystem::new(&atoms, b, [1, 1, 1]);
+        one.exchange_ghosts(4.2);
+        let mut eight = DecomposedSystem::new(&atoms, b, [2, 2, 2]);
+        eight.exchange_ghosts(4.2);
+        assert!(eight.ghost_fraction() > one.ghost_fraction());
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost exchange cutoff")]
+    fn compute_without_sufficient_ghosts_panics() {
+        let (b, atoms) = Lattice::silicon([2, 2, 2]).build();
+        let mut dec = DecomposedSystem::new(&atoms, b, [2, 1, 1]);
+        dec.exchange_ghosts(1.0);
+        dec.compute_forces(|| LennardJones::new(0.1, 2.0, 4.0), 0.5);
+    }
+
+    #[test]
+    fn comm_time_is_recorded() {
+        let (b, atoms) = Lattice::silicon([3, 3, 3]).build();
+        let mut dec = DecomposedSystem::new(&atoms, b, [2, 2, 1]);
+        dec.exchange_ghosts(4.2);
+        dec.compute_forces(|| LennardJones::new(0.1, 2.0, 4.0), 0.2);
+        assert!(dec.timers.seconds(Stage::Comm) > 0.0);
+        assert!(dec.timers.seconds(Stage::Force) > 0.0);
+    }
+}

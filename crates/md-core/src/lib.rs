@@ -1,0 +1,65 @@
+//! # md-core — the molecular-dynamics substrate
+//!
+//! The Tersoff vectorization paper evaluates its kernels inside LAMMPS. This
+//! crate is the equivalent substrate built from scratch: everything the force
+//! kernels need around them to run a realistic simulation —
+//!
+//! * structure-of-arrays atom storage with packing helpers
+//!   ([`atom`]),
+//! * an orthogonal periodic simulation box with minimum-image convention
+//!   ([`simbox`]),
+//! * crystal-lattice builders for the silicon benchmark and the SiC
+//!   multi-species examples ([`lattice`]),
+//! * Maxwell–Boltzmann velocity initialization ([`velocity`]),
+//! * binned (cell-list) neighbor lists with a skin distance and rebuild
+//!   heuristics, plus an O(N²) reference builder for testing ([`neighbor`]),
+//! * velocity-Verlet time integration ([`integrate`]) and thermodynamic
+//!   output ([`thermo`]),
+//! * the [`potential::Potential`] trait that force fields implement,
+//!   with a Lennard-Jones pair potential as the contrasting baseline
+//!   ([`pair_lj`]),
+//! * a simulation driver with LAMMPS-style per-stage timers
+//!   ([`simulation`], [`timer`]),
+//! * a spatial domain decomposition with ghost-atom exchange that stands in
+//!   for LAMMPS' MPI parallelization ([`decomposition`]).
+//!
+//! Units follow LAMMPS' `metal` convention: lengths in Å, time in ps,
+//! energies in eV, masses in g/mol, temperature in K ([`units`]).
+
+pub mod atom;
+pub mod decomposition;
+pub mod integrate;
+pub mod lattice;
+pub mod neighbor;
+pub mod pair_lj;
+pub mod potential;
+pub mod simbox;
+pub mod simulation;
+pub mod thermo;
+pub mod timer;
+pub mod units;
+pub mod velocity;
+
+pub use atom::AtomData;
+pub use lattice::{Lattice, LatticeKind};
+pub use neighbor::{NeighborList, NeighborSettings};
+pub use potential::{ComputeOutput, Potential};
+pub use simbox::SimBox;
+pub use simulation::{Simulation, SimulationConfig};
+pub use timer::{Stage, Timers};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::atom::AtomData;
+    pub use crate::integrate::VelocityVerlet;
+    pub use crate::lattice::{Lattice, LatticeKind};
+    pub use crate::neighbor::{NeighborList, NeighborSettings};
+    pub use crate::pair_lj::LennardJones;
+    pub use crate::potential::{ComputeOutput, Potential};
+    pub use crate::simbox::SimBox;
+    pub use crate::simulation::{Simulation, SimulationConfig};
+    pub use crate::thermo::ThermoState;
+    pub use crate::timer::{Stage, Timers};
+    pub use crate::units;
+    pub use crate::velocity::init_velocities;
+}

@@ -1,0 +1,223 @@
+//! Lennard-Jones pair potential.
+//!
+//! The paper motivates its work by contrasting multi-body potentials with
+//! the "well-studied pair potentials" whose vectorization is a solved
+//! problem. This LJ implementation serves that role here: it is the baseline
+//! workload for the `lj_baseline` bench (pair vs multi-body cost profile) and
+//! a second, independent implementation of the [`Potential`] trait exercised
+//! by the substrate tests.
+
+use crate::atom::AtomData;
+use crate::neighbor::NeighborList;
+use crate::potential::{ComputeOutput, Potential};
+use crate::simbox::SimBox;
+
+/// Lennard-Jones 12-6 potential with a radial cutoff, energy-shifted so the
+/// potential is continuous at the cutoff.
+#[derive(Clone, Debug)]
+pub struct LennardJones {
+    /// Well depth ε (eV) per pair of types, row-major `[ntypes × ntypes]`.
+    epsilon: Vec<f64>,
+    /// Zero-crossing distance σ (Å) per pair of types.
+    sigma: Vec<f64>,
+    /// Cutoff distance (Å), shared by all type pairs.
+    cutoff: f64,
+    /// Number of atom types.
+    ntypes: usize,
+    /// Energy shift at the cutoff per type pair.
+    shift: Vec<f64>,
+}
+
+impl LennardJones {
+    /// Single-species LJ.
+    pub fn new(epsilon: f64, sigma: f64, cutoff: f64) -> Self {
+        Self::multi(vec![epsilon], vec![sigma], 1, cutoff)
+    }
+
+    /// Multi-species LJ with explicit per-pair ε and σ tables
+    /// (`ntypes × ntypes`, row-major).
+    pub fn multi(epsilon: Vec<f64>, sigma: Vec<f64>, ntypes: usize, cutoff: f64) -> Self {
+        assert_eq!(epsilon.len(), ntypes * ntypes);
+        assert_eq!(sigma.len(), ntypes * ntypes);
+        assert!(cutoff > 0.0);
+        let mut shift = vec![0.0; ntypes * ntypes];
+        for idx in 0..ntypes * ntypes {
+            let sr6 = (sigma[idx] / cutoff).powi(6);
+            shift[idx] = 4.0 * epsilon[idx] * (sr6 * sr6 - sr6);
+        }
+        LennardJones {
+            epsilon,
+            sigma,
+            cutoff,
+            ntypes,
+            shift,
+        }
+    }
+
+    /// Standard Lorentz-Berthelot mixing from per-species ε and σ.
+    pub fn from_species(eps: &[f64], sig: &[f64], cutoff: f64) -> Self {
+        let n = eps.len();
+        assert_eq!(sig.len(), n);
+        let mut epsilon = vec![0.0; n * n];
+        let mut sigma = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                epsilon[i * n + j] = (eps[i] * eps[j]).sqrt();
+                sigma[i * n + j] = 0.5 * (sig[i] + sig[j]);
+            }
+        }
+        Self::multi(epsilon, sigma, n, cutoff)
+    }
+
+    #[inline]
+    fn pair_index(&self, ti: usize, tj: usize) -> usize {
+        ti * self.ntypes + tj
+    }
+
+    /// Pair energy and force magnitude over r (`-dU/dr / r`) at squared
+    /// distance `r2` for a type pair.
+    #[inline]
+    fn pair_eval(&self, idx: usize, r2: f64) -> (f64, f64) {
+        let sigma2 = self.sigma[idx] * self.sigma[idx];
+        let sr2 = sigma2 / r2;
+        let sr6 = sr2 * sr2 * sr2;
+        let sr12 = sr6 * sr6;
+        let eps = self.epsilon[idx];
+        let energy = 4.0 * eps * (sr12 - sr6) - self.shift[idx];
+        // F(r)/r = 24 ε (2 σ¹²/r¹² − σ⁶/r⁶) / r².
+        let fpair = 24.0 * eps * (2.0 * sr12 - sr6) / r2;
+        (energy, fpair)
+    }
+}
+
+impl Potential for LennardJones {
+    fn name(&self) -> String {
+        "lj/cut".to_string()
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    fn compute(
+        &mut self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        out: &mut ComputeOutput,
+    ) {
+        out.reset(atoms.n_total());
+        let cut_sq = self.cutoff * self.cutoff;
+        for i in 0..atoms.n_local {
+            let xi = atoms.x[i];
+            let ti = atoms.type_[i];
+            for &j in neighbors.neighbors_of(i) {
+                let del = sim_box.min_image(xi, atoms.x[j]);
+                let r2 = del[0] * del[0] + del[1] * del[1] + del[2] * del[2];
+                if r2 >= cut_sq || r2 == 0.0 {
+                    continue;
+                }
+                let idx = self.pair_index(ti, atoms.type_[j]);
+                let (energy, fpair) = self.pair_eval(idx, r2);
+                // Each ordered pair contributes half the pair energy and the
+                // full force on i (the j side is added when the pair is seen
+                // from j, or folded back from the ghost copy).
+                out.energy += 0.5 * energy;
+                out.virial += 0.5 * fpair * r2;
+                for d in 0..3 {
+                    // del = xj - xi, force on i is -fpair * del.
+                    out.forces[i][d] -= fpair * del[d];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbor::NeighborSettings;
+
+    fn dimer(r: f64) -> (SimBox, AtomData) {
+        let b = SimBox::cubic(100.0);
+        let mut atoms = AtomData::new();
+        atoms.push_local([10.0, 10.0, 10.0], [0.0; 3], 0, 1);
+        atoms.push_local([10.0 + r, 10.0, 10.0], [0.0; 3], 0, 2);
+        (b, atoms)
+    }
+
+    fn compute(lj: &mut LennardJones, b: &SimBox, atoms: &AtomData) -> ComputeOutput {
+        let list = NeighborList::build_naive(atoms, b, NeighborSettings::new(lj.cutoff(), 0.5));
+        let mut out = ComputeOutput::zeros(atoms.n_total());
+        lj.compute(atoms, b, &list, &mut out);
+        out
+    }
+
+    #[test]
+    fn minimum_is_at_two_to_the_sixth_sigma() {
+        let sigma = 1.0;
+        let r_min = 2.0f64.powf(1.0 / 6.0) * sigma;
+        let mut lj = LennardJones::new(0.5, sigma, 10.0);
+        let (b, atoms) = dimer(r_min);
+        let out = compute(&mut lj, &b, &atoms);
+        // At the minimum the force vanishes and the energy is −ε (up to the
+        // small cutoff shift).
+        assert!(out.max_force_component() < 1e-9);
+        assert!((out.energy - (-0.5)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn repulsive_inside_minimum_attractive_outside() {
+        let mut lj = LennardJones::new(1.0, 1.0, 10.0);
+        let (b, atoms) = dimer(0.9);
+        let out = compute(&mut lj, &b, &atoms);
+        // Force on atom 0 should push it away from atom 1 (negative x).
+        assert!(out.forces[0][0] < 0.0);
+
+        let (b, atoms) = dimer(1.5);
+        let out = compute(&mut lj, &b, &atoms);
+        assert!(out.forces[0][0] > 0.0);
+    }
+
+    #[test]
+    fn forces_are_antisymmetric() {
+        let mut lj = LennardJones::new(1.0, 1.0, 10.0);
+        let (b, atoms) = dimer(1.2);
+        let out = compute(&mut lj, &b, &atoms);
+        for d in 0..3 {
+            assert!((out.forces[0][d] + out.forces[1][d]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn energy_matches_formula() {
+        let eps = 0.7;
+        let sigma = 1.1;
+        let r: f64 = 1.4;
+        let mut lj = LennardJones::new(eps, sigma, 8.0);
+        let (b, atoms) = dimer(r);
+        let out = compute(&mut lj, &b, &atoms);
+        let sr6 = (sigma / r).powi(6);
+        let shift = 4.0 * eps * ((sigma / 8.0f64).powi(12) - (sigma / 8.0f64).powi(6));
+        let expected = 4.0 * eps * (sr6 * sr6 - sr6) - shift;
+        assert!((out.energy - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beyond_cutoff_contributes_nothing() {
+        let mut lj = LennardJones::new(1.0, 1.0, 3.0);
+        let (b, atoms) = dimer(3.5);
+        let out = compute(&mut lj, &b, &atoms);
+        assert_eq!(out.energy, 0.0);
+        assert_eq!(out.max_force_component(), 0.0);
+    }
+
+    #[test]
+    fn mixing_rules() {
+        let lj = LennardJones::from_species(&[1.0, 4.0], &[1.0, 3.0], 10.0);
+        // ε12 = sqrt(1*4) = 2 ; σ12 = 2.
+        assert_eq!(lj.epsilon[lj.pair_index(0, 1)], 2.0);
+        assert_eq!(lj.sigma[lj.pair_index(0, 1)], 2.0);
+        assert_eq!(lj.name(), "lj/cut");
+    }
+}

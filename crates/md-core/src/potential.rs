@@ -1,0 +1,149 @@
+//! The interface force fields implement.
+//!
+//! A [`Potential`] consumes the current atom data and a full neighbor list
+//! and produces forces, the total potential energy, and the scalar virial.
+//! Both the Lennard-Jones baseline ([`crate::pair_lj`]) and every Tersoff
+//! variant in the `tersoff` crate implement this trait, which is what lets
+//! the simulation driver, the examples and the benchmark harness treat
+//! `Ref`, `Opt-D`, `Opt-S` and `Opt-M` uniformly.
+
+use crate::atom::AtomData;
+use crate::neighbor::NeighborList;
+use crate::simbox::SimBox;
+
+/// Output of one force computation.
+#[derive(Clone, Debug, Default)]
+pub struct ComputeOutput {
+    /// Per-atom forces (eV/Å), indexed like the atom arrays (local + ghost;
+    /// ghost entries hold partial forces that the decomposition folds back
+    /// onto the owning rank).
+    pub forces: Vec<[f64; 3]>,
+    /// Total potential energy of the locally owned atoms (eV).
+    pub energy: f64,
+    /// Scalar virial Σ r·f over the interactions computed here (eV), used
+    /// for the pressure.
+    pub virial: f64,
+}
+
+impl ComputeOutput {
+    /// Zeroed output sized for `n` atoms.
+    pub fn zeros(n: usize) -> Self {
+        ComputeOutput {
+            forces: vec![[0.0; 3]; n],
+            energy: 0.0,
+            virial: 0.0,
+        }
+    }
+
+    /// Reset in place, resizing if the atom count changed.
+    pub fn reset(&mut self, n: usize) {
+        self.forces.clear();
+        self.forces.resize(n, [0.0; 3]);
+        self.energy = 0.0;
+        self.virial = 0.0;
+    }
+
+    /// Largest per-component absolute force difference against another
+    /// output (used pervasively by the equivalence tests).
+    pub fn max_force_difference(&self, other: &ComputeOutput) -> f64 {
+        self.forces
+            .iter()
+            .zip(other.forces.iter())
+            .map(|(a, b)| {
+                (0..3)
+                    .map(|d| (a[d] - b[d]).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Net force (must vanish for a translation-invariant potential on a
+    /// complete system).
+    pub fn net_force(&self) -> [f64; 3] {
+        let mut net = [0.0; 3];
+        for f in &self.forces {
+            for d in 0..3 {
+                net[d] += f[d];
+            }
+        }
+        net
+    }
+
+    /// Largest absolute force component.
+    pub fn max_force_component(&self) -> f64 {
+        self.forces
+            .iter()
+            .flat_map(|f| f.iter())
+            .fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+}
+
+/// A force field.
+pub trait Potential {
+    /// Human-readable name (used in benchmark output, e.g. `"tersoff/ref"`).
+    fn name(&self) -> String;
+
+    /// Interaction cutoff (Å); the neighbor list must be built with at least
+    /// this cutoff (plus skin).
+    fn cutoff(&self) -> f64;
+
+    /// Compute forces, energy and virial for the current configuration.
+    fn compute(
+        &mut self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        out: &mut ComputeOutput,
+    );
+}
+
+impl Potential for Box<dyn Potential> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.as_ref().cutoff()
+    }
+
+    fn compute(
+        &mut self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        out: &mut ComputeOutput,
+    ) {
+        self.as_mut().compute(atoms, sim_box, neighbors, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_reset() {
+        let mut o = ComputeOutput::zeros(3);
+        assert_eq!(o.forces.len(), 3);
+        o.forces[1] = [1.0, 2.0, 3.0];
+        o.energy = 5.0;
+        o.virial = 2.0;
+        o.reset(5);
+        assert_eq!(o.forces.len(), 5);
+        assert!(o.forces.iter().all(|f| *f == [0.0; 3]));
+        assert_eq!(o.energy, 0.0);
+        assert_eq!(o.virial, 0.0);
+    }
+
+    #[test]
+    fn difference_and_net_force() {
+        let mut a = ComputeOutput::zeros(2);
+        let mut b = ComputeOutput::zeros(2);
+        a.forces[0] = [1.0, 0.0, 0.0];
+        a.forces[1] = [-1.0, 0.5, 0.0];
+        b.forces[0] = [1.0, 0.0, 0.25];
+        assert!((a.max_force_difference(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.net_force(), [0.0, 0.5, 0.0]);
+        assert_eq!(a.max_force_component(), 1.0);
+    }
+}

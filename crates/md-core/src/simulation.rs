@@ -1,0 +1,270 @@
+//! The simulation driver: the loop that the paper's "ns/day" metric times.
+//!
+//! One step is: first velocity-Verlet half step → (re)build the neighbor
+//! list if any atom moved more than half the skin → force computation →
+//! second half step → optional thermo sampling. Per-stage wall-clock time is
+//! accumulated in [`Timers`], which is what the benchmark harness converts to
+//! the paper's nanoseconds-per-day figures.
+
+use crate::atom::AtomData;
+use crate::integrate::VelocityVerlet;
+use crate::neighbor::{NeighborList, NeighborSettings};
+use crate::potential::{ComputeOutput, Potential};
+use crate::simbox::SimBox;
+use crate::thermo::{EnergyDriftTracker, ThermoState};
+use crate::timer::{Stage, Timers};
+use crate::units;
+use crate::velocity;
+
+/// Configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimulationConfig {
+    /// Timestep in ps.
+    pub timestep: f64,
+    /// Neighbor-list skin distance in Å.
+    pub skin: f64,
+    /// Per-type masses (g/mol).
+    pub masses: Vec<f64>,
+    /// How often (in steps) to record a thermo snapshot; 0 disables sampling
+    /// except for the initial and final states.
+    pub thermo_every: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            timestep: units::DEFAULT_TIMESTEP,
+            skin: 1.0,
+            masses: vec![units::mass::SI],
+            thermo_every: 0,
+        }
+    }
+}
+
+/// A running simulation: atoms + box + potential + integrator state.
+pub struct Simulation<P: Potential> {
+    /// Atom data (positions, velocities, forces, ...).
+    pub atoms: AtomData,
+    /// The periodic simulation box.
+    pub sim_box: SimBox,
+    /// The force field.
+    pub potential: P,
+    /// Run configuration.
+    pub config: SimulationConfig,
+    /// Current neighbor list.
+    pub neighbors: NeighborList,
+    /// Scratch output of the last force computation.
+    pub compute_out: ComputeOutput,
+    /// Per-stage timers.
+    pub timers: Timers,
+    /// Current step number.
+    pub step: u64,
+    /// Number of neighbor-list rebuilds performed.
+    pub n_rebuilds: u64,
+    /// Energy-conservation tracker (records every thermo sample).
+    pub drift: EnergyDriftTracker,
+    /// Collected thermo samples.
+    pub thermo_history: Vec<ThermoState>,
+    integrator: VelocityVerlet,
+}
+
+impl<P: Potential> Simulation<P> {
+    /// Create a simulation and perform the initial neighbor build and force
+    /// computation so that step 0 starts from consistent forces.
+    pub fn new(atoms: AtomData, sim_box: SimBox, potential: P, config: SimulationConfig) -> Self {
+        let integrator = VelocityVerlet::new(config.timestep);
+        let settings = NeighborSettings::new(potential.cutoff(), config.skin);
+        let n = atoms.n_total();
+        let mut sim = Simulation {
+            atoms,
+            sim_box,
+            potential,
+            config,
+            neighbors: NeighborList::default(),
+            compute_out: ComputeOutput::zeros(n),
+            timers: Timers::new(),
+            step: 0,
+            n_rebuilds: 0,
+            drift: EnergyDriftTracker::new(),
+            thermo_history: Vec::new(),
+            integrator,
+        };
+        sim.neighbors = NeighborList::build_binned(&sim.atoms, &sim.sim_box, settings);
+        sim.n_rebuilds += 1;
+        sim.compute_forces();
+        sim.record_thermo();
+        sim
+    }
+
+    /// Rebuild the neighbor list unconditionally.
+    fn rebuild_neighbors(&mut self) {
+        let settings = NeighborSettings::new(self.potential.cutoff(), self.config.skin);
+        let atoms = &self.atoms;
+        let sim_box = &self.sim_box;
+        self.neighbors = self
+            .timers
+            .time(Stage::Neighbor, || NeighborList::build_binned(atoms, sim_box, settings));
+        self.n_rebuilds += 1;
+    }
+
+    /// Run the force field and copy the forces into the atom arrays.
+    fn compute_forces(&mut self) {
+        let atoms = &self.atoms;
+        let sim_box = &self.sim_box;
+        let neighbors = &self.neighbors;
+        let potential = &mut self.potential;
+        let out = &mut self.compute_out;
+        self.timers.time(Stage::Force, || {
+            potential.compute(atoms, sim_box, neighbors, out);
+        });
+        self.atoms.f.copy_from_slice(&self.compute_out.forces);
+    }
+
+    fn record_thermo(&mut self) {
+        let state = ThermoState::measure(
+            self.step,
+            &self.atoms,
+            &self.config.masses,
+            &self.sim_box,
+            self.compute_out.energy,
+            self.compute_out.virial,
+        );
+        self.drift.record(state.total);
+        self.thermo_history.push(state);
+    }
+
+    /// Advance the simulation by `n_steps` timesteps.
+    pub fn run(&mut self, n_steps: u64) {
+        for _ in 0..n_steps {
+            self.step += 1;
+
+            let masses = self.config.masses.clone();
+            {
+                let atoms = &mut self.atoms;
+                let sim_box = &self.sim_box;
+                let integrator = &self.integrator;
+                self.timers.time(Stage::Other, || {
+                    integrator.initial_integrate(atoms, &masses, sim_box);
+                });
+            }
+
+            if self.neighbors.needs_rebuild(&self.atoms) {
+                self.rebuild_neighbors();
+            }
+
+            self.compute_forces();
+
+            {
+                let atoms = &mut self.atoms;
+                let integrator = &self.integrator;
+                self.timers.time(Stage::Other, || {
+                    integrator.final_integrate(atoms, &masses);
+                });
+            }
+
+            let sample = self.config.thermo_every > 0 && self.step % self.config.thermo_every == 0;
+            if sample {
+                self.record_thermo();
+            }
+        }
+        // Always record the final state so callers can inspect conservation.
+        if self
+            .thermo_history
+            .last()
+            .map(|t| t.step != self.step)
+            .unwrap_or(true)
+        {
+            self.record_thermo();
+        }
+    }
+
+    /// Initialize velocities to a temperature (convenience wrapper).
+    pub fn set_temperature(&mut self, temperature: f64, seed: u64) {
+        let masses = self.config.masses.clone();
+        velocity::init_velocities(&mut self.atoms, &masses, temperature, seed);
+    }
+
+    /// Latest thermo snapshot.
+    pub fn current_thermo(&self) -> &ThermoState {
+        self.thermo_history.last().expect("thermo history is never empty")
+    }
+
+    /// Throughput in the paper's ns/day metric, based on the force+neighbor+
+    /// comm+other time accumulated so far and the number of steps taken.
+    pub fn ns_per_day(&self) -> f64 {
+        if self.step == 0 {
+            return 0.0;
+        }
+        let seconds_per_step = self.timers.total_seconds() / self.step as f64;
+        units::ns_per_day(self.config.timestep, seconds_per_step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Lattice;
+    use crate::pair_lj::LennardJones;
+
+    fn lj_sim(cells: [usize; 3]) -> Simulation<LennardJones> {
+        let (sim_box, mut atoms) = Lattice::silicon(cells).build_perturbed(0.02, 3);
+        let config = SimulationConfig {
+            thermo_every: 5,
+            ..Default::default()
+        };
+        velocity::init_velocities(&mut atoms, &config.masses, 300.0, 11);
+        // A soft LJ parameterization so the diamond lattice does not explode.
+        let lj = LennardJones::new(0.1, 2.0, 4.0);
+        Simulation::new(atoms, sim_box, lj, config)
+    }
+
+    #[test]
+    fn construction_computes_initial_forces_and_thermo() {
+        let sim = lj_sim([2, 2, 2]);
+        assert_eq!(sim.thermo_history.len(), 1);
+        assert_eq!(sim.n_rebuilds, 1);
+        assert!(sim.atoms.f.iter().any(|f| *f != [0.0; 3]));
+    }
+
+    #[test]
+    fn run_advances_steps_and_records_thermo() {
+        let mut sim = lj_sim([2, 2, 2]);
+        sim.run(12);
+        assert_eq!(sim.step, 12);
+        // Samples at steps 5, 10 plus the initial state and the final state.
+        let steps: Vec<u64> = sim.thermo_history.iter().map(|t| t.step).collect();
+        assert_eq!(steps, vec![0, 5, 10, 12]);
+        assert!(sim.timers.total_seconds() > 0.0);
+        assert!(sim.ns_per_day() > 0.0);
+    }
+
+    #[test]
+    fn nve_energy_is_approximately_conserved() {
+        let mut sim = lj_sim([2, 2, 2]);
+        sim.run(100);
+        // Soft potential, small timestep: drift should stay well below 1%.
+        assert!(
+            sim.drift.max_relative_drift() < 1e-2,
+            "drift = {}",
+            sim.drift.max_relative_drift()
+        );
+    }
+
+    #[test]
+    fn neighbor_rebuilds_happen_when_atoms_move() {
+        let mut sim = lj_sim([2, 2, 2]);
+        // Artificially hot system to force motion beyond half the skin.
+        sim.set_temperature(5000.0, 1);
+        sim.run(200);
+        assert!(sim.n_rebuilds > 1, "expected at least one rebuild during the run");
+    }
+
+    #[test]
+    fn atoms_stay_in_the_box() {
+        let mut sim = lj_sim([2, 2, 2]);
+        sim.set_temperature(2000.0, 2);
+        sim.run(50);
+        let b = sim.sim_box;
+        assert!(sim.atoms.x.iter().all(|&p| b.contains(p)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Physical constants and unit conversions, LAMMPS `metal` style.
+//!
+//! * length — Ångström
+//! * time — picosecond
+//! * energy — electron-volt
+//! * mass — g/mol
+//! * temperature — Kelvin
+//! * pressure — bar
+//! * velocity — Å/ps
+//! * force — eV/Å
+
+/// Boltzmann constant in eV/K.
+pub const BOLTZMANN: f64 = 8.617_343e-5;
+
+/// Conversion factor: `mass [g/mol] · velocity² [Å²/ps²] → energy [eV]`.
+pub const MVV2E: f64 = 1.036_426_9e-4;
+
+/// Conversion factor: `force [eV/Å] / mass [g/mol] → acceleration [Å/ps²]`.
+pub const FTM2V: f64 = 1.0 / MVV2E;
+
+/// Conversion factor for the virial pressure: `eV/Å³ → bar`.
+pub const NKTV2P: f64 = 1.602_176_6e6;
+
+/// Default timestep for metal units, in ps (1 fs).
+pub const DEFAULT_TIMESTEP: f64 = 0.001;
+
+/// Atomic masses (g/mol) of the species used in the examples and benchmarks.
+pub mod mass {
+    /// Silicon.
+    pub const SI: f64 = 28.0855;
+    /// Carbon.
+    pub const C: f64 = 12.0107;
+    /// Germanium.
+    pub const GE: f64 = 72.63;
+}
+
+/// Lattice constants (Å) of the diamond-structure crystals used in the
+/// benchmarks.
+pub mod lattice_constant {
+    /// Silicon diamond cubic.
+    pub const SI: f64 = 5.431;
+    /// Diamond carbon.
+    pub const C: f64 = 3.567;
+    /// Germanium.
+    pub const GE: f64 = 5.658;
+    /// Cubic SiC (zincblende).
+    pub const SIC: f64 = 4.3596;
+}
+
+/// Kinetic energy of one particle: `½ · mvv2e · m · |v|²` (eV).
+#[inline]
+pub fn kinetic_energy(mass: f64, v: [f64; 3]) -> f64 {
+    0.5 * MVV2E * mass * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2])
+}
+
+/// Instantaneous temperature of `n` unconstrained atoms with total kinetic
+/// energy `ke` (3N degrees of freedom).
+#[inline]
+pub fn temperature(ke: f64, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    2.0 * ke / (3.0 * n as f64 * BOLTZMANN)
+}
+
+/// "ns/day" throughput metric the paper reports: given a timestep in ps and
+/// the measured wall-clock seconds per MD step, how many nanoseconds of
+/// simulated time are produced per day of wall-clock time.
+#[inline]
+pub fn ns_per_day(timestep_ps: f64, seconds_per_step: f64) -> f64 {
+    if seconds_per_step <= 0.0 {
+        return f64::INFINITY;
+    }
+    let steps_per_day = 86_400.0 / seconds_per_step;
+    steps_per_day * timestep_ps * 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert!((MVV2E * FTM2V - 1.0).abs() < 1e-12);
+        assert!(BOLTZMANN > 8.6e-5 && BOLTZMANN < 8.7e-5);
+    }
+
+    #[test]
+    fn kinetic_energy_and_temperature_roundtrip() {
+        // One silicon atom moving at thermal speed for 300 K should report
+        // a temperature near 300 K when plugged back in (with 3/2 kT = KE).
+        let t_target = 300.0;
+        let v2 = 3.0 * BOLTZMANN * t_target / (MVV2E * mass::SI);
+        let v = v2.sqrt();
+        let ke = kinetic_energy(mass::SI, [v, 0.0, 0.0]);
+        let t = temperature(ke, 1);
+        assert!((t - t_target).abs() < 1e-9, "T = {t}");
+    }
+
+    #[test]
+    fn temperature_of_zero_atoms_is_zero() {
+        assert_eq!(temperature(1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn ns_per_day_scaling() {
+        // 1 fs timestep, 1 second per step -> 86400 steps/day -> 86.4 ps/day
+        // = 0.0864 ns/day.
+        let v = ns_per_day(DEFAULT_TIMESTEP, 1.0);
+        assert!((v - 0.0864).abs() < 1e-12);
+        // Ten times faster stepping gives ten times the throughput.
+        assert!((ns_per_day(DEFAULT_TIMESTEP, 0.1) - 0.864).abs() < 1e-12);
+        assert_eq!(ns_per_day(DEFAULT_TIMESTEP, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn lattice_constants_sane() {
+        assert!(lattice_constant::SI > 5.0 && lattice_constant::SI < 6.0);
+        assert!(lattice_constant::C < lattice_constant::SI);
+    }
+}

@@ -1,0 +1,176 @@
+//! Maxwell–Boltzmann velocity initialization.
+//!
+//! Velocities are drawn from the Gaussian distribution for the requested
+//! temperature, the center-of-mass drift is removed, and the result is
+//! rescaled so the instantaneous temperature matches the target exactly —
+//! the same procedure as LAMMPS' `velocity ... create`.
+
+use crate::atom::AtomData;
+use crate::units;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Draw one standard-normal variate via the Box–Muller transform (keeps the
+/// dependency set to the plain `rand` crate).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Initialize velocities of all local atoms to the target temperature (K).
+///
+/// `masses` maps atom type → mass (g/mol). Deterministic in `seed`.
+pub fn init_velocities(atoms: &mut AtomData, masses: &[f64], temperature: f64, seed: u64) {
+    assert!(temperature >= 0.0, "temperature must be non-negative");
+    let n = atoms.n_local;
+    if n == 0 {
+        return;
+    }
+    if temperature == 0.0 {
+        for v in atoms.v.iter_mut().take(n) {
+            *v = [0.0; 3];
+        }
+        return;
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for i in 0..n {
+        let m = masses[atoms.type_[i]];
+        // σ² = kB T / (mvv2e · m) in (Å/ps)².
+        let sigma = (units::BOLTZMANN * temperature / (units::MVV2E * m)).sqrt();
+        for d in 0..3 {
+            atoms.v[i][d] = sigma * standard_normal(&mut rng);
+        }
+    }
+
+    remove_center_of_mass_drift(atoms, masses);
+    rescale_to_temperature(atoms, masses, temperature);
+}
+
+/// Subtract the center-of-mass velocity from every local atom.
+pub fn remove_center_of_mass_drift(atoms: &mut AtomData, masses: &[f64]) {
+    let n = atoms.n_local;
+    if n == 0 {
+        return;
+    }
+    let mut p = [0.0f64; 3];
+    let mut total_mass = 0.0;
+    for i in 0..n {
+        let m = masses[atoms.type_[i]];
+        total_mass += m;
+        for d in 0..3 {
+            p[d] += m * atoms.v[i][d];
+        }
+    }
+    for i in 0..n {
+        for d in 0..3 {
+            atoms.v[i][d] -= p[d] / total_mass;
+        }
+    }
+}
+
+/// Total kinetic energy (eV) of the local atoms.
+pub fn kinetic_energy(atoms: &AtomData, masses: &[f64]) -> f64 {
+    (0..atoms.n_local)
+        .map(|i| units::kinetic_energy(masses[atoms.type_[i]], atoms.v[i]))
+        .sum()
+}
+
+/// Instantaneous temperature (K) of the local atoms.
+pub fn current_temperature(atoms: &AtomData, masses: &[f64]) -> f64 {
+    units::temperature(kinetic_energy(atoms, masses), atoms.n_local)
+}
+
+/// Rescale all velocities so the instantaneous temperature equals `target`.
+pub fn rescale_to_temperature(atoms: &mut AtomData, masses: &[f64], target: f64) {
+    let current = current_temperature(atoms, masses);
+    if current <= 0.0 {
+        return;
+    }
+    let scale = (target / current).sqrt();
+    for v in atoms.v.iter_mut().take(atoms.n_local) {
+        for d in 0..3 {
+            v[d] *= scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Lattice;
+
+    fn si_atoms() -> AtomData {
+        Lattice::silicon([3, 3, 3]).build().1
+    }
+
+    #[test]
+    fn init_hits_target_temperature_exactly() {
+        let mut atoms = si_atoms();
+        let masses = [units::mass::SI];
+        init_velocities(&mut atoms, &masses, 1000.0, 1234);
+        let t = current_temperature(&atoms, &masses);
+        assert!((t - 1000.0).abs() < 1e-9, "T = {t}");
+    }
+
+    #[test]
+    fn init_removes_momentum() {
+        let mut atoms = si_atoms();
+        let masses = [units::mass::SI];
+        init_velocities(&mut atoms, &masses, 500.0, 7);
+        let p = atoms.net_momentum(&masses);
+        for d in 0..3 {
+            assert!(p[d].abs() < 1e-9, "net momentum {p:?}");
+        }
+    }
+
+    #[test]
+    fn zero_temperature_means_zero_velocities() {
+        let mut atoms = si_atoms();
+        init_velocities(&mut atoms, &[units::mass::SI], 0.0, 3);
+        assert!(atoms.v.iter().all(|v| *v == [0.0; 3]));
+        assert_eq!(current_temperature(&atoms, &[units::mass::SI]), 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let masses = [units::mass::SI];
+        let mut a = si_atoms();
+        let mut b = si_atoms();
+        init_velocities(&mut a, &masses, 300.0, 42);
+        init_velocities(&mut b, &masses, 300.0, 42);
+        assert_eq!(a.v, b.v);
+        let mut c = si_atoms();
+        init_velocities(&mut c, &masses, 300.0, 43);
+        assert_ne!(a.v, c.v);
+    }
+
+    #[test]
+    fn multispecies_masses_are_respected() {
+        let (_, mut atoms) = Lattice::silicon_carbide([2, 2, 2]).build();
+        let masses = [units::mass::SI, units::mass::C];
+        init_velocities(&mut atoms, &masses, 800.0, 9);
+        assert!((current_temperature(&atoms, &masses) - 800.0).abs() < 1e-9);
+        // Lighter carbon atoms should move faster on average.
+        let mean_speed = |t: usize| {
+            let (sum, count) = (0..atoms.n_local)
+                .filter(|&i| atoms.type_[i] == t)
+                .map(|i| {
+                    let v = atoms.v[i];
+                    (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()
+                })
+                .fold((0.0, 0usize), |(s, c), x| (s + x, c + 1));
+            sum / count as f64
+        };
+        assert!(mean_speed(1) > mean_speed(0));
+    }
+
+    #[test]
+    fn rescale_is_noop_for_static_atoms() {
+        let mut atoms = si_atoms();
+        rescale_to_temperature(&mut atoms, &[units::mass::SI], 300.0);
+        assert!(atoms.v.iter().all(|v| *v == [0.0; 3]));
+    }
+}

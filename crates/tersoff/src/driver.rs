@@ -1,0 +1,299 @@
+//! Execution-mode driver: the paper's `Ref` / `Opt-D` / `Opt-S` / `Opt-M`
+//! codes (Sec. V-E) as ready-made [`Potential`] trait objects.
+//!
+//! The driver maps an [`ExecutionMode`] × [`Scheme`] choice onto a concrete
+//! monomorphization: the precision mode fixes the compute/accumulate types
+//! and the scheme + ISA class fix the vector width, following the paper's own
+//! choices (scheme 1a for short vectors, 1b for 8/16-lane vectors, 1c with a
+//! 32-lane warp for the GPU).
+
+use crate::params::TersoffParams;
+use crate::reference::TersoffRef;
+use crate::scalar_opt::TersoffScalarOpt;
+use crate::scheme_a::TersoffSchemeA;
+use crate::scheme_b::TersoffSchemeB;
+use crate::scheme_c::TersoffSchemeC;
+use md_core::potential::Potential;
+
+/// The four codes evaluated in the paper.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// The LAMMPS-equivalent reference (double precision, Algorithm 2).
+    Ref,
+    /// Optimized, double precision.
+    OptD,
+    /// Optimized, single precision.
+    OptS,
+    /// Optimized, mixed precision (single compute, double accumulate).
+    OptM,
+}
+
+impl ExecutionMode {
+    /// All modes in reporting order.
+    pub const ALL: [ExecutionMode; 4] = [
+        ExecutionMode::Ref,
+        ExecutionMode::OptD,
+        ExecutionMode::OptS,
+        ExecutionMode::OptM,
+    ];
+
+    /// Display label matching the paper ("Ref", "Opt-D", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionMode::Ref => "Ref",
+            ExecutionMode::OptD => "Opt-D",
+            ExecutionMode::OptS => "Opt-S",
+            ExecutionMode::OptM => "Opt-M",
+        }
+    }
+}
+
+/// The mapping of the iteration space onto lanes (Fig. 1), plus the
+/// scalar-optimized variant that does not vectorize at all.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Optimized scalar code (Algorithm 3, no vectorization) — what `Opt-D`
+    /// falls back to on ISAs without suitable vectors (NEON double, SSE
+    /// double).
+    Scalar,
+    /// Scheme (1a): J across lanes.
+    JLanes,
+    /// Scheme (1b): fused I·J across lanes.
+    FusedLanes,
+    /// Scheme (1c): I across lanes (warp model).
+    ILanes,
+}
+
+impl Scheme {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Scalar => "scalar",
+            Scheme::JLanes => "1a",
+            Scheme::FusedLanes => "1b",
+            Scheme::ILanes => "1c",
+        }
+    }
+}
+
+/// Options describing which Tersoff implementation to build.
+#[derive(Copy, Clone, Debug)]
+pub struct TersoffOptions {
+    /// Execution mode (precision + optimized or reference).
+    pub mode: ExecutionMode,
+    /// Vectorization scheme (ignored for `Ref`).
+    pub scheme: Scheme,
+    /// Vector width; 0 selects the paper's default width for the
+    /// scheme/precision combination. Supported explicit widths: 1, 2, 4, 8,
+    /// 16, 32.
+    pub width: usize,
+}
+
+impl Default for TersoffOptions {
+    fn default() -> Self {
+        TersoffOptions {
+            mode: ExecutionMode::OptM,
+            scheme: Scheme::FusedLanes,
+            width: 0,
+        }
+    }
+}
+
+impl TersoffOptions {
+    /// The paper's default width for this scheme and precision: 4 f64 / 8 f32
+    /// lanes for scheme (1a) (AVX/AVX2-class), 8 f64 / 16 f32 for scheme (1b)
+    /// (AVX-512-class), 32 for the warp scheme.
+    pub fn effective_width(&self) -> usize {
+        if self.width != 0 {
+            return self.width;
+        }
+        let double = matches!(self.mode, ExecutionMode::Ref | ExecutionMode::OptD);
+        match self.scheme {
+            Scheme::Scalar => 1,
+            Scheme::JLanes => {
+                if double {
+                    4
+                } else {
+                    8
+                }
+            }
+            Scheme::FusedLanes => {
+                if double {
+                    8
+                } else {
+                    16
+                }
+            }
+            Scheme::ILanes => 32,
+        }
+    }
+
+    /// A short human-readable description ("Opt-M/1b/w16").
+    pub fn label(&self) -> String {
+        match self.mode {
+            ExecutionMode::Ref => "Ref".to_string(),
+            _ => format!(
+                "{}/{}/w{}",
+                self.mode.label(),
+                self.scheme.label(),
+                self.effective_width()
+            ),
+        }
+    }
+}
+
+macro_rules! build_vector_potential {
+    ($ctor:ident, $t:ty, $a:ty, $width:expr, $params:expr) => {
+        match $width {
+            1 => Box::new($ctor::<$t, $a, 1>::new($params)) as Box<dyn Potential>,
+            2 => Box::new($ctor::<$t, $a, 2>::new($params)),
+            4 => Box::new($ctor::<$t, $a, 4>::new($params)),
+            8 => Box::new($ctor::<$t, $a, 8>::new($params)),
+            16 => Box::new($ctor::<$t, $a, 16>::new($params)),
+            32 => Box::new($ctor::<$t, $a, 32>::new($params)),
+            other => panic!("unsupported vector width {other} (use 1, 2, 4, 8, 16 or 32)"),
+        }
+    };
+}
+
+/// Build the Tersoff implementation described by `options`.
+pub fn make_potential(params: TersoffParams, options: TersoffOptions) -> Box<dyn Potential> {
+    let width = options.effective_width();
+    match (options.mode, options.scheme) {
+        (ExecutionMode::Ref, _) => Box::new(TersoffRef::new(params)),
+        (ExecutionMode::OptD, Scheme::Scalar) => {
+            Box::new(TersoffScalarOpt::<f64, f64>::new(params))
+        }
+        (ExecutionMode::OptS, Scheme::Scalar) => {
+            Box::new(TersoffScalarOpt::<f32, f32>::new(params))
+        }
+        (ExecutionMode::OptM, Scheme::Scalar) => {
+            Box::new(TersoffScalarOpt::<f32, f64>::new(params))
+        }
+        (ExecutionMode::OptD, Scheme::JLanes) => {
+            build_vector_potential!(TersoffSchemeA, f64, f64, width, params)
+        }
+        (ExecutionMode::OptS, Scheme::JLanes) => {
+            build_vector_potential!(TersoffSchemeA, f32, f32, width, params)
+        }
+        (ExecutionMode::OptM, Scheme::JLanes) => {
+            build_vector_potential!(TersoffSchemeA, f32, f64, width, params)
+        }
+        (ExecutionMode::OptD, Scheme::FusedLanes) => {
+            build_vector_potential!(TersoffSchemeB, f64, f64, width, params)
+        }
+        (ExecutionMode::OptS, Scheme::FusedLanes) => {
+            build_vector_potential!(TersoffSchemeB, f32, f32, width, params)
+        }
+        (ExecutionMode::OptM, Scheme::FusedLanes) => {
+            build_vector_potential!(TersoffSchemeB, f32, f64, width, params)
+        }
+        (ExecutionMode::OptD, Scheme::ILanes) => {
+            build_vector_potential!(TersoffSchemeC, f64, f64, width, params)
+        }
+        (ExecutionMode::OptS, Scheme::ILanes) => {
+            build_vector_potential!(TersoffSchemeC, f32, f32, width, params)
+        }
+        (ExecutionMode::OptM, Scheme::ILanes) => {
+            build_vector_potential!(TersoffSchemeC, f32, f64, width, params)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::lattice::Lattice;
+    use md_core::neighbor::{NeighborList, NeighborSettings};
+    use md_core::potential::ComputeOutput;
+
+    #[test]
+    fn default_widths_follow_the_paper() {
+        let mk = |mode, scheme| TersoffOptions {
+            mode,
+            scheme,
+            width: 0,
+        };
+        assert_eq!(mk(ExecutionMode::OptD, Scheme::JLanes).effective_width(), 4);
+        assert_eq!(mk(ExecutionMode::OptS, Scheme::JLanes).effective_width(), 8);
+        assert_eq!(mk(ExecutionMode::OptD, Scheme::FusedLanes).effective_width(), 8);
+        assert_eq!(mk(ExecutionMode::OptM, Scheme::FusedLanes).effective_width(), 16);
+        assert_eq!(mk(ExecutionMode::OptM, Scheme::ILanes).effective_width(), 32);
+        assert_eq!(mk(ExecutionMode::OptD, Scheme::Scalar).effective_width(), 1);
+        let explicit = TersoffOptions {
+            mode: ExecutionMode::OptD,
+            scheme: Scheme::FusedLanes,
+            width: 2,
+        };
+        assert_eq!(explicit.effective_width(), 2);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(
+            TersoffOptions {
+                mode: ExecutionMode::Ref,
+                scheme: Scheme::FusedLanes,
+                width: 0
+            }
+            .label(),
+            "Ref"
+        );
+        assert_eq!(TersoffOptions::default().label(), "Opt-M/1b/w16");
+        assert_eq!(ExecutionMode::OptS.label(), "Opt-S");
+        assert_eq!(Scheme::ILanes.label(), "1c");
+    }
+
+    #[test]
+    fn every_mode_scheme_combination_builds_and_agrees() {
+        let (b, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.05, 77);
+        let list = NeighborList::build_binned(&atoms, &b, NeighborSettings::new(3.0, 1.0));
+
+        let mut reference = make_potential(
+            TersoffParams::silicon(),
+            TersoffOptions {
+                mode: ExecutionMode::Ref,
+                scheme: Scheme::Scalar,
+                width: 0,
+            },
+        );
+        let mut out_ref = ComputeOutput::zeros(atoms.n_total());
+        reference.compute(&atoms, &b, &list, &mut out_ref);
+
+        for mode in [ExecutionMode::OptD, ExecutionMode::OptS, ExecutionMode::OptM] {
+            for scheme in [Scheme::Scalar, Scheme::JLanes, Scheme::FusedLanes, Scheme::ILanes] {
+                let mut pot = make_potential(
+                    TersoffParams::silicon(),
+                    TersoffOptions {
+                        mode,
+                        scheme,
+                        width: 0,
+                    },
+                );
+                let mut out = ComputeOutput::zeros(atoms.n_total());
+                pot.compute(&atoms, &b, &list, &mut out);
+                let tol = if mode == ExecutionMode::OptD { 1e-9 } else { 2e-5 };
+                let rel = ((out.energy - out_ref.energy) / out_ref.energy).abs();
+                assert!(
+                    rel < tol,
+                    "{:?}/{:?}: relative energy error {rel}",
+                    mode,
+                    scheme
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported vector width")]
+    fn unsupported_width_panics() {
+        make_potential(
+            TersoffParams::silicon(),
+            TersoffOptions {
+                mode: ExecutionMode::OptD,
+                scheme: Scheme::FusedLanes,
+                width: 7,
+            },
+        );
+    }
+}

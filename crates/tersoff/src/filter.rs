@@ -1,0 +1,217 @@
+//! The "filter" component (Sec. IV-B and IV-D of the paper).
+//!
+//! The optimized kernels split the work into a *filter* that decides which
+//! (i, j) interactions reach the numerical kernel and a *computational*
+//! component that only ever sees work worth doing. Two artifacts implement
+//! the filter side:
+//!
+//! * [`FilteredNeighbors`] — per-atom neighbor shortlists re-filtered from
+//!   the skin-extended list `S_i` down to atoms within the **global maximum
+//!   cutoff** (filtering with any smaller, type-dependent cutoff could drop
+//!   physically interacting atoms in multi-species systems — the correctness
+//!   argument of Sec. IV-D).
+//! * [`PackedPairs`] — the flat list of (i, j) pairs already known to be
+//!   inside the interaction cutoff, which is what vectorization scheme (1b)
+//!   consumes so that every vector lane starts with real work.
+
+use md_core::atom::AtomData;
+use md_core::neighbor::NeighborList;
+use md_core::simbox::SimBox;
+
+/// Per-atom neighbor shortlists filtered by a single global cutoff.
+#[derive(Clone, Debug, Default)]
+pub struct FilteredNeighbors {
+    /// Row offsets: neighbors of atom i are `lists[first[i]..first[i+1]]`.
+    pub first: Vec<usize>,
+    /// Filtered neighbor indices.
+    pub lists: Vec<u32>,
+    /// Number of atoms the lists were built for.
+    pub n_local: usize,
+}
+
+impl FilteredNeighbors {
+    /// Filter a skin-extended neighbor list down to `cutoff` (typically the
+    /// potential's `max_cutoff`). Distances are measured with the
+    /// minimum-image convention of `sim_box`, consistent with the kernels.
+    pub fn build(
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        cutoff: f64,
+    ) -> Self {
+        let cutsq = cutoff * cutoff;
+        let n_local = neighbors.n_local;
+        let mut first = Vec::with_capacity(n_local + 1);
+        let mut lists = Vec::with_capacity(neighbors.neighbors.len());
+        first.push(0);
+        for i in 0..n_local {
+            let xi = atoms.x[i];
+            for &j in neighbors.neighbors_of(i) {
+                let d = sim_box.min_image(xi, atoms.x[j]);
+                if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < cutsq {
+                    lists.push(j as u32);
+                }
+            }
+            first.push(lists.len());
+        }
+        FilteredNeighbors {
+            first,
+            lists,
+            n_local,
+        }
+    }
+
+    /// Filtered neighbors of atom `i`.
+    #[inline]
+    pub fn neighbors_of(&self, i: usize) -> &[u32] {
+        &self.lists[self.first[i]..self.first[i + 1]]
+    }
+
+    /// Filtered neighbor count of atom `i`.
+    #[inline]
+    pub fn count(&self, i: usize) -> usize {
+        self.first[i + 1] - self.first[i]
+    }
+
+    /// Average filtered neighbors per atom (≈4 for the silicon benchmark —
+    /// the "extremely short neighbor lists" the paper stresses).
+    pub fn average_count(&self) -> f64 {
+        if self.n_local == 0 {
+            0.0
+        } else {
+            self.lists.len() as f64 / self.n_local as f64
+        }
+    }
+
+    /// Largest filtered neighbor count.
+    pub fn max_count(&self) -> usize {
+        (0..self.n_local).map(|i| self.count(i)).max().unwrap_or(0)
+    }
+}
+
+/// The flat (i, j) pair list consumed by scheme (1b): the fused I·J iteration
+/// space with the out-of-cutoff pairs already removed.
+#[derive(Clone, Debug, Default)]
+pub struct PackedPairs {
+    /// Central atom of each pair.
+    pub i: Vec<u32>,
+    /// Neighbor atom of each pair.
+    pub j: Vec<u32>,
+    /// Row offsets into the pair arrays per central atom (pairs of atom i
+    /// are contiguous), handy for diagnostics.
+    pub first_pair: Vec<usize>,
+}
+
+impl PackedPairs {
+    /// Pack every in-cutoff (i, j) pair from the filtered lists.
+    pub fn build(filtered: &FilteredNeighbors) -> Self {
+        let mut i_vec = Vec::with_capacity(filtered.lists.len());
+        let mut j_vec = Vec::with_capacity(filtered.lists.len());
+        let mut first_pair = Vec::with_capacity(filtered.n_local + 1);
+        first_pair.push(0);
+        for i in 0..filtered.n_local {
+            for &j in filtered.neighbors_of(i) {
+                i_vec.push(i as u32);
+                j_vec.push(j);
+            }
+            first_pair.push(i_vec.len());
+        }
+        PackedPairs {
+            i: i_vec,
+            j: j_vec,
+            first_pair,
+        }
+    }
+
+    /// Number of packed pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.i.len()
+    }
+
+    /// True when no pairs were packed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.i.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::lattice::Lattice;
+    use md_core::neighbor::NeighborSettings;
+
+    fn setup() -> (SimBox, AtomData, NeighborList) {
+        let (b, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.03, 2);
+        let list = NeighborList::build_binned(&atoms, &b, NeighborSettings::new(3.0, 1.0));
+        (b, atoms, list)
+    }
+
+    #[test]
+    fn filtering_removes_skin_atoms() {
+        let (b, atoms, list) = setup();
+        // The skin-extended list holds ~16 atoms, the filtered list only the
+        // ~4 true Tersoff neighbors.
+        assert!(list.average_count() > 10.0);
+        let filtered = FilteredNeighbors::build(&atoms, &b, &list, 3.0);
+        assert!(filtered.average_count() < 6.0);
+        assert!(filtered.average_count() >= 3.5);
+        assert_eq!(filtered.n_local, atoms.n_local);
+    }
+
+    #[test]
+    fn filtered_lists_are_subsets_within_cutoff() {
+        let (b, atoms, list) = setup();
+        let cutoff = 3.0;
+        let filtered = FilteredNeighbors::build(&atoms, &b, &list, cutoff);
+        for i in 0..filtered.n_local {
+            let full: Vec<usize> = list.neighbors_of(i).to_vec();
+            for &j in filtered.neighbors_of(i) {
+                assert!(full.contains(&(j as usize)));
+                let d2 = b.distance_sq(atoms.x[i], atoms.x[j as usize]);
+                assert!(d2 < cutoff * cutoff);
+            }
+            // Nothing inside the cutoff was dropped.
+            let kept = filtered.count(i);
+            let expected = full
+                .iter()
+                .filter(|&&j| b.distance_sq(atoms.x[i], atoms.x[j]) < cutoff * cutoff)
+                .count();
+            assert_eq!(kept, expected, "atom {i}");
+        }
+    }
+
+    #[test]
+    fn packed_pairs_cover_every_filtered_neighbor() {
+        let (b, atoms, list) = setup();
+        let filtered = FilteredNeighbors::build(&atoms, &b, &list, 3.0);
+        let pairs = PackedPairs::build(&filtered);
+        assert_eq!(pairs.len(), filtered.lists.len());
+        assert!(!pairs.is_empty());
+        // Row offsets are consistent.
+        for i in 0..filtered.n_local {
+            assert_eq!(
+                pairs.first_pair[i + 1] - pairs.first_pair[i],
+                filtered.count(i)
+            );
+        }
+        // Every packed pair refers to the right central atom.
+        for (&pi, &pj) in pairs.i.iter().zip(pairs.j.iter()) {
+            assert!(filtered.neighbors_of(pi as usize).contains(&pj));
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let atoms = AtomData::new();
+        let b = SimBox::cubic(10.0);
+        let list = NeighborList::build_binned(&atoms, &b, NeighborSettings::new(3.0, 1.0));
+        let filtered = FilteredNeighbors::build(&atoms, &b, &list, 3.0);
+        assert_eq!(filtered.average_count(), 0.0);
+        assert_eq!(filtered.max_count(), 0);
+        let pairs = PackedPairs::build(&filtered);
+        assert!(pairs.is_empty());
+        assert_eq!(pairs.len(), 0);
+    }
+}

@@ -1,0 +1,564 @@
+//! The Tersoff potential functions and their analytic derivatives, generic
+//! over the compute precision `T: Real`.
+//!
+//! Everything in this module is a pure function of distances, angles and the
+//! parameter entry; the loop structure lives in the implementations
+//! (`reference`, `scalar_opt`, `scheme_*`). The formulas follow Eq. 5–7 of
+//! the paper (equivalently LAMMPS' `pair_tersoff.cpp`):
+//!
+//! * `f_C` — smooth cutoff,
+//! * `f_R = A·exp(−λ₁ r)`, `f_A = −B·exp(−λ₂ r)` — repulsive / attractive
+//!   pair terms,
+//! * `g(θ) = γ(1 + c²/d² − c²/(d² + (h − cosθ)²))` — angular term,
+//! * `ζ_ij = Σ_k f_C(r_ik)·g(θ_ijk)·exp(λ₃^m (r_ij − r_ik)^m)`,
+//! * `b_ij = (1 + (βζ)ⁿ)^(−1/2n)` — bond order.
+//!
+//! Energy convention: each *ordered* pair (i, j) contributes
+//! `½·f_C(r_ij)[f_R(r_ij) + b_ij·f_A(r_ij)]`, so summing over the full
+//! neighbor list counts every physical bond exactly once.
+
+use crate::params::TersoffParam;
+use vektor::Real;
+
+/// Clamp applied to the ζ exponential argument, following LAMMPS (exp(69) is
+/// still finite in f32 after the clamp).
+pub const EXP_CLAMP: f64 = 69.0776;
+
+/// A parameter entry converted to the compute precision `T`, with only the
+/// fields the kernels read. Pre-converting the whole table once (instead of
+/// converting field-by-field inside the inner loops) is one of the paper's
+/// scalar optimizations ("improve parameter lookup by reducing indirection").
+#[derive(Copy, Clone, Debug)]
+pub struct ParamT<T: Real> {
+    /// See [`TersoffParam::powerm`] (stored as a flag: true = cubic).
+    pub cubic: bool,
+    /// γ.
+    pub gamma: T,
+    /// λ₃.
+    pub lam3: T,
+    /// c².
+    pub c2: T,
+    /// d².
+    pub d2: T,
+    /// c²/d².
+    pub c2_over_d2: T,
+    /// h = cos θ₀.
+    pub h: T,
+    /// n.
+    pub powern: T,
+    /// β.
+    pub beta: T,
+    /// λ₂.
+    pub lam2: T,
+    /// B.
+    pub bigb: T,
+    /// R.
+    pub bigr: T,
+    /// D.
+    pub bigd: T,
+    /// λ₁.
+    pub lam1: T,
+    /// A.
+    pub biga: T,
+    /// R + D.
+    pub cut: T,
+    /// (R + D)².
+    pub cutsq: T,
+    /// b_ij asymptotic thresholds (LAMMPS c1..c4).
+    pub ca1: T,
+    /// See `ca1`.
+    pub ca2: T,
+    /// See `ca1`.
+    pub ca3: T,
+    /// See `ca1`.
+    pub ca4: T,
+}
+
+impl<T: Real> ParamT<T> {
+    /// Convert a double-precision entry to the compute precision.
+    pub fn from_param(p: &TersoffParam) -> Self {
+        ParamT {
+            cubic: p.cubic_exponent(),
+            gamma: T::from_f64(p.gamma),
+            lam3: T::from_f64(p.lam3),
+            c2: T::from_f64(p.c2),
+            d2: T::from_f64(p.d2),
+            c2_over_d2: T::from_f64(p.c2_over_d2),
+            h: T::from_f64(p.h),
+            powern: T::from_f64(p.powern),
+            beta: T::from_f64(p.beta),
+            lam2: T::from_f64(p.lam2),
+            bigb: T::from_f64(p.bigb),
+            bigr: T::from_f64(p.bigr),
+            bigd: T::from_f64(p.bigd),
+            lam1: T::from_f64(p.lam1),
+            biga: T::from_f64(p.biga),
+            cut: T::from_f64(p.cut),
+            cutsq: T::from_f64(p.cutsq),
+            ca1: T::from_f64(p.ca1),
+            ca2: T::from_f64(p.ca2),
+            ca3: T::from_f64(p.ca3),
+            ca4: T::from_f64(p.ca4),
+        }
+    }
+}
+
+/// Smooth cutoff `f_C(r)`.
+#[inline(always)]
+pub fn fc<T: Real>(p: &ParamT<T>, r: T) -> T {
+    if r < p.bigr - p.bigd {
+        T::ONE
+    } else if r > p.bigr + p.bigd {
+        T::ZERO
+    } else {
+        let arg = T::from_f64(std::f64::consts::FRAC_PI_2) * (r - p.bigr) / p.bigd;
+        T::HALF * (T::ONE - arg.sin())
+    }
+}
+
+/// Derivative `f_C'(r)`.
+#[inline(always)]
+pub fn fc_d<T: Real>(p: &ParamT<T>, r: T) -> T {
+    if r < p.bigr - p.bigd || r > p.bigr + p.bigd {
+        T::ZERO
+    } else {
+        let arg = T::from_f64(std::f64::consts::FRAC_PI_2) * (r - p.bigr) / p.bigd;
+        -(T::from_f64(std::f64::consts::FRAC_PI_4) / p.bigd) * arg.cos()
+    }
+}
+
+/// Repulsive pair term: returns `(energy, dE/dr)` of
+/// `E = ½ f_C(r)·A·exp(−λ₁ r)` for one ordered pair.
+#[inline(always)]
+pub fn repulsive<T: Real>(p: &ParamT<T>, r: T) -> (T, T) {
+    let exp1 = (-p.lam1 * r).exp();
+    let f_c = fc(p, r);
+    let f_c_d = fc_d(p, r);
+    let energy = T::HALF * f_c * p.biga * exp1;
+    let de_dr = T::HALF * p.biga * exp1 * (f_c_d - f_c * p.lam1);
+    (energy, de_dr)
+}
+
+/// Attractive term `f_A(r) = −B·exp(−λ₂ r)·f_C(r)` (the cutoff is folded in,
+/// as in LAMMPS).
+#[inline(always)]
+pub fn fa<T: Real>(p: &ParamT<T>, r: T) -> T {
+    if r > p.cut {
+        T::ZERO
+    } else {
+        -p.bigb * (-p.lam2 * r).exp() * fc(p, r)
+    }
+}
+
+/// Derivative `d f_A / dr`.
+#[inline(always)]
+pub fn fa_d<T: Real>(p: &ParamT<T>, r: T) -> T {
+    if r > p.cut {
+        T::ZERO
+    } else {
+        p.bigb * (-p.lam2 * r).exp() * (p.lam2 * fc(p, r) - fc_d(p, r))
+    }
+}
+
+/// Bond order `b_ij(ζ)`, with the same asymptotic short-cuts as LAMMPS to
+/// avoid overflow / needless `pow` calls at extreme arguments.
+#[inline(always)]
+pub fn bij<T: Real>(p: &ParamT<T>, zeta: T) -> T {
+    let tmp = p.beta * zeta;
+    let n = p.powern;
+    let half = T::HALF;
+    if tmp > p.ca1 {
+        T::ONE / tmp.sqrt()
+    } else if tmp > p.ca2 {
+        (T::ONE - tmp.powf(-n) / (T::TWO * n)) / tmp.sqrt()
+    } else if tmp < p.ca4 {
+        T::ONE
+    } else if tmp < p.ca3 {
+        T::ONE - tmp.powf(n) / (T::TWO * n)
+    } else {
+        (T::ONE + tmp.powf(n)).powf(-half / n)
+    }
+}
+
+/// Derivative `d b_ij / dζ`.
+#[inline(always)]
+pub fn bij_d<T: Real>(p: &ParamT<T>, zeta: T) -> T {
+    let tmp = p.beta * zeta;
+    let n = p.powern;
+    let half = T::HALF;
+    if tmp > p.ca1 {
+        p.beta * (-half * tmp.powf(-T::from_f64(1.5)))
+    } else if tmp > p.ca2 {
+        p.beta
+            * (-half * tmp.powf(-T::from_f64(1.5))
+                * (T::ONE - (T::ONE + T::ONE / (T::TWO * n)) * tmp.powf(-n)))
+    } else if tmp < p.ca4 {
+        T::ZERO
+    } else if tmp < p.ca3 {
+        -half * p.beta * tmp.powf(n - T::ONE)
+    } else {
+        let tmp_n = tmp.powf(n);
+        -half * (T::ONE + tmp_n).powf(-T::ONE - half / n) * tmp_n / tmp * p.beta
+    }
+}
+
+/// Angular term `g(cosθ)`.
+#[inline(always)]
+pub fn gijk<T: Real>(p: &ParamT<T>, cos_theta: T) -> T {
+    let hcth = p.h - cos_theta;
+    p.gamma * (T::ONE + p.c2_over_d2 - p.c2 / (p.d2 + hcth * hcth))
+}
+
+/// Derivative `d g / d cosθ`.
+#[inline(always)]
+pub fn gijk_d<T: Real>(p: &ParamT<T>, cos_theta: T) -> T {
+    let hcth = p.h - cos_theta;
+    let denom = p.d2 + hcth * hcth;
+    -(T::TWO) * p.c2 * hcth / (denom * denom) * p.gamma
+}
+
+/// The ζ exponential `exp(λ₃^m (r_ij − r_ik)^m)` and its derivative with
+/// respect to `r_ij` (the derivative with respect to `r_ik` is the negative).
+#[inline(always)]
+pub fn ex_delr<T: Real>(p: &ParamT<T>, rij: T, rik: T) -> (T, T) {
+    let dr = rij - rik;
+    if p.cubic {
+        let arg = p.lam3 * dr;
+        let mut t = arg * arg * arg;
+        let clamp = T::from_f64(EXP_CLAMP);
+        t = t.max(-clamp).min(clamp);
+        let e = t.exp();
+        let e_d = T::from_f64(3.0) * p.lam3 * p.lam3 * p.lam3 * dr * dr * e;
+        (e, e_d)
+    } else {
+        let mut t = p.lam3 * dr;
+        let clamp = T::from_f64(EXP_CLAMP);
+        t = t.max(-clamp).min(clamp);
+        let e = t.exp();
+        (e, p.lam3 * e)
+    }
+}
+
+/// One ζ term: `ζ(i,j,k) = f_C(r_ik)·g(θ_ijk)·exp(λ₃^m (r_ij − r_ik)^m)`.
+///
+/// `cos_theta` is the angle at atom i between the bonds to j and k.
+#[inline(always)]
+pub fn zeta_term<T: Real>(p: &ParamT<T>, rij: T, rik: T, cos_theta: T) -> T {
+    let (e, _) = ex_delr(p, rij, rik);
+    fc(p, rik) * gijk(p, cos_theta) * e
+}
+
+/// The attractive part of the pair interaction, evaluated once ζ is known:
+/// returns `(energy, dE/dr_ij at fixed ζ, ∂E/∂ζ)` of
+/// `E = ½·b_ij(ζ)·f_A(r_ij)` for one ordered pair.
+#[inline(always)]
+pub fn force_zeta<T: Real>(p: &ParamT<T>, r: T, zeta: T) -> (T, T, T) {
+    let f_a = fa(p, r);
+    let f_a_d = fa_d(p, r);
+    let b = bij(p, zeta);
+    let b_d = bij_d(p, zeta);
+    let energy = T::HALF * b * f_a;
+    let de_dr = T::HALF * b * f_a_d;
+    let de_dzeta = T::HALF * f_a * b_d;
+    (energy, de_dr, de_dzeta)
+}
+
+/// Gradients of one ζ term with respect to the positions of atoms j and k
+/// (the gradient with respect to i is `−(∇_j + ∇_k)` by translational
+/// invariance, which the callers exploit).
+///
+/// Inputs: `del_ij = x_j − x_i`, `del_ik = x_k − x_i` and their lengths.
+/// Returns `(ζ term, ∇_j ζ, ∇_k ζ)`.
+#[inline(always)]
+pub fn zeta_term_and_gradients<T: Real>(
+    p: &ParamT<T>,
+    del_ij: [T; 3],
+    rij: T,
+    del_ik: [T; 3],
+    rik: T,
+) -> (T, [T; 3], [T; 3]) {
+    let inv_rij = T::ONE / rij;
+    let inv_rik = T::ONE / rik;
+    let hat_ij = [del_ij[0] * inv_rij, del_ij[1] * inv_rij, del_ij[2] * inv_rij];
+    let hat_ik = [del_ik[0] * inv_rik, del_ik[1] * inv_rik, del_ik[2] * inv_rik];
+    let cos_theta = hat_ij[0] * hat_ik[0] + hat_ij[1] * hat_ik[1] + hat_ij[2] * hat_ik[2];
+
+    let f_c = fc(p, rik);
+    let f_c_d = fc_d(p, rik);
+    let g = gijk(p, cos_theta);
+    let g_d = gijk_d(p, cos_theta);
+    let (e, e_d) = ex_delr(p, rij, rik);
+
+    let zeta = f_c * g * e;
+
+    // dcosθ/dx_j and dcosθ/dx_k.
+    let mut dcos_j = [T::ZERO; 3];
+    let mut dcos_k = [T::ZERO; 3];
+    for d in 0..3 {
+        dcos_j[d] = (hat_ik[d] - cos_theta * hat_ij[d]) * inv_rij;
+        dcos_k[d] = (hat_ij[d] - cos_theta * hat_ik[d]) * inv_rik;
+    }
+
+    // ∇_j ζ = f_C·g'·e·∇_j cosθ + f_C·g·(de/dr_ij)·r̂_ij
+    // ∇_k ζ = f_C'·g·e·r̂_ik + f_C·g'·e·∇_k cosθ − f_C·g·(de/dr_ij)·r̂_ik
+    let mut grad_j = [T::ZERO; 3];
+    let mut grad_k = [T::ZERO; 3];
+    let a_cos = f_c * g_d * e;
+    let a_rij = f_c * g * e_d;
+    let a_rik_cut = f_c_d * g * e;
+    for d in 0..3 {
+        grad_j[d] = a_cos * dcos_j[d] + a_rij * hat_ij[d];
+        grad_k[d] = a_rik_cut * hat_ik[d] + a_cos * dcos_k[d] - a_rij * hat_ik[d];
+    }
+
+    (zeta, grad_j, grad_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TersoffParams;
+
+    fn si_param() -> ParamT<f64> {
+        ParamT::from_param(TersoffParams::silicon().pair(0, 0))
+    }
+
+    fn si_b_param() -> ParamT<f64> {
+        ParamT::from_param(TersoffParams::silicon_b().pair(0, 0))
+    }
+
+    /// Central-difference derivative helper.
+    fn numdiff(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn cutoff_function_limits() {
+        let p = si_param();
+        assert_eq!(fc(&p, 1.0), 1.0);
+        assert_eq!(fc(&p, 5.0), 0.0);
+        // Continuity at the edges and midpoint value ½ at R.
+        assert!((fc(&p, p.bigr) - 0.5).abs() < 1e-12);
+        assert!((fc(&p, p.bigr - p.bigd) - 1.0).abs() < 1e-9);
+        assert!((fc(&p, p.bigr + p.bigd)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cutoff_derivative_matches_numerical() {
+        let p = si_param();
+        for r in [2.72, 2.85, 2.95, 2.99] {
+            let analytic = fc_d(&p, r);
+            let numeric = numdiff(|x| fc(&p, x), r);
+            assert!(
+                (analytic - numeric).abs() < 1e-6,
+                "r={r}: {analytic} vs {numeric}"
+            );
+        }
+        assert_eq!(fc_d(&p, 1.0), 0.0);
+        assert_eq!(fc_d(&p, 4.0), 0.0);
+    }
+
+    #[test]
+    fn repulsive_energy_and_derivative() {
+        let p = si_param();
+        for r in [2.0, 2.4, 2.8, 2.95] {
+            let (e, de) = repulsive(&p, r);
+            assert!(e > 0.0);
+            let numeric = numdiff(|x| repulsive(&p, x).0, r);
+            assert!(
+                (de - numeric).abs() < 1e-5 * (1.0 + de.abs()),
+                "r={r}: {de} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn attractive_term_and_derivative() {
+        let p = si_param();
+        for r in [2.0, 2.4, 2.8, 2.95] {
+            assert!(fa(&p, r) < 0.0);
+            let numeric = numdiff(|x| fa(&p, x), r);
+            assert!((fa_d(&p, r) - numeric).abs() < 1e-5);
+        }
+        assert_eq!(fa(&p, 3.5), 0.0);
+        assert_eq!(fa_d(&p, 3.5), 0.0);
+    }
+
+    #[test]
+    fn bond_order_limits_and_derivative() {
+        for p in [si_param(), si_b_param()] {
+            // ζ = 0 → perfect bond order 1.
+            assert!((bij(&p, 0.0) - 1.0).abs() < 1e-9);
+            // Monotonically decreasing in ζ.
+            let mut prev = bij(&p, 1e-8);
+            for &z in &[0.01, 0.1, 0.5, 1.0, 2.0, 4.0, 10.0] {
+                let b = bij(&p, z);
+                assert!(b <= prev + 1e-12, "bij not monotone at ζ={z}");
+                assert!(b > 0.0 && b <= 1.0 + 1e-12);
+                prev = b;
+            }
+            // Derivative matches numerics over the physically relevant range.
+            for &z in &[0.05, 0.3, 1.0, 3.0, 8.0] {
+                let analytic = bij_d(&p, z);
+                let numeric = numdiff(|x| bij(&p, x), z);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5 * (1.0 + numeric.abs()),
+                    "ζ={z}: {analytic} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bond_order_asymptotics_are_continuousish() {
+        // Crossing the LAMMPS c1..c4 thresholds must not introduce jumps
+        // larger than the approximation error they bound (1e-8 relative).
+        let p = si_b_param();
+        for &threshold in &[p.ca1, p.ca2, p.ca3, p.ca4] {
+            let z = threshold / p.beta;
+            let below = bij(&p, z * 0.999_999);
+            let above = bij(&p, z * 1.000_001);
+            assert!(
+                (below - above).abs() < 1e-6 * below.abs().max(1e-30),
+                "jump at threshold {threshold}: {below} vs {above}"
+            );
+        }
+    }
+
+    #[test]
+    fn angular_term_and_derivative() {
+        let p = si_param();
+        // Tetrahedral angle: cosθ = −1/3 is near the minimum for silicon.
+        for cos_theta in [-1.0, -0.59825, -1.0 / 3.0, 0.0, 0.7, 1.0] {
+            let g = gijk(&p, cos_theta);
+            assert!(g > 0.0);
+            let numeric = numdiff(|x| gijk(&p, x), cos_theta);
+            assert!((gijk_d(&p, cos_theta) - numeric).abs() < 1e-5 * (1.0 + numeric.abs()));
+        }
+        // g is minimal at cosθ = h.
+        let at_h = gijk(&p, p.h);
+        assert!(at_h <= gijk(&p, p.h + 0.3));
+        assert!(at_h <= gijk(&p, p.h - 0.3));
+        assert!((gijk_d(&p, p.h)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ex_delr_cubic_and_linear() {
+        // Si(C) has λ₃ = 0 → exponential is identically 1.
+        let p = si_param();
+        let (e, ed) = ex_delr(&p, 2.5, 2.3);
+        assert_eq!(e, 1.0);
+        assert_eq!(ed, 0.0);
+
+        // Si(B) has λ₃ > 0 and m = 3.
+        let pb = si_b_param();
+        for (rij, rik) in [(2.4, 2.3), (2.3, 2.4), (2.8, 2.2)] {
+            let (_, ed) = ex_delr(&pb, rij, rik);
+            let numeric = numdiff(|x| ex_delr(&pb, x, rik).0, rij);
+            assert!(
+                (ed - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "rij={rij} rik={rik}: {ed} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn ex_delr_clamps_instead_of_overflowing() {
+        let pb = si_b_param();
+        let (e, _) = ex_delr(&pb, 100.0, 0.1);
+        assert!(e.is_finite());
+        let (e, _) = ex_delr(&pb, 0.1, 100.0);
+        assert!(e >= 0.0 && e < 1e-25);
+    }
+
+    #[test]
+    fn force_zeta_consistency() {
+        let p = si_param();
+        let r = 2.4;
+        let zeta = 2.0;
+        let (energy, de_dr, de_dzeta) = force_zeta(&p, r, zeta);
+        assert!(energy < 0.0, "attractive energy must be negative");
+        let numeric_r = numdiff(|x| force_zeta(&p, x, zeta).0, r);
+        let numeric_z = numdiff(|z| force_zeta(&p, r, z).0, zeta);
+        assert!((de_dr - numeric_r).abs() < 1e-5 * (1.0 + numeric_r.abs()));
+        assert!((de_dzeta - numeric_z).abs() < 1e-6 * (1.0 + numeric_z.abs()));
+    }
+
+    #[test]
+    fn zeta_gradients_match_numerical_gradients() {
+        for p in [si_param(), si_b_param()] {
+            let xi = [0.0, 0.0, 0.0];
+            let xj = [2.3, 0.3, -0.2];
+            let xk = [0.4, 2.2, 0.5];
+
+            let zeta_of = |xi: [f64; 3], xj: [f64; 3], xk: [f64; 3]| {
+                let del_ij = [xj[0] - xi[0], xj[1] - xi[1], xj[2] - xi[2]];
+                let del_ik = [xk[0] - xi[0], xk[1] - xi[1], xk[2] - xi[2]];
+                let rij = (del_ij.iter().map(|x| x * x).sum::<f64>()).sqrt();
+                let rik = (del_ik.iter().map(|x| x * x).sum::<f64>()).sqrt();
+                let cos = (del_ij[0] * del_ik[0] + del_ij[1] * del_ik[1] + del_ij[2] * del_ik[2])
+                    / (rij * rik);
+                zeta_term(&p, rij, rik, cos)
+            };
+
+            let del_ij = [xj[0], xj[1], xj[2]];
+            let del_ik = [xk[0], xk[1], xk[2]];
+            let rij = (del_ij.iter().map(|x| x * x).sum::<f64>()).sqrt();
+            let rik = (del_ik.iter().map(|x| x * x).sum::<f64>()).sqrt();
+            let (zeta, grad_j, grad_k) = zeta_term_and_gradients(&p, del_ij, rij, del_ik, rik);
+            assert!((zeta - zeta_of(xi, xj, xk)).abs() < 1e-12);
+
+            let h = 1e-6;
+            for d in 0..3 {
+                let mut xp = xj;
+                let mut xm = xj;
+                xp[d] += h;
+                xm[d] -= h;
+                let num = (zeta_of(xi, xp, xk) - zeta_of(xi, xm, xk)) / (2.0 * h);
+                assert!(
+                    (grad_j[d] - num).abs() < 1e-5 * (1.0 + num.abs()),
+                    "grad_j[{d}]: {} vs {num}",
+                    grad_j[d]
+                );
+
+                let mut xp = xk;
+                let mut xm = xk;
+                xp[d] += h;
+                xm[d] -= h;
+                let num = (zeta_of(xi, xj, xp) - zeta_of(xi, xj, xm)) / (2.0 * h);
+                assert!(
+                    (grad_k[d] - num).abs() < 1e-5 * (1.0 + num.abs()),
+                    "grad_k[{d}]: {} vs {num}",
+                    grad_k[d]
+                );
+
+                // Gradient w.r.t. x_i is −(∇_j + ∇_k).
+                let mut xp = xi;
+                let mut xm = xi;
+                xp[d] += h;
+                xm[d] -= h;
+                let num = (zeta_of(xp, xj, xk) - zeta_of(xm, xj, xk)) / (2.0 * h);
+                let grad_i = -(grad_j[d] + grad_k[d]);
+                assert!(
+                    (grad_i - num).abs() < 1e-5 * (1.0 + num.abs()),
+                    "grad_i[{d}]: {grad_i} vs {num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_precision_matches_double_to_expected_accuracy() {
+        let pd = si_param();
+        let ps: ParamT<f32> = ParamT::from_param(TersoffParams::silicon().pair(0, 0));
+        for r in [2.0f64, 2.4, 2.8] {
+            let (ed, _) = repulsive(&pd, r);
+            let (es, _) = repulsive(&ps, r as f32);
+            assert!(((es as f64 - ed) / ed).abs() < 1e-5);
+            let bd = bij(&pd, 1.3);
+            let bs = bij(&ps, 1.3f32);
+            assert!(((bs as f64 - bd) / bd).abs() < 1e-5);
+        }
+    }
+}

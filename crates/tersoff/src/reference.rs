@@ -1,0 +1,303 @@
+//! The reference Tersoff implementation (`Ref` in the paper's terminology).
+//!
+//! This mirrors the implementation shipped with LAMMPS: double precision, the
+//! triple-loop structure of Algorithm 2, no pre-computation of the ζ
+//! derivatives (the second K loop recomputes them), no neighbor-list
+//! filtering (skin atoms are rejected inside the loops by cutoff tests), and
+//! parameter lookup through the full (i, j, k) indirection on every access.
+//! Every optimized variant in this crate is validated against it.
+
+use crate::functions::{self, ParamT};
+use crate::params::TersoffParams;
+use md_core::atom::AtomData;
+use md_core::neighbor::NeighborList;
+use md_core::potential::{ComputeOutput, Potential};
+use md_core::simbox::SimBox;
+
+/// The unoptimized double-precision Tersoff potential.
+#[derive(Clone, Debug)]
+pub struct TersoffRef {
+    params: TersoffParams,
+}
+
+impl TersoffRef {
+    /// Create from a parameter set.
+    pub fn new(params: TersoffParams) -> Self {
+        TersoffRef { params }
+    }
+
+    /// The parameter set in use.
+    pub fn params(&self) -> &TersoffParams {
+        &self.params
+    }
+
+    #[inline]
+    fn param(&self, ti: usize, tj: usize, tk: usize) -> ParamT<f64> {
+        ParamT::from_param(self.params.triplet(ti, tj, tk))
+    }
+}
+
+impl Potential for TersoffRef {
+    fn name(&self) -> String {
+        "tersoff/ref".to_string()
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.params.max_cutoff
+    }
+
+    fn compute(
+        &mut self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        out: &mut ComputeOutput,
+    ) {
+        out.reset(atoms.n_total());
+
+        for i in 0..atoms.n_local {
+            let xi = atoms.x[i];
+            let ti = atoms.type_[i];
+            let jlist = neighbors.neighbors_of(i);
+
+            for &j in jlist {
+                let tj = atoms.type_[j];
+                let p_ij = self.param(ti, tj, tj);
+                let del_ij = sim_box.min_image(xi, atoms.x[j]);
+                let rsq_ij = del_ij[0] * del_ij[0] + del_ij[1] * del_ij[1] + del_ij[2] * del_ij[2];
+                if rsq_ij >= p_ij.cutsq {
+                    continue;
+                }
+                let rij = rsq_ij.sqrt();
+
+                // First K loop: accumulate ζ_ij (Algorithm 2 keeps only the
+                // scalar sum here and recomputes the per-k terms later).
+                let mut zeta_ij = 0.0;
+                for &k in jlist {
+                    if k == j {
+                        continue;
+                    }
+                    let tk = atoms.type_[k];
+                    let p_ijk = self.param(ti, tj, tk);
+                    let del_ik = sim_box.min_image(xi, atoms.x[k]);
+                    let rsq_ik =
+                        del_ik[0] * del_ik[0] + del_ik[1] * del_ik[1] + del_ik[2] * del_ik[2];
+                    if rsq_ik >= p_ijk.cutsq {
+                        continue;
+                    }
+                    let rik = rsq_ik.sqrt();
+                    let cos_theta = (del_ij[0] * del_ik[0]
+                        + del_ij[1] * del_ik[1]
+                        + del_ij[2] * del_ik[2])
+                        / (rij * rik);
+                    zeta_ij += functions::zeta_term(&p_ijk, rij, rik, cos_theta);
+                }
+
+                // Pair terms: repulsive + bond-order-weighted attractive.
+                let (e_rep, de_rep) = functions::repulsive(&p_ij, rij);
+                let (e_att, de_att, de_dzeta) = functions::force_zeta(&p_ij, rij, zeta_ij);
+                out.energy += e_rep + e_att;
+
+                // F_i = (dE/dr)·(x_j − x_i)/r ; F_j the opposite.
+                let fpair = (de_rep + de_att) / rij;
+                for d in 0..3 {
+                    out.forces[i][d] += fpair * del_ij[d];
+                    out.forces[j][d] -= fpair * del_ij[d];
+                }
+                out.virial -= fpair * rsq_ij;
+
+                // Second K loop: apply the ζ-gradient forces with the
+                // prefactor δζ = ∂E/∂ζ.
+                let prefactor = -de_dzeta;
+                for &k in jlist {
+                    if k == j {
+                        continue;
+                    }
+                    let tk = atoms.type_[k];
+                    let p_ijk = self.param(ti, tj, tk);
+                    let del_ik = sim_box.min_image(xi, atoms.x[k]);
+                    let rsq_ik =
+                        del_ik[0] * del_ik[0] + del_ik[1] * del_ik[1] + del_ik[2] * del_ik[2];
+                    if rsq_ik >= p_ijk.cutsq {
+                        continue;
+                    }
+                    let rik = rsq_ik.sqrt();
+                    let (_, grad_j, grad_k) =
+                        functions::zeta_term_and_gradients(&p_ijk, del_ij, rij, del_ik, rik);
+                    for d in 0..3 {
+                        let fj = prefactor * grad_j[d];
+                        let fk = prefactor * grad_k[d];
+                        let fi = -(fj + fk);
+                        out.forces[i][d] += fi;
+                        out.forces[j][d] += fj;
+                        out.forces[k][d] += fk;
+                        out.virial += del_ij[d] * fj + del_ik[d] * fk;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::lattice::Lattice;
+    use md_core::neighbor::NeighborSettings;
+
+    fn compute_on(
+        lattice_cells: [usize; 3],
+        perturb: f64,
+        seed: u64,
+    ) -> (ComputeOutput, AtomData, SimBox) {
+        let (sim_box, atoms) = Lattice::silicon(lattice_cells).build_perturbed(perturb, seed);
+        let mut pot = TersoffRef::new(TersoffParams::silicon());
+        let list = NeighborList::build_binned(
+            &atoms,
+            &sim_box,
+            NeighborSettings::new(pot.cutoff(), 1.0),
+        );
+        let mut out = ComputeOutput::zeros(atoms.n_total());
+        pot.compute(&atoms, &sim_box, &list, &mut out);
+        (out, atoms, sim_box)
+    }
+
+    #[test]
+    fn cohesive_energy_of_perfect_silicon() {
+        // The Tersoff Si(C) parameterization gives a cohesive energy of
+        // ≈ −4.63 eV/atom for the ideal diamond structure.
+        let (out, atoms, _) = compute_on([2, 2, 2], 0.0, 0);
+        let e_per_atom = out.energy / atoms.n_local as f64;
+        assert!(
+            (e_per_atom + 4.63).abs() < 0.05,
+            "cohesive energy {e_per_atom} eV/atom"
+        );
+    }
+
+    #[test]
+    fn forces_vanish_on_perfect_lattice() {
+        let (out, _, _) = compute_on([2, 2, 2], 0.0, 0);
+        assert!(
+            out.max_force_component() < 1e-9,
+            "max |F| = {}",
+            out.max_force_component()
+        );
+    }
+
+    #[test]
+    fn net_force_is_zero_on_perturbed_lattice() {
+        let (out, _, _) = compute_on([2, 2, 2], 0.08, 3);
+        let net = out.net_force();
+        for d in 0..3 {
+            assert!(net[d].abs() < 1e-9, "net force {net:?}");
+        }
+        // And forces are now definitely non-zero.
+        assert!(out.max_force_component() > 1e-3);
+    }
+
+    #[test]
+    fn forces_match_numerical_gradient_of_energy() {
+        // Move a single atom along each axis and compare the analytic force
+        // to the central difference of the total energy.
+        let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.05, 11);
+        let mut pot = TersoffRef::new(TersoffParams::silicon());
+        let settings = NeighborSettings::new(pot.cutoff(), 1.0);
+
+        let energy_of = |atoms: &AtomData| {
+            let list = NeighborList::build_binned(atoms, &sim_box, settings);
+            let mut out = ComputeOutput::zeros(atoms.n_total());
+            let mut p = TersoffRef::new(TersoffParams::silicon());
+            p.compute(atoms, &sim_box, &list, &mut out);
+            out.energy
+        };
+
+        let list = NeighborList::build_binned(&atoms, &sim_box, settings);
+        let mut out = ComputeOutput::zeros(atoms.n_total());
+        pot.compute(&atoms, &sim_box, &list, &mut out);
+
+        let h = 1e-5;
+        for &atom in &[0usize, 7, 33] {
+            for d in 0..3 {
+                let mut plus = atoms.clone();
+                plus.x[atom][d] += h;
+                let mut minus = atoms.clone();
+                minus.x[atom][d] -= h;
+                let numeric = -(energy_of(&plus) - energy_of(&minus)) / (2.0 * h);
+                let analytic = out.forces[atom][d];
+                assert!(
+                    (analytic - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                    "atom {atom} dim {d}: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_invariant_under_rigid_translation() {
+        let (sim_box, mut atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.05, 5);
+        let mut pot = TersoffRef::new(TersoffParams::silicon());
+        let settings = NeighborSettings::new(pot.cutoff(), 1.0);
+        let list = NeighborList::build_binned(&atoms, &sim_box, settings);
+        let mut out1 = ComputeOutput::zeros(atoms.n_total());
+        pot.compute(&atoms, &sim_box, &list, &mut out1);
+
+        for x in atoms.x.iter_mut() {
+            *x = sim_box.wrap([x[0] + 1.37, x[1] - 0.52, x[2] + 3.1]);
+        }
+        let list = NeighborList::build_binned(&atoms, &sim_box, settings);
+        let mut out2 = ComputeOutput::zeros(atoms.n_total());
+        pot.compute(&atoms, &sim_box, &list, &mut out2);
+
+        assert!((out1.energy - out2.energy).abs() < 1e-8 * out1.energy.abs());
+    }
+
+    #[test]
+    fn isolated_dimer_has_no_three_body_term() {
+        // Two atoms only: ζ = 0, b = 1, so the energy reduces to
+        // f_C(r)[f_R(r) − B e^{−λ₂ r}] exactly.
+        let sim_box = SimBox::cubic(50.0);
+        let mut atoms = AtomData::new();
+        let r = 2.35;
+        atoms.push_local([10.0, 10.0, 10.0], [0.0; 3], 0, 1);
+        atoms.push_local([10.0 + r, 10.0, 10.0], [0.0; 3], 0, 2);
+        let mut pot = TersoffRef::new(TersoffParams::silicon());
+        let list = NeighborList::build_binned(
+            &atoms,
+            &sim_box,
+            NeighborSettings::new(pot.cutoff(), 0.5),
+        );
+        let mut out = ComputeOutput::zeros(2);
+        pot.compute(&atoms, &sim_box, &list, &mut out);
+
+        let p = ParamT::<f64>::from_param(TersoffParams::silicon().pair(0, 0));
+        let expected = functions::fc(&p, r)
+            * (p.biga * (-p.lam1 * r).exp() - p.bigb * (-p.lam2 * r).exp());
+        assert!(
+            (out.energy - expected).abs() < 1e-10,
+            "dimer energy {} vs {}",
+            out.energy,
+            expected
+        );
+        // Forces are equal and opposite along the bond.
+        assert!((out.forces[0][0] + out.forces[1][0]).abs() < 1e-12);
+        assert!(out.forces[0][1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn multispecies_sic_runs_and_is_translation_invariant() {
+        let (sim_box, atoms) = Lattice::silicon_carbide([2, 2, 2]).build_perturbed(0.03, 9);
+        let mut pot = TersoffRef::new(TersoffParams::silicon_carbide());
+        let list = NeighborList::build_binned(
+            &atoms,
+            &sim_box,
+            NeighborSettings::new(pot.cutoff(), 1.0),
+        );
+        let mut out = ComputeOutput::zeros(atoms.n_total());
+        pot.compute(&atoms, &sim_box, &list, &mut out);
+        assert!(out.energy < 0.0, "SiC crystal should be bound, E = {}", out.energy);
+        let net = out.net_force();
+        for d in 0..3 {
+            assert!(net[d].abs() < 1e-9);
+        }
+    }
+}

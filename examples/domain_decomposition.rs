@@ -1,0 +1,64 @@
+//! Domain decomposition example: split a silicon crystal over a grid of
+//! ranks (the in-process analog of LAMMPS' MPI decomposition used by the
+//! paper's node and cluster runs), exchange ghost atoms, compute Tersoff
+//! forces per rank, fold ghost forces back, and verify the result against a
+//! single-domain computation.
+//!
+//! ```bash
+//! cargo run --release --example domain_decomposition
+//! ```
+
+use lammps_tersoff_vector::prelude::*;
+use md_core::decomposition::DecomposedSystem;
+use md_core::neighbor::{NeighborList, NeighborSettings};
+use md_core::potential::ComputeOutput;
+
+fn main() {
+    let (sim_box, atoms) = Lattice::silicon([4, 4, 4]).build_perturbed(0.05, 21);
+    println!("system: {} Si atoms, box {:.2} Å", atoms.n_local, sim_box.lengths()[0]);
+
+    // Single-domain reference forces.
+    let params = TersoffParams::silicon();
+    let skin = 1.0;
+    let mut single = TersoffRef::new(params.clone());
+    let list = NeighborList::build_binned(
+        &atoms,
+        &sim_box,
+        NeighborSettings::new(params.max_cutoff, skin),
+    );
+    let mut reference = ComputeOutput::zeros(atoms.n_total());
+    single.compute(&atoms, &sim_box, &list, &mut reference);
+    println!("single-domain energy: {:.6} eV", reference.energy);
+
+    println!(
+        "\n{:<10} {:>8} {:>12} {:>14} {:>16} {:>12}",
+        "grid", "ranks", "ghost frac", "energy (eV)", "max |ΔF| (eV/Å)", "comm (ms)"
+    );
+    for grid in [[1, 1, 1], [2, 1, 1], [2, 2, 1], [2, 2, 2]] {
+        let mut dec = DecomposedSystem::new(&atoms, sim_box, grid);
+        dec.exchange_ghosts(params.max_cutoff + skin);
+        dec.compute_forces(|| TersoffRef::new(params.clone()), skin);
+
+        let forces = dec.collect_forces();
+        let mut max_diff = 0.0f64;
+        for i in 0..atoms.n_local {
+            let f = forces[&atoms.id[i]];
+            for d in 0..3 {
+                max_diff = max_diff.max((f[d] - reference.forces[i][d]).abs());
+            }
+        }
+        println!(
+            "{:<10} {:>8} {:>12.3} {:>14.6} {:>16.3e} {:>12.3}",
+            format!("{}x{}x{}", grid[0], grid[1], grid[2]),
+            dec.n_ranks(),
+            dec.ghost_fraction(),
+            dec.total_energy(),
+            max_diff,
+            dec.timers.seconds(Stage::Comm) * 1e3
+        );
+    }
+
+    println!("\nEvery decomposition reproduces the single-domain energy and forces;");
+    println!("the growing ghost fraction is the surface-to-volume communication cost");
+    println!("behind the strong-scaling behaviour of the paper's Fig. 9.");
+}

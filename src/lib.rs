@@ -1,0 +1,70 @@
+//! # lammps-tersoff-vector
+//!
+//! A from-scratch Rust reproduction of *The Vectorization of the Tersoff
+//! Multi-Body Potential: An Exercise in Performance Portability*
+//! (Höhnerbach, Ismail, Bientinesi — SC'16).
+//!
+//! The workspace is organized as four library crates plus a benchmark
+//! harness; this facade crate re-exports their public APIs and hosts the
+//! runnable examples and the cross-crate integration tests:
+//!
+//! * [`vektor`] — the portable vector abstraction (the paper's "building
+//!   blocks": vector-wide conditionals, in-register reductions, conflict
+//!   write handling, adjacent gathers).
+//! * [`md_core`] — the molecular-dynamics substrate standing in for LAMMPS
+//!   (atoms, box, lattices, neighbor lists, velocity-Verlet, thermo, timers,
+//!   domain decomposition).
+//! * [`tersoff`] — the Tersoff potential: reference, scalar-optimized
+//!   (Algorithm 3) and the three vectorization schemes (1a/1b/1c), in double,
+//!   single and mixed precision.
+//! * [`arch_model`] — the machines of Tables I–III and the analytic cost
+//!   model used to project the cross-architecture figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lammps_tersoff_vector::prelude::*;
+//!
+//! // Build a small perturbed silicon crystal...
+//! let (sim_box, mut atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.05, 42);
+//! init_velocities(&mut atoms, &[units::mass::SI], 300.0, 1);
+//!
+//! // ...pick the paper's Opt-M execution mode (scheme 1b, 16 f32 lanes)...
+//! let potential = make_potential(TersoffParams::silicon(), TersoffOptions::default());
+//!
+//! // ...and run a short NVE simulation.
+//! let config = SimulationConfig::default();
+//! let mut sim = Simulation::new(atoms, sim_box, potential, config);
+//! sim.run(10);
+//! assert!(sim.drift.max_relative_drift() < 1e-3);
+//! ```
+
+pub use arch_model;
+pub use md_core;
+pub use tersoff;
+pub use vektor;
+
+/// One-stop prelude for the examples and downstream users.
+pub mod prelude {
+    pub use arch_model::prelude::*;
+    pub use md_core::prelude::*;
+    pub use tersoff::prelude::*;
+    pub use vektor::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_pulls_in_all_crates() {
+        let params = TersoffParams::silicon();
+        assert_eq!(params.n_elements(), 1);
+        let machine = Machine::haswell();
+        assert_eq!(machine.name, "HW");
+        let v: SimdF<f64, 4> = SimdF::splat(1.0);
+        assert_eq!(v.horizontal_sum(), 4.0);
+        let lattice = Lattice::silicon([1, 1, 1]);
+        assert_eq!(lattice.n_atoms(), 8);
+    }
+}
