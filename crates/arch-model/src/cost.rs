@@ -72,8 +72,7 @@ impl WorkloadShape {
 
     /// Flop-equivalents of optimized code per MD step.
     pub fn work_per_step(&self, model: &CostModel) -> f64 {
-        let per_pair = model.flops_per_pair
-            + 2.0 * self.neighbors_per_atom * model.flops_per_zeta;
+        let per_pair = model.flops_per_pair + 2.0 * self.neighbors_per_atom * model.flops_per_zeta;
         self.n_atoms as f64 * self.neighbors_per_atom * per_pair
     }
 }
@@ -221,8 +220,7 @@ impl CostModel {
     /// the communication fraction.
     pub fn node_ns_per_day(&self, machine: &Machine, mode: Mode, workload: &WorkloadShape) -> f64 {
         let work = workload.work_per_step(self) * self.ref_overhead;
-        let scalar_rate =
-            machine.cores as f64 * machine.freq_ghz * 1e9 * machine.core_efficiency;
+        let scalar_rate = machine.cores as f64 * machine.freq_ghz * 1e9 * machine.core_efficiency;
         let compute = work / (scalar_rate * self.kernel_speedup(machine.isa, mode));
         // Communication does not shrink with the kernel optimizations; its
         // absolute cost is a fraction of the *reference* step time.
@@ -236,11 +234,7 @@ impl CostModel {
         machine
             .accelerator
             .map(|acc| {
-                acc.count as f64
-                    * acc.cores as f64
-                    * acc.freq_ghz
-                    * 1e9
-                    * acc.core_efficiency
+                acc.count as f64 * acc.cores as f64 * acc.freq_ghz * 1e9 * acc.core_efficiency
             })
             .unwrap_or(0.0)
     }
@@ -261,7 +255,9 @@ impl CostModel {
             * self.kernel_speedup(machine.isa, mode);
         let acc_isa = machine.accelerator.map(|a| a.isa);
         let acc_rate = self.accelerator_rate(machine)
-            * acc_isa.map(|isa| self.kernel_speedup(isa, mode)).unwrap_or(1.0);
+            * acc_isa
+                .map(|isa| self.kernel_speedup(isa, mode))
+                .unwrap_or(1.0);
         let combined = host_rate + acc_rate;
         let reference_step =
             work / (machine.cores as f64 * machine.freq_ghz * 1e9 * machine.core_efficiency);
@@ -305,9 +301,9 @@ impl CostModel {
             * precision_rate
             * scalar_opt
             * warp_lanes.powf(self.vector_exponent);
-        let seconds = work / rate + work
-            / (machine.cores as f64 * machine.freq_ghz * 1e9 * machine.core_efficiency)
-            * self.offload_overhead;
+        let seconds = work / rate
+            + work / (machine.cores as f64 * machine.freq_ghz * 1e9 * machine.core_efficiency)
+                * self.offload_overhead;
         ns_per_day(workload.timestep_ps, seconds)
     }
 
@@ -488,8 +484,14 @@ mod tests {
             / m.node_ns_per_day(&knc, Mode::Ref, &workload);
         let knl_speedup = m.node_ns_per_day(&knl, Mode::OptM, &workload)
             / m.node_ns_per_day(&knl, Mode::Ref, &workload);
-        assert!((3.5..6.5).contains(&knc_speedup), "KNC speedup {knc_speedup}");
-        assert!((3.5..6.5).contains(&knl_speedup), "KNL speedup {knl_speedup}");
+        assert!(
+            (3.5..6.5).contains(&knc_speedup),
+            "KNC speedup {knc_speedup}"
+        );
+        assert!(
+            (3.5..6.5).contains(&knl_speedup),
+            "KNL speedup {knl_speedup}"
+        );
         let generation_gain = m.node_ns_per_day(&knl, Mode::OptM, &workload)
             / m.node_ns_per_day(&knc, Mode::OptM, &workload);
         assert!(
@@ -538,8 +540,16 @@ mod tests {
         let ref8 = m.cluster_ns_per_day(&node, Mode::Ref, false, 8, &workload);
         let opt8 = m.cluster_ns_per_day(&node, Mode::OptD, false, 8, &workload);
         let acc8 = m.cluster_ns_per_day(&node, Mode::OptD, true, 8, &workload);
-        assert!((1.8..3.5).contains(&(opt8 / ref8)), "CPU-only speedup {}", opt8 / ref8);
-        assert!((3.5..9.0).contains(&(acc8 / ref8)), "accelerated speedup {}", acc8 / ref8);
+        assert!(
+            (1.8..3.5).contains(&(opt8 / ref8)),
+            "CPU-only speedup {}",
+            opt8 / ref8
+        );
+        assert!(
+            (3.5..9.0).contains(&(acc8 / ref8)),
+            "accelerated speedup {}",
+            acc8 / ref8
+        );
     }
 
     #[test]
@@ -551,7 +561,9 @@ mod tests {
             &WorkloadShape::silicon(32_000),
         );
         assert_eq!(rows.len(), 6 * 4);
-        assert!(rows.iter().all(|r| r.ns_per_day.is_finite() && r.ns_per_day > 0.0));
+        assert!(rows
+            .iter()
+            .all(|r| r.ns_per_day.is_finite() && r.ns_per_day > 0.0));
     }
 
     #[test]

@@ -19,13 +19,25 @@ fn bench_fast_forward(c: &mut Criterion) {
 
     let mut with_ff = TersoffSchemeB::<f32, f64, 16>::new(TersoffParams::silicon());
     group.bench_function("scheme_b_w16_fast_forward", |b| {
-        b.iter(|| with_ff.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+        b.iter(|| {
+            with_ff.compute(
+                &workload.atoms,
+                &workload.sim_box,
+                &workload.neighbors,
+                &mut out,
+            )
+        })
     });
     let mut without_ff =
         TersoffSchemeB::<f32, f64, 16>::new(TersoffParams::silicon()).without_fast_forward();
     group.bench_function("scheme_b_w16_naive_iteration", |b| {
         b.iter(|| {
-            without_ff.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out)
+            without_ff.compute(
+                &workload.atoms,
+                &workload.sim_box,
+                &workload.neighbors,
+                &mut out,
+            )
         })
     });
     group.finish();

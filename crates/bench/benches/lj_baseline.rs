@@ -20,11 +20,25 @@ fn bench_lj_vs_tersoff(c: &mut Criterion) {
 
     let mut lj = LennardJones::new(0.1, 2.0, 3.0);
     group.bench_function("lennard_jones_pair", |b| {
-        b.iter(|| lj.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+        b.iter(|| {
+            lj.compute(
+                &workload.atoms,
+                &workload.sim_box,
+                &workload.neighbors,
+                &mut out,
+            )
+        })
     });
     let mut tersoff = TersoffRef::new(TersoffParams::silicon());
     group.bench_function("tersoff_multibody_ref", |b| {
-        b.iter(|| tersoff.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+        b.iter(|| {
+            tersoff.compute(
+                &workload.atoms,
+                &workload.sim_box,
+                &workload.neighbors,
+                &mut out,
+            )
+        })
     });
     group.finish();
 }

@@ -19,15 +19,36 @@ fn bench_precision(c: &mut Criterion) {
 
     let mut opt_d = TersoffSchemeB::<f64, f64, 8>::new(TersoffParams::silicon());
     group.bench_function("opt_d_w8", |b| {
-        b.iter(|| opt_d.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+        b.iter(|| {
+            opt_d.compute(
+                &workload.atoms,
+                &workload.sim_box,
+                &workload.neighbors,
+                &mut out,
+            )
+        })
     });
     let mut opt_s = TersoffSchemeB::<f32, f32, 16>::new(TersoffParams::silicon());
     group.bench_function("opt_s_w16", |b| {
-        b.iter(|| opt_s.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+        b.iter(|| {
+            opt_s.compute(
+                &workload.atoms,
+                &workload.sim_box,
+                &workload.neighbors,
+                &mut out,
+            )
+        })
     });
     let mut opt_m = TersoffSchemeB::<f32, f64, 16>::new(TersoffParams::silicon());
     group.bench_function("opt_m_w16", |b| {
-        b.iter(|| opt_m.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out))
+        b.iter(|| {
+            opt_m.compute(
+                &workload.atoms,
+                &workload.sim_box,
+                &workload.neighbors,
+                &mut out,
+            )
+        })
     });
     group.finish();
 }

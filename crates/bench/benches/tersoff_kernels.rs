@@ -1,13 +1,15 @@
 //! Kernel-level comparison of the Tersoff implementations: the reference
 //! (Algorithm 2), the scalar-optimized variant (Algorithm 3) and the three
 //! vectorization schemes, all in double precision on the same silicon
-//! workload. This is the microbenchmark behind the paper's "isolated kernel"
+//! workload, plus the thread-parallel force engine around the default Opt-M
+//! kernel. This is the microbenchmark behind the paper's "isolated kernel"
 //! speedup quotes.
 
 use bench::SiliconWorkload;
 use criterion::{criterion_group, criterion_main, Criterion};
 use md_core::potential::{ComputeOutput, Potential};
 use std::time::Duration;
+use tersoff::driver::{make_potential, TersoffOptions};
 use tersoff::params::TersoffParams;
 use tersoff::reference::TersoffRef;
 use tersoff::scalar_opt::TersoffOptD;
@@ -40,7 +42,10 @@ fn bench_kernels(c: &mut Criterion) {
     }
 
     bench_impl!("ref_algorithm2", TersoffRef::new(TersoffParams::silicon()));
-    bench_impl!("scalar_opt_algorithm3", TersoffOptD::new(TersoffParams::silicon()));
+    bench_impl!(
+        "scalar_opt_algorithm3",
+        TersoffOptD::new(TersoffParams::silicon())
+    );
     bench_impl!(
         "scheme_a_w4_double",
         TersoffSchemeA::<f64, f64, 4>::new(TersoffParams::silicon())
@@ -53,6 +58,17 @@ fn bench_kernels(c: &mut Criterion) {
         "scheme_c_w8_double",
         TersoffSchemeC::<f64, f64, 8>::new(TersoffParams::silicon())
     );
+    // The threaded engine around the default Opt-M/1b kernel: the
+    // thread-scaling axis of Fig. 5 at kernel granularity.
+    for threads in [1usize, 2, 4] {
+        bench_impl!(
+            &format!("opt_m_1b_engine_t{threads}"),
+            make_potential(
+                TersoffParams::silicon(),
+                TersoffOptions::default().with_threads(threads),
+            )
+        );
+    }
     group.finish();
 }
 

@@ -5,6 +5,8 @@
 //! aggregate statistics the picture conveys — how many K-loop iterations
 //! compute versus spin, and how full the vector is when computation happens.
 
+#![allow(clippy::needless_range_loop)] // stencil-style 0..3 loops are intentional
+
 use bench::{figure_header, SiliconWorkload};
 use md_core::potential::{ComputeOutput, Potential};
 use tersoff::params::TersoffParams;
@@ -27,24 +29,58 @@ fn main() {
         .with_stats();
     let mut fast = TersoffSchemeB::<f32, f64, 16>::new(TersoffParams::silicon()).with_stats();
     let mut out = ComputeOutput::zeros(workload.atoms.n_total());
-    naive.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out);
-    fast.compute(&workload.atoms, &workload.sim_box, &workload.neighbors, &mut out);
+    naive.compute(
+        &workload.atoms,
+        &workload.sim_box,
+        &workload.neighbors,
+        &mut out,
+    );
+    fast.compute(
+        &workload.atoms,
+        &workload.sim_box,
+        &workload.neighbors,
+        &mut out,
+    );
 
     println!(
         "{:<38} {:>16} {:>16}",
         "", "naive (Fig.2 left)", "fast-forward (right)"
     );
     println!("{:-<72}", "");
+    #[allow(clippy::type_complexity)]
     let rows: [(&str, Box<dyn Fn(&tersoff::stats::KernelStats) -> String>); 6] = [
-        ("pair-level lane occupancy", Box::new(|s| format!("{:.1}%", 100.0 * s.pair_occupancy()))),
-        ("K iterations (compute)", Box::new(|s| format!("{}", s.k_compute_iterations))),
-        ("K iterations (spin only)", Box::new(|s| format!("{}", s.k_spin_iterations))),
-        ("K spin fraction", Box::new(|s| format!("{:.1}%", 100.0 * s.k_spin_fraction()))),
-        ("mean active lanes per compute", Box::new(|s| format!("{:.2}", s.k_mean_active_lanes()))),
-        ("K-loop occupancy", Box::new(|s| format!("{:.1}%", 100.0 * s.k_occupancy()))),
+        (
+            "pair-level lane occupancy",
+            Box::new(|s| format!("{:.1}%", 100.0 * s.pair_occupancy())),
+        ),
+        (
+            "K iterations (compute)",
+            Box::new(|s| format!("{}", s.k_compute_iterations)),
+        ),
+        (
+            "K iterations (spin only)",
+            Box::new(|s| format!("{}", s.k_spin_iterations)),
+        ),
+        (
+            "K spin fraction",
+            Box::new(|s| format!("{:.1}%", 100.0 * s.k_spin_fraction())),
+        ),
+        (
+            "mean active lanes per compute",
+            Box::new(|s| format!("{:.2}", s.k_mean_active_lanes())),
+        ),
+        (
+            "K-loop occupancy",
+            Box::new(|s| format!("{:.1}%", 100.0 * s.k_occupancy())),
+        ),
     ];
     for (label, f) in rows {
-        println!("{:<38} {:>16} {:>16}", label, f(&naive.stats), f(&fast.stats));
+        println!(
+            "{:<38} {:>16} {:>16}",
+            label,
+            f(&naive.stats),
+            f(&fast.stats)
+        );
     }
 
     println!("\nactive-lane histogram of computing K iterations (lanes: count)");

@@ -23,6 +23,7 @@ fn total_energy_series(mode: ExecutionMode, steps: u64, every: u64) -> Vec<(u64,
             mode,
             scheme: Scheme::FusedLanes,
             width: 0,
+            threads: 1,
         },
     );
     let mut sim = Simulation::new(
@@ -36,7 +37,10 @@ fn total_energy_series(mode: ExecutionMode, steps: u64, every: u64) -> Vec<(u64,
         },
     );
     sim.run(steps);
-    sim.thermo_history.iter().map(|t| (t.step, t.total)).collect()
+    sim.thermo_history
+        .iter()
+        .map(|t| (t.step, t.total))
+        .collect()
 }
 
 fn main() {
@@ -54,7 +58,10 @@ fn main() {
     let d = total_energy_series(ExecutionMode::OptD, steps, every);
     let s = total_energy_series(ExecutionMode::OptS, steps, every);
 
-    println!("{:>10} {:>18} {:>18} {:>14}", "step", "E_double (eV)", "E_single (eV)", "|ΔE|/|E|");
+    println!(
+        "{:>10} {:>18} {:>18} {:>14}",
+        "step", "E_double (eV)", "E_single (eV)", "|ΔE|/|E|"
+    );
     let mut worst = 0.0f64;
     for ((step, ed), (_, es)) in d.iter().zip(s.iter()) {
         let rel = ((es - ed) / ed).abs();

@@ -1,17 +1,112 @@
-//! Figure 5: single-node execution (all cores, MPI), Ref vs Opt-M, 512 000
-//! atoms, across WM / SB / HW / HW2 / BW. The paper annotates the speedups
-//! 3.18×, 5.00×, 3.15×, 2.69×, 2.95×.
+//! Figure 5: single-node execution, Ref vs Opt-M across threads.
+//!
+//! The paper's figure runs 512 000 Si atoms on all cores of WM / SB / HW /
+//! HW2 / BW and annotates the Ref→Opt-M speedups 3.18×, 5.00×, 3.15×, 2.69×,
+//! 2.95×. This reproduction measures the **real implementation** — the
+//! thread-parallel force engine around the paper's default kernels — on the
+//! host machine with a thread sweep, then prints the cost-model projection
+//! for the paper's machines as context. Results are also written to
+//! `BENCH_fig5_single_node.json` so later changes can track the trajectory.
+//!
+//! The default workload is a 6×6×6-cell (1728-atom) perturbed silicon
+//! crystal so the binary finishes in seconds; pass a cell count to scale up
+//! (e.g. `fig5_single_node 40` ≈ 512 000 atoms, the paper's size).
 
 use arch_model::cost::{CostModel, Mode, WorkloadShape};
 use arch_model::machines::Machine;
-use bench::{figure_header, row, row_header};
+use bench::{figure_header, mode_options, row, row_header, write_bench_json, SiliconWorkload};
+use md_core::lattice::Lattice;
+use tersoff::driver::ExecutionMode;
 
 fn main() {
+    let cells: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6)
+        .max(1);
+    let n_atoms = Lattice::silicon([cells, cells, cells]).n_atoms();
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     figure_header(
         "Figure 5",
-        "single-node execution, Ref vs Opt-M (512 000 Si atoms)",
-        "projected from the cost model; paper speedup labels shown for comparison",
+        "single-node execution, Ref vs Opt-M, thread sweep (measured)",
+        &format!(
+            "{cells}x{cells}x{cells} cells = {n_atoms} perturbed Si atoms, \
+             {parallelism} CPUs available"
+        ),
     );
+
+    let workload = SiliconWorkload::new(n_atoms);
+    let reps = (200_000 / n_atoms).clamp(2, 20);
+    let mut threads_axis = vec![1usize, 2, 4, 8, 16];
+    threads_axis.retain(|&t| t == 1 || t <= 2 * parallelism);
+
+    println!(
+        "{:<8} {:>8} {:>14} {:>12} {:>14} {:>16}",
+        "mode", "threads", "s/step", "ns/day", "scaling vs t1", "vs Ref same t"
+    );
+    println!("{:-<76}", "");
+
+    let mut json_rows = String::new();
+    let mut ref_times = Vec::new();
+    for mode in [ExecutionMode::Ref, ExecutionMode::OptM] {
+        let mut t1 = 0.0f64;
+        for (axis_idx, &threads) in threads_axis.iter().enumerate() {
+            let seconds = workload.time_mode_threads(mode, threads, reps);
+            if threads == 1 {
+                t1 = seconds;
+            }
+            if mode == ExecutionMode::Ref {
+                ref_times.push(seconds);
+            }
+            let vs_ref = if mode == ExecutionMode::Ref {
+                1.0
+            } else {
+                ref_times.get(axis_idx).copied().unwrap_or(f64::NAN) / seconds
+            };
+            println!(
+                "{:<8} {:>8} {:>14.6} {:>12.3} {:>13.2}x {:>15.2}x",
+                mode.label(),
+                threads,
+                seconds,
+                bench::ns_per_day(seconds),
+                t1 / seconds,
+                vs_ref
+            );
+            if !json_rows.is_empty() {
+                json_rows.push_str(",\n");
+            }
+            json_rows.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"threads\": {}, \"seconds_per_step\": {:.9e}, \
+                 \"ns_per_day\": {:.6}, \"speedup_vs_t1\": {:.6}, \"speedup_vs_ref\": {:.6}}}",
+                mode.label(),
+                threads,
+                seconds,
+                bench::ns_per_day(seconds),
+                t1 / seconds,
+                vs_ref
+            ));
+        }
+    }
+
+    let options_label = mode_options(ExecutionMode::OptM, 1).label();
+    let body = format!(
+        "{{\n  \"figure\": \"fig5_single_node\",\n  \"workload\": {{\"cells\": {cells}, \
+         \"atoms\": {n_atoms}, \"perturbation\": 0.05}},\n  \"available_parallelism\": \
+         {parallelism},\n  \"reps\": {reps},\n  \"opt_m_options\": \"{options_label}\",\n  \
+         \"series\": [\n{json_rows}\n  ]\n}}\n"
+    );
+    match write_bench_json("fig5_single_node", &body) {
+        Ok(path) => println!("\n(wrote {path})"),
+        Err(e) => eprintln!("\nwarning: could not write JSON report: {e}"),
+    }
+
+    // Context: the analytic projection for the paper's machines at the
+    // paper's 512 000-atom size (what this binary printed before the real
+    // threaded implementation existed).
+    println!("\ncost-model projection, 512 000 atoms (context):");
     let model = CostModel::default();
     let shape = WorkloadShape::silicon(512_000);
     let paper_speedups = [
@@ -21,10 +116,9 @@ fn main() {
         ("HW2", 2.69),
         ("BW", 2.95),
     ];
-
     println!(
         "{:<6} {:>12} {:>12} {:>16} {:>16}",
-        "", "Ref ns/day", "Opt-M ns/day", "speedup (repro)", "speedup (paper)"
+        "", "Ref ns/day", "Opt-M ns/day", "speedup (model)", "speedup (paper)"
     );
     println!("{:-<66}", "");
     for (name, paper) in paper_speedups {
@@ -43,10 +137,17 @@ fn main() {
 
     println!();
     row_header();
-    row("communication share", "5% – 30% of runtime", "modeled at 6% of Ref step");
-    row("who wins", "Opt-M on every machine", "Opt-M on every machine");
-    row("range of speedups", "2.7x – 5.0x", "see column above");
-    println!("\nNote: the reproduction's SB value differs most from the paper because the");
-    println!("paper's 5.00x on SB partly reflects poor Ref scaling on that node, which a");
-    println!("throughput-only model does not capture (documented in EXPERIMENTS.md).");
+    row(
+        "who wins",
+        "Opt-M on every machine",
+        "see measured table above",
+    );
+    row(
+        "paper speedup range",
+        "2.7x - 5.0x",
+        "see measured table above",
+    );
+    println!("\nNote: measured scaling depends on the host's core count; on a single-CPU");
+    println!("container the thread sweep shows engine overhead rather than speedup. The");
+    println!("acceptance target (>= 2x at 4 threads) applies to hosts with >= 4 cores.");
 }

@@ -16,15 +16,17 @@ fn main() {
     let model = CostModel::default();
     let shape = WorkloadShape::silicon(256_000);
 
-    println!(
-        "{:<14} {:>10} {:>10}    note",
-        "series", "K20X", "K40"
-    );
+    println!("{:<14} {:>10} {:>10}    note", "series", "K20X", "K40");
     println!("{:-<64}", "");
     let series: [(&str, bool, bool, &str); 5] = [
         ("Ref-GPU-D", false, false, "LAMMPS GPU package, double"),
         ("Ref-GPU-S", false, true, "LAMMPS GPU package, single"),
-        ("Ref-GPU-M", false, true, "LAMMPS GPU package, mixed (≈single rate)"),
+        (
+            "Ref-GPU-M",
+            false,
+            true,
+            "LAMMPS GPU package, mixed (≈single rate)",
+        ),
         ("Ref-KK-D", false, false, "KOKKOS port, double"),
         ("Opt-KK-D", true, false, "this work: scheme 1c + warp votes"),
     ];
@@ -34,7 +36,10 @@ fn main() {
             .iter()
             .map(|m| model.gpu_ns_per_day(m, optimized, single, &shape))
             .collect();
-        println!("{:<14} {:>10.3} {:>10.3}    {}", label, vals[0], vals[1], note);
+        println!(
+            "{:<14} {:>10.3} {:>10.3}    {}",
+            label, vals[0], vals[1], note
+        );
     }
     let opt_s: Vec<f64> = machines
         .iter()
@@ -47,5 +52,7 @@ fn main() {
 
     let speedup = model.gpu_ns_per_day(&machines[0], true, false, &shape)
         / model.gpu_ns_per_day(&machines[0], false, false, &shape);
-    println!("\nOpt-KK-D over Ref-KK-D (K20X): {speedup:.1}x  (paper: ≈3x end-to-end, ≈5x kernel-only)");
+    println!(
+        "\nOpt-KK-D over Ref-KK-D (K20X): {speedup:.1}x  (paper: ≈3x end-to-end, ≈5x kernel-only)"
+    );
 }

@@ -40,6 +40,8 @@ fn main() {
         "\nKNL over KNC (Opt-M): {:.2}x   (paper: ≈3x, tracking the ≈3x peak-performance gap)",
         opt[1] / opt[0]
     );
-    println!("single-threaded kernel speedup implied by the model: {:.1}x (paper quotes ≈9x 'pure')",
-        model.kernel_speedup(arch_model::machines::Isa::Avx512, Mode::OptM));
+    println!(
+        "single-threaded kernel speedup implied by the model: {:.1}x (paper quotes ≈9x 'pure')",
+        model.kernel_speedup(arch_model::machines::Isa::Avx512, Mode::OptM)
+    );
 }

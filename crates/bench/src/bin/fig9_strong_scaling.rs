@@ -42,10 +42,7 @@ fn main() {
         "  Opt-D (IV)      : {:.2}x   (paper: 2.5x at 196 ranks)",
         at8.1 / at8.0
     );
-    println!(
-        "  Opt-D (IV+2KNC) : {:.2}x   (paper: 6.5x)",
-        at8.2 / at8.0
-    );
+    println!("  Opt-D (IV+2KNC) : {:.2}x   (paper: 6.5x)", at8.2 / at8.0);
     println!("\nshape: all three curves keep rising through 8 nodes and keep their ordering,");
     println!("matching the paper's conclusion that the vector optimizations 'port to large");
     println!("scale computations seamlessly'.");

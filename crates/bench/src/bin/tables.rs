@@ -5,7 +5,10 @@ use arch_model::machines::Machine;
 
 fn print_cpu_table(title: &str, machines: &[Machine]) {
     println!("{title}");
-    println!("{:<10} {:<26} {:>7} {:>10}  {}", "Name", "Processor", "Cores", "GHz", "Vector ISA");
+    println!(
+        "{:<10} {:<26} {:>7} {:>10}  Vector ISA",
+        "Name", "Processor", "Cores", "GHz"
+    );
     println!("{:-<70}", "");
     for m in machines {
         println!(
@@ -21,7 +24,10 @@ fn print_cpu_table(title: &str, machines: &[Machine]) {
 }
 
 fn main() {
-    print_cpu_table("TABLE I: Hardware used for CPU benchmarks", &Machine::table1());
+    print_cpu_table(
+        "TABLE I: Hardware used for CPU benchmarks",
+        &Machine::table1(),
+    );
 
     println!("TABLE II: Hardware used for GPU benchmarks");
     println!(
@@ -62,7 +68,13 @@ fn main() {
             ),
             None => println!(
                 "{:<10} {:<22} {:>7} {:>8}  {:<26} {:>7} {:>8}",
-                "KNL", "-", "-", "-", m.cpu, m.cores, m.isa.name()
+                "KNL",
+                "-",
+                "-",
+                "-",
+                m.cpu,
+                m.cores,
+                m.isa.name()
             ),
         }
     }

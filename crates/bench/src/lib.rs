@@ -65,21 +65,43 @@ impl SiliconWorkload {
     /// Measure seconds per force evaluation for one of the paper's execution
     /// modes (using the paper's default scheme/width for that mode).
     pub fn time_mode(&self, mode: ExecutionMode, reps: usize) -> f64 {
-        let scheme = match mode {
-            ExecutionMode::Ref => Scheme::Scalar,
-            ExecutionMode::OptD => Scheme::JLanes,
-            ExecutionMode::OptS | ExecutionMode::OptM => Scheme::FusedLanes,
-        };
-        let mut pot = make_potential(
-            TersoffParams::silicon(),
-            TersoffOptions {
-                mode,
-                scheme,
-                width: 0,
-            },
-        );
+        self.time_mode_threads(mode, 1, reps)
+    }
+
+    /// Measure seconds per force evaluation for an execution mode through the
+    /// thread-parallel force engine.
+    pub fn time_mode_threads(&self, mode: ExecutionMode, threads: usize, reps: usize) -> f64 {
+        let mut pot = make_potential(TersoffParams::silicon(), mode_options(mode, threads));
         self.time_kernel(pot.as_mut(), reps)
     }
+}
+
+/// The paper's default scheme/width for an execution mode, with the given
+/// engine thread count.
+pub fn mode_options(mode: ExecutionMode, threads: usize) -> TersoffOptions {
+    let scheme = match mode {
+        ExecutionMode::Ref => Scheme::Scalar,
+        ExecutionMode::OptD => Scheme::JLanes,
+        ExecutionMode::OptS | ExecutionMode::OptM => Scheme::FusedLanes,
+    };
+    TersoffOptions {
+        mode,
+        scheme,
+        width: 0,
+        threads,
+    }
+}
+
+/// Write a machine-readable benchmark report to `BENCH_<name>.json` in the
+/// directory named by `BENCH_JSON_DIR` (default: current directory). The
+/// `body` must already be valid JSON; this helper only frames and writes it.
+pub fn write_bench_json(name: &str, body: &str) -> std::io::Result<String> {
+    use std::io::Write as _;
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = format!("{dir}/BENCH_{name}.json");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(body.as_bytes())?;
+    Ok(path)
 }
 
 /// Convert seconds-per-step into the paper's ns/day metric (1 fs timestep).
@@ -102,7 +124,10 @@ pub fn row(label: &str, paper: &str, repro: &str) {
 
 /// Print the table header used by [`row`].
 pub fn row_header() {
-    println!("{:<28} {:>22} {:>22}", "series", "paper", "this reproduction");
+    println!(
+        "{:<28} {:>22} {:>22}",
+        "series", "paper", "this reproduction"
+    );
     println!("{:-<74}", "");
 }
 

@@ -119,20 +119,6 @@ impl AtomData {
         self.type_.clone()
     }
 
-    /// Maximum squared displacement of any local atom relative to the given
-    /// reference positions; the neighbor-rebuild heuristic compares this to
-    /// half the skin distance.
-    pub fn max_displacement_sq(&self, reference: &[[f64; 3]]) -> f64 {
-        let mut max = 0.0f64;
-        for (p, r) in self.x.iter().take(self.n_local).zip(reference.iter()) {
-            let dx = p[0] - r[0];
-            let dy = p[1] - r[1];
-            let dz = p[2] - r[2];
-            max = max.max(dx * dx + dy * dy + dz * dz);
-        }
-        max
-    }
-
     /// Net momentum (mass-weighted velocity sum) of the local atoms, given a
     /// per-type mass table.
     pub fn net_momentum(&self, masses: &[f64]) -> [f64; 3] {
@@ -230,16 +216,6 @@ mod tests {
         assert_eq!(&packed[4..8], &[1.0, 2.0, 3.0, 0.0]);
         let packed_d: Vec<f64> = a.pack_positions();
         assert_eq!(packed_d[8], 9.0);
-    }
-
-    #[test]
-    fn max_displacement_tracks_largest_mover() {
-        let mut a = sample();
-        let reference: Vec<[f64; 3]> = a.x.clone();
-        a.x[1][0] += 0.5;
-        a.x[0][2] -= 0.1;
-        let d2 = a.max_displacement_sq(&reference);
-        assert!((d2 - 0.25).abs() < 1e-12);
     }
 
     #[test]

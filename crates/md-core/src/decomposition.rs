@@ -88,7 +88,9 @@ impl DecomposedSystem {
                 coord[d] = ((rel * grid[d] as f64).floor() as usize).min(grid[d] - 1);
             }
             let rank = Self::rank_index(grid, coord);
-            ranks[rank].atoms.push_local(p, atoms.v[i], atoms.type_[i], atoms.id[i]);
+            ranks[rank]
+                .atoms
+                .push_local(p, atoms.v[i], atoms.type_[i], atoms.id[i]);
         }
 
         DecomposedSystem {
@@ -187,9 +189,9 @@ impl DecomposedSystem {
         for r in &mut self.ranks {
             let atoms = &r.atoms;
             let global_box = &self.global_box;
-            let list = self
-                .timers
-                .time(Stage::Neighbor, || NeighborList::build_binned(atoms, global_box, settings));
+            let list = self.timers.time(Stage::Neighbor, || {
+                NeighborList::build_binned(atoms, global_box, settings)
+            });
             r.output.reset(atoms.n_total());
             let out = &mut r.output;
             self.timers.time(Stage::Force, || {
@@ -276,7 +278,8 @@ mod tests {
         skin: f64,
     ) -> (HashMap<u64, [f64; 3]>, f64) {
         let mut lj = LennardJones::new(0.1, 2.0, 4.0);
-        let list = NeighborList::build_binned(atoms, sim_box, NeighborSettings::new(lj.cutoff(), skin));
+        let list =
+            NeighborList::build_binned(atoms, sim_box, NeighborSettings::new(lj.cutoff(), skin));
         let mut out = ComputeOutput::zeros(atoms.n_total());
         lj.compute(atoms, sim_box, &list, &mut out);
         let mut map = HashMap::new();

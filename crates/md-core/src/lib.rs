@@ -26,8 +26,14 @@
 //! Units follow LAMMPS' `metal` convention: lengths in Å, time in ps,
 //! energies in eV, masses in g/mol, temperature in K ([`units`]).
 
+// Kernel-style code indexes the three spatial components and per-lane slots
+// with explicit `for d in 0..3` loops; the iterator rewrites clippy suggests
+// obscure the stencil structure, so the lint is opted out crate-wide.
+#![allow(clippy::needless_range_loop)]
+
 pub mod atom;
 pub mod decomposition;
+pub mod force_engine;
 pub mod integrate;
 pub mod lattice;
 pub mod neighbor;
@@ -41,6 +47,7 @@ pub mod units;
 pub mod velocity;
 
 pub use atom::AtomData;
+pub use force_engine::{ForceEngine, RangePotential, WorkerPool};
 pub use lattice::{Lattice, LatticeKind};
 pub use neighbor::{NeighborList, NeighborSettings};
 pub use potential::{ComputeOutput, Potential};
@@ -51,6 +58,7 @@ pub use timer::{Stage, Timers};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::atom::AtomData;
+    pub use crate::force_engine::{ForceEngine, RangePotential};
     pub use crate::integrate::VelocityVerlet;
     pub use crate::lattice::{Lattice, LatticeKind};
     pub use crate::neighbor::{NeighborList, NeighborSettings};

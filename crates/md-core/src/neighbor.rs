@@ -96,12 +96,23 @@ impl NeighborList {
 
     /// Does the list need rebuilding given current positions? True when any
     /// local atom moved more than half the skin since the list was built.
-    pub fn needs_rebuild(&self, atoms: &AtomData) -> bool {
+    ///
+    /// Displacements are measured with the minimum-image convention: an atom
+    /// oscillating across a periodic boundary is re-wrapped to the far side
+    /// of the box, and the naive difference would count that as a box-length
+    /// move, triggering a spurious rebuild on every step.
+    pub fn needs_rebuild(&self, atoms: &AtomData, sim_box: &SimBox) -> bool {
         if atoms.n_local != self.n_local {
             return true;
         }
         let threshold = 0.5 * self.settings.skin;
-        atoms.max_displacement_sq(&self.reference_x) > threshold * threshold
+        let threshold_sq = threshold * threshold;
+        atoms
+            .x
+            .iter()
+            .take(atoms.n_local)
+            .zip(self.reference_x.iter())
+            .any(|(&p, &r)| sim_box.distance_sq(p, r) > threshold_sq)
     }
 
     /// O(N²) reference builder over local+ghost atoms with minimum-image
@@ -354,13 +365,13 @@ mod tests {
         let (b, mut atoms) = si_system();
         let s = NeighborSettings::new(3.2, 1.0);
         let list = NeighborList::build_binned(&atoms, &b, s);
-        assert!(!list.needs_rebuild(&atoms));
+        assert!(!list.needs_rebuild(&atoms, &b));
         // Move one atom by just under half the skin: no rebuild.
         atoms.x[10][0] += 0.49;
-        assert!(!list.needs_rebuild(&atoms));
+        assert!(!list.needs_rebuild(&atoms, &b));
         // Push it past half the skin: rebuild.
         atoms.x[10][0] += 0.02;
-        assert!(list.needs_rebuild(&atoms));
+        assert!(list.needs_rebuild(&atoms, &b));
     }
 
     #[test]
@@ -370,7 +381,7 @@ mod tests {
         let list = NeighborList::build_binned(&atoms, &b, s);
         let mut more = atoms.clone();
         more.push_local([1.0, 1.0, 1.0], [0.0; 3], 0, 99_999);
-        assert!(list.needs_rebuild(&more));
+        assert!(list.needs_rebuild(&more, &b));
     }
 
     #[test]

@@ -8,9 +8,12 @@
 //! by the substrate tests.
 
 use crate::atom::AtomData;
+use crate::force_engine::RangePotential;
 use crate::neighbor::NeighborList;
 use crate::potential::{ComputeOutput, Potential};
 use crate::simbox::SimBox;
+use std::any::Any;
+use std::ops::Range;
 
 /// Lennard-Jones 12-6 potential with a radial cutoff, energy-shifted so the
 /// potential is continuous at the cutoff.
@@ -88,27 +91,20 @@ impl LennardJones {
         let fpair = 24.0 * eps * (2.0 * sr12 - sr6) / r2;
         (energy, fpair)
     }
-}
 
-impl Potential for LennardJones {
-    fn name(&self) -> String {
-        "lj/cut".to_string()
-    }
-
-    fn cutoff(&self) -> f64 {
-        self.cutoff
-    }
-
-    fn compute(
-        &mut self,
+    /// Accumulate the contributions of local atoms in `range` into `out`.
+    /// Only `out.forces[i]` for `i` in the range is written, so disjoint
+    /// ranges can run concurrently even into a shared output.
+    fn accumulate_range(
+        &self,
         atoms: &AtomData,
         sim_box: &SimBox,
         neighbors: &NeighborList,
+        range: Range<usize>,
         out: &mut ComputeOutput,
     ) {
-        out.reset(atoms.n_total());
         let cut_sq = self.cutoff * self.cutoff;
-        for i in 0..atoms.n_local {
+        for i in range {
             let xi = atoms.x[i];
             let ti = atoms.type_[i];
             for &j in neighbors.neighbors_of(i) {
@@ -130,6 +126,47 @@ impl Potential for LennardJones {
                 }
             }
         }
+    }
+}
+
+impl Potential for LennardJones {
+    fn name(&self) -> String {
+        "lj/cut".to_string()
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    fn compute(
+        &mut self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        out: &mut ComputeOutput,
+    ) {
+        out.reset(atoms.n_total());
+        self.accumulate_range(atoms, sim_box, neighbors, 0..atoms.n_local, out);
+    }
+}
+
+impl RangePotential for LennardJones {
+    fn prepare(&mut self, _atoms: &AtomData, _sim_box: &SimBox, _neighbors: &NeighborList) {}
+
+    fn make_scratch(&self) -> Box<dyn Any + Send> {
+        Box::new(())
+    }
+
+    fn compute_range(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        range: Range<usize>,
+        _scratch: &mut (dyn Any + Send),
+        out: &mut ComputeOutput,
+    ) {
+        self.accumulate_range(atoms, sim_box, neighbors, range, out);
     }
 }
 

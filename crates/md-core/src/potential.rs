@@ -49,11 +49,7 @@ impl ComputeOutput {
         self.forces
             .iter()
             .zip(other.forces.iter())
-            .map(|(a, b)| {
-                (0..3)
-                    .map(|d| (a[d] - b[d]).abs())
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|(a, b)| (0..3).map(|d| (a[d] - b[d]).abs()).fold(0.0f64, f64::max))
             .fold(0.0f64, f64::max)
     }
 

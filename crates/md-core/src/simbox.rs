@@ -116,7 +116,10 @@ impl SimBox {
         let mut lo = [0.0; 3];
         let mut hi = [0.0; 3];
         for d in 0..3 {
-            assert!(grid[d] >= 1 && coord[d] < grid[d], "invalid decomposition grid");
+            assert!(
+                grid[d] >= 1 && coord[d] < grid[d],
+                "invalid decomposition grid"
+            );
             let step = l[d] / grid[d] as f64;
             lo[d] = self.lo[d] + coord[d] as f64 * step;
             hi[d] = if coord[d] + 1 == grid[d] {

@@ -101,9 +101,9 @@ impl<P: Potential> Simulation<P> {
         let settings = NeighborSettings::new(self.potential.cutoff(), self.config.skin);
         let atoms = &self.atoms;
         let sim_box = &self.sim_box;
-        self.neighbors = self
-            .timers
-            .time(Stage::Neighbor, || NeighborList::build_binned(atoms, sim_box, settings));
+        self.neighbors = self.timers.time(Stage::Neighbor, || {
+            NeighborList::build_binned(atoms, sim_box, settings)
+        });
         self.n_rebuilds += 1;
     }
 
@@ -138,17 +138,19 @@ impl<P: Potential> Simulation<P> {
         for _ in 0..n_steps {
             self.step += 1;
 
-            let masses = self.config.masses.clone();
             {
+                // Disjoint field borrows so the integrator can read the
+                // masses in place — the steady-state step must not allocate.
                 let atoms = &mut self.atoms;
                 let sim_box = &self.sim_box;
                 let integrator = &self.integrator;
+                let masses = &self.config.masses;
                 self.timers.time(Stage::Other, || {
-                    integrator.initial_integrate(atoms, &masses, sim_box);
+                    integrator.initial_integrate(atoms, masses, sim_box);
                 });
             }
 
-            if self.neighbors.needs_rebuild(&self.atoms) {
+            if self.neighbors.needs_rebuild(&self.atoms, &self.sim_box) {
                 self.rebuild_neighbors();
             }
 
@@ -157,12 +159,14 @@ impl<P: Potential> Simulation<P> {
             {
                 let atoms = &mut self.atoms;
                 let integrator = &self.integrator;
+                let masses = &self.config.masses;
                 self.timers.time(Stage::Other, || {
-                    integrator.final_integrate(atoms, &masses);
+                    integrator.final_integrate(atoms, masses);
                 });
             }
 
-            let sample = self.config.thermo_every > 0 && self.step % self.config.thermo_every == 0;
+            let sample =
+                self.config.thermo_every > 0 && self.step.is_multiple_of(self.config.thermo_every);
             if sample {
                 self.record_thermo();
             }
@@ -186,7 +190,9 @@ impl<P: Potential> Simulation<P> {
 
     /// Latest thermo snapshot.
     pub fn current_thermo(&self) -> &ThermoState {
-        self.thermo_history.last().expect("thermo history is never empty")
+        self.thermo_history
+            .last()
+            .expect("thermo history is never empty")
     }
 
     /// Throughput in the paper's ns/day metric, based on the force+neighbor+
@@ -256,7 +262,10 @@ mod tests {
         // Artificially hot system to force motion beyond half the skin.
         sim.set_temperature(5000.0, 1);
         sim.run(200);
-        assert!(sim.n_rebuilds > 1, "expected at least one rebuild during the run");
+        assert!(
+            sim.n_rebuilds > 1,
+            "expected at least one rebuild during the run"
+        );
     }
 
     #[test]

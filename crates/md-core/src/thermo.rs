@@ -45,8 +45,7 @@ impl ThermoState {
         let volume = sim_box.volume();
         // P = (N kB T + W/3) / V, converted to bar.
         let pressure = if volume > 0.0 {
-            units::NKTV2P
-                * ((atoms.n_local as f64 * units::BOLTZMANN * temperature) + virial / 3.0)
+            units::NKTV2P * ((atoms.n_local as f64 * units::BOLTZMANN * temperature) + virial / 3.0)
                 / volume
         } else {
             0.0
@@ -143,8 +142,8 @@ mod tests {
         let masses = [units::mass::SI];
         velocity::init_velocities(&mut atoms, &masses, 300.0, 5);
         let thermo = ThermoState::measure(0, &atoms, &masses, &sim_box, 0.0, 0.0);
-        let expected = units::NKTV2P * atoms.n_local as f64 * units::BOLTZMANN * 300.0
-            / sim_box.volume();
+        let expected =
+            units::NKTV2P * atoms.n_local as f64 * units::BOLTZMANN * 300.0 / sim_box.volume();
         assert!((thermo.pressure - expected).abs() / expected < 1e-9);
         assert!((thermo.temperature - 300.0).abs() < 1e-9);
         assert_eq!(thermo.total, thermo.kinetic);

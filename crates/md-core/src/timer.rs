@@ -112,7 +112,11 @@ impl Timers {
                 100.0 * self.fraction(stage)
             ));
         }
-        s.push_str(&format!("{:<9} {:>10.4} s\n", "total", self.total_seconds()));
+        s.push_str(&format!(
+            "{:<9} {:>10.4} s\n",
+            "total",
+            self.total_seconds()
+        ));
         s
     }
 

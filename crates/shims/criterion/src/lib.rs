@@ -1,0 +1,220 @@
+//! Offline shim for `criterion`: the API surface the workspace's benches use,
+//! backed by a simple warm-up + fixed-window timing loop.
+//!
+//! Statistics are cruder than real criterion (mean / min / max over samples,
+//! no bootstrapping), but results are emitted both human-readably and as
+//! machine-readable JSON so the perf trajectory can be tracked across PRs:
+//! every benchmark group writes `BENCH_criterion_<group>.json` into the
+//! directory named by `BENCH_JSON_DIR` (default: current directory, i.e. the
+//! workspace root under `cargo bench`).
+
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value barrier, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// One recorded measurement.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample (seconds per iteration).
+    pub min_s: f64,
+    /// Slowest sample (seconds per iteration).
+    pub max_s: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== benchmark group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            results: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<Sample>,
+    finished: bool,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement window split across the samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let est_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Choose iterations per sample so the whole measurement fits the
+        // requested window.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((budget / est_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut times = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            times.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:<44} {:>12.3} us/iter  (min {:.3}, max {:.3}, {} samples x {} iters)",
+            name,
+            mean * 1e6,
+            min * 1e6,
+            max * 1e6,
+            self.sample_size,
+            iters
+        );
+        self.results.push(Sample {
+            name: name.to_string(),
+            mean_s: mean,
+            min_s: min,
+            max_s: max,
+            samples: self.sample_size,
+            iters_per_sample: iters,
+        });
+        self
+    }
+
+    /// Write the group's JSON report. Called automatically on drop if missed.
+    pub fn finish(&mut self) {
+        if self.finished || self.results.is_empty() {
+            self.finished = true;
+            return;
+        }
+        self.finished = true;
+        let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{}/BENCH_criterion_{}.json", dir, self.name);
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        json.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_s\": {:.9e}, \"min_s\": {:.9e}, \"max_s\": {:.9e}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                r.name,
+                r.mean_s,
+                r.min_s,
+                r.max_s,
+                r.samples,
+                r.iters_per_sample,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+            Ok(()) => println!("(wrote {path})"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+impl Drop for BenchmarkGroup {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Per-benchmark timing handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` invocations of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Mirror of `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

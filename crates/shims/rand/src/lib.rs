@@ -1,0 +1,69 @@
+//! Offline shim for `rand`: the subset of the API this workspace uses.
+//!
+//! Provides the [`Rng`] and [`SeedableRng`] traits with `gen_range` over
+//! `f64`/`usize`/`i64` ranges. The concrete generator lives in the sibling
+//! `rand_chacha` shim. Determinism-in-seed is the only property the workspace
+//! relies on; no cryptographic claims are made, and the bit stream does not
+//! match the real `rand` crate.
+
+use std::ops::Range;
+
+/// Minimal mirror of `rand::Rng`.
+pub trait Rng {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of resolution.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_from(self, range)
+    }
+
+    /// Bernoulli sample with probability `p`, mirroring `rand::Rng::gen_bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.gen_f64() < p
+    }
+}
+
+/// Types that can be drawn uniformly from a `Range`.
+pub trait SampleRange: Sized + PartialOrd {
+    /// Draw one sample in `[range.start, range.end)`.
+    fn sample_from<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleRange for f64 {
+    fn sample_from<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+        debug_assert!(range.start < range.end, "empty range");
+        range.start + rng.gen_f64() * (range.end - range.start)
+    }
+}
+
+impl SampleRange for usize {
+    fn sample_from<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+        debug_assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange for i64 {
+    fn sample_from<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+        debug_assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (rng.next_u64() % span) as i64
+    }
+}
+
+/// Minimal mirror of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this minimal stand-in. Types annotated `#[derive(Serialize, Deserialize)]`
+//! keep the annotation (so switching back to real serde is a one-line change
+//! in the workspace manifest) but gain no serialization code.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! this minimal stand-in. `#[derive(Serialize, Deserialize)]` annotations
+//! compile (and mark intent) but generate no serialization code. Replace the
+//! `serde = { path = ... }` entry in the root manifest with the real crate to
+//! restore full functionality — no source changes needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

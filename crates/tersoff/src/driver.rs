@@ -13,6 +13,7 @@ use crate::scalar_opt::TersoffScalarOpt;
 use crate::scheme_a::TersoffSchemeA;
 use crate::scheme_b::TersoffSchemeB;
 use crate::scheme_c::TersoffSchemeC;
+use md_core::force_engine::{ForceEngine, RangePotential};
 use md_core::potential::Potential;
 
 /// The four codes evaluated in the paper.
@@ -87,6 +88,11 @@ pub struct TersoffOptions {
     /// scheme/precision combination. Supported explicit widths: 1, 2, 4, 8,
     /// 16, 32.
     pub width: usize,
+    /// Worker threads for the force engine: 1 runs single-threaded (no
+    /// engine overhead), 0 uses one thread per available CPU, any other
+    /// value is taken literally — the OpenMP-threads axis of the paper's
+    /// single-node runs (Fig. 5).
+    pub threads: usize,
 }
 
 impl Default for TersoffOptions {
@@ -95,6 +101,7 @@ impl Default for TersoffOptions {
             mode: ExecutionMode::OptM,
             scheme: Scheme::FusedLanes,
             width: 0,
+            threads: 1,
         }
     }
 }
@@ -128,9 +135,10 @@ impl TersoffOptions {
         }
     }
 
-    /// A short human-readable description ("Opt-M/1b/w16").
+    /// A short human-readable description ("Opt-M/1b/w16", with a "/tN"
+    /// suffix when the threaded engine is enabled).
     pub fn label(&self) -> String {
-        match self.mode {
+        let base = match self.mode {
             ExecutionMode::Ref => "Ref".to_string(),
             _ => format!(
                 "{}/{}/w{}",
@@ -138,14 +146,25 @@ impl TersoffOptions {
                 self.scheme.label(),
                 self.effective_width()
             ),
+        };
+        if self.threads == 1 {
+            base
+        } else {
+            format!("{base}/t{}", self.threads)
         }
+    }
+
+    /// Convenience: the same options with a different thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
 macro_rules! build_vector_potential {
     ($ctor:ident, $t:ty, $a:ty, $width:expr, $params:expr) => {
         match $width {
-            1 => Box::new($ctor::<$t, $a, 1>::new($params)) as Box<dyn Potential>,
+            1 => Box::new($ctor::<$t, $a, 1>::new($params)) as Box<dyn RangePotential>,
             2 => Box::new($ctor::<$t, $a, 2>::new($params)),
             4 => Box::new($ctor::<$t, $a, 4>::new($params)),
             8 => Box::new($ctor::<$t, $a, 8>::new($params)),
@@ -157,7 +176,25 @@ macro_rules! build_vector_potential {
 }
 
 /// Build the Tersoff implementation described by `options`.
+///
+/// With `threads == 1` the kernel is returned directly; otherwise it is
+/// wrapped in a [`ForceEngine`] that partitions the local atoms across a
+/// persistent worker pool and merges the per-thread force arrays.
 pub fn make_potential(params: TersoffParams, options: TersoffOptions) -> Box<dyn Potential> {
+    let inner = make_range_potential(params, options);
+    if options.threads == 1 {
+        inner as Box<dyn Potential>
+    } else {
+        Box::new(ForceEngine::new(inner, options.threads))
+    }
+}
+
+/// Build the kernel described by `options` as a range-computable potential
+/// (the form the [`ForceEngine`] drives; also usable directly).
+pub fn make_range_potential(
+    params: TersoffParams,
+    options: TersoffOptions,
+) -> Box<dyn RangePotential> {
     let width = options.effective_width();
     match (options.mode, options.scheme) {
         (ExecutionMode::Ref, _) => Box::new(TersoffRef::new(params)),
@@ -213,17 +250,28 @@ mod tests {
             mode,
             scheme,
             width: 0,
+            threads: 1,
         };
         assert_eq!(mk(ExecutionMode::OptD, Scheme::JLanes).effective_width(), 4);
         assert_eq!(mk(ExecutionMode::OptS, Scheme::JLanes).effective_width(), 8);
-        assert_eq!(mk(ExecutionMode::OptD, Scheme::FusedLanes).effective_width(), 8);
-        assert_eq!(mk(ExecutionMode::OptM, Scheme::FusedLanes).effective_width(), 16);
-        assert_eq!(mk(ExecutionMode::OptM, Scheme::ILanes).effective_width(), 32);
+        assert_eq!(
+            mk(ExecutionMode::OptD, Scheme::FusedLanes).effective_width(),
+            8
+        );
+        assert_eq!(
+            mk(ExecutionMode::OptM, Scheme::FusedLanes).effective_width(),
+            16
+        );
+        assert_eq!(
+            mk(ExecutionMode::OptM, Scheme::ILanes).effective_width(),
+            32
+        );
         assert_eq!(mk(ExecutionMode::OptD, Scheme::Scalar).effective_width(), 1);
         let explicit = TersoffOptions {
             mode: ExecutionMode::OptD,
             scheme: Scheme::FusedLanes,
             width: 2,
+            threads: 1,
         };
         assert_eq!(explicit.effective_width(), 2);
     }
@@ -234,7 +282,8 @@ mod tests {
             TersoffOptions {
                 mode: ExecutionMode::Ref,
                 scheme: Scheme::FusedLanes,
-                width: 0
+                width: 0,
+                threads: 1,
             }
             .label(),
             "Ref"
@@ -255,24 +304,39 @@ mod tests {
                 mode: ExecutionMode::Ref,
                 scheme: Scheme::Scalar,
                 width: 0,
+                threads: 1,
             },
         );
         let mut out_ref = ComputeOutput::zeros(atoms.n_total());
         reference.compute(&atoms, &b, &list, &mut out_ref);
 
-        for mode in [ExecutionMode::OptD, ExecutionMode::OptS, ExecutionMode::OptM] {
-            for scheme in [Scheme::Scalar, Scheme::JLanes, Scheme::FusedLanes, Scheme::ILanes] {
+        for mode in [
+            ExecutionMode::OptD,
+            ExecutionMode::OptS,
+            ExecutionMode::OptM,
+        ] {
+            for scheme in [
+                Scheme::Scalar,
+                Scheme::JLanes,
+                Scheme::FusedLanes,
+                Scheme::ILanes,
+            ] {
                 let mut pot = make_potential(
                     TersoffParams::silicon(),
                     TersoffOptions {
                         mode,
                         scheme,
                         width: 0,
+                        threads: 1,
                     },
                 );
                 let mut out = ComputeOutput::zeros(atoms.n_total());
                 pot.compute(&atoms, &b, &list, &mut out);
-                let tol = if mode == ExecutionMode::OptD { 1e-9 } else { 2e-5 };
+                let tol = if mode == ExecutionMode::OptD {
+                    1e-9
+                } else {
+                    2e-5
+                };
                 let rel = ((out.energy - out_ref.energy) / out_ref.energy).abs();
                 assert!(
                     rel < tol,
@@ -293,6 +357,7 @@ mod tests {
                 mode: ExecutionMode::OptD,
                 scheme: Scheme::FusedLanes,
                 width: 7,
+                threads: 1,
             },
         );
     }

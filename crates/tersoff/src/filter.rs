@@ -39,26 +39,39 @@ impl FilteredNeighbors {
         neighbors: &NeighborList,
         cutoff: f64,
     ) -> Self {
+        let mut out = FilteredNeighbors::default();
+        out.rebuild(atoms, sim_box, neighbors, cutoff);
+        out
+    }
+
+    /// Re-filter in place, reusing the existing allocations. In steady state
+    /// (stable atom count, bounded neighbor counts) this performs no heap
+    /// allocation, which is what keeps the threaded force loop
+    /// allocation-free.
+    pub fn rebuild(
+        &mut self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        cutoff: f64,
+    ) {
         let cutsq = cutoff * cutoff;
         let n_local = neighbors.n_local;
-        let mut first = Vec::with_capacity(n_local + 1);
-        let mut lists = Vec::with_capacity(neighbors.neighbors.len());
-        first.push(0);
+        self.first.clear();
+        self.lists.clear();
+        self.first.reserve(n_local + 1);
+        self.first.push(0);
         for i in 0..n_local {
             let xi = atoms.x[i];
             for &j in neighbors.neighbors_of(i) {
                 let d = sim_box.min_image(xi, atoms.x[j]);
                 if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < cutsq {
-                    lists.push(j as u32);
+                    self.lists.push(j as u32);
                 }
             }
-            first.push(lists.len());
+            self.first.push(self.lists.len());
         }
-        FilteredNeighbors {
-            first,
-            lists,
-            n_local,
-        }
+        self.n_local = n_local;
     }
 
     /// Filtered neighbors of atom `i`.
@@ -105,21 +118,25 @@ pub struct PackedPairs {
 impl PackedPairs {
     /// Pack every in-cutoff (i, j) pair from the filtered lists.
     pub fn build(filtered: &FilteredNeighbors) -> Self {
-        let mut i_vec = Vec::with_capacity(filtered.lists.len());
-        let mut j_vec = Vec::with_capacity(filtered.lists.len());
-        let mut first_pair = Vec::with_capacity(filtered.n_local + 1);
-        first_pair.push(0);
+        let mut out = PackedPairs::default();
+        out.rebuild(filtered);
+        out
+    }
+
+    /// Re-pack in place, reusing the existing allocations (allocation-free in
+    /// steady state, like [`FilteredNeighbors::rebuild`]).
+    pub fn rebuild(&mut self, filtered: &FilteredNeighbors) {
+        self.i.clear();
+        self.j.clear();
+        self.first_pair.clear();
+        self.first_pair.reserve(filtered.n_local + 1);
+        self.first_pair.push(0);
         for i in 0..filtered.n_local {
             for &j in filtered.neighbors_of(i) {
-                i_vec.push(i as u32);
-                j_vec.push(j);
+                self.i.push(i as u32);
+                self.j.push(j);
             }
-            first_pair.push(i_vec.len());
-        }
-        PackedPairs {
-            i: i_vec,
-            j: j_vec,
-            first_pair,
+            self.first_pair.push(self.i.len());
         }
     }
 
@@ -133,6 +150,39 @@ impl PackedPairs {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.i.is_empty()
+    }
+}
+
+/// The per-step shared read-only state every optimized kernel needs: the
+/// filtered shortlists, optionally the packed (i, j) pair list (scheme 1b),
+/// and the positions packed into the compute precision. Owned by each kernel
+/// and refreshed in place once per step so the hot loop never allocates.
+#[derive(Clone, Debug, Default)]
+pub struct Prepared<T> {
+    /// Filtered per-atom shortlists.
+    pub filtered: FilteredNeighbors,
+    /// Flat (i, j) pair list; only refreshed when `with_pairs` is set.
+    pub pairs: PackedPairs,
+    /// Positions packed to stride 4 in the compute precision.
+    pub packed_x: Vec<T>,
+}
+
+impl<T: vektor::Real> Prepared<T> {
+    /// Refresh everything from the current atoms/neighbor list, reusing all
+    /// internal allocations.
+    pub fn refresh(
+        &mut self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        cutoff: f64,
+        with_pairs: bool,
+    ) {
+        self.filtered.rebuild(atoms, sim_box, neighbors, cutoff);
+        if with_pairs {
+            self.pairs.rebuild(&self.filtered);
+        }
+        crate::vector_kernel::pack_positions_into(atoms, &mut self.packed_x);
     }
 }
 

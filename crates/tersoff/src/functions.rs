@@ -190,7 +190,8 @@ pub fn bij_d<T: Real>(p: &ParamT<T>, zeta: T) -> T {
         p.beta * (-half * tmp.powf(-T::from_f64(1.5)))
     } else if tmp > p.ca2 {
         p.beta
-            * (-half * tmp.powf(-T::from_f64(1.5))
+            * (-half
+                * tmp.powf(-T::from_f64(1.5))
                 * (T::ONE - (T::ONE + T::ONE / (T::TWO * n)) * tmp.powf(-n)))
     } else if tmp < p.ca4 {
         T::ZERO
@@ -279,8 +280,16 @@ pub fn zeta_term_and_gradients<T: Real>(
 ) -> (T, [T; 3], [T; 3]) {
     let inv_rij = T::ONE / rij;
     let inv_rik = T::ONE / rik;
-    let hat_ij = [del_ij[0] * inv_rij, del_ij[1] * inv_rij, del_ij[2] * inv_rij];
-    let hat_ik = [del_ik[0] * inv_rik, del_ik[1] * inv_rik, del_ik[2] * inv_rik];
+    let hat_ij = [
+        del_ij[0] * inv_rij,
+        del_ij[1] * inv_rij,
+        del_ij[2] * inv_rij,
+    ];
+    let hat_ik = [
+        del_ik[0] * inv_rik,
+        del_ik[1] * inv_rik,
+        del_ik[2] * inv_rik,
+    ];
     let cos_theta = hat_ij[0] * hat_ik[0] + hat_ij[1] * hat_ik[1] + hat_ij[2] * hat_ik[2];
 
     let f_c = fc(p, rik);
@@ -469,7 +478,7 @@ mod tests {
         let (e, _) = ex_delr(&pb, 100.0, 0.1);
         assert!(e.is_finite());
         let (e, _) = ex_delr(&pb, 0.1, 100.0);
-        assert!(e >= 0.0 && e < 1e-25);
+        assert!((0.0..1e-25).contains(&e));
     }
 
     #[test]

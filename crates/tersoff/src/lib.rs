@@ -26,10 +26,15 @@
 //! * [`driver`] — the `Ref` / `Opt-D` / `Opt-S` / `Opt-M` execution modes of
 //!   Sec. V-E as ready-made [`md_core::potential::Potential`] objects.
 
+// Kernel code indexes spatial components and lanes with explicit
+// `for d in 0..3` / `for lane in 0..W` loops to mirror the paper's
+// pseudocode; clippy's iterator rewrites are deliberately not applied.
+#![allow(clippy::needless_range_loop)]
+
 pub mod driver;
-pub mod pair_kernel;
 pub mod filter;
 pub mod functions;
+pub mod pair_kernel;
 pub mod params;
 pub mod reference;
 pub mod scalar_opt;
@@ -39,7 +44,7 @@ pub mod scheme_c;
 pub mod stats;
 pub mod vector_kernel;
 
-pub use driver::{ExecutionMode, Scheme, TersoffOptions, make_potential};
+pub use driver::{make_potential, ExecutionMode, Scheme, TersoffOptions};
 pub use params::{TersoffParam, TersoffParams};
 pub use reference::TersoffRef;
 pub use scalar_opt::{TersoffOptD, TersoffOptM, TersoffOptS, TersoffScalarOpt};

@@ -19,6 +19,7 @@ use crate::stats::KernelStats;
 use crate::vector_kernel::{
     force_zeta_v, min_image_v, repulsive_v, zeta_term_and_gradients_v, PackedParams,
 };
+use md_core::potential::ComputeOutput;
 use vektor::conflict::scatter_add3;
 use vektor::gather::adjacent_gather3;
 use vektor::{Real, SimdF, SimdI, SimdM};
@@ -43,6 +44,7 @@ pub struct PairKernelCtx<'a, T: Real> {
 }
 
 /// Mutable accumulation state (accumulation precision `A`).
+#[derive(Clone, Debug, Default)]
 pub struct Accumulators<A: Real> {
     /// Per-atom forces, stride 3.
     pub forces: Vec<A>,
@@ -55,11 +57,29 @@ pub struct Accumulators<A: Real> {
 impl<A: Real> Accumulators<A> {
     /// Zeroed accumulators for `n` atoms.
     pub fn new(n_atoms: usize) -> Self {
-        Accumulators {
-            forces: vec![A::ZERO; n_atoms * 3],
-            energy: A::ZERO,
-            virial: A::ZERO,
+        let mut acc = Accumulators::default();
+        acc.reset(n_atoms);
+        acc
+    }
+
+    /// Zero in place, reusing the force allocation (allocation-free once the
+    /// buffer has reached the steady-state atom count).
+    pub fn reset(&mut self, n_atoms: usize) {
+        self.forces.clear();
+        self.forces.resize(n_atoms * 3, A::ZERO);
+        self.energy = A::ZERO;
+        self.virial = A::ZERO;
+    }
+
+    /// Fold this accumulator into a double-precision output.
+    pub fn fold_into(&self, out: &mut ComputeOutput) {
+        for (idx, dst) in out.forces.iter_mut().enumerate() {
+            for d in 0..3 {
+                dst[d] += self.forces[idx * 3 + d].to_f64();
+            }
         }
+        out.energy += self.energy.to_f64();
+        out.virial += self.virial.to_f64();
     }
 }
 
@@ -125,6 +145,7 @@ pub fn process_pair_vector<T: Real, A: Real, const W: usize>(
 
     // The K iteration driver, shared by both passes. Calls `body(ready, k_cand)`
     // whenever a set of lanes is scheduled to compute.
+    #[allow(clippy::type_complexity)]
     let k_iterate = |stats: &mut Option<&mut KernelStats>,
                      body: &mut dyn FnMut(
         SimdM<W>,
@@ -238,8 +259,7 @@ pub fn process_pair_vector<T: Real, A: Real, const W: usize>(
         let forces = &mut acc.forces;
         let virial_k_ref = &mut virial_k;
         k_iterate(&mut stats, &mut |ready, k_cand, del_ik, rik, p_ijk| {
-            let (_, grad_j, grad_k) =
-                zeta_term_and_gradients_v(p_ijk, del_ij, rij, del_ik, rik);
+            let (_, grad_j, grad_k) = zeta_term_and_gradients_v(p_ijk, del_ij, rij, del_ik, rik);
             let mut fk = [SimdF::<A, W>::zero(); 3];
             for d in 0..3 {
                 let gj = (prefactor * grad_j[d]).masked(ready);

@@ -91,7 +91,10 @@ impl TersoffParam {
             (powerm - 3.0).abs() < 1e-12 || (powerm - 1.0).abs() < 1e-12,
             "powerm (m) must be 1 or 3, got {powerm}"
         );
-        assert!(bigr > 0.0 && bigd > 0.0 && bigd < bigr, "invalid cutoff R={bigr} D={bigd}");
+        assert!(
+            bigr > 0.0 && bigd > 0.0 && bigd < bigr,
+            "invalid cutoff R={bigr} D={bigd}"
+        );
         assert!(powern > 0.0 && beta >= 0.0 && d != 0.0);
         let cut = bigr + bigd;
         let n = powern;
@@ -154,10 +157,14 @@ impl TersoffParams {
         for i in 0..n {
             for j in 0..n {
                 for k in 0..n {
-                    let key = (elements[i].clone(), elements[j].clone(), elements[k].clone());
-                    let entry = map.get(&key).unwrap_or_else(|| {
-                        panic!("missing Tersoff entry for triplet {key:?}")
-                    });
+                    let key = (
+                        elements[i].clone(),
+                        elements[j].clone(),
+                        elements[k].clone(),
+                    );
+                    let entry = map
+                        .get(&key)
+                        .unwrap_or_else(|| panic!("missing Tersoff entry for triplet {key:?}"));
                     entries.push(*entry);
                 }
             }
@@ -174,7 +181,11 @@ impl TersoffParams {
     pub fn single_element(element: &str, entry: TersoffParam) -> Self {
         let mut map = HashMap::new();
         map.insert(
-            (element.to_string(), element.to_string(), element.to_string()),
+            (
+                element.to_string(),
+                element.to_string(),
+                element.to_string(),
+            ),
             entry,
         );
         Self::from_entries(vec![element.to_string()], &map)
@@ -219,8 +230,8 @@ impl TersoffParams {
         Self::single_element(
             "Si",
             TersoffParam::new(
-                3.0, 1.0, 1.3258, 4.8381, 2.0417, 0.0, 22.956, 0.33675, 1.3258, 95.373, 3.0,
-                0.2, 3.2394, 3264.7,
+                3.0, 1.0, 1.3258, 4.8381, 2.0417, 0.0, 22.956, 0.33675, 1.3258, 95.373, 3.0, 0.2,
+                3.2394, 3264.7,
             ),
         )
     }
@@ -233,8 +244,8 @@ impl TersoffParams {
         Self::single_element(
             "Si",
             TersoffParam::new(
-                3.0, 1.0, 0.0, 100390.0, 16.217, -0.59825, 0.78734, 1.1e-6, 1.73222, 471.18,
-                2.85, 0.15, 2.4799, 1830.8,
+                3.0, 1.0, 0.0, 100390.0, 16.217, -0.59825, 0.78734, 1.1e-6, 1.73222, 471.18, 2.85,
+                0.15, 2.4799, 1830.8,
             ),
         )
     }
@@ -244,8 +255,8 @@ impl TersoffParams {
         Self::single_element(
             "C",
             TersoffParam::new(
-                3.0, 1.0, 0.0, 38049.0, 4.3484, -0.57058, 0.72751, 1.5724e-7, 2.2119, 346.74,
-                1.95, 0.15, 3.4879, 1393.6,
+                3.0, 1.0, 0.0, 38049.0, 4.3484, -0.57058, 0.72751, 1.5724e-7, 2.2119, 346.74, 1.95,
+                0.15, 3.4879, 1393.6,
             ),
         )
     }
@@ -323,9 +334,13 @@ impl TersoffParams {
         let tokens: Vec<String> = content
             .lines()
             .map(|l| l.split('#').next().unwrap_or(""))
-            .flat_map(|l| l.split_whitespace().map(|s| s.to_string()).collect::<Vec<_>>())
+            .flat_map(|l| {
+                l.split_whitespace()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+            })
             .collect();
-        if tokens.len() % 17 != 0 {
+        if !tokens.len().is_multiple_of(17) {
             return Err(format!(
                 "malformed tersoff file: {} tokens is not a multiple of 17",
                 tokens.len()
@@ -492,13 +507,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid cutoff")]
     fn bad_cutoff_rejected() {
-        TersoffParam::new(3.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.1, 0.2, 1.0, 1.0);
+        TersoffParam::new(
+            3.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.1, 0.2, 1.0, 1.0,
+        );
     }
 
     #[test]
     #[should_panic(expected = "powerm")]
     fn bad_powerm_rejected() {
-        TersoffParam::new(2.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 3.0, 0.2, 1.0, 1.0);
+        TersoffParam::new(
+            2.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 3.0, 0.2, 1.0, 1.0,
+        );
     }
 
     #[test]

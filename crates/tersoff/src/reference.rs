@@ -10,9 +10,12 @@
 use crate::functions::{self, ParamT};
 use crate::params::TersoffParams;
 use md_core::atom::AtomData;
+use md_core::force_engine::RangePotential;
 use md_core::neighbor::NeighborList;
 use md_core::potential::{ComputeOutput, Potential};
 use md_core::simbox::SimBox;
+use std::any::Any;
+use std::ops::Range;
 
 /// The unoptimized double-precision Tersoff potential.
 #[derive(Clone, Debug)]
@@ -35,27 +38,20 @@ impl TersoffRef {
     fn param(&self, ti: usize, tj: usize, tk: usize) -> ParamT<f64> {
         ParamT::from_param(self.params.triplet(ti, tj, tk))
     }
-}
 
-impl Potential for TersoffRef {
-    fn name(&self) -> String {
-        "tersoff/ref".to_string()
-    }
-
-    fn cutoff(&self) -> f64 {
-        self.params.max_cutoff
-    }
-
-    fn compute(
-        &mut self,
+    /// Accumulate the contributions of central atoms in `range` into `out`.
+    /// All force writes (i, j and k side) go through `out`, so concurrent
+    /// calls need per-thread outputs — exactly what the force engine
+    /// provides.
+    fn accumulate_range(
+        &self,
         atoms: &AtomData,
         sim_box: &SimBox,
         neighbors: &NeighborList,
+        range: Range<usize>,
         out: &mut ComputeOutput,
     ) {
-        out.reset(atoms.n_total());
-
-        for i in 0..atoms.n_local {
+        for i in range {
             let xi = atoms.x[i];
             let ti = atoms.type_[i];
             let jlist = neighbors.neighbors_of(i);
@@ -86,10 +82,9 @@ impl Potential for TersoffRef {
                         continue;
                     }
                     let rik = rsq_ik.sqrt();
-                    let cos_theta = (del_ij[0] * del_ik[0]
-                        + del_ij[1] * del_ik[1]
-                        + del_ij[2] * del_ik[2])
-                        / (rij * rik);
+                    let cos_theta =
+                        (del_ij[0] * del_ik[0] + del_ij[1] * del_ik[1] + del_ij[2] * del_ik[2])
+                            / (rij * rik);
                     zeta_ij += functions::zeta_term(&p_ijk, rij, rik, cos_theta);
                 }
 
@@ -139,6 +134,47 @@ impl Potential for TersoffRef {
     }
 }
 
+impl Potential for TersoffRef {
+    fn name(&self) -> String {
+        "tersoff/ref".to_string()
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.params.max_cutoff
+    }
+
+    fn compute(
+        &mut self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        out: &mut ComputeOutput,
+    ) {
+        out.reset(atoms.n_total());
+        self.accumulate_range(atoms, sim_box, neighbors, 0..atoms.n_local, out);
+    }
+}
+
+impl RangePotential for TersoffRef {
+    fn prepare(&mut self, _atoms: &AtomData, _sim_box: &SimBox, _neighbors: &NeighborList) {}
+
+    fn make_scratch(&self) -> Box<dyn Any + Send> {
+        Box::new(())
+    }
+
+    fn compute_range(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        neighbors: &NeighborList,
+        range: Range<usize>,
+        _scratch: &mut (dyn Any + Send),
+        out: &mut ComputeOutput,
+    ) {
+        self.accumulate_range(atoms, sim_box, neighbors, range, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,11 +188,8 @@ mod tests {
     ) -> (ComputeOutput, AtomData, SimBox) {
         let (sim_box, atoms) = Lattice::silicon(lattice_cells).build_perturbed(perturb, seed);
         let mut pot = TersoffRef::new(TersoffParams::silicon());
-        let list = NeighborList::build_binned(
-            &atoms,
-            &sim_box,
-            NeighborSettings::new(pot.cutoff(), 1.0),
-        );
+        let list =
+            NeighborList::build_binned(&atoms, &sim_box, NeighborSettings::new(pot.cutoff(), 1.0));
         let mut out = ComputeOutput::zeros(atoms.n_total());
         pot.compute(&atoms, &sim_box, &list, &mut out);
         (out, atoms, sim_box)
@@ -261,17 +294,14 @@ mod tests {
         atoms.push_local([10.0, 10.0, 10.0], [0.0; 3], 0, 1);
         atoms.push_local([10.0 + r, 10.0, 10.0], [0.0; 3], 0, 2);
         let mut pot = TersoffRef::new(TersoffParams::silicon());
-        let list = NeighborList::build_binned(
-            &atoms,
-            &sim_box,
-            NeighborSettings::new(pot.cutoff(), 0.5),
-        );
+        let list =
+            NeighborList::build_binned(&atoms, &sim_box, NeighborSettings::new(pot.cutoff(), 0.5));
         let mut out = ComputeOutput::zeros(2);
         pot.compute(&atoms, &sim_box, &list, &mut out);
 
         let p = ParamT::<f64>::from_param(TersoffParams::silicon().pair(0, 0));
-        let expected = functions::fc(&p, r)
-            * (p.biga * (-p.lam1 * r).exp() - p.bigb * (-p.lam2 * r).exp());
+        let expected =
+            functions::fc(&p, r) * (p.biga * (-p.lam1 * r).exp() - p.bigb * (-p.lam2 * r).exp());
         assert!(
             (out.energy - expected).abs() < 1e-10,
             "dimer energy {} vs {}",
@@ -287,14 +317,15 @@ mod tests {
     fn multispecies_sic_runs_and_is_translation_invariant() {
         let (sim_box, atoms) = Lattice::silicon_carbide([2, 2, 2]).build_perturbed(0.03, 9);
         let mut pot = TersoffRef::new(TersoffParams::silicon_carbide());
-        let list = NeighborList::build_binned(
-            &atoms,
-            &sim_box,
-            NeighborSettings::new(pot.cutoff(), 1.0),
-        );
+        let list =
+            NeighborList::build_binned(&atoms, &sim_box, NeighborSettings::new(pot.cutoff(), 1.0));
         let mut out = ComputeOutput::zeros(atoms.n_total());
         pot.compute(&atoms, &sim_box, &list, &mut out);
-        assert!(out.energy < 0.0, "SiC crystal should be bound, E = {}", out.energy);
+        assert!(
+            out.energy < 0.0,
+            "SiC crystal should be bound, E = {}",
+            out.energy
+        );
         let net = out.net_force();
         for d in 0..3 {
             assert!(net[d].abs() < 1e-9);

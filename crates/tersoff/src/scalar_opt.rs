@@ -19,13 +19,16 @@
 //! code — mirroring how the paper's vector library derives the mixed mode
 //! automatically.
 
-use crate::filter::FilteredNeighbors;
+use crate::filter::Prepared;
 use crate::functions::{self, ParamT};
 use crate::params::TersoffParams;
 use md_core::atom::AtomData;
+use md_core::force_engine::RangePotential;
 use md_core::neighbor::NeighborList;
 use md_core::potential::{ComputeOutput, Potential};
 use md_core::simbox::SimBox;
+use std::any::Any;
+use std::ops::Range;
 use vektor::Real;
 
 /// Default bound on the pre-computed-derivative scratch list. The silicon
@@ -46,6 +49,11 @@ pub struct TersoffScalarOpt<T: Real, A: Real> {
     kmax: usize,
     /// Number of times the kmax fallback path was taken (diagnostic).
     pub fallback_count: u64,
+    /// Per-step shared state (filtered lists, packed positions), refreshed in
+    /// place by [`RangePotential::prepare`].
+    prep: Prepared<T>,
+    /// Scratch for the single-threaded [`Potential::compute`] entry point.
+    own_scratch: ScalarScratch<T, A>,
     _acc: std::marker::PhantomData<A>,
 }
 
@@ -66,6 +74,8 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
             nelements,
             kmax,
             fallback_count: 0,
+            prep: Prepared::default(),
+            own_scratch: ScalarScratch::default(),
             _acc: std::marker::PhantomData,
         }
     }
@@ -83,10 +93,20 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
 
 /// Scratch entry: the pre-computed gradient of one ζ term with respect to
 /// atom k, plus k's index.
-#[derive(Copy, Clone)]
+#[derive(Copy, Clone, Debug)]
 struct KEntry<T: Real> {
     k: usize,
     grad_k: [T; 3],
+}
+
+/// Reusable per-thread scratch of the scalar-optimized kernel: the
+/// accumulation-precision force array, the bounded ζ-gradient list, and the
+/// fallback counter folded back via [`RangePotential::absorb_scratch`].
+#[derive(Clone, Debug, Default)]
+pub struct ScalarScratch<T: Real, A: Real> {
+    forces: Vec<[A; 3]>,
+    kentries: Vec<KEntry<T>>,
+    fallbacks: u64,
 }
 
 impl<T: Real, A: Real> Potential for TersoffScalarOpt<T, A> {
@@ -116,25 +136,45 @@ impl<T: Real, A: Real> Potential for TersoffScalarOpt<T, A> {
         neighbors: &NeighborList,
         out: &mut ComputeOutput,
     ) {
+        self.prepare(atoms, sim_box, neighbors);
         out.reset(atoms.n_total());
+        let mut scratch = std::mem::take(&mut self.own_scratch);
+        self.range_kernel(atoms, sim_box, 0..atoms.n_local, &mut scratch, out);
+        self.fallback_count += std::mem::take(&mut scratch.fallbacks);
+        self.own_scratch = scratch;
+    }
+}
 
-        // Filter the skin-extended list by the global maximum cutoff and pack
-        // positions into the compute precision (the USER-INTEL style packing
-        // step).
-        let filtered = FilteredNeighbors::build(atoms, sim_box, neighbors, self.params.max_cutoff);
-        let packed: Vec<T> = crate::vector_kernel::pack_positions(atoms);
+impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
+    /// The actual kernel over a contiguous range of central atoms, reading
+    /// the prepared shared state and accumulating into `scratch`/`out`.
+    /// Allocation-free in steady state.
+    fn range_kernel(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        range: Range<usize>,
+        scratch: &mut ScalarScratch<T, A>,
+        out: &mut ComputeOutput,
+    ) {
+        let filtered = &self.prep.filtered;
+        let packed = &self.prep.packed_x;
         let types = &atoms.type_;
 
         // Accumulators in the accumulation precision.
-        let mut forces: Vec<[A; 3]> = vec![[A::ZERO; 3]; atoms.n_total()];
+        scratch.forces.clear();
+        scratch.forces.resize(atoms.n_total(), [A::ZERO; 3]);
+        let ScalarScratch {
+            forces,
+            kentries,
+            fallbacks,
+        } = scratch;
         let mut energy = A::ZERO;
         let mut virial = A::ZERO;
+        kentries.reserve(self.kmax);
 
-        let mut scratch: Vec<KEntry<T>> = Vec::with_capacity(self.kmax);
-
-        let position = |idx: usize| -> [T; 3] {
-            [packed[idx * 4], packed[idx * 4 + 1], packed[idx * 4 + 2]]
-        };
+        let position =
+            |idx: usize| -> [T; 3] { [packed[idx * 4], packed[idx * 4 + 1], packed[idx * 4 + 2]] };
         let acc = |x: T| A::from_f64(x.to_f64());
 
         // Minimum-image displacement in the compute precision. When ghost
@@ -162,7 +202,7 @@ impl<T: Real, A: Real> Potential for TersoffScalarOpt<T, A> {
             d
         };
 
-        for i in 0..atoms.n_local {
+        for i in range {
             let xi = position(i);
             let ti = types[i];
             let jlist = filtered.neighbors_of(i);
@@ -186,7 +226,7 @@ impl<T: Real, A: Real> Potential for TersoffScalarOpt<T, A> {
                 let mut zeta_ij = T::ZERO;
                 let mut dzeta_i = [T::ZERO; 3];
                 let mut dzeta_j = [T::ZERO; 3];
-                scratch.clear();
+                kentries.clear();
                 let mut overflow = false;
 
                 for (kk, &k_u32) in jlist.iter().enumerate() {
@@ -211,8 +251,8 @@ impl<T: Real, A: Real> Potential for TersoffScalarOpt<T, A> {
                         dzeta_j[d] += grad_j[d];
                         dzeta_i[d] -= grad_j[d] + grad_k[d];
                     }
-                    if scratch.len() < self.kmax {
-                        scratch.push(KEntry { k, grad_k });
+                    if kentries.len() < self.kmax {
+                        kentries.push(KEntry { k, grad_k });
                     } else {
                         overflow = true;
                     }
@@ -237,7 +277,7 @@ impl<T: Real, A: Real> Potential for TersoffScalarOpt<T, A> {
                     forces[j][d] += acc(prefactor * dzeta_j[d]);
                     virial += acc(del_ij[d] * prefactor * dzeta_j[d]);
                 }
-                for entry in &scratch {
+                for entry in kentries.iter() {
                     let del_ik = min_image(xi, position(entry.k));
                     for d in 0..3 {
                         let fk = prefactor * entry.grad_k[d];
@@ -250,13 +290,13 @@ impl<T: Real, A: Real> Potential for TersoffScalarOpt<T, A> {
                 // recompute the overflowing gradients in a second loop, as in
                 // Algorithm 3's "revert to original approach".
                 if overflow {
-                    self.fallback_count += 1;
+                    *fallbacks += 1;
                     for (kk, &k_u32) in jlist.iter().enumerate() {
                         if kk == jj {
                             continue;
                         }
                         let k = k_u32 as usize;
-                        if scratch.iter().any(|e| e.k == k) {
+                        if kentries.iter().any(|e| e.k == k) {
                             continue;
                         }
                         let tk = types[k];
@@ -283,11 +323,44 @@ impl<T: Real, A: Real> Potential for TersoffScalarOpt<T, A> {
         // Fold the accumulators into the double-precision output.
         for (dst, src) in out.forces.iter_mut().zip(forces.iter()) {
             for d in 0..3 {
-                dst[d] = src[d].to_f64();
+                dst[d] += src[d].to_f64();
             }
         }
-        out.energy = energy.to_f64();
-        out.virial = virial.to_f64();
+        out.energy += energy.to_f64();
+        out.virial += virial.to_f64();
+    }
+}
+
+impl<T: Real, A: Real> RangePotential for TersoffScalarOpt<T, A> {
+    fn prepare(&mut self, atoms: &AtomData, sim_box: &SimBox, neighbors: &NeighborList) {
+        self.prep
+            .refresh(atoms, sim_box, neighbors, self.params.max_cutoff, false);
+    }
+
+    fn make_scratch(&self) -> Box<dyn Any + Send> {
+        Box::new(ScalarScratch::<T, A>::default())
+    }
+
+    fn compute_range(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        _neighbors: &NeighborList,
+        range: Range<usize>,
+        scratch: &mut (dyn Any + Send),
+        out: &mut ComputeOutput,
+    ) {
+        let scratch = scratch
+            .downcast_mut::<ScalarScratch<T, A>>()
+            .expect("scratch type mismatch");
+        self.range_kernel(atoms, sim_box, range, scratch, out);
+    }
+
+    fn absorb_scratch(&mut self, scratch: &mut (dyn Any + Send)) {
+        let scratch = scratch
+            .downcast_mut::<ScalarScratch<T, A>>()
+            .expect("scratch type mismatch");
+        self.fallback_count += std::mem::take(&mut scratch.fallbacks);
     }
 }
 
@@ -305,17 +378,18 @@ mod tests {
     use md_core::lattice::Lattice;
     use md_core::neighbor::NeighborSettings;
 
-    fn setup(
-        cells: [usize; 3],
-        perturb: f64,
-        seed: u64,
-    ) -> (SimBox, AtomData, NeighborList) {
+    fn setup(cells: [usize; 3], perturb: f64, seed: u64) -> (SimBox, AtomData, NeighborList) {
         let (b, atoms) = Lattice::silicon(cells).build_perturbed(perturb, seed);
         let list = NeighborList::build_binned(&atoms, &b, NeighborSettings::new(3.0, 1.0));
         (b, atoms, list)
     }
 
-    fn run<P: Potential>(pot: &mut P, b: &SimBox, atoms: &AtomData, list: &NeighborList) -> ComputeOutput {
+    fn run<P: Potential>(
+        pot: &mut P,
+        b: &SimBox,
+        atoms: &AtomData,
+        list: &NeighborList,
+    ) -> ComputeOutput {
         let mut out = ComputeOutput::zeros(atoms.n_total());
         pot.compute(atoms, b, list, &mut out);
         out

@@ -13,16 +13,19 @@
 //! optimization), held in a scratch list indexed by k, and scaled by δζ once
 //! the bond order is known.
 
-use crate::filter::FilteredNeighbors;
+use crate::filter::Prepared;
 use crate::params::TersoffParams;
 use crate::stats::KernelStats;
 use crate::vector_kernel::{
     force_zeta_v, min_image_v, repulsive_v, zeta_term_and_gradients_v, PackedParams,
 };
 use md_core::atom::AtomData;
+use md_core::force_engine::RangePotential;
 use md_core::neighbor::NeighborList;
 use md_core::potential::{ComputeOutput, Potential};
 use md_core::simbox::SimBox;
+use std::any::Any;
+use std::ops::Range;
 use vektor::gather::{adjacent_gather3, adjacent_scatter_add3_distinct};
 use vektor::{Real, SimdF, SimdM};
 
@@ -36,15 +39,31 @@ pub struct TersoffSchemeA<T: Real, A: Real, const W: usize> {
     pub stats: KernelStats,
     /// Whether to collect statistics (small overhead in the inner loops).
     pub collect_stats: bool,
+    /// Per-step shared state, refreshed in place by
+    /// [`RangePotential::prepare`].
+    prep: Prepared<T>,
+    /// Scratch for the single-threaded [`Potential::compute`] entry point.
+    own_scratch: SchemeAScratch<T, A, W>,
     _acc: std::marker::PhantomData<A>,
 }
 
 /// Per-k scratch entry of the combined K loop.
+#[derive(Copy, Clone, Debug)]
 struct KSlot<T: Real, const W: usize> {
     k: usize,
     del_ik: [T; 3],
     grad_k: [SimdF<T, W>; 3],
     mask: SimdM<W>,
+}
+
+/// Reusable per-thread scratch of scheme (1a): the flat accumulation-
+/// precision force buffer, the per-k slot list, and the per-thread kernel
+/// statistics merged back via [`RangePotential::absorb_scratch`].
+#[derive(Clone, Debug, Default)]
+pub struct SchemeAScratch<T: Real, A: Real, const W: usize> {
+    forces: Vec<A>,
+    kslots: Vec<KSlot<T, W>>,
+    stats: KernelStats,
 }
 
 impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
@@ -56,6 +75,8 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
             packed,
             stats: KernelStats::new(W),
             collect_stats: false,
+            prep: Prepared::default(),
+            own_scratch: SchemeAScratch::default(),
             _acc: std::marker::PhantomData,
         }
     }
@@ -88,17 +109,53 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
         neighbors: &NeighborList,
         out: &mut ComputeOutput,
     ) {
+        self.prepare(atoms, sim_box, neighbors);
         out.reset(atoms.n_total());
-        if self.collect_stats {
-            self.stats.reset();
+        let mut scratch = std::mem::take(&mut self.own_scratch);
+        if scratch.stats.width != W {
+            scratch.stats = KernelStats::new(W);
         }
+        self.range_kernel(atoms, sim_box, 0..atoms.n_local, &mut scratch, out);
+        self.absorb(&mut scratch);
+        self.own_scratch = scratch;
+    }
+}
 
-        let filtered = FilteredNeighbors::build(atoms, sim_box, neighbors, self.params.max_cutoff);
-        let packed_x: Vec<T> = crate::vector_kernel::pack_positions(atoms);
+impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
+    /// Fold per-thread diagnostics back into the potential.
+    fn absorb(&mut self, scratch: &mut SchemeAScratch<T, A, W>) {
+        if self.collect_stats {
+            self.stats.merge(&scratch.stats);
+            scratch.stats.reset();
+        }
+    }
+
+    /// The actual kernel over a contiguous range of central atoms, reading
+    /// the prepared shared state and accumulating into `scratch`/`out`.
+    /// Allocation-free in steady state.
+    fn range_kernel(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        range: Range<usize>,
+        scratch: &mut SchemeAScratch<T, A, W>,
+        out: &mut ComputeOutput,
+    ) {
+        let filtered = &self.prep.filtered;
+        let packed_x = &self.prep.packed_x;
         let types = &atoms.type_;
 
         // Flat accumulation buffers in the accumulation precision.
-        let mut forces: Vec<A> = vec![A::ZERO; atoms.n_total() * 3];
+        scratch.forces.clear();
+        scratch.forces.resize(atoms.n_total() * 3, A::ZERO);
+        let SchemeAScratch {
+            forces,
+            kslots,
+            stats,
+        } = scratch;
+        if self.collect_stats {
+            stats.reset();
+        }
         let mut energy = A::ZERO;
         let mut virial = A::ZERO;
 
@@ -111,7 +168,11 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
         let periodic = sim_box.periodic;
 
         let pos = |idx: usize| -> [T; 3] {
-            [packed_x[idx * 4], packed_x[idx * 4 + 1], packed_x[idx * 4 + 2]]
+            [
+                packed_x[idx * 4],
+                packed_x[idx * 4 + 1],
+                packed_x[idx * 4 + 2],
+            ]
         };
         let min_image_scalar = |a: [T; 3], b: [T; 3]| -> [T; 3] {
             let mut d = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
@@ -129,9 +190,7 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
         };
         let acc = |x: T| A::from_f64(x.to_f64());
 
-        let mut scratch: Vec<KSlot<T, W>> = Vec::new();
-
-        for i in 0..atoms.n_local {
+        for i in range {
             let xi = pos(i);
             let ti = types[i];
             let jlist = filtered.neighbors_of(i);
@@ -158,14 +217,13 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
                     *slot = jlist[jv + lane] as usize;
                 }
 
-                let xj = adjacent_gather3::<T, W, 4>(&packed_x, &j_idx, lane_mask);
+                let xj = adjacent_gather3::<T, W, 4>(packed_x, &j_idx, lane_mask);
                 let del_ij = min_image_v(
                     [xj[0] - xi_v[0], xj[1] - xi_v[1], xj[2] - xi_v[2]],
                     lengths,
                     periodic,
                 );
-                let rsq =
-                    del_ij[0] * del_ij[0] + del_ij[1] * del_ij[1] + del_ij[2] * del_ij[2];
+                let rsq = del_ij[0] * del_ij[0] + del_ij[1] * del_ij[1] + del_ij[2] * del_ij[2];
 
                 // Per-lane (i, j, j) pair parameters.
                 let mut pair_idx = [0usize; W];
@@ -176,7 +234,7 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
                 let p_ij = self.packed.gather(&pair_idx, lane_mask);
                 lane_mask &= rsq.simd_lt(p_ij.cutsq);
                 if self.collect_stats {
-                    self.stats.record_pair_vector(lane_mask.count());
+                    stats.record_pair_vector(lane_mask.count());
                 }
                 if lane_mask.none() {
                     jv += W;
@@ -188,7 +246,7 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
                 let mut zeta = SimdF::<T, W>::zero();
                 let mut dzeta_i = [SimdF::<T, W>::zero(); 3];
                 let mut dzeta_j = [SimdF::<T, W>::zero(); 3];
-                scratch.clear();
+                kslots.clear();
 
                 for &k_u32 in jlist {
                     let k = k_u32 as usize;
@@ -216,12 +274,12 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
                     k_mask &= SimdF::splat(rsq_ik).simd_lt(p_ijk.cutsq);
                     if k_mask.none() {
                         if self.collect_stats {
-                            self.stats.record_k_spin();
+                            stats.record_k_spin();
                         }
                         continue;
                     }
                     if self.collect_stats {
-                        self.stats.record_k_compute(k_mask.count());
+                        stats.record_k_compute(k_mask.count());
                     }
 
                     let rik = rsq_ik.sqrt();
@@ -230,19 +288,14 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
                         SimdF::splat(del_ik_s[1]),
                         SimdF::splat(del_ik_s[2]),
                     ];
-                    let (z, grad_j, grad_k) = zeta_term_and_gradients_v(
-                        &p_ijk,
-                        del_ij,
-                        rij,
-                        del_ik_v,
-                        SimdF::splat(rik),
-                    );
+                    let (z, grad_j, grad_k) =
+                        zeta_term_and_gradients_v(&p_ijk, del_ij, rij, del_ik_v, SimdF::splat(rik));
                     zeta += z.masked(k_mask);
                     for d in 0..3 {
                         dzeta_j[d] += grad_j[d].masked(k_mask);
                         dzeta_i[d] -= (grad_j[d] + grad_k[d]).masked(k_mask);
                     }
-                    scratch.push(KSlot {
+                    kslots.push(KSlot {
                         k,
                         del_ik: del_ik_s,
                         grad_k,
@@ -275,7 +328,7 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
                     fj_vec[1].masked(lane_mask).convert(),
                     fj_vec[2].masked(lane_mask).convert(),
                 ];
-                adjacent_scatter_add3_distinct::<A, W, 3>(&mut forces, &j_idx, lane_mask, fj_acc);
+                adjacent_scatter_add3_distinct::<A, W, 3>(forces, &j_idx, lane_mask, fj_acc);
 
                 // Virial: pair part + j-side three-body part.
                 virial -= acc((fpair * rsq).masked_sum(lane_mask));
@@ -285,7 +338,7 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
 
                 // Force on the k atoms: uniform target per scratch entry,
                 // in-register reduction then one scalar update.
-                for slot in &scratch {
+                for slot in kslots.iter() {
                     for d in 0..3 {
                         let fk = (prefactor * slot.grad_k[d]).masked_sum(slot.mask);
                         forces[slot.k * 3 + d] += acc(fk);
@@ -303,11 +356,50 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
 
         for (idx, dst) in out.forces.iter_mut().enumerate() {
             for d in 0..3 {
-                dst[d] = forces[idx * 3 + d].to_f64();
+                dst[d] += forces[idx * 3 + d].to_f64();
             }
         }
-        out.energy = energy.to_f64();
-        out.virial = virial.to_f64();
+        out.energy += energy.to_f64();
+        out.virial += virial.to_f64();
+    }
+}
+
+impl<T: Real, A: Real, const W: usize> RangePotential for TersoffSchemeA<T, A, W> {
+    fn prepare(&mut self, atoms: &AtomData, sim_box: &SimBox, neighbors: &NeighborList) {
+        if self.collect_stats {
+            self.stats.reset();
+        }
+        self.prep
+            .refresh(atoms, sim_box, neighbors, self.params.max_cutoff, false);
+    }
+
+    fn make_scratch(&self) -> Box<dyn Any + Send> {
+        Box::new(SchemeAScratch::<T, A, W> {
+            stats: KernelStats::new(W),
+            ..Default::default()
+        })
+    }
+
+    fn compute_range(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        _neighbors: &NeighborList,
+        range: Range<usize>,
+        scratch: &mut (dyn Any + Send),
+        out: &mut ComputeOutput,
+    ) {
+        let scratch = scratch
+            .downcast_mut::<SchemeAScratch<T, A, W>>()
+            .expect("scratch type mismatch");
+        self.range_kernel(atoms, sim_box, range, scratch, out);
+    }
+
+    fn absorb_scratch(&mut self, scratch: &mut (dyn Any + Send)) {
+        let scratch = scratch
+            .downcast_mut::<SchemeAScratch<T, A, W>>()
+            .expect("scratch type mismatch");
+        self.absorb(scratch);
     }
 }
 
@@ -344,8 +436,7 @@ mod tests {
 
         macro_rules! check_width {
             ($w:expr) => {{
-                let mut vec_pot =
-                    TersoffSchemeA::<f64, f64, $w>::new(TersoffParams::silicon());
+                let mut vec_pot = TersoffSchemeA::<f64, f64, $w>::new(TersoffParams::silicon());
                 let out_vec = run(&mut vec_pot, &b, &atoms, &list);
                 assert!(
                     (out_vec.energy - out_ref.energy).abs() < 1e-9 * out_ref.energy.abs(),
@@ -400,8 +491,7 @@ mod tests {
     #[test]
     fn stats_reflect_short_neighbor_lists() {
         let (b, atoms, list) = setup(0.0, 0);
-        let mut pot =
-            TersoffSchemeA::<f64, f64, 8>::new(TersoffParams::silicon()).with_stats();
+        let mut pot = TersoffSchemeA::<f64, f64, 8>::new(TersoffParams::silicon()).with_stats();
         let _ = run(&mut pot, &b, &atoms, &list);
         // Perfect silicon: 4 neighbors in a width-8 vector → 50% pair
         // occupancy, and each K iteration has at most 4 active lanes minus

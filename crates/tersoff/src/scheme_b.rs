@@ -13,15 +13,18 @@
 //!   serialized (conflict-safe) scatter-adds — the `ordered simd` /
 //!   AVX-512CD discussion of Sec. V-A.
 
-use crate::filter::{FilteredNeighbors, PackedPairs};
+use crate::filter::Prepared;
 use crate::pair_kernel::{process_pair_vector, Accumulators, PairKernelCtx};
 use crate::params::TersoffParams;
 use crate::stats::KernelStats;
 use crate::vector_kernel::PackedParams;
 use md_core::atom::AtomData;
+use md_core::force_engine::RangePotential;
 use md_core::neighbor::NeighborList;
 use md_core::potential::{ComputeOutput, Potential};
 use md_core::simbox::SimBox;
+use std::any::Any;
+use std::ops::Range;
 use vektor::{Real, SimdM};
 
 /// Scheme (1b): fused I·J across the vector lanes.
@@ -38,7 +41,22 @@ pub struct TersoffSchemeB<T: Real, A: Real, const W: usize> {
     /// false reproduces the "unoptimized" left half of Fig. 2 for the
     /// ablation benchmark.
     pub fast_forward: bool,
+    /// Per-step shared state (filtered lists, packed pairs, packed
+    /// positions), refreshed in place by [`RangePotential::prepare`].
+    prep: Prepared<T>,
+    /// Scratch for the single-threaded [`Potential::compute`] entry point.
+    own_scratch: PairSchemeScratch<A>,
     _acc: std::marker::PhantomData<A>,
+}
+
+/// Reusable per-thread scratch shared by the pair-vector schemes (1b)/(1c):
+/// the accumulation buffers plus per-thread kernel statistics.
+#[derive(Clone, Debug, Default)]
+pub struct PairSchemeScratch<A: Real> {
+    /// Force/energy/virial accumulators in the accumulation precision.
+    pub acc: Accumulators<A>,
+    /// Per-thread lane-occupancy statistics.
+    pub stats: KernelStats,
 }
 
 impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
@@ -51,6 +69,8 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
             stats: KernelStats::new(W),
             collect_stats: false,
             fast_forward: true,
+            prep: Prepared::default(),
+            own_scratch: PairSchemeScratch::default(),
             _acc: std::marker::PhantomData,
         }
     }
@@ -89,25 +109,55 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeB<T, A, W> {
         neighbors: &NeighborList,
         out: &mut ComputeOutput,
     ) {
+        self.prepare(atoms, sim_box, neighbors);
         out.reset(atoms.n_total());
-        if self.collect_stats {
-            self.stats.reset();
+        let mut scratch = std::mem::take(&mut self.own_scratch);
+        if scratch.stats.width != W {
+            scratch.stats = KernelStats::new(W);
         }
+        self.range_kernel(atoms, sim_box, 0..atoms.n_local, &mut scratch, out);
+        self.absorb(&mut scratch);
+        self.own_scratch = scratch;
+    }
+}
 
-        // Filter component: shortlists + the packed pair list.
-        let filtered = FilteredNeighbors::build(atoms, sim_box, neighbors, self.params.max_cutoff);
-        let pairs = PackedPairs::build(&filtered);
-        if pairs.is_empty() {
+impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
+    /// Fold per-thread diagnostics back into the potential.
+    fn absorb(&mut self, scratch: &mut PairSchemeScratch<A>) {
+        if self.collect_stats {
+            self.stats.merge(&scratch.stats);
+            scratch.stats.reset();
+        }
+    }
+
+    /// The actual kernel over the packed pairs of a contiguous range of
+    /// central atoms (pairs of one atom are contiguous in the packed list).
+    /// Allocation-free in steady state.
+    fn range_kernel(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        range: Range<usize>,
+        scratch: &mut PairSchemeScratch<A>,
+        out: &mut ComputeOutput,
+    ) {
+        let pairs = &self.prep.pairs;
+        scratch.acc.reset(atoms.n_total());
+        if self.collect_stats {
+            scratch.stats.reset();
+        }
+        let pair_lo = pairs.first_pair[range.start];
+        let pair_hi = pairs.first_pair[range.end];
+        if pair_lo == pair_hi {
             return;
         }
-        let packed_x: Vec<T> = crate::vector_kernel::pack_positions(atoms);
 
         let lengths_f64 = sim_box.lengths();
         let ctx = PairKernelCtx {
             packed: &self.packed,
-            positions: &packed_x,
+            positions: &self.prep.packed_x,
             types: &atoms.type_,
-            filtered: &filtered,
+            filtered: &self.prep.filtered,
             lengths: [
                 T::from_f64(lengths_f64[0]),
                 T::from_f64(lengths_f64[1]),
@@ -116,12 +166,10 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeB<T, A, W> {
             periodic: sim_box.periodic,
             fast_forward: self.fast_forward,
         };
-        let mut acc = Accumulators::<A>::new(atoms.n_total());
 
-        let n_pairs = pairs.len();
-        let mut pv = 0;
-        while pv < n_pairs {
-            let lane_count = (n_pairs - pv).min(W);
+        let mut pv = pair_lo;
+        while pv < pair_hi {
+            let lane_count = (pair_hi - pv).min(W);
             let lane_mask = SimdM::<W>::prefix(lane_count);
             let mut i_idx = [pairs.i[pv] as usize; W];
             let mut j_idx = [pairs.j[pv] as usize; W];
@@ -130,21 +178,61 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeB<T, A, W> {
                 j_idx[lane] = pairs.j[pv + lane] as usize;
             }
             let stats = if self.collect_stats {
-                Some(&mut self.stats)
+                Some(&mut scratch.stats)
             } else {
                 None
             };
-            process_pair_vector::<T, A, W>(&ctx, &i_idx, &j_idx, lane_mask, &mut acc, stats);
+            process_pair_vector::<T, A, W>(
+                &ctx,
+                &i_idx,
+                &j_idx,
+                lane_mask,
+                &mut scratch.acc,
+                stats,
+            );
             pv += W;
         }
 
-        for (idx, dst) in out.forces.iter_mut().enumerate() {
-            for d in 0..3 {
-                dst[d] = acc.forces[idx * 3 + d].to_f64();
-            }
+        scratch.acc.fold_into(out);
+    }
+}
+
+impl<T: Real, A: Real, const W: usize> RangePotential for TersoffSchemeB<T, A, W> {
+    fn prepare(&mut self, atoms: &AtomData, sim_box: &SimBox, neighbors: &NeighborList) {
+        if self.collect_stats {
+            self.stats.reset();
         }
-        out.energy = acc.energy.to_f64();
-        out.virial = acc.virial.to_f64();
+        self.prep
+            .refresh(atoms, sim_box, neighbors, self.params.max_cutoff, true);
+    }
+
+    fn make_scratch(&self) -> Box<dyn Any + Send> {
+        Box::new(PairSchemeScratch::<A> {
+            stats: KernelStats::new(W),
+            ..Default::default()
+        })
+    }
+
+    fn compute_range(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        _neighbors: &NeighborList,
+        range: Range<usize>,
+        scratch: &mut (dyn Any + Send),
+        out: &mut ComputeOutput,
+    ) {
+        let scratch = scratch
+            .downcast_mut::<PairSchemeScratch<A>>()
+            .expect("scratch type mismatch");
+        self.range_kernel(atoms, sim_box, range, scratch, out);
+    }
+
+    fn absorb_scratch(&mut self, scratch: &mut (dyn Any + Send)) {
+        let scratch = scratch
+            .downcast_mut::<PairSchemeScratch<A>>()
+            .expect("scratch type mismatch");
+        self.absorb(scratch);
     }
 }
 

@@ -10,15 +10,19 @@
 //! pair level (the K passes, conflict-handled scatters) is shared with scheme
 //! (1b) via [`crate::pair_kernel`].
 
-use crate::filter::FilteredNeighbors;
-use crate::pair_kernel::{process_pair_vector, Accumulators, PairKernelCtx};
+use crate::filter::Prepared;
+use crate::pair_kernel::{process_pair_vector, PairKernelCtx};
 use crate::params::TersoffParams;
+use crate::scheme_b::PairSchemeScratch;
 use crate::stats::KernelStats;
 use crate::vector_kernel::PackedParams;
 use md_core::atom::AtomData;
+use md_core::force_engine::RangePotential;
 use md_core::neighbor::NeighborList;
 use md_core::potential::{ComputeOutput, Potential};
 use md_core::simbox::SimBox;
+use std::any::Any;
+use std::ops::Range;
 use vektor::{Real, SimdM};
 
 /// Scheme (1c): I across the vector lanes (warp model).
@@ -33,6 +37,11 @@ pub struct TersoffSchemeC<T: Real, A: Real, const W: usize> {
     /// Use the fast-forward K iteration (warp votes make this nearly free on
     /// real GPUs; kept here for parity with scheme 1b).
     pub fast_forward: bool,
+    /// Per-step shared state, refreshed in place by
+    /// [`RangePotential::prepare`].
+    prep: Prepared<T>,
+    /// Scratch for the single-threaded [`Potential::compute`] entry point.
+    own_scratch: PairSchemeScratch<A>,
     _acc: std::marker::PhantomData<A>,
 }
 
@@ -46,6 +55,8 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
             stats: KernelStats::new(W),
             collect_stats: false,
             fast_forward: true,
+            prep: Prepared::default(),
+            own_scratch: PairSchemeScratch::default(),
             _acc: std::marker::PhantomData,
         }
     }
@@ -78,19 +89,49 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeC<T, A, W> {
         neighbors: &NeighborList,
         out: &mut ComputeOutput,
     ) {
+        self.prepare(atoms, sim_box, neighbors);
         out.reset(atoms.n_total());
-        if self.collect_stats {
-            self.stats.reset();
+        let mut scratch = std::mem::take(&mut self.own_scratch);
+        if scratch.stats.width != W {
+            scratch.stats = KernelStats::new(W);
         }
+        self.range_kernel(atoms, sim_box, 0..atoms.n_local, &mut scratch, out);
+        self.absorb(&mut scratch);
+        self.own_scratch = scratch;
+    }
+}
 
-        let filtered = FilteredNeighbors::build(atoms, sim_box, neighbors, self.params.max_cutoff);
-        let packed_x: Vec<T> = crate::vector_kernel::pack_positions(atoms);
+impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
+    /// Fold per-thread diagnostics back into the potential.
+    fn absorb(&mut self, scratch: &mut PairSchemeScratch<A>) {
+        if self.collect_stats {
+            self.stats.merge(&scratch.stats);
+            scratch.stats.reset();
+        }
+    }
+
+    /// The actual kernel over a contiguous range of central atoms (warp
+    /// blocks of `W` atoms within the range). Allocation-free in steady
+    /// state.
+    fn range_kernel(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        range: Range<usize>,
+        scratch: &mut PairSchemeScratch<A>,
+        out: &mut ComputeOutput,
+    ) {
+        let filtered = &self.prep.filtered;
+        scratch.acc.reset(atoms.n_total());
+        if self.collect_stats {
+            scratch.stats.reset();
+        }
         let lengths_f64 = sim_box.lengths();
         let ctx = PairKernelCtx {
             packed: &self.packed,
-            positions: &packed_x,
+            positions: &self.prep.packed_x,
             types: &atoms.type_,
-            filtered: &filtered,
+            filtered,
             lengths: [
                 T::from_f64(lengths_f64[0]),
                 T::from_f64(lengths_f64[1]),
@@ -99,15 +140,14 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeC<T, A, W> {
             periodic: sim_box.periodic,
             fast_forward: self.fast_forward,
         };
-        let mut acc = Accumulators::<A>::new(atoms.n_total());
 
         // Blocks of W atoms; each lane owns one atom ("thread per atom").
-        let n_local = atoms.n_local;
-        let mut block = 0;
-        while block < n_local {
-            let lane_count = (n_local - block).min(W);
+        let end = range.end;
+        let mut block = range.start;
+        while block < end {
+            let lane_count = (end - block).min(W);
             let block_mask = SimdM::<W>::prefix(lane_count);
-            let mut i_idx = [block.min(n_local - 1); W];
+            let mut i_idx = [block.min(end - 1); W];
             let mut counts = [0usize; W];
             for lane in 0..lane_count {
                 i_idx[lane] = block + lane;
@@ -134,22 +174,62 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeC<T, A, W> {
                     continue;
                 }
                 let stats = if self.collect_stats {
-                    Some(&mut self.stats)
+                    Some(&mut scratch.stats)
                 } else {
                     None
                 };
-                process_pair_vector::<T, A, W>(&ctx, &i_idx, &j_idx, lane_mask, &mut acc, stats);
+                process_pair_vector::<T, A, W>(
+                    &ctx,
+                    &i_idx,
+                    &j_idx,
+                    lane_mask,
+                    &mut scratch.acc,
+                    stats,
+                );
             }
             block += W;
         }
 
-        for (idx, dst) in out.forces.iter_mut().enumerate() {
-            for d in 0..3 {
-                dst[d] = acc.forces[idx * 3 + d].to_f64();
-            }
+        scratch.acc.fold_into(out);
+    }
+}
+
+impl<T: Real, A: Real, const W: usize> RangePotential for TersoffSchemeC<T, A, W> {
+    fn prepare(&mut self, atoms: &AtomData, sim_box: &SimBox, neighbors: &NeighborList) {
+        if self.collect_stats {
+            self.stats.reset();
         }
-        out.energy = acc.energy.to_f64();
-        out.virial = acc.virial.to_f64();
+        self.prep
+            .refresh(atoms, sim_box, neighbors, self.params.max_cutoff, false);
+    }
+
+    fn make_scratch(&self) -> Box<dyn Any + Send> {
+        Box::new(PairSchemeScratch::<A> {
+            stats: KernelStats::new(W),
+            ..Default::default()
+        })
+    }
+
+    fn compute_range(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        _neighbors: &NeighborList,
+        range: Range<usize>,
+        scratch: &mut (dyn Any + Send),
+        out: &mut ComputeOutput,
+    ) {
+        let scratch = scratch
+            .downcast_mut::<PairSchemeScratch<A>>()
+            .expect("scratch type mismatch");
+        self.range_kernel(atoms, sim_box, range, scratch, out);
+    }
+
+    fn absorb_scratch(&mut self, scratch: &mut (dyn Any + Send)) {
+        let scratch = scratch
+            .downcast_mut::<PairSchemeScratch<A>>()
+            .expect("scratch type mismatch");
+        self.absorb(scratch);
     }
 }
 

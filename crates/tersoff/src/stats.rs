@@ -120,7 +120,10 @@ impl KernelStats {
 
     /// Merge statistics from another invocation (e.g. accumulate over steps).
     pub fn merge(&mut self, other: &KernelStats) {
-        assert_eq!(self.width, other.width, "cannot merge stats of different widths");
+        assert_eq!(
+            self.width, other.width,
+            "cannot merge stats of different widths"
+        );
         self.pair_vectors += other.pair_vectors;
         self.pair_slots += other.pair_slots;
         self.pair_active += other.pair_active;
@@ -129,7 +132,8 @@ impl KernelStats {
         self.k_active_lanes += other.k_active_lanes;
         self.scalar_fallbacks += other.scalar_fallbacks;
         if self.k_active_histogram.len() < other.k_active_histogram.len() {
-            self.k_active_histogram.resize(other.k_active_histogram.len(), 0);
+            self.k_active_histogram
+                .resize(other.k_active_histogram.len(), 0);
         }
         for (i, &v) in other.k_active_histogram.iter().enumerate() {
             self.k_active_histogram[i] += v;

@@ -17,14 +17,22 @@ use vektor::{Real, SimdF, SimdM};
 /// compute precision — the USER-INTEL-style packing step shared by every
 /// optimized kernel in this crate.
 pub fn pack_positions<T: Real>(atoms: &AtomData) -> Vec<T> {
-    let mut out = Vec::with_capacity(atoms.n_total() * 4);
+    let mut out = Vec::new();
+    pack_positions_into(atoms, &mut out);
+    out
+}
+
+/// In-place variant of [`pack_positions`]: reuses the buffer's allocation so
+/// the steady-state force loop stays allocation-free.
+pub fn pack_positions_into<T: Real>(atoms: &AtomData, out: &mut Vec<T>) {
+    out.clear();
+    out.reserve(atoms.n_total() * 4);
     for p in &atoms.x {
         out.push(T::from_f64(p[0]));
         out.push(T::from_f64(p[1]));
         out.push(T::from_f64(p[2]));
         out.push(T::ZERO);
     }
-    out
 }
 
 /// Structure-of-arrays parameter table in compute precision: one flat array
@@ -250,7 +258,11 @@ pub fn fc_v<T: Real, const W: usize>(p: &ParamV<T, W>, r: SimdF<T, W>) -> SimdF<
     let mid = (SimdF::one() - sin_v(arg)) * T::HALF;
     let below = r.simd_lt(lower);
     let above = r.simd_gt(upper);
-    SimdF::select(below, SimdF::one(), SimdF::select(above, SimdF::zero(), mid))
+    SimdF::select(
+        below,
+        SimdF::one(),
+        SimdF::select(above, SimdF::zero(), mid),
+    )
 }
 
 /// Vectorized cutoff derivative `f_C'(r)`.
@@ -313,10 +325,10 @@ pub fn bij_and_deriv_v<T: Real, const W: usize>(
     let tmp_n_clamped = powf_v(tmp_clamped, n);
 
     let central_b = powf_v(one + tmp_n_clamped, -(half / n));
-    let central_b_d =
-        -(powf_v(one + tmp_n_clamped, -(one + half / n)) * tmp_n_clamped / tmp_clamped)
-            * p.beta
-            * half;
+    let central_b_d = -(powf_v(one + tmp_n_clamped, -(one + half / n)) * tmp_n_clamped
+        / tmp_clamped)
+        * p.beta
+        * half;
 
     // Large-ζ asymptotics: for tmp > ca1 / ca2 the unclamped tmp is what the
     // asymptotic formula needs; powers of large tmp with negative exponents
@@ -419,8 +431,16 @@ pub fn zeta_term_and_gradients_v<T: Real, const W: usize>(
 ) -> (SimdF<T, W>, [SimdF<T, W>; 3], [SimdF<T, W>; 3]) {
     let inv_rij = rij.recip();
     let inv_rik = rik.recip();
-    let hat_ij = [del_ij[0] * inv_rij, del_ij[1] * inv_rij, del_ij[2] * inv_rij];
-    let hat_ik = [del_ik[0] * inv_rik, del_ik[1] * inv_rik, del_ik[2] * inv_rik];
+    let hat_ij = [
+        del_ij[0] * inv_rij,
+        del_ij[1] * inv_rij,
+        del_ij[2] * inv_rij,
+    ];
+    let hat_ik = [
+        del_ik[0] * inv_rik,
+        del_ik[1] * inv_rik,
+        del_ik[2] * inv_rik,
+    ];
     let cos_theta = hat_ij[0] * hat_ik[0] + hat_ij[1] * hat_ik[1] + hat_ij[2] * hat_ik[2];
 
     let f_c = fc_v(p, rik);
@@ -606,12 +626,22 @@ mod tests {
                 SimdF::from_array([2.2, 2.1, 2.6, 2.0]),
                 SimdF::from_array([0.5, 0.2, -0.4, 0.6]),
             ];
-            let rij = (del_ij[0] * del_ij[0] + del_ij[1] * del_ij[1] + del_ij[2] * del_ij[2]).sqrt();
-            let rik = (del_ik[0] * del_ik[0] + del_ik[1] * del_ik[1] + del_ik[2] * del_ik[2]).sqrt();
+            let rij =
+                (del_ij[0] * del_ij[0] + del_ij[1] * del_ij[1] + del_ij[2] * del_ij[2]).sqrt();
+            let rik =
+                (del_ik[0] * del_ik[0] + del_ik[1] * del_ik[1] + del_ik[2] * del_ik[2]).sqrt();
             let (z, gj, gk) = zeta_term_and_gradients_v(&pv, del_ij, rij, del_ik, rik);
             for lane in 0..4 {
-                let dij = [del_ij[0].lane(lane), del_ij[1].lane(lane), del_ij[2].lane(lane)];
-                let dik = [del_ik[0].lane(lane), del_ik[1].lane(lane), del_ik[2].lane(lane)];
+                let dij = [
+                    del_ij[0].lane(lane),
+                    del_ij[1].lane(lane),
+                    del_ij[2].lane(lane),
+                ];
+                let dik = [
+                    del_ik[0].lane(lane),
+                    del_ik[1].lane(lane),
+                    del_ik[2].lane(lane),
+                ];
                 let (zs, gjs, gks) = functions::zeta_term_and_gradients(
                     &ps,
                     dij,

@@ -40,7 +40,10 @@ pub enum IsaClass {
 impl IsaClass {
     /// Does this ISA class have a usable hardware gather?
     pub fn has_gather(self) -> bool {
-        matches!(self, IsaClass::Avx2 | IsaClass::Imci | IsaClass::Avx512 | IsaClass::CudaWarp)
+        matches!(
+            self,
+            IsaClass::Avx2 | IsaClass::Imci | IsaClass::Avx512 | IsaClass::CudaWarp
+        )
     }
 
     /// Does this ISA class have usable integer vector instructions (needed
@@ -301,7 +304,10 @@ mod tests {
 
     #[test]
     fn isa_feature_matrix_matches_paper() {
-        assert!(!IsaClass::Avx.has_int_vectors(), "AVX lacks integer vectors (Sec. VI-A)");
+        assert!(
+            !IsaClass::Avx.has_int_vectors(),
+            "AVX lacks integer vectors (Sec. VI-A)"
+        );
         assert!(IsaClass::Avx2.has_int_vectors());
         assert!(IsaClass::Avx2.has_gather());
         assert!(!IsaClass::Sse42.has_gather());
@@ -335,8 +341,12 @@ mod tests {
     #[test]
     fn all_kinds_excludes_unsupported_neon_modes() {
         let all = BackendKind::all();
-        assert!(all.iter().any(|k| k.isa == IsaClass::Neon && k.precision == Precision::Single));
-        assert!(!all.iter().any(|k| k.isa == IsaClass::Neon && k.precision == Precision::Double));
+        assert!(all
+            .iter()
+            .any(|k| k.isa == IsaClass::Neon && k.precision == Precision::Single));
+        assert!(!all
+            .iter()
+            .any(|k| k.isa == IsaClass::Neon && k.precision == Precision::Double));
         assert!(!all.is_empty());
     }
 
@@ -351,7 +361,10 @@ mod tests {
 
     #[test]
     fn labels_and_display() {
-        assert_eq!(BackendKind::new(IsaClass::Avx2, Precision::Mixed).label(), "AVX2/mixed");
+        assert_eq!(
+            BackendKind::new(IsaClass::Avx2, Precision::Mixed).label(),
+            "AVX2/mixed"
+        );
         assert_eq!(format!("{}", IsaClass::Imci), "IMCI");
         assert_eq!(format!("{}", Precision::Single), "single");
     }

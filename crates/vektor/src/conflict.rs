@@ -32,7 +32,7 @@ pub fn scatter_add<T: Real, const W: usize>(
 ) {
     for lane in 0..W {
         if mask.lane(lane) {
-            target[idx[lane]] = target[idx[lane]] + values.lane(lane);
+            target[idx[lane]] += values.lane(lane);
         }
     }
 }
@@ -49,9 +49,9 @@ pub fn scatter_add3<T: Real, const W: usize, const STRIDE: usize>(
     for lane in 0..W {
         if mask.lane(lane) {
             let base = idx[lane] * STRIDE;
-            target[base] = target[base] + values[0].lane(lane);
-            target[base + 1] = target[base + 1] + values[1].lane(lane);
-            target[base + 2] = target[base + 2] + values[2].lane(lane);
+            target[base] += values[0].lane(lane);
+            target[base + 1] += values[1].lane(lane);
+            target[base + 2] += values[2].lane(lane);
         }
     }
 }
@@ -98,9 +98,9 @@ pub fn scatter_add3_conflict_detect<T: Real, const W: usize, const STRIDE: usize
     for lane in 0..W {
         if write_mask.lane(lane) {
             let base = (idx[lane].max(0) as usize) * STRIDE;
-            target[base] = target[base] + combined[0].lane(lane);
-            target[base + 1] = target[base + 1] + combined[1].lane(lane);
-            target[base + 2] = target[base + 2] + combined[2].lane(lane);
+            target[base] += combined[0].lane(lane);
+            target[base + 1] += combined[1].lane(lane);
+            target[base + 2] += combined[2].lane(lane);
         }
     }
 }
@@ -114,7 +114,7 @@ pub fn reduce_add_uniform<T: Real, const W: usize>(
     mask: SimdM<W>,
     values: SimdF<T, W>,
 ) {
-    *target = *target + values.masked_sum(mask);
+    *target += values.masked_sum(mask);
 }
 
 /// Same as [`reduce_add_uniform`] for a 3-component record (e.g. the force on
@@ -126,9 +126,9 @@ pub fn reduce_add3_uniform<T: Real, const W: usize>(
     mask: SimdM<W>,
     values: [SimdF<T, W>; 3],
 ) {
-    target[0] = target[0] + values[0].masked_sum(mask);
-    target[1] = target[1] + values[1].masked_sum(mask);
-    target[2] = target[2] + values[2].masked_sum(mask);
+    target[0] += values[0].masked_sum(mask);
+    target[1] += values[1].masked_sum(mask);
+    target[2] += values[2].masked_sum(mask);
 }
 
 #[cfg(test)]
@@ -139,7 +139,12 @@ mod tests {
     fn scatter_add_accumulates_conflicting_lanes() {
         let mut t = vec![0.0f64; 4];
         let idx = [1usize, 1, 1, 3];
-        scatter_add::<f64, 4>(&mut t, &idx, SimdM::all_true(), SimdF::from_array([1.0, 2.0, 4.0, 8.0]));
+        scatter_add::<f64, 4>(
+            &mut t,
+            &idx,
+            SimdM::all_true(),
+            SimdF::from_array([1.0, 2.0, 4.0, 8.0]),
+        );
         assert_eq!(t, vec![0.0, 7.0, 0.0, 8.0]);
     }
 
@@ -205,7 +210,11 @@ mod tests {
     #[test]
     fn uniform_reductions() {
         let mut x = 1.0f64;
-        reduce_add_uniform::<f64, 4>(&mut x, SimdM::all_true(), SimdF::from_array([1.0, 2.0, 3.0, 4.0]));
+        reduce_add_uniform::<f64, 4>(
+            &mut x,
+            SimdM::all_true(),
+            SimdF::from_array([1.0, 2.0, 3.0, 4.0]),
+        );
         assert_eq!(x, 11.0);
 
         let mut f = [0.0f64; 3];

@@ -94,24 +94,23 @@ pub fn adjacent_scatter_add3_distinct<T: Real, const W: usize, const STRIDE: usi
     mask: SimdM<W>,
     values: [SimdF<T, W>; 3],
 ) {
+    // Allocation-free distinctness check (the hot path must not allocate
+    // even in debug builds, where the allocation-audit tests run).
     #[cfg(debug_assertions)]
-    {
-        let active: Vec<usize> = (0..W).filter(|&l| mask.lane(l)).map(|l| idx[l]).collect();
-        let mut sorted = active.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        debug_assert_eq!(
-            sorted.len(),
-            active.len(),
-            "adjacent_scatter_add3_distinct called with conflicting lane targets"
-        );
+    for a in 0..W {
+        for b in (a + 1)..W {
+            debug_assert!(
+                !(mask.lane(a) && mask.lane(b) && idx[a] == idx[b]),
+                "adjacent_scatter_add3_distinct called with conflicting lane targets"
+            );
+        }
     }
     for lane in 0..W {
         if mask.lane(lane) {
             let base = idx[lane] * STRIDE;
-            buffer[base] = buffer[base] + values[0].lane(lane);
-            buffer[base + 1] = buffer[base + 1] + values[1].lane(lane);
-            buffer[base + 2] = buffer[base + 2] + values[2].lane(lane);
+            buffer[base] += values[0].lane(lane);
+            buffer[base + 1] += values[1].lane(lane);
+            buffer[base + 2] += values[2].lane(lane);
         }
     }
 }
@@ -123,7 +122,13 @@ mod tests {
     fn aos_buffer(n: usize) -> Vec<f64> {
         // atom i -> (100 i, 100 i + 1, 100 i + 2)
         (0..n)
-            .flat_map(|i| [100.0 * i as f64, 100.0 * i as f64 + 1.0, 100.0 * i as f64 + 2.0])
+            .flat_map(|i| {
+                [
+                    100.0 * i as f64,
+                    100.0 * i as f64 + 1.0,
+                    100.0 * i as f64 + 2.0,
+                ]
+            })
             .collect()
     }
 
@@ -179,11 +184,7 @@ mod tests {
         let mut buf = vec![1.0f64; 9];
         let idx = [0usize, 1, 2, 0];
         let mask = SimdM::from_array([true, true, true, false]); // lane 3 (dup) inactive
-        let vals = [
-            SimdF::splat(1.0),
-            SimdF::splat(2.0),
-            SimdF::splat(3.0),
-        ];
+        let vals = [SimdF::splat(1.0), SimdF::splat(2.0), SimdF::splat(3.0)];
         adjacent_scatter_add3_distinct::<f64, 4, 3>(&mut buf, &idx, mask, vals);
         assert_eq!(buf, vec![2.0, 3.0, 4.0, 2.0, 3.0, 4.0, 2.0, 3.0, 4.0]);
     }

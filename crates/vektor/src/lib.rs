@@ -25,6 +25,12 @@
 //! loops are trivially unrollable and auto-vectorizable by LLVM, which plays
 //! the role the hand-written intrinsics back-ends play in the paper.
 
+// Lane loops are written as explicit `for i in 0..W { out[i] = ... }` —
+// mirroring the SIMD semantics the code models and keeping the pattern LLVM
+// recognizes for vectorization — so the iterator-style rewrite clippy
+// suggests is deliberately not applied.
+#![allow(clippy::needless_range_loop)]
+
 pub mod backend;
 pub mod conflict;
 pub mod gather;

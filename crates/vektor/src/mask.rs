@@ -108,7 +108,11 @@ impl<const W: usize> SimdM<W> {
     pub fn select(self, if_true: Self, if_false: Self) -> Self {
         let mut out = [false; W];
         for i in 0..W {
-            out[i] = if self.0[i] { if_true.0[i] } else { if_false.0[i] };
+            out[i] = if self.0[i] {
+                if_true.0[i]
+            } else {
+                if_false.0[i]
+            };
         }
         SimdM(out)
     }

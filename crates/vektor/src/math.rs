@@ -69,8 +69,7 @@ pub fn fast_exp_scalar<T: Real>(x: T) -> T {
     let p = 1.0
         + r * (1.0
             + r * (0.5
-                + r * (1.0 / 6.0
-                    + r * (1.0 / 24.0 + r * (1.0 / 120.0 + r * (1.0 / 720.0))))));
+                + r * (1.0 / 6.0 + r * (1.0 / 24.0 + r * (1.0 / 120.0 + r * (1.0 / 720.0))))));
     let scale = f64::from_bits((((k as i64) + 1023) as u64) << 52);
     T::from_f64(p * scale)
 }
@@ -88,10 +87,8 @@ pub fn fast_sin_halfpi_scalar<T: Real>(x: T) -> T {
     let xf = x.to_f64();
     let x2 = xf * xf;
     // sin(x) ≈ x (1 - x²/6 + x⁴/120 - x⁶/5040 + x⁸/362880)
-    let p = xf
-        * (1.0
-            + x2 * (-1.0 / 6.0
-                + x2 * (1.0 / 120.0 + x2 * (-1.0 / 5040.0 + x2 / 362_880.0))));
+    let p =
+        xf * (1.0 + x2 * (-1.0 / 6.0 + x2 * (1.0 / 120.0 + x2 * (-1.0 / 5040.0 + x2 / 362_880.0))));
     T::from_f64(p)
 }
 
@@ -109,8 +106,7 @@ pub fn fast_cos_halfpi_scalar<T: Real>(x: T) -> T {
     let x2 = xf * xf;
     let p = 1.0
         + x2 * (-0.5
-            + x2 * (1.0 / 24.0
-                + x2 * (-1.0 / 720.0 + x2 * (1.0 / 40_320.0 - x2 / 3_628_800.0))));
+            + x2 * (1.0 / 24.0 + x2 * (-1.0 / 720.0 + x2 * (1.0 / 40_320.0 - x2 / 3_628_800.0))));
     T::from_f64(p)
 }
 

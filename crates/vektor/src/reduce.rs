@@ -105,10 +105,7 @@ impl<T: Real, const W: usize> VectorAccumulator<T, W> {
 
 /// Reduce three vectors (a force triple) over their active lanes at once.
 #[inline(always)]
-pub fn reduce3<T: Real, const W: usize>(
-    v: [SimdF<T, W>; 3],
-    mask: SimdM<W>,
-) -> [T; 3] {
+pub fn reduce3<T: Real, const W: usize>(v: [SimdF<T, W>; 3], mask: SimdM<W>) -> [T; 3] {
     [
         v[0].masked_sum(mask),
         v[1].masked_sum(mask),
@@ -172,7 +169,10 @@ mod tests {
     #[test]
     fn vector_accumulator_masked_and_f64_reduction() {
         let mut acc = VectorAccumulator::<f32, 4>::new();
-        acc.add(SimdF::splat(1.5), SimdM::from_array([true, true, false, false]));
+        acc.add(
+            SimdF::splat(1.5),
+            SimdM::from_array([true, true, false, false]),
+        );
         assert_eq!(acc.reduce(), 3.0);
         assert_eq!(acc.reduce_f64(), 3.0);
     }

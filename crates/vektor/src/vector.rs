@@ -8,7 +8,9 @@
 
 use crate::mask::SimdM;
 use crate::real::Real;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A vector of `W` lanes of the floating-point type `T`.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -274,7 +276,7 @@ impl<T: Real, const W: usize> SimdF<T, W> {
         while n > 1 {
             let half = n / 2;
             for i in 0..half {
-                buf[i] = buf[i] + buf[n - 1 - i];
+                buf[i] += buf[n - 1 - i];
             }
             n = n.div_ceil(2);
         }
@@ -362,6 +364,7 @@ macro_rules! impl_binop {
         impl<T: Real, const W: usize> $trait for SimdF<T, W> {
             type Output = Self;
             #[inline(always)]
+            #[allow(clippy::assign_op_pattern)] // $op is generic over the four operators
             fn $method(self, rhs: Self) -> Self {
                 let mut out = self.0;
                 for i in 0..W {
@@ -373,6 +376,7 @@ macro_rules! impl_binop {
         impl<T: Real, const W: usize> $trait<T> for SimdF<T, W> {
             type Output = Self;
             #[inline(always)]
+            #[allow(clippy::assign_op_pattern)]
             fn $method(self, rhs: T) -> Self {
                 let mut out = self.0;
                 for lane in out.iter_mut() {

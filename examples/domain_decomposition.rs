@@ -8,6 +8,8 @@
 //! cargo run --release --example domain_decomposition
 //! ```
 
+#![allow(clippy::needless_range_loop)] // stencil-style 0..3 loops are intentional
+
 use lammps_tersoff_vector::prelude::*;
 use md_core::decomposition::DecomposedSystem;
 use md_core::neighbor::{NeighborList, NeighborSettings};
@@ -15,7 +17,11 @@ use md_core::potential::ComputeOutput;
 
 fn main() {
     let (sim_box, atoms) = Lattice::silicon([4, 4, 4]).build_perturbed(0.05, 21);
-    println!("system: {} Si atoms, box {:.2} Å", atoms.n_local, sim_box.lengths()[0]);
+    println!(
+        "system: {} Si atoms, box {:.2} Å",
+        atoms.n_local,
+        sim_box.lengths()[0]
+    );
 
     // Single-domain reference forces.
     let params = TersoffParams::silicon();

@@ -19,6 +19,7 @@ fn run_trajectory(mode: ExecutionMode, steps: u64, sample_every: u64) -> Vec<(u6
             mode,
             scheme: Scheme::FusedLanes,
             width: 0,
+            threads: 1,
         },
     );
     let config = SimulationConfig {
@@ -28,7 +29,10 @@ fn run_trajectory(mode: ExecutionMode, steps: u64, sample_every: u64) -> Vec<(u6
     };
     let mut sim = Simulation::new(atoms, sim_box, potential, config);
     sim.run(steps);
-    sim.thermo_history.iter().map(|t| (t.step, t.total)).collect()
+    sim.thermo_history
+        .iter()
+        .map(|t| (t.step, t.total))
+        .collect()
 }
 
 fn main() {
@@ -38,11 +42,17 @@ fn main() {
         .unwrap_or(200);
     let sample_every = (steps / 20).max(1);
 
-    println!("running {} Si atoms for {steps} steps in double and single precision...", 8 * 27);
+    println!(
+        "running {} Si atoms for {steps} steps in double and single precision...",
+        8 * 27
+    );
     let double = run_trajectory(ExecutionMode::OptD, steps, sample_every);
     let single = run_trajectory(ExecutionMode::OptS, steps, sample_every);
 
-    println!("\n{:>8} {:>18} {:>18} {:>14}", "step", "E_tot double (eV)", "E_tot single (eV)", "|ΔE|/|E|");
+    println!(
+        "\n{:>8} {:>18} {:>18} {:>14}",
+        "step", "E_tot double (eV)", "E_tot single (eV)", "|ΔE|/|E|"
+    );
     let mut worst = 0.0f64;
     for ((step, e_d), (_, e_s)) in double.iter().zip(single.iter()) {
         let rel = ((e_s - e_d) / e_d).abs();

@@ -33,7 +33,10 @@ fn main() {
     };
     let mut sim = Simulation::new(atoms, sim_box, potential, config);
 
-    println!("\n{:>6} {:>12} {:>14} {:>14} {:>10}", "step", "T (K)", "E_pot (eV)", "E_tot (eV)", "drift");
+    println!(
+        "\n{:>6} {:>12} {:>14} {:>14} {:>10}",
+        "step", "T (K)", "E_pot (eV)", "E_tot (eV)", "drift"
+    );
     sim.run(100);
     for t in &sim.thermo_history {
         println!(
@@ -47,7 +50,10 @@ fn main() {
     }
 
     println!("\nneighbor rebuilds: {}", sim.n_rebuilds);
-    println!("max |ΔE/E₀| over the run: {:.2e}", sim.drift.max_relative_drift());
+    println!(
+        "max |ΔE/E₀| over the run: {:.2e}",
+        sim.drift.max_relative_drift()
+    );
     println!("throughput: {:.3} ns/day on this machine", sim.ns_per_day());
     println!("\ntimer breakdown:\n{}", sim.timers.report());
 }

@@ -55,6 +55,7 @@ fn main() {
             mode: ExecutionMode::OptM,
             scheme: Scheme::FusedLanes,
             width: 16,
+            threads: 1,
         },
     );
     let mut out_opt = ComputeOutput::zeros(atoms.n_total());

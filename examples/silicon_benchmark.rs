@@ -27,13 +27,28 @@ fn main() {
 
     let modes = [
         ("Ref", ExecutionMode::Ref, Scheme::Scalar),
-        ("Opt-D (scheme 1a, 4×f64)", ExecutionMode::OptD, Scheme::JLanes),
-        ("Opt-S (scheme 1b, 16×f32)", ExecutionMode::OptS, Scheme::FusedLanes),
-        ("Opt-M (scheme 1b, 16×f32/f64)", ExecutionMode::OptM, Scheme::FusedLanes),
+        (
+            "Opt-D (scheme 1a, 4×f64)",
+            ExecutionMode::OptD,
+            Scheme::JLanes,
+        ),
+        (
+            "Opt-S (scheme 1b, 16×f32)",
+            ExecutionMode::OptS,
+            Scheme::FusedLanes,
+        ),
+        (
+            "Opt-M (scheme 1b, 16×f32/f64)",
+            ExecutionMode::OptM,
+            Scheme::FusedLanes,
+        ),
     ];
 
     let mut reference_time = None;
-    println!("{:<32} {:>12} {:>12} {:>10}", "mode", "s/step", "ns/day", "speedup");
+    println!(
+        "{:<32} {:>12} {:>12} {:>10}",
+        "mode", "s/step", "ns/day", "speedup"
+    );
     for (label, mode, scheme) in modes {
         let (sim_box, mut atoms) = lattice.build_perturbed(0.05, 11);
         let masses = vec![units::mass::SI];
@@ -44,6 +59,7 @@ fn main() {
                 mode,
                 scheme,
                 width: 0,
+                threads: 1,
             },
         );
         let config = SimulationConfig {

@@ -13,7 +13,8 @@
 //!   write handling, adjacent gathers).
 //! * [`md_core`] — the molecular-dynamics substrate standing in for LAMMPS
 //!   (atoms, box, lattices, neighbor lists, velocity-Verlet, thermo, timers,
-//!   domain decomposition).
+//!   domain decomposition, and the thread-parallel allocation-free
+//!   [`md_core::force_engine`]).
 //! * [`tersoff`] — the Tersoff potential: reference, scalar-optimized
 //!   (Algorithm 3) and the three vectorization schemes (1a/1b/1c), in double,
 //!   single and mixed precision.
@@ -29,8 +30,12 @@
 //! let (sim_box, mut atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.05, 42);
 //! init_velocities(&mut atoms, &[units::mass::SI], 300.0, 1);
 //!
-//! // ...pick the paper's Opt-M execution mode (scheme 1b, 16 f32 lanes)...
-//! let potential = make_potential(TersoffParams::silicon(), TersoffOptions::default());
+//! // ...pick the paper's Opt-M execution mode (scheme 1b, 16 f32 lanes),
+//! // threaded across 2 workers by the allocation-free force engine...
+//! let potential = make_potential(
+//!     TersoffParams::silicon(),
+//!     TersoffOptions::default().with_threads(2),
+//! );
 //!
 //! // ...and run a short NVE simulation.
 //! let config = SimulationConfig::default();

@@ -1,0 +1,116 @@
+//! Heap-allocation audit of the steady-state force loop.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! evaluation (which builds the reusable filter/scratch/pool buffers), the
+//! force computation must perform **zero** heap allocations per step — the
+//! allocation-free hot path the thread-parallel engine was built around.
+//!
+//! Everything lives in a single `#[test]` so no concurrent test case can
+//! pollute the counter.
+
+use lammps_tersoff_vector::prelude::*;
+use md_core::neighbor::{NeighborList, NeighborSettings};
+use md_core::potential::ComputeOutput;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_force_loop_performs_zero_allocations() {
+    let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.05, 11);
+    let list = NeighborList::build_binned(&atoms, &sim_box, NeighborSettings::new(3.0, 1.0));
+    let mut out = ComputeOutput::zeros(atoms.n_total());
+
+    // Every kernel family, single-threaded and through the threaded engine.
+    let cases = [
+        ("Ref/t1", ExecutionMode::Ref, Scheme::Scalar, 1usize),
+        ("Opt-D/scalar/t1", ExecutionMode::OptD, Scheme::Scalar, 1),
+        ("Opt-D/1a/t1", ExecutionMode::OptD, Scheme::JLanes, 1),
+        ("Opt-M/1b/t1", ExecutionMode::OptM, Scheme::FusedLanes, 1),
+        ("Opt-D/1c/t1", ExecutionMode::OptD, Scheme::ILanes, 1),
+        ("Ref/t2", ExecutionMode::Ref, Scheme::Scalar, 2),
+        ("Opt-D/scalar/t3", ExecutionMode::OptD, Scheme::Scalar, 3),
+        ("Opt-M/1b/t2", ExecutionMode::OptM, Scheme::FusedLanes, 2),
+        ("Opt-M/1b/t4", ExecutionMode::OptM, Scheme::FusedLanes, 4),
+        ("Opt-S/1c/t2", ExecutionMode::OptS, Scheme::ILanes, 2),
+    ];
+
+    for (label, mode, scheme, threads) in cases {
+        let mut pot = make_potential(
+            TersoffParams::silicon(),
+            TersoffOptions {
+                mode,
+                scheme,
+                width: 0,
+                threads,
+            },
+        );
+        // Warm up: builds filter buffers, packed positions, per-thread
+        // scratch and (for threads > 1) the worker pool.
+        pot.compute(&atoms, &sim_box, &list, &mut out);
+        pot.compute(&atoms, &sim_box, &list, &mut out);
+
+        let before = allocations();
+        for _ in 0..5 {
+            pot.compute(&atoms, &sim_box, &list, &mut out);
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "{label}: {delta} heap allocations in 5 steady-state force evaluations"
+        );
+    }
+
+    // The whole simulation step (integrate → rebuild check → force →
+    // integrate) is also allocation-free in steady state. A perfect lattice
+    // at T = 0 guarantees no neighbor-list rebuild fires inside the measured
+    // window (rebuilds legitimately allocate; they are not part of the
+    // steady-state force loop).
+    let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build();
+    let masses = vec![units::mass::SI];
+    let potential = make_potential(
+        TersoffParams::silicon(),
+        TersoffOptions::default().with_threads(2),
+    );
+    let config = SimulationConfig {
+        masses,
+        thermo_every: 0,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(atoms, sim_box, potential, config);
+    sim.run(10);
+    sim.thermo_history.reserve(64);
+    let before = allocations();
+    sim.run(20);
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "{delta} heap allocations in 20 steady-state simulation steps"
+    );
+}

@@ -2,12 +2,18 @@
 //! API, exercising every execution mode the paper evaluates, the domain
 //! decomposition, and the energy-conservation / precision claims.
 
+#![allow(clippy::needless_range_loop)] // stencil-style 0..3 loops are intentional
+
 use lammps_tersoff_vector::prelude::*;
 use md_core::decomposition::DecomposedSystem;
 use md_core::neighbor::{NeighborList, NeighborSettings};
 use md_core::potential::ComputeOutput;
 
-fn silicon_simulation(mode: ExecutionMode, scheme: Scheme, steps: u64) -> Simulation<Box<dyn Potential>> {
+fn silicon_simulation(
+    mode: ExecutionMode,
+    scheme: Scheme,
+    steps: u64,
+) -> Simulation<Box<dyn Potential>> {
     let (sim_box, mut atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.03, 17);
     let masses = vec![units::mass::SI];
     init_velocities(&mut atoms, &masses, 600.0, 5);
@@ -17,6 +23,7 @@ fn silicon_simulation(mode: ExecutionMode, scheme: Scheme, steps: u64) -> Simula
             mode,
             scheme,
             width: 0,
+            threads: 1,
         },
     );
     let config = SimulationConfig {
@@ -53,7 +60,11 @@ fn nve_energy_is_conserved_with_every_optimized_mode() {
         // Single precision drifts more than double but must stay small; the
         // paper's Fig. 3 bound for a *million* steps is 2e-5 on a much larger
         // system, so a short run must be far tighter than 1e-3.
-        let bound = if mode == ExecutionMode::OptD { 5e-5 } else { 1e-3 };
+        let bound = if mode == ExecutionMode::OptD {
+            5e-5
+        } else {
+            1e-3
+        };
         assert!(
             sim.drift.max_relative_drift() < bound,
             "{mode:?}/{scheme:?} drift {}",
@@ -76,12 +87,22 @@ fn all_execution_modes_agree_on_the_trajectory_start() {
             mode: ExecutionMode::Ref,
             scheme: Scheme::Scalar,
             width: 0,
+            threads: 1,
         },
     )
     .compute(&atoms, &sim_box, &list, &mut out_ref);
 
-    for mode in [ExecutionMode::OptD, ExecutionMode::OptS, ExecutionMode::OptM] {
-        for scheme in [Scheme::Scalar, Scheme::JLanes, Scheme::FusedLanes, Scheme::ILanes] {
+    for mode in [
+        ExecutionMode::OptD,
+        ExecutionMode::OptS,
+        ExecutionMode::OptM,
+    ] {
+        for scheme in [
+            Scheme::Scalar,
+            Scheme::JLanes,
+            Scheme::FusedLanes,
+            Scheme::ILanes,
+        ] {
             let mut out = ComputeOutput::zeros(atoms.n_total());
             make_potential(
                 TersoffParams::silicon(),
@@ -89,13 +110,22 @@ fn all_execution_modes_agree_on_the_trajectory_start() {
                     mode,
                     scheme,
                     width: 0,
+                    threads: 1,
                 },
             )
             .compute(&atoms, &sim_box, &list, &mut out);
-            let tol = if mode == ExecutionMode::OptD { 1e-9 } else { 3e-5 };
+            let tol = if mode == ExecutionMode::OptD {
+                1e-9
+            } else {
+                3e-5
+            };
             let rel = ((out.energy - out_ref.energy) / out_ref.energy).abs();
             assert!(rel < tol, "{mode:?}/{scheme:?} energy off by {rel}");
-            let force_tol = if mode == ExecutionMode::OptD { 1e-8 } else { 5e-3 };
+            let force_tol = if mode == ExecutionMode::OptD {
+                1e-8
+            } else {
+                5e-3
+            };
             assert!(
                 out.max_force_difference(&out_ref) < force_tol,
                 "{mode:?}/{scheme:?} force diff {}",
