@@ -3,12 +3,21 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
+use vektor::backend::{Avx2S, Avx512D, Backend};
 use vektor::conflict::{scatter_add3, scatter_add3_conflict_detect};
 use vektor::gather::adjacent_gather3;
 use vektor::reduce::sum_slice;
 use vektor::{SimdF, SimdI, SimdM};
 
 fn bench_vektor(c: &mut Criterion) {
+    // Name both axes of what is being measured: the modeled ISA class of
+    // the width/precision configurations below, and the implementation the
+    // runtime dispatch actually executes on this host.
+    println!(
+        "vektor backends under measurement: {} and {}",
+        Avx512D::KIND.executed_label(),
+        Avx2S::KIND.executed_label()
+    );
     let mut group = c.benchmark_group("vektor_building_blocks");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(300));

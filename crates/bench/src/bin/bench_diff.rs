@@ -1,0 +1,546 @@
+//! Benchmark regression gate: compare a fresh `BENCH_fig5_single_node.json`
+//! against a committed baseline snapshot and fail on significant
+//! slowdowns.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json> [--fail-pct 15] [--warn-pct 5]
+//!            [--metric seconds_per_step] [--update] [--strict]
+//! ```
+//!
+//! For every `(mode, threads)` series entry present in the baseline, the
+//! chosen metric is compared: a regression (current slower) above
+//! `--fail-pct` fails the run (exit code 1), above `--warn-pct` prints a
+//! warning. A markdown summary table goes to stdout so CI can paste it into
+//! the job log / step summary. `--update` rewrites the baseline from the
+//! current file instead of comparing (for refreshing the snapshot after an
+//! intentional performance change).
+//!
+//! The parser below is a deliberately small hand-rolled JSON reader — the
+//! offline build has no serde_json, and the input grammar is produced by
+//! this repository's own benchmark binaries.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (numbers as f64 — ample for benchmark reports).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{text}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        // \uXXXX and exotic escapes do not occur in our
+                        // benchmark reports; reject loudly rather than
+                        // silently mangling.
+                        other => {
+                            return Err(
+                                self.error(&format!("unsupported escape '\\{}'", other as char))
+                            )
+                        }
+                    }
+                }
+                Some(b) => {
+                    // Collect the full UTF-8 code point.
+                    let start = self.pos;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >= 0xF0 => 4,
+                        _ if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.error("invalid utf-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error("bad number"))
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing garbage"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// The diff
+// ---------------------------------------------------------------------------
+
+/// The metric value of every `(mode, threads)` series entry in a fig5
+/// report, keyed for deterministic iteration order.
+fn series_metrics(report: &Json, metric: &str) -> Result<BTreeMap<(String, u64), f64>, String> {
+    let series = report
+        .get("series")
+        .and_then(|s| s.as_arr())
+        .ok_or("report has no \"series\" array")?;
+    let mut out = BTreeMap::new();
+    for entry in series {
+        let mode = entry
+            .get("mode")
+            .and_then(|m| m.as_str())
+            .ok_or("series entry without \"mode\"")?
+            .to_string();
+        let threads = entry
+            .get("threads")
+            .and_then(|t| t.as_f64())
+            .ok_or("series entry without \"threads\"")? as u64;
+        let value = entry
+            .get(metric)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("series entry without \"{metric}\""))?;
+        out.insert((mode, threads), value);
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+struct Args {
+    baseline: String,
+    current: String,
+    fail_pct: f64,
+    warn_pct: f64,
+    metric: String,
+    update: bool,
+    strict: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff <baseline.json> <current.json> \
+         [--fail-pct 15] [--warn-pct 5] [--metric seconds_per_step] [--update] [--strict]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut fail_pct = 15.0;
+    let mut warn_pct = 5.0;
+    let mut metric = "seconds_per_step".to_string();
+    let mut update = false;
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fail-pct" => {
+                fail_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--warn-pct" => {
+                warn_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--metric" => metric = args.next().unwrap_or_else(|| usage()),
+            "--update" => update = true,
+            "--strict" => strict = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    Args {
+        baseline: positional.remove(0),
+        current: positional.remove(0),
+        fail_pct,
+        warn_pct,
+        metric,
+        update,
+        strict,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if args.update {
+        match std::fs::copy(&args.current, &args.baseline) {
+            Ok(_) => {
+                println!("baseline {} updated from {}", args.baseline, args.current);
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("bench_diff: cannot update baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (baseline, current) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_diff: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let (base_metrics, cur_metrics) = match (
+        series_metrics(&baseline, &args.metric),
+        series_metrics(&current, &args.metric),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_diff: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let backend = |r: &Json| {
+        r.get("executed_backend")
+            .and_then(|b| b.as_str())
+            .unwrap_or("unknown")
+            .to_string()
+    };
+    let parallelism = |r: &Json| {
+        r.get("available_parallelism")
+            .and_then(|p| p.as_f64())
+            .unwrap_or(0.0) as u64
+    };
+    // Absolute timings only gate when the baseline's host fingerprint
+    // (executed vektor backend + CPU count) matches the current run;
+    // otherwise regressions are reported but demoted to warnings, because a
+    // committed baseline from a different machine class says nothing about
+    // this commit. `--strict` restores hard failing regardless.
+    let host_match =
+        backend(&baseline) == backend(&current) && parallelism(&baseline) == parallelism(&current);
+    let gating = host_match || args.strict;
+    println!(
+        "## Bench regression gate: `{}` (fail > {:.0}%, warn > {:.0}%)\n",
+        args.metric, args.fail_pct, args.warn_pct
+    );
+    println!(
+        "baseline: `{}` backend, {} CPUs · current: `{}` backend, {} CPUs{}\n",
+        backend(&baseline),
+        parallelism(&baseline),
+        backend(&current),
+        parallelism(&current),
+        if gating {
+            ""
+        } else {
+            " · **host mismatch — regressions reported but not gating** \
+             (refresh the baseline on this machine class with `--update`, \
+             or pass `--strict` to gate anyway)"
+        }
+    );
+    println!("| mode | threads | baseline | current | Δ | status |");
+    println!("|------|---------|----------|---------|----|--------|");
+
+    // For time-like metrics larger is worse; for speedups larger is better.
+    let larger_is_worse = !args.metric.starts_with("speedup") && args.metric != "ns_per_day";
+
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+    for ((mode, threads), base_value) in &base_metrics {
+        let row = |cur: String, delta: String, status: &str| {
+            println!("| {mode} | {threads} | {base_value:.3e} | {cur} | {delta} | {status} |");
+        };
+        match cur_metrics.get(&(mode.clone(), *threads)) {
+            None => {
+                // A baseline series that vanished (renamed mode, dropped
+                // thread count) must fail, or the gate silently disarms.
+                row("—".into(), "—".into(), "✗ missing in current");
+                failures += 1;
+            }
+            Some(cur_value) => {
+                let change = cur_value / base_value - 1.0;
+                let regression_pct = if larger_is_worse { change } else { -change } * 100.0;
+                let status = if regression_pct > args.fail_pct {
+                    failures += 1;
+                    "✗ regression"
+                } else if regression_pct > args.warn_pct {
+                    warnings += 1;
+                    "⚠ slower"
+                } else if regression_pct < -args.warn_pct {
+                    "✓ improved"
+                } else {
+                    "✓ ok"
+                };
+                row(
+                    format!("{cur_value:.3e}"),
+                    format!("{:+.1}%", change * 100.0),
+                    status,
+                );
+            }
+        }
+    }
+    for key in cur_metrics.keys() {
+        if !base_metrics.contains_key(key) {
+            println!("| {} | {} | — | — | — | new (no baseline) |", key.0, key.1);
+        }
+    }
+
+    println!(
+        "\n{} series compared: {failures} failing, {warnings} warnings.",
+        base_metrics.len()
+    );
+    if failures > 0 && gating {
+        eprintln!(
+            "bench_diff: {failures} series regressed more than {:.0}% — failing the gate",
+            args.fail_pct
+        );
+        ExitCode::FAILURE
+    } else {
+        if failures > 0 {
+            eprintln!(
+                "bench_diff: {failures} series regressed more than {:.0}% but the baseline \
+                 was recorded on a different host class — not failing",
+                args.fail_pct
+            );
+        }
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig5_shaped_json() {
+        let text = r#"{
+          "figure": "fig5_single_node",
+          "executed_backend": "avx2",
+          "series": [
+            {"mode": "Ref", "threads": 1, "seconds_per_step": 1.5e-3},
+            {"mode": "Opt-M", "threads": 2, "seconds_per_step": 0.5e-3}
+          ]
+        }"#;
+        let v = parse_json(text).unwrap();
+        assert_eq!(v.get("executed_backend").unwrap().as_str(), Some("avx2"));
+        let m = series_metrics(&v, "seconds_per_step").unwrap();
+        assert_eq!(m.len(), 2);
+        assert!((m[&("Ref".to_string(), 1)] - 1.5e-3).abs() < 1e-12);
+        assert!((m[&("Opt-M".to_string(), 2)] - 0.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_literals() {
+        let v =
+            parse_json(r#"{"a": [1, -2.5e2, true, false, null, "x\n\"y\""], "b": {}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 6);
+        assert_eq!(arr[1].as_f64(), Some(-250.0));
+        assert_eq!(arr[5].as_str(), Some("x\n\"y\""));
+        assert!(parse_json("{\"unterminated\": ").is_err());
+        assert!(parse_json("[1,] trailing").is_err());
+    }
+
+    #[test]
+    fn missing_series_is_an_error() {
+        let v = parse_json(r#"{"figure": "x"}"#).unwrap();
+        assert!(series_metrics(&v, "seconds_per_step").is_err());
+    }
+}

@@ -24,6 +24,7 @@ fn total_energy_series(mode: ExecutionMode, steps: u64, every: u64) -> Vec<(u64,
             scheme: Scheme::FusedLanes,
             width: 0,
             threads: 1,
+            backend: None,
         },
     );
     let mut sim = Simulation::new(

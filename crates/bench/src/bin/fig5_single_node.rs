@@ -28,13 +28,16 @@ fn main() {
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // The vektor implementation that will actually execute the dispatched
+    // vector ops (VEKTOR_BACKEND override, else hardware detection).
+    let executed_backend = mode_options(ExecutionMode::OptM, 1).resolved_backend();
 
     figure_header(
         "Figure 5",
         "single-node execution, Ref vs Opt-M, thread sweep (measured)",
         &format!(
             "{cells}x{cells}x{cells} cells = {n_atoms} perturbed Si atoms, \
-             {parallelism} CPUs available"
+             {parallelism} CPUs available, vektor backend: {executed_backend}"
         ),
     );
 
@@ -96,6 +99,7 @@ fn main() {
         "{{\n  \"figure\": \"fig5_single_node\",\n  \"workload\": {{\"cells\": {cells}, \
          \"atoms\": {n_atoms}, \"perturbation\": 0.05}},\n  \"available_parallelism\": \
          {parallelism},\n  \"reps\": {reps},\n  \"opt_m_options\": \"{options_label}\",\n  \
+         \"executed_backend\": \"{executed_backend}\",\n  \
          \"series\": [\n{json_rows}\n  ]\n}}\n"
     );
     match write_bench_json("fig5_single_node", &body) {

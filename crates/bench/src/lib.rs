@@ -89,6 +89,7 @@ pub fn mode_options(mode: ExecutionMode, threads: usize) -> TersoffOptions {
         scheme,
         width: 0,
         threads,
+        backend: None,
     }
 }
 

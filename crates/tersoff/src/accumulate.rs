@@ -1,0 +1,129 @@
+//! Accumulation-precision force targets.
+//!
+//! Every optimized kernel accumulates forces in its accumulation precision
+//! `A` and finally folds into the `f64` [`ComputeOutput`]. When `A` is a
+//! reduced precision (`Opt-S`, `Opt-M`) a separate `A`-typed buffer is
+//! unavoidable; but when `A = f64` (`Ref`, `Opt-D`) that buffer is a pure
+//! overhead — an extra O(n) zero and an extra O(n) fold per thread per step.
+//! The helpers here let kernels write **straight into** the per-thread
+//! `ComputeOutput` force array in that case: [`flat_f64_forces`] /
+//! [`array3_f64_forces`] produce an `A`-typed view of the output buffer iff
+//! `A == f64` (checked by `TypeId`, so the branch monomorphizes away).
+//!
+//! The direct path is numerically identical to the buffered one: the
+//! removed fold added each `A = f64` partial sum to a zeroed `f64` slot,
+//! which is exact.
+
+use md_core::potential::ComputeOutput;
+use std::any::TypeId;
+use vektor::Real;
+
+/// Is the accumulation type `A` double precision?
+#[inline(always)]
+pub fn acc_is_f64<A: Real>() -> bool {
+    TypeId::of::<A>() == TypeId::of::<f64>()
+}
+
+/// Flat (stride-3) `A`-typed view of an output force buffer, available iff
+/// `A == f64`.
+#[inline(always)]
+pub fn flat_f64_forces<A: Real>(forces: &mut [[f64; 3]]) -> Option<&mut [A]> {
+    if !acc_is_f64::<A>() {
+        return None;
+    }
+    let flat: &mut [f64] = forces.as_flattened_mut();
+    // SAFETY: A == f64 (TypeId-checked above), identical layout.
+    Some(unsafe { &mut *(flat as *mut [f64] as *mut [A]) })
+}
+
+/// `[[A; 3]]` view of an output force buffer, available iff `A == f64`.
+#[inline(always)]
+pub fn array3_f64_forces<A: Real>(forces: &mut [[f64; 3]]) -> Option<&mut [[A; 3]]> {
+    if !acc_is_f64::<A>() {
+        return None;
+    }
+    // SAFETY: A == f64 (TypeId-checked above), identical layout.
+    Some(unsafe { &mut *(forces as *mut [[f64; 3]] as *mut [[A; 3]]) })
+}
+
+/// A borrowed accumulation target: the force buffer a kernel writes (either
+/// its per-thread scratch or, for `A = f64`, the output array directly) plus
+/// the scalar energy/virial accumulators.
+pub struct AccView<'a, A: Real> {
+    /// Per-atom forces, stride 3.
+    pub forces: &'a mut [A],
+    /// Total energy accumulator.
+    pub energy: &'a mut A,
+    /// Scalar virial accumulator.
+    pub virial: &'a mut A,
+}
+
+/// Fold an `A`-precision flat force buffer into the `f64` output (the
+/// buffered path for `A ≠ f64`).
+pub fn fold_flat_forces<A: Real>(forces: &[A], out: &mut ComputeOutput) {
+    for (idx, dst) in out.forces.iter_mut().enumerate() {
+        for d in 0..3 {
+            dst[d] += forces[idx * 3 + d].to_f64();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_views_alias_the_output() {
+        let mut forces = vec![[0.0f64; 3]; 4];
+        {
+            let flat = flat_f64_forces::<f64>(&mut forces).expect("f64 view");
+            assert_eq!(flat.len(), 12);
+            flat[3] = 7.0;
+            flat[11] = -1.5;
+        }
+        assert_eq!(forces[1][0], 7.0);
+        assert_eq!(forces[3][2], -1.5);
+        {
+            let arr = array3_f64_forces::<f64>(&mut forces).expect("f64 view");
+            arr[0][1] = 2.0;
+        }
+        assert_eq!(forces[0][1], 2.0);
+    }
+
+    #[test]
+    fn reduced_precision_gets_no_view() {
+        let mut forces = vec![[0.0f64; 3]; 4];
+        assert!(flat_f64_forces::<f32>(&mut forces).is_none());
+        assert!(array3_f64_forces::<f32>(&mut forces).is_none());
+        assert!(acc_is_f64::<f64>());
+        assert!(!acc_is_f64::<f32>());
+    }
+
+    #[test]
+    fn fold_accumulates_into_output() {
+        let mut out = ComputeOutput::zeros(2);
+        out.forces[1][2] = 1.0;
+        let buf: Vec<f32> = (0..6).map(|i| i as f32).collect();
+        fold_flat_forces(&buf, &mut out);
+        assert_eq!(out.forces[0], [0.0, 1.0, 2.0]);
+        assert_eq!(out.forces[1], [3.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn acc_view_carries_all_three_targets() {
+        let mut f = vec![0.0f64; 6];
+        let mut e = 0.0f64;
+        let mut v = 0.0f64;
+        let view = AccView {
+            forces: &mut f,
+            energy: &mut e,
+            virial: &mut v,
+        };
+        view.forces[0] = 1.0;
+        *view.energy += 2.0;
+        *view.virial -= 3.0;
+        assert_eq!(f[0], 1.0);
+        assert_eq!(e, 2.0);
+        assert_eq!(v, -3.0);
+    }
+}

@@ -15,6 +15,7 @@ use crate::scheme_b::TersoffSchemeB;
 use crate::scheme_c::TersoffSchemeC;
 use md_core::force_engine::{ForceEngine, RangePotential};
 use md_core::potential::Potential;
+pub use vektor::dispatch::BackendImpl;
 
 /// The four codes evaluated in the paper.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -93,6 +94,19 @@ pub struct TersoffOptions {
     /// value is taken literally — the OpenMP-threads axis of the paper's
     /// single-node runs (Fig. 5).
     pub threads: usize,
+    /// The `vektor` implementation executing the dispatched vector
+    /// operations: `None` resolves automatically (the `VEKTOR_BACKEND`
+    /// environment variable, else build-aware detection — see
+    /// `vektor::dispatch::default_backend`); `Some(_)` forces an
+    /// implementation, clamped to what the host supports.
+    ///
+    /// The dispatch state is **process-global**: it is resolved when
+    /// [`make_potential`] / [`make_range_potential`] runs, and the most
+    /// recent resolution wins for *every* potential in the process — two
+    /// coexisting potentials cannot run different backends. Since all
+    /// implementations are bitwise-equivalent, a later override changes
+    /// speed only, never results.
+    pub backend: Option<BackendImpl>,
 }
 
 impl Default for TersoffOptions {
@@ -102,6 +116,7 @@ impl Default for TersoffOptions {
             scheme: Scheme::FusedLanes,
             width: 0,
             threads: 1,
+            backend: None,
         }
     }
 }
@@ -159,6 +174,23 @@ impl TersoffOptions {
         self.threads = threads;
         self
     }
+
+    /// Convenience: the same options with a forced vektor backend (see
+    /// [`TersoffOptions::backend`] for the process-global semantics).
+    pub fn with_backend(mut self, backend: BackendImpl) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The vektor implementation these options resolve to on this host
+    /// (what [`make_potential`] will activate): the explicit request if
+    /// supported, else the `VEKTOR_BACKEND`/auto-detected default.
+    pub fn resolved_backend(&self) -> BackendImpl {
+        match self.backend {
+            Some(b) => vektor::dispatch::clamp(b),
+            None => vektor::dispatch::default_backend(),
+        }
+    }
 }
 
 macro_rules! build_vector_potential {
@@ -195,6 +227,9 @@ pub fn make_range_potential(
     params: TersoffParams,
     options: TersoffOptions,
 ) -> Box<dyn RangePotential> {
+    // Resolve the vektor implementation now, so the kernel built below runs
+    // against the requested (or detected) backend from its first step.
+    vektor::dispatch::resolve(options.backend);
     let width = options.effective_width();
     match (options.mode, options.scheme) {
         (ExecutionMode::Ref, _) => Box::new(TersoffRef::new(params)),
@@ -251,6 +286,7 @@ mod tests {
             scheme,
             width: 0,
             threads: 1,
+            backend: None,
         };
         assert_eq!(mk(ExecutionMode::OptD, Scheme::JLanes).effective_width(), 4);
         assert_eq!(mk(ExecutionMode::OptS, Scheme::JLanes).effective_width(), 8);
@@ -272,6 +308,7 @@ mod tests {
             scheme: Scheme::FusedLanes,
             width: 2,
             threads: 1,
+            backend: None,
         };
         assert_eq!(explicit.effective_width(), 2);
     }
@@ -284,6 +321,7 @@ mod tests {
                 scheme: Scheme::FusedLanes,
                 width: 0,
                 threads: 1,
+                backend: None,
             }
             .label(),
             "Ref"
@@ -305,6 +343,7 @@ mod tests {
                 scheme: Scheme::Scalar,
                 width: 0,
                 threads: 1,
+                backend: None,
             },
         );
         let mut out_ref = ComputeOutput::zeros(atoms.n_total());
@@ -328,6 +367,7 @@ mod tests {
                         scheme,
                         width: 0,
                         threads: 1,
+                        backend: None,
                     },
                 );
                 let mut out = ComputeOutput::zeros(atoms.n_total());
@@ -358,6 +398,7 @@ mod tests {
                 scheme: Scheme::FusedLanes,
                 width: 7,
                 threads: 1,
+                backend: None,
             },
         );
     }

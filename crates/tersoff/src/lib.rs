@@ -31,6 +31,7 @@
 // pseudocode; clippy's iterator rewrites are deliberately not applied.
 #![allow(clippy::needless_range_loop)]
 
+pub mod accumulate;
 pub mod driver;
 pub mod filter;
 pub mod functions;

@@ -14,6 +14,7 @@
 //! * the force scatter with **conflict handling** (building block 3), since
 //!   nothing guarantees distinct targets when i varies per lane.
 
+use crate::accumulate::{fold_flat_forces, AccView};
 use crate::filter::FilteredNeighbors;
 use crate::stats::KernelStats;
 use crate::vector_kernel::{
@@ -43,15 +44,13 @@ pub struct PairKernelCtx<'a, T: Real> {
     pub fast_forward: bool,
 }
 
-/// Mutable accumulation state (accumulation precision `A`).
+/// The scratch force buffer in accumulation precision `A` — used by the
+/// reduced-precision modes; `A = f64` kernels bypass it and write straight
+/// into the per-thread [`ComputeOutput`] (see [`crate::accumulate`]).
 #[derive(Clone, Debug, Default)]
 pub struct Accumulators<A: Real> {
     /// Per-atom forces, stride 3.
     pub forces: Vec<A>,
-    /// Total energy.
-    pub energy: A,
-    /// Scalar virial.
-    pub virial: A,
 }
 
 impl<A: Real> Accumulators<A> {
@@ -67,19 +66,11 @@ impl<A: Real> Accumulators<A> {
     pub fn reset(&mut self, n_atoms: usize) {
         self.forces.clear();
         self.forces.resize(n_atoms * 3, A::ZERO);
-        self.energy = A::ZERO;
-        self.virial = A::ZERO;
     }
 
-    /// Fold this accumulator into a double-precision output.
+    /// Fold the force buffer into a double-precision output.
     pub fn fold_into(&self, out: &mut ComputeOutput) {
-        for (idx, dst) in out.forces.iter_mut().enumerate() {
-            for d in 0..3 {
-                dst[d] += self.forces[idx * 3 + d].to_f64();
-            }
-        }
-        out.energy += self.energy.to_f64();
-        out.virial += self.virial.to_f64();
+        fold_flat_forces(&self.forces, out);
     }
 }
 
@@ -92,14 +83,17 @@ struct KStep<const W: usize> {
 }
 
 /// Process one vector of (i, j) pairs: ζ pass, pair terms, gradient pass,
-/// force scatter. `lane_mask` marks lanes holding a real pair.
+/// force scatter. `lane_mask` marks lanes holding a real pair. The
+/// accumulation target is a borrowed [`AccView`], so the caller decides
+/// whether forces land in an `A`-precision scratch buffer or (for
+/// `A = f64`) directly in the per-thread output.
 #[allow(clippy::too_many_arguments)]
 pub fn process_pair_vector<T: Real, A: Real, const W: usize>(
     ctx: &PairKernelCtx<'_, T>,
     i_idx: &[usize; W],
     j_idx: &[usize; W],
     lane_mask_in: SimdM<W>,
-    acc: &mut Accumulators<A>,
+    acc: &mut AccView<'_, A>,
     stats: Option<&mut KernelStats>,
 ) {
     let mut stats = stats;
@@ -241,7 +235,7 @@ pub fn process_pair_vector<T: Real, A: Real, const W: usize>(
     // ---- Pair terms. ----
     let (e_rep, de_rep) = repulsive_v(&p_ij, rij);
     let (e_att, de_att, de_dzeta) = force_zeta_v(&p_ij, rij, zeta);
-    acc.energy += to_acc((e_rep + e_att).masked_sum(lane_mask));
+    *acc.energy += to_acc((e_rep + e_att).masked_sum(lane_mask));
     let fpair = (de_rep + de_att) / rij;
     let prefactor = -de_dzeta;
 
@@ -251,12 +245,12 @@ pub fn process_pair_vector<T: Real, A: Real, const W: usize>(
         fi_vec[d] = fpair * del_ij[d];
         fj_vec[d] = -(fpair * del_ij[d]);
     }
-    acc.virial -= to_acc((fpair * rsq).masked_sum(lane_mask));
+    *acc.virial -= to_acc((fpair * rsq).masked_sum(lane_mask));
 
     // ---- Pass 2: ζ gradients → forces. ----
     let mut virial_k = T::ZERO;
     {
-        let forces = &mut acc.forces;
+        let forces = &mut *acc.forces;
         let virial_k_ref = &mut virial_k;
         k_iterate(&mut stats, &mut |ready, k_cand, del_ik, rik, p_ijk| {
             let (_, grad_j, grad_k) = zeta_term_and_gradients_v(p_ijk, del_ij, rij, del_ik, rik);
@@ -274,13 +268,13 @@ pub fn process_pair_vector<T: Real, A: Real, const W: usize>(
             scatter_add3::<A, W, 3>(forces, k_cand, ready, fk);
         });
     }
-    acc.virial += to_acc(virial_k);
+    *acc.virial += to_acc(virial_k);
 
     // Virial contribution of the j-side three-body force (pair part already
     // tallied above): Σ del_ij · (F_j − pair part).
     for d in 0..3 {
         let three_body_j = fj_vec[d] + fpair * del_ij[d];
-        acc.virial += to_acc((del_ij[d] * three_body_j).masked_sum(lane_mask));
+        *acc.virial += to_acc((del_ij[d] * three_body_j).masked_sum(lane_mask));
     }
 
     // ---- Scatter the i / j forces (conflicts possible in both). ----
@@ -294,8 +288,8 @@ pub fn process_pair_vector<T: Real, A: Real, const W: usize>(
         fj_vec[1].masked(lane_mask).convert(),
         fj_vec[2].masked(lane_mask).convert(),
     ];
-    scatter_add3::<A, W, 3>(&mut acc.forces, i_idx, lane_mask, fi_acc);
-    scatter_add3::<A, W, 3>(&mut acc.forces, j_idx, lane_mask, fj_acc);
+    scatter_add3::<A, W, 3>(acc.forces, i_idx, lane_mask, fi_acc);
+    scatter_add3::<A, W, 3>(acc.forces, j_idx, lane_mask, fj_acc);
 }
 
 #[cfg(test)]
@@ -311,8 +305,6 @@ mod tests {
         let acc = Accumulators::<f64>::new(5);
         assert_eq!(acc.forces.len(), 15);
         assert!(acc.forces.iter().all(|&f| f == 0.0));
-        assert_eq!(acc.energy, 0.0);
-        assert_eq!(acc.virial, 0.0);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! code — mirroring how the paper's vector library derives the mixed mode
 //! automatically.
 
+use crate::accumulate::array3_f64_forces;
 use crate::filter::Prepared;
 use crate::functions::{self, ParamT};
 use crate::params::TersoffParams;
@@ -148,7 +149,9 @@ impl<T: Real, A: Real> Potential for TersoffScalarOpt<T, A> {
 impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
     /// The actual kernel over a contiguous range of central atoms, reading
     /// the prepared shared state and accumulating into `scratch`/`out`.
-    /// Allocation-free in steady state.
+    /// Allocation-free in steady state. For `A = f64` the forces accumulate
+    /// directly in `out` (no scratch buffer, no fold); reduced precisions
+    /// use the `A`-typed scratch buffer and fold once at the end.
     fn range_kernel(
         &self,
         atoms: &AtomData,
@@ -157,20 +160,64 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
         scratch: &mut ScalarScratch<T, A>,
         out: &mut ComputeOutput,
     ) {
+        let mut energy = A::ZERO;
+        let mut virial = A::ZERO;
+        if let Some(forces) = array3_f64_forces::<A>(&mut out.forces) {
+            self.atom_loop(
+                atoms,
+                sim_box,
+                range,
+                forces,
+                &mut energy,
+                &mut virial,
+                &mut scratch.kentries,
+                &mut scratch.fallbacks,
+            );
+        } else {
+            scratch.forces.clear();
+            scratch.forces.resize(atoms.n_total(), [A::ZERO; 3]);
+            let ScalarScratch {
+                forces,
+                kentries,
+                fallbacks,
+            } = scratch;
+            self.atom_loop(
+                atoms,
+                sim_box,
+                range,
+                forces,
+                &mut energy,
+                &mut virial,
+                kentries,
+                fallbacks,
+            );
+            // Fold the reduced-precision accumulators into the output.
+            for (dst, src) in out.forces.iter_mut().zip(forces.iter()) {
+                for d in 0..3 {
+                    dst[d] += src[d].to_f64();
+                }
+            }
+        }
+        out.energy += energy.to_f64();
+        out.virial += virial.to_f64();
+    }
+
+    /// The per-atom J/K loops, writing into the given force buffer.
+    #[allow(clippy::too_many_arguments)]
+    fn atom_loop(
+        &self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        range: Range<usize>,
+        forces: &mut [[A; 3]],
+        energy: &mut A,
+        virial: &mut A,
+        kentries: &mut Vec<KEntry<T>>,
+        fallbacks: &mut u64,
+    ) {
         let filtered = &self.prep.filtered;
         let packed = &self.prep.packed_x;
         let types = &atoms.type_;
-
-        // Accumulators in the accumulation precision.
-        scratch.forces.clear();
-        scratch.forces.resize(atoms.n_total(), [A::ZERO; 3]);
-        let ScalarScratch {
-            forces,
-            kentries,
-            fallbacks,
-        } = scratch;
-        let mut energy = A::ZERO;
-        let mut virial = A::ZERO;
         kentries.reserve(self.kmax);
 
         let position =
@@ -261,28 +308,28 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
                 // Pair terms.
                 let (e_rep, de_rep) = functions::repulsive(p_ij, rij);
                 let (e_att, de_att, de_dzeta) = functions::force_zeta(p_ij, rij, zeta_ij);
-                energy += acc(e_rep + e_att);
+                *energy += acc(e_rep + e_att);
 
                 let fpair = (de_rep + de_att) / rij;
                 for d in 0..3 {
                     forces[i][d] += acc(fpair * del_ij[d]);
                     forces[j][d] -= acc(fpair * del_ij[d]);
                 }
-                virial -= acc(fpair * rsq_ij);
+                *virial -= acc(fpair * rsq_ij);
 
                 // Apply the pre-computed gradients scaled by δζ.
                 let prefactor = -de_dzeta;
                 for d in 0..3 {
                     forces[i][d] += acc(prefactor * dzeta_i[d]);
                     forces[j][d] += acc(prefactor * dzeta_j[d]);
-                    virial += acc(del_ij[d] * prefactor * dzeta_j[d]);
+                    *virial += acc(del_ij[d] * prefactor * dzeta_j[d]);
                 }
                 for entry in kentries.iter() {
                     let del_ik = min_image(xi, position(entry.k));
                     for d in 0..3 {
                         let fk = prefactor * entry.grad_k[d];
                         forces[entry.k][d] += acc(fk);
-                        virial += acc(del_ik[d] * fk);
+                        *virial += acc(del_ik[d] * fk);
                     }
                 }
 
@@ -313,21 +360,12 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
                         for d in 0..3 {
                             let fk = prefactor * grad_k[d];
                             forces[k][d] += acc(fk);
-                            virial += acc(del_ik[d] * fk);
+                            *virial += acc(del_ik[d] * fk);
                         }
                     }
                 }
             }
         }
-
-        // Fold the accumulators into the double-precision output.
-        for (dst, src) in out.forces.iter_mut().zip(forces.iter()) {
-            for d in 0..3 {
-                dst[d] += src[d].to_f64();
-            }
-        }
-        out.energy += energy.to_f64();
-        out.virial += virial.to_f64();
     }
 }
 

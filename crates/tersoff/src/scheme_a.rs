@@ -13,6 +13,7 @@
 //! optimization), held in a scratch list indexed by k, and scaled by δζ once
 //! the bond order is known.
 
+use crate::accumulate::{flat_f64_forces, fold_flat_forces, AccView};
 use crate::filter::Prepared;
 use crate::params::TersoffParams;
 use crate::stats::KernelStats;
@@ -132,7 +133,9 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
 
     /// The actual kernel over a contiguous range of central atoms, reading
     /// the prepared shared state and accumulating into `scratch`/`out`.
-    /// Allocation-free in steady state.
+    /// Allocation-free in steady state. For `A = f64` the forces accumulate
+    /// directly in `out` (no scratch buffer, no fold); reduced precisions
+    /// use the flat `A`-typed scratch buffer and fold once at the end.
     fn range_kernel(
         &self,
         atoms: &AtomData,
@@ -141,23 +144,62 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
         scratch: &mut SchemeAScratch<T, A, W>,
         out: &mut ComputeOutput,
     ) {
-        let filtered = &self.prep.filtered;
-        let packed_x = &self.prep.packed_x;
-        let types = &atoms.type_;
-
-        // Flat accumulation buffers in the accumulation precision.
-        scratch.forces.clear();
-        scratch.forces.resize(atoms.n_total() * 3, A::ZERO);
-        let SchemeAScratch {
-            forces,
-            kslots,
-            stats,
-        } = scratch;
         if self.collect_stats {
-            stats.reset();
+            scratch.stats.reset();
         }
         let mut energy = A::ZERO;
         let mut virial = A::ZERO;
+        if let Some(direct) = flat_f64_forces::<A>(&mut out.forces) {
+            let mut acc = AccView {
+                forces: direct,
+                energy: &mut energy,
+                virial: &mut virial,
+            };
+            self.atom_loop(
+                atoms,
+                range,
+                &mut acc,
+                &mut scratch.kslots,
+                &mut scratch.stats,
+                sim_box,
+            );
+        } else {
+            scratch.forces.clear();
+            scratch.forces.resize(atoms.n_total() * 3, A::ZERO);
+            let SchemeAScratch {
+                forces,
+                kslots,
+                stats,
+            } = scratch;
+            let mut acc = AccView {
+                forces: forces.as_mut_slice(),
+                energy: &mut energy,
+                virial: &mut virial,
+            };
+            self.atom_loop(atoms, range, &mut acc, kslots, stats, sim_box);
+            fold_flat_forces(forces, out);
+        }
+        out.energy += energy.to_f64();
+        out.virial += virial.to_f64();
+    }
+
+    /// The per-atom J/K loops, writing into the borrowed accumulation
+    /// target.
+    fn atom_loop(
+        &self,
+        atoms: &AtomData,
+        range: Range<usize>,
+        acc: &mut AccView<'_, A>,
+        kslots: &mut Vec<KSlot<T, W>>,
+        stats: &mut KernelStats,
+        sim_box: &SimBox,
+    ) {
+        let filtered = &self.prep.filtered;
+        let packed_x = &self.prep.packed_x;
+        let types = &atoms.type_;
+        let forces = &mut *acc.forces;
+        let energy = &mut *acc.energy;
+        let virial = &mut *acc.virial;
 
         let lengths_f64 = sim_box.lengths();
         let lengths = [
@@ -306,7 +348,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                 // Pair energy, force and δζ.
                 let (e_rep, de_rep) = repulsive_v(&p_ij, rij);
                 let (e_att, de_att, de_dzeta) = force_zeta_v(&p_ij, rij, zeta);
-                energy += acc((e_rep + e_att).masked_sum(lane_mask));
+                *energy += acc((e_rep + e_att).masked_sum(lane_mask));
 
                 let fpair = (de_rep + de_att) / rij;
                 let prefactor = -de_dzeta;
@@ -331,9 +373,9 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                 adjacent_scatter_add3_distinct::<A, W, 3>(forces, &j_idx, lane_mask, fj_acc);
 
                 // Virial: pair part + j-side three-body part.
-                virial -= acc((fpair * rsq).masked_sum(lane_mask));
+                *virial -= acc((fpair * rsq).masked_sum(lane_mask));
                 for d in 0..3 {
-                    virial += acc((del_ij[d] * (prefactor * dzeta_j[d])).masked_sum(lane_mask));
+                    *virial += acc((del_ij[d] * (prefactor * dzeta_j[d])).masked_sum(lane_mask));
                 }
 
                 // Force on the k atoms: uniform target per scratch entry,
@@ -342,7 +384,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                     for d in 0..3 {
                         let fk = (prefactor * slot.grad_k[d]).masked_sum(slot.mask);
                         forces[slot.k * 3 + d] += acc(fk);
-                        virial += acc(slot.del_ik[d] * fk);
+                        *virial += acc(slot.del_ik[d] * fk);
                     }
                 }
 
@@ -353,14 +395,6 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                 forces[i * 3 + d] += fi_acc[d];
             }
         }
-
-        for (idx, dst) in out.forces.iter_mut().enumerate() {
-            for d in 0..3 {
-                dst[d] += forces[idx * 3 + d].to_f64();
-            }
-        }
-        out.energy += energy.to_f64();
-        out.virial += virial.to_f64();
     }
 }
 

@@ -13,6 +13,7 @@
 //!   serialized (conflict-safe) scatter-adds — the `ordered simd` /
 //!   AVX-512CD discussion of Sec. V-A.
 
+use crate::accumulate::{flat_f64_forces, AccView};
 use crate::filter::Prepared;
 use crate::pair_kernel::{process_pair_vector, Accumulators, PairKernelCtx};
 use crate::params::TersoffParams;
@@ -132,7 +133,9 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
 
     /// The actual kernel over the packed pairs of a contiguous range of
     /// central atoms (pairs of one atom are contiguous in the packed list).
-    /// Allocation-free in steady state.
+    /// Allocation-free in steady state. For `A = f64` the forces accumulate
+    /// directly in `out` (no scratch buffer, no fold); reduced precisions
+    /// use the `A`-typed scratch buffer and fold once at the end.
     fn range_kernel(
         &self,
         atoms: &AtomData,
@@ -142,7 +145,6 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
         out: &mut ComputeOutput,
     ) {
         let pairs = &self.prep.pairs;
-        scratch.acc.reset(atoms.n_total());
         if self.collect_stats {
             scratch.stats.reset();
         }
@@ -167,6 +169,39 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
             fast_forward: self.fast_forward,
         };
 
+        let mut energy = A::ZERO;
+        let mut virial = A::ZERO;
+        if let Some(direct) = flat_f64_forces::<A>(&mut out.forces) {
+            let mut acc = AccView {
+                forces: direct,
+                energy: &mut energy,
+                virial: &mut virial,
+            };
+            self.pair_loop(&ctx, pair_lo, pair_hi, &mut acc, &mut scratch.stats);
+        } else {
+            scratch.acc.reset(atoms.n_total());
+            let mut acc = AccView {
+                forces: scratch.acc.forces.as_mut_slice(),
+                energy: &mut energy,
+                virial: &mut virial,
+            };
+            self.pair_loop(&ctx, pair_lo, pair_hi, &mut acc, &mut scratch.stats);
+            scratch.acc.fold_into(out);
+        }
+        out.energy += energy.to_f64();
+        out.virial += virial.to_f64();
+    }
+
+    /// The pair-vector loop, writing into the borrowed accumulation target.
+    fn pair_loop(
+        &self,
+        ctx: &PairKernelCtx<'_, T>,
+        pair_lo: usize,
+        pair_hi: usize,
+        acc: &mut AccView<'_, A>,
+        stats: &mut KernelStats,
+    ) {
+        let pairs = &self.prep.pairs;
         let mut pv = pair_lo;
         while pv < pair_hi {
             let lane_count = (pair_hi - pv).min(W);
@@ -178,22 +213,13 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
                 j_idx[lane] = pairs.j[pv + lane] as usize;
             }
             let stats = if self.collect_stats {
-                Some(&mut scratch.stats)
+                Some(&mut *stats)
             } else {
                 None
             };
-            process_pair_vector::<T, A, W>(
-                &ctx,
-                &i_idx,
-                &j_idx,
-                lane_mask,
-                &mut scratch.acc,
-                stats,
-            );
+            process_pair_vector::<T, A, W>(ctx, &i_idx, &j_idx, lane_mask, acc, stats);
             pv += W;
         }
-
-        scratch.acc.fold_into(out);
     }
 }
 

@@ -10,6 +10,7 @@
 //! pair level (the K passes, conflict-handled scatters) is shared with scheme
 //! (1b) via [`crate::pair_kernel`].
 
+use crate::accumulate::{flat_f64_forces, AccView};
 use crate::filter::Prepared;
 use crate::pair_kernel::{process_pair_vector, PairKernelCtx};
 use crate::params::TersoffParams;
@@ -121,8 +122,6 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
         scratch: &mut PairSchemeScratch<A>,
         out: &mut ComputeOutput,
     ) {
-        let filtered = &self.prep.filtered;
-        scratch.acc.reset(atoms.n_total());
         if self.collect_stats {
             scratch.stats.reset();
         }
@@ -131,7 +130,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
             packed: &self.packed,
             positions: &self.prep.packed_x,
             types: &atoms.type_,
-            filtered,
+            filtered: &self.prep.filtered,
             lengths: [
                 T::from_f64(lengths_f64[0]),
                 T::from_f64(lengths_f64[1]),
@@ -141,6 +140,38 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
             fast_forward: self.fast_forward,
         };
 
+        let mut energy = A::ZERO;
+        let mut virial = A::ZERO;
+        if let Some(direct) = flat_f64_forces::<A>(&mut out.forces) {
+            let mut acc = AccView {
+                forces: direct,
+                energy: &mut energy,
+                virial: &mut virial,
+            };
+            self.warp_loop(&ctx, range, &mut acc, &mut scratch.stats);
+        } else {
+            scratch.acc.reset(atoms.n_total());
+            let mut acc = AccView {
+                forces: scratch.acc.forces.as_mut_slice(),
+                energy: &mut energy,
+                virial: &mut virial,
+            };
+            self.warp_loop(&ctx, range, &mut acc, &mut scratch.stats);
+            scratch.acc.fold_into(out);
+        }
+        out.energy += energy.to_f64();
+        out.virial += virial.to_f64();
+    }
+
+    /// The warp-block loop, writing into the borrowed accumulation target.
+    fn warp_loop(
+        &self,
+        ctx: &PairKernelCtx<'_, T>,
+        range: Range<usize>,
+        acc: &mut AccView<'_, A>,
+        stats: &mut KernelStats,
+    ) {
+        let filtered = &self.prep.filtered;
         // Blocks of W atoms; each lane owns one atom ("thread per atom").
         let end = range.end;
         let mut block = range.start;
@@ -174,23 +205,14 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
                     continue;
                 }
                 let stats = if self.collect_stats {
-                    Some(&mut scratch.stats)
+                    Some(&mut *stats)
                 } else {
                     None
                 };
-                process_pair_vector::<T, A, W>(
-                    &ctx,
-                    &i_idx,
-                    &j_idx,
-                    lane_mask,
-                    &mut scratch.acc,
-                    stats,
-                );
+                process_pair_vector::<T, A, W>(ctx, &i_idx, &j_idx, lane_mask, acc, stats);
             }
             block += W;
         }
-
-        scratch.acc.fold_into(out);
     }
 }
 

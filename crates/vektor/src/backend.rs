@@ -177,6 +177,15 @@ impl BackendKind {
     pub fn label(self) -> String {
         format!("{}/{}", self.isa, self.precision)
     }
+
+    /// Label extended with the implementation that actually executes the
+    /// dispatched vector operations right now, e.g. `AVX2/mixed@avx2`. The
+    /// part before `@` is the *modeled* ISA class (width/precision
+    /// configuration); the part after is the live
+    /// [`crate::dispatch::active`] code path.
+    pub fn executed_label(self) -> String {
+        format!("{}@{}", self.label(), crate::dispatch::active().name())
+    }
 }
 
 impl fmt::Display for BackendKind {

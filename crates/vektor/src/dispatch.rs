@@ -1,0 +1,311 @@
+//! Runtime back-end dispatch.
+//!
+//! The library carries up to three *implementations* of its dispatched
+//! operations (gather family, blend/select, fused multiply-add, horizontal
+//! reductions, conflict-free scatter):
+//!
+//! 1. **portable** — the array lane loops (always available, every target);
+//! 2. **avx2** — explicit `std::arch` intrinsics for 4 × f64 / 8 × f32
+//!    vectors (hardware `vgatherdpd`/`vgatherdps`, `vblendvpd`, `vfmadd`),
+//!    used when the CPU reports `avx2` **and** `fma`;
+//! 3. **avx512** — 8 × f64 / 16 × f32 via `__m512` registers, `__mmask`
+//!    lane masks and hardware scatter, used when the CPU additionally
+//!    reports `avx512f`.
+//!
+//! Selection happens once, lazily, and is cached in an atomic:
+//!
+//! * the `VEKTOR_BACKEND` environment variable (`portable`, `avx2`,
+//!   `avx512`, `auto`) takes precedence — requesting an implementation the
+//!   CPU cannot run clamps down to the best supported one;
+//! * otherwise the default is build-aware: when the build enables AVX2 at
+//!   compile time (so the intrinsics inline), `is_x86_feature_detected!`
+//!   picks the widest supported implementation; baseline builds default
+//!   to portable, where the per-op `#[target_feature]` call overhead
+//!   outweighs the hardware gathers (see [`default_backend`]);
+//! * [`set_active`] overrides the cached choice programmatically (the
+//!   Tersoff driver resolves its `TersoffOptions::backend` field through
+//!   it), again clamped to what the host supports.
+//!
+//! All implementations are **bit-for-bit equivalent** (enforced by
+//! `tests/backend_equivalence.rs`), so switching back-ends — even mid-run —
+//! changes execution speed, never results.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The implementation strategy executing vektor's dispatched operations.
+///
+/// Distinct from [`crate::BackendKind`], which names the ISA class a kernel
+/// *models* (its width/precision configuration): `BackendImpl` is the code
+/// path that actually runs the lanes on this host.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BackendImpl {
+    /// Portable array lane loops (LLVM auto-vectorization).
+    Portable,
+    /// Explicit AVX2 + FMA intrinsics (256-bit).
+    Avx2,
+    /// Explicit AVX-512F intrinsics (512-bit, mask registers, scatter).
+    Avx512,
+}
+
+impl BackendImpl {
+    /// All implementations, narrowest first.
+    pub const ALL: [BackendImpl; 3] = [
+        BackendImpl::Portable,
+        BackendImpl::Avx2,
+        BackendImpl::Avx512,
+    ];
+
+    /// Stable lower-case name (the value accepted by `VEKTOR_BACKEND`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendImpl::Portable => "portable",
+            BackendImpl::Avx2 => "avx2",
+            BackendImpl::Avx512 => "avx512",
+        }
+    }
+
+    /// Parse a concrete backend name; `None` for unknown strings. For the
+    /// full request grammar including `auto`, see [`parse_request`].
+    pub fn parse(s: &str) -> Option<BackendImpl> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "portable" | "scalar" | "array" => Some(BackendImpl::Portable),
+            "avx2" => Some(BackendImpl::Avx2),
+            "avx512" | "avx-512" | "avx512f" => Some(BackendImpl::Avx512),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Parse a backend *request*: `Some(None)` means "auto" (detect),
+/// `Some(Some(_))` a concrete implementation, `None` an unrecognized string.
+#[allow(clippy::option_option)] // request = "auto" | backend; both layers carry meaning
+pub fn parse_request(s: &str) -> Option<Option<BackendImpl>> {
+    let t = s.trim().to_ascii_lowercase();
+    if t.is_empty() || t == "auto" || t == "detect" {
+        return Some(None);
+    }
+    BackendImpl::parse(&t).map(Some)
+}
+
+/// Is `backend` runnable on this host?
+pub fn supported(backend: BackendImpl) -> bool {
+    match backend {
+        BackendImpl::Portable => true,
+        #[cfg(target_arch = "x86_64")]
+        BackendImpl::Avx2 => {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(target_arch = "x86_64")]
+        BackendImpl::Avx512 => {
+            supported(BackendImpl::Avx2) && std::arch::is_x86_feature_detected!("avx512f")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// The widest implementation this host supports.
+pub fn detect_best() -> BackendImpl {
+    if supported(BackendImpl::Avx512) {
+        BackendImpl::Avx512
+    } else if supported(BackendImpl::Avx2) {
+        BackendImpl::Avx2
+    } else {
+        BackendImpl::Portable
+    }
+}
+
+/// Clamp a request to what the host supports (`avx512` → `avx2` → portable).
+pub fn clamp(request: BackendImpl) -> BackendImpl {
+    match request {
+        BackendImpl::Avx512 if !supported(BackendImpl::Avx512) => clamp(BackendImpl::Avx2),
+        BackendImpl::Avx2 if !supported(BackendImpl::Avx2) => BackendImpl::Portable,
+        other => other,
+    }
+}
+
+/// The backend named by `VEKTOR_BACKEND`, if set and recognized. Unknown
+/// values are reported once per process on stderr and ignored.
+pub fn env_request() -> Option<BackendImpl> {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let value = std::env::var("VEKTOR_BACKEND").ok()?;
+    match parse_request(&value) {
+        Some(req) => req,
+        None => {
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "vektor: ignoring unrecognized VEKTOR_BACKEND={value:?} \
+                     (expected portable, avx2, avx512 or auto)"
+                );
+            });
+            None
+        }
+    }
+}
+
+/// Route one dispatched operation to the active backend. Expands to a
+/// *value-producing* match on [`active`] (no early returns, so the macro is
+/// safe anywhere an expression is); the intrinsic arms exist only on
+/// `x86_64` — every other target calls the portable implementation
+/// directly.
+macro_rules! route {
+    ($method:ident $(::<$($g:ty),*>)? ( $($arg:expr),* $(,)? )) => {{
+        #[cfg(target_arch = "x86_64")]
+        let routed = match $crate::dispatch::active() {
+            $crate::dispatch::BackendImpl::Avx2 => {
+                <$crate::simd_backend::Avx2Backend as $crate::simd_backend::SimdBackend>
+                    ::$method $(::<$($g),*>)? ($($arg),*)
+            }
+            $crate::dispatch::BackendImpl::Avx512 => {
+                <$crate::simd_backend::Avx512Backend as $crate::simd_backend::SimdBackend>
+                    ::$method $(::<$($g),*>)? ($($arg),*)
+            }
+            $crate::dispatch::BackendImpl::Portable => {
+                <$crate::simd_backend::PortableBackend as $crate::simd_backend::SimdBackend>
+                    ::$method $(::<$($g),*>)? ($($arg),*)
+            }
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let routed = <$crate::simd_backend::PortableBackend as $crate::simd_backend::SimdBackend>
+            ::$method $(::<$($g),*>)? ($($arg),*);
+        routed
+    }};
+}
+pub(crate) use route;
+
+const UNINIT: u8 = u8::MAX;
+
+static ACTIVE: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn to_u8(b: BackendImpl) -> u8 {
+    match b {
+        BackendImpl::Portable => 0,
+        BackendImpl::Avx2 => 1,
+        BackendImpl::Avx512 => 2,
+    }
+}
+
+fn from_u8(v: u8) -> BackendImpl {
+    match v {
+        1 => BackendImpl::Avx2,
+        2 => BackendImpl::Avx512,
+        _ => BackendImpl::Portable,
+    }
+}
+
+/// The default choice: environment override, else build-aware detection.
+///
+/// The intrinsics live in `#[target_feature]` functions; in a baseline
+/// build every dispatched op therefore crosses a non-inlinable call, and
+/// measurements (fig5, Opt-M) show that overhead costs more than the
+/// hardware gathers save. The auto default engages the intrinsic paths
+/// only when the **build itself** enables AVX2 (`-C
+/// target-feature=+avx2,+fma` or `-C target-cpu=native`), which lets them
+/// inline into the kernels; baseline builds default to portable.
+/// `VEKTOR_BACKEND` or a driver-level request can still force any
+/// supported implementation in any build.
+pub fn default_backend() -> BackendImpl {
+    if let Some(request) = env_request() {
+        return clamp(request);
+    }
+    if cfg!(target_feature = "avx2") {
+        detect_best()
+    } else {
+        BackendImpl::Portable
+    }
+}
+
+#[cold]
+fn init_active() -> BackendImpl {
+    let b = default_backend();
+    ACTIVE.store(to_u8(b), Ordering::Relaxed);
+    b
+}
+
+/// The implementation the dispatched operations currently execute.
+#[inline(always)]
+pub fn active() -> BackendImpl {
+    let v = ACTIVE.load(Ordering::Relaxed);
+    if v == UNINIT {
+        init_active()
+    } else {
+        from_u8(v)
+    }
+}
+
+/// Force an implementation (clamped to host support); returns the choice
+/// that actually took effect. All implementations produce bitwise-identical
+/// results, so this is safe to call at any time.
+pub fn set_active(backend: BackendImpl) -> BackendImpl {
+    let b = clamp(backend);
+    ACTIVE.store(to_u8(b), Ordering::Relaxed);
+    b
+}
+
+/// Resolve a backend request the way the drivers do: `Some(b)` forces `b`
+/// (clamped), `None` re-applies the environment/detection default. Returns
+/// the implementation now active.
+pub fn resolve(request: Option<BackendImpl>) -> BackendImpl {
+    match request {
+        Some(b) => set_active(b),
+        None => set_active(default_backend()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_is_always_supported() {
+        assert!(supported(BackendImpl::Portable));
+        assert_eq!(clamp(BackendImpl::Portable), BackendImpl::Portable);
+    }
+
+    #[test]
+    fn detect_best_is_supported_and_resolvable() {
+        let best = detect_best();
+        assert!(supported(best));
+        let forced = set_active(BackendImpl::Portable);
+        assert_eq!(forced, BackendImpl::Portable);
+        assert_eq!(active(), BackendImpl::Portable);
+        // Restore auto for the rest of the process.
+        let restored = resolve(None);
+        assert_eq!(restored, default_backend());
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_rejects_junk() {
+        assert_eq!(BackendImpl::parse("AVX2"), Some(BackendImpl::Avx2));
+        assert_eq!(BackendImpl::parse("avx-512"), Some(BackendImpl::Avx512));
+        assert_eq!(BackendImpl::parse("scalar"), Some(BackendImpl::Portable));
+        assert_eq!(BackendImpl::parse("gpu"), None);
+        assert_eq!(parse_request("auto"), Some(None));
+        assert_eq!(parse_request(""), Some(None));
+        assert_eq!(parse_request("portable"), Some(Some(BackendImpl::Portable)));
+        assert!(parse_request("nonsense").is_none());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in BackendImpl::ALL {
+            assert_eq!(BackendImpl::parse(b.name()), Some(b));
+            assert_eq!(format!("{b}"), b.name());
+        }
+    }
+
+    #[test]
+    fn clamp_never_selects_unsupported() {
+        for b in BackendImpl::ALL {
+            assert!(supported(clamp(b)));
+        }
+    }
+}

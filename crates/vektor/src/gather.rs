@@ -13,6 +13,7 @@
 //! directly; LLVM lowers it to shuffles when profitable, and on machines
 //! without fast native gathers this is exactly the code one wants.
 
+use crate::dispatch::route;
 use crate::mask::SimdM;
 use crate::real::Real;
 use crate::vector::SimdF;
@@ -22,45 +23,31 @@ use crate::vector::SimdF;
 ///
 /// `buffer` is indexed as `buffer[idx[lane] * STRIDE + component]`. Returns
 /// one vector per component. Inactive lanes produce zeros.
+///
+/// Dispatched: the intrinsic backends issue one hardware masked gather per
+/// component over scaled indices — the paper's "adjacent gather on machines
+/// with native gathers" strategy.
 #[inline(always)]
 pub fn adjacent_gather3<T: Real, const W: usize, const STRIDE: usize>(
     buffer: &[T],
     idx: &[usize; W],
     mask: SimdM<W>,
 ) -> [SimdF<T, W>; 3] {
-    let mut x = [T::ZERO; W];
-    let mut y = [T::ZERO; W];
-    let mut z = [T::ZERO; W];
-    for lane in 0..W {
-        if mask.lane(lane) {
-            let base = idx[lane] * STRIDE;
-            x[lane] = buffer[base];
-            y[lane] = buffer[base + 1];
-            z[lane] = buffer[base + 2];
-        }
-    }
-    [SimdF(x), SimdF(y), SimdF(z)]
+    route!(adjacent_gather3::<T, W, STRIDE>(buffer, idx, mask))
 }
 
 /// Gather `N` adjacent values per lane (generic record gather used for the
 /// per-pair potential-parameter lookup, where a lane's record is the packed
 /// `(i-type, j-type)` parameter block).
+///
+/// Dispatched like [`adjacent_gather3`]: one hardware gather per field.
 #[inline(always)]
 pub fn adjacent_gather_n<T: Real, const W: usize, const N: usize>(
     buffer: &[T],
     idx: &[usize; W],
     mask: SimdM<W>,
 ) -> [SimdF<T, W>; N] {
-    let mut out = [[T::ZERO; W]; N];
-    for lane in 0..W {
-        if mask.lane(lane) {
-            let base = idx[lane] * N;
-            for field in 0..N {
-                out[field][lane] = buffer[base + field];
-            }
-        }
-    }
-    out.map(SimdF)
+    route!(adjacent_gather_n::<T, W, N>(buffer, idx, mask))
 }
 
 /// Scatter three per-lane values back to an AoS buffer (the inverse of
@@ -105,14 +92,11 @@ pub fn adjacent_scatter_add3_distinct<T: Real, const W: usize, const STRIDE: usi
             );
         }
     }
-    for lane in 0..W {
-        if mask.lane(lane) {
-            let base = idx[lane] * STRIDE;
-            buffer[base] += values[0].lane(lane);
-            buffer[base + 1] += values[1].lane(lane);
-            buffer[base + 2] += values[2].lane(lane);
-        }
-    }
+    // Dispatched: distinct targets let the AVX-512 backend use hardware
+    // scatter (gather, add, scatter — no ordering constraints).
+    route!(scatter_add3_distinct::<T, W, STRIDE>(
+        buffer, idx, mask, values
+    ))
 }
 
 #[cfg(test)]

@@ -33,28 +33,38 @@
 
 pub mod backend;
 pub mod conflict;
+pub mod dispatch;
 pub mod gather;
 pub mod index;
 pub mod mask;
 pub mod math;
 pub mod real;
 pub mod reduce;
+pub mod simd_backend;
 pub mod vector;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
 
 pub use backend::{Backend, BackendKind, IsaClass};
+pub use dispatch::BackendImpl;
 pub use index::SimdI;
 pub use mask::SimdM;
 pub use real::Real;
+#[cfg(target_arch = "x86_64")]
+pub use simd_backend::{Avx2Backend, Avx512Backend};
+pub use simd_backend::{PortableBackend, SimdBackend};
 pub use vector::SimdF;
 
 /// Commonly used items, for `use vektor::prelude::*`.
 pub mod prelude {
     pub use crate::backend::{Backend, BackendKind, IsaClass};
+    pub use crate::dispatch::BackendImpl;
     pub use crate::index::SimdI;
     pub use crate::mask::SimdM;
     pub use crate::real::Real;
+    pub use crate::simd_backend::{PortableBackend, SimdBackend};
     pub use crate::vector::SimdF;
-    pub use crate::{conflict, gather, math, reduce};
+    pub use crate::{conflict, dispatch, gather, math, reduce};
 }
 
 /// A convenience alias used throughout the Tersoff kernels: the mask type

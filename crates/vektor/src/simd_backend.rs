@@ -1,0 +1,983 @@
+//! The [`SimdBackend`] trait: one implementation surface for the dispatched
+//! vector operations, with the portable array code as the universal default
+//! and explicit `std::arch` back-ends overriding the lane configurations
+//! their ISA accelerates.
+//!
+//! The trait deliberately mirrors the paper's "building blocks": contiguous
+//! load/store, (masked) gather, fused blend/select, fused multiply-add,
+//! in-register horizontal reduction, adjacent gather, and the conflict-free
+//! scatter of scheme (1a). Kernels never name a backend — they call the
+//! `SimdF`/`gather` APIs, which route through [`crate::dispatch`] to the
+//! implementation selected at run time. Because every override is
+//! bit-for-bit equal to the portable default, the choice of backend is
+//! invisible to physics.
+//!
+//! Lane configurations with hardware coverage:
+//!
+//! | backend | f64              | f32               |
+//! |---------|------------------|-------------------|
+//! | avx2    | `W` divisible by 4 | `W` divisible by 8  |
+//! | avx512  | `W` divisible by 8 | `W` divisible by 16 |
+//!
+//! AVX-512 falls back to the AVX2 chunking for the narrower multiples, and
+//! both fall back to the portable default for everything else (`W = 1, 2`,
+//! odd widths). The lane loops in the defaults are exactly the pre-backend
+//! portable implementation, so a host without the features — or a build for
+//! another architecture — behaves precisely as before.
+
+use crate::dispatch::BackendImpl;
+use crate::mask::SimdM;
+use crate::real::Real;
+use crate::vector::SimdF;
+use std::any::TypeId;
+
+/// A backend implementing the dispatched vector operations.
+///
+/// All methods are associated functions (backends are stateless tags); the
+/// defaults are the portable array implementation. Implementations carrying
+/// `std::arch` code may only be *invoked* when the matching CPU features
+/// are present — [`crate::dispatch`] guarantees this for routed calls, and
+/// tests gate direct calls on [`crate::dispatch::supported`].
+pub trait SimdBackend {
+    /// The dispatch tag of this backend.
+    const KIND: BackendImpl;
+
+    /// Stable human-readable name.
+    fn name() -> &'static str {
+        Self::KIND.name()
+    }
+
+    /// Contiguous load of `W` elements starting at `slice[offset]`.
+    #[inline(always)]
+    fn load<T: Real, const W: usize>(slice: &[T], offset: usize) -> SimdF<T, W> {
+        let mut out = [T::ZERO; W];
+        out.copy_from_slice(&slice[offset..offset + W]);
+        SimdF(out)
+    }
+
+    /// Contiguous store of all lanes into `slice[offset..offset + W]`.
+    #[inline(always)]
+    fn store<T: Real, const W: usize>(v: SimdF<T, W>, slice: &mut [T], offset: usize) {
+        slice[offset..offset + W].copy_from_slice(&v.0);
+    }
+
+    /// Store only the lanes whose mask bit is set.
+    #[inline(always)]
+    fn store_masked<T: Real, const W: usize>(
+        v: SimdF<T, W>,
+        slice: &mut [T],
+        offset: usize,
+        mask: SimdM<W>,
+    ) {
+        for i in 0..W {
+            if mask.lane(i) {
+                slice[offset + i] = v.0[i];
+            }
+        }
+    }
+
+    /// Gather `slice[idx[lane]]` into each lane; all indices must be in
+    /// bounds.
+    #[inline(always)]
+    fn gather<T: Real, const W: usize>(slice: &[T], idx: &[usize; W]) -> SimdF<T, W> {
+        let mut out = [T::ZERO; W];
+        for i in 0..W {
+            out[i] = slice[idx[i]];
+        }
+        SimdF(out)
+    }
+
+    /// Masked gather: inactive lanes receive `fill`; their indices are not
+    /// dereferenced.
+    #[inline(always)]
+    fn gather_masked<T: Real, const W: usize>(
+        slice: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+        fill: T,
+    ) -> SimdF<T, W> {
+        let mut out = [fill; W];
+        for i in 0..W {
+            if mask.lane(i) {
+                out[i] = slice[idx[i]];
+            }
+        }
+        SimdF(out)
+    }
+
+    /// Fused blend: `mask ? if_true : if_false` per lane.
+    #[inline(always)]
+    fn select<T: Real, const W: usize>(
+        mask: SimdM<W>,
+        if_true: SimdF<T, W>,
+        if_false: SimdF<T, W>,
+    ) -> SimdF<T, W> {
+        let mut out = if_false.0;
+        for i in 0..W {
+            if mask.lane(i) {
+                out[i] = if_true.0[i];
+            }
+        }
+        SimdF(out)
+    }
+
+    /// Fused multiply-add `a * b + c` per lane (always fused — both the
+    /// portable and intrinsic paths round once).
+    #[inline(always)]
+    fn mul_add<T: Real, const W: usize>(
+        a: SimdF<T, W>,
+        b: SimdF<T, W>,
+        c: SimdF<T, W>,
+    ) -> SimdF<T, W> {
+        let mut out = [T::ZERO; W];
+        for i in 0..W {
+            out[i] = a.0[i].mul_add(b.0[i], c.0[i]);
+        }
+        SimdF(out)
+    }
+
+    /// In-register horizontal sum with the pairwise association
+    /// `buf[i] += buf[n-1-i]`, halving until one lane remains.
+    #[inline(always)]
+    fn horizontal_sum<T: Real, const W: usize>(v: SimdF<T, W>) -> T {
+        let mut buf = v.0;
+        let mut n = W;
+        while n > 1 {
+            let half = n / 2;
+            for i in 0..half {
+                buf[i] += buf[n - 1 - i];
+            }
+            n = n.div_ceil(2);
+        }
+        buf[0]
+    }
+
+    /// Adjacent gather of three consecutive fields per lane from an AoS
+    /// buffer (`buffer[idx[lane] * STRIDE + component]`); inactive lanes
+    /// yield zero.
+    #[inline(always)]
+    fn adjacent_gather3<T: Real, const W: usize, const STRIDE: usize>(
+        buffer: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+    ) -> [SimdF<T, W>; 3] {
+        let mut x = [T::ZERO; W];
+        let mut y = [T::ZERO; W];
+        let mut z = [T::ZERO; W];
+        for lane in 0..W {
+            if mask.lane(lane) {
+                let base = idx[lane] * STRIDE;
+                x[lane] = buffer[base];
+                y[lane] = buffer[base + 1];
+                z[lane] = buffer[base + 2];
+            }
+        }
+        [SimdF(x), SimdF(y), SimdF(z)]
+    }
+
+    /// Adjacent gather of `N` consecutive fields per lane
+    /// (`buffer[idx[lane] * N + field]`).
+    #[inline(always)]
+    fn adjacent_gather_n<T: Real, const W: usize, const N: usize>(
+        buffer: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+    ) -> [SimdF<T, W>; N] {
+        let mut out = [[T::ZERO; W]; N];
+        for lane in 0..W {
+            if mask.lane(lane) {
+                let base = idx[lane] * N;
+                for field in 0..N {
+                    out[field][lane] = buffer[base + field];
+                }
+            }
+        }
+        out.map(SimdF)
+    }
+
+    /// Conflict-free scatter-accumulate of a 3-component record per lane,
+    /// assuming active lanes target pairwise-distinct records (scheme 1a's
+    /// j-force update).
+    #[inline(always)]
+    fn scatter_add3_distinct<T: Real, const W: usize, const STRIDE: usize>(
+        buffer: &mut [T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+        values: [SimdF<T, W>; 3],
+    ) {
+        for lane in 0..W {
+            if mask.lane(lane) {
+                let base = idx[lane] * STRIDE;
+                buffer[base] += values[0].lane(lane);
+                buffer[base + 1] += values[1].lane(lane);
+                buffer[base + 2] += values[2].lane(lane);
+            }
+        }
+    }
+}
+
+/// The portable array backend — the trait defaults, available everywhere.
+pub struct PortableBackend;
+
+impl SimdBackend for PortableBackend {
+    const KIND: BackendImpl = BackendImpl::Portable;
+}
+
+// ---------------------------------------------------------------------------
+// x86_64 specializations
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod spec {
+    use super::*;
+    use crate::x86;
+
+    #[inline(always)]
+    fn is<T: 'static, U: 'static>() -> bool {
+        TypeId::of::<T>() == TypeId::of::<U>()
+    }
+
+    /// Reinterpret a slice whose element type was proven by `TypeId`.
+    #[inline(always)]
+    fn cast_slice<T: Real, U: Real>(s: &[T]) -> &[U] {
+        debug_assert!(is::<T, U>());
+        // SAFETY: T == U (TypeId-checked by every caller).
+        unsafe { &*(s as *const [T] as *const [U]) }
+    }
+
+    #[inline(always)]
+    fn cast_slice_mut<T: Real, U: Real>(s: &mut [T]) -> &mut [U] {
+        debug_assert!(is::<T, U>());
+        // SAFETY: T == U (TypeId-checked by every caller).
+        unsafe { &mut *(s as *mut [T] as *mut [U]) }
+    }
+
+    /// Reinterpret a lane array whose element type was proven by `TypeId`.
+    #[inline(always)]
+    fn cast_lanes<U: Real, T: Real, const W: usize>(a: [T; W]) -> [U; W] {
+        debug_assert!(is::<T, U>());
+        // SAFETY: T == U, same layout.
+        unsafe { core::ptr::read(&a as *const [T; W] as *const [U; W]) }
+    }
+
+    #[inline(always)]
+    fn sub<const N: usize, X: Copy>(a: &[X], start: usize) -> [X; N] {
+        a[start..start + N].try_into().expect("chunk in range")
+    }
+
+    /// Every index usable by a hardware gather/scatter: in bounds and
+    /// representable as a non-negative `i32` offset. Checked in **release**
+    /// builds too: the routed entry points are safe APIs whose portable
+    /// path panics deterministically on a bad index, and falling back to it
+    /// (by returning `None`/`false` from the spec wrappers) preserves that
+    /// behaviour instead of handing the index to an intrinsic (UB) or
+    /// truncating it to 32 bits (silently wrong element). The check is a
+    /// handful of compares against the multi-cycle latency of the gather
+    /// itself.
+    #[inline(always)]
+    fn hw_idx_ok<const W: usize>(len: usize, idx: &[usize; W]) -> bool {
+        idx.iter().all(|&i| i < len && i <= i32::MAX as usize)
+    }
+
+    /// [`hw_idx_ok`] over the active lanes only (inactive indices are never
+    /// dereferenced and their offsets are zeroed before reaching the
+    /// instruction).
+    #[inline(always)]
+    fn hw_idx_ok_masked<const W: usize>(len: usize, idx: &[usize; W], m: &[bool; W]) -> bool {
+        (0..W).all(|lane| !m[lane] || (idx[lane] < len && idx[lane] <= i32::MAX as usize))
+    }
+
+    macro_rules! chunked {
+        // Pure producers: build a full-width output from per-chunk calls.
+        ($T:ty, $W:expr, $N:expr, $out:ident, $body:expr) => {{
+            let mut $out = [<$T>::ZERO; $W];
+            for c in 0..$W / $N {
+                let lo = c * $N;
+                #[allow(clippy::redundant_closure_call)]
+                let r: [$T; $N] = $body(lo);
+                $out[lo..lo + $N].copy_from_slice(&r);
+            }
+            $out
+        }};
+    }
+
+    // -- AVX2 -------------------------------------------------------------
+
+    pub fn avx2_gather<T: Real, const W: usize>(
+        slice: &[T],
+        idx: &[usize; W],
+    ) -> Option<SimdF<T, W>> {
+        if !hw_idx_ok(slice.len(), idx) {
+            return None; // portable fallback keeps the panic-on-OOB contract
+        }
+        if is::<T, f64>() && W.is_multiple_of(4) && W >= 4 {
+            let src = cast_slice::<T, f64>(slice);
+            let out = chunked!(f64, W, 4, out, |lo| unsafe {
+                x86::gather_f64x4(src, &sub::<4, _>(idx, lo))
+            });
+            Some(SimdF(cast_lanes::<T, f64, W>(out)))
+        } else if is::<T, f32>() && W.is_multiple_of(8) && W >= 8 {
+            let src = cast_slice::<T, f32>(slice);
+            let out = chunked!(f32, W, 8, out, |lo| unsafe {
+                x86::gather_f32x8(src, &sub::<8, _>(idx, lo))
+            });
+            Some(SimdF(cast_lanes::<T, f32, W>(out)))
+        } else {
+            None
+        }
+    }
+
+    pub fn avx2_gather_masked<T: Real, const W: usize>(
+        slice: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+        fill: T,
+    ) -> Option<SimdF<T, W>> {
+        let m = mask.to_array();
+        if !hw_idx_ok_masked(slice.len(), idx, &m) {
+            return None; // portable fallback keeps the panic-on-OOB contract
+        }
+        if is::<T, f64>() && W.is_multiple_of(4) && W >= 4 {
+            let src = cast_slice::<T, f64>(slice);
+            let fill = fill.to_f64();
+            let out = chunked!(f64, W, 4, out, |lo| unsafe {
+                x86::gather_masked_f64x4(src, &sub::<4, _>(idx, lo), &sub::<4, _>(&m, lo), fill)
+            });
+            Some(SimdF(cast_lanes::<T, f64, W>(out)))
+        } else if is::<T, f32>() && W.is_multiple_of(8) && W >= 8 {
+            let src = cast_slice::<T, f32>(slice);
+            let fill = fill.to_f64() as f32;
+            let out = chunked!(f32, W, 8, out, |lo| unsafe {
+                x86::gather_masked_f32x8(src, &sub::<8, _>(idx, lo), &sub::<8, _>(&m, lo), fill)
+            });
+            Some(SimdF(cast_lanes::<T, f32, W>(out)))
+        } else {
+            None
+        }
+    }
+
+    pub fn avx2_select<T: Real, const W: usize>(
+        mask: SimdM<W>,
+        t: SimdF<T, W>,
+        f: SimdF<T, W>,
+    ) -> Option<SimdF<T, W>> {
+        let m = mask.to_array();
+        if is::<T, f64>() && W.is_multiple_of(4) && W >= 4 {
+            let tv = cast_lanes::<f64, T, W>(t.0);
+            let fv = cast_lanes::<f64, T, W>(f.0);
+            let out = chunked!(f64, W, 4, out, |lo| unsafe {
+                x86::select_f64x4(
+                    &sub::<4, _>(&m, lo),
+                    &sub::<4, _>(&tv, lo),
+                    &sub::<4, _>(&fv, lo),
+                )
+            });
+            Some(SimdF(cast_lanes::<T, f64, W>(out)))
+        } else if is::<T, f32>() && W.is_multiple_of(8) && W >= 8 {
+            let tv = cast_lanes::<f32, T, W>(t.0);
+            let fv = cast_lanes::<f32, T, W>(f.0);
+            let out = chunked!(f32, W, 8, out, |lo| unsafe {
+                x86::select_f32x8(
+                    &sub::<8, _>(&m, lo),
+                    &sub::<8, _>(&tv, lo),
+                    &sub::<8, _>(&fv, lo),
+                )
+            });
+            Some(SimdF(cast_lanes::<T, f32, W>(out)))
+        } else {
+            None
+        }
+    }
+
+    pub fn avx2_store_masked<T: Real, const W: usize>(
+        v: SimdF<T, W>,
+        slice: &mut [T],
+        offset: usize,
+        mask: SimdM<W>,
+    ) -> bool {
+        let m = mask.to_array();
+        if is::<T, f64>() && W.is_multiple_of(4) && W >= 4 && offset + W <= slice.len() {
+            let dst = cast_slice_mut::<T, f64>(slice);
+            let vv = cast_lanes::<f64, T, W>(v.0);
+            for c in 0..W / 4 {
+                let lo = c * 4;
+                // SAFETY: avx2+fma verified by dispatch; range checked above.
+                unsafe {
+                    x86::store_masked_f64x4(
+                        dst,
+                        offset + lo,
+                        &sub::<4, _>(&m, lo),
+                        &sub::<4, _>(&vv, lo),
+                    );
+                }
+            }
+            true
+        } else if is::<T, f32>() && W.is_multiple_of(8) && W >= 8 && offset + W <= slice.len() {
+            let dst = cast_slice_mut::<T, f32>(slice);
+            let vv = cast_lanes::<f32, T, W>(v.0);
+            for c in 0..W / 8 {
+                let lo = c * 8;
+                // SAFETY: as above.
+                unsafe {
+                    x86::store_masked_f32x8(
+                        dst,
+                        offset + lo,
+                        &sub::<8, _>(&m, lo),
+                        &sub::<8, _>(&vv, lo),
+                    );
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn avx2_mul_add<T: Real, const W: usize>(
+        a: SimdF<T, W>,
+        b: SimdF<T, W>,
+        c: SimdF<T, W>,
+    ) -> Option<SimdF<T, W>> {
+        if is::<T, f64>() && W.is_multiple_of(4) && W >= 4 {
+            let (av, bv, cv) = (
+                cast_lanes::<f64, T, W>(a.0),
+                cast_lanes::<f64, T, W>(b.0),
+                cast_lanes::<f64, T, W>(c.0),
+            );
+            let out = chunked!(f64, W, 4, out, |lo| unsafe {
+                x86::mul_add_f64x4(
+                    &sub::<4, _>(&av, lo),
+                    &sub::<4, _>(&bv, lo),
+                    &sub::<4, _>(&cv, lo),
+                )
+            });
+            Some(SimdF(cast_lanes::<T, f64, W>(out)))
+        } else if is::<T, f32>() && W.is_multiple_of(8) && W >= 8 {
+            let (av, bv, cv) = (
+                cast_lanes::<f32, T, W>(a.0),
+                cast_lanes::<f32, T, W>(b.0),
+                cast_lanes::<f32, T, W>(c.0),
+            );
+            let out = chunked!(f32, W, 8, out, |lo| unsafe {
+                x86::mul_add_f32x8(
+                    &sub::<8, _>(&av, lo),
+                    &sub::<8, _>(&bv, lo),
+                    &sub::<8, _>(&cv, lo),
+                )
+            });
+            Some(SimdF(cast_lanes::<T, f32, W>(out)))
+        } else {
+            None
+        }
+    }
+
+    /// Only exact native widths: the multi-chunk pairwise association does
+    /// not decompose into independent per-chunk reductions.
+    pub fn avx2_horizontal_sum<T: Real, const W: usize>(v: SimdF<T, W>) -> Option<T> {
+        if is::<T, f64>() && W == 4 {
+            let vv = cast_lanes::<f64, T, W>(v.0);
+            let s = unsafe { x86::hsum_f64x4(&sub::<4, _>(&vv, 0)) };
+            Some(T::from_f64(s))
+        } else if is::<T, f32>() && W == 8 {
+            let vv = cast_lanes::<f32, T, W>(v.0);
+            let s = unsafe { x86::hsum_f32x8(&sub::<8, _>(&vv, 0)) };
+            // f32 -> T where T == f32: exact.
+            Some(T::from_f64(s as f64))
+        } else {
+            None
+        }
+    }
+
+    // -- AVX-512 ----------------------------------------------------------
+
+    pub fn avx512_gather<T: Real, const W: usize>(
+        slice: &[T],
+        idx: &[usize; W],
+    ) -> Option<SimdF<T, W>> {
+        if !hw_idx_ok(slice.len(), idx) {
+            return None; // portable fallback keeps the panic-on-OOB contract
+        }
+        if is::<T, f64>() && W.is_multiple_of(8) && W >= 8 {
+            let src = cast_slice::<T, f64>(slice);
+            let out = chunked!(f64, W, 8, out, |lo| unsafe {
+                x86::gather_f64x8(src, &sub::<8, _>(idx, lo))
+            });
+            Some(SimdF(cast_lanes::<T, f64, W>(out)))
+        } else if is::<T, f32>() && W.is_multiple_of(16) && W >= 16 {
+            let src = cast_slice::<T, f32>(slice);
+            let out = chunked!(f32, W, 16, out, |lo| unsafe {
+                x86::gather_f32x16(src, &sub::<16, _>(idx, lo))
+            });
+            Some(SimdF(cast_lanes::<T, f32, W>(out)))
+        } else {
+            None
+        }
+    }
+
+    pub fn avx512_gather_masked<T: Real, const W: usize>(
+        slice: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+        fill: T,
+    ) -> Option<SimdF<T, W>> {
+        let m = mask.to_array();
+        if !hw_idx_ok_masked(slice.len(), idx, &m) {
+            return None; // portable fallback keeps the panic-on-OOB contract
+        }
+        if is::<T, f64>() && W.is_multiple_of(8) && W >= 8 {
+            let src = cast_slice::<T, f64>(slice);
+            let fill = fill.to_f64();
+            let out = chunked!(f64, W, 8, out, |lo| unsafe {
+                x86::gather_masked_f64x8(src, &sub::<8, _>(idx, lo), &sub::<8, _>(&m, lo), fill)
+            });
+            Some(SimdF(cast_lanes::<T, f64, W>(out)))
+        } else if is::<T, f32>() && W.is_multiple_of(16) && W >= 16 {
+            let src = cast_slice::<T, f32>(slice);
+            let fill = fill.to_f64() as f32;
+            let out = chunked!(f32, W, 16, out, |lo| unsafe {
+                x86::gather_masked_f32x16(src, &sub::<16, _>(idx, lo), &sub::<16, _>(&m, lo), fill)
+            });
+            Some(SimdF(cast_lanes::<T, f32, W>(out)))
+        } else {
+            None
+        }
+    }
+
+    pub fn avx512_select<T: Real, const W: usize>(
+        mask: SimdM<W>,
+        t: SimdF<T, W>,
+        f: SimdF<T, W>,
+    ) -> Option<SimdF<T, W>> {
+        let m = mask.to_array();
+        if is::<T, f64>() && W.is_multiple_of(8) && W >= 8 {
+            let tv = cast_lanes::<f64, T, W>(t.0);
+            let fv = cast_lanes::<f64, T, W>(f.0);
+            let out = chunked!(f64, W, 8, out, |lo| unsafe {
+                x86::select_f64x8(
+                    &sub::<8, _>(&m, lo),
+                    &sub::<8, _>(&tv, lo),
+                    &sub::<8, _>(&fv, lo),
+                )
+            });
+            Some(SimdF(cast_lanes::<T, f64, W>(out)))
+        } else if is::<T, f32>() && W.is_multiple_of(16) && W >= 16 {
+            let tv = cast_lanes::<f32, T, W>(t.0);
+            let fv = cast_lanes::<f32, T, W>(f.0);
+            let out = chunked!(f32, W, 16, out, |lo| unsafe {
+                x86::select_f32x16(
+                    &sub::<16, _>(&m, lo),
+                    &sub::<16, _>(&tv, lo),
+                    &sub::<16, _>(&fv, lo),
+                )
+            });
+            Some(SimdF(cast_lanes::<T, f32, W>(out)))
+        } else {
+            None
+        }
+    }
+
+    pub fn avx512_mul_add<T: Real, const W: usize>(
+        a: SimdF<T, W>,
+        b: SimdF<T, W>,
+        c: SimdF<T, W>,
+    ) -> Option<SimdF<T, W>> {
+        if is::<T, f64>() && W.is_multiple_of(8) && W >= 8 {
+            let (av, bv, cv) = (
+                cast_lanes::<f64, T, W>(a.0),
+                cast_lanes::<f64, T, W>(b.0),
+                cast_lanes::<f64, T, W>(c.0),
+            );
+            let out = chunked!(f64, W, 8, out, |lo| unsafe {
+                x86::mul_add_f64x8(
+                    &sub::<8, _>(&av, lo),
+                    &sub::<8, _>(&bv, lo),
+                    &sub::<8, _>(&cv, lo),
+                )
+            });
+            Some(SimdF(cast_lanes::<T, f64, W>(out)))
+        } else if is::<T, f32>() && W.is_multiple_of(16) && W >= 16 {
+            let (av, bv, cv) = (
+                cast_lanes::<f32, T, W>(a.0),
+                cast_lanes::<f32, T, W>(b.0),
+                cast_lanes::<f32, T, W>(c.0),
+            );
+            let out = chunked!(f32, W, 16, out, |lo| unsafe {
+                x86::mul_add_f32x16(
+                    &sub::<16, _>(&av, lo),
+                    &sub::<16, _>(&bv, lo),
+                    &sub::<16, _>(&cv, lo),
+                )
+            });
+            Some(SimdF(cast_lanes::<T, f32, W>(out)))
+        } else {
+            None
+        }
+    }
+
+    pub fn avx512_horizontal_sum<T: Real, const W: usize>(v: SimdF<T, W>) -> Option<T> {
+        if is::<T, f64>() && W == 8 {
+            let vv = cast_lanes::<f64, T, W>(v.0);
+            let s = unsafe { x86::hsum_f64x8(&sub::<8, _>(&vv, 0)) };
+            Some(T::from_f64(s))
+        } else if is::<T, f32>() && W == 16 {
+            let vv = cast_lanes::<f32, T, W>(v.0);
+            let s = unsafe { x86::hsum_f32x16(&sub::<16, _>(&vv, 0)) };
+            Some(T::from_f64(s as f64))
+        } else {
+            None
+        }
+    }
+
+    /// Hardware scatter path for the conflict-free 3-component scatter-add.
+    /// Per component the scaled indices `idx * STRIDE + d` are scattered in
+    /// one chunked RMW pass; distinct targets make the lane order
+    /// irrelevant.
+    pub fn avx512_scatter_add3_distinct<T: Real, const W: usize, const STRIDE: usize>(
+        buffer: &mut [T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+        values: [SimdF<T, W>; 3],
+    ) -> bool {
+        let m = mask.to_array();
+        let mut scaled = [0usize; W];
+        for lane in 0..W {
+            if m[lane] {
+                scaled[lane] = idx[lane] * STRIDE;
+            }
+        }
+        // Validate the highest component offset (scaled + 2) for the active
+        // lanes, so every per-component scatter below is in bounds and
+        // i32-representable; otherwise fall back to the (panicking) portable
+        // path.
+        let highest_ok = (0..W).all(|lane| {
+            !m[lane] || (scaled[lane] + 2 < buffer.len() && scaled[lane] + 2 <= i32::MAX as usize)
+        });
+        if !highest_ok {
+            return false;
+        }
+        if is::<T, f64>() && W.is_multiple_of(8) && W >= 8 {
+            let dst = cast_slice_mut::<T, f64>(buffer);
+            for (d, v) in values.iter().enumerate() {
+                let vv = cast_lanes::<f64, T, W>(v.0);
+                let mut comp = scaled;
+                for (lane, c) in comp.iter_mut().enumerate() {
+                    if m[lane] {
+                        *c += d;
+                    }
+                }
+                for c in 0..W / 8 {
+                    let lo = c * 8;
+                    // SAFETY: avx512f verified by dispatch; active indices
+                    // in bounds per the scatter contract.
+                    unsafe {
+                        x86::scatter_add_f64x8(
+                            dst,
+                            &sub::<8, _>(&comp, lo),
+                            &sub::<8, _>(&m, lo),
+                            &sub::<8, _>(&vv, lo),
+                        );
+                    }
+                }
+            }
+            true
+        } else if is::<T, f32>() && W.is_multiple_of(16) && W >= 16 {
+            let dst = cast_slice_mut::<T, f32>(buffer);
+            for (d, v) in values.iter().enumerate() {
+                let vv = cast_lanes::<f32, T, W>(v.0);
+                let mut comp = scaled;
+                for (lane, c) in comp.iter_mut().enumerate() {
+                    if m[lane] {
+                        *c += d;
+                    }
+                }
+                for c in 0..W / 16 {
+                    let lo = c * 16;
+                    // SAFETY: as above.
+                    unsafe {
+                        x86::scatter_add_f32x16(
+                            dst,
+                            &sub::<16, _>(&comp, lo),
+                            &sub::<16, _>(&m, lo),
+                            &sub::<16, _>(&vv, lo),
+                        );
+                    }
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Adjacent-gather via hardware gathers: one masked gather per component
+/// over scaled indices (`idx * STRIDE + component`). Shared by the AVX2 and
+/// AVX-512 backends, which differ only through the routed `gather_masked`.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn adjacent_gather3_via<B: SimdBackend, T: Real, const W: usize, const STRIDE: usize>(
+    buffer: &[T],
+    idx: &[usize; W],
+    mask: SimdM<W>,
+) -> [SimdF<T, W>; 3] {
+    let mut scaled = [0usize; W];
+    for lane in 0..W {
+        if mask.lane(lane) {
+            scaled[lane] = idx[lane] * STRIDE;
+        }
+    }
+    let x = B::gather_masked(buffer, &scaled, mask, T::ZERO);
+    for (lane, s) in scaled.iter_mut().enumerate() {
+        if mask.lane(lane) {
+            *s += 1;
+        }
+    }
+    let y = B::gather_masked(buffer, &scaled, mask, T::ZERO);
+    for (lane, s) in scaled.iter_mut().enumerate() {
+        if mask.lane(lane) {
+            *s += 1;
+        }
+    }
+    let z = B::gather_masked(buffer, &scaled, mask, T::ZERO);
+    [x, y, z]
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn adjacent_gather_n_via<B: SimdBackend, T: Real, const W: usize, const N: usize>(
+    buffer: &[T],
+    idx: &[usize; W],
+    mask: SimdM<W>,
+) -> [SimdF<T, W>; N] {
+    let mut scaled = [0usize; W];
+    for lane in 0..W {
+        if mask.lane(lane) {
+            scaled[lane] = idx[lane] * N;
+        }
+    }
+    let mut out = [SimdF::zero(); N];
+    for (field, slot) in out.iter_mut().enumerate() {
+        if field > 0 {
+            for (lane, s) in scaled.iter_mut().enumerate() {
+                if mask.lane(lane) {
+                    *s += 1;
+                }
+            }
+        }
+        *slot = B::gather_masked(buffer, &scaled, mask, T::ZERO);
+    }
+    out
+}
+
+/// The AVX2 + FMA backend: 256-bit `std::arch` intrinsics for `f64` lane
+/// counts divisible by 4 and `f32` lane counts divisible by 8; portable
+/// fallback for everything else.
+///
+/// Invoke only when `avx2` and `fma` are detected
+/// ([`crate::dispatch::supported`]) — the routed path guarantees this.
+#[cfg(target_arch = "x86_64")]
+pub struct Avx2Backend;
+
+#[cfg(target_arch = "x86_64")]
+impl SimdBackend for Avx2Backend {
+    const KIND: BackendImpl = BackendImpl::Avx2;
+
+    #[inline(always)]
+    fn gather<T: Real, const W: usize>(slice: &[T], idx: &[usize; W]) -> SimdF<T, W> {
+        spec::avx2_gather(slice, idx).unwrap_or_else(|| PortableBackend::gather(slice, idx))
+    }
+
+    #[inline(always)]
+    fn gather_masked<T: Real, const W: usize>(
+        slice: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+        fill: T,
+    ) -> SimdF<T, W> {
+        spec::avx2_gather_masked(slice, idx, mask, fill)
+            .unwrap_or_else(|| PortableBackend::gather_masked(slice, idx, mask, fill))
+    }
+
+    #[inline(always)]
+    fn select<T: Real, const W: usize>(
+        mask: SimdM<W>,
+        if_true: SimdF<T, W>,
+        if_false: SimdF<T, W>,
+    ) -> SimdF<T, W> {
+        spec::avx2_select(mask, if_true, if_false)
+            .unwrap_or_else(|| PortableBackend::select(mask, if_true, if_false))
+    }
+
+    #[inline(always)]
+    fn store_masked<T: Real, const W: usize>(
+        v: SimdF<T, W>,
+        slice: &mut [T],
+        offset: usize,
+        mask: SimdM<W>,
+    ) {
+        if !spec::avx2_store_masked(v, slice, offset, mask) {
+            PortableBackend::store_masked(v, slice, offset, mask);
+        }
+    }
+
+    #[inline(always)]
+    fn mul_add<T: Real, const W: usize>(
+        a: SimdF<T, W>,
+        b: SimdF<T, W>,
+        c: SimdF<T, W>,
+    ) -> SimdF<T, W> {
+        spec::avx2_mul_add(a, b, c).unwrap_or_else(|| PortableBackend::mul_add(a, b, c))
+    }
+
+    #[inline(always)]
+    fn horizontal_sum<T: Real, const W: usize>(v: SimdF<T, W>) -> T {
+        spec::avx2_horizontal_sum(v).unwrap_or_else(|| PortableBackend::horizontal_sum(v))
+    }
+
+    #[inline(always)]
+    fn adjacent_gather3<T: Real, const W: usize, const STRIDE: usize>(
+        buffer: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+    ) -> [SimdF<T, W>; 3] {
+        adjacent_gather3_via::<Self, T, W, STRIDE>(buffer, idx, mask)
+    }
+
+    #[inline(always)]
+    fn adjacent_gather_n<T: Real, const W: usize, const N: usize>(
+        buffer: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+    ) -> [SimdF<T, W>; N] {
+        adjacent_gather_n_via::<Self, T, W, N>(buffer, idx, mask)
+    }
+}
+
+/// The AVX-512F backend: 512-bit registers, `__mmask` lane masks and
+/// hardware scatter for `f64` lane counts divisible by 8 and `f32` lane
+/// counts divisible by 16; AVX2 chunking for the narrower multiples;
+/// portable fallback otherwise.
+///
+/// Invoke only when `avx512f` (plus `avx2`/`fma`) is detected.
+#[cfg(target_arch = "x86_64")]
+pub struct Avx512Backend;
+
+#[cfg(target_arch = "x86_64")]
+impl SimdBackend for Avx512Backend {
+    const KIND: BackendImpl = BackendImpl::Avx512;
+
+    #[inline(always)]
+    fn gather<T: Real, const W: usize>(slice: &[T], idx: &[usize; W]) -> SimdF<T, W> {
+        spec::avx512_gather(slice, idx).unwrap_or_else(|| Avx2Backend::gather(slice, idx))
+    }
+
+    #[inline(always)]
+    fn gather_masked<T: Real, const W: usize>(
+        slice: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+        fill: T,
+    ) -> SimdF<T, W> {
+        spec::avx512_gather_masked(slice, idx, mask, fill)
+            .unwrap_or_else(|| Avx2Backend::gather_masked(slice, idx, mask, fill))
+    }
+
+    #[inline(always)]
+    fn select<T: Real, const W: usize>(
+        mask: SimdM<W>,
+        if_true: SimdF<T, W>,
+        if_false: SimdF<T, W>,
+    ) -> SimdF<T, W> {
+        spec::avx512_select(mask, if_true, if_false)
+            .unwrap_or_else(|| Avx2Backend::select(mask, if_true, if_false))
+    }
+
+    #[inline(always)]
+    fn store_masked<T: Real, const W: usize>(
+        v: SimdF<T, W>,
+        slice: &mut [T],
+        offset: usize,
+        mask: SimdM<W>,
+    ) {
+        Avx2Backend::store_masked(v, slice, offset, mask);
+    }
+
+    #[inline(always)]
+    fn mul_add<T: Real, const W: usize>(
+        a: SimdF<T, W>,
+        b: SimdF<T, W>,
+        c: SimdF<T, W>,
+    ) -> SimdF<T, W> {
+        spec::avx512_mul_add(a, b, c).unwrap_or_else(|| Avx2Backend::mul_add(a, b, c))
+    }
+
+    #[inline(always)]
+    fn horizontal_sum<T: Real, const W: usize>(v: SimdF<T, W>) -> T {
+        spec::avx512_horizontal_sum(v).unwrap_or_else(|| Avx2Backend::horizontal_sum(v))
+    }
+
+    #[inline(always)]
+    fn adjacent_gather3<T: Real, const W: usize, const STRIDE: usize>(
+        buffer: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+    ) -> [SimdF<T, W>; 3] {
+        adjacent_gather3_via::<Self, T, W, STRIDE>(buffer, idx, mask)
+    }
+
+    #[inline(always)]
+    fn adjacent_gather_n<T: Real, const W: usize, const N: usize>(
+        buffer: &[T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+    ) -> [SimdF<T, W>; N] {
+        adjacent_gather_n_via::<Self, T, W, N>(buffer, idx, mask)
+    }
+
+    #[inline(always)]
+    fn scatter_add3_distinct<T: Real, const W: usize, const STRIDE: usize>(
+        buffer: &mut [T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+        values: [SimdF<T, W>; 3],
+    ) {
+        if !spec::avx512_scatter_add3_distinct::<T, W, STRIDE>(buffer, idx, mask, values) {
+            PortableBackend::scatter_add3_distinct::<T, W, STRIDE>(buffer, idx, mask, values);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_backend_reports_kind() {
+        assert_eq!(PortableBackend::KIND, BackendImpl::Portable);
+        assert_eq!(PortableBackend::name(), "portable");
+    }
+
+    #[test]
+    fn portable_defaults_match_legacy_behaviour() {
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let v: SimdF<f64, 4> = PortableBackend::load(&data, 2);
+        assert_eq!(v.to_array(), [2.0, 3.0, 4.0, 5.0]);
+        let g: SimdF<f64, 4> = PortableBackend::gather(&data, &[11, 0, 5, 5]);
+        assert_eq!(g.to_array(), [11.0, 0.0, 5.0, 5.0]);
+        assert_eq!(PortableBackend::horizontal_sum(g), 21.0);
+        let s = PortableBackend::select(
+            SimdM::from_array([true, false, true, false]),
+            SimdF::<f64, 4>::splat(1.0),
+            SimdF::splat(-1.0),
+        );
+        assert_eq!(s.to_array(), [1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn intrinsic_backends_report_kinds() {
+        assert_eq!(Avx2Backend::KIND, BackendImpl::Avx2);
+        assert_eq!(Avx512Backend::KIND, BackendImpl::Avx512);
+        assert_eq!(Avx2Backend::name(), "avx2");
+    }
+}

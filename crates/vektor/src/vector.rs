@@ -6,6 +6,7 @@
 //! are written against; instantiating `W = 1` yields the scalar back-end and
 //! larger widths yield the SSE/AVX/IMCI/AVX-512/warp analogues.
 
+use crate::dispatch::route;
 use crate::mask::SimdM;
 use crate::real::Real;
 use std::ops::{
@@ -105,37 +106,31 @@ impl<T: Real, const W: usize> SimdF<T, W> {
     }
 
     /// Store only the lanes whose mask bit is set.
+    ///
+    /// Dispatched: the AVX2 backend uses `vmaskmov` when the whole vector
+    /// span is in bounds.
     #[inline(always)]
     pub fn store_masked(self, slice: &mut [T], offset: usize, mask: SimdM<W>) {
-        for i in 0..W {
-            if mask.lane(i) {
-                slice[offset + i] = self.0[i];
-            }
-        }
+        route!(store_masked(self, slice, offset, mask))
     }
 
     /// Gather `slice[idx[lane]]` into each lane. Out-of-use lanes should be
     /// masked by the caller; indices must be in bounds.
+    ///
+    /// Dispatched: hardware `vgatherdpd`/`vgatherdps` on the AVX2/AVX-512
+    /// backends for supported lane configurations.
     #[inline(always)]
     pub fn gather(slice: &[T], idx: &[usize; W]) -> Self {
-        let mut out = [T::ZERO; W];
-        for i in 0..W {
-            out[i] = slice[idx[i]];
-        }
-        SimdF(out)
+        route!(gather(slice, idx))
     }
 
     /// Masked gather: inactive lanes receive `fill` and their indices are not
     /// dereferenced (so they may be out of range).
+    ///
+    /// Dispatched: hardware masked gathers on the AVX2/AVX-512 backends.
     #[inline(always)]
     pub fn gather_masked(slice: &[T], idx: &[usize; W], mask: SimdM<W>, fill: T) -> Self {
-        let mut out = [fill; W];
-        for i in 0..W {
-            if mask.lane(i) {
-                out[i] = slice[idx[i]];
-            }
-        }
-        SimdF(out)
+        route!(gather_masked(slice, idx, mask, fill))
     }
 
     /// Lane-wise map with an arbitrary scalar function. The math wrappers in
@@ -160,15 +155,11 @@ impl<T: Real, const W: usize> SimdF<T, W> {
     }
 
     /// Lane-wise select: `mask ? self : other`.
+    ///
+    /// Dispatched: `vblendv` / AVX-512 mask blend on the intrinsic backends.
     #[inline(always)]
     pub fn select(mask: SimdM<W>, if_true: Self, if_false: Self) -> Self {
-        let mut out = if_false.0;
-        for i in 0..W {
-            if mask.lane(i) {
-                out[i] = if_true.0[i];
-            }
-        }
-        SimdF(out)
+        route!(select(mask, if_true, if_false))
     }
 
     /// Zero the lanes where the mask is not set.
@@ -178,13 +169,12 @@ impl<T: Real, const W: usize> SimdF<T, W> {
     }
 
     /// Fused multiply-add: `self * a + b` per lane.
+    ///
+    /// Dispatched: `vfmadd` on the intrinsic backends (both paths fuse, so
+    /// results are bitwise identical).
     #[inline(always)]
     pub fn mul_add(self, a: Self, b: Self) -> Self {
-        let mut out = [T::ZERO; W];
-        for i in 0..W {
-            out[i] = self.0[i].mul_add(a.0[i], b.0[i]);
-        }
-        SimdF(out)
+        route!(mul_add(self, a, b))
     }
 
     /// Lane-wise square root.
@@ -266,21 +256,14 @@ impl<T: Real, const W: usize> SimdF<T, W> {
     }
 
     /// Horizontal sum of all lanes (in-register reduction, building block 2).
+    ///
+    /// The reduction is a pairwise tree (`buf[i] += buf[n-1-i]`, halving):
+    /// better rounding behaviour than a straight left-to-right sum. The
+    /// intrinsic backends reproduce exactly this association with shuffles,
+    /// so the result is bitwise independent of the dispatched backend.
     #[inline(always)]
     pub fn horizontal_sum(self) -> T {
-        // Pairwise tree reduction: better rounding behaviour than a straight
-        // left-to-right sum and identical shape to how a hardware reduction
-        // would proceed.
-        let mut buf = self.0;
-        let mut n = W;
-        while n > 1 {
-            let half = n / 2;
-            for i in 0..half {
-                buf[i] += buf[n - 1 - i];
-            }
-            n = n.div_ceil(2);
-        }
-        buf[0]
+        route!(horizontal_sum(self))
     }
 
     /// Horizontal sum of the active lanes only.

@@ -1,0 +1,388 @@
+//! Randomized bit-for-bit equivalence of the intrinsic back-ends against the
+//! portable array implementation.
+//!
+//! Two layers:
+//!
+//! 1. **Direct trait calls** — every dispatched [`SimdBackend`] operation is
+//!    compared lane-by-lane against [`PortableBackend`] for both element
+//!    types at widths 1–32 (including widths with no hardware coverage,
+//!    which must fall back identically). No global state involved.
+//! 2. **Routed module functions** — the public free functions of
+//!    `gather.rs`, `conflict.rs`, `reduce.rs` and the `SimdF`/`SimdM` ops
+//!    are executed under each supported forced backend and compared against
+//!    a forced-portable run (serialized by a mutex so tests in this binary
+//!    never race the global dispatch state).
+//!
+//! Equivalence is **bit-for-bit** for every operation: data movement is
+//! exact, both `mul_add` paths fuse, and the intrinsic horizontal sums
+//! reproduce the portable pairwise association. (No approximate rsqrt/exp
+//! instructions are used by any backend, so no ULP-bound carve-outs are
+//! needed; `math.rs`'s `fast_*` functions are backend-independent scalar
+//! polynomials.)
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Mutex;
+use vektor::conflict::{
+    reduce_add3_uniform, reduce_add_uniform, scatter_add, scatter_add3,
+    scatter_add3_conflict_detect,
+};
+use vektor::dispatch::{self, BackendImpl};
+use vektor::gather::{
+    adjacent_gather3, adjacent_gather_n, adjacent_scatter3, adjacent_scatter_add3_distinct,
+};
+use vektor::reduce::{reduce3, sum_slice, KahanSum, VectorAccumulator};
+use vektor::{PortableBackend, Real, SimdBackend, SimdF, SimdI, SimdM};
+
+const CASES: usize = 96;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+fn buffer<T: Real>(rng: &mut ChaCha8Rng, n: usize) -> Vec<T> {
+    (0..n)
+        .map(|_| T::from_f64(rng.gen_range(-1.0e3..1.0e3)))
+        .collect()
+}
+
+fn lanes<T: Real, const W: usize>(rng: &mut ChaCha8Rng) -> SimdF<T, W> {
+    SimdF::from_fn(|_| T::from_f64(rng.gen_range(-1.0e3..1.0e3)))
+}
+
+fn indices<const W: usize>(rng: &mut ChaCha8Rng, n: usize) -> [usize; W] {
+    std::array::from_fn(|_| rng.gen_range(0..n as i64) as usize)
+}
+
+/// Pairwise-distinct indices (one slot per lane), as the conflict-free
+/// scatter requires.
+fn distinct_indices<const W: usize>(rng: &mut ChaCha8Rng, n: usize) -> [usize; W] {
+    let slot = (n / W).max(1);
+    std::array::from_fn(|lane| lane * slot + rng.gen_range(0..slot as i64) as usize)
+}
+
+fn mask<const W: usize>(rng: &mut ChaCha8Rng) -> SimdM<W> {
+    SimdM::from_array(std::array::from_fn(|_| rng.gen_bool(0.5)))
+}
+
+#[track_caller]
+fn assert_lane_bits<T: Real, const W: usize>(a: SimdF<T, W>, b: SimdF<T, W>, what: &str) {
+    for lane in 0..W {
+        assert_eq!(
+            a.lane(lane).to_f64().to_bits(),
+            b.lane(lane).to_f64().to_bits(),
+            "{what}: lane {lane} differs: {} vs {}",
+            a.lane(lane),
+            b.lane(lane)
+        );
+    }
+}
+
+#[track_caller]
+fn assert_slice_bits<T: Real>(a: &[T], b: &[T], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.to_f64().to_bits(),
+            y.to_f64().to_bits(),
+            "{what}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: direct trait calls, backend vs portable
+// ---------------------------------------------------------------------------
+
+fn check_trait_ops<B: SimdBackend, T: Real, const W: usize>(seed: u64) {
+    let mut r = rng(seed ^ (W as u64) << 8);
+    let n = 192usize;
+    for _ in 0..CASES {
+        let buf: Vec<T> = buffer(&mut r, n);
+        let m: SimdM<W> = mask(&mut r);
+        let fill = T::from_f64(r.gen_range(-10.0..10.0));
+        let offset = r.gen_range(0..(n - W) as i64) as usize;
+
+        // load / store round-trip.
+        let loaded: SimdF<T, W> = B::load(&buf, offset);
+        assert_lane_bits(loaded, PortableBackend::load(&buf, offset), "load");
+        let mut out_a = buf.clone();
+        let mut out_b = buf.clone();
+        B::store(loaded, &mut out_a, offset / 2);
+        PortableBackend::store(loaded, &mut out_b, offset / 2);
+        assert_slice_bits(&out_a, &out_b, "store");
+
+        // store_masked.
+        let v: SimdF<T, W> = lanes(&mut r);
+        B::store_masked(v, &mut out_a, offset, m);
+        PortableBackend::store_masked(v, &mut out_b, offset, m);
+        assert_slice_bits(&out_a, &out_b, "store_masked");
+
+        // gather; masked gather with wild inactive indices.
+        let id: [usize; W] = indices(&mut r, n);
+        assert_lane_bits(
+            B::gather(&buf, &id),
+            PortableBackend::gather(&buf, &id),
+            "gather",
+        );
+        let mut wild = id;
+        for (lane, w) in wild.iter_mut().enumerate() {
+            if !m.lane(lane) {
+                *w = usize::MAX / 2;
+            }
+        }
+        assert_lane_bits(
+            B::gather_masked(&buf, &wild, m, fill),
+            PortableBackend::gather_masked(&buf, &wild, m, fill),
+            "gather_masked",
+        );
+
+        // select / mul_add / horizontal_sum.
+        let a: SimdF<T, W> = lanes(&mut r);
+        let b: SimdF<T, W> = lanes(&mut r);
+        let c: SimdF<T, W> = lanes(&mut r);
+        assert_lane_bits(
+            B::select(m, a, b),
+            PortableBackend::select(m, a, b),
+            "select",
+        );
+        assert_lane_bits(
+            B::mul_add(a, b, c),
+            PortableBackend::mul_add(a, b, c),
+            "mul_add",
+        );
+        assert_eq!(
+            B::horizontal_sum(a).to_f64().to_bits(),
+            PortableBackend::horizontal_sum(a).to_f64().to_bits(),
+            "horizontal_sum differs"
+        );
+
+        // Adjacent gathers (position stride 4 and record width 5).
+        let id4: [usize; W] = indices(&mut r, n / 4);
+        let ga = B::adjacent_gather3::<T, W, 4>(&buf, &id4, m);
+        let gb = PortableBackend::adjacent_gather3::<T, W, 4>(&buf, &id4, m);
+        for d in 0..3 {
+            assert_lane_bits(ga[d], gb[d], "adjacent_gather3");
+        }
+        let id5: [usize; W] = indices(&mut r, n / 5);
+        let na = B::adjacent_gather_n::<T, W, 5>(&buf, &id5, m);
+        let nb = PortableBackend::adjacent_gather_n::<T, W, 5>(&buf, &id5, m);
+        for d in 0..5 {
+            assert_lane_bits(na[d], nb[d], "adjacent_gather_n");
+        }
+
+        // Conflict-free scatter (distinct targets).
+        let idd: [usize; W] = distinct_indices(&mut r, n / 3);
+        let vals = [lanes::<T, W>(&mut r), lanes(&mut r), lanes(&mut r)];
+        let mut sa = buf.clone();
+        let mut sb = buf.clone();
+        B::scatter_add3_distinct::<T, W, 3>(&mut sa, &idd, m, vals);
+        PortableBackend::scatter_add3_distinct::<T, W, 3>(&mut sb, &idd, m, vals);
+        assert_slice_bits(&sa, &sb, "scatter_add3_distinct");
+    }
+}
+
+fn check_trait_ops_all_widths<B: SimdBackend>(seed: u64) {
+    check_trait_ops::<B, f64, 1>(seed);
+    check_trait_ops::<B, f64, 2>(seed);
+    check_trait_ops::<B, f64, 3>(seed);
+    check_trait_ops::<B, f64, 4>(seed);
+    check_trait_ops::<B, f64, 8>(seed);
+    check_trait_ops::<B, f64, 16>(seed);
+    check_trait_ops::<B, f64, 32>(seed);
+    check_trait_ops::<B, f32, 1>(seed);
+    check_trait_ops::<B, f32, 2>(seed);
+    check_trait_ops::<B, f32, 4>(seed);
+    check_trait_ops::<B, f32, 8>(seed);
+    check_trait_ops::<B, f32, 16>(seed);
+    check_trait_ops::<B, f32, 32>(seed);
+}
+
+#[test]
+fn portable_trait_is_self_consistent() {
+    check_trait_ops_all_widths::<PortableBackend>(11);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx2_matches_portable_bit_for_bit() {
+    if !dispatch::supported(BackendImpl::Avx2) {
+        eprintln!("skipping: avx2+fma not available on this host");
+        return;
+    }
+    check_trait_ops_all_widths::<vektor::Avx2Backend>(23);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx512_matches_portable_bit_for_bit() {
+    if !dispatch::supported(BackendImpl::Avx512) {
+        eprintln!("skipping: avx512f not available on this host");
+        return;
+    }
+    check_trait_ops_all_widths::<vektor::Avx512Backend>(37);
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: routed public API under a forced global backend
+// ---------------------------------------------------------------------------
+
+static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` under a forced dispatch backend, restoring the previous choice.
+/// Serialized so concurrent tests in this binary observe a consistent
+/// global (results are backend-independent anyway — that is what these
+/// tests prove — but the serialization keeps failures deterministic).
+fn with_backend<R>(backend: BackendImpl, f: impl FnOnce() -> R) -> R {
+    let guard = DISPATCH_LOCK.lock().unwrap();
+    let previous = dispatch::active();
+    dispatch::set_active(backend);
+    let result = f();
+    dispatch::set_active(previous);
+    drop(guard);
+    result
+}
+
+fn supported_backends() -> Vec<BackendImpl> {
+    BackendImpl::ALL
+        .into_iter()
+        .filter(|&b| dispatch::supported(b))
+        .collect()
+}
+
+/// One full pass over the routed module surface, returning every produced
+/// number so runs under different backends can be compared bitwise.
+fn routed_module_pass<T: Real, const W: usize>(seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let mut trace: Vec<f64> = Vec::new();
+    let n = 120usize;
+    for _ in 0..CASES / 2 {
+        let buf: Vec<T> = buffer(&mut r, n);
+        let m: SimdM<W> = mask(&mut r);
+
+        // gather.rs surface.
+        let id4: [usize; W] = indices(&mut r, n / 4);
+        let [x, y, z] = adjacent_gather3::<T, W, 4>(&buf, &id4, m);
+        trace.extend(x.to_f64_array());
+        trace.extend(y.to_f64_array());
+        trace.extend(z.to_f64_array());
+        let id2: [usize; W] = indices(&mut r, n / 2);
+        let rec = adjacent_gather_n::<T, W, 2>(&buf, &id2, m);
+        trace.extend(rec[0].to_f64_array());
+        trace.extend(rec[1].to_f64_array());
+
+        let mut scatter_buf = buf.clone();
+        let idd: [usize; W] = distinct_indices(&mut r, n / 3);
+        let vals = [lanes::<T, W>(&mut r), lanes(&mut r), lanes(&mut r)];
+        adjacent_scatter3::<T, W, 3>(&mut scatter_buf, &idd, m, vals);
+        adjacent_scatter_add3_distinct::<T, W, 3>(&mut scatter_buf, &idd, m, vals);
+        trace.extend(scatter_buf.iter().map(|v| v.to_f64()));
+
+        // conflict.rs surface (conflicting indices allowed).
+        let idc: [usize; W] = indices(&mut r, n / 3);
+        let mut target = buf.clone();
+        scatter_add::<T, W>(&mut target, &idc, m, vals[0]);
+        scatter_add3::<T, W, 3>(&mut target, &idc, m, vals);
+        let idc_vec = SimdI::from_usize_array(idc);
+        scatter_add3_conflict_detect::<T, W, 3>(&mut target, idc_vec, m, vals);
+        trace.extend(target.iter().map(|v| v.to_f64()));
+        let mut uniform = T::ZERO;
+        reduce_add_uniform(&mut uniform, m, vals[1]);
+        trace.push(uniform.to_f64());
+        let mut uniform3 = [T::ZERO; 3];
+        reduce_add3_uniform(&mut uniform3, m, vals);
+        trace.extend(uniform3.iter().map(|v| v.to_f64()));
+
+        // reduce.rs surface.
+        let mut kahan = KahanSum::<T>::new();
+        kahan.add_vector(vals[0], m);
+        kahan.add_vector(vals[1], !m);
+        trace.push(kahan.value().to_f64());
+        let mut acc = VectorAccumulator::<T, W>::new();
+        acc.add(vals[0], m);
+        acc.add_all(vals[2]);
+        trace.push(acc.reduce().to_f64());
+        trace.push(acc.reduce_f64());
+        trace.extend(reduce3(vals, m).iter().map(|v| v.to_f64()));
+        trace.push(sum_slice::<T, W>(&buf).to_f64());
+
+        // Dispatched SimdF methods.
+        let a: SimdF<T, W> = lanes(&mut r);
+        let b: SimdF<T, W> = lanes(&mut r);
+        let c: SimdF<T, W> = lanes(&mut r);
+        trace.push(a.horizontal_sum().to_f64());
+        trace.push(a.masked_sum(m).to_f64());
+        trace.extend(SimdF::select(m, a, b).to_f64_array());
+        trace.extend(a.mul_add(b, c).to_f64_array());
+        trace.extend(a.masked(m).to_f64_array());
+
+        // mask.rs surface: scalar bool semantics, backend-independent by
+        // construction but part of the audited module set.
+        let m2: SimdM<W> = mask(&mut r);
+        for v in [
+            m.all() as u64,
+            m.any() as u64,
+            m.none() as u64,
+            m.count() as u64,
+            (m & m2).count() as u64,
+            (m | m2).count() as u64,
+            (m ^ m2).count() as u64,
+            (!m).count() as u64,
+            m.and_not(m2).count() as u64,
+            m.first_set().map_or(u64::MAX, |x| x as u64),
+        ] {
+            trace.push(v as f64);
+        }
+    }
+    trace
+}
+
+fn check_routed_equivalence<T: Real, const W: usize>(seed: u64) {
+    let reference = with_backend(BackendImpl::Portable, || routed_module_pass::<T, W>(seed));
+    for backend in supported_backends() {
+        let got = with_backend(backend, || routed_module_pass::<T, W>(seed));
+        assert_eq!(reference.len(), got.len());
+        for (i, (a, b)) in reference.iter().zip(got.iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "routed op trace diverges under {backend} at position {i}: {a} vs {b} \
+                 (T = {}, W = {W})",
+                std::any::type_name::<T>()
+            );
+        }
+    }
+}
+
+#[test]
+fn routed_modules_are_backend_invariant_f64() {
+    check_routed_equivalence::<f64, 1>(41);
+    check_routed_equivalence::<f64, 4>(42);
+    check_routed_equivalence::<f64, 8>(43);
+    check_routed_equivalence::<f64, 16>(44);
+    check_routed_equivalence::<f64, 32>(45);
+}
+
+#[test]
+fn routed_modules_are_backend_invariant_f32() {
+    check_routed_equivalence::<f32, 1>(51);
+    check_routed_equivalence::<f32, 4>(52);
+    check_routed_equivalence::<f32, 8>(53);
+    check_routed_equivalence::<f32, 16>(54);
+    check_routed_equivalence::<f32, 32>(55);
+}
+
+#[test]
+fn forced_backend_round_trips() {
+    let _guard = DISPATCH_LOCK.lock().unwrap();
+    let previous = dispatch::active();
+    assert_eq!(
+        dispatch::set_active(BackendImpl::Portable),
+        BackendImpl::Portable
+    );
+    assert_eq!(dispatch::active(), BackendImpl::Portable);
+    // Requests above host capability clamp downward, never upward.
+    let forced = dispatch::set_active(BackendImpl::Avx512);
+    assert!(dispatch::supported(forced));
+    dispatch::set_active(previous);
+}

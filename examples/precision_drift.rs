@@ -20,6 +20,7 @@ fn run_trajectory(mode: ExecutionMode, steps: u64, sample_every: u64) -> Vec<(u6
             scheme: Scheme::FusedLanes,
             width: 0,
             threads: 1,
+            backend: None,
         },
     );
     let config = SimulationConfig {

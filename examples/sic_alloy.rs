@@ -56,6 +56,7 @@ fn main() {
             scheme: Scheme::FusedLanes,
             width: 16,
             threads: 1,
+            backend: None,
         },
     );
     let mut out_opt = ComputeOutput::zeros(atoms.n_total());

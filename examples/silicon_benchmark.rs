@@ -60,6 +60,7 @@ fn main() {
                 scheme,
                 width: 0,
                 threads: 1,
+                backend: None,
             },
         );
         let config = SimulationConfig {

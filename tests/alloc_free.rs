@@ -48,17 +48,24 @@ fn steady_state_force_loop_performs_zero_allocations() {
     let mut out = ComputeOutput::zeros(atoms.n_total());
 
     // Every kernel family, single-threaded and through the threaded engine.
+    // The Opt-D cases also audit the A = f64 direct-write path (forces
+    // accumulate straight into the per-thread `ComputeOutput`, no
+    // accumulation-precision double buffer).
     let cases = [
         ("Ref/t1", ExecutionMode::Ref, Scheme::Scalar, 1usize),
         ("Opt-D/scalar/t1", ExecutionMode::OptD, Scheme::Scalar, 1),
         ("Opt-D/1a/t1", ExecutionMode::OptD, Scheme::JLanes, 1),
+        ("Opt-D/1b/t1", ExecutionMode::OptD, Scheme::FusedLanes, 1),
         ("Opt-M/1b/t1", ExecutionMode::OptM, Scheme::FusedLanes, 1),
         ("Opt-D/1c/t1", ExecutionMode::OptD, Scheme::ILanes, 1),
         ("Ref/t2", ExecutionMode::Ref, Scheme::Scalar, 2),
         ("Opt-D/scalar/t3", ExecutionMode::OptD, Scheme::Scalar, 3),
+        ("Opt-D/1a/t2", ExecutionMode::OptD, Scheme::JLanes, 2),
+        ("Opt-D/1b/t2", ExecutionMode::OptD, Scheme::FusedLanes, 2),
         ("Opt-M/1b/t2", ExecutionMode::OptM, Scheme::FusedLanes, 2),
         ("Opt-M/1b/t4", ExecutionMode::OptM, Scheme::FusedLanes, 4),
         ("Opt-S/1c/t2", ExecutionMode::OptS, Scheme::ILanes, 2),
+        ("Opt-D/1c/t2", ExecutionMode::OptD, Scheme::ILanes, 2),
     ];
 
     for (label, mode, scheme, threads) in cases {
@@ -69,6 +76,7 @@ fn steady_state_force_loop_performs_zero_allocations() {
                 scheme,
                 width: 0,
                 threads,
+                backend: None,
             },
         );
         // Warm up: builds filter buffers, packed positions, per-thread

@@ -1,0 +1,144 @@
+//! Cross-backend physics invariance.
+//!
+//! The `vektor` runtime dispatch (portable / avx2 / avx512) must be
+//! invisible to the simulation: forcing any supported backend through
+//! `TersoffOptions::backend` has to reproduce the portable results **bit
+//! for bit** — forces, energy, virial and a whole thermo trace. This is the
+//! system-level counterpart of `crates/vektor/tests/backend_equivalence.rs`
+//! and the guarantee that lets `VEKTOR_BACKEND` be a pure speed knob.
+
+use lammps_tersoff_vector::prelude::*;
+use md_core::neighbor::{NeighborList, NeighborSettings};
+use md_core::potential::ComputeOutput;
+use std::sync::Mutex;
+
+/// `make_potential` resolves `TersoffOptions::backend` into vektor's
+/// process-global dispatch state; serialize the tests in this binary so no
+/// test observes another's forced backend (results are backend-invariant —
+/// that is the point of this file — but assertions on `dispatch::active()`
+/// are not).
+static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+fn supported_backends() -> Vec<BackendImpl> {
+    BackendImpl::ALL
+        .into_iter()
+        .filter(|&b| dispatch::supported(b))
+        .collect()
+}
+
+fn compute_under(options: TersoffOptions) -> ComputeOutput {
+    let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.06, 2024);
+    let list = NeighborList::build_binned(&atoms, &sim_box, NeighborSettings::new(3.0, 1.0));
+    let mut pot = make_potential(TersoffParams::silicon(), options);
+    let mut out = ComputeOutput::zeros(atoms.n_total());
+    pot.compute(&atoms, &sim_box, &list, &mut out);
+    out
+}
+
+#[test]
+fn forces_are_bitwise_identical_across_backends() {
+    let _guard = DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for mode in [
+        ExecutionMode::Ref,
+        ExecutionMode::OptD,
+        ExecutionMode::OptS,
+        ExecutionMode::OptM,
+    ] {
+        for scheme in [
+            Scheme::Scalar,
+            Scheme::JLanes,
+            Scheme::FusedLanes,
+            Scheme::ILanes,
+        ] {
+            let base = TersoffOptions {
+                mode,
+                scheme,
+                width: 0,
+                threads: 2,
+                backend: Some(BackendImpl::Portable),
+            };
+            let reference = compute_under(base);
+            for backend in supported_backends() {
+                let out = compute_under(TersoffOptions {
+                    backend: Some(backend),
+                    ..base
+                });
+                assert_eq!(
+                    reference.energy.to_bits(),
+                    out.energy.to_bits(),
+                    "{mode:?}/{scheme:?} energy differs under {backend}"
+                );
+                assert_eq!(
+                    reference.virial.to_bits(),
+                    out.virial.to_bits(),
+                    "{mode:?}/{scheme:?} virial differs under {backend}"
+                );
+                for (i, (a, b)) in reference.forces.iter().zip(out.forces.iter()).enumerate() {
+                    for d in 0..3 {
+                        assert_eq!(
+                            a[d].to_bits(),
+                            b[d].to_bits(),
+                            "{mode:?}/{scheme:?} force[{i}][{d}] differs under {backend}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn thermo_trace(backend: BackendImpl) -> Vec<(u64, u64, u64)> {
+    let (sim_box, mut atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.03, 7);
+    init_velocities(&mut atoms, &[units::mass::SI], 600.0, 3);
+    let potential = make_potential(
+        TersoffParams::silicon(),
+        TersoffOptions::default()
+            .with_threads(2)
+            .with_backend(backend),
+    );
+    let config = SimulationConfig {
+        masses: vec![units::mass::SI],
+        thermo_every: 5,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(atoms, sim_box, potential, config);
+    sim.run(25);
+    sim.thermo_history
+        .iter()
+        .map(|t| (t.step, t.potential.to_bits(), t.total.to_bits()))
+        .collect()
+}
+
+#[test]
+fn thermo_trace_is_bitwise_identical_per_backend() {
+    let _guard = DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let backends = supported_backends();
+    let reference = thermo_trace(BackendImpl::Portable);
+    assert!(!reference.is_empty());
+    for &backend in &backends {
+        // Deterministic per backend (repeat run), and identical across
+        // backends (vs the portable trace).
+        let first = thermo_trace(backend);
+        let second = thermo_trace(backend);
+        assert_eq!(first, second, "{backend} trace not deterministic");
+        assert_eq!(first, reference, "{backend} trace differs from portable");
+    }
+}
+
+#[test]
+fn options_resolve_and_report_the_backend() {
+    let _guard = DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let auto = TersoffOptions::default();
+    assert!(dispatch::supported(auto.resolved_backend()));
+    let forced = TersoffOptions::default().with_backend(BackendImpl::Portable);
+    assert_eq!(forced.resolved_backend(), BackendImpl::Portable);
+    // A request beyond host support clamps to something runnable.
+    let clamped = TersoffOptions::default().with_backend(BackendImpl::Avx512);
+    assert!(dispatch::supported(clamped.resolved_backend()));
+    // Building a potential activates the request.
+    let _pot = make_potential(TersoffParams::silicon(), forced);
+    assert_eq!(dispatch::active(), BackendImpl::Portable);
+    // Auto-resolution restores the environment/detection default.
+    let _pot = make_potential(TersoffParams::silicon(), auto);
+    assert_eq!(dispatch::active(), dispatch::default_backend());
+}

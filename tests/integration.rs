@@ -24,6 +24,7 @@ fn silicon_simulation(
             scheme,
             width: 0,
             threads: 1,
+            backend: None,
         },
     );
     let config = SimulationConfig {
@@ -88,6 +89,7 @@ fn all_execution_modes_agree_on_the_trajectory_start() {
             scheme: Scheme::Scalar,
             width: 0,
             threads: 1,
+            backend: None,
         },
     )
     .compute(&atoms, &sim_box, &list, &mut out_ref);
@@ -111,6 +113,7 @@ fn all_execution_modes_agree_on_the_trajectory_start() {
                     scheme,
                     width: 0,
                     threads: 1,
+                    backend: None,
                 },
             )
             .compute(&atoms, &sim_box, &list, &mut out);

@@ -45,6 +45,7 @@ fn threaded_engine_matches_single_thread_for_every_mode_and_scheme() {
                 scheme,
                 width: 0,
                 threads: 1,
+                backend: None,
             };
             let reference = compute_with(base, &b, &atoms, &list);
             // Reassociation tolerance: pure double precision is tight. Opt-S
