@@ -3,71 +3,60 @@
 //! an NVE trajectory.
 //!
 //! The paper runs 32 000 atoms for 10⁶ steps and finds the deviation stays
-//! within 0.002%. This binary runs a scaled-down trajectory (size and steps
-//! configurable) and prints the same series.
+//! within 0.002%. This binary executes the committed
+//! `scenarios/fig3_accuracy.json` spec (the same file `tersoff-run` smokes
+//! in CI) through the scenario API: the declared Opt-D/Opt-S matrix produces
+//! the two trajectories whose thermo traces are differenced below. Pass a
+//! step count to scale the trajectory.
 
 use bench::figure_header;
-use md_core::lattice::Lattice;
-use md_core::prelude::*;
-use md_core::units;
-use tersoff::driver::{make_potential, ExecutionMode, Scheme, TersoffOptions};
-use tersoff::params::TersoffParams;
+use lammps_tersoff_vector::scenario::Scenario;
+use tersoff::driver::ExecutionMode;
 
-fn total_energy_series(mode: ExecutionMode, steps: u64, every: u64) -> Vec<(u64, f64)> {
-    let (sim_box, mut atoms) = Lattice::silicon([4, 4, 4]).build_perturbed(0.02, 99);
-    let masses = vec![units::mass::SI];
-    init_velocities(&mut atoms, &masses, 600.0, 4);
-    let potential = make_potential(
-        TersoffParams::silicon(),
-        TersoffOptions {
-            mode,
-            scheme: Scheme::FusedLanes,
-            width: 0,
-            threads: 1,
-            backend: None,
-        },
-    );
-    let mut sim = Simulation::new(
-        atoms,
-        sim_box,
-        potential,
-        SimulationConfig {
-            masses,
-            thermo_every: every,
-            ..Default::default()
-        },
-    );
-    sim.run(steps);
-    sim.thermo_history
-        .iter()
-        .map(|t| (t.step, t.total))
-        .collect()
-}
+/// The spec is embedded so the binary runs from any working directory; the
+/// file in `scenarios/` stays the single source of truth.
+const SPEC: &str = include_str!("../../../../scenarios/fig3_accuracy.json");
 
 fn main() {
-    let steps: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500);
-    let every = (steps / 20).max(1);
+    let mut scenario = Scenario::from_json(SPEC).expect("embedded scenario is valid");
+    if let Some(steps) = std::env::args().nth(1).and_then(|s| s.parse().ok()) {
+        scenario.run.steps = steps;
+        scenario.run.thermo_every = (steps / 20).max(1);
+    }
     figure_header(
         "Figure 3",
         "relative total-energy difference, single vs double precision",
-        &format!("512 Si atoms, {steps} NVE steps (paper: 32 000 atoms, 10⁶ steps)"),
+        &format!(
+            "{} Si atoms, {} NVE steps (paper: 32 000 atoms, 10⁶ steps)",
+            scenario.n_atoms(),
+            scenario.run.steps
+        ),
     );
 
-    let d = total_energy_series(ExecutionMode::OptD, steps, every);
-    let s = total_energy_series(ExecutionMode::OptS, steps, every);
+    let outcome = scenario.execute(None).expect("scenario runs");
+    let trace = |mode: ExecutionMode| {
+        &outcome
+            .variants
+            .iter()
+            .find(|v| v.variant.mode == mode)
+            .expect("matrix declares this mode")
+            .trace
+    };
+    let d = trace(ExecutionMode::OptD);
+    let s = trace(ExecutionMode::OptS);
 
     println!(
         "{:>10} {:>18} {:>18} {:>14}",
         "step", "E_double (eV)", "E_single (eV)", "|ΔE|/|E|"
     );
     let mut worst = 0.0f64;
-    for ((step, ed), (_, es)) in d.iter().zip(s.iter()) {
-        let rel = ((es - ed) / ed).abs();
+    for (td, ts) in d.iter().zip(s.iter()) {
+        let rel = ((ts.total - td.total) / td.total).abs();
         worst = worst.max(rel);
-        println!("{step:>10} {ed:>18.6} {es:>18.6} {rel:>14.3e}");
+        println!(
+            "{:>10} {:>18.6} {:>18.6} {:>14.3e}",
+            td.step, td.total, ts.total, rel
+        );
     }
     println!("\nmax |ΔE|/|E| measured : {worst:.3e}");
     println!("paper reports          : < 2.0e-5 over one million steps");

@@ -4,47 +4,94 @@
 //! HW2 / BW and annotates the Ref→Opt-M speedups 3.18×, 5.00×, 3.15×, 2.69×,
 //! 2.95×. This reproduction measures the **real implementation** — the
 //! thread-parallel force engine around the paper's default kernels — on the
-//! host machine with a thread sweep, then prints the cost-model projection
-//! for the paper's machines as context. Results are also written to
-//! `BENCH_fig5_single_node.json` so later changes can track the trajectory.
+//! host machine, then prints the cost-model projection for the paper's
+//! machines as context. Results are also written to
+//! `BENCH_fig5_single_node.json` so the `bench_diff` gate can track the
+//! trajectory.
 //!
-//! The default workload is a 6×6×6-cell (1728-atom) perturbed silicon
-//! crystal so the binary finishes in seconds; pass a cell count to scale up
-//! (e.g. `fig5_single_node 40` ≈ 512 000 atoms, the paper's size).
+//! The workload and the mode×threads sweep are declared by the committed
+//! `scenarios/silicon_fig5.json` spec (embedded below; the same file
+//! `tersoff-run` executes as a full simulation). This binary keeps the
+//! historical fig5 semantics on top of that declaration: `seconds_per_step`
+//! is the **force-kernel** evaluation time (averaged over reps, no
+//! integration/neighbor cost), which is what the committed
+//! `BENCH_baseline/` snapshot gates. Pass a cell count to scale up (e.g.
+//! `fig5_single_node 40` ≈ 512 000 atoms, the paper's size).
 
 use arch_model::cost::{CostModel, Mode, WorkloadShape};
 use arch_model::machines::Machine;
-use bench::{figure_header, mode_options, row, row_header, write_bench_json, SiliconWorkload};
-use md_core::lattice::Lattice;
+use bench::{figure_header, row, row_header, write_bench_json, SiliconWorkload};
+use lammps_tersoff_vector::scenario::{Scenario, Variant};
+use md_core::neighbor::{NeighborList, NeighborSettings};
+use std::collections::BTreeMap;
 use tersoff::driver::ExecutionMode;
 
+/// The spec is embedded so the binary runs from any working directory; the
+/// file in `scenarios/` stays the single source of truth.
+const SPEC: &str = include_str!("../../../../scenarios/silicon_fig5.json");
+
 fn main() {
-    let cells: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(6)
-        .max(1);
-    let n_atoms = Lattice::silicon([cells, cells, cells]).n_atoms();
+    let mut scenario = Scenario::from_json(SPEC).expect("embedded scenario is valid");
+    if let Some(cells) = std::env::args().nth(1).and_then(|s| s.parse().ok()) {
+        let cells: usize = std::cmp::max(cells, 1);
+        scenario.system.cells = [cells, cells, cells];
+    }
+    let cells = scenario.system.cells;
+    let n_atoms = scenario.n_atoms();
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    // The declared matrix, with the thread axis trimmed to what this host
+    // can meaningfully exercise (same rule as before the scenario rewire).
+    let matrix = scenario
+        .matrix
+        .clone()
+        .expect("fig5 scenario declares a matrix");
+    let modes = matrix.modes;
+    let mut threads_axis = matrix.threads;
+    threads_axis.retain(|&t| t == 1 || t <= 2 * parallelism);
+
     // The vektor implementation that will actually execute the dispatched
     // vector ops (VEKTOR_BACKEND override, else hardware detection).
-    let executed_backend = mode_options(ExecutionMode::OptM, 1).resolved_backend();
+    let executed_backend = scenario
+        .options_for(Variant {
+            mode: ExecutionMode::OptM,
+            threads: 1,
+        })
+        .resolved_backend();
 
     figure_header(
         "Figure 5",
         "single-node execution, Ref vs Opt-M, thread sweep (measured)",
         &format!(
-            "{cells}x{cells}x{cells} cells = {n_atoms} perturbed Si atoms, \
-             {parallelism} CPUs available, vektor backend: {executed_backend}"
+            "{}x{}x{} cells = {n_atoms} perturbed Si atoms, \
+             {parallelism} CPUs available, vektor backend: {executed_backend}",
+            cells[0], cells[1], cells[2]
         ),
     );
 
-    let workload = SiliconWorkload::new(n_atoms);
+    // The measured workload is built from the scenario's own spec — lattice,
+    // perturbation, seed, and a neighbor list with the declared parameter
+    // set's cutoff and the declared skin — so the timed pair set and the
+    // JSON metadata always describe the system that actually ran.
+    let params = scenario.potential.params.params();
+    let (sim_box, atoms) = scenario
+        .system
+        .lattice
+        .lattice(scenario.system.cells)
+        .build_perturbed(scenario.system.perturbation, scenario.system.lattice_seed);
+    let neighbors = NeighborList::build_binned(
+        &atoms,
+        &sim_box,
+        NeighborSettings::new(params.max_cutoff, scenario.run.skin),
+    );
+    let workload = SiliconWorkload {
+        sim_box,
+        atoms,
+        neighbors,
+    };
     let reps = (200_000 / n_atoms).clamp(2, 20);
-    let mut threads_axis = vec![1usize, 2, 4, 8, 16];
-    threads_axis.retain(|&t| t == 1 || t <= 2 * parallelism);
 
     println!(
         "{:<8} {:>8} {:>14} {:>12} {:>14} {:>16}",
@@ -52,55 +99,80 @@ fn main() {
     );
     println!("{:-<76}", "");
 
+    // Time the Ref rows first regardless of the declared mode order, so the
+    // speedup_vs_ref column always has its denominator (keyed by thread
+    // count, not axis position).
+    let mut modes = modes;
+    modes.sort_by_key(|&m| m != ExecutionMode::Ref);
+
     let mut json_rows = String::new();
-    let mut ref_times = Vec::new();
-    for mode in [ExecutionMode::Ref, ExecutionMode::OptM] {
-        let mut t1 = 0.0f64;
-        for (axis_idx, &threads) in threads_axis.iter().enumerate() {
-            let seconds = workload.time_mode_threads(mode, threads, reps);
+    let mut ref_times: BTreeMap<usize, f64> = BTreeMap::new();
+    for &mode in &modes {
+        // Both speedup columns are optional: t1 is None until (and unless)
+        // this mode's threads == 1 row has been measured, vs_ref is None
+        // when the matrix omits Ref or this thread count. Missing values
+        // print as "—" and their JSON fields are omitted — never NaN or a
+        // bogus 0.0 flowing into the bench_diff gate.
+        let mut t1: Option<f64> = None;
+        for &threads in &threads_axis {
+            let options = scenario.options_for(Variant { mode, threads });
+            let mut pot = tersoff::driver::make_potential(params.clone(), options);
+            let seconds = workload.time_kernel(pot.as_mut(), reps);
             if threads == 1 {
-                t1 = seconds;
+                t1 = Some(seconds);
             }
             if mode == ExecutionMode::Ref {
-                ref_times.push(seconds);
+                ref_times.insert(threads, seconds);
             }
+            let vs_t1 = t1.map(|t| t / seconds);
             let vs_ref = if mode == ExecutionMode::Ref {
-                1.0
+                Some(1.0)
             } else {
-                ref_times.get(axis_idx).copied().unwrap_or(f64::NAN) / seconds
+                ref_times.get(&threads).map(|r| r / seconds)
             };
+            let dash = |v: Option<f64>| v.map(|v| format!("{v:.2}x")).unwrap_or_else(|| "—".into());
             println!(
-                "{:<8} {:>8} {:>14.6} {:>12.3} {:>13.2}x {:>15.2}x",
+                "{:<8} {:>8} {:>14.6} {:>12.3} {:>14} {:>16}",
                 mode.label(),
                 threads,
                 seconds,
                 bench::ns_per_day(seconds),
-                t1 / seconds,
-                vs_ref
+                dash(vs_t1),
+                dash(vs_ref)
             );
             if !json_rows.is_empty() {
                 json_rows.push_str(",\n");
             }
+            let opt_field = |name: &str, v: Option<f64>| {
+                v.map(|v| format!(", \"{name}\": {v:.6}"))
+                    .unwrap_or_default()
+            };
             json_rows.push_str(&format!(
                 "    {{\"mode\": \"{}\", \"threads\": {}, \"seconds_per_step\": {:.9e}, \
-                 \"ns_per_day\": {:.6}, \"speedup_vs_t1\": {:.6}, \"speedup_vs_ref\": {:.6}}}",
+                 \"ns_per_day\": {:.6}{}{}}}",
                 mode.label(),
                 threads,
                 seconds,
                 bench::ns_per_day(seconds),
-                t1 / seconds,
-                vs_ref
+                opt_field("speedup_vs_t1", vs_t1),
+                opt_field("speedup_vs_ref", vs_ref)
             ));
         }
     }
 
-    let options_label = mode_options(ExecutionMode::OptM, 1).label();
+    let options_label = scenario
+        .options_for(Variant {
+            mode: ExecutionMode::OptM,
+            threads: 1,
+        })
+        .label();
     let body = format!(
-        "{{\n  \"figure\": \"fig5_single_node\",\n  \"workload\": {{\"cells\": {cells}, \
-         \"atoms\": {n_atoms}, \"perturbation\": 0.05}},\n  \"available_parallelism\": \
-         {parallelism},\n  \"reps\": {reps},\n  \"opt_m_options\": \"{options_label}\",\n  \
-         \"executed_backend\": \"{executed_backend}\",\n  \
-         \"series\": [\n{json_rows}\n  ]\n}}\n"
+        "{{\n  \"figure\": \"fig5_single_node\",\n  \"scenario\": \"{}\",\n  \
+         \"workload\": {{\"cells\": [{}, {}, {}], \"atoms\": {n_atoms}, \"perturbation\": \
+         {}}},\n  \"available_parallelism\": {parallelism},\n  \"reps\": {reps},\n  \
+         \"opt_m_options\": \"{options_label}\",\n  \"executed_backend\": \
+         \"{executed_backend}\",\n  \"series\": [\n{json_rows}\n  ]\n}}\n",
+        scenario.name, cells[0], cells[1], cells[2], scenario.system.perturbation
     );
     match write_bench_json("fig5_single_node", &body) {
         Ok(path) => println!("\n(wrote {path})"),

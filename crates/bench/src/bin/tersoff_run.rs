@@ -1,0 +1,201 @@
+//! `tersoff-run` — the scenario batch runner.
+//!
+//! Loads one scenario file or every `*.json` in a directory, optionally
+//! expands each scenario's declared mode×threads matrix, runs every variant
+//! through the `SimulationBuilder` API, prints a per-variant table, and
+//! writes one `BENCH_scenario_<name>.json` report per scenario in the same
+//! shape the `bench_diff` regression gate consumes.
+//!
+//! ```text
+//! tersoff-run <scenario.json | scenarios-dir>... [--steps-cap N]
+//!             [--no-matrix] [--list] [--quiet]
+//! ```
+//!
+//! * `--steps-cap N`  run at most N steps per variant (CI smoke runs)
+//! * `--no-matrix`    ignore declared matrices, run only the base variant
+//! * `--list`         print the discovered scenarios and exit
+//! * `--quiet`        suppress the per-variant tables
+//!
+//! Exit code 1 when any scenario fails to load or run, or when a variant's
+//! measured energy drift exceeds the scenario's declared `max_drift` bound —
+//! which is what lets CI smoke every shipped spec.
+
+use bench::write_bench_json;
+use lammps_tersoff_vector::scenario::Scenario;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    paths: Vec<PathBuf>,
+    steps_cap: Option<u64>,
+    no_matrix: bool,
+    list: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tersoff-run <scenario.json | dir>... [--steps-cap N] \
+         [--no-matrix] [--list] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut paths = Vec::new();
+    let mut steps_cap = None;
+    let mut no_matrix = false;
+    let mut list = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--steps-cap" => {
+                steps_cap = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--no-matrix" => no_matrix = true,
+            "--list" => list = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+    Args {
+        paths,
+        steps_cap,
+        no_matrix,
+        list,
+        quiet,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let mut scenarios: Vec<(PathBuf, Scenario)> = Vec::new();
+    let mut failures = 0usize;
+    for path in &args.paths {
+        match Scenario::discover(path) {
+            Ok(found) if found.is_empty() => {
+                eprintln!("tersoff-run: {}: no *.json scenarios found", path.display());
+                failures += 1;
+            }
+            Ok(found) => scenarios.extend(found),
+            Err(e) => {
+                eprintln!("tersoff-run: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if args.list {
+        for (path, s) in &scenarios {
+            println!(
+                "{:<28} {:>7} atoms {:>8} steps {:>3} variants  {}  [{}]",
+                s.name,
+                s.n_atoms(),
+                s.run.steps,
+                s.variants().len(),
+                s.description,
+                path.display()
+            );
+        }
+        return if failures == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    for (path, scenario) in &scenarios {
+        let mut scenario = scenario.clone();
+        if args.no_matrix {
+            scenario.matrix = None;
+        }
+        if !args.quiet {
+            println!("=== {} ({}) ===", scenario.name, path.display());
+            if !scenario.description.is_empty() {
+                println!("    {}", scenario.description);
+            }
+            println!(
+                "    {} atoms, {} steps{}, {} variant(s)",
+                scenario.n_atoms(),
+                scenario.run.steps,
+                match args.steps_cap {
+                    Some(cap) if cap < scenario.run.steps => format!(" (capped to {cap})"),
+                    _ => String::new(),
+                },
+                scenario.variants().len()
+            );
+        }
+
+        let outcome = match scenario.execute(args.steps_cap) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("tersoff-run: {}: {e}", scenario.name);
+                failures += 1;
+                continue;
+            }
+        };
+
+        if !args.quiet {
+            println!(
+                "    {:<20} {:>8} {:>14} {:>12} {:>10} {:>10}",
+                "variant", "threads", "s/step", "ns/day", "rebuilds", "drift"
+            );
+            for v in &outcome.variants {
+                println!(
+                    "    {:<20} {:>8} {:>14.6} {:>12.3} {:>10} {:>10.2e}",
+                    v.label,
+                    v.resolved_threads,
+                    v.report.seconds_per_step(),
+                    v.report.ns_per_day,
+                    v.report.total_rebuilds,
+                    v.report.max_drift
+                );
+            }
+        }
+
+        for violation in outcome.drift_violations() {
+            eprintln!(
+                "tersoff-run: {}: DRIFT VIOLATION: {violation}",
+                scenario.name
+            );
+            failures += 1;
+        }
+
+        let report_name = format!("scenario_{}", scenario.name);
+        match write_bench_json(&report_name, &outcome.to_report_json()) {
+            Ok(out_path) => {
+                if !args.quiet {
+                    println!("    wrote {out_path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("tersoff-run: {}: cannot write report: {e}", scenario.name);
+                failures += 1;
+            }
+        }
+        if !args.quiet {
+            println!();
+        }
+    }
+
+    println!(
+        "{} scenario(s) executed (backend auto-detection per run), {failures} failure(s).",
+        scenarios.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

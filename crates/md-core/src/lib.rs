@@ -18,8 +18,9 @@
 //! * the [`potential::Potential`] trait that force fields implement,
 //!   with a Lennard-Jones pair potential as the contrasting baseline
 //!   ([`pair_lj`]),
-//! * a simulation driver with LAMMPS-style per-stage timers
-//!   ([`simulation`], [`timer`]),
+//! * a simulation driver built through [`simulation::SimulationBuilder`],
+//!   reporting through [`observer::Observer`] hooks and LAMMPS-style
+//!   per-stage timers ([`simulation`], [`observer`], [`timer`]),
 //! * a spatial domain decomposition with ghost-atom exchange that stands in
 //!   for LAMMPS' MPI parallelization ([`decomposition`]).
 //!
@@ -37,6 +38,7 @@ pub mod force_engine;
 pub mod integrate;
 pub mod lattice;
 pub mod neighbor;
+pub mod observer;
 pub mod pair_lj;
 pub mod potential;
 pub mod simbox;
@@ -50,9 +52,12 @@ pub use atom::AtomData;
 pub use force_engine::{ForceEngine, RangePotential, WorkerPool};
 pub use lattice::{Lattice, LatticeKind};
 pub use neighbor::{NeighborList, NeighborSettings};
+pub use observer::{
+    EnergyDrift, Observer, RunPlan, RunReport, StepContext, ThermoLog, ThermoPrinter, TimingPrinter,
+};
 pub use potential::{ComputeOutput, Potential};
 pub use simbox::SimBox;
-pub use simulation::{Simulation, SimulationConfig};
+pub use simulation::{BuildError, Simulation, SimulationBuilder};
 pub use timer::{Stage, Timers};
 
 /// Commonly used items.
@@ -62,10 +67,14 @@ pub mod prelude {
     pub use crate::integrate::VelocityVerlet;
     pub use crate::lattice::{Lattice, LatticeKind};
     pub use crate::neighbor::{NeighborList, NeighborSettings};
+    pub use crate::observer::{
+        EnergyDrift, Observer, RunPlan, RunReport, StepContext, ThermoLog, ThermoPrinter,
+        TimingPrinter,
+    };
     pub use crate::pair_lj::LennardJones;
     pub use crate::potential::{ComputeOutput, Potential};
     pub use crate::simbox::SimBox;
-    pub use crate::simulation::{Simulation, SimulationConfig};
+    pub use crate::simulation::{BuildError, Simulation, SimulationBuilder};
     pub use crate::thermo::ThermoState;
     pub use crate::timer::{Stage, Timers};
     pub use crate::units;

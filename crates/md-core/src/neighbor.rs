@@ -52,6 +52,12 @@ impl NeighborSettings {
 }
 
 /// A full neighbor list in compressed-row storage.
+///
+/// The list owns its binning scratch, so [`NeighborList::rebuild`] reuses
+/// every buffer from the previous build: once a trajectory reaches steady
+/// state (atom count and neighbor counts stable), rebuilds perform **zero**
+/// heap allocations — the same guarantee the force hot path carries,
+/// extended to the whole step (audited by `tests/alloc_free.rs`).
 #[derive(Clone, Debug, Default)]
 pub struct NeighborList {
     /// `firstneigh[i]..firstneigh[i+1]` indexes `neighbors` for atom `i`.
@@ -66,6 +72,13 @@ pub struct NeighborList {
     pub settings: NeighborSettings,
     /// Number of local atoms the list was built for.
     pub n_local: usize,
+    // Reusable binning scratch (counting-sort layout): `bin_offsets` holds
+    // nbins+1 prefix offsets into `bin_atoms`, `bin_cursor` the fill
+    // cursors, `stencil` the ≤27 candidate bin ids of the current atom.
+    bin_offsets: Vec<usize>,
+    bin_cursor: Vec<usize>,
+    bin_atoms: Vec<usize>,
+    stencil: Vec<usize>,
 }
 
 impl NeighborList {
@@ -142,10 +155,20 @@ impl NeighborList {
             reference_x: atoms.x[..n_local].to_vec(),
             settings,
             n_local,
+            ..Default::default()
         }
     }
 
-    /// O(N) binned builder.
+    /// O(N) binned builder (fresh list; see [`NeighborList::rebuild`] for
+    /// the storage-reusing form the simulation driver calls).
+    pub fn build_binned(atoms: &AtomData, sim_box: &SimBox, settings: NeighborSettings) -> Self {
+        let mut list = NeighborList::default();
+        list.rebuild(atoms, sim_box, settings);
+        list
+    }
+
+    /// Rebuild this list in place from current positions, reusing all CRS
+    /// and binning storage from the previous build.
     ///
     /// All atoms (local and ghost) are sorted into bins of side ≥ the build
     /// cutoff; each local atom then scans its own bin and the 26 surrounding
@@ -154,20 +177,27 @@ impl NeighborList {
     /// applied — periodicity is already encoded in the ghosts. In the
     /// single-domain case (no ghosts) periodic images are handled through
     /// the minimum-image convention by wrapping the bin grid.
-    pub fn build_binned(atoms: &AtomData, sim_box: &SimBox, settings: NeighborSettings) -> Self {
+    ///
+    /// Once atom and neighbor counts have reached their steady-state
+    /// maxima, a rebuild performs no heap allocation: bins use a counting
+    /// sort into persistent offset/index arrays and the neighbor rows are
+    /// written into the retained `neighbors` buffer.
+    pub fn rebuild(&mut self, atoms: &AtomData, sim_box: &SimBox, settings: NeighborSettings) {
         let n_local = atoms.n_local;
         let n_total = atoms.n_total();
         let cut = settings.build_cutoff();
         let cut_sq = cut * cut;
 
+        self.settings = settings;
+        self.n_local = n_local;
+        self.firstneigh.clear();
+        self.neighbors.clear();
+        self.reference_x.clear();
+        self.firstneigh.reserve(n_local + 1);
+        self.firstneigh.push(0);
+
         if n_total == 0 {
-            return NeighborList {
-                firstneigh: vec![0],
-                neighbors: Vec::new(),
-                reference_x: Vec::new(),
-                settings,
-                n_local,
-            };
+            return;
         }
 
         let periodic_wrap = atoms.n_ghost() == 0;
@@ -210,25 +240,37 @@ impl NeighborList {
         };
         let flat = |b: [usize; 3]| b[0] + nbins[0] * (b[1] + nbins[1] * b[2]);
 
-        // Fill bins.
-        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); nbins[0] * nbins[1] * nbins[2]];
-        for (idx, &p) in atoms.x.iter().enumerate() {
-            bins[flat(bin_index(p))].push(idx);
+        // Counting sort of all atoms into bins: count → exclusive prefix →
+        // place. The three arrays retain their capacity across rebuilds.
+        let n_bins_total = nbins[0] * nbins[1] * nbins[2];
+        self.bin_offsets.clear();
+        self.bin_offsets.resize(n_bins_total + 1, 0);
+        for &p in &atoms.x {
+            self.bin_offsets[flat(bin_index(p)) + 1] += 1;
         }
-
-        let mut firstneigh = Vec::with_capacity(n_local + 1);
-        let mut neighbors = Vec::new();
-        firstneigh.push(0);
+        for b in 0..n_bins_total {
+            self.bin_offsets[b + 1] += self.bin_offsets[b];
+        }
+        self.bin_cursor.clear();
+        self.bin_cursor
+            .extend_from_slice(&self.bin_offsets[..n_bins_total]);
+        self.bin_atoms.clear();
+        self.bin_atoms.resize(n_total, 0);
+        for (idx, &p) in atoms.x.iter().enumerate() {
+            let b = flat(bin_index(p));
+            self.bin_atoms[self.bin_cursor[b]] = idx;
+            self.bin_cursor[b] += 1;
+        }
 
         // When a dimension has fewer than 3 bins, scanning the ±1 stencil
         // with wrapping would visit the same bin twice; dedicated handling
         // below avoids double counting by collecting candidate bins into a
         // small set first.
-        let mut stencil_bins: Vec<usize> = Vec::with_capacity(27);
+        self.stencil.reserve(27);
 
         for i in 0..n_local {
             let bi = bin_index(atoms.x[i]);
-            stencil_bins.clear();
+            self.stencil.clear();
             for dx in -1i64..=1 {
                 for dy in -1i64..=1 {
                     for dz in -1i64..=1 {
@@ -248,15 +290,15 @@ impl NeighborList {
                         }
                         if valid {
                             let f = flat(nb);
-                            if !stencil_bins.contains(&f) {
-                                stencil_bins.push(f);
+                            if !self.stencil.contains(&f) {
+                                self.stencil.push(f);
                             }
                         }
                     }
                 }
             }
-            for &b in &stencil_bins {
-                for &j in &bins[b] {
+            for &b in &self.stencil {
+                for &j in &self.bin_atoms[self.bin_offsets[b]..self.bin_offsets[b + 1]] {
                     if j == i {
                         continue;
                     }
@@ -269,25 +311,26 @@ impl NeighborList {
                         dx * dx + dy * dy + dz * dz
                     };
                     if d2 <= cut_sq {
-                        neighbors.push(j);
+                        self.neighbors.push(j);
                     }
                 }
             }
             // Keep each row sorted so results are independent of bin
             // traversal order — makes list comparison in tests trivial and
             // gives deterministic force summation order.
-            let start = *firstneigh.last().unwrap();
-            neighbors[start..].sort_unstable();
-            firstneigh.push(neighbors.len());
+            let start = *self.firstneigh.last().unwrap();
+            self.neighbors[start..].sort_unstable();
+            self.firstneigh.push(self.neighbors.len());
         }
 
-        NeighborList {
-            firstneigh,
-            neighbors,
-            reference_x: atoms.x[..n_local].to_vec(),
-            settings,
-            n_local,
-        }
+        self.reference_x.extend_from_slice(&atoms.x[..n_local]);
+
+        // Leave ~6% headroom on the neighbor buffer so the small
+        // fluctuations of the pair count along a steady trajectory do not
+        // force a reallocation mid-run. (`reserve` is a no-op once the
+        // capacity high-water mark is reached.)
+        let headroom = self.neighbors.len() / 16;
+        self.neighbors.reserve(headroom);
     }
 }
 

@@ -1,0 +1,364 @@
+//! Run observers: the hooks the simulation loop drives.
+//!
+//! The original driver hard-coded its outputs — a thermo-history `Vec`, an
+//! energy-drift tracker and the timer report all lived as fields on
+//! [`crate::simulation::Simulation`]. The observer layer turns each of them
+//! into a pluggable component: an [`Observer`] registers interest in the
+//! events of a run (steps, thermo samples, neighbor rebuilds, run
+//! completion) and the loop calls back into it. Built-in observers cover the
+//! old behaviour ([`ThermoLog`], [`EnergyDrift`]) plus console reporting
+//! ([`ThermoPrinter`], [`TimingPrinter`]); downstream code can implement the
+//! trait for trajectory writers, custom diagnostics, steering, ...
+//!
+//! Observer dispatch is allocation-free: the hooks receive borrowed context
+//! structs, so a steady-state step with passive observers performs zero heap
+//! allocations (audited by `tests/alloc_free.rs`).
+
+use crate::atom::AtomData;
+use crate::simbox::SimBox;
+use crate::thermo::{EnergyDriftTracker, ThermoState};
+use crate::timer::Timers;
+use crate::units;
+use std::any::Any;
+
+/// What a call to [`crate::simulation::Simulation::run`] is about to do.
+/// Passed to [`Observer::on_run_start`] so observers can size buffers.
+#[derive(Copy, Clone, Debug)]
+pub struct RunPlan {
+    /// Step counter value before the run starts.
+    pub first_step: u64,
+    /// Number of steps the run will advance.
+    pub n_steps: u64,
+    /// Thermo sampling interval (0 = only the final state).
+    pub thermo_every: u64,
+    /// Timestep in ps.
+    pub timestep: f64,
+}
+
+impl RunPlan {
+    /// Upper bound on the number of thermo samples this run will produce.
+    pub fn expected_samples(&self) -> usize {
+        match self.n_steps.checked_div(self.thermo_every) {
+            None => 1, // thermo_every == 0: only the final state
+            Some(n) => n as usize + 1,
+        }
+    }
+}
+
+/// Per-step context passed to [`Observer::on_step`] (borrowed, so the hook
+/// cannot outlive the step and the dispatch never allocates).
+pub struct StepContext<'a> {
+    /// Step index that was just completed.
+    pub step: u64,
+    /// Atom data after the step.
+    pub atoms: &'a AtomData,
+    /// The periodic box.
+    pub sim_box: &'a SimBox,
+    /// Per-type masses (g/mol).
+    pub masses: &'a [f64],
+    /// Neighbor-list rebuilds performed so far (whole simulation).
+    pub n_rebuilds: u64,
+}
+
+/// Summary of one [`crate::simulation::Simulation::run`] call — what `run`
+/// returns and what [`Observer::on_finish`] receives.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Steps advanced by this run call.
+    pub steps: u64,
+    /// Step counter after the run (cumulative over all run calls).
+    pub total_steps: u64,
+    /// Neighbor-list rebuilds during this run call.
+    pub rebuilds: u64,
+    /// Rebuilds over the whole simulation (including the initial build).
+    pub total_rebuilds: u64,
+    /// Wall-clock seconds spent in this run call.
+    pub wall_seconds: f64,
+    /// Throughput of this run call in the paper's ns/day metric.
+    pub ns_per_day: f64,
+    /// Largest |ΔE/E₀| seen over the whole trajectory so far.
+    pub max_drift: f64,
+    /// Relative energy drift of the most recent thermo sample.
+    pub last_drift: f64,
+    /// Thermodynamic state at the end of the run.
+    pub final_thermo: ThermoState,
+    /// Snapshot of the cumulative per-stage timers.
+    pub timers: Timers,
+}
+
+impl RunReport {
+    /// Seconds per timestep of this run call (0 for an empty run).
+    pub fn seconds_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.wall_seconds / self.steps as f64
+        }
+    }
+}
+
+/// A hook into the simulation loop. All methods have empty defaults —
+/// implement only the events of interest. `as_any`/`as_any_mut` enable
+/// retrieval of a concrete observer (and its collected data) back out of the
+/// simulation via [`crate::simulation::Simulation::observer`].
+pub trait Observer: Any {
+    /// A `run` call is starting.
+    fn on_run_start(&mut self, _plan: &RunPlan) {}
+    /// A timestep just completed (fires every step — keep it cheap).
+    fn on_step(&mut self, _ctx: &StepContext<'_>) {}
+    /// A thermo sample was taken (per `thermo_every`, plus the initial state
+    /// at construction and the final state of each run).
+    fn on_thermo(&mut self, _state: &ThermoState) {}
+    /// The neighbor list was rebuilt during step `step`.
+    fn on_rebuild(&mut self, _step: u64, _n_rebuilds: u64) {}
+    /// A `run` call finished.
+    fn on_finish(&mut self, _report: &RunReport) {}
+    /// Upcast for concrete-type retrieval.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast for concrete-type retrieval.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in observers
+// ---------------------------------------------------------------------------
+
+/// Records every thermo sample — the old `Simulation::thermo_history` field
+/// as an observer. Installed by default by the builder.
+#[derive(Clone, Debug, Default)]
+pub struct ThermoLog {
+    samples: Vec<ThermoState>,
+}
+
+impl ThermoLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size the log (useful before an allocation-audited run).
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
+    }
+
+    /// All recorded samples, in order.
+    pub fn samples(&self) -> &[ThermoState] {
+        &self.samples
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<&ThermoState> {
+        self.samples.last()
+    }
+
+    /// Drop all samples (keeps capacity).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+impl Observer for ThermoLog {
+    fn on_run_start(&mut self, plan: &RunPlan) {
+        // Pre-size for the samples this run will produce, so pushes inside
+        // the loop never reallocate: the steady-state step stays
+        // allocation-free without callers reaching in to reserve by hand.
+        self.samples.reserve(plan.expected_samples());
+    }
+
+    fn on_thermo(&mut self, state: &ThermoState) {
+        self.samples.push(*state);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Tracks the relative drift of the total energy — the old `Simulation::
+/// drift` field as an observer. Installed by default by the builder; the
+/// run loop reads it back to fill [`RunReport::max_drift`].
+#[derive(Clone, Debug, Default)]
+pub struct EnergyDrift {
+    tracker: EnergyDriftTracker,
+}
+
+impl EnergyDrift {
+    /// Fresh tracker; the first thermo sample becomes the reference energy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Largest relative drift seen so far.
+    pub fn max_relative_drift(&self) -> f64 {
+        self.tracker.max_relative_drift()
+    }
+
+    /// Relative drift of the most recent sample.
+    pub fn last_relative_drift(&self) -> f64 {
+        self.tracker.last_relative_drift()
+    }
+
+    /// The underlying tracker.
+    pub fn tracker(&self) -> &EnergyDriftTracker {
+        &self.tracker
+    }
+}
+
+impl Observer for EnergyDrift {
+    fn on_thermo(&mut self, state: &ThermoState) {
+        self.tracker.record(state.total);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Prints one formatted line per thermo sample (LAMMPS-style console
+/// output), with a drift column relative to the first sample it sees.
+#[derive(Clone, Debug, Default)]
+pub struct ThermoPrinter {
+    header_printed: bool,
+    tracker: EnergyDriftTracker,
+}
+
+impl ThermoPrinter {
+    /// New printer; prints its column header before the first sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for ThermoPrinter {
+    fn on_thermo(&mut self, state: &ThermoState) {
+        if !self.header_printed {
+            println!(
+                "{:>8} {:>12} {:>14} {:>14} {:>12} {:>10}",
+                "step", "T (K)", "E_pot (eV)", "E_tot (eV)", "P (bar)", "drift"
+            );
+            self.header_printed = true;
+        }
+        self.tracker.record(state.total);
+        println!(
+            "{:>8} {:>12.2} {:>14.4} {:>14.4} {:>12.1} {:>10.2e}",
+            state.step,
+            state.temperature,
+            state.potential,
+            state.total,
+            state.pressure,
+            self.tracker.last_relative_drift()
+        );
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Prints the per-stage timer breakdown and throughput when a run finishes —
+/// the old hand-rolled `timers.report()` epilogue as an observer.
+#[derive(Clone, Debug, Default)]
+pub struct TimingPrinter;
+
+impl TimingPrinter {
+    /// New printer.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Observer for TimingPrinter {
+    fn on_finish(&mut self, report: &RunReport) {
+        println!(
+            "run: {} steps, {} rebuilds, {:.3} s wall ({:.3} ns/day)",
+            report.steps, report.rebuilds, report.wall_seconds, report.ns_per_day
+        );
+        print!("{}", report.timers.report());
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Convert a run's wall time into ns/day (helper shared with the report
+/// assembly in the run loop).
+pub fn run_ns_per_day(timestep_ps: f64, steps: u64, wall_seconds: f64) -> f64 {
+    if steps == 0 || wall_seconds <= 0.0 {
+        return 0.0;
+    }
+    units::ns_per_day(timestep_ps, wall_seconds / steps as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermo_log_records_samples() {
+        let mut log = ThermoLog::new();
+        assert!(log.last().is_none());
+        let s = ThermoState {
+            step: 3,
+            total: -1.0,
+            ..Default::default()
+        };
+        log.on_thermo(&s);
+        assert_eq!(log.samples().len(), 1);
+        assert_eq!(log.last().unwrap().step, 3);
+        log.clear();
+        assert!(log.samples().is_empty());
+    }
+
+    #[test]
+    fn energy_drift_observer_tracks_reference() {
+        let mut d = EnergyDrift::new();
+        for (step, total) in [(0u64, -100.0), (1, -100.001), (2, -99.9)] {
+            d.on_thermo(&ThermoState {
+                step,
+                total,
+                ..Default::default()
+            });
+        }
+        assert!((d.max_relative_drift() - 1e-3).abs() < 1e-9);
+        assert!(d.tracker().samples() == 3);
+    }
+
+    #[test]
+    fn run_plan_sample_counts() {
+        let plan = RunPlan {
+            first_step: 0,
+            n_steps: 100,
+            thermo_every: 10,
+            timestep: 0.001,
+        };
+        assert_eq!(plan.expected_samples(), 11);
+        let sparse = RunPlan {
+            thermo_every: 0,
+            ..plan
+        };
+        assert_eq!(sparse.expected_samples(), 1);
+    }
+
+    #[test]
+    fn ns_per_day_helper_handles_empty_runs() {
+        assert_eq!(run_ns_per_day(0.001, 0, 1.0), 0.0);
+        assert!(run_ns_per_day(0.001, 10, 1.0) > 0.0);
+    }
+}

@@ -5,43 +5,296 @@
 //! second half step → optional thermo sampling. Per-stage wall-clock time is
 //! accumulated in [`Timers`], which is what the benchmark harness converts to
 //! the paper's nanoseconds-per-day figures.
+//!
+//! Simulations are constructed through [`SimulationBuilder`] (reachable as
+//! `Simulation::builder`), which validates its inputs into a typed
+//! [`BuildError`] instead of panicking, and [`run`](Simulation::run) returns
+//! a [`RunReport`] (steps, rebuilds, ns/day, drift). Everything the old
+//! driver hard-coded as fields — thermo history, drift tracking, console
+//! reports — is delivered through the [`Observer`] hooks of
+//! [`crate::observer`].
 
 use crate::atom::AtomData;
 use crate::integrate::VelocityVerlet;
 use crate::neighbor::{NeighborList, NeighborSettings};
+use crate::observer::{
+    run_ns_per_day, EnergyDrift, Observer, RunPlan, RunReport, StepContext, ThermoLog,
+};
 use crate::potential::{ComputeOutput, Potential};
 use crate::simbox::SimBox;
-use crate::thermo::{EnergyDriftTracker, ThermoState};
+use crate::thermo::ThermoState;
 use crate::timer::{Stage, Timers};
 use crate::units;
 use crate::velocity;
+use std::fmt;
+use std::time::Instant;
 
-/// Configuration of a simulation run.
-#[derive(Clone, Debug)]
-pub struct SimulationConfig {
-    /// Timestep in ps.
-    pub timestep: f64,
-    /// Neighbor-list skin distance in Å.
-    pub skin: f64,
-    /// Per-type masses (g/mol).
-    pub masses: Vec<f64>,
-    /// How often (in steps) to record a thermo snapshot; 0 disables sampling
-    /// except for the initial and final states.
-    pub thermo_every: u64,
+/// Why a [`SimulationBuilder`] refused to build.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// The timestep must be positive (ps).
+    NonPositiveTimestep(f64),
+    /// The neighbor skin must be positive (Å).
+    NonPositiveSkin(f64),
+    /// An atom type has no mass: `masses[atom_type]` is out of bounds.
+    MissingMass {
+        /// The offending atom type index.
+        atom_type: usize,
+        /// Number of masses supplied.
+        n_masses: usize,
+    },
+    /// A supplied mass is zero or negative.
+    NonPositiveMass {
+        /// Index into the masses table.
+        atom_type: usize,
+        /// The offending value (g/mol).
+        mass: f64,
+    },
+    /// A periodic box dimension is shorter than **twice** the interaction
+    /// cutoff. Below that, more than one periodic image of a pair can lie
+    /// within the cutoff and the minimum-image convention (which keeps only
+    /// the nearest image) silently drops real interactions.
+    BoxSmallerThanCutoff {
+        /// The offending dimension (0 = x, 1 = y, 2 = z).
+        dim: usize,
+        /// Box length along that dimension (Å).
+        length: f64,
+        /// The potential's cutoff (Å); the box must be ≥ `2 × cutoff`.
+        cutoff: f64,
+    },
 }
 
-impl Default for SimulationConfig {
-    fn default() -> Self {
-        SimulationConfig {
-            timestep: units::DEFAULT_TIMESTEP,
-            skin: 1.0,
-            masses: vec![units::mass::SI],
-            thermo_every: 0,
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NonPositiveTimestep(dt) => {
+                write!(f, "timestep must be positive, got {dt} ps")
+            }
+            BuildError::NonPositiveSkin(skin) => {
+                write!(f, "neighbor skin must be positive, got {skin} Å")
+            }
+            BuildError::MissingMass {
+                atom_type,
+                n_masses,
+            } => write!(
+                f,
+                "atom type {atom_type} has no mass (only {n_masses} masses supplied)"
+            ),
+            BuildError::NonPositiveMass { atom_type, mass } => {
+                write!(
+                    f,
+                    "mass of atom type {atom_type} must be positive, got {mass} g/mol"
+                )
+            }
+            BuildError::BoxSmallerThanCutoff {
+                dim,
+                length,
+                cutoff,
+            } => write!(
+                f,
+                "box dimension {} ({length:.3} Å) is shorter than twice the potential \
+                 cutoff (2 × {cutoff:.3} Å); the minimum-image convention would \
+                 silently drop interactions with further periodic images",
+                ["x", "y", "z"][*dim]
+            ),
         }
     }
 }
 
+impl std::error::Error for BuildError {}
+
+/// Declarative constructor for [`Simulation`] — replaces the old positional
+/// `Simulation::new(atoms, box, potential, config)` plus `SimulationConfig`
+/// grab-bag.
+///
+/// ```
+/// use md_core::prelude::*;
+///
+/// let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.02, 3);
+/// let lj = LennardJones::new(0.1, 2.0, 4.0);
+/// let mut sim = Simulation::builder(atoms, sim_box, lj)
+///     .masses(vec![units::mass::SI])
+///     .temperature(300.0, 11)
+///     .thermo_every(5)
+///     .build()
+///     .expect("valid configuration");
+/// let report = sim.run(10);
+/// assert_eq!(report.steps, 10);
+/// ```
+pub struct SimulationBuilder<P: Potential> {
+    atoms: AtomData,
+    sim_box: SimBox,
+    potential: P,
+    timestep: f64,
+    skin: f64,
+    masses: Vec<f64>,
+    thermo_every: u64,
+    temperature: Option<(f64, u64)>,
+    observers: Vec<Box<dyn Observer>>,
+    default_observers: bool,
+}
+
+impl<P: Potential> SimulationBuilder<P> {
+    /// Start building a simulation of `atoms` in `sim_box` under `potential`.
+    pub fn new(atoms: AtomData, sim_box: SimBox, potential: P) -> Self {
+        SimulationBuilder {
+            atoms,
+            sim_box,
+            potential,
+            timestep: units::DEFAULT_TIMESTEP,
+            skin: 1.0,
+            masses: vec![units::mass::SI],
+            thermo_every: 0,
+            temperature: None,
+            observers: Vec::new(),
+            default_observers: true,
+        }
+    }
+
+    /// Timestep in ps (default: [`units::DEFAULT_TIMESTEP`]).
+    pub fn timestep(mut self, dt: f64) -> Self {
+        self.timestep = dt;
+        self
+    }
+
+    /// Neighbor-list skin distance in Å (default: 1.0).
+    pub fn skin(mut self, skin: f64) -> Self {
+        self.skin = skin;
+        self
+    }
+
+    /// Per-type masses in g/mol (default: silicon only).
+    pub fn masses(mut self, masses: Vec<f64>) -> Self {
+        self.masses = masses;
+        self
+    }
+
+    /// Thermo sampling interval in steps; 0 records only the initial and
+    /// final states (default: 0).
+    pub fn thermo_every(mut self, every: u64) -> Self {
+        self.thermo_every = every;
+        self
+    }
+
+    /// Draw Maxwell–Boltzmann velocities for `temperature` K with `seed`
+    /// before the initial force computation (replaces the separate
+    /// `init_velocities` call).
+    pub fn temperature(mut self, temperature: f64, seed: u64) -> Self {
+        self.temperature = Some((temperature, seed));
+        self
+    }
+
+    /// Register an observer (see [`crate::observer`]). May be called
+    /// repeatedly; observers fire in registration order, after the default
+    /// [`ThermoLog`] and [`EnergyDrift`].
+    pub fn observe(mut self, observer: impl Observer) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Register a boxed observer (for observers built dynamically).
+    pub fn observe_boxed(mut self, observer: Box<dyn Observer>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Do not install the default [`ThermoLog`] + [`EnergyDrift`] observers.
+    /// [`RunReport::max_drift`] reads 0 without an [`EnergyDrift`] observer.
+    pub fn without_default_observers(mut self) -> Self {
+        self.default_observers = false;
+        self
+    }
+
+    /// Validate the configuration and construct the simulation: velocities
+    /// are initialized (if requested), the initial neighbor list is built
+    /// and forces are computed so step 0 starts from a consistent state.
+    pub fn build(self) -> Result<Simulation<P>, BuildError> {
+        let SimulationBuilder {
+            mut atoms,
+            sim_box,
+            potential,
+            timestep,
+            skin,
+            masses,
+            thermo_every,
+            temperature,
+            mut observers,
+            default_observers,
+        } = self;
+
+        // NaN fails each of these checks too (NaN comparisons are false).
+        if timestep.is_nan() || timestep <= 0.0 {
+            return Err(BuildError::NonPositiveTimestep(timestep));
+        }
+        if skin.is_nan() || skin <= 0.0 {
+            return Err(BuildError::NonPositiveSkin(skin));
+        }
+        for (atom_type, &mass) in masses.iter().enumerate() {
+            if mass.is_nan() || mass <= 0.0 {
+                return Err(BuildError::NonPositiveMass { atom_type, mass });
+            }
+        }
+        if let Some(&worst) = atoms.type_.iter().max() {
+            if worst >= masses.len() {
+                return Err(BuildError::MissingMass {
+                    atom_type: worst,
+                    n_masses: masses.len(),
+                });
+            }
+        }
+        let cutoff = potential.cutoff();
+        let lengths = sim_box.lengths();
+        for dim in 0..3 {
+            if sim_box.periodic[dim] && lengths[dim] < 2.0 * cutoff {
+                return Err(BuildError::BoxSmallerThanCutoff {
+                    dim,
+                    length: lengths[dim],
+                    cutoff,
+                });
+            }
+        }
+
+        if let Some((temperature, seed)) = temperature {
+            velocity::init_velocities(&mut atoms, &masses, temperature, seed);
+        }
+
+        if default_observers {
+            let mut defaults: Vec<Box<dyn Observer>> =
+                vec![Box::new(ThermoLog::new()), Box::new(EnergyDrift::new())];
+            defaults.append(&mut observers);
+            observers = defaults;
+        }
+
+        let integrator = VelocityVerlet::new(timestep);
+        let n = atoms.n_total();
+        let mut sim = Simulation {
+            atoms,
+            sim_box,
+            potential,
+            neighbors: NeighborList::default(),
+            compute_out: ComputeOutput::zeros(n),
+            timers: Timers::new(),
+            step: 0,
+            n_rebuilds: 0,
+            timestep,
+            skin,
+            masses,
+            thermo_every,
+            last_thermo: ThermoState::default(),
+            observers,
+            integrator,
+        };
+        sim.rebuild_neighbors();
+        sim.compute_forces();
+        sim.record_thermo();
+        Ok(sim)
+    }
+}
+
 /// A running simulation: atoms + box + potential + integrator state.
+///
+/// Built by [`SimulationBuilder`]; advanced by [`run`](Simulation::run),
+/// which drives the registered [`Observer`]s and returns a [`RunReport`].
 pub struct Simulation<P: Potential> {
     /// Atom data (positions, velocities, forces, ...).
     pub atoms: AtomData,
@@ -49,9 +302,8 @@ pub struct Simulation<P: Potential> {
     pub sim_box: SimBox,
     /// The force field.
     pub potential: P,
-    /// Run configuration.
-    pub config: SimulationConfig,
-    /// Current neighbor list.
+    /// Current neighbor list (rebuilt in place — steady-state rebuilds
+    /// reuse its storage and do not allocate).
     pub neighbors: NeighborList,
     /// Scratch output of the last force computation.
     pub compute_out: ComputeOutput,
@@ -61,48 +313,34 @@ pub struct Simulation<P: Potential> {
     pub step: u64,
     /// Number of neighbor-list rebuilds performed.
     pub n_rebuilds: u64,
-    /// Energy-conservation tracker (records every thermo sample).
-    pub drift: EnergyDriftTracker,
-    /// Collected thermo samples.
-    pub thermo_history: Vec<ThermoState>,
+    timestep: f64,
+    skin: f64,
+    masses: Vec<f64>,
+    thermo_every: u64,
+    last_thermo: ThermoState,
+    observers: Vec<Box<dyn Observer>>,
     integrator: VelocityVerlet,
 }
 
 impl<P: Potential> Simulation<P> {
-    /// Create a simulation and perform the initial neighbor build and force
-    /// computation so that step 0 starts from consistent forces.
-    pub fn new(atoms: AtomData, sim_box: SimBox, potential: P, config: SimulationConfig) -> Self {
-        let integrator = VelocityVerlet::new(config.timestep);
-        let settings = NeighborSettings::new(potential.cutoff(), config.skin);
-        let n = atoms.n_total();
-        let mut sim = Simulation {
-            atoms,
-            sim_box,
-            potential,
-            config,
-            neighbors: NeighborList::default(),
-            compute_out: ComputeOutput::zeros(n),
-            timers: Timers::new(),
-            step: 0,
-            n_rebuilds: 0,
-            drift: EnergyDriftTracker::new(),
-            thermo_history: Vec::new(),
-            integrator,
-        };
-        sim.neighbors = NeighborList::build_binned(&sim.atoms, &sim.sim_box, settings);
-        sim.n_rebuilds += 1;
-        sim.compute_forces();
-        sim.record_thermo();
-        sim
+    /// Start building a simulation (see [`SimulationBuilder`]).
+    pub fn builder(atoms: AtomData, sim_box: SimBox, potential: P) -> SimulationBuilder<P> {
+        SimulationBuilder::new(atoms, sim_box, potential)
     }
 
-    /// Rebuild the neighbor list unconditionally.
+    /// Rebuild the neighbor list unconditionally (in place: bin and CRS
+    /// storage from the previous build is reused).
     fn rebuild_neighbors(&mut self) {
-        let settings = NeighborSettings::new(self.potential.cutoff(), self.config.skin);
-        let atoms = &self.atoms;
-        let sim_box = &self.sim_box;
-        self.neighbors = self.timers.time(Stage::Neighbor, || {
-            NeighborList::build_binned(atoms, sim_box, settings)
+        let settings = NeighborSettings::new(self.potential.cutoff(), self.skin);
+        let Simulation {
+            timers,
+            neighbors,
+            atoms,
+            sim_box,
+            ..
+        } = self;
+        timers.time(Stage::Neighbor, || {
+            neighbors.rebuild(atoms, sim_box, settings)
         });
         self.n_rebuilds += 1;
     }
@@ -124,17 +362,32 @@ impl<P: Potential> Simulation<P> {
         let state = ThermoState::measure(
             self.step,
             &self.atoms,
-            &self.config.masses,
+            &self.masses,
             &self.sim_box,
             self.compute_out.energy,
             self.compute_out.virial,
         );
-        self.drift.record(state.total);
-        self.thermo_history.push(state);
+        self.last_thermo = state;
+        for obs in &mut self.observers {
+            obs.on_thermo(&state);
+        }
     }
 
-    /// Advance the simulation by `n_steps` timesteps.
-    pub fn run(&mut self, n_steps: u64) {
+    /// Advance the simulation by `n_steps` timesteps, driving the observers,
+    /// and report what happened.
+    pub fn run(&mut self, n_steps: u64) -> RunReport {
+        let wall_start = Instant::now();
+        let rebuilds_before = self.n_rebuilds;
+        let plan = RunPlan {
+            first_step: self.step,
+            n_steps,
+            thermo_every: self.thermo_every,
+            timestep: self.timestep,
+        };
+        for obs in &mut self.observers {
+            obs.on_run_start(&plan);
+        }
+
         for _ in 0..n_steps {
             self.step += 1;
 
@@ -144,7 +397,7 @@ impl<P: Potential> Simulation<P> {
                 let atoms = &mut self.atoms;
                 let sim_box = &self.sim_box;
                 let integrator = &self.integrator;
-                let masses = &self.config.masses;
+                let masses = &self.masses;
                 self.timers.time(Stage::Other, || {
                     integrator.initial_integrate(atoms, masses, sim_box);
                 });
@@ -152,6 +405,10 @@ impl<P: Potential> Simulation<P> {
 
             if self.neighbors.needs_rebuild(&self.atoms, &self.sim_box) {
                 self.rebuild_neighbors();
+                let (step, n_rebuilds) = (self.step, self.n_rebuilds);
+                for obs in &mut self.observers {
+                    obs.on_rebuild(step, n_rebuilds);
+                }
             }
 
             self.compute_forces();
@@ -159,40 +416,130 @@ impl<P: Potential> Simulation<P> {
             {
                 let atoms = &mut self.atoms;
                 let integrator = &self.integrator;
-                let masses = &self.config.masses;
+                let masses = &self.masses;
                 self.timers.time(Stage::Other, || {
                     integrator.final_integrate(atoms, masses);
                 });
             }
 
-            let sample =
-                self.config.thermo_every > 0 && self.step.is_multiple_of(self.config.thermo_every);
+            let sample = self.thermo_every > 0 && self.step.is_multiple_of(self.thermo_every);
             if sample {
                 self.record_thermo();
             }
+
+            {
+                let Simulation {
+                    observers,
+                    atoms,
+                    sim_box,
+                    masses,
+                    ..
+                } = self;
+                let ctx = StepContext {
+                    step: self.step,
+                    atoms,
+                    sim_box,
+                    masses,
+                    n_rebuilds: self.n_rebuilds,
+                };
+                for obs in observers.iter_mut() {
+                    obs.on_step(&ctx);
+                }
+            }
         }
         // Always record the final state so callers can inspect conservation.
-        if self
-            .thermo_history
-            .last()
-            .map(|t| t.step != self.step)
-            .unwrap_or(true)
-        {
+        if self.last_thermo.step != self.step {
             self.record_thermo();
         }
+
+        let (max_drift, last_drift) = self
+            .observer::<EnergyDrift>()
+            .map(|d| (d.max_relative_drift(), d.last_relative_drift()))
+            .unwrap_or((0.0, 0.0));
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        let report = RunReport {
+            steps: n_steps,
+            total_steps: self.step,
+            rebuilds: self.n_rebuilds - rebuilds_before,
+            total_rebuilds: self.n_rebuilds,
+            wall_seconds,
+            ns_per_day: run_ns_per_day(self.timestep, n_steps, wall_seconds),
+            max_drift,
+            last_drift,
+            final_thermo: self.last_thermo,
+            timers: self.timers.clone(),
+        };
+        for obs in &mut self.observers {
+            obs.on_finish(&report);
+        }
+        report
     }
 
     /// Initialize velocities to a temperature (convenience wrapper).
     pub fn set_temperature(&mut self, temperature: f64, seed: u64) {
-        let masses = self.config.masses.clone();
-        velocity::init_velocities(&mut self.atoms, &masses, temperature, seed);
+        let Simulation { atoms, masses, .. } = self;
+        velocity::init_velocities(atoms, masses, temperature, seed);
+    }
+
+    /// Timestep in ps.
+    pub fn timestep(&self) -> f64 {
+        self.timestep
+    }
+
+    /// Neighbor skin in Å.
+    pub fn skin(&self) -> f64 {
+        self.skin
+    }
+
+    /// Per-type masses (g/mol).
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Thermo sampling interval (steps; 0 = final state only).
+    pub fn thermo_every(&self) -> u64 {
+        self.thermo_every
     }
 
     /// Latest thermo snapshot.
     pub fn current_thermo(&self) -> &ThermoState {
-        self.thermo_history
-            .last()
-            .expect("thermo history is never empty")
+        &self.last_thermo
+    }
+
+    /// Largest relative energy drift seen so far (0 if the [`EnergyDrift`]
+    /// observer was removed).
+    pub fn max_drift(&self) -> f64 {
+        self.observer::<EnergyDrift>()
+            .map(|d| d.max_relative_drift())
+            .unwrap_or(0.0)
+    }
+
+    /// The recorded thermo history (empty if the [`ThermoLog`] observer was
+    /// removed via [`SimulationBuilder::without_default_observers`]).
+    pub fn thermo_history(&self) -> &[ThermoState] {
+        self.observer::<ThermoLog>()
+            .map(|log| log.samples())
+            .unwrap_or(&[])
+    }
+
+    /// Register an additional observer after construction. It misses the
+    /// initial thermo sample but sees everything from the next `run` on.
+    pub fn add_observer(&mut self, observer: impl Observer) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// The first registered observer of concrete type `T`, if any.
+    pub fn observer<T: Observer>(&self) -> Option<&T> {
+        self.observers
+            .iter()
+            .find_map(|o| o.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable access to the first registered observer of type `T`.
+    pub fn observer_mut<T: Observer>(&mut self) -> Option<&mut T> {
+        self.observers
+            .iter_mut()
+            .find_map(|o| o.as_any_mut().downcast_mut::<T>())
     }
 
     /// Throughput in the paper's ns/day metric, based on the force+neighbor+
@@ -202,7 +549,7 @@ impl<P: Potential> Simulation<P> {
             return 0.0;
         }
         let seconds_per_step = self.timers.total_seconds() / self.step as f64;
-        units::ns_per_day(self.config.timestep, seconds_per_step)
+        units::ns_per_day(self.timestep, seconds_per_step)
     }
 }
 
@@ -213,47 +560,49 @@ mod tests {
     use crate::pair_lj::LennardJones;
 
     fn lj_sim(cells: [usize; 3]) -> Simulation<LennardJones> {
-        let (sim_box, mut atoms) = Lattice::silicon(cells).build_perturbed(0.02, 3);
-        let config = SimulationConfig {
-            thermo_every: 5,
-            ..Default::default()
-        };
-        velocity::init_velocities(&mut atoms, &config.masses, 300.0, 11);
+        let (sim_box, atoms) = Lattice::silicon(cells).build_perturbed(0.02, 3);
         // A soft LJ parameterization so the diamond lattice does not explode.
         let lj = LennardJones::new(0.1, 2.0, 4.0);
-        Simulation::new(atoms, sim_box, lj, config)
+        Simulation::builder(atoms, sim_box, lj)
+            .masses(vec![units::mass::SI])
+            .temperature(300.0, 11)
+            .thermo_every(5)
+            .build()
+            .expect("valid configuration")
     }
 
     #[test]
     fn construction_computes_initial_forces_and_thermo() {
         let sim = lj_sim([2, 2, 2]);
-        assert_eq!(sim.thermo_history.len(), 1);
+        assert_eq!(sim.thermo_history().len(), 1);
         assert_eq!(sim.n_rebuilds, 1);
         assert!(sim.atoms.f.iter().any(|f| *f != [0.0; 3]));
     }
 
     #[test]
-    fn run_advances_steps_and_records_thermo() {
+    fn run_advances_steps_and_reports() {
         let mut sim = lj_sim([2, 2, 2]);
-        sim.run(12);
+        let report = sim.run(12);
         assert_eq!(sim.step, 12);
+        assert_eq!(report.steps, 12);
+        assert_eq!(report.total_steps, 12);
+        assert_eq!(report.final_thermo.step, 12);
         // Samples at steps 5, 10 plus the initial state and the final state.
-        let steps: Vec<u64> = sim.thermo_history.iter().map(|t| t.step).collect();
+        let steps: Vec<u64> = sim.thermo_history().iter().map(|t| t.step).collect();
         assert_eq!(steps, vec![0, 5, 10, 12]);
         assert!(sim.timers.total_seconds() > 0.0);
         assert!(sim.ns_per_day() > 0.0);
+        assert!(report.ns_per_day > 0.0);
+        assert!(report.seconds_per_step() > 0.0);
     }
 
     #[test]
     fn nve_energy_is_approximately_conserved() {
         let mut sim = lj_sim([2, 2, 2]);
-        sim.run(100);
+        let report = sim.run(100);
         // Soft potential, small timestep: drift should stay well below 1%.
-        assert!(
-            sim.drift.max_relative_drift() < 1e-2,
-            "drift = {}",
-            sim.drift.max_relative_drift()
-        );
+        assert!(report.max_drift < 1e-2, "drift = {}", report.max_drift);
+        assert_eq!(report.max_drift, sim.max_drift());
     }
 
     #[test]
@@ -261,11 +610,12 @@ mod tests {
         let mut sim = lj_sim([2, 2, 2]);
         // Artificially hot system to force motion beyond half the skin.
         sim.set_temperature(5000.0, 1);
-        sim.run(200);
+        let report = sim.run(200);
         assert!(
-            sim.n_rebuilds > 1,
+            report.total_rebuilds > 1,
             "expected at least one rebuild during the run"
         );
+        assert_eq!(report.rebuilds, report.total_rebuilds - 1);
     }
 
     #[test]
@@ -275,5 +625,142 @@ mod tests {
         sim.run(50);
         let b = sim.sim_box;
         assert!(sim.atoms.x.iter().all(|&p| b.contains(p)));
+    }
+
+    #[test]
+    fn observers_receive_step_rebuild_and_finish_events() {
+        #[derive(Default)]
+        struct Counter {
+            steps: u64,
+            rebuilds: u64,
+            thermo: u64,
+            finishes: u64,
+            run_starts: u64,
+        }
+        impl Observer for Counter {
+            fn on_run_start(&mut self, _plan: &RunPlan) {
+                self.run_starts += 1;
+            }
+            fn on_step(&mut self, _ctx: &StepContext<'_>) {
+                self.steps += 1;
+            }
+            fn on_thermo(&mut self, _state: &ThermoState) {
+                self.thermo += 1;
+            }
+            fn on_rebuild(&mut self, _step: u64, _n: u64) {
+                self.rebuilds += 1;
+            }
+            fn on_finish(&mut self, _report: &RunReport) {
+                self.finishes += 1;
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+
+        let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.02, 3);
+        let lj = LennardJones::new(0.1, 2.0, 4.0);
+        let mut sim = Simulation::builder(atoms, sim_box, lj)
+            .masses(vec![units::mass::SI])
+            .temperature(4000.0, 11)
+            .thermo_every(5)
+            .observe(Counter::default())
+            .build()
+            .unwrap();
+        sim.run(20);
+        let c = sim.observer::<Counter>().unwrap();
+        assert_eq!(c.steps, 20);
+        assert_eq!(c.run_starts, 1);
+        assert_eq!(c.finishes, 1);
+        // 4 interior samples + final (the initial sample fired before the
+        // Counter saw on_thermo? no: observers are installed at build, so
+        // the initial sample counts too).
+        assert_eq!(c.thermo, 5);
+        assert!(c.rebuilds >= 1, "hot system should rebuild");
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        let build = |f: fn(SimulationBuilder<LennardJones>) -> SimulationBuilder<LennardJones>| {
+            let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.02, 3);
+            let lj = LennardJones::new(0.1, 2.0, 4.0);
+            f(Simulation::builder(atoms, sim_box, lj).masses(vec![units::mass::SI])).build()
+        };
+        assert_eq!(
+            build(|b| b.timestep(0.0)).err(),
+            Some(BuildError::NonPositiveTimestep(0.0))
+        );
+        assert_eq!(
+            build(|b| b.timestep(-1.0)).err(),
+            Some(BuildError::NonPositiveTimestep(-1.0))
+        );
+        assert_eq!(
+            build(|b| b.skin(0.0)).err(),
+            Some(BuildError::NonPositiveSkin(0.0))
+        );
+        assert_eq!(
+            build(|b| b.masses(Vec::new())).err(),
+            Some(BuildError::MissingMass {
+                atom_type: 0,
+                n_masses: 0
+            })
+        );
+        assert_eq!(
+            build(|b| b.masses(vec![-5.0])).err(),
+            Some(BuildError::NonPositiveMass {
+                atom_type: 0,
+                mass: -5.0
+            })
+        );
+        assert!(build(|b| b).is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_boxes_smaller_than_twice_the_cutoff() {
+        // Clearly too small: box 3.0 < cutoff 4.0.
+        let (_, atoms) = Lattice::silicon([1, 1, 1]).build();
+        let tiny = SimBox::cubic(3.0);
+        let lj = LennardJones::new(0.1, 2.0, 4.0);
+        let err = Simulation::builder(atoms, tiny, lj)
+            .masses(vec![units::mass::SI])
+            .build()
+            .err();
+        assert!(
+            matches!(err, Some(BuildError::BoxSmallerThanCutoff { cutoff, .. }) if cutoff == 4.0),
+            "got {err:?}"
+        );
+
+        // The subtle case the check exists for: cutoff < L < 2·cutoff. The
+        // minimum-image convention keeps only the nearest periodic image, so
+        // interactions with the second image would be silently dropped.
+        let (_, atoms) = Lattice::silicon([1, 1, 1]).build();
+        let marginal = SimBox::cubic(6.0); // 4.0 < 6.0 < 8.0
+        let lj = LennardJones::new(0.1, 2.0, 4.0);
+        let err = Simulation::builder(atoms, marginal, lj)
+            .masses(vec![units::mass::SI])
+            .build()
+            .err();
+        assert!(
+            matches!(err, Some(BuildError::BoxSmallerThanCutoff { length, .. }) if length == 6.0),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn errors_display_something_useful() {
+        let e = BuildError::MissingMass {
+            atom_type: 1,
+            n_masses: 1,
+        };
+        assert!(e.to_string().contains("atom type 1"));
+        let e = BuildError::BoxSmallerThanCutoff {
+            dim: 2,
+            length: 3.0,
+            cutoff: 4.0,
+        };
+        assert!(e.to_string().contains('z'));
     }
 }

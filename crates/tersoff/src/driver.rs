@@ -15,10 +15,36 @@ use crate::scheme_b::TersoffSchemeB;
 use crate::scheme_c::TersoffSchemeC;
 use md_core::force_engine::{ForceEngine, RangePotential};
 use md_core::potential::Potential;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 pub use vektor::dispatch::BackendImpl;
 
+/// Error from parsing an [`ExecutionMode`] or [`Scheme`] name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseEnumError {
+    /// What kind of value was being parsed ("execution mode", "scheme").
+    pub what: &'static str,
+    /// The rejected input.
+    pub input: String,
+    /// The accepted canonical names.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for ParseEnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} {:?} (expected one of: {})",
+            self.what, self.input, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ParseEnumError {}
+
 /// The four codes evaluated in the paper.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExecutionMode {
     /// The LAMMPS-equivalent reference (double precision, Algorithm 2).
     Ref,
@@ -39,7 +65,8 @@ impl ExecutionMode {
         ExecutionMode::OptM,
     ];
 
-    /// Display label matching the paper ("Ref", "Opt-D", ...).
+    /// Display label matching the paper ("Ref", "Opt-D", ...). Equal to the
+    /// `Display` rendering; `label().parse()` round-trips.
     pub fn label(&self) -> &'static str {
         match self {
             ExecutionMode::Ref => "Ref",
@@ -50,9 +77,41 @@ impl ExecutionMode {
     }
 }
 
+impl fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ExecutionMode {
+    type Err = ParseEnumError;
+
+    /// Case-insensitive; accepts the paper labels ("Ref", "Opt-M") and the
+    /// punctuation-free forms ("optm", "opt_m").
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s
+            .trim()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match norm.as_str() {
+            "ref" | "reference" => Ok(ExecutionMode::Ref),
+            "optd" => Ok(ExecutionMode::OptD),
+            "opts" => Ok(ExecutionMode::OptS),
+            "optm" => Ok(ExecutionMode::OptM),
+            _ => Err(ParseEnumError {
+                what: "execution mode",
+                input: s.to_string(),
+                expected: "Ref, Opt-D, Opt-S, Opt-M",
+            }),
+        }
+    }
+}
+
 /// The mapping of the iteration space onto lanes (Fig. 1), plus the
 /// scalar-optimized variant that does not vectorize at all.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Scheme {
     /// Optimized scalar code (Algorithm 3, no vectorization) — what `Opt-D`
     /// falls back to on ISAs without suitable vectors (NEON double, SSE
@@ -67,13 +126,49 @@ pub enum Scheme {
 }
 
 impl Scheme {
-    /// Display label.
+    /// All schemes in reporting order.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Scalar,
+        Scheme::JLanes,
+        Scheme::FusedLanes,
+        Scheme::ILanes,
+    ];
+
+    /// Display label ("scalar", "1a", "1b", "1c"). Equal to the `Display`
+    /// rendering; `label().parse()` round-trips.
     pub fn label(&self) -> &'static str {
         match self {
             Scheme::Scalar => "scalar",
             Scheme::JLanes => "1a",
             Scheme::FusedLanes => "1b",
             Scheme::ILanes => "1c",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Scheme {
+    type Err = ParseEnumError;
+
+    /// Case-insensitive; accepts the figure labels ("1a"/"1b"/"1c"),
+    /// "scalar", and the descriptive names ("jlanes", "fused", "ilanes",
+    /// "warp").
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Scheme::Scalar),
+            "1a" | "a" | "j" | "jlanes" | "j-lanes" => Ok(Scheme::JLanes),
+            "1b" | "b" | "ij" | "fused" | "fusedlanes" | "fused-lanes" => Ok(Scheme::FusedLanes),
+            "1c" | "c" | "i" | "ilanes" | "i-lanes" | "warp" => Ok(Scheme::ILanes),
+            _ => Err(ParseEnumError {
+                what: "scheme",
+                input: s.to_string(),
+                expected: "scalar, 1a, 1b, 1c",
+            }),
         }
     }
 }
@@ -386,6 +481,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mode_and_scheme_labels_round_trip_through_from_str() {
+        for mode in ExecutionMode::ALL {
+            assert_eq!(mode.label().parse::<ExecutionMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        for scheme in Scheme::ALL {
+            assert_eq!(scheme.label().parse::<Scheme>().unwrap(), scheme);
+            assert_eq!(scheme.to_string(), scheme.label());
+        }
+        // Forgiving spellings.
+        assert_eq!(
+            "opt_m".parse::<ExecutionMode>().unwrap(),
+            ExecutionMode::OptM
+        );
+        assert_eq!(
+            "OPTD".parse::<ExecutionMode>().unwrap(),
+            ExecutionMode::OptD
+        );
+        assert_eq!("warp".parse::<Scheme>().unwrap(), Scheme::ILanes);
+        // Rejections carry a useful message.
+        let err = "opt-x".parse::<ExecutionMode>().unwrap_err();
+        assert!(err.to_string().contains("execution mode"));
+        assert!("1d".parse::<Scheme>().is_err());
     }
 
     #[test]

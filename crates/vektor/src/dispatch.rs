@@ -83,6 +83,32 @@ impl fmt::Display for BackendImpl {
     }
 }
 
+/// Error from `BackendImpl::from_str`: the rejected input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBackendError(pub String);
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown vektor backend {:?} (expected portable, avx2 or avx512)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl std::str::FromStr for BackendImpl {
+    type Err = ParseBackendError;
+
+    /// Strict form of [`BackendImpl::parse`] with a typed error ("auto" is
+    /// not a concrete backend — resolve it via [`parse_request`]).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BackendImpl::parse(s).ok_or_else(|| ParseBackendError(s.to_string()))
+    }
+}
+
 /// Parse a backend *request*: `Some(None)` means "auto" (detect),
 /// `Some(Some(_))` a concrete implementation, `None` an unrecognized string.
 #[allow(clippy::option_option)] // request = "auto" | backend; both layers carry meaning

@@ -1,5 +1,6 @@
 //! Quickstart: run a short NVE simulation of crystalline silicon with the
-//! paper's default optimized Tersoff implementation (Opt-M, scheme 1b).
+//! paper's default optimized Tersoff implementation (Opt-M, scheme 1b),
+//! built through the `SimulationBuilder` API with console observers.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -10,9 +11,7 @@ use lammps_tersoff_vector::prelude::*;
 fn main() {
     // A 4×4×4 diamond-cubic silicon crystal (512 atoms), slightly perturbed
     // so forces are non-trivial, with velocities drawn for 300 K.
-    let (sim_box, mut atoms) = Lattice::silicon([4, 4, 4]).build_perturbed(0.05, 42);
-    let masses = vec![units::mass::SI];
-    init_velocities(&mut atoms, &masses, 300.0, 7);
+    let (sim_box, atoms) = Lattice::silicon([4, 4, 4]).build_perturbed(0.05, 42);
     println!(
         "system: {} Si atoms in a {:.2} Å box",
         atoms.n_local,
@@ -23,37 +22,31 @@ fn main() {
     // double-precision accumulation, fused-pair vectorization (scheme 1b)
     // with 16 lanes.
     let options = TersoffOptions::default();
-    println!("potential: Tersoff Si(C) 1988, mode {}", options.label());
+    println!("potential: Tersoff Si(C) 1988, mode {}\n", options.label());
     let potential = make_potential(TersoffParams::silicon(), options);
 
-    let config = SimulationConfig {
-        masses,
-        thermo_every: 20,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(atoms, sim_box, potential, config);
+    // The builder validates the setup (typed BuildError instead of a panic)
+    // and the observers replace hand-rolled output loops: ThermoPrinter
+    // writes one line per sample, TimingPrinter the breakdown at the end.
+    let mut sim = Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI])
+        .temperature(300.0, 7)
+        .thermo_every(20)
+        .observe(ThermoPrinter::new())
+        .observe(TimingPrinter::new())
+        .build()
+        .expect("valid simulation setup");
 
-    println!(
-        "\n{:>6} {:>12} {:>14} {:>14} {:>10}",
-        "step", "T (K)", "E_pot (eV)", "E_tot (eV)", "drift"
-    );
-    sim.run(100);
-    for t in &sim.thermo_history {
-        println!(
-            "{:>6} {:>12.2} {:>14.4} {:>14.4} {:>10.2e}",
-            t.step,
-            t.temperature,
-            t.potential,
-            t.total,
-            (t.total - sim.thermo_history[0].total) / sim.thermo_history[0].total.abs()
-        );
-    }
+    let report = sim.run(100);
 
-    println!("\nneighbor rebuilds: {}", sim.n_rebuilds);
+    println!("\nneighbor rebuilds: {}", report.total_rebuilds);
+    println!("max |ΔE/E₀| over the run: {:.2e}", report.max_drift);
     println!(
-        "max |ΔE/E₀| over the run: {:.2e}",
-        sim.drift.max_relative_drift()
+        "throughput: {:.3} ns/day on this machine",
+        report.ns_per_day
     );
-    println!("throughput: {:.3} ns/day on this machine", sim.ns_per_day());
-    println!("\ntimer breakdown:\n{}", sim.timers.report());
+    println!(
+        "thermo history holds {} samples (via the default ThermoLog observer)",
+        sim.thermo_history().len()
+    );
 }

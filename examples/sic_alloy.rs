@@ -85,4 +85,23 @@ fn main() {
         ((out_ref.energy - out_opt.energy) / out_ref.energy).abs()
     );
     println!("(the paper's Fig. 3 bounds the corresponding long-run drift at 2e-5)");
+
+    // A short NVE run through the builder API: two species means two masses,
+    // and the builder verifies the masses table covers every atom type
+    // before anything can index out of bounds.
+    let (sim_box, atoms) = Lattice::silicon_carbide([2, 2, 2]).build_perturbed(0.02, 5);
+    let potential = make_potential(params, TersoffOptions::default());
+    let mut sim = Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI, units::mass::C])
+        .temperature(300.0, 9)
+        .thermo_every(10)
+        .build()
+        .expect("valid SiC simulation setup");
+    let report = sim.run(50);
+    println!(
+        "\n50-step NVE check (Opt-M): drift {:.2e}, {} rebuilds, E/atom {:.4} eV",
+        report.max_drift,
+        report.total_rebuilds,
+        report.final_thermo.energy_per_atom(sim.atoms.n_local)
+    );
 }

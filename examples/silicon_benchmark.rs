@@ -1,14 +1,13 @@
 //! The paper's silicon benchmark in miniature: compare the Ref, Opt-D, Opt-S
 //! and Opt-M execution modes (Sec. V-E) on the same crystalline-silicon
 //! workload and report ns/day plus the speedup over Ref, i.e. a reduced-size
-//! version of Fig. 4.
+//! version of Fig. 4 — each run built through the `SimulationBuilder` API.
 //!
 //! ```bash
 //! cargo run --release --example silicon_benchmark [n_atoms] [n_steps]
 //! ```
 
 use lammps_tersoff_vector::prelude::*;
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -50,9 +49,7 @@ fn main() {
         "mode", "s/step", "ns/day", "speedup"
     );
     for (label, mode, scheme) in modes {
-        let (sim_box, mut atoms) = lattice.build_perturbed(0.05, 11);
-        let masses = vec![units::mass::SI];
-        init_velocities(&mut atoms, &masses, 1000.0, 3);
+        let (sim_box, atoms) = lattice.build_perturbed(0.05, 11);
         let potential = make_potential(
             TersoffParams::silicon(),
             TersoffOptions {
@@ -63,20 +60,21 @@ fn main() {
                 backend: None,
             },
         );
-        let config = SimulationConfig {
-            masses,
-            ..Default::default()
-        };
-        let mut sim = Simulation::new(atoms, sim_box, potential, config);
-        let start = Instant::now();
-        sim.run(n_steps);
-        let per_step = start.elapsed().as_secs_f64() / n_steps as f64;
-        let nsday = units::ns_per_day(sim.config.timestep, per_step);
+        let mut sim = Simulation::builder(atoms, sim_box, potential)
+            .masses(vec![units::mass::SI])
+            .temperature(1000.0, 3)
+            .build()
+            .expect("valid simulation setup");
+        let report = sim.run(n_steps);
+        let per_step = report.seconds_per_step();
         let speedup = reference_time.map(|r: f64| r / per_step).unwrap_or(1.0);
         if reference_time.is_none() {
             reference_time = Some(per_step);
         }
-        println!("{label:<32} {per_step:>12.5} {nsday:>12.4} {speedup:>9.2}x");
+        println!(
+            "{label:<32} {per_step:>12.5} {:>12.4} {speedup:>9.2}x",
+            report.ns_per_day
+        );
     }
 
     println!("\nNote: on this host all modes share one scalar ISA; the paper's");

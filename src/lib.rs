@@ -5,43 +5,74 @@
 //! (Höhnerbach, Ismail, Bientinesi — SC'16).
 //!
 //! The workspace is organized as four library crates plus a benchmark
-//! harness; this facade crate re-exports their public APIs and hosts the
-//! runnable examples and the cross-crate integration tests:
+//! harness; this facade crate re-exports their public APIs, adds the
+//! declarative [`scenario`] layer, and hosts the runnable examples and the
+//! cross-crate integration tests:
 //!
 //! * [`vektor`] — the portable vector abstraction (the paper's "building
 //!   blocks": vector-wide conditionals, in-register reductions, conflict
 //!   write handling, adjacent gathers).
 //! * [`md_core`] — the molecular-dynamics substrate standing in for LAMMPS
 //!   (atoms, box, lattices, neighbor lists, velocity-Verlet, thermo, timers,
-//!   domain decomposition, and the thread-parallel allocation-free
-//!   [`md_core::force_engine`]).
+//!   domain decomposition, the thread-parallel allocation-free
+//!   [`md_core::force_engine`], and the observer-driven simulation loop
+//!   behind [`md_core::SimulationBuilder`]).
 //! * [`tersoff`] — the Tersoff potential: reference, scalar-optimized
 //!   (Algorithm 3) and the three vectorization schemes (1a/1b/1c), in double,
 //!   single and mixed precision.
 //! * [`arch_model`] — the machines of Tables I–III and the analytic cost
 //!   model used to project the cross-architecture figures.
+//! * [`scenario`] — serializable experiment descriptions: the specs in
+//!   `scenarios/` that the `tersoff-run` binary executes.
 //!
 //! ## Quickstart
+//!
+//! Build a simulation declaratively with [`md_core::SimulationBuilder`];
+//! `run` drives the registered observers and returns a
+//! [`md_core::RunReport`]:
 //!
 //! ```
 //! use lammps_tersoff_vector::prelude::*;
 //!
-//! // Build a small perturbed silicon crystal...
-//! let (sim_box, mut atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.05, 42);
-//! init_velocities(&mut atoms, &[units::mass::SI], 300.0, 1);
-//!
-//! // ...pick the paper's Opt-M execution mode (scheme 1b, 16 f32 lanes),
-//! // threaded across 2 workers by the allocation-free force engine...
+//! // A small perturbed silicon crystal under the paper's Opt-M kernel
+//! // (scheme 1b, 16 f32 lanes), threaded across 2 workers by the
+//! // allocation-free force engine.
+//! let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.05, 42);
 //! let potential = make_potential(
 //!     TersoffParams::silicon(),
 //!     TersoffOptions::default().with_threads(2),
 //! );
 //!
-//! // ...and run a short NVE simulation.
-//! let config = SimulationConfig::default();
-//! let mut sim = Simulation::new(atoms, sim_box, potential, config);
-//! sim.run(10);
-//! assert!(sim.drift.max_relative_drift() < 1e-3);
+//! let mut sim = Simulation::builder(atoms, sim_box, potential)
+//!     .masses(vec![units::mass::SI])
+//!     .temperature(300.0, 1)     // Maxwell–Boltzmann velocities
+//!     .thermo_every(5)
+//!     .build()                    // typed BuildError instead of panics
+//!     .expect("valid setup");
+//!
+//! let report = sim.run(10);
+//! assert_eq!(report.steps, 10);
+//! assert!(report.max_drift < 1e-3);
+//! assert!(!sim.thermo_history().is_empty());
+//! ```
+//!
+//! The same experiment as *data* — a [`scenario::Scenario`] spec that can
+//! live in a JSON file under `scenarios/` and run via
+//! `cargo run -p bench --bin tersoff-run -- scenarios/`:
+//!
+//! ```
+//! use lammps_tersoff_vector::scenario::Scenario;
+//!
+//! let spec = r#"{
+//!   "name": "doc_example",
+//!   "system":    {"lattice": "silicon", "cells": [2, 2, 2], "temperature": 300.0},
+//!   "potential": {"params": "silicon", "mode": "Opt-M", "scheme": "1b", "threads": 2},
+//!   "run":       {"steps": 10, "thermo_every": 5},
+//!   "max_drift": 1e-3
+//! }"#;
+//! let scenario = Scenario::from_json(spec).expect("valid spec");
+//! let outcome = scenario.execute(None).expect("runs");
+//! assert!(outcome.drift_violations().is_empty());
 //! ```
 
 pub use arch_model;
@@ -49,8 +80,12 @@ pub use md_core;
 pub use tersoff;
 pub use vektor;
 
+pub mod json;
+pub mod scenario;
+
 /// One-stop prelude for the examples and downstream users.
 pub mod prelude {
+    pub use crate::scenario::{Scenario, ScenarioError, ScenarioReport};
     pub use arch_model::prelude::*;
     pub use md_core::prelude::*;
     pub use tersoff::prelude::*;

@@ -1,0 +1,1080 @@
+//! The declarative scenario layer: serializable run descriptions.
+//!
+//! The paper evaluates a fixed matrix of codes (Ref / Opt-D / Opt-S / Opt-M
+//! × schemes 1a/1b/1c) over a fixed set of workloads. A [`Scenario`]
+//! captures one such experiment as *data* — lattice, perturbation,
+//! temperature and seeds; potential mode/scheme/width/threads/backend;
+//! timestep, skin, step count and sampling — so the whole matrix can live in
+//! version-controlled spec files (see `scenarios/`) instead of one-off
+//! binaries. The `tersoff-run` binary (in the `bench` crate) loads a file or
+//! a directory of them, optionally expands the declared mode×threads
+//! matrix, runs every variant through [`md_core::SimulationBuilder`], and
+//! writes the same JSON report shape the `bench_diff` regression gate
+//! consumes.
+//!
+//! Serialization is plain JSON via [`crate::json`]: the vendored serde shim
+//! generates no code (see `crates/shims/serde`), so the `Serialize` /
+//! `Deserialize` derives on these types mark intent for the day the real
+//! crate is restored while [`Scenario::from_json`] / [`Scenario::to_json`]
+//! do the actual work. Parsing is strict: unknown keys are rejected so a
+//! typo in a spec file fails loudly instead of silently running defaults.
+
+use crate::json::{obj, parse, Json};
+use md_core::lattice::Lattice;
+use md_core::observer::RunReport;
+use md_core::potential::Potential;
+use md_core::simulation::{BuildError, Simulation};
+use md_core::thermo::ThermoState;
+use md_core::units;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use tersoff::driver::{make_potential, BackendImpl, ExecutionMode, Scheme, TersoffOptions};
+use tersoff::params::TersoffParams;
+
+/// Errors from loading, validating or executing a scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// The file could not be read (or the directory not listed).
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error text.
+        error: String,
+    },
+    /// The JSON was malformed or the spec invalid; the string names the
+    /// scenario file context and the offending field.
+    Parse(String),
+    /// The described simulation failed validation in the builder.
+    Build(BuildError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Io { path, error } => write!(f, "{path}: {error}"),
+            ScenarioError::Parse(msg) => write!(f, "{msg}"),
+            ScenarioError::Build(e) => write!(f, "invalid simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<BuildError> for ScenarioError {
+    fn from(e: BuildError) -> Self {
+        ScenarioError::Build(e)
+    }
+}
+
+/// The crystal the scenario builds.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatticeSpec {
+    /// Diamond-cubic silicon (the paper's benchmark system).
+    Silicon,
+    /// Zincblende SiC (two species).
+    SiliconCarbide,
+}
+
+impl LatticeSpec {
+    /// Stable lower-case name used in spec files.
+    pub fn name(self) -> &'static str {
+        match self {
+            LatticeSpec::Silicon => "silicon",
+            LatticeSpec::SiliconCarbide => "silicon_carbide",
+        }
+    }
+
+    /// The lattice builder for `cells` conventional cells.
+    pub fn lattice(self, cells: [usize; 3]) -> Lattice {
+        match self {
+            LatticeSpec::Silicon => Lattice::silicon(cells),
+            LatticeSpec::SiliconCarbide => Lattice::silicon_carbide(cells),
+        }
+    }
+}
+
+impl fmt::Display for LatticeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for LatticeSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "silicon" | "si" | "diamond" => Ok(LatticeSpec::Silicon),
+            "silicon_carbide" | "sic" | "zincblende" => Ok(LatticeSpec::SiliconCarbide),
+            other => Err(format!(
+                "unknown lattice {other:?} (expected silicon or silicon_carbide)"
+            )),
+        }
+    }
+}
+
+/// Which published Tersoff parameter set to use.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamSet {
+    /// Si(C) 1988 — the paper's silicon benchmark parameterization.
+    Silicon,
+    /// Si(B) 1988 (the alternative silicon set).
+    SiliconB,
+    /// Carbon.
+    Carbon,
+    /// Germanium.
+    Germanium,
+    /// The Tersoff-1989 Si/C mixed set.
+    SiliconCarbide,
+}
+
+impl ParamSet {
+    /// Stable lower-case name used in spec files.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamSet::Silicon => "silicon",
+            ParamSet::SiliconB => "silicon_b",
+            ParamSet::Carbon => "carbon",
+            ParamSet::Germanium => "germanium",
+            ParamSet::SiliconCarbide => "silicon_carbide",
+        }
+    }
+
+    /// The parameter table.
+    pub fn params(self) -> TersoffParams {
+        match self {
+            ParamSet::Silicon => TersoffParams::silicon(),
+            ParamSet::SiliconB => TersoffParams::silicon_b(),
+            ParamSet::Carbon => TersoffParams::carbon(),
+            ParamSet::Germanium => TersoffParams::germanium(),
+            ParamSet::SiliconCarbide => TersoffParams::silicon_carbide(),
+        }
+    }
+
+    /// Per-type masses (g/mol) matching the parameter table's species order.
+    pub fn masses(self) -> Vec<f64> {
+        match self {
+            ParamSet::Silicon | ParamSet::SiliconB => vec![units::mass::SI],
+            ParamSet::Carbon => vec![units::mass::C],
+            ParamSet::Germanium => vec![units::mass::GE],
+            ParamSet::SiliconCarbide => vec![units::mass::SI, units::mass::C],
+        }
+    }
+}
+
+impl fmt::Display for ParamSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ParamSet {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "silicon" | "si" | "si_c" | "si(c)" => Ok(ParamSet::Silicon),
+            "silicon_b" | "si_b" | "si(b)" => Ok(ParamSet::SiliconB),
+            "carbon" | "c" => Ok(ParamSet::Carbon),
+            "germanium" | "ge" => Ok(ParamSet::Germanium),
+            "silicon_carbide" | "sic" => Ok(ParamSet::SiliconCarbide),
+            other => Err(format!(
+                "unknown parameter set {other:?} (expected silicon, silicon_b, \
+                 carbon, germanium or silicon_carbide)"
+            )),
+        }
+    }
+}
+
+/// The physical system: lattice + size + perturbation + initial temperature.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// Crystal structure.
+    pub lattice: LatticeSpec,
+    /// Conventional cells in x, y, z.
+    pub cells: [usize; 3],
+    /// Uniform random displacement amplitude (Å).
+    pub perturbation: f64,
+    /// Seed of the lattice perturbation.
+    pub lattice_seed: u64,
+    /// Initial temperature (K).
+    pub temperature: f64,
+    /// Seed of the Maxwell–Boltzmann velocity draw.
+    pub velocity_seed: u64,
+}
+
+/// The force field: parameter set + execution mode/scheme/width/threads and
+/// the vektor backend request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PotentialSpec {
+    /// Parameter set.
+    pub params: ParamSet,
+    /// Execution mode (Ref / Opt-D / Opt-S / Opt-M).
+    pub mode: ExecutionMode,
+    /// Vectorization scheme (ignored for Ref).
+    pub scheme: Scheme,
+    /// Vector width (0 = the paper's default for the scheme/precision).
+    pub width: usize,
+    /// Force-engine threads (1 = direct, 0 = all CPUs).
+    pub threads: usize,
+    /// Requested vektor implementation (`None` = auto-detect).
+    pub backend: Option<BackendImpl>,
+}
+
+/// The integration run: timestep, skin, length and sampling cadence.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Timestep (ps).
+    pub timestep: f64,
+    /// Neighbor skin (Å).
+    pub skin: f64,
+    /// Number of timesteps.
+    pub steps: u64,
+    /// Thermo sampling interval (0 = initial/final only).
+    pub thermo_every: u64,
+}
+
+/// Optional mode × threads expansion: `tersoff-run` executes the cartesian
+/// product instead of the single base variant.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MatrixSpec {
+    /// Execution modes to run (empty = just the base mode).
+    pub modes: Vec<ExecutionMode>,
+    /// Thread counts to run (empty = just the base thread count).
+    pub threads: Vec<usize>,
+}
+
+/// A complete, serializable experiment description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Short identifier (also names the output report).
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// The physical system.
+    pub system: SystemSpec,
+    /// The force field.
+    pub potential: PotentialSpec,
+    /// The integration run.
+    pub run: RunSpec,
+    /// Optional mode×threads matrix.
+    pub matrix: Option<MatrixSpec>,
+    /// Declared bound on |ΔE/E₀|; violations fail `tersoff-run`.
+    pub max_drift: Option<f64>,
+}
+
+/// One (mode, threads) point of a scenario's matrix.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Variant {
+    /// Execution mode of this run.
+    pub mode: ExecutionMode,
+    /// Requested engine threads (0 = all CPUs).
+    pub threads: usize,
+}
+
+/// The outcome of one executed variant.
+#[derive(Clone, Debug)]
+pub struct VariantReport {
+    /// The variant that ran.
+    pub variant: Variant,
+    /// Threads actually used (0 resolved to the CPU count).
+    pub resolved_threads: usize,
+    /// The options label ("Opt-M/1b/w16/t2").
+    pub label: String,
+    /// The run report (steps, rebuilds, ns/day, drift, timers).
+    pub report: RunReport,
+    /// The recorded thermo trace.
+    pub trace: Vec<ThermoState>,
+}
+
+/// The outcome of a whole scenario: every variant plus host facts.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Steps actually run (after any cap).
+    pub steps: u64,
+    /// Per-variant outcomes, in matrix order.
+    pub variants: Vec<VariantReport>,
+    /// The vektor implementation that executed the runs.
+    pub executed_backend: String,
+    /// Host CPU count.
+    pub available_parallelism: usize,
+}
+
+impl Scenario {
+    // -- construction ------------------------------------------------------
+
+    /// Parse a scenario from JSON text (strict: unknown keys are errors).
+    pub fn from_json(text: &str) -> Result<Scenario, ScenarioError> {
+        let root = parse(text).map_err(ScenarioError::Parse)?;
+        let top = expect_obj(&root, "scenario")?;
+        check_keys(
+            top,
+            "scenario",
+            &[
+                "name",
+                "description",
+                "system",
+                "potential",
+                "run",
+                "matrix",
+                "max_drift",
+            ],
+        )?;
+        let name = req_str(top, "name", "scenario")?;
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(ScenarioError::Parse(format!(
+                "scenario name {name:?} must be non-empty [A-Za-z0-9_-] (it names the report file)"
+            )));
+        }
+        let description = opt_str(top, "description", "")?;
+
+        let sys = expect_obj(req(top, "system", "scenario")?, "system")?;
+        check_keys(
+            sys,
+            "system",
+            &[
+                "lattice",
+                "cells",
+                "perturbation",
+                "lattice_seed",
+                "temperature",
+                "velocity_seed",
+            ],
+        )?;
+        let system = SystemSpec {
+            lattice: parse_name(&req_str(sys, "lattice", "system")?, "system.lattice")?,
+            cells: req_cells(sys)?,
+            perturbation: opt_f64(sys, "perturbation", 0.05, "system")?,
+            lattice_seed: opt_u64(sys, "lattice_seed", 2024, "system")?,
+            temperature: opt_f64(sys, "temperature", 300.0, "system")?,
+            velocity_seed: opt_u64(sys, "velocity_seed", 7, "system")?,
+        };
+
+        let pot = expect_obj(req(top, "potential", "scenario")?, "potential")?;
+        check_keys(
+            pot,
+            "potential",
+            &["params", "mode", "scheme", "width", "threads", "backend"],
+        )?;
+        let backend = match pot.get("backend") {
+            None => None,
+            Some(Json::Null) => None,
+            Some(v) => {
+                let s = v.as_str().ok_or_else(|| {
+                    ScenarioError::Parse("potential.backend must be a string".into())
+                })?;
+                match vektor::dispatch::parse_request(s) {
+                    Some(req) => req,
+                    None => {
+                        return Err(ScenarioError::Parse(format!(
+                            "potential.backend: unknown backend {s:?} \
+                             (expected portable, avx2, avx512 or auto)"
+                        )))
+                    }
+                }
+            }
+        };
+        let potential = PotentialSpec {
+            params: parse_name(&req_str(pot, "params", "potential")?, "potential.params")?,
+            mode: parse_name(&req_str(pot, "mode", "potential")?, "potential.mode")?,
+            scheme: parse_name(&req_str(pot, "scheme", "potential")?, "potential.scheme")?,
+            width: opt_u64(pot, "width", 0, "potential")? as usize,
+            threads: opt_u64(pot, "threads", 1, "potential")? as usize,
+            backend,
+        };
+
+        let run_obj = expect_obj(req(top, "run", "scenario")?, "run")?;
+        check_keys(
+            run_obj,
+            "run",
+            &["timestep", "skin", "steps", "thermo_every"],
+        )?;
+        let run = RunSpec {
+            timestep: opt_f64(run_obj, "timestep", units::DEFAULT_TIMESTEP, "run")?,
+            skin: opt_f64(run_obj, "skin", 1.0, "run")?,
+            steps: req_u64(run_obj, "steps", "run")?,
+            thermo_every: opt_u64(run_obj, "thermo_every", 10, "run")?,
+        };
+
+        let matrix = match top.get("matrix") {
+            None | Some(Json::Null) => None,
+            Some(m) => {
+                let m = expect_obj(m, "matrix")?;
+                check_keys(m, "matrix", &["modes", "threads"])?;
+                let modes = match m.get("modes") {
+                    None => Vec::new(),
+                    Some(v) => v
+                        .as_arr()
+                        .ok_or_else(|| {
+                            ScenarioError::Parse("matrix.modes must be an array".into())
+                        })?
+                        .iter()
+                        .map(|j| {
+                            j.as_str()
+                                .ok_or_else(|| {
+                                    ScenarioError::Parse(
+                                        "matrix.modes entries must be strings".into(),
+                                    )
+                                })
+                                .and_then(|s| parse_name(s, "matrix.modes"))
+                        })
+                        .collect::<Result<Vec<ExecutionMode>, _>>()?,
+                };
+                let threads = match m.get("threads") {
+                    None => Vec::new(),
+                    Some(v) => v
+                        .as_arr()
+                        .ok_or_else(|| {
+                            ScenarioError::Parse("matrix.threads must be an array".into())
+                        })?
+                        .iter()
+                        .map(|j| {
+                            j.as_usize().ok_or_else(|| {
+                                ScenarioError::Parse(
+                                    "matrix.threads entries must be non-negative integers".into(),
+                                )
+                            })
+                        })
+                        .collect::<Result<Vec<usize>, _>>()?,
+                };
+                Some(MatrixSpec { modes, threads })
+            }
+        };
+
+        let max_drift = match top.get("max_drift") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| ScenarioError::Parse("max_drift must be a number".into()))?,
+            ),
+        };
+
+        Ok(Scenario {
+            name,
+            description,
+            system,
+            potential,
+            run,
+            matrix,
+            max_drift,
+        })
+    }
+
+    /// Serialize to pretty JSON (round-trips through
+    /// [`Scenario::from_json`]).
+    pub fn to_json(&self) -> String {
+        let mut top = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("description", Json::Str(self.description.clone())),
+            (
+                "system",
+                obj([
+                    ("lattice", Json::Str(self.system.lattice.to_string())),
+                    (
+                        "cells",
+                        Json::Arr(
+                            self.system
+                                .cells
+                                .iter()
+                                .map(|&c| Json::Num(c as f64))
+                                .collect(),
+                        ),
+                    ),
+                    ("perturbation", Json::Num(self.system.perturbation)),
+                    ("lattice_seed", Json::Num(self.system.lattice_seed as f64)),
+                    ("temperature", Json::Num(self.system.temperature)),
+                    ("velocity_seed", Json::Num(self.system.velocity_seed as f64)),
+                ]),
+            ),
+            (
+                "potential",
+                obj([
+                    ("params", Json::Str(self.potential.params.to_string())),
+                    ("mode", Json::Str(self.potential.mode.to_string())),
+                    ("scheme", Json::Str(self.potential.scheme.to_string())),
+                    ("width", Json::Num(self.potential.width as f64)),
+                    ("threads", Json::Num(self.potential.threads as f64)),
+                    (
+                        "backend",
+                        match self.potential.backend {
+                            None => Json::Str("auto".into()),
+                            Some(b) => Json::Str(b.to_string()),
+                        },
+                    ),
+                ]),
+            ),
+            (
+                "run",
+                obj([
+                    ("timestep", Json::Num(self.run.timestep)),
+                    ("skin", Json::Num(self.run.skin)),
+                    ("steps", Json::Num(self.run.steps as f64)),
+                    ("thermo_every", Json::Num(self.run.thermo_every as f64)),
+                ]),
+            ),
+        ];
+        if let Some(matrix) = &self.matrix {
+            top.push((
+                "matrix",
+                obj([
+                    (
+                        "modes",
+                        Json::Arr(
+                            matrix
+                                .modes
+                                .iter()
+                                .map(|m| Json::Str(m.to_string()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "threads",
+                        Json::Arr(
+                            matrix
+                                .threads
+                                .iter()
+                                .map(|&t| Json::Num(t as f64))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        if let Some(bound) = self.max_drift {
+            top.push(("max_drift", Json::Num(bound)));
+        }
+        obj(top).pretty()
+    }
+
+    /// Load one scenario from a `.json` file.
+    pub fn load(path: &Path) -> Result<Scenario, ScenarioError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+            path: path.display().to_string(),
+            error: e.to_string(),
+        })?;
+        Scenario::from_json(&text)
+            .map_err(|e| ScenarioError::Parse(format!("{}: {e}", path.display())))
+    }
+
+    /// Load every `*.json` scenario in a directory (sorted by file name).
+    pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Scenario)>, ScenarioError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| ScenarioError::Io {
+            path: dir.display().to_string(),
+            error: e.to_string(),
+        })?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        paths
+            .into_iter()
+            .map(|p| Scenario::load(&p).map(|s| (p, s)))
+            .collect()
+    }
+
+    /// Load a scenario file, or all scenarios of a directory.
+    pub fn discover(path: &Path) -> Result<Vec<(PathBuf, Scenario)>, ScenarioError> {
+        if path.is_dir() {
+            Scenario::load_dir(path)
+        } else {
+            Scenario::load(path).map(|s| vec![(path.to_path_buf(), s)])
+        }
+    }
+
+    // -- execution ---------------------------------------------------------
+
+    /// The variants this scenario runs: the declared matrix expansion, or
+    /// the single base (mode, threads) when no matrix is declared.
+    pub fn variants(&self) -> Vec<Variant> {
+        let (modes, threads) = match &self.matrix {
+            None => (vec![self.potential.mode], vec![self.potential.threads]),
+            Some(m) => (
+                if m.modes.is_empty() {
+                    vec![self.potential.mode]
+                } else {
+                    m.modes.clone()
+                },
+                if m.threads.is_empty() {
+                    vec![self.potential.threads]
+                } else {
+                    m.threads.clone()
+                },
+            ),
+        };
+        let mut out = Vec::with_capacity(modes.len() * threads.len());
+        for &mode in &modes {
+            for &t in &threads {
+                out.push(Variant { mode, threads: t });
+            }
+        }
+        out
+    }
+
+    /// The [`TersoffOptions`] of one variant.
+    pub fn options_for(&self, variant: Variant) -> TersoffOptions {
+        TersoffOptions {
+            mode: variant.mode,
+            scheme: self.potential.scheme,
+            width: self.potential.width,
+            threads: variant.threads,
+            backend: self.potential.backend,
+        }
+    }
+
+    /// Build the simulation of one variant through
+    /// [`md_core::SimulationBuilder`] — exactly the construction a user
+    /// would write by hand (the golden equivalence test in
+    /// `tests/scenario.rs` holds this path to bitwise agreement with a
+    /// hand-built run).
+    pub fn build_simulation(
+        &self,
+        variant: Variant,
+    ) -> Result<Simulation<Box<dyn Potential>>, ScenarioError> {
+        let (sim_box, atoms) = self
+            .system
+            .lattice
+            .lattice(self.system.cells)
+            .build_perturbed(self.system.perturbation, self.system.lattice_seed);
+        let potential = make_potential(self.potential.params.params(), self.options_for(variant));
+        let sim = Simulation::builder(atoms, sim_box, potential)
+            .timestep(self.run.timestep)
+            .skin(self.run.skin)
+            .masses(self.potential.params.masses())
+            .temperature(self.system.temperature, self.system.velocity_seed)
+            .thermo_every(self.run.thermo_every)
+            .build()?;
+        Ok(sim)
+    }
+
+    /// Run one variant for `steps` (normally `self.run.steps`, possibly
+    /// capped by the caller).
+    pub fn run_variant(
+        &self,
+        variant: Variant,
+        steps: u64,
+    ) -> Result<VariantReport, ScenarioError> {
+        let options = self.options_for(variant);
+        let mut sim = self.build_simulation(variant)?;
+        let report = sim.run(steps);
+        Ok(VariantReport {
+            variant,
+            resolved_threads: if variant.threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            } else {
+                variant.threads
+            },
+            label: options.label(),
+            report,
+            trace: sim.thermo_history().to_vec(),
+        })
+    }
+
+    /// Execute every variant. `steps_cap` (e.g. from `tersoff-run
+    /// --steps-cap`) limits the run length for smoke testing.
+    pub fn execute(&self, steps_cap: Option<u64>) -> Result<ScenarioReport, ScenarioError> {
+        let steps = match steps_cap {
+            Some(cap) => self.run.steps.min(cap),
+            None => self.run.steps,
+        };
+        let variants = self
+            .variants()
+            .into_iter()
+            .map(|v| self.run_variant(v, steps))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ScenarioReport {
+            scenario: self.clone(),
+            steps,
+            executed_backend: self
+                .options_for(Variant {
+                    mode: self.potential.mode,
+                    threads: self.potential.threads,
+                })
+                .resolved_backend()
+                .to_string(),
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            variants,
+        })
+    }
+
+    /// Number of atoms the scenario's lattice generates.
+    pub fn n_atoms(&self) -> usize {
+        self.system.lattice.lattice(self.system.cells).n_atoms()
+    }
+}
+
+impl ScenarioReport {
+    /// Variants whose measured drift exceeds the scenario's declared
+    /// `max_drift` bound (empty when no bound is declared).
+    pub fn drift_violations(&self) -> Vec<String> {
+        let Some(bound) = self.scenario.max_drift else {
+            return Vec::new();
+        };
+        self.variants
+            .iter()
+            .filter(|v| v.report.max_drift > bound)
+            .map(|v| {
+                format!(
+                    "{}: |ΔE/E₀| = {:.3e} exceeds declared bound {bound:.3e}",
+                    v.label, v.report.max_drift
+                )
+            })
+            .collect()
+    }
+
+    /// The report in the JSON shape `bench_diff` consumes: a top-level
+    /// `series` array keyed by (mode, threads) with per-entry metrics.
+    pub fn to_report_json(&self) -> String {
+        let s = &self.scenario;
+        // seconds-per-step of the Ref variant at each thread count, for the
+        // speedup_vs_ref column (mirrors fig5's reporting).
+        let ref_seconds: BTreeMap<usize, f64> = self
+            .variants
+            .iter()
+            .filter(|v| v.variant.mode == ExecutionMode::Ref)
+            .map(|v| (v.resolved_threads, v.report.seconds_per_step()))
+            .collect();
+        let series: Vec<Json> = self
+            .variants
+            .iter()
+            .map(|v| {
+                let seconds = v.report.seconds_per_step();
+                let mut entry = vec![
+                    ("mode", Json::Str(v.variant.mode.to_string())),
+                    ("scheme", Json::Str(s.potential.scheme.to_string())),
+                    ("threads", Json::Num(v.resolved_threads as f64)),
+                    ("label", Json::Str(v.label.clone())),
+                    ("seconds_per_step", Json::Num(seconds)),
+                    ("ns_per_day", Json::Num(v.report.ns_per_day)),
+                    ("max_drift", Json::Num(v.report.max_drift)),
+                    ("rebuilds", Json::Num(v.report.total_rebuilds as f64)),
+                    ("final_total_energy", Json::Num(v.report.final_thermo.total)),
+                ];
+                if let Some(&r) = ref_seconds.get(&v.resolved_threads) {
+                    if seconds > 0.0 {
+                        entry.push(("speedup_vs_ref", Json::Num(r / seconds)));
+                    }
+                }
+                obj(entry)
+            })
+            .collect();
+        obj([
+            ("figure", Json::Str(format!("scenario_{}", s.name))),
+            ("scenario", Json::Str(s.name.clone())),
+            ("description", Json::Str(s.description.clone())),
+            (
+                "workload",
+                obj([
+                    ("lattice", Json::Str(s.system.lattice.to_string())),
+                    (
+                        "cells",
+                        Json::Arr(
+                            s.system
+                                .cells
+                                .iter()
+                                .map(|&c| Json::Num(c as f64))
+                                .collect(),
+                        ),
+                    ),
+                    ("atoms", Json::Num(s.n_atoms() as f64)),
+                    ("perturbation", Json::Num(s.system.perturbation)),
+                    ("temperature", Json::Num(s.system.temperature)),
+                ]),
+            ),
+            ("steps", Json::Num(self.steps as f64)),
+            (
+                "available_parallelism",
+                Json::Num(self.available_parallelism as f64),
+            ),
+            ("executed_backend", Json::Str(self.executed_backend.clone())),
+            ("series", Json::Arr(series)),
+        ])
+        .pretty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strict-parsing helpers
+// ---------------------------------------------------------------------------
+
+fn expect_obj<'a>(v: &'a Json, ctx: &str) -> Result<&'a BTreeMap<String, Json>, ScenarioError> {
+    v.as_obj()
+        .ok_or_else(|| ScenarioError::Parse(format!("{ctx} must be a JSON object")))
+}
+
+fn check_keys(
+    map: &BTreeMap<String, Json>,
+    ctx: &str,
+    allowed: &[&str],
+) -> Result<(), ScenarioError> {
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ScenarioError::Parse(format!(
+                "{ctx}: unknown key {key:?} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn req<'a>(
+    map: &'a BTreeMap<String, Json>,
+    key: &str,
+    ctx: &str,
+) -> Result<&'a Json, ScenarioError> {
+    map.get(key)
+        .ok_or_else(|| ScenarioError::Parse(format!("{ctx}: missing required key {key:?}")))
+}
+
+fn req_str(map: &BTreeMap<String, Json>, key: &str, ctx: &str) -> Result<String, ScenarioError> {
+    req(map, key, ctx)?
+        .as_str()
+        .map(|s| s.to_string())
+        .ok_or_else(|| ScenarioError::Parse(format!("{ctx}.{key} must be a string")))
+}
+
+fn opt_str(
+    map: &BTreeMap<String, Json>,
+    key: &str,
+    default: &str,
+) -> Result<String, ScenarioError> {
+    match map.get(key) {
+        None => Ok(default.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| ScenarioError::Parse(format!("{key} must be a string"))),
+    }
+}
+
+fn req_u64(map: &BTreeMap<String, Json>, key: &str, ctx: &str) -> Result<u64, ScenarioError> {
+    req(map, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| ScenarioError::Parse(format!("{ctx}.{key} must be a non-negative integer")))
+}
+
+fn opt_u64(
+    map: &BTreeMap<String, Json>,
+    key: &str,
+    default: u64,
+    ctx: &str,
+) -> Result<u64, ScenarioError> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ScenarioError::Parse(format!("{ctx}.{key} must be a non-negative integer"))
+        }),
+    }
+}
+
+fn opt_f64(
+    map: &BTreeMap<String, Json>,
+    key: &str,
+    default: f64,
+    ctx: &str,
+) -> Result<f64, ScenarioError> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| ScenarioError::Parse(format!("{ctx}.{key} must be a number"))),
+    }
+}
+
+fn req_cells(map: &BTreeMap<String, Json>) -> Result<[usize; 3], ScenarioError> {
+    let arr = req(map, "cells", "system")?.as_arr().ok_or_else(|| {
+        ScenarioError::Parse("system.cells must be an array of 3 integers".into())
+    })?;
+    if arr.len() != 3 {
+        return Err(ScenarioError::Parse(
+            "system.cells must have exactly 3 entries".into(),
+        ));
+    }
+    let mut cells = [0usize; 3];
+    for (d, v) in arr.iter().enumerate() {
+        cells[d] = v
+            .as_usize()
+            .filter(|&c| c > 0)
+            .ok_or_else(|| ScenarioError::Parse("system.cells entries must be positive".into()))?;
+    }
+    Ok(cells)
+}
+
+fn parse_name<T>(s: &str, ctx: &str) -> Result<T, ScenarioError>
+where
+    T: std::str::FromStr,
+    T::Err: fmt::Display,
+{
+    s.parse()
+        .map_err(|e: T::Err| ScenarioError::Parse(format!("{ctx}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> Scenario {
+        Scenario {
+            name: "unit_test".into(),
+            description: "round-trip sample".into(),
+            system: SystemSpec {
+                lattice: LatticeSpec::Silicon,
+                cells: [2, 2, 2],
+                perturbation: 0.03,
+                lattice_seed: 17,
+                temperature: 600.0,
+                velocity_seed: 5,
+            },
+            potential: PotentialSpec {
+                params: ParamSet::Silicon,
+                mode: ExecutionMode::OptM,
+                scheme: Scheme::FusedLanes,
+                width: 0,
+                threads: 1,
+                backend: None,
+            },
+            run: RunSpec {
+                timestep: 0.001,
+                skin: 1.0,
+                steps: 20,
+                thermo_every: 5,
+            },
+            matrix: Some(MatrixSpec {
+                modes: vec![ExecutionMode::Ref, ExecutionMode::OptM],
+                threads: vec![1, 2],
+            }),
+            max_drift: Some(1e-3),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let s = sample();
+        let text = s.to_json();
+        let back = Scenario::from_json(&text).unwrap();
+        assert_eq!(back, s);
+        // And without the optional parts.
+        let mut bare = s;
+        bare.matrix = None;
+        bare.max_drift = None;
+        assert_eq!(Scenario::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let text = sample().to_json().replace("\"skin\"", "\"skinn\"");
+        let err = Scenario::from_json(&text).unwrap_err();
+        assert!(err.to_string().contains("skinn"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_keys_are_rejected() {
+        let err = Scenario::from_json(r#"{"name": "x"}"#).unwrap_err();
+        assert!(err.to_string().contains("system"), "{err}");
+    }
+
+    #[test]
+    fn matrix_expansion_is_the_cartesian_product() {
+        let s = sample();
+        let variants = s.variants();
+        assert_eq!(variants.len(), 4);
+        assert_eq!(
+            variants[0],
+            Variant {
+                mode: ExecutionMode::Ref,
+                threads: 1
+            }
+        );
+        assert_eq!(
+            variants[3],
+            Variant {
+                mode: ExecutionMode::OptM,
+                threads: 2
+            }
+        );
+        let mut bare = s;
+        bare.matrix = None;
+        assert_eq!(bare.variants().len(), 1);
+    }
+
+    #[test]
+    fn executes_and_reports_in_bench_diff_shape() {
+        let mut s = sample();
+        s.matrix = Some(MatrixSpec {
+            modes: vec![ExecutionMode::Ref, ExecutionMode::OptM],
+            threads: vec![1],
+        });
+        s.run.steps = 4;
+        let report = s.execute(None).unwrap();
+        assert_eq!(report.variants.len(), 2);
+        assert!(report.drift_violations().is_empty());
+        let json = report.to_report_json();
+        let parsed = parse(&json).unwrap();
+        let series = parsed.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].get("mode").unwrap().as_str(), Some("Ref"));
+        assert!(series[0].get("seconds_per_step").unwrap().as_f64().unwrap() > 0.0);
+        // Opt-M row carries the speedup against the Ref row.
+        assert!(series[1].get("speedup_vs_ref").is_some());
+    }
+
+    #[test]
+    fn drift_violations_are_detected() {
+        let mut s = sample();
+        s.matrix = None;
+        s.run.steps = 10;
+        s.max_drift = Some(1e-30); // unattainably tight
+        let report = s.execute(None).unwrap();
+        assert_eq!(report.drift_violations().len(), 1);
+    }
+
+    #[test]
+    fn steps_cap_limits_the_run() {
+        let mut s = sample();
+        s.matrix = None;
+        let report = s.execute(Some(3)).unwrap();
+        assert_eq!(report.steps, 3);
+        assert_eq!(report.variants[0].report.total_steps, 3);
+    }
+
+    #[test]
+    fn invalid_physical_setup_surfaces_the_build_error() {
+        let mut s = sample();
+        s.matrix = None;
+        s.run.timestep = -1.0;
+        match s.execute(None) {
+            Err(ScenarioError::Build(BuildError::NonPositiveTimestep(_))) => {}
+            other => panic!("expected build error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lattice_and_param_names_round_trip() {
+        for l in [LatticeSpec::Silicon, LatticeSpec::SiliconCarbide] {
+            assert_eq!(l.name().parse::<LatticeSpec>().unwrap(), l);
+        }
+        for p in [
+            ParamSet::Silicon,
+            ParamSet::SiliconB,
+            ParamSet::Carbon,
+            ParamSet::Germanium,
+            ParamSet::SiliconCarbide,
+        ] {
+            assert_eq!(p.name().parse::<ParamSet>().unwrap(), p);
+        }
+        assert!("unobtanium".parse::<ParamSet>().is_err());
+    }
+}

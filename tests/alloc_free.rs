@@ -98,27 +98,59 @@ fn steady_state_force_loop_performs_zero_allocations() {
     // The whole simulation step (integrate → rebuild check → force →
     // integrate) is also allocation-free in steady state. A perfect lattice
     // at T = 0 guarantees no neighbor-list rebuild fires inside the measured
-    // window (rebuilds legitimately allocate; they are not part of the
-    // steady-state force loop).
+    // window.
     let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build();
-    let masses = vec![units::mass::SI];
     let potential = make_potential(
         TersoffParams::silicon(),
         TersoffOptions::default().with_threads(2),
     );
-    let config = SimulationConfig {
-        masses,
-        thermo_every: 0,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(atoms, sim_box, potential, config);
+    let mut sim = Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI])
+        .build()
+        .expect("valid setup");
     sim.run(10);
-    sim.thermo_history.reserve(64);
+    // `run` records one final thermo sample into the default ThermoLog
+    // observer per call; the log pre-sizes itself in on_run_start, so no
+    // manual reserve is needed before the audited window.
     let before = allocations();
     sim.run(20);
     let delta = allocations() - before;
     assert_eq!(
         delta, 0,
         "{delta} heap allocations in 20 steady-state simulation steps"
+    );
+
+    // Neighbor-list rebuilds reuse the list's bin and CRS storage, so a hot
+    // trajectory that keeps crossing the half-skin threshold also runs
+    // allocation-free once the buffers hit their high-water mark. Warm up
+    // through several rebuilds first (capacity growth is legitimate while
+    // neighbor counts still fluctuate upward).
+    let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.02, 5);
+    let potential = make_potential(
+        TersoffParams::silicon(),
+        TersoffOptions::default().with_threads(2),
+    );
+    let mut sim = Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI])
+        .temperature(1800.0, 3)
+        .build()
+        .expect("valid setup");
+    sim.run(150);
+    let rebuilds_before = sim.n_rebuilds;
+    assert!(
+        rebuilds_before > 3,
+        "hot trajectory should rebuild several times in the warm-up ({rebuilds_before})"
+    );
+    let before = allocations();
+    let report = sim.run(150);
+    let delta = allocations() - before;
+    assert!(
+        report.rebuilds > 0,
+        "measured window must actually exercise rebuilds"
+    );
+    assert_eq!(
+        delta, 0,
+        "{delta} heap allocations across {} rebuild-bearing steps ({} rebuilds)",
+        report.steps, report.rebuilds
     );
 }

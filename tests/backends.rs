@@ -88,22 +88,21 @@ fn forces_are_bitwise_identical_across_backends() {
 }
 
 fn thermo_trace(backend: BackendImpl) -> Vec<(u64, u64, u64)> {
-    let (sim_box, mut atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.03, 7);
-    init_velocities(&mut atoms, &[units::mass::SI], 600.0, 3);
+    let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.03, 7);
     let potential = make_potential(
         TersoffParams::silicon(),
         TersoffOptions::default()
             .with_threads(2)
             .with_backend(backend),
     );
-    let config = SimulationConfig {
-        masses: vec![units::mass::SI],
-        thermo_every: 5,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(atoms, sim_box, potential, config);
+    let mut sim = Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI])
+        .temperature(600.0, 3)
+        .thermo_every(5)
+        .build()
+        .expect("valid setup");
     sim.run(25);
-    sim.thermo_history
+    sim.thermo_history()
         .iter()
         .map(|t| (t.step, t.potential.to_bits(), t.total.to_bits()))
         .collect()

@@ -13,10 +13,8 @@ fn silicon_simulation(
     mode: ExecutionMode,
     scheme: Scheme,
     steps: u64,
-) -> Simulation<Box<dyn Potential>> {
-    let (sim_box, mut atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.03, 17);
-    let masses = vec![units::mass::SI];
-    init_velocities(&mut atoms, &masses, 600.0, 5);
+) -> (Simulation<Box<dyn Potential>>, RunReport) {
+    let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.03, 17);
     let potential = make_potential(
         TersoffParams::silicon(),
         TersoffOptions {
@@ -27,25 +25,22 @@ fn silicon_simulation(
             backend: None,
         },
     );
-    let config = SimulationConfig {
-        masses,
-        thermo_every: 10,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(atoms, sim_box, potential, config);
-    sim.run(steps);
-    sim
+    let mut sim = Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI])
+        .temperature(600.0, 5)
+        .thermo_every(10)
+        .build()
+        .expect("valid simulation setup");
+    let report = sim.run(steps);
+    (sim, report)
 }
 
 #[test]
 fn nve_energy_is_conserved_with_the_reference_solver() {
-    let sim = silicon_simulation(ExecutionMode::Ref, Scheme::Scalar, 100);
-    assert!(
-        sim.drift.max_relative_drift() < 5e-5,
-        "Ref drift {}",
-        sim.drift.max_relative_drift()
-    );
+    let (sim, report) = silicon_simulation(ExecutionMode::Ref, Scheme::Scalar, 100);
+    assert!(report.max_drift < 5e-5, "Ref drift {}", report.max_drift);
     assert!(sim.current_thermo().temperature > 100.0);
+    assert_eq!(report.total_steps, 100);
 }
 
 #[test]
@@ -57,7 +52,7 @@ fn nve_energy_is_conserved_with_every_optimized_mode() {
         (ExecutionMode::OptM, Scheme::FusedLanes),
         (ExecutionMode::OptM, Scheme::ILanes),
     ] {
-        let sim = silicon_simulation(mode, scheme, 100);
+        let (_, report) = silicon_simulation(mode, scheme, 100);
         // Single precision drifts more than double but must stay small; the
         // paper's Fig. 3 bound for a *million* steps is 2e-5 on a much larger
         // system, so a short run must be far tighter than 1e-3.
@@ -67,9 +62,9 @@ fn nve_energy_is_conserved_with_every_optimized_mode() {
             1e-3
         };
         assert!(
-            sim.drift.max_relative_drift() < bound,
+            report.max_drift < bound,
             "{mode:?}/{scheme:?} drift {}",
-            sim.drift.max_relative_drift()
+            report.max_drift
         );
     }
 }
@@ -211,18 +206,16 @@ fn decomposed_vectorized_tersoff_matches_too() {
 
 #[test]
 fn sic_simulation_with_mixed_precision_runs_stably() {
-    let (sim_box, mut atoms) = Lattice::silicon_carbide([2, 2, 2]).build_perturbed(0.02, 3);
-    let masses = vec![units::mass::SI, units::mass::C];
-    init_velocities(&mut atoms, &masses, 300.0, 9);
+    let (sim_box, atoms) = Lattice::silicon_carbide([2, 2, 2]).build_perturbed(0.02, 3);
     let potential = make_potential(TersoffParams::silicon_carbide(), TersoffOptions::default());
-    let config = SimulationConfig {
-        masses,
-        thermo_every: 10,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(atoms, sim_box, potential, config);
-    sim.run(60);
-    assert!(sim.drift.max_relative_drift() < 1e-3);
+    let mut sim = Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI, units::mass::C])
+        .temperature(300.0, 9)
+        .thermo_every(10)
+        .build()
+        .expect("valid SiC setup");
+    let report = sim.run(60);
+    assert!(report.max_drift < 1e-3);
     assert!(sim.current_thermo().potential < 0.0);
     assert!(sim.atoms.x.iter().all(|&p| sim.sim_box.contains(p)));
 }

@@ -85,43 +85,39 @@ fn threaded_engine_matches_single_thread_for_every_mode_and_scheme() {
 
 #[test]
 fn threaded_simulation_conserves_energy() {
-    let (sim_box, mut atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.03, 99);
-    let masses = vec![units::mass::SI];
-    init_velocities(&mut atoms, &masses, 500.0, 7);
+    let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.03, 99);
     let potential = make_potential(
         TersoffParams::silicon(),
         TersoffOptions::default().with_threads(4),
     );
-    let config = SimulationConfig {
-        masses,
-        thermo_every: 10,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(atoms, sim_box, potential, config);
-    sim.run(100);
+    let mut sim = Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI])
+        .temperature(500.0, 7)
+        .thermo_every(10)
+        .build()
+        .expect("valid threaded setup");
+    let report = sim.run(100);
     assert!(
-        sim.drift.max_relative_drift() < 1e-3,
+        report.max_drift < 1e-3,
         "threaded drift {}",
-        sim.drift.max_relative_drift()
+        report.max_drift
     );
 }
 
 fn thermo_trace(threads: usize, steps: u64) -> Vec<(u64, u64)> {
-    let (sim_box, mut atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.04, 21);
-    let masses = vec![units::mass::SI];
-    init_velocities(&mut atoms, &masses, 400.0, 5);
+    let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.04, 21);
     let potential = make_potential(
         TersoffParams::silicon(),
         TersoffOptions::default().with_threads(threads),
     );
-    let config = SimulationConfig {
-        masses,
-        thermo_every: 5,
-        ..Default::default()
-    };
-    let mut sim = Simulation::new(atoms, sim_box, potential, config);
+    let mut sim = Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI])
+        .temperature(400.0, 5)
+        .thermo_every(5)
+        .build()
+        .expect("valid threaded setup");
     sim.run(steps);
-    sim.thermo_history
+    sim.thermo_history()
         .iter()
         .map(|t| (t.step, t.total.to_bits()))
         .collect()

@@ -1,0 +1,179 @@
+//! The scenario layer's cross-crate guarantees:
+//!
+//! * spec files round-trip through JSON without loss,
+//! * the enum names (`ExecutionMode`, `Scheme`, `BackendImpl`) round-trip
+//!   through `Display`/`FromStr` (they are the vocabulary of the spec files),
+//! * **golden equivalence** — executing a scenario produces a thermo trace
+//!   bitwise identical to the equivalent hand-built `SimulationBuilder` run,
+//!   so the declarative layer can never drift from the programmatic API,
+//! * the shipped `scenarios/` specs all load, declare drift bounds, and
+//!   (briefly) run — the same contract the CI smoke job enforces at longer
+//!   step counts via `tersoff-run`.
+
+use lammps_tersoff_vector::prelude::*;
+use lammps_tersoff_vector::scenario::{
+    LatticeSpec, MatrixSpec, ParamSet, PotentialSpec, RunSpec, Scenario, SystemSpec, Variant,
+};
+use std::path::Path;
+use tersoff::driver::BackendImpl;
+
+fn sample_scenario() -> Scenario {
+    Scenario {
+        name: "golden".into(),
+        description: "builder-equivalence fixture".into(),
+        system: SystemSpec {
+            lattice: LatticeSpec::Silicon,
+            cells: [2, 2, 2],
+            perturbation: 0.04,
+            lattice_seed: 21,
+            temperature: 400.0,
+            velocity_seed: 5,
+        },
+        potential: PotentialSpec {
+            params: ParamSet::Silicon,
+            mode: ExecutionMode::OptM,
+            scheme: Scheme::FusedLanes,
+            width: 0,
+            threads: 2,
+            backend: None,
+        },
+        run: RunSpec {
+            timestep: 0.001,
+            skin: 1.0,
+            steps: 30,
+            thermo_every: 5,
+        },
+        matrix: None,
+        max_drift: Some(1e-3),
+    }
+}
+
+#[test]
+fn scenario_round_trips_through_serde_json() {
+    let s = sample_scenario();
+    let text = s.to_json();
+    assert_eq!(Scenario::from_json(&text).unwrap(), s);
+
+    // With matrix and without optional fields.
+    let mut with_matrix = s.clone();
+    with_matrix.matrix = Some(MatrixSpec {
+        modes: vec![ExecutionMode::Ref, ExecutionMode::OptD],
+        threads: vec![1, 4],
+    });
+    with_matrix.max_drift = None;
+    let back = Scenario::from_json(&with_matrix.to_json()).unwrap();
+    assert_eq!(back, with_matrix);
+    assert_eq!(back.variants().len(), 4);
+}
+
+#[test]
+fn enum_labels_round_trip_through_from_str() {
+    for mode in ExecutionMode::ALL {
+        assert_eq!(mode.label().parse::<ExecutionMode>().unwrap(), mode);
+        assert_eq!(format!("{mode}"), mode.label());
+    }
+    for scheme in Scheme::ALL {
+        assert_eq!(scheme.label().parse::<Scheme>().unwrap(), scheme);
+        assert_eq!(format!("{scheme}"), scheme.label());
+    }
+    for backend in BackendImpl::ALL {
+        assert_eq!(backend.name().parse::<BackendImpl>().unwrap(), backend);
+        assert_eq!(format!("{backend}"), backend.name());
+    }
+    assert!("nope".parse::<ExecutionMode>().is_err());
+    assert!("nope".parse::<Scheme>().is_err());
+    assert!("nope".parse::<BackendImpl>().is_err());
+}
+
+/// The golden test: a `tersoff-run` scenario execution must be bitwise
+/// identical to the equivalent hand-built `SimulationBuilder` run — same
+/// lattice, same seeds, same kernel, same threaded engine.
+#[test]
+fn scenario_execution_is_bitwise_identical_to_hand_built_run() {
+    let scenario = sample_scenario();
+
+    // The declarative path (what `tersoff-run` does).
+    let outcome = scenario.execute(None).expect("scenario runs");
+    let scenario_trace: Vec<(u64, u64, u64)> = outcome.variants[0]
+        .trace
+        .iter()
+        .map(|t| (t.step, t.potential.to_bits(), t.total.to_bits()))
+        .collect();
+
+    // The hand-built path: everything assembled explicitly.
+    let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.04, 21);
+    let potential = make_potential(
+        TersoffParams::silicon(),
+        TersoffOptions {
+            mode: ExecutionMode::OptM,
+            scheme: Scheme::FusedLanes,
+            width: 0,
+            threads: 2,
+            backend: None,
+        },
+    );
+    let mut sim = Simulation::builder(atoms, sim_box, potential)
+        .timestep(0.001)
+        .skin(1.0)
+        .masses(vec![units::mass::SI])
+        .temperature(400.0, 5)
+        .thermo_every(5)
+        .build()
+        .expect("valid hand-built setup");
+    sim.run(30);
+    let hand_trace: Vec<(u64, u64, u64)> = sim
+        .thermo_history()
+        .iter()
+        .map(|t| (t.step, t.potential.to_bits(), t.total.to_bits()))
+        .collect();
+
+    assert!(!scenario_trace.is_empty());
+    assert_eq!(
+        scenario_trace, hand_trace,
+        "scenario execution diverged from the equivalent hand-built run"
+    );
+}
+
+#[test]
+fn shipped_scenarios_load_and_run_briefly() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    let scenarios = Scenario::discover(&dir).expect("scenarios/ loads");
+    assert!(
+        scenarios.len() >= 4,
+        "expected the shipped scenario set, found {}",
+        scenarios.len()
+    );
+    for (path, scenario) in scenarios {
+        assert!(
+            scenario.max_drift.is_some(),
+            "{}: shipped scenarios must declare a drift bound for the CI smoke job",
+            path.display()
+        );
+        // A couple of steps only — the CI smoke job runs them longer.
+        let outcome = scenario
+            .execute(Some(2))
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(outcome.steps, 2);
+        for v in &outcome.variants {
+            assert!(
+                v.report.final_thermo.potential < 0.0,
+                "{}: {} ended unbound",
+                path.display(),
+                v.label
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_variant_options_match_the_spec() {
+    let scenario = sample_scenario();
+    let options = scenario.options_for(Variant {
+        mode: ExecutionMode::OptD,
+        threads: 4,
+    });
+    assert_eq!(options.mode, ExecutionMode::OptD);
+    assert_eq!(options.scheme, Scheme::FusedLanes);
+    assert_eq!(options.threads, 4);
+    assert_eq!(options.label(), "Opt-D/1b/w8/t4");
+}
