@@ -1,21 +1,32 @@
-//! Benchmark regression gate: compare a fresh `BENCH_fig5_single_node.json`
-//! against a committed baseline snapshot and fail on significant
-//! slowdowns.
+//! Benchmark regression gate: compare fresh benchmark reports against
+//! committed baseline snapshots and fail on significant slowdowns.
 //!
-//! Usage:
+//! Two modes:
 //!
 //! ```text
-//! bench_diff <baseline.json> <current.json> [--fail-pct 15] [--warn-pct 5]
-//!            [--metric seconds_per_step] [--update] [--strict]
+//! bench_diff <baseline.json> <current.json> [flags]          # one report
+//! bench_diff --scenarios <baseline-dir> <current-dir> [flags]  # every BENCH_scenario_*.json
 //! ```
+//!
+//! Flags: `[--fail-pct 15] [--warn-pct 5] [--metric seconds_per_step]
+//! [--update] [--strict]`.
 //!
 //! For every `(mode, threads)` series entry present in the baseline, the
 //! chosen metric is compared: a regression (current slower) above
 //! `--fail-pct` fails the run (exit code 1), above `--warn-pct` prints a
 //! warning. A markdown summary table goes to stdout so CI can paste it into
 //! the job log / step summary. `--update` rewrites the baseline from the
-//! current file instead of comparing (for refreshing the snapshot after an
+//! current file(s) instead of comparing (for refreshing snapshots after an
 //! intentional performance change).
+//!
+//! `--scenarios` gates the reports `tersoff-run` writes the same way fig5 is
+//! gated: each `BENCH_scenario_<name>.json` in `<current-dir>` is compared
+//! against `<baseline-dir>/scenario_<name>.json`. A scenario without a
+//! baseline is reported (not failing — run `--update` to adopt it); a
+//! baseline whose scenario vanished from the current run fails, so the gate
+//! cannot silently disarm. Absolute timings only hard-fail when the
+//! baseline's host fingerprint (executed vektor backend + CPU count) matches
+//! the current run, exactly as in single-report mode.
 //!
 //! JSON is read through `lammps_tersoff_vector::json` — the workspace's one
 //! hand-rolled reader (the offline build has no serde_json; the input
@@ -23,14 +34,15 @@
 
 use lammps_tersoff_vector::json::{parse as parse_json, Json};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 // ---------------------------------------------------------------------------
 // The diff
 // ---------------------------------------------------------------------------
 
-/// The metric value of every `(mode, threads)` series entry in a fig5
-/// report, keyed for deterministic iteration order.
+/// The metric value of every `(mode, threads)` series entry in a report,
+/// keyed for deterministic iteration order.
 fn series_metrics(report: &Json, metric: &str) -> Result<BTreeMap<(String, u64), f64>, String> {
     let series = report
         .get("series")
@@ -61,135 +73,40 @@ fn load(path: &str) -> Result<Json, String> {
     parse_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-struct Args {
-    baseline: String,
-    current: String,
-    fail_pct: f64,
-    warn_pct: f64,
-    metric: String,
-    update: bool,
-    strict: bool,
+fn backend(r: &Json) -> String {
+    r.get("executed_backend")
+        .and_then(|b| b.as_str())
+        .unwrap_or("unknown")
+        .to_string()
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: bench_diff <baseline.json> <current.json> \
-         [--fail-pct 15] [--warn-pct 5] [--metric seconds_per_step] [--update] [--strict]"
-    );
-    std::process::exit(2);
+fn parallelism(r: &Json) -> u64 {
+    r.get("available_parallelism")
+        .and_then(|p| p.as_f64())
+        .unwrap_or(0.0) as u64
 }
 
-fn parse_args() -> Args {
-    let mut positional = Vec::new();
-    let mut fail_pct = 15.0;
-    let mut warn_pct = 5.0;
-    let mut metric = "seconds_per_step".to_string();
-    let mut update = false;
-    let mut strict = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--fail-pct" => {
-                fail_pct = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--warn-pct" => {
-                warn_pct = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--metric" => metric = args.next().unwrap_or_else(|| usage()),
-            "--update" => update = true,
-            "--strict" => strict = true,
-            "--help" | "-h" => usage(),
-            other if other.starts_with("--") => usage(),
-            other => positional.push(other.to_string()),
-        }
-    }
-    if positional.len() != 2 {
-        usage();
-    }
-    Args {
-        baseline: positional.remove(0),
-        current: positional.remove(0),
-        fail_pct,
-        warn_pct,
-        metric,
-        update,
-        strict,
-    }
-}
+/// Compare one baseline report against one current report, printing the
+/// markdown table. Returns `(failures, warnings)`; failures only count when
+/// the gate is armed (host fingerprints match, or `--strict`).
+fn compare_reports(baseline: &Json, current: &Json, args: &Args) -> Result<(usize, usize), String> {
+    let base_metrics = series_metrics(baseline, &args.metric)?;
+    let cur_metrics = series_metrics(current, &args.metric)?;
 
-fn main() -> ExitCode {
-    let args = parse_args();
-
-    if args.update {
-        match std::fs::copy(&args.current, &args.baseline) {
-            Ok(_) => {
-                println!("baseline {} updated from {}", args.baseline, args.current);
-                return ExitCode::SUCCESS;
-            }
-            Err(e) => {
-                eprintln!("bench_diff: cannot update baseline: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-
-    let (baseline, current) = match (load(&args.baseline), load(&args.current)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (b, c) => {
-            for err in [b.err(), c.err()].into_iter().flatten() {
-                eprintln!("bench_diff: {err}");
-            }
-            return ExitCode::FAILURE;
-        }
-    };
-    let (base_metrics, cur_metrics) = match (
-        series_metrics(&baseline, &args.metric),
-        series_metrics(&current, &args.metric),
-    ) {
-        (Ok(b), Ok(c)) => (b, c),
-        (b, c) => {
-            for err in [b.err(), c.err()].into_iter().flatten() {
-                eprintln!("bench_diff: {err}");
-            }
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let backend = |r: &Json| {
-        r.get("executed_backend")
-            .and_then(|b| b.as_str())
-            .unwrap_or("unknown")
-            .to_string()
-    };
-    let parallelism = |r: &Json| {
-        r.get("available_parallelism")
-            .and_then(|p| p.as_f64())
-            .unwrap_or(0.0) as u64
-    };
     // Absolute timings only gate when the baseline's host fingerprint
     // (executed vektor backend + CPU count) matches the current run;
     // otherwise regressions are reported but demoted to warnings, because a
     // committed baseline from a different machine class says nothing about
     // this commit. `--strict` restores hard failing regardless.
     let host_match =
-        backend(&baseline) == backend(&current) && parallelism(&baseline) == parallelism(&current);
+        backend(baseline) == backend(current) && parallelism(baseline) == parallelism(current);
     let gating = host_match || args.strict;
     println!(
-        "## Bench regression gate: `{}` (fail > {:.0}%, warn > {:.0}%)\n",
-        args.metric, args.fail_pct, args.warn_pct
-    );
-    println!(
         "baseline: `{}` backend, {} CPUs · current: `{}` backend, {} CPUs{}\n",
-        backend(&baseline),
-        parallelism(&baseline),
-        backend(&current),
-        parallelism(&current),
+        backend(baseline),
+        parallelism(baseline),
+        backend(current),
+        parallelism(current),
         if gating {
             ""
         } else {
@@ -249,13 +166,7 @@ fn main() -> ExitCode {
         "\n{} series compared: {failures} failing, {warnings} warnings.",
         base_metrics.len()
     );
-    if failures > 0 && gating {
-        eprintln!(
-            "bench_diff: {failures} series regressed more than {:.0}% — failing the gate",
-            args.fail_pct
-        );
-        ExitCode::FAILURE
-    } else {
+    if !gating {
         if failures > 0 {
             eprintln!(
                 "bench_diff: {failures} series regressed more than {:.0}% but the baseline \
@@ -263,7 +174,258 @@ fn main() -> ExitCode {
                 args.fail_pct
             );
         }
+        failures = 0;
+    }
+    Ok((failures, warnings))
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-directory mode
+// ---------------------------------------------------------------------------
+
+/// `BENCH_scenario_*.json` files in `dir`, sorted by name.
+fn scenario_reports(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_scenario_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// The committed-baseline file for a current `BENCH_scenario_<name>.json`:
+/// `<baseline-dir>/scenario_<name>.json` (the `BENCH_` prefix marks
+/// generated output; baselines drop it like `fig5_single_node.json` does).
+fn baseline_for(current: &Path, baseline_dir: &Path) -> PathBuf {
+    let name = current
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or_default()
+        .trim_start_matches("BENCH_")
+        .to_string();
+    baseline_dir.join(name)
+}
+
+fn run_scenarios_mode(args: &Args) -> ExitCode {
+    let baseline_dir = Path::new(&args.baseline);
+    let current_dir = Path::new(&args.current);
+    let current = match scenario_reports(current_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if current.is_empty() {
+        eprintln!(
+            "bench_diff: no BENCH_scenario_*.json in {} (run tersoff-run first)",
+            current_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if args.update {
+        for cur in &current {
+            let base = baseline_for(cur, baseline_dir);
+            match std::fs::copy(cur, &base) {
+                Ok(_) => println!("baseline {} updated from {}", base.display(), cur.display()),
+                Err(e) => {
+                    eprintln!("bench_diff: cannot update {}: {e}", base.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "## Scenario bench gate: `{}` (fail > {:.0}%, warn > {:.0}%)\n",
+        args.metric, args.fail_pct, args.warn_pct
+    );
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+    let mut compared: Vec<PathBuf> = Vec::new();
+    for cur in &current {
+        let base = baseline_for(cur, baseline_dir);
+        println!("### {}\n", cur.display());
+        if !base.exists() {
+            println!(
+                "no committed baseline ({}) — skipping (adopt with `--update`)\n",
+                base.display()
+            );
+            warnings += 1;
+            continue;
+        }
+        compared.push(base.clone());
+        let result = load(&base.display().to_string())
+            .and_then(|b| load(&cur.display().to_string()).map(|c| (b, c)))
+            .and_then(|(b, c)| compare_reports(&b, &c, args));
+        match result {
+            Ok((f, w)) => {
+                failures += f;
+                warnings += w;
+            }
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                failures += 1;
+            }
+        }
+        println!();
+    }
+    // A committed baseline whose scenario no longer produces a report must
+    // fail, or deleting a spec silently disarms its gate.
+    if let Ok(entries) = std::fs::read_dir(baseline_dir) {
+        for path in entries.filter_map(|e| e.ok().map(|e| e.path())) {
+            let is_scenario_baseline = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("scenario_") && n.ends_with(".json"));
+            if is_scenario_baseline && !compared.contains(&path) {
+                eprintln!(
+                    "bench_diff: baseline {} has no current report — \
+                     did the scenario (or its run) disappear?",
+                    path.display()
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    println!(
+        "{} scenario report(s): {failures} failing, {warnings} warnings.",
+        current.len()
+    );
+    if failures > 0 {
+        eprintln!("bench_diff: scenario gate failing");
+        ExitCode::FAILURE
+    } else {
         ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------------
+
+struct Args {
+    baseline: String,
+    current: String,
+    fail_pct: f64,
+    warn_pct: f64,
+    metric: String,
+    update: bool,
+    strict: bool,
+    scenarios: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff <baseline.json> <current.json> \
+         [--fail-pct 15] [--warn-pct 5] [--metric seconds_per_step] [--update] [--strict]\n\
+         \x20      bench_diff --scenarios <baseline-dir> <current-dir> [same flags]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut fail_pct = 15.0;
+    let mut warn_pct = 5.0;
+    let mut metric = "seconds_per_step".to_string();
+    let mut update = false;
+    let mut strict = false;
+    let mut scenarios = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fail-pct" => {
+                fail_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--warn-pct" => {
+                warn_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--metric" => metric = args.next().unwrap_or_else(|| usage()),
+            "--update" => update = true,
+            "--strict" => strict = true,
+            "--scenarios" => scenarios = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    Args {
+        baseline: positional.remove(0),
+        current: positional.remove(0),
+        fail_pct,
+        warn_pct,
+        metric,
+        update,
+        strict,
+        scenarios,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if args.scenarios {
+        return run_scenarios_mode(&args);
+    }
+
+    if args.update {
+        match std::fs::copy(&args.current, &args.baseline) {
+            Ok(_) => {
+                println!("baseline {} updated from {}", args.baseline, args.current);
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("bench_diff: cannot update baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (baseline, current) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_diff: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "## Bench regression gate: `{}` (fail > {:.0}%, warn > {:.0}%)\n",
+        args.metric, args.fail_pct, args.warn_pct
+    );
+    match compare_reports(&baseline, &current, &args) {
+        Ok((failures, _warnings)) if failures > 0 => {
+            eprintln!(
+                "bench_diff: {failures} series regressed more than {:.0}% — failing the gate",
+                args.fail_pct
+            );
+            ExitCode::FAILURE
+        }
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -305,5 +467,55 @@ mod tests {
     fn missing_series_is_an_error() {
         let v = parse_json(r#"{"figure": "x"}"#).unwrap();
         assert!(series_metrics(&v, "seconds_per_step").is_err());
+    }
+
+    #[test]
+    fn baseline_path_drops_the_bench_prefix() {
+        let base = baseline_for(
+            Path::new("out/BENCH_scenario_silicon_fig5.json"),
+            Path::new("BENCH_baseline"),
+        );
+        assert_eq!(base, Path::new("BENCH_baseline/scenario_silicon_fig5.json"));
+    }
+
+    #[test]
+    fn compare_reports_gates_on_matching_hosts_only() {
+        let args = Args {
+            baseline: String::new(),
+            current: String::new(),
+            fail_pct: 15.0,
+            warn_pct: 5.0,
+            metric: "seconds_per_step".into(),
+            update: false,
+            strict: false,
+            scenarios: false,
+        };
+        let base = parse_json(
+            r#"{"executed_backend": "portable", "available_parallelism": 1,
+                "series": [{"mode": "Ref", "threads": 1, "seconds_per_step": 1.0e-3}]}"#,
+        )
+        .unwrap();
+        let slower_same_host = parse_json(
+            r#"{"executed_backend": "portable", "available_parallelism": 1,
+                "series": [{"mode": "Ref", "threads": 1, "seconds_per_step": 2.0e-3}]}"#,
+        )
+        .unwrap();
+        let (failures, _) = compare_reports(&base, &slower_same_host, &args).unwrap();
+        assert_eq!(failures, 1, "2x slowdown on a matching host must fail");
+
+        let slower_other_host = parse_json(
+            r#"{"executed_backend": "avx2", "available_parallelism": 8,
+                "series": [{"mode": "Ref", "threads": 1, "seconds_per_step": 2.0e-3}]}"#,
+        )
+        .unwrap();
+        let (failures, _) = compare_reports(&base, &slower_other_host, &args).unwrap();
+        assert_eq!(failures, 0, "host mismatch demotes to warnings");
+
+        let strict = Args {
+            strict: true,
+            ..args
+        };
+        let (failures, _) = compare_reports(&base, &slower_other_host, &strict).unwrap();
+        assert_eq!(failures, 1, "--strict arms the gate regardless of host");
     }
 }

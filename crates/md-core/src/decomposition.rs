@@ -16,6 +16,7 @@
 use crate::atom::AtomData;
 use crate::neighbor::{NeighborList, NeighborSettings};
 use crate::potential::{ComputeOutput, Potential};
+use crate::runtime::{DisjointSlice, ParallelRuntime};
 use crate::simbox::SimBox;
 use crate::timer::{Stage, Timers};
 use std::collections::HashMap;
@@ -33,6 +34,9 @@ pub struct RankDomain {
     pub atoms: AtomData,
     /// Force-computation output of the last call.
     pub output: ComputeOutput,
+    /// This rank's neighbor list (rebuilt in place by
+    /// [`DecomposedSystem::compute_forces`], reusing its storage).
+    pub list: NeighborList,
 }
 
 /// A decomposed system.
@@ -47,6 +51,13 @@ pub struct DecomposedSystem {
     pub ghost_cutoff: f64,
     /// Aggregated communication/neighbor/force timers.
     pub timers: Timers,
+    /// The shared runtime ghost exchange dispatches through (serial unless
+    /// [`DecomposedSystem::use_runtime`] hands one in).
+    runtime: ParallelRuntime,
+    /// Reusable snapshot of all owned atoms `(id, type, position, owner)`,
+    /// rebuilt in place by every exchange so the steady state allocates
+    /// nothing.
+    snapshot: Vec<(u64, usize, [f64; 3], usize)>,
 }
 
 impl DecomposedSystem {
@@ -73,6 +84,7 @@ impl DecomposedSystem {
                         domain: global_box.subdomain(grid, coord),
                         atoms: AtomData::new(),
                         output: ComputeOutput::default(),
+                        list: NeighborList::default(),
                     });
                 }
             }
@@ -99,7 +111,20 @@ impl DecomposedSystem {
             ranks,
             ghost_cutoff: 0.0,
             timers: Timers::new(),
+            runtime: ParallelRuntime::serial(),
+            snapshot: Vec::new(),
         }
+    }
+
+    /// Dispatch ghost exchange through (a handle to) `runtime` — the same
+    /// shared pool a simulation's force engine and integrator run on.
+    pub fn use_runtime(&mut self, runtime: &ParallelRuntime) {
+        self.runtime = runtime.clone();
+    }
+
+    /// The runtime ghost exchange dispatches through.
+    pub fn runtime(&self) -> &ParallelRuntime {
+        &self.runtime
     }
 
     fn rank_index(grid: [usize; 3], coord: [usize; 3]) -> usize {
@@ -111,59 +136,88 @@ impl DecomposedSystem {
     /// `cutoff` of its sub-domain. Ghost positions are stored already shifted
     /// by the periodic image vector so that rank-local computations never
     /// need to apply minimum-image corrections.
+    ///
+    /// Ranks build their ghost lists concurrently on the shared runtime
+    /// (each rank writes only its own atom storage while reading the shared
+    /// owned-atom snapshot), and each rank's list is assembled in a fixed
+    /// scan order — the exchange is bitwise identical for any thread count.
+    /// All buffers (the snapshot and every rank's ghost storage) are reused
+    /// across exchanges, so the steady state performs no heap allocation
+    /// (audited by `tests/alloc_free.rs`).
     pub fn exchange_ghosts(&mut self, cutoff: f64) {
         assert!(cutoff > 0.0);
         self.ghost_cutoff = cutoff;
         let lengths = self.global_box.lengths();
         let periodic = self.global_box.periodic;
+        let grid = self.grid;
 
-        // Snapshot of all owned atoms (id, type, position, owner rank).
-        let mut all: Vec<(u64, usize, [f64; 3], usize)> = Vec::new();
+        // Snapshot of all owned atoms (id, type, position, owner rank),
+        // rebuilt into the retained buffer.
+        self.snapshot.clear();
         for r in &mut self.ranks {
             r.atoms.clear_ghosts();
             for i in 0..r.atoms.n_local {
-                all.push((r.atoms.id[i], r.atoms.type_[i], r.atoms.x[i], r.rank));
+                self.snapshot
+                    .push((r.atoms.id[i], r.atoms.type_[i], r.atoms.x[i], r.rank));
             }
         }
 
-        let shifts_for = |d: usize| -> Vec<f64> {
-            if periodic[d] && self.grid[d] >= 1 {
-                vec![-lengths[d], 0.0, lengths[d]]
+        // Periodic image shifts per dimension: ±L and 0 where periodic,
+        // just 0 otherwise (fixed-size, no per-call allocation).
+        let shifts_for = |d: usize| -> ([f64; 3], usize) {
+            if periodic[d] && grid[d] >= 1 {
+                ([-lengths[d], 0.0, lengths[d]], 3)
             } else {
-                vec![0.0]
+                ([0.0, 0.0, 0.0], 1)
             }
         };
         let (sx, sy, sz) = (shifts_for(0), shifts_for(1), shifts_for(2));
 
         let start = std::time::Instant::now();
-        for r in &mut self.ranks {
-            let lo = r.domain.lo;
-            let hi = r.domain.hi;
-            for &(id, type_, x, owner) in &all {
-                for &dx in &sx {
-                    for &dy in &sy {
-                        for &dz in &sz {
-                            let img = [x[0] + dx, x[1] + dy, x[2] + dz];
-                            // Skip the atom's own primary copy on its own rank.
-                            if owner == r.rank && dx == 0.0 && dy == 0.0 && dz == 0.0 {
-                                continue;
-                            }
-                            // Within `cutoff` of this rank's sub-domain?
-                            let mut inside = true;
-                            for d in 0..3 {
-                                let p = img[d];
-                                if p < lo[d] - cutoff || p > hi[d] + cutoff {
-                                    inside = false;
-                                    break;
+        let DecomposedSystem {
+            ranks,
+            snapshot,
+            runtime,
+            ..
+        } = self;
+        let all: &[(u64, usize, [f64; 3], usize)] = snapshot;
+        let n_ranks = ranks.len();
+        {
+            let ranks = DisjointSlice::new(ranks);
+            runtime.par_parts(n_ranks, |range| {
+                for k in range {
+                    // SAFETY: participant rank ranges are disjoint.
+                    let r = unsafe { ranks.get_mut(k) };
+                    let lo = r.domain.lo;
+                    let hi = r.domain.hi;
+                    for &(id, type_, x, owner) in all {
+                        for &dx in &sx.0[..sx.1] {
+                            for &dy in &sy.0[..sy.1] {
+                                for &dz in &sz.0[..sz.1] {
+                                    let img = [x[0] + dx, x[1] + dy, x[2] + dz];
+                                    // Skip the atom's own primary copy on
+                                    // its own rank.
+                                    if owner == r.rank && dx == 0.0 && dy == 0.0 && dz == 0.0 {
+                                        continue;
+                                    }
+                                    // Within `cutoff` of this sub-domain?
+                                    let mut inside = true;
+                                    for d in 0..3 {
+                                        let p = img[d];
+                                        if p < lo[d] - cutoff || p > hi[d] + cutoff {
+                                            inside = false;
+                                            break;
+                                        }
+                                    }
+                                    if inside {
+                                        r.atoms.push_ghost(img, type_, id);
+                                    }
                                 }
-                            }
-                            if inside {
-                                r.atoms.push_ghost(img, type_, id);
                             }
                         }
                     }
                 }
-            }
+            });
         }
         self.timers.add(Stage::Comm, start.elapsed());
     }
@@ -185,17 +239,28 @@ impl DecomposedSystem {
             settings.build_cutoff()
         );
 
-        // Per-rank force computation.
-        for r in &mut self.ranks {
+        // Per-rank force computation. Ranks run sequentially, but each
+        // rank's neighbor rebuild dispatches through the shared runtime
+        // (and reuses the rank's CRS/bin storage in place), and a threaded
+        // potential parallelizes within the rank.
+        let DecomposedSystem {
+            ranks,
+            global_box,
+            timers,
+            runtime,
+            ..
+        } = self;
+        for r in ranks.iter_mut() {
             let atoms = &r.atoms;
-            let global_box = &self.global_box;
-            let list = self.timers.time(Stage::Neighbor, || {
-                NeighborList::build_binned(atoms, global_box, settings)
+            let list = &mut r.list;
+            timers.time(Stage::Neighbor, || {
+                list.rebuild_on(atoms, global_box, settings, runtime)
             });
             r.output.reset(atoms.n_total());
             let out = &mut r.output;
-            self.timers.time(Stage::Force, || {
-                potential.compute(atoms, global_box, &list, out);
+            let list = &r.list;
+            timers.time(Stage::Force, || {
+                potential.compute(atoms, global_box, list, out);
             });
         }
 

@@ -1,0 +1,207 @@
+//! Trajectory writers: observers that dump atom configurations to disk.
+//!
+//! [`XyzDump`] writes the ubiquitous XYZ format — one frame per sampling
+//! interval, each frame an atom count, a comment line carrying the step
+//! number and box lengths, and one `element x y z` line per local atom —
+//! which every common visualizer (OVITO, VMD, ASE) reads directly. It plugs
+//! into the simulation loop as an [`Observer`], the same extension point as
+//! the thermo log and timing printers; the `scenario` layer of the facade
+//! crate exposes it as the `dump` field of a scenario spec.
+
+use crate::observer::{Observer, RunReport, StepContext};
+use std::any::Any;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// An [`Observer`] that appends an XYZ frame at every step whose index is a
+/// multiple of `every`, writing through a buffered file.
+///
+/// Element symbols are looked up per atom type; types beyond the supplied
+/// table fall back to `"X"`. Write errors do not panic the simulation loop:
+/// the dump disarms itself and reports the first error through
+/// [`XyzDump::error`] (the scenario runner turns that into a failure).
+pub struct XyzDump {
+    path: PathBuf,
+    every: u64,
+    elements: Vec<String>,
+    writer: Option<BufWriter<File>>,
+    frames: u64,
+    error: Option<String>,
+}
+
+impl XyzDump {
+    /// Create (truncating) the dump file at `path`, writing one frame at
+    /// every step divisible by `every`; `every == 0` disables frame writing
+    /// entirely (the scenario layer rejects it at parse time). `elements`
+    /// maps atom type index → element symbol.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        every: u64,
+        elements: Vec<String>,
+    ) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(XyzDump {
+            path,
+            every,
+            elements,
+            writer: Some(BufWriter::new(file)),
+            frames: 0,
+            error: None,
+        })
+    }
+
+    /// The file the dump writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Frames written so far.
+    pub fn frames_written(&self) -> u64 {
+        self.frames
+    }
+
+    /// The first write error, if any (the dump stops writing after one).
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    fn write_frame(&mut self, ctx: &StepContext<'_>) {
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
+        let lengths = ctx.sim_box.lengths();
+        let result = (|| -> std::io::Result<()> {
+            writeln!(writer, "{}", ctx.atoms.n_local)?;
+            writeln!(
+                writer,
+                "step={} box=\"{:.6} {:.6} {:.6}\"",
+                ctx.step, lengths[0], lengths[1], lengths[2]
+            )?;
+            for i in 0..ctx.atoms.n_local {
+                let p = ctx.atoms.x[i];
+                let element = self
+                    .elements
+                    .get(ctx.atoms.type_[i])
+                    .map(String::as_str)
+                    .unwrap_or("X");
+                writeln!(writer, "{element} {:.8} {:.8} {:.8}", p[0], p[1], p[2])?;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => self.frames += 1,
+            Err(e) => {
+                self.error = Some(format!("{}: {e}", self.path.display()));
+                self.writer = None;
+            }
+        }
+    }
+}
+
+impl Observer for XyzDump {
+    fn on_step(&mut self, ctx: &StepContext<'_>) {
+        let due = self.every > 0 && ctx.step.is_multiple_of(self.every);
+        if due {
+            self.write_frame(ctx);
+        }
+    }
+
+    fn on_finish(&mut self, _report: &RunReport) {
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.flush() {
+                self.error = Some(format!("{}: {e}", self.path.display()));
+                self.writer = None;
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Lattice;
+    use crate::pair_lj::LennardJones;
+    use crate::simulation::Simulation;
+    use crate::units;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("md_core_dump_{name}_{}.xyz", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn dumps_frames_at_the_requested_cadence() {
+        let path = temp_path("cadence");
+        let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.02, 3);
+        let n_atoms = atoms.n_local;
+        let lj = LennardJones::new(0.1, 2.0, 4.0);
+        let dump = XyzDump::create(&path, 5, vec!["Si".to_string()]).expect("create dump");
+        let mut sim = Simulation::builder(atoms, sim_box, lj)
+            .masses(vec![units::mass::SI])
+            .observe(dump)
+            .build()
+            .expect("valid setup");
+        sim.run(12);
+
+        let dump = sim.observer::<XyzDump>().expect("dump registered");
+        assert_eq!(dump.frames_written(), 2); // steps 5 and 10
+        assert!(dump.error().is_none());
+        assert_eq!(dump.path(), path.as_path());
+
+        // on_finish flushed the buffer, so the file is complete on disk.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2 * (n_atoms + 2));
+        assert_eq!(lines[0].parse::<usize>().unwrap(), n_atoms);
+        assert!(lines[1].starts_with("step=5 box="));
+        assert!(lines[2].starts_with("Si "));
+        assert!(lines[n_atoms + 3].starts_with("step=10"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_types_fall_back_to_x() {
+        let path = temp_path("fallback");
+        let mut atoms = crate::atom::AtomData::new();
+        atoms.push_local([1.0; 3], [0.0; 3], 0, 1);
+        atoms.push_local([2.0; 3], [0.0; 3], 5, 2); // type with no symbol
+        let sim_box = crate::simbox::SimBox::cubic(10.0);
+        let mut dump = XyzDump::create(&path, 1, vec!["Si".into()]).unwrap();
+        let ctx = StepContext {
+            step: 1,
+            atoms: &atoms,
+            sim_box: &sim_box,
+            masses: &[1.0],
+            n_rebuilds: 0,
+        };
+        dump.on_step(&ctx);
+        dump.on_finish(&RunReport {
+            steps: 1,
+            total_steps: 1,
+            rebuilds: 0,
+            total_rebuilds: 0,
+            wall_seconds: 0.0,
+            ns_per_day: 0.0,
+            max_drift: 0.0,
+            last_drift: 0.0,
+            final_thermo: Default::default(),
+            timers: Default::default(),
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].starts_with("Si "));
+        assert!(lines[3].starts_with("X "));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -5,33 +5,39 @@
 //! across-threads half for any force field that can compute a contiguous
 //! range of atoms independently ([`RangePotential`]):
 //!
-//! * Local atoms are partitioned into one contiguous chunk per thread.
-//!   Lattice builders emit atoms in spatial (cell-major) order, so contiguous
-//!   index chunks are also spatial slabs — the same locality argument as the
-//!   rank decomposition in [`crate::decomposition`], without ghost exchange.
-//! * Every thread accumulates into its **own** full-length force array, so
-//!   the conflict-handled scatters of vectorization scheme (1b) never cross a
-//!   thread boundary and no atomics appear in the hot loop.
-//! * The per-thread arrays are then merged by slicing the atom range across
-//!   the same threads (each thread sums one slice over all per-thread
-//!   arrays), which keeps the reduction parallel and deterministic: chunk
-//!   buffers are added in fixed chunk order, independent of scheduling.
+//! * Local atoms are partitioned into the **fixed chunks** of the shared
+//!   [`crate::runtime`] — contiguous index ranges whose boundaries depend
+//!   only on the atom count, never on the thread count. Lattice builders
+//!   emit atoms in spatial (cell-major) order, so contiguous chunks are also
+//!   spatial slabs — the same locality argument as the rank decomposition in
+//!   [`crate::decomposition`], without ghost exchange.
+//! * Every chunk accumulates into its **own** full-length force array, so
+//!   the conflict-handled scatters of vectorization scheme (1b) never cross
+//!   a chunk boundary and no atomics appear in the hot loop.
+//! * The per-chunk arrays are then merged by slicing the atom axis across
+//!   the participants, each summing its slice over the chunk buffers **in
+//!   ascending chunk order**; energy and virial fold the per-chunk partials
+//!   in the same order. Fixed chunks + ordered merges make the result
+//!   **bitwise identical for every thread count** — 1 thread and 8 threads
+//!   produce the same floating-point summation order.
 //!
-//! The engine is built for an **allocation-free steady state**: workers are
-//! spawned once and re-dispatched through a [`WorkerPool`] (a condvar
-//! hand-off, not a channel, so dispatching a step performs no heap
-//! allocation), per-thread scratch and output buffers are created lazily on
-//! the first step and reused for every following one.
+//! The engine does not own threads: it *borrows* a [`ParallelRuntime`] — the
+//! one thread owner in the system, shared with neighbor rebuilds, ghost
+//! exchange and integration (see [`crate::simulation::SimulationBuilder`]).
+//! The steady state is allocation-free: runtime dispatch is a condvar
+//! hand-off of a borrowed closure, and per-chunk output buffers plus
+//! per-participant scratch are created lazily on the first step and reused
+//! for every following one.
 
 use crate::atom::AtomData;
 use crate::neighbor::NeighborList;
 use crate::potential::{ComputeOutput, Potential};
+use crate::runtime::{fixed_chunk_count, DisjointSlice, ParallelRuntime};
 use crate::simbox::SimBox;
 use std::any::Any;
 use std::ops::Range;
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+
+pub use crate::runtime::chunk_ranges;
 
 /// A potential whose force computation can be split into independent
 /// contiguous ranges of local atoms, with all mutable per-thread state in an
@@ -44,7 +50,11 @@ use std::thread::JoinHandle;
 /// contributions (including scatter writes to atoms *outside* its range —
 /// neighbors j and k) into its own zeroed [`ComputeOutput`]. Summing the
 /// per-range outputs element-wise must reproduce the single-range result up
-/// to floating-point reassociation.
+/// to floating-point reassociation. A scratch may serve several
+/// `compute_range` calls within one step (sequentially), so the computed
+/// output must not depend on scratch *history* — scratch buffers are
+/// overwritten per call, and only associatively-foldable diagnostics
+/// accumulate.
 pub trait RangePotential: Potential + Send + Sync {
     /// Build the per-step shared state. Implementations reuse internal
     /// buffers so the steady state performs no heap allocation.
@@ -89,6 +99,14 @@ impl Potential for Box<dyn RangePotential> {
     ) {
         self.as_mut().compute(atoms, sim_box, neighbors, out);
     }
+
+    fn parallel_runtime(&self) -> Option<ParallelRuntime> {
+        self.as_ref().parallel_runtime()
+    }
+
+    fn bind_runtime(&mut self, runtime: &ParallelRuntime) {
+        self.as_mut().bind_runtime(runtime);
+    }
 }
 
 impl RangePotential for Box<dyn RangePotential> {
@@ -118,269 +136,59 @@ impl RangePotential for Box<dyn RangePotential> {
     }
 }
 
-/// Balanced contiguous partition of `0..n` into `parts` ranges. The first
-/// `n % parts` ranges are one element longer.
-pub fn chunk_ranges(n: usize, parts: usize) -> impl Iterator<Item = Range<usize>> {
-    let parts = parts.max(1);
-    let base = n / parts;
-    let extra = n % parts;
-    (0..parts).map(move |p| {
-        let lo = p * base + p.min(extra);
-        let hi = lo + base + usize::from(p < extra);
-        lo..hi
-    })
-}
-
-// ---------------------------------------------------------------------------
-// Worker pool
-// ---------------------------------------------------------------------------
-
-/// Type-erased job pointer handed to workers. The lifetime is erased; safety
-/// comes from [`WorkerPool::run`] not returning until every worker has
-/// finished with it.
-#[derive(Copy, Clone)]
-struct Job(*const (dyn Fn(usize) + Sync));
-
-// SAFETY: the pointee is `Sync` (callable from any thread through `&`), and
-// the dispatch protocol guarantees it outlives all worker accesses.
-unsafe impl Send for Job {}
-
-struct PoolState {
-    /// Bumped once per dispatched job; workers run when it changes.
-    epoch: u64,
-    /// The current job, valid while `active > 0`.
-    job: Option<Job>,
-    /// Workers still running the current epoch.
-    active: usize,
-    /// Tells workers to exit.
-    shutdown: bool,
-    /// Set when a worker's job panicked.
-    poisoned: bool,
-}
-
-struct PoolShared {
-    state: Mutex<PoolState>,
-    go: Condvar,
-    done: Condvar,
-}
-
-/// A persistent team of worker threads with allocation-free job dispatch.
-///
-/// `run(f)` makes every participant — the calling thread plus each worker —
-/// invoke `f(participant_index)` exactly once, then blocks until all are
-/// done. Dispatch is a mutex/condvar hand-off of a borrowed closure pointer:
-/// no boxing, no channels, no per-step heap traffic.
-pub struct WorkerPool {
-    shared: Arc<PoolShared>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl WorkerPool {
-    /// Spawn `workers` background threads (participant indices `1..=workers`;
-    /// index 0 is the thread that calls [`WorkerPool::run`]).
-    pub fn new(workers: usize) -> Self {
-        let shared = Arc::new(PoolShared {
-            state: Mutex::new(PoolState {
-                epoch: 0,
-                job: None,
-                active: 0,
-                shutdown: false,
-                poisoned: false,
-            }),
-            go: Condvar::new(),
-            done: Condvar::new(),
-        });
-        let handles = (1..=workers)
-            .map(|index| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("force-engine-{index}"))
-                    .spawn(move || worker_loop(&shared, index))
-                    .expect("failed to spawn force-engine worker")
-            })
-            .collect();
-        WorkerPool { shared, handles }
-    }
-
-    /// Number of participants (`workers + 1` for the caller).
-    pub fn participants(&self) -> usize {
-        self.handles.len() + 1
-    }
-
-    /// Run `f(i)` once for every participant index `i` in
-    /// `0..participants()`, with index 0 executed on the calling thread.
-    ///
-    /// Takes `&mut self` deliberately: exclusive access makes overlapping
-    /// dispatches — which would race the shared job slot and could leave a
-    /// worker holding a dangling closure pointer — unrepresentable in safe
-    /// code.
-    pub fn run(&mut self, f: &(dyn Fn(usize) + Sync)) {
-        // SAFETY: erase the borrow lifetime; `run` does not return until
-        // `active == 0`, so no worker touches the pointer afterwards, and
-        // `&mut self` guarantees no second dispatch overlaps this one.
-        let job = Job(unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
-                f as *const _,
-            )
-        });
-        {
-            let mut st = self.shared.state.lock().unwrap();
-            debug_assert_eq!(st.active, 0, "pool dispatched while busy");
-            st.job = Some(job);
-            st.active = self.handles.len();
-            st.epoch += 1;
-            self.shared.go.notify_all();
-        }
-
-        // The caller is participant 0.
-        let caller_panic = panic::catch_unwind(AssertUnwindSafe(|| f(0)));
-
-        let mut st = self.shared.state.lock().unwrap();
-        while st.active != 0 {
-            st = self.shared.done.wait(st).unwrap();
-        }
-        st.job = None;
-        let poisoned = std::mem::replace(&mut st.poisoned, false);
-        drop(st);
-        if let Err(e) = caller_panic {
-            panic::resume_unwind(e);
-        }
-        if poisoned {
-            panic!("a force-engine worker panicked during the parallel section");
-        }
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock().unwrap();
-            st.shutdown = true;
-            self.shared.go.notify_all();
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-fn worker_loop(shared: &PoolShared, index: usize) {
-    let mut seen_epoch = 0u64;
-    loop {
-        let job = {
-            let mut st = shared.state.lock().unwrap();
-            loop {
-                if st.shutdown {
-                    return;
-                }
-                if st.epoch != seen_epoch {
-                    seen_epoch = st.epoch;
-                    break st.job.expect("job set when epoch advances");
-                }
-                st = shared.go.wait(st).unwrap();
-            }
-        };
-        // SAFETY: the dispatcher keeps the closure alive until `active == 0`.
-        let f = unsafe { &*job.0 };
-        let result = panic::catch_unwind(AssertUnwindSafe(|| f(index)));
-        let mut st = shared.state.lock().unwrap();
-        if result.is_err() {
-            st.poisoned = true;
-        }
-        st.active -= 1;
-        if st.active == 0 {
-            shared.done.notify_one();
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Disjoint-access helpers
-// ---------------------------------------------------------------------------
-
-/// Shared mutable access to the elements of a slice under the *caller's*
-/// guarantee that concurrent accesses use disjoint indices/ranges.
-struct DisjointSlice<T> {
-    ptr: *mut T,
-    len: usize,
-}
-
-// SAFETY: access discipline (disjoint indices) is enforced by the engine.
-unsafe impl<T: Send> Sync for DisjointSlice<T> {}
-
-impl<T> DisjointSlice<T> {
-    fn new(slice: &mut [T]) -> Self {
-        DisjointSlice {
-            ptr: slice.as_mut_ptr(),
-            len: slice.len(),
-        }
-    }
-
-    /// # Safety
-    /// `index < len` and no concurrent access to the same index.
-    // The `&self -> &mut` shape is the whole point of this wrapper: the
-    // engine hands workers aliasing-free access to distinct elements.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get_mut(&self, index: usize) -> &mut T {
-        debug_assert!(index < self.len);
-        &mut *self.ptr.add(index)
-    }
-
-    /// # Safety
-    /// `range` in bounds and no concurrent access to overlapping ranges.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
-        debug_assert!(range.start <= range.end && range.end <= self.len);
-        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len())
-    }
-}
-
 // ---------------------------------------------------------------------------
 // The engine
 // ---------------------------------------------------------------------------
 
 /// Multi-threaded [`Potential`] adapter around a [`RangePotential`].
 ///
-/// With `threads == 1` the engine is a zero-overhead pass-through (no pool,
-/// no extra buffers). With more threads it spawns a persistent worker pool on
-/// the first `compute` call and reuses per-thread scratch/output buffers
+/// The engine **borrows** its parallelism: construct it over an existing
+/// [`ParallelRuntime`] with [`ForceEngine::with_runtime`] (the
+/// [`crate::simulation::SimulationBuilder`] re-binds the simulation's
+/// runtime into the potential at build time via
+/// [`Potential::bind_runtime`]), or let [`ForceEngine::new`] create a
+/// runtime for standalone use. Per-chunk output buffers and per-participant
+/// kernel scratch are created lazily on the first `compute` call and reused
 /// forever after, so the steady-state step allocates nothing.
+///
+/// Results are bitwise identical across thread counts: the chunk partition
+/// is fixed by the atom count and all reductions fold per-chunk partials in
+/// ascending chunk order.
 pub struct ForceEngine<P: RangePotential> {
     potential: P,
-    threads: usize,
-    pool: Option<WorkerPool>,
-    /// Per-chunk outputs (one per participant), reused across steps.
+    runtime: ParallelRuntime,
+    /// Per-chunk outputs (one per fixed chunk), reused across steps.
     chunk_out: Vec<ComputeOutput>,
     /// Per-participant kernel scratch, created lazily.
     scratches: Vec<Box<dyn Any + Send>>,
-    /// Chunk ranges of the current step, reused across steps.
-    ranges: Vec<Range<usize>>,
 }
 
 impl<P: RangePotential> ForceEngine<P> {
-    /// Wrap `potential`, running on `threads` threads (`0` = one per
-    /// available CPU).
+    /// Wrap `potential` over a fresh runtime of `threads` participants
+    /// (`0` = one per available CPU). For sharing one runtime across
+    /// subsystems, prefer [`ForceEngine::with_runtime`].
     pub fn new(potential: P, threads: usize) -> Self {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        };
+        Self::with_runtime(potential, &ParallelRuntime::new(threads))
+    }
+
+    /// Wrap `potential`, computing on (a handle to) `runtime`.
+    pub fn with_runtime(potential: P, runtime: &ParallelRuntime) -> Self {
         ForceEngine {
             potential,
-            threads,
-            pool: None,
+            runtime: runtime.clone(),
             chunk_out: Vec::new(),
             scratches: Vec::new(),
-            ranges: Vec::new(),
         }
     }
 
     /// Number of threads the engine computes with.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.runtime.threads()
+    }
+
+    /// The runtime the engine dispatches through.
+    pub fn runtime(&self) -> &ParallelRuntime {
+        &self.runtime
     }
 
     /// The wrapped potential.
@@ -392,27 +200,28 @@ impl<P: RangePotential> ForceEngine<P> {
     pub fn potential_mut(&mut self) -> &mut P {
         &mut self.potential
     }
-
-    fn ensure_workers(&mut self) {
-        if self.pool.is_none() {
-            self.pool = Some(WorkerPool::new(self.threads - 1));
-        }
-        while self.scratches.len() < self.threads {
-            self.scratches.push(self.potential.make_scratch());
-        }
-        while self.chunk_out.len() < self.threads {
-            self.chunk_out.push(ComputeOutput::default());
-        }
-    }
 }
 
 impl<P: RangePotential> Potential for ForceEngine<P> {
     fn name(&self) -> String {
-        format!("{}/t{}", self.potential.name(), self.threads)
+        let threads = self.runtime.threads();
+        if threads == 1 {
+            self.potential.name()
+        } else {
+            format!("{}/t{}", self.potential.name(), threads)
+        }
     }
 
     fn cutoff(&self) -> f64 {
         self.potential.cutoff()
+    }
+
+    fn parallel_runtime(&self) -> Option<ParallelRuntime> {
+        Some(self.runtime.clone())
+    }
+
+    fn bind_runtime(&mut self, runtime: &ParallelRuntime) {
+        self.runtime = runtime.clone();
     }
 
     fn compute(
@@ -427,75 +236,46 @@ impl<P: RangePotential> Potential for ForceEngine<P> {
         let n_local = atoms.n_local;
         out.reset(n_total);
 
-        if self.threads == 1 {
-            if self.scratches.is_empty() {
-                self.scratches.push(self.potential.make_scratch());
-            }
-            let scratch = &mut self.scratches[0];
-            self.potential.compute_range(
-                atoms,
-                sim_box,
-                neighbors,
-                0..n_local,
-                scratch.as_mut(),
-                out,
-            );
-            self.potential.absorb_scratch(scratch.as_mut());
-            return;
+        let n_chunks = fixed_chunk_count(n_local);
+        let participants = self.runtime.threads();
+        while self.scratches.len() < participants {
+            self.scratches.push(self.potential.make_scratch());
+        }
+        while self.chunk_out.len() < n_chunks {
+            self.chunk_out.push(ComputeOutput::default());
         }
 
-        self.ensure_workers();
-        self.ranges.clear();
-        self.ranges.extend(chunk_ranges(n_local, self.threads));
+        let ForceEngine {
+            potential,
+            runtime,
+            chunk_out,
+            scratches,
+        } = self;
 
-        let threads = self.threads;
-        let pool = self.pool.as_mut().expect("pool exists after ensure");
-        let potential = &self.potential;
-        let ranges = &self.ranges;
-
-        // Phase 1: every participant computes its own chunk into its own
-        // full-length output. Scatter writes to out-of-chunk atoms stay in
-        // the per-thread buffer, so no write ever crosses a thread boundary.
+        // Phase 1: every fixed chunk is computed into its own full-length
+        // output. Scatter writes to out-of-chunk atoms stay in the chunk's
+        // buffer, so no write ever crosses a chunk boundary. Participants
+        // process contiguous blocks of chunks; the per-chunk result does not
+        // depend on which participant ran it.
         {
-            let chunk_out = DisjointSlice::new(&mut self.chunk_out);
-            let scratches = DisjointSlice::new(&mut self.scratches);
-            pool.run(&|who| {
-                // SAFETY: each participant index is used by exactly one
-                // thread per dispatch.
-                let my_out = unsafe { chunk_out.get_mut(who) };
-                let my_scratch = unsafe { scratches.get_mut(who) };
+            let chunk_out = DisjointSlice::new(chunk_out);
+            runtime.par_for(n_local, scratches, |c, range, scratch| {
+                // SAFETY: each chunk index is processed by exactly one
+                // participant per dispatch.
+                let my_out = unsafe { chunk_out.get_mut(c) };
                 my_out.reset(n_total);
-                potential.compute_range(
-                    atoms,
-                    sim_box,
-                    neighbors,
-                    ranges[who].clone(),
-                    my_scratch.as_mut(),
-                    my_out,
-                );
+                potential.compute_range(atoms, sim_box, neighbors, range, scratch.as_mut(), my_out);
             });
         }
 
-        // Phase 2: parallel reduction. Each participant owns one slice of the
-        // atom axis and sums the per-chunk buffers over it in fixed chunk
-        // order (deterministic for a given thread count).
+        // Phase 2: parallel reduction. Each participant owns one slice of
+        // the atom axis and sums the per-chunk buffers over it in ascending
+        // chunk order (deterministic for any thread count).
         {
-            let chunk_out: &[ComputeOutput] = &self.chunk_out;
-            let forces = DisjointSlice::new(&mut out.forces);
-            pool.run(&|who| {
-                let mut lo = 0usize;
-                let mut hi = 0usize;
-                for (idx, r) in chunk_ranges(n_total, threads).enumerate() {
-                    if idx == who {
-                        lo = r.start;
-                        hi = r.end;
-                        break;
-                    }
-                }
-                // SAFETY: slices are disjoint across participants.
-                let dst = unsafe { forces.slice_mut(lo..hi) };
-                for chunk in chunk_out.iter().take(threads) {
-                    let src = &chunk.forces[lo..hi];
+            let chunk_out: &[ComputeOutput] = &chunk_out[..n_chunks];
+            runtime.par_slices(&mut out.forces, |range, dst| {
+                for chunk in chunk_out {
+                    let src = &chunk.forces[range.clone()];
                     for (d, s) in dst.iter_mut().zip(src.iter()) {
                         d[0] += s[0];
                         d[1] += s[1];
@@ -505,12 +285,12 @@ impl<P: RangePotential> Potential for ForceEngine<P> {
             });
         }
 
-        for chunk in self.chunk_out.iter().take(threads) {
+        for chunk in chunk_out.iter().take(n_chunks) {
             out.energy += chunk.energy;
             out.virial += chunk.virial;
         }
-        for scratch in self.scratches.iter_mut().take(threads) {
-            self.potential.absorb_scratch(scratch.as_mut());
+        for scratch in scratches.iter_mut() {
+            potential.absorb_scratch(scratch.as_mut());
         }
     }
 }
@@ -521,60 +301,7 @@ mod tests {
     use crate::lattice::Lattice;
     use crate::neighbor::NeighborSettings;
     use crate::pair_lj::LennardJones;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn chunk_ranges_cover_everything_exactly_once() {
-        for n in [0usize, 1, 7, 64, 1000] {
-            for parts in [1usize, 2, 3, 4, 8, 13] {
-                let ranges: Vec<_> = chunk_ranges(n, parts).collect();
-                assert_eq!(ranges.len(), parts);
-                assert_eq!(ranges.first().unwrap().start, 0);
-                assert_eq!(ranges.last().unwrap().end, n);
-                for w in ranges.windows(2) {
-                    assert_eq!(w[0].end, w[1].start);
-                }
-                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
-                let min = sizes.iter().min().unwrap();
-                let max = sizes.iter().max().unwrap();
-                assert!(max - min <= 1, "unbalanced: {sizes:?}");
-            }
-        }
-    }
-
-    #[test]
-    fn pool_runs_every_participant_exactly_once() {
-        let mut pool = WorkerPool::new(3);
-        assert_eq!(pool.participants(), 4);
-        let counts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
-        for _ in 0..100 {
-            pool.run(&|who| {
-                counts[who].fetch_add(1, Ordering::Relaxed);
-            });
-        }
-        for c in &counts {
-            assert_eq!(c.load(Ordering::Relaxed), 100);
-        }
-    }
-
-    #[test]
-    fn pool_propagates_worker_panics() {
-        let mut pool = WorkerPool::new(2);
-        let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            pool.run(&|who| {
-                if who == 2 {
-                    panic!("boom");
-                }
-            });
-        }));
-        assert!(result.is_err());
-        // The pool stays usable after a poisoned dispatch.
-        let hits = AtomicUsize::new(0);
-        pool.run(&|_| {
-            hits.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(hits.load(Ordering::Relaxed), 3);
-    }
+    use crate::runtime::resolve_threads;
 
     #[test]
     fn threaded_lj_engine_matches_single_thread() {
@@ -607,6 +334,33 @@ mod tests {
     }
 
     #[test]
+    fn engine_is_bitwise_identical_across_thread_counts() {
+        // The chunk partition is fixed by the atom count and all merges run
+        // in ascending chunk order, so the engine's output must agree to the
+        // last bit no matter how many threads compute it.
+        let (b, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.05, 3);
+        let list = NeighborList::build_binned(&atoms, &b, NeighborSettings::new(4.0, 0.5));
+        let mut reference: Option<ComputeOutput> = None;
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut engine = ForceEngine::new(LennardJones::new(0.1, 2.0, 4.0), threads);
+            let mut out = ComputeOutput::zeros(atoms.n_total());
+            engine.compute(&atoms, &b, &list, &mut out);
+            match &reference {
+                None => reference = Some(out),
+                Some(first) => {
+                    assert_eq!(first.energy.to_bits(), out.energy.to_bits(), "t{threads}");
+                    assert_eq!(first.virial.to_bits(), out.virial.to_bits(), "t{threads}");
+                    for (a, bb) in first.forces.iter().zip(out.forces.iter()) {
+                        for d in 0..3 {
+                            assert_eq!(a[d].to_bits(), bb[d].to_bits(), "t{threads}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn engine_is_deterministic_across_repeated_calls() {
         let (b, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.05, 3);
         let list = NeighborList::build_binned(&atoms, &b, NeighborSettings::new(4.0, 0.5));
@@ -628,9 +382,26 @@ mod tests {
     #[test]
     fn engine_reports_threads_in_name() {
         let engine = ForceEngine::new(LennardJones::new(0.1, 2.0, 4.0), 4);
-        assert!(engine.name().ends_with("/t4"));
-        assert_eq!(engine.threads(), 4);
+        let expected = resolve_threads(4);
+        assert_eq!(engine.threads(), expected);
+        if expected > 1 {
+            assert!(engine.name().ends_with(&format!("/t{expected}")));
+        }
         let auto = ForceEngine::new(LennardJones::new(0.1, 2.0, 4.0), 0);
         assert!(auto.threads() >= 1);
+        assert!(auto.parallel_runtime().is_some());
+    }
+
+    #[test]
+    fn bind_runtime_switches_the_engine_onto_a_shared_pool() {
+        let rt = ParallelRuntime::new(3);
+        let mut engine = ForceEngine::new(LennardJones::new(0.1, 2.0, 4.0), 1);
+        engine.bind_runtime(&rt);
+        assert_eq!(engine.threads(), rt.threads());
+        let (b, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.03, 1);
+        let list = NeighborList::build_binned(&atoms, &b, NeighborSettings::new(4.0, 0.5));
+        let mut out = ComputeOutput::zeros(atoms.n_total());
+        engine.compute(&atoms, &b, &list, &mut out);
+        assert!(out.energy != 0.0);
     }
 }

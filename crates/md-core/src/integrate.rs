@@ -3,8 +3,15 @@
 //! LAMMPS integrates with the two half-kick velocity-Verlet scheme; the
 //! timings in the paper include this "time integration" stage, so it is part
 //! of the substrate rather than being mocked.
+//!
+//! Both half steps also come in `*_on` variants that run on the shared
+//! [`ParallelRuntime`] — each participant updates a disjoint slice of the
+//! atom arrays. Every atom's update is independent of the partition, so the
+//! parallel paths are bitwise identical to the serial ones (and to each
+//! other at any thread count).
 
 use crate::atom::AtomData;
+use crate::runtime::{DisjointSlice, ParallelRuntime};
 use crate::simbox::SimBox;
 use crate::units;
 
@@ -56,6 +63,68 @@ impl VelocityVerlet {
                 atoms.v[i][d] += dtf * atoms.f[i][d] * inv_m;
             }
         }
+    }
+
+    /// [`initial_integrate`](VelocityVerlet::initial_integrate) on the
+    /// shared runtime: participants update disjoint slices of the position
+    /// and velocity arrays. Bitwise identical to the serial form.
+    pub fn initial_integrate_on(
+        &self,
+        atoms: &mut AtomData,
+        masses: &[f64],
+        sim_box: &SimBox,
+        runtime: &ParallelRuntime,
+    ) {
+        let dtf = 0.5 * self.dt * units::FTM2V;
+        let dt = self.dt;
+        let n = atoms.n_local;
+        let AtomData { x, v, f, type_, .. } = atoms;
+        let xs = DisjointSlice::new(&mut x[..n]);
+        let vs = DisjointSlice::new(&mut v[..n]);
+        let f = &f[..];
+        let type_ = &type_[..];
+        runtime.par_parts(n, |range| {
+            // SAFETY: participant ranges are disjoint and in bounds.
+            let my_x = unsafe { xs.slice_mut(range.clone()) };
+            let my_v = unsafe { vs.slice_mut(range.clone()) };
+            for (k, i) in range.enumerate() {
+                let inv_m = 1.0 / masses[type_[i]];
+                for d in 0..3 {
+                    my_v[k][d] += dtf * f[i][d] * inv_m;
+                }
+                let mut p = my_x[k];
+                for d in 0..3 {
+                    p[d] += dt * my_v[k][d];
+                }
+                my_x[k] = sim_box.wrap(p);
+            }
+        });
+    }
+
+    /// [`final_integrate`](VelocityVerlet::final_integrate) on the shared
+    /// runtime. Bitwise identical to the serial form.
+    pub fn final_integrate_on(
+        &self,
+        atoms: &mut AtomData,
+        masses: &[f64],
+        runtime: &ParallelRuntime,
+    ) {
+        let dtf = 0.5 * self.dt * units::FTM2V;
+        let n = atoms.n_local;
+        let AtomData { v, f, type_, .. } = atoms;
+        let vs = DisjointSlice::new(&mut v[..n]);
+        let f = &f[..];
+        let type_ = &type_[..];
+        runtime.par_parts(n, |range| {
+            // SAFETY: participant ranges are disjoint and in bounds.
+            let my_v = unsafe { vs.slice_mut(range.clone()) };
+            for (k, i) in range.enumerate() {
+                let inv_m = 1.0 / masses[type_[i]];
+                for d in 0..3 {
+                    my_v[k][d] += dtf * f[i][d] * inv_m;
+                }
+            }
+        });
     }
 }
 
@@ -149,6 +218,37 @@ mod tests {
     #[should_panic(expected = "timestep must be positive")]
     fn zero_timestep_rejected() {
         VelocityVerlet::new(0.0);
+    }
+
+    #[test]
+    fn parallel_integration_is_bitwise_identical_to_serial() {
+        let (sim_box, mut serial) =
+            crate::lattice::Lattice::silicon([3, 3, 3]).build_perturbed(0.05, 8);
+        for i in 0..serial.n_local {
+            for d in 0..3 {
+                serial.v[i][d] = ((i * 3 + d) as f64 * 0.11).sin();
+                serial.f[i][d] = ((i * 3 + d) as f64 * 0.07).cos();
+            }
+        }
+        let masses = [units::mass::SI];
+        let vv = VelocityVerlet::new(0.002);
+        for threads in [1usize, 2, 4, 8] {
+            let rt = ParallelRuntime::new(threads);
+            let mut par = serial.clone();
+            let mut ser = serial.clone();
+            for _ in 0..3 {
+                vv.initial_integrate(&mut ser, &masses, &sim_box);
+                vv.final_integrate(&mut ser, &masses);
+                vv.initial_integrate_on(&mut par, &masses, &sim_box, &rt);
+                vv.final_integrate_on(&mut par, &masses, &rt);
+            }
+            for i in 0..ser.n_local {
+                for d in 0..3 {
+                    assert_eq!(ser.x[i][d].to_bits(), par.x[i][d].to_bits(), "x[{i}][{d}]");
+                    assert_eq!(ser.v[i][d].to_bits(), par.v[i][d].to_bits(), "v[{i}][{d}]");
+                }
+            }
+        }
     }
 
     #[test]

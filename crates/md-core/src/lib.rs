@@ -4,6 +4,11 @@
 //! crate is the equivalent substrate built from scratch: everything the force
 //! kernels need around them to run a realistic simulation —
 //!
+//! * the shared [`runtime::ParallelRuntime`] — the **one thread owner** in
+//!   the system, which every phase of the timestep dispatches through, with
+//!   fixed (thread-count-independent) chunk boundaries and ordered merges
+//!   that make results **bitwise identical across thread counts**
+//!   ([`runtime`]),
 //! * structure-of-arrays atom storage with packing helpers
 //!   ([`atom`]),
 //! * an orthogonal periodic simulation box with minimum-image convention
@@ -11,21 +16,27 @@
 //! * crystal-lattice builders for the silicon benchmark and the SiC
 //!   multi-species examples ([`lattice`]),
 //! * Maxwell–Boltzmann velocity initialization ([`velocity`]),
-//! * binned (cell-list) neighbor lists with a skin distance and rebuild
-//!   heuristics, plus an O(N²) reference builder for testing ([`neighbor`]),
-//! * velocity-Verlet time integration ([`integrate`]) and thermodynamic
-//!   output ([`thermo`]),
-//! * the [`potential::Potential`] trait that force fields implement,
-//!   with a Lennard-Jones pair potential as the contrasting baseline
-//!   ([`pair_lj`]),
-//! * a simulation driver built through [`simulation::SimulationBuilder`],
-//!   reporting through [`observer::Observer`] hooks and LAMMPS-style
-//!   per-stage timers ([`simulation`], [`observer`], [`timer`]),
-//! * a spatial domain decomposition with ghost-atom exchange that stands in
-//!   for LAMMPS' MPI parallelization ([`decomposition`]).
+//! * binned (cell-list) neighbor lists with a skin distance, rebuild
+//!   heuristics and in-place runtime-parallel rebuilds, plus an O(N²)
+//!   reference builder for testing ([`neighbor`]),
+//! * velocity-Verlet time integration — serial and runtime-parallel forms
+//!   ([`integrate`]) — and thermodynamic output ([`thermo`]),
+//! * the [`potential::Potential`] trait that force fields implement (now
+//!   carrying the runtime-binding hooks), the chunked thread-parallel
+//!   [`force_engine::ForceEngine`] that *borrows* the runtime, and a
+//!   Lennard-Jones pair potential as the contrasting baseline ([`pair_lj`]),
+//! * a simulation driver built through [`simulation::SimulationBuilder`]
+//!   (whose `.threads(n)` creates the runtime the whole step runs on),
+//!   reporting through [`observer::Observer`] hooks, an XYZ trajectory
+//!   writer ([`dump`]) and LAMMPS-style per-stage timers with a separate
+//!   integration phase ([`simulation`], [`observer`], [`timer`]),
+//! * a spatial domain decomposition whose ghost-atom exchange runs on the
+//!   same shared runtime ([`decomposition`]).
 //!
-//! Units follow LAMMPS' `metal` convention: lengths in Å, time in ps,
-//! energies in eV, masses in g/mol, temperature in K ([`units`]).
+//! See `README.md` in this directory for the runtime-owns-threads
+//! architecture in detail. Units follow LAMMPS' `metal` convention: lengths
+//! in Å, time in ps, energies in eV, masses in g/mol, temperature in K
+//! ([`units`]).
 
 // Kernel-style code indexes the three spatial components and per-lane slots
 // with explicit `for d in 0..3` loops; the iterator rewrites clippy suggests
@@ -34,6 +45,7 @@
 
 pub mod atom;
 pub mod decomposition;
+pub mod dump;
 pub mod force_engine;
 pub mod integrate;
 pub mod lattice;
@@ -41,6 +53,7 @@ pub mod neighbor;
 pub mod observer;
 pub mod pair_lj;
 pub mod potential;
+pub mod runtime;
 pub mod simbox;
 pub mod simulation;
 pub mod thermo;
@@ -49,13 +62,15 @@ pub mod units;
 pub mod velocity;
 
 pub use atom::AtomData;
-pub use force_engine::{ForceEngine, RangePotential, WorkerPool};
+pub use dump::XyzDump;
+pub use force_engine::{ForceEngine, RangePotential};
 pub use lattice::{Lattice, LatticeKind};
 pub use neighbor::{NeighborList, NeighborSettings};
 pub use observer::{
     EnergyDrift, Observer, RunPlan, RunReport, StepContext, ThermoLog, ThermoPrinter, TimingPrinter,
 };
 pub use potential::{ComputeOutput, Potential};
+pub use runtime::{ParallelRuntime, WorkerPool};
 pub use simbox::SimBox;
 pub use simulation::{BuildError, Simulation, SimulationBuilder};
 pub use timer::{Stage, Timers};
@@ -63,6 +78,7 @@ pub use timer::{Stage, Timers};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::atom::AtomData;
+    pub use crate::dump::XyzDump;
     pub use crate::force_engine::{ForceEngine, RangePotential};
     pub use crate::integrate::VelocityVerlet;
     pub use crate::lattice::{Lattice, LatticeKind};
@@ -73,6 +89,7 @@ pub mod prelude {
     };
     pub use crate::pair_lj::LennardJones;
     pub use crate::potential::{ComputeOutput, Potential};
+    pub use crate::runtime::ParallelRuntime;
     pub use crate::simbox::SimBox;
     pub use crate::simulation::{BuildError, Simulation, SimulationBuilder};
     pub use crate::thermo::ThermoState;

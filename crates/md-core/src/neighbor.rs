@@ -15,6 +15,7 @@
 //!   the binned builder.
 
 use crate::atom::AtomData;
+use crate::runtime::{fixed_chunk_count, DisjointSlice, ParallelRuntime};
 use crate::simbox::SimBox;
 use serde::{Deserialize, Serialize};
 
@@ -74,10 +75,23 @@ pub struct NeighborList {
     pub n_local: usize,
     // Reusable binning scratch (counting-sort layout): `bin_offsets` holds
     // nbins+1 prefix offsets into `bin_atoms`, `bin_cursor` the fill
-    // cursors, `stencil` the ≤27 candidate bin ids of the current atom.
+    // cursors, `atom_bin` the flattened bin id of every atom (filled in
+    // parallel), `row_chunks` the per-fixed-chunk CRS build scratch.
     bin_offsets: Vec<usize>,
     bin_cursor: Vec<usize>,
     bin_atoms: Vec<usize>,
+    atom_bin: Vec<usize>,
+    row_chunks: Vec<RowChunk>,
+}
+
+/// Per-fixed-chunk scratch of the parallel CRS fill: the chunk's
+/// concatenated neighbor rows, the per-atom row lengths, and the ≤27
+/// candidate bin ids of the atom currently being scanned. Retained across
+/// rebuilds so the steady state allocates nothing.
+#[derive(Clone, Debug, Default)]
+struct RowChunk {
+    neigh: Vec<usize>,
+    counts: Vec<usize>,
     stencil: Vec<usize>,
 }
 
@@ -168,7 +182,14 @@ impl NeighborList {
     }
 
     /// Rebuild this list in place from current positions, reusing all CRS
-    /// and binning storage from the previous build.
+    /// and binning storage from the previous build (serial; see
+    /// [`NeighborList::rebuild_on`] for the runtime-parallel form the
+    /// simulation driver calls — both produce bitwise-identical lists).
+    pub fn rebuild(&mut self, atoms: &AtomData, sim_box: &SimBox, settings: NeighborSettings) {
+        self.rebuild_on(atoms, sim_box, settings, &ParallelRuntime::serial());
+    }
+
+    /// Rebuild this list in place on the shared [`ParallelRuntime`].
     ///
     /// All atoms (local and ghost) are sorted into bins of side ≥ the build
     /// cutoff; each local atom then scans its own bin and the 26 surrounding
@@ -178,11 +199,33 @@ impl NeighborList {
     /// single-domain case (no ghosts) periodic images are handled through
     /// the minimum-image convention by wrapping the bin grid.
     ///
+    /// The build is phased so the expensive parts run in parallel while the
+    /// result stays independent of the thread count:
+    ///
+    /// 1. **bin ids** — every atom's flattened bin index, computed in
+    ///    parallel into `atom_bin` (disjoint writes);
+    /// 2. **counting sort** — count → exclusive prefix → place, serial O(N)
+    ///    passes that keep `bin_atoms` in ascending atom order within each
+    ///    bin;
+    /// 3. **CRS fill** — the fixed chunks of the local atoms each build
+    ///    their rows (stencil scan, distance checks, per-row sort) into
+    ///    per-chunk scratch in parallel; row contents depend only on the
+    ///    bins, so any thread count produces the same rows;
+    /// 4. **prefix + copy** — a serial prefix sum lays out `firstneigh`,
+    ///    then every chunk copies its concatenated rows into its disjoint
+    ///    span of `neighbors` in parallel.
+    ///
     /// Once atom and neighbor counts have reached their steady-state
-    /// maxima, a rebuild performs no heap allocation: bins use a counting
-    /// sort into persistent offset/index arrays and the neighbor rows are
-    /// written into the retained `neighbors` buffer.
-    pub fn rebuild(&mut self, atoms: &AtomData, sim_box: &SimBox, settings: NeighborSettings) {
+    /// maxima, a rebuild performs no heap allocation: the counting-sort
+    /// arrays, per-chunk row scratch and the CRS buffers are all retained
+    /// across rebuilds (audited by `tests/alloc_free.rs`).
+    pub fn rebuild_on(
+        &mut self,
+        atoms: &AtomData,
+        sim_box: &SimBox,
+        settings: NeighborSettings,
+        runtime: &ParallelRuntime,
+    ) {
         let n_local = atoms.n_local;
         let n_total = atoms.n_total();
         let cut = settings.build_cutoff();
@@ -240,97 +283,170 @@ impl NeighborList {
         };
         let flat = |b: [usize; 3]| b[0] + nbins[0] * (b[1] + nbins[1] * b[2]);
 
-        // Counting sort of all atoms into bins: count → exclusive prefix →
-        // place. The three arrays retain their capacity across rebuilds.
+        let NeighborList {
+            firstneigh,
+            neighbors,
+            reference_x,
+            bin_offsets,
+            bin_cursor,
+            bin_atoms,
+            atom_bin,
+            row_chunks,
+            ..
+        } = self;
+
+        // Phase 1: flattened bin id of every atom, in parallel.
+        atom_bin.clear();
+        atom_bin.resize(n_total, 0);
+        {
+            let ids = DisjointSlice::new(atom_bin);
+            runtime.par_parts(n_total, |range| {
+                // SAFETY: participant ranges are disjoint and in bounds.
+                let dst = unsafe { ids.slice_mut(range.clone()) };
+                for (slot, i) in dst.iter_mut().zip(range) {
+                    *slot = flat(bin_index(atoms.x[i]));
+                }
+            });
+        }
+
+        // Phase 2: counting sort of all atoms into bins: count → exclusive
+        // prefix → place. Serial O(N) passes; placement in atom-index order
+        // keeps every bin's atom list ascending, which makes the row scan
+        // below deterministic.
         let n_bins_total = nbins[0] * nbins[1] * nbins[2];
-        self.bin_offsets.clear();
-        self.bin_offsets.resize(n_bins_total + 1, 0);
-        for &p in &atoms.x {
-            self.bin_offsets[flat(bin_index(p)) + 1] += 1;
+        bin_offsets.clear();
+        bin_offsets.resize(n_bins_total + 1, 0);
+        for &b in atom_bin.iter() {
+            bin_offsets[b + 1] += 1;
         }
         for b in 0..n_bins_total {
-            self.bin_offsets[b + 1] += self.bin_offsets[b];
+            bin_offsets[b + 1] += bin_offsets[b];
         }
-        self.bin_cursor.clear();
-        self.bin_cursor
-            .extend_from_slice(&self.bin_offsets[..n_bins_total]);
-        self.bin_atoms.clear();
-        self.bin_atoms.resize(n_total, 0);
-        for (idx, &p) in atoms.x.iter().enumerate() {
-            let b = flat(bin_index(p));
-            self.bin_atoms[self.bin_cursor[b]] = idx;
-            self.bin_cursor[b] += 1;
+        bin_cursor.clear();
+        bin_cursor.extend_from_slice(&bin_offsets[..n_bins_total]);
+        bin_atoms.clear();
+        bin_atoms.resize(n_total, 0);
+        for (idx, &b) in atom_bin.iter().enumerate() {
+            bin_atoms[bin_cursor[b]] = idx;
+            bin_cursor[b] += 1;
         }
 
-        // When a dimension has fewer than 3 bins, scanning the ±1 stencil
-        // with wrapping would visit the same bin twice; dedicated handling
-        // below avoids double counting by collecting candidate bins into a
-        // small set first.
-        self.stencil.reserve(27);
-
-        for i in 0..n_local {
-            let bi = bin_index(atoms.x[i]);
-            self.stencil.clear();
-            for dx in -1i64..=1 {
-                for dy in -1i64..=1 {
-                    for dz in -1i64..=1 {
-                        let d = [dx, dy, dz];
-                        let mut nb = [0usize; 3];
-                        let mut valid = true;
-                        for k in 0..3 {
-                            let raw = bi[k] as i64 + d[k];
-                            if periodic_wrap && sim_box.periodic[k] {
-                                nb[k] = raw.rem_euclid(nbins[k] as i64) as usize;
-                            } else if raw < 0 || raw >= nbins[k] as i64 {
-                                valid = false;
-                                break;
+        // Phase 3: per-chunk CRS fill over the fixed chunks of the local
+        // atoms. Each chunk's rows depend only on the bin structure, so the
+        // result is identical for any thread count.
+        let n_chunks = fixed_chunk_count(n_local);
+        while row_chunks.len() < n_chunks {
+            row_chunks.push(RowChunk::default());
+        }
+        {
+            let bin_offsets = &bin_offsets[..];
+            let bin_atoms = &bin_atoms[..];
+            let chunks = DisjointSlice::new(row_chunks);
+            runtime.par_chunks(n_local, |c, range| {
+                // SAFETY: each chunk index is processed by exactly one
+                // participant per dispatch.
+                let ch = unsafe { chunks.get_mut(c) };
+                ch.neigh.clear();
+                ch.counts.clear();
+                ch.stencil.reserve(27);
+                for i in range {
+                    let bi = bin_index(atoms.x[i]);
+                    // When a dimension has fewer than 3 bins, scanning the
+                    // ±1 stencil with wrapping would visit the same bin
+                    // twice; collecting candidate bins into a small set
+                    // first avoids double counting.
+                    ch.stencil.clear();
+                    for dx in -1i64..=1 {
+                        for dy in -1i64..=1 {
+                            for dz in -1i64..=1 {
+                                let d = [dx, dy, dz];
+                                let mut nb = [0usize; 3];
+                                let mut valid = true;
+                                for k in 0..3 {
+                                    let raw = bi[k] as i64 + d[k];
+                                    if periodic_wrap && sim_box.periodic[k] {
+                                        nb[k] = raw.rem_euclid(nbins[k] as i64) as usize;
+                                    } else if raw < 0 || raw >= nbins[k] as i64 {
+                                        valid = false;
+                                        break;
+                                    } else {
+                                        nb[k] = raw as usize;
+                                    }
+                                }
+                                if valid {
+                                    let f = flat(nb);
+                                    if !ch.stencil.contains(&f) {
+                                        ch.stencil.push(f);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let row_start = ch.neigh.len();
+                    for &b in &ch.stencil {
+                        for &j in &bin_atoms[bin_offsets[b]..bin_offsets[b + 1]] {
+                            if j == i {
+                                continue;
+                            }
+                            let d2 = if periodic_wrap {
+                                sim_box.distance_sq(atoms.x[i], atoms.x[j])
                             } else {
-                                nb[k] = raw as usize;
+                                let dx = atoms.x[j][0] - atoms.x[i][0];
+                                let dy = atoms.x[j][1] - atoms.x[i][1];
+                                let dz = atoms.x[j][2] - atoms.x[i][2];
+                                dx * dx + dy * dy + dz * dz
+                            };
+                            if d2 <= cut_sq {
+                                ch.neigh.push(j);
                             }
                         }
-                        if valid {
-                            let f = flat(nb);
-                            if !self.stencil.contains(&f) {
-                                self.stencil.push(f);
-                            }
-                        }
                     }
+                    // Keep each row sorted so results are independent of bin
+                    // traversal order — makes list comparison in tests
+                    // trivial and gives deterministic force summation order.
+                    ch.neigh[row_start..].sort_unstable();
+                    ch.counts.push(ch.neigh.len() - row_start);
                 }
-            }
-            for &b in &self.stencil {
-                for &j in &self.bin_atoms[self.bin_offsets[b]..self.bin_offsets[b + 1]] {
-                    if j == i {
-                        continue;
-                    }
-                    let d2 = if periodic_wrap {
-                        sim_box.distance_sq(atoms.x[i], atoms.x[j])
-                    } else {
-                        let dx = atoms.x[j][0] - atoms.x[i][0];
-                        let dy = atoms.x[j][1] - atoms.x[i][1];
-                        let dz = atoms.x[j][2] - atoms.x[i][2];
-                        dx * dx + dy * dy + dz * dz
-                    };
-                    if d2 <= cut_sq {
-                        self.neighbors.push(j);
-                    }
-                }
-            }
-            // Keep each row sorted so results are independent of bin
-            // traversal order — makes list comparison in tests trivial and
-            // gives deterministic force summation order.
-            let start = *self.firstneigh.last().unwrap();
-            self.neighbors[start..].sort_unstable();
-            self.firstneigh.push(self.neighbors.len());
+                // Headroom against steady-trajectory fluctuations of this
+                // chunk's pair count (no-op once the high-water mark holds).
+                let headroom = ch.neigh.len() / 16;
+                ch.neigh.reserve(headroom);
+            });
         }
 
-        self.reference_x.extend_from_slice(&atoms.x[..n_local]);
+        // Phase 4: serial prefix sum over the per-atom row lengths, then a
+        // parallel copy of every chunk's concatenated rows into its disjoint
+        // span of the CRS buffer.
+        let mut total = 0usize;
+        for ch in row_chunks.iter().take(n_chunks) {
+            for &count in &ch.counts {
+                total += count;
+                firstneigh.push(total);
+            }
+        }
+        debug_assert_eq!(firstneigh.len(), n_local + 1);
+        neighbors.resize(total, 0);
+        {
+            let row_chunks = &row_chunks[..n_chunks];
+            let firstneigh = &firstneigh[..];
+            let dst = DisjointSlice::new(neighbors);
+            runtime.par_chunks(n_local, |c, range| {
+                let span = firstneigh[range.start]..firstneigh[range.end];
+                // SAFETY: chunk spans are disjoint (prefix sums of disjoint
+                // atom ranges) and in bounds.
+                let out = unsafe { dst.slice_mut(span) };
+                out.copy_from_slice(&row_chunks[c].neigh);
+            });
+        }
+
+        reference_x.extend_from_slice(&atoms.x[..n_local]);
 
         // Leave ~6% headroom on the neighbor buffer so the small
         // fluctuations of the pair count along a steady trajectory do not
         // force a reallocation mid-run. (`reserve` is a no-op once the
         // capacity high-water mark is reached.)
-        let headroom = self.neighbors.len() / 16;
-        self.neighbors.reserve(headroom);
+        let headroom = neighbors.len() / 16;
+        neighbors.reserve(headroom);
     }
 }
 
@@ -450,6 +566,53 @@ mod tests {
             dedup.dedup();
             assert_eq!(dedup.len(), row.len(), "atom {i} has duplicate neighbors");
             assert_eq!(row.len(), 4);
+        }
+    }
+
+    #[test]
+    fn parallel_rebuild_matches_serial_exactly() {
+        let (b, atoms) = Lattice::silicon([4, 3, 2]).build_perturbed(0.06, 13);
+        let s = NeighborSettings::new(3.2, 1.0);
+        let serial = NeighborList::build_binned(&atoms, &b, s);
+        for threads in [2usize, 3, 4, 8] {
+            let rt = ParallelRuntime::new(threads);
+            let mut list = NeighborList::default();
+            // Twice: the second rebuild exercises the storage-reuse path.
+            list.rebuild_on(&atoms, &b, s, &rt);
+            list.rebuild_on(&atoms, &b, s, &rt);
+            assert_eq!(list.firstneigh, serial.firstneigh, "t{threads}");
+            assert_eq!(list.neighbors, serial.neighbors, "t{threads}");
+            assert_eq!(list.reference_x, serial.reference_x, "t{threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_rebuild_matches_serial_with_ghosts() {
+        // Ghost-bearing lists take the non-wrapping code path (bounding-box
+        // grid); it must be thread-count independent too.
+        let mut atoms = AtomData::new();
+        for i in 0..40 {
+            let t = i as f64;
+            atoms.push_local(
+                [1.0 + (t * 0.37).sin().abs() * 8.0, 1.0 + t * 0.2, 5.0],
+                [0.0; 3],
+                0,
+                i as u64 + 1,
+            );
+        }
+        for i in 0..20 {
+            let t = i as f64;
+            atoms.push_ghost([-1.0 - t * 0.1, 1.0 + t * 0.35, 5.0], 0, 1000 + i as u64);
+        }
+        let b = SimBox::cubic(12.0);
+        let s = NeighborSettings::new(3.0, 0.5);
+        let serial = NeighborList::build_binned(&atoms, &b, s);
+        for threads in [2usize, 4] {
+            let rt = ParallelRuntime::new(threads);
+            let mut list = NeighborList::default();
+            list.rebuild_on(&atoms, &b, s, &rt);
+            assert_eq!(list.firstneigh, serial.firstneigh);
+            assert_eq!(list.neighbors, serial.neighbors);
         }
     }
 

@@ -9,6 +9,7 @@
 
 use crate::atom::AtomData;
 use crate::neighbor::NeighborList;
+use crate::runtime::ParallelRuntime;
 use crate::simbox::SimBox;
 
 /// Output of one force computation.
@@ -91,6 +92,19 @@ pub trait Potential {
         neighbors: &NeighborList,
         out: &mut ComputeOutput,
     );
+
+    /// The [`ParallelRuntime`] this potential computes on, if it is
+    /// thread-parallel (the [`crate::force_engine::ForceEngine`] reports its
+    /// runtime here). The simulation builder reuses it for the other phases
+    /// of the timestep, so the whole step runs on one worker team.
+    fn parallel_runtime(&self) -> Option<ParallelRuntime> {
+        None
+    }
+
+    /// Re-bind a thread-parallel potential onto (a handle to) `runtime` —
+    /// called by [`crate::simulation::SimulationBuilder`] when the builder
+    /// owns the runtime. Single-threaded potentials ignore it.
+    fn bind_runtime(&mut self, _runtime: &ParallelRuntime) {}
 }
 
 impl Potential for Box<dyn Potential> {
@@ -110,6 +124,14 @@ impl Potential for Box<dyn Potential> {
         out: &mut ComputeOutput,
     ) {
         self.as_mut().compute(atoms, sim_box, neighbors, out);
+    }
+
+    fn parallel_runtime(&self) -> Option<ParallelRuntime> {
+        self.as_ref().parallel_runtime()
+    }
+
+    fn bind_runtime(&mut self, runtime: &ParallelRuntime) {
+        self.as_mut().bind_runtime(runtime);
     }
 }
 

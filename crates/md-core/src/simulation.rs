@@ -21,6 +21,7 @@ use crate::observer::{
     run_ns_per_day, EnergyDrift, Observer, RunPlan, RunReport, StepContext, ThermoLog,
 };
 use crate::potential::{ComputeOutput, Potential};
+use crate::runtime::ParallelRuntime;
 use crate::simbox::SimBox;
 use crate::thermo::ThermoState;
 use crate::timer::{Stage, Timers};
@@ -132,6 +133,7 @@ pub struct SimulationBuilder<P: Potential> {
     temperature: Option<(f64, u64)>,
     observers: Vec<Box<dyn Observer>>,
     default_observers: bool,
+    runtime: Option<ParallelRuntime>,
 }
 
 impl<P: Potential> SimulationBuilder<P> {
@@ -148,7 +150,31 @@ impl<P: Potential> SimulationBuilder<P> {
             temperature: None,
             observers: Vec::new(),
             default_observers: true,
+            runtime: None,
         }
+    }
+
+    /// Create a [`ParallelRuntime`] of `threads` participants (`0` = one per
+    /// available CPU) and run the **whole timestep** on it: force
+    /// computation (the potential is re-bound onto the runtime via
+    /// [`Potential::bind_runtime`]), neighbor rebuilds, velocity-Verlet
+    /// updates and thermo reductions. The builder is the runtime's owner —
+    /// this replaces per-subsystem thread pools.
+    ///
+    /// Without this call (or [`SimulationBuilder::runtime`]) the simulation
+    /// adopts the potential's own runtime if it has one (e.g. a
+    /// [`crate::force_engine::ForceEngine`] built with `threads > 1`), so
+    /// every phase still runs on that same pool.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.runtime = Some(ParallelRuntime::new(threads));
+        self
+    }
+
+    /// Run the whole timestep on (a handle to) an existing runtime — for
+    /// sharing one worker team across several simulations or subsystems.
+    pub fn runtime(mut self, runtime: &ParallelRuntime) -> Self {
+        self.runtime = Some(runtime.clone());
+        self
     }
 
     /// Timestep in ps (default: [`units::DEFAULT_TIMESTEP`]).
@@ -212,7 +238,7 @@ impl<P: Potential> SimulationBuilder<P> {
         let SimulationBuilder {
             mut atoms,
             sim_box,
-            potential,
+            mut potential,
             timestep,
             skin,
             masses,
@@ -220,6 +246,7 @@ impl<P: Potential> SimulationBuilder<P> {
             temperature,
             mut observers,
             default_observers,
+            runtime,
         } = self;
 
         // NaN fails each of these checks too (NaN comparisons are false).
@@ -254,6 +281,19 @@ impl<P: Potential> SimulationBuilder<P> {
             }
         }
 
+        // One runtime for the whole timestep: the builder's (which is bound
+        // into the potential so the force engine shares the pool), else the
+        // potential's own (a threaded ForceEngine), else serial.
+        let runtime = match runtime {
+            Some(rt) => {
+                potential.bind_runtime(&rt);
+                rt
+            }
+            None => potential
+                .parallel_runtime()
+                .unwrap_or_else(ParallelRuntime::serial),
+        };
+
         if let Some((temperature, seed)) = temperature {
             velocity::init_velocities(&mut atoms, &masses, temperature, seed);
         }
@@ -283,6 +323,8 @@ impl<P: Potential> SimulationBuilder<P> {
             last_thermo: ThermoState::default(),
             observers,
             integrator,
+            runtime,
+            ke_slots: Vec::new(),
         };
         sim.rebuild_neighbors();
         sim.compute_forces();
@@ -320,6 +362,11 @@ pub struct Simulation<P: Potential> {
     last_thermo: ThermoState,
     observers: Vec<Box<dyn Observer>>,
     integrator: VelocityVerlet,
+    /// The shared runtime every phase of the step dispatches through.
+    runtime: ParallelRuntime,
+    /// Reduction scratch of the chunked kinetic-energy sum (reused so the
+    /// steady-state step allocates nothing).
+    ke_slots: Vec<f64>,
 }
 
 impl<P: Potential> Simulation<P> {
@@ -328,8 +375,8 @@ impl<P: Potential> Simulation<P> {
         SimulationBuilder::new(atoms, sim_box, potential)
     }
 
-    /// Rebuild the neighbor list unconditionally (in place: bin and CRS
-    /// storage from the previous build is reused).
+    /// Rebuild the neighbor list unconditionally on the shared runtime (in
+    /// place: bin and CRS storage from the previous build is reused).
     fn rebuild_neighbors(&mut self) {
         let settings = NeighborSettings::new(self.potential.cutoff(), self.skin);
         let Simulation {
@@ -337,10 +384,11 @@ impl<P: Potential> Simulation<P> {
             neighbors,
             atoms,
             sim_box,
+            runtime,
             ..
         } = self;
         timers.time(Stage::Neighbor, || {
-            neighbors.rebuild(atoms, sim_box, settings)
+            neighbors.rebuild_on(atoms, sim_box, settings, runtime)
         });
         self.n_rebuilds += 1;
     }
@@ -359,10 +407,19 @@ impl<P: Potential> Simulation<P> {
     }
 
     fn record_thermo(&mut self) {
-        let state = ThermoState::measure(
-            self.step,
+        // The kinetic energy is a chunked reduction on the shared runtime:
+        // per-chunk partials folded in fixed chunk order, so the sampled
+        // thermo state is bitwise identical for every thread count.
+        let kinetic = velocity::kinetic_energy_on(
             &self.atoms,
             &self.masses,
+            &self.runtime,
+            &mut self.ke_slots,
+        );
+        let state = ThermoState::from_kinetic(
+            self.step,
+            kinetic,
+            self.atoms.n_local,
             &self.sim_box,
             self.compute_out.energy,
             self.compute_out.virial,
@@ -398,8 +455,9 @@ impl<P: Potential> Simulation<P> {
                 let sim_box = &self.sim_box;
                 let integrator = &self.integrator;
                 let masses = &self.masses;
-                self.timers.time(Stage::Other, || {
-                    integrator.initial_integrate(atoms, masses, sim_box);
+                let runtime = &self.runtime;
+                self.timers.time(Stage::Integrate, || {
+                    integrator.initial_integrate_on(atoms, masses, sim_box, runtime);
                 });
             }
 
@@ -417,8 +475,9 @@ impl<P: Potential> Simulation<P> {
                 let atoms = &mut self.atoms;
                 let integrator = &self.integrator;
                 let masses = &self.masses;
-                self.timers.time(Stage::Other, || {
-                    integrator.final_integrate(atoms, masses);
+                let runtime = &self.runtime;
+                self.timers.time(Stage::Integrate, || {
+                    integrator.final_integrate_on(atoms, masses, runtime);
                 });
             }
 
@@ -499,6 +558,13 @@ impl<P: Potential> Simulation<P> {
     /// Thermo sampling interval (steps; 0 = final state only).
     pub fn thermo_every(&self) -> u64 {
         self.thermo_every
+    }
+
+    /// The shared [`ParallelRuntime`] every phase of the step runs on —
+    /// clone the handle to dispatch auxiliary work (e.g. a
+    /// [`crate::decomposition::DecomposedSystem`]) onto the same pool.
+    pub fn runtime(&self) -> &ParallelRuntime {
+        &self.runtime
     }
 
     /// Latest thermo snapshot.

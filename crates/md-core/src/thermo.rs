@@ -31,7 +31,8 @@ pub struct ThermoState {
 
 impl ThermoState {
     /// Compute a snapshot from the current atom data and force-compute
-    /// results.
+    /// results (serial kinetic-energy sum; the simulation loop uses
+    /// [`ThermoState::from_kinetic`] with the runtime's chunked reduction).
     pub fn measure(
         step: u64,
         atoms: &AtomData,
@@ -41,11 +42,32 @@ impl ThermoState {
         virial: f64,
     ) -> Self {
         let kinetic = velocity::kinetic_energy(atoms, masses);
-        let temperature = units::temperature(kinetic, atoms.n_local);
+        Self::from_kinetic(
+            step,
+            kinetic,
+            atoms.n_local,
+            sim_box,
+            potential_energy,
+            virial,
+        )
+    }
+
+    /// Assemble a snapshot from an already-reduced kinetic energy — the form
+    /// the simulation loop uses so the KE reduction can run on the shared
+    /// [`crate::runtime::ParallelRuntime`].
+    pub fn from_kinetic(
+        step: u64,
+        kinetic: f64,
+        n_local: usize,
+        sim_box: &SimBox,
+        potential_energy: f64,
+        virial: f64,
+    ) -> Self {
+        let temperature = units::temperature(kinetic, n_local);
         let volume = sim_box.volume();
         // P = (N kB T + W/3) / V, converted to bar.
         let pressure = if volume > 0.0 {
-            units::NKTV2P * ((atoms.n_local as f64 * units::BOLTZMANN * temperature) + virial / 3.0)
+            units::NKTV2P * ((n_local as f64 * units::BOLTZMANN * temperature) + virial / 3.0)
                 / volume
         } else {
             0.0

@@ -19,13 +19,21 @@ pub enum Stage {
     Neighbor,
     /// Communication: ghost exchange, force reverse communication, packing.
     Comm,
-    /// Time integration and everything else.
+    /// Velocity-Verlet time integration (position/velocity updates).
+    Integrate,
+    /// Everything else (rebuild checks, thermo sampling, bookkeeping).
     Other,
 }
 
 impl Stage {
     /// All stages, in reporting order.
-    pub const ALL: [Stage; 4] = [Stage::Force, Stage::Neighbor, Stage::Comm, Stage::Other];
+    pub const ALL: [Stage; 5] = [
+        Stage::Force,
+        Stage::Neighbor,
+        Stage::Comm,
+        Stage::Integrate,
+        Stage::Other,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -33,6 +41,7 @@ impl Stage {
             Stage::Force => "force",
             Stage::Neighbor => "neighbor",
             Stage::Comm => "comm",
+            Stage::Integrate => "integrate",
             Stage::Other => "other",
         }
     }
@@ -41,7 +50,7 @@ impl Stage {
 /// Accumulated wall-clock time per stage.
 #[derive(Clone, Debug, Default)]
 pub struct Timers {
-    accum: [Duration; 4],
+    accum: [Duration; 5],
 }
 
 impl Timers {
@@ -55,7 +64,8 @@ impl Timers {
             Stage::Force => 0,
             Stage::Neighbor => 1,
             Stage::Comm => 2,
-            Stage::Other => 3,
+            Stage::Integrate => 3,
+            Stage::Other => 4,
         }
     }
 
@@ -96,7 +106,7 @@ impl Timers {
     /// Merge another timer set into this one (used when aggregating the
     /// per-rank timers of a decomposed run).
     pub fn merge(&mut self, other: &Timers) {
-        for i in 0..4 {
+        for i in 0..self.accum.len() {
             self.accum[i] += other.accum[i];
         }
     }
@@ -122,7 +132,7 @@ impl Timers {
 
     /// Reset all stages to zero.
     pub fn reset(&mut self) {
-        self.accum = [Duration::ZERO; 4];
+        self.accum = [Duration::ZERO; 5];
     }
 }
 

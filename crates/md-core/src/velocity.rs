@@ -78,6 +78,26 @@ pub fn kinetic_energy(atoms: &AtomData, masses: &[f64]) -> f64 {
         .sum()
 }
 
+/// [`kinetic_energy`] as a deterministic chunked reduction on the shared
+/// [`ParallelRuntime`]: per-chunk partial sums (chunk boundaries fixed by
+/// the atom count) are folded in ascending chunk order, so the result is
+/// bitwise identical for every thread count. `slots` is caller-owned
+/// reduction scratch, reused across calls so the steady state allocates
+/// nothing.
+pub fn kinetic_energy_on(
+    atoms: &AtomData,
+    masses: &[f64],
+    runtime: &crate::runtime::ParallelRuntime,
+    slots: &mut Vec<f64>,
+) -> f64 {
+    runtime.par_chunk_map(atoms.n_local, slots, 0.0, |_c, range| {
+        range
+            .map(|i| units::kinetic_energy(masses[atoms.type_[i]], atoms.v[i]))
+            .sum()
+    });
+    slots.iter().sum()
+}
+
 /// Instantaneous temperature (K) of the local atoms.
 pub fn current_temperature(atoms: &AtomData, masses: &[f64]) -> f64 {
     units::temperature(kinetic_energy(atoms, masses), atoms.n_local)

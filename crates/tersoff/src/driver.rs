@@ -304,16 +304,16 @@ macro_rules! build_vector_potential {
 
 /// Build the Tersoff implementation described by `options`.
 ///
-/// With `threads == 1` the kernel is returned directly; otherwise it is
-/// wrapped in a [`ForceEngine`] that partitions the local atoms across a
-/// persistent worker pool and merges the per-thread force arrays.
+/// The kernel is always wrapped in a [`ForceEngine`] over a
+/// [`md_core::runtime::ParallelRuntime`] of `options.threads` participants:
+/// the engine's fixed-chunk partition and ordered merges make the forces
+/// **bitwise identical for every thread count**, so a single-threaded build
+/// runs exactly the same summation order as an 8-thread one. The
+/// `SimulationBuilder` can later re-bind the engine onto its own runtime so
+/// the whole timestep shares one worker team.
 pub fn make_potential(params: TersoffParams, options: TersoffOptions) -> Box<dyn Potential> {
     let inner = make_range_potential(params, options);
-    if options.threads == 1 {
-        inner as Box<dyn Potential>
-    } else {
-        Box::new(ForceEngine::new(inner, options.threads))
-    }
+    Box::new(ForceEngine::new(inner, options.threads))
 }
 
 /// Build the kernel described by `options` as a range-computable potential

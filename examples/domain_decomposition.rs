@@ -40,8 +40,13 @@ fn main() {
         "\n{:<10} {:>8} {:>12} {:>14} {:>16} {:>12}",
         "grid", "ranks", "ghost frac", "energy (eV)", "max |ΔF| (eV/Å)", "comm (ms)"
     );
+    // One shared runtime: ghost exchange and the per-rank neighbor rebuilds
+    // all dispatch through the same worker team (results are bitwise
+    // identical for any thread count).
+    let runtime = ParallelRuntime::new(0);
     for grid in [[1, 1, 1], [2, 1, 1], [2, 2, 1], [2, 2, 2]] {
         let mut dec = DecomposedSystem::new(&atoms, sim_box, grid);
+        dec.use_runtime(&runtime);
         dec.exchange_ghosts(params.max_cutoff + skin);
         dec.compute_forces(|| TersoffRef::new(params.clone()), skin);
 

@@ -14,9 +14,13 @@
 //!   write handling, adjacent gathers).
 //! * [`md_core`] — the molecular-dynamics substrate standing in for LAMMPS
 //!   (atoms, box, lattices, neighbor lists, velocity-Verlet, thermo, timers,
-//!   domain decomposition, the thread-parallel allocation-free
-//!   [`md_core::force_engine`], and the observer-driven simulation loop
-//!   behind [`md_core::SimulationBuilder`]).
+//!   domain decomposition, and the observer-driven simulation loop behind
+//!   [`md_core::SimulationBuilder`]). Its [`md_core::runtime`] module is
+//!   the one thread owner in the system: the whole timestep — the
+//!   allocation-free [`md_core::force_engine`], neighbor rebuilds, ghost
+//!   exchange, integration, reductions — dispatches through one shared
+//!   `ParallelRuntime`, with results bitwise identical across thread
+//!   counts.
 //! * [`tersoff`] — the Tersoff potential: reference, scalar-optimized
 //!   (Algorithm 3) and the three vectorization schemes (1a/1b/1c), in double,
 //!   single and mixed precision.

@@ -20,11 +20,13 @@
 //! typo in a spec file fails loudly instead of silently running defaults.
 
 use crate::json::{obj, parse, Json};
+use md_core::dump::XyzDump;
 use md_core::lattice::Lattice;
 use md_core::observer::RunReport;
 use md_core::potential::Potential;
 use md_core::simulation::{BuildError, Simulation};
 use md_core::thermo::ThermoState;
+use md_core::timer::Stage;
 use md_core::units;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -162,6 +164,17 @@ impl ParamSet {
             ParamSet::SiliconCarbide => vec![units::mass::SI, units::mass::C],
         }
     }
+
+    /// Element symbols matching the parameter table's species order (used by
+    /// the trajectory dump when a spec does not override them).
+    pub fn elements(self) -> Vec<String> {
+        match self {
+            ParamSet::Silicon | ParamSet::SiliconB => vec!["Si".to_string()],
+            ParamSet::Carbon => vec!["C".to_string()],
+            ParamSet::Germanium => vec!["Ge".to_string()],
+            ParamSet::SiliconCarbide => vec!["Si".to_string(), "C".to_string()],
+        }
+    }
 }
 
 impl fmt::Display for ParamSet {
@@ -236,6 +249,19 @@ pub struct RunSpec {
     pub thermo_every: u64,
 }
 
+/// Optional trajectory dump: an [`XyzDump`] observer writing one XYZ frame
+/// every `every` steps of each variant's run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DumpSpec {
+    /// Output file. When the scenario declares a matrix, each variant writes
+    /// `<stem>_<mode>_t<threads>.<ext>` so runs do not clobber each other.
+    pub path: String,
+    /// Dump interval in steps (must be positive).
+    pub every: u64,
+    /// Per-type element symbols; defaults to the parameter set's species.
+    pub elements: Option<Vec<String>>,
+}
+
 /// Optional mode × threads expansion: `tersoff-run` executes the cartesian
 /// product instead of the single base variant.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -259,6 +285,8 @@ pub struct Scenario {
     pub potential: PotentialSpec,
     /// The integration run.
     pub run: RunSpec,
+    /// Optional trajectory dump.
+    pub dump: Option<DumpSpec>,
     /// Optional mode×threads matrix.
     pub matrix: Option<MatrixSpec>,
     /// Declared bound on |ΔE/E₀|; violations fail `tersoff-run`.
@@ -279,14 +307,17 @@ pub struct Variant {
 pub struct VariantReport {
     /// The variant that ran.
     pub variant: Variant,
-    /// Threads actually used (0 resolved to the CPU count).
+    /// Threads actually used (0 resolved to the CPU count; the
+    /// `TERSOFF_THREADS` environment override wins over both).
     pub resolved_threads: usize,
     /// The options label ("Opt-M/1b/w16/t2").
     pub label: String,
-    /// The run report (steps, rebuilds, ns/day, drift, timers).
+    /// The run report (steps, rebuilds, ns/day, drift, per-phase timers).
     pub report: RunReport,
     /// The recorded thermo trace.
     pub trace: Vec<ThermoState>,
+    /// Trajectory dump written by this variant: `(path, frames)`.
+    pub dump: Option<(PathBuf, u64)>,
 }
 
 /// The outcome of a whole scenario: every variant plus host facts.
@@ -320,6 +351,7 @@ impl Scenario {
                 "system",
                 "potential",
                 "run",
+                "dump",
                 "matrix",
                 "max_drift",
             ],
@@ -404,6 +436,47 @@ impl Scenario {
             thermo_every: opt_u64(run_obj, "thermo_every", 10, "run")?,
         };
 
+        let dump = match top.get("dump") {
+            None | Some(Json::Null) => None,
+            Some(d) => {
+                let d = expect_obj(d, "dump")?;
+                check_keys(d, "dump", &["path", "every", "elements"])?;
+                let path = req_str(d, "path", "dump")?;
+                if path.is_empty() {
+                    return Err(ScenarioError::Parse("dump.path must be non-empty".into()));
+                }
+                let every = req_u64(d, "every", "dump")?;
+                if every == 0 {
+                    return Err(ScenarioError::Parse(
+                        "dump.every must be a positive number of steps".into(),
+                    ));
+                }
+                let elements = match d.get("elements") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_arr()
+                            .ok_or_else(|| {
+                                ScenarioError::Parse("dump.elements must be an array".into())
+                            })?
+                            .iter()
+                            .map(|j| {
+                                j.as_str().map(|s| s.to_string()).ok_or_else(|| {
+                                    ScenarioError::Parse(
+                                        "dump.elements entries must be strings".into(),
+                                    )
+                                })
+                            })
+                            .collect::<Result<Vec<String>, _>>()?,
+                    ),
+                };
+                Some(DumpSpec {
+                    path,
+                    every,
+                    elements,
+                })
+            }
+        };
+
         let matrix = match top.get("matrix") {
             None | Some(Json::Null) => None,
             Some(m) => {
@@ -463,6 +536,7 @@ impl Scenario {
             system,
             potential,
             run,
+            dump,
             matrix,
             max_drift,
         })
@@ -521,6 +595,19 @@ impl Scenario {
                 ]),
             ),
         ];
+        if let Some(dump) = &self.dump {
+            let mut entry = vec![
+                ("path", Json::Str(dump.path.clone())),
+                ("every", Json::Num(dump.every as f64)),
+            ];
+            if let Some(elements) = &dump.elements {
+                entry.push((
+                    "elements",
+                    Json::Arr(elements.iter().map(|e| Json::Str(e.clone())).collect()),
+                ));
+            }
+            top.push(("dump", obj(entry)));
+        }
         if let Some(matrix) = &self.matrix {
             top.push((
                 "matrix",
@@ -630,6 +717,21 @@ impl Scenario {
         }
     }
 
+    /// The trajectory file one variant writes: the declared `dump.path`,
+    /// suffixed with the mode and thread count when a matrix makes the
+    /// scenario multi-variant (so variants do not clobber each other).
+    pub fn dump_path_for(&self, variant: Variant) -> Option<PathBuf> {
+        let dump = self.dump.as_ref()?;
+        let base = Path::new(&dump.path);
+        if self.matrix.is_none() {
+            return Some(base.to_path_buf());
+        }
+        let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("dump");
+        let ext = base.extension().and_then(|e| e.to_str()).unwrap_or("xyz");
+        let file = format!("{stem}_{}_t{}.{ext}", variant.mode.label(), variant.threads);
+        Some(base.with_file_name(file))
+    }
+
     /// Build the simulation of one variant through
     /// [`md_core::SimulationBuilder`] — exactly the construction a user
     /// would write by hand (the golden equivalence test in
@@ -645,13 +747,28 @@ impl Scenario {
             .lattice(self.system.cells)
             .build_perturbed(self.system.perturbation, self.system.lattice_seed);
         let potential = make_potential(self.potential.params.params(), self.options_for(variant));
-        let sim = Simulation::builder(atoms, sim_box, potential)
+        let mut builder = Simulation::builder(atoms, sim_box, potential)
             .timestep(self.run.timestep)
             .skin(self.run.skin)
             .masses(self.potential.params.masses())
             .temperature(self.system.temperature, self.system.velocity_seed)
-            .thermo_every(self.run.thermo_every)
-            .build()?;
+            .thermo_every(self.run.thermo_every);
+        if let Some(dump) = &self.dump {
+            let path = self
+                .dump_path_for(variant)
+                .expect("dump path exists when dump is declared");
+            let elements = dump
+                .elements
+                .clone()
+                .unwrap_or_else(|| self.potential.params.elements());
+            let observer =
+                XyzDump::create(&path, dump.every, elements).map_err(|e| ScenarioError::Io {
+                    path: path.display().to_string(),
+                    error: e.to_string(),
+                })?;
+            builder = builder.observe(observer);
+        }
+        let sim = builder.build()?;
         Ok(sim)
     }
 
@@ -665,18 +782,25 @@ impl Scenario {
         let options = self.options_for(variant);
         let mut sim = self.build_simulation(variant)?;
         let report = sim.run(steps);
+        let dump = match sim.observer::<XyzDump>() {
+            None => None,
+            Some(d) => {
+                if let Some(error) = d.error() {
+                    return Err(ScenarioError::Io {
+                        path: d.path().display().to_string(),
+                        error: error.to_string(),
+                    });
+                }
+                Some((d.path().to_path_buf(), d.frames_written()))
+            }
+        };
         Ok(VariantReport {
             variant,
-            resolved_threads: if variant.threads == 0 {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            } else {
-                variant.threads
-            },
+            resolved_threads: md_core::runtime::resolve_threads(variant.threads),
             label: options.label(),
             report,
             trace: sim.thermo_history().to_vec(),
+            dump,
         })
     }
 
@@ -761,6 +885,16 @@ impl ScenarioReport {
                     ("max_drift", Json::Num(v.report.max_drift)),
                     ("rebuilds", Json::Num(v.report.total_rebuilds as f64)),
                     ("final_total_energy", Json::Num(v.report.final_thermo.total)),
+                    (
+                        // Per-phase breakdown (force / neighbor / comm /
+                        // integrate / other) so the runtime-parallel phases
+                        // are measurable from the report alone.
+                        "timers",
+                        obj(Stage::ALL
+                            .iter()
+                            .map(|&stage| (stage.name(), Json::Num(v.report.timers.seconds(stage))))
+                            .collect::<Vec<_>>()),
+                    ),
                 ];
                 if let Some(&r) = ref_seconds.get(&v.resolved_threads) {
                     if seconds > 0.0 {
@@ -952,6 +1086,7 @@ mod tests {
                 steps: 20,
                 thermo_every: 5,
             },
+            dump: None,
             matrix: Some(MatrixSpec {
                 modes: vec![ExecutionMode::Ref, ExecutionMode::OptM],
                 threads: vec![1, 2],
@@ -1029,6 +1164,85 @@ mod tests {
         assert!(series[0].get("seconds_per_step").unwrap().as_f64().unwrap() > 0.0);
         // Opt-M row carries the speedup against the Ref row.
         assert!(series[1].get("speedup_vs_ref").is_some());
+    }
+
+    #[test]
+    fn dump_spec_round_trips_and_writes_frames() {
+        let mut s = sample();
+        let mut path = std::env::temp_dir();
+        path.push(format!("scenario_dump_{}.xyz", std::process::id()));
+        s.dump = Some(DumpSpec {
+            path: path.display().to_string(),
+            every: 2,
+            elements: None,
+        });
+        // Round-trips through JSON (with and without explicit elements).
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+        s.dump.as_mut().unwrap().elements = Some(vec!["Si".into()]);
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+
+        // Matrix variants write distinct suffixed files.
+        let v = Variant {
+            mode: ExecutionMode::OptM,
+            threads: 2,
+        };
+        let suffixed = s.dump_path_for(v).unwrap();
+        assert!(suffixed
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .ends_with("_Opt-M_t2.xyz"));
+
+        // A single-variant run writes the declared path and counts frames.
+        s.matrix = None;
+        s.run.steps = 6;
+        let report = s.execute(None).unwrap();
+        let (written, frames) = report.variants[0].dump.clone().unwrap();
+        assert_eq!(written, path);
+        assert_eq!(frames, 3); // steps 2, 4, 6
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(&format!("{}\n", s.n_atoms())));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_dump_specs_are_rejected() {
+        let mut s = sample();
+        s.dump = Some(DumpSpec {
+            path: "traj.xyz".into(),
+            every: 2,
+            elements: None,
+        });
+        let zero = s.to_json().replace("\"every\": 2", "\"every\": 0");
+        assert!(Scenario::from_json(&zero)
+            .unwrap_err()
+            .to_string()
+            .contains("dump.every"));
+        let unknown = s.to_json().replace("\"every\"", "\"cadence\"");
+        assert!(Scenario::from_json(&unknown)
+            .unwrap_err()
+            .to_string()
+            .contains("cadence"));
+    }
+
+    #[test]
+    fn report_json_carries_per_phase_timers() {
+        let mut s = sample();
+        s.matrix = None;
+        s.run.steps = 4;
+        let report = s.execute(None).unwrap();
+        let json = parse(&report.to_report_json()).unwrap();
+        let series = json.get("series").unwrap().as_arr().unwrap();
+        let timers = series[0].get("timers").unwrap();
+        for stage in Stage::ALL {
+            let v = timers.get(stage.name()).and_then(|t| t.as_f64());
+            assert!(v.is_some(), "missing timer for {}", stage.name());
+        }
+        assert!(
+            timers.get("integrate").unwrap().as_f64().unwrap() > 0.0,
+            "integration must be timed separately"
+        );
     }
 
     #[test]

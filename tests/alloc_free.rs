@@ -1,9 +1,13 @@
-//! Heap-allocation audit of the steady-state force loop.
+//! Heap-allocation audit of the steady-state hot paths.
 //!
 //! A counting global allocator wraps the system allocator; after a warm-up
 //! evaluation (which builds the reusable filter/scratch/pool buffers), the
-//! force computation must perform **zero** heap allocations per step — the
-//! allocation-free hot path the thread-parallel engine was built around.
+//! audited paths must perform **zero** heap allocations per step: the force
+//! computation for every kernel family, the whole simulation step, the
+//! runtime-parallel neighbor rebuild (both inside a hot rebuild-forcing
+//! trajectory and in isolation), and the runtime-parallel ghost exchange of
+//! a decomposed system. The `ParallelRuntime`'s condvar job hand-off is what
+//! keeps multi-thread dispatch off the heap.
 //!
 //! Everything lives in a single `#[test]` so no concurrent test case can
 //! pollute the counter.
@@ -153,4 +157,47 @@ fn steady_state_force_loop_performs_zero_allocations() {
         "{delta} heap allocations across {} rebuild-bearing steps ({} rebuilds)",
         report.steps, report.rebuilds
     );
+
+    // The runtime-parallel neighbor rebuild in isolation: once the bin,
+    // per-chunk row and CRS buffers have reached their high-water marks,
+    // `rebuild_on` dispatching across a multi-thread pool allocates nothing.
+    let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.05, 23);
+    let runtime = md_core::runtime::ParallelRuntime::new(2);
+    let mut list = md_core::neighbor::NeighborList::default();
+    let settings = NeighborSettings::new(3.0, 1.0);
+    // Warm up: grows every buffer and spawns the pool.
+    list.rebuild_on(&atoms, &sim_box, settings, &runtime);
+    list.rebuild_on(&atoms, &sim_box, settings, &runtime);
+    let before = allocations();
+    for _ in 0..5 {
+        list.rebuild_on(&atoms, &sim_box, settings, &runtime);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "{delta} heap allocations in 5 steady-state threaded neighbor rebuilds"
+    );
+
+    // Ghost exchange on the shared runtime: the owned-atom snapshot and
+    // every rank's ghost storage are reused in place, so repeated exchanges
+    // (the per-step communication of a decomposed run) allocate nothing
+    // once capacities have peaked.
+    let (global_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.03, 7);
+    let mut dec = md_core::decomposition::DecomposedSystem::new(&atoms, global_box, [2, 2, 1]);
+    dec.use_runtime(&runtime);
+    dec.exchange_ghosts(4.2);
+    dec.exchange_ghosts(4.2);
+    let ghosts_warm: usize = dec.ranks.iter().map(|r| r.atoms.n_ghost()).sum();
+    assert!(ghosts_warm > 0, "workload must actually exchange ghosts");
+    let before = allocations();
+    for _ in 0..5 {
+        dec.exchange_ghosts(4.2);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "{delta} heap allocations in 5 steady-state threaded ghost exchanges"
+    );
+    let ghosts_after: usize = dec.ranks.iter().map(|r| r.atoms.n_ghost()).sum();
+    assert_eq!(ghosts_warm, ghosts_after, "exchange must stay reproducible");
 }

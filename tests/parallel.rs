@@ -1,9 +1,9 @@
 //! Correctness of the thread-parallel force engine: for every execution mode
 //! × scheme combination the threaded driver must reproduce the single-thread
-//! forces and energy within floating-point-reassociation tolerance, and a
-//! fixed configuration must produce a bitwise-identical thermo trace run to
-//! run (per-thread force buffers are merged in fixed chunk order, so the
-//! engine is deterministic for a given thread count).
+//! forces and energy **bitwise** — the engine partitions atoms into fixed
+//! chunks whose boundaries depend only on the atom count and merges the
+//! per-chunk buffers in fixed chunk order, so the floating-point summation
+//! order is identical for every thread count.
 
 use lammps_tersoff_vector::prelude::*;
 use md_core::neighbor::{NeighborList, NeighborSettings};
@@ -48,36 +48,28 @@ fn threaded_engine_matches_single_thread_for_every_mode_and_scheme() {
                 backend: None,
             };
             let reference = compute_with(base, &b, &atoms, &list);
-            // Reassociation tolerance: pure double precision is tight. Opt-S
-            // *and* Opt-M see f32-level shifts, because the pair vectors'
-            // horizontal energy/virial sums run in the compute precision
-            // before the f64 accumulate, and chunk boundaries regroup lanes.
-            let double_acc = matches!(mode, ExecutionMode::Ref | ExecutionMode::OptD);
-            let (e_tol, f_tol) = if double_acc {
-                (1e-12, 1e-10)
-            } else {
-                (1e-5, 1e-3)
-            };
 
             for threads in [2usize, 4, 8] {
                 let out = compute_with(base.with_threads(threads), &b, &atoms, &list);
-                let rel = ((out.energy - reference.energy) / reference.energy).abs();
-                assert!(
-                    rel < e_tol,
-                    "{mode:?}/{scheme:?} t{threads}: energy off by {rel}"
+                assert_eq!(
+                    out.energy.to_bits(),
+                    reference.energy.to_bits(),
+                    "{mode:?}/{scheme:?} t{threads}: energy not bitwise identical"
                 );
-                let scale = reference.max_force_component().max(1.0);
-                let fdiff = out.max_force_difference(&reference) / scale;
-                assert!(
-                    fdiff < f_tol,
-                    "{mode:?}/{scheme:?} t{threads}: force diff {fdiff}"
+                assert_eq!(
+                    out.virial.to_bits(),
+                    reference.virial.to_bits(),
+                    "{mode:?}/{scheme:?} t{threads}: virial not bitwise identical"
                 );
-                let v_rel =
-                    ((out.virial - reference.virial) / reference.virial.abs().max(1.0)).abs();
-                assert!(
-                    v_rel < if double_acc { 1e-10 } else { 1e-3 },
-                    "{mode:?}/{scheme:?} t{threads}: virial off by {v_rel}"
-                );
+                for (i, (a, r)) in out.forces.iter().zip(reference.forces.iter()).enumerate() {
+                    for d in 0..3 {
+                        assert_eq!(
+                            a[d].to_bits(),
+                            r[d].to_bits(),
+                            "{mode:?}/{scheme:?} t{threads}: force[{i}][{d}] differs"
+                        );
+                    }
+                }
             }
         }
     }
@@ -126,21 +118,17 @@ fn thermo_trace(threads: usize, steps: u64) -> Vec<(u64, u64)> {
 #[test]
 fn same_seed_gives_bitwise_identical_thermo_trace() {
     // Determinism of the threaded engine: repeated runs with the same seed
-    // and thread count agree to the last bit, because per-thread buffers are
+    // and thread count agree to the last bit, because per-chunk buffers are
     // merged in fixed chunk order regardless of scheduling.
     let a = thermo_trace(4, 30);
     let b = thermo_trace(4, 30);
     assert_eq!(a, b);
-    // And a different thread count still agrees physically (not bitwise):
-    // the trace has the same steps and closely matching energies.
+    // And since chunk boundaries are fixed by the atom count (never the
+    // thread count), a different thread count agrees **bitwise** too — the
+    // ParallelRuntime contract (see tests/runtime_equivalence.rs for the
+    // full-step version with rebuilds and ghosts).
     let c = thermo_trace(2, 30);
-    assert_eq!(a.len(), c.len());
-    for ((step_a, bits_a), (step_c, bits_c)) in a.iter().zip(c.iter()) {
-        assert_eq!(step_a, step_c);
-        let ea = f64::from_bits(*bits_a);
-        let ec = f64::from_bits(*bits_c);
-        assert!(((ea - ec) / ea).abs() < 1e-10, "{ea} vs {ec}");
-    }
+    assert_eq!(a, c);
 }
 
 #[test]

@@ -1,0 +1,135 @@
+//! The `ParallelRuntime` thread-count contract: the **whole timestep** —
+//! force computation, neighbor rebuilds, ghost exchange, velocity-Verlet
+//! updates, kinetic-energy reductions — produces **bitwise identical**
+//! results for every thread count.
+//!
+//! This is what fixed chunk boundaries (depending only on the problem size)
+//! plus ordered chunk merges buy: floating-point summation order never
+//! depends on how many workers execute the chunks, so a 1-thread run and an
+//! 8-thread run agree to the last bit. (Under a forced `TERSOFF_THREADS`
+//! environment the thread counts below all resolve to the same value and the
+//! assertions hold trivially — which is exactly why CI can force the whole
+//! suite multi-threaded.)
+
+use lammps_tersoff_vector::prelude::*;
+use md_core::decomposition::DecomposedSystem;
+use md_core::runtime::ParallelRuntime;
+
+/// A thermo trace with every energy field bit-exact, from a hot trajectory
+/// that rebuilds its neighbor list during the measured window.
+fn full_step_trace(threads: usize, builder_owns_runtime: bool) -> (Vec<(u64, [u64; 4])>, u64) {
+    let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.03, 41);
+    // The potential requests 1 thread when the builder supplies the runtime,
+    // so the builder's bind_runtime is what makes it parallel.
+    let pot_threads = if builder_owns_runtime { 1 } else { threads };
+    let potential = make_potential(
+        TersoffParams::silicon(),
+        TersoffOptions::default().with_threads(pot_threads),
+    );
+    let mut builder = Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI])
+        .temperature(1500.0, 17) // hot: forces rebuilds within the run
+        .thermo_every(10);
+    if builder_owns_runtime {
+        builder = builder.threads(threads);
+    }
+    let mut sim = builder.build().expect("valid setup");
+    let report = sim.run(120);
+    let trace = sim
+        .thermo_history()
+        .iter()
+        .map(|t| {
+            (
+                t.step,
+                [
+                    t.kinetic.to_bits(),
+                    t.potential.to_bits(),
+                    t.total.to_bits(),
+                    t.pressure.to_bits(),
+                ],
+            )
+        })
+        .collect();
+    (trace, report.total_rebuilds)
+}
+
+#[test]
+fn full_step_is_bitwise_identical_across_thread_counts() {
+    let (reference, ref_rebuilds) = full_step_trace(1, false);
+    assert!(
+        ref_rebuilds > 1,
+        "trajectory must exercise neighbor rebuilds (got {ref_rebuilds})"
+    );
+    for threads in [2usize, 4, 8] {
+        let (trace, rebuilds) = full_step_trace(threads, false);
+        assert_eq!(
+            rebuilds, ref_rebuilds,
+            "t{threads}: rebuild schedule diverged"
+        );
+        assert_eq!(
+            trace, reference,
+            "t{threads}: thermo trace is not bitwise identical to t1"
+        );
+    }
+}
+
+#[test]
+fn builder_owned_runtime_matches_engine_owned_runtime_bitwise() {
+    // `SimulationBuilder::threads(n)` re-binds the potential onto the
+    // builder's runtime; the result must equal a potential that brought its
+    // own n-thread runtime — and, by the contract above, the t1 run.
+    let (reference, _) = full_step_trace(1, false);
+    for threads in [2usize, 4] {
+        let (trace, _) = full_step_trace(threads, true);
+        assert_eq!(
+            trace, reference,
+            "builder-owned runtime t{threads} diverged"
+        );
+    }
+}
+
+#[test]
+fn ghost_exchange_and_decomposed_forces_are_bitwise_across_thread_counts() {
+    let (global_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.05, 17);
+    let skin = 0.5;
+
+    let run = |threads: usize| {
+        let runtime = ParallelRuntime::new(threads);
+        let mut dec = DecomposedSystem::new(&atoms, global_box, [2, 2, 1]);
+        dec.use_runtime(&runtime);
+        dec.exchange_ghosts(3.2 + skin);
+        dec.compute_forces(
+            || {
+                make_potential(
+                    TersoffParams::silicon(),
+                    TersoffOptions::default().with_threads(threads),
+                )
+            },
+            skin,
+        );
+        let ghosts: Vec<usize> = dec.ranks.iter().map(|r| r.atoms.n_ghost()).collect();
+        let energy = dec.total_energy().to_bits();
+        let mut forces: Vec<(u64, [u64; 3])> = dec
+            .collect_forces()
+            .into_iter()
+            .map(|(id, f)| (id, [f[0].to_bits(), f[1].to_bits(), f[2].to_bits()]))
+            .collect();
+        forces.sort_unstable();
+        (ghosts, energy, forces)
+    };
+
+    let reference = run(1);
+    assert!(reference.0.iter().all(|&g| g > 0), "ranks must have ghosts");
+    for threads in [2usize, 4, 8] {
+        let result = run(threads);
+        assert_eq!(result.0, reference.0, "t{threads}: ghost counts diverged");
+        assert_eq!(
+            result.1, reference.1,
+            "t{threads}: decomposed energy not bitwise identical"
+        );
+        assert_eq!(
+            result.2, reference.2,
+            "t{threads}: decomposed forces not bitwise identical"
+        );
+    }
+}

@@ -43,6 +43,7 @@ fn sample_scenario() -> Scenario {
             steps: 30,
             thermo_every: 5,
         },
+        dump: None,
         matrix: None,
         max_drift: Some(1e-3),
     }
