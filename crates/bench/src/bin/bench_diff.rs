@@ -80,6 +80,27 @@ fn backend(r: &Json) -> String {
         .to_string()
 }
 
+/// `executed_backend` extended with the dispatch granularity and the
+/// build's compiled ISA when the report records them (reports written
+/// since kernel-granularity dispatch do), e.g. `avx2 (kernel-granular,
+/// baseline build)`.
+fn backend_detail(r: &Json) -> String {
+    let mut detail = backend(r);
+    let granularity = r.get("dispatch_granularity").and_then(|g| g.as_str());
+    let compiled = r.get("compiled_isa").and_then(|c| c.as_str());
+    if granularity.is_some() || compiled.is_some() {
+        let mut notes = Vec::new();
+        if let Some(g) = granularity {
+            notes.push(format!("{g}-granular"));
+        }
+        if let Some(c) = compiled {
+            notes.push(format!("{c} build"));
+        }
+        detail.push_str(&format!(" ({})", notes.join(", ")));
+    }
+    detail
+}
+
 fn parallelism(r: &Json) -> u64 {
     r.get("available_parallelism")
         .and_then(|p| p.as_f64())
@@ -103,9 +124,9 @@ fn compare_reports(baseline: &Json, current: &Json, args: &Args) -> Result<(usiz
     let gating = host_match || args.strict;
     println!(
         "baseline: `{}` backend, {} CPUs · current: `{}` backend, {} CPUs{}\n",
-        backend(baseline),
+        backend_detail(baseline),
         parallelism(baseline),
-        backend(current),
+        backend_detail(current),
         parallelism(current),
         if gating {
             ""

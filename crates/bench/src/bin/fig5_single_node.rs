@@ -52,21 +52,26 @@ fn main() {
     let mut threads_axis = matrix.threads;
     threads_axis.retain(|&t| t == 1 || t <= 2 * parallelism);
 
-    // The vektor implementation that will actually execute the dispatched
-    // vector ops (VEKTOR_BACKEND override, else hardware detection).
+    // The vektor implementation the kernels will execute (VEKTOR_BACKEND
+    // override, else hardware detection — kernel-granularity dispatch, so
+    // this holds in every build flavor), plus the build's own ISA level
+    // for the report metadata.
     let executed_backend = scenario
         .options_for(Variant {
             mode: ExecutionMode::OptM,
             threads: 1,
         })
         .resolved_backend();
+    let compiled_isa = vektor::dispatch::compiled_isa();
+    let dispatch_granularity = vektor::dispatch::DISPATCH_GRANULARITY;
 
     figure_header(
         "Figure 5",
         "single-node execution, Ref vs Opt-M, thread sweep (measured)",
         &format!(
             "{}x{}x{} cells = {n_atoms} perturbed Si atoms, \
-             {parallelism} CPUs available, vektor backend: {executed_backend}",
+             {parallelism} CPUs available, vektor backend: {executed_backend} \
+             ({dispatch_granularity}-granular dispatch, {compiled_isa} build)",
             cells[0], cells[1], cells[2]
         ),
     );
@@ -171,7 +176,8 @@ fn main() {
          \"workload\": {{\"cells\": [{}, {}, {}], \"atoms\": {n_atoms}, \"perturbation\": \
          {}}},\n  \"available_parallelism\": {parallelism},\n  \"reps\": {reps},\n  \
          \"opt_m_options\": \"{options_label}\",\n  \"executed_backend\": \
-         \"{executed_backend}\",\n  \"series\": [\n{json_rows}\n  ]\n}}\n",
+         \"{executed_backend}\",\n  \"dispatch_granularity\": \"{dispatch_granularity}\",\n  \
+         \"compiled_isa\": \"{compiled_isa}\",\n  \"series\": [\n{json_rows}\n  ]\n}}\n",
         scenario.name, cells[0], cells[1], cells[2], scenario.system.perturbation
     );
     match write_bench_json("fig5_single_node", &body) {

@@ -148,6 +148,10 @@ fn main() -> ExitCode {
 
         if !args.quiet {
             println!(
+                "    vektor backend: {} ({}-granular dispatch, {} build)",
+                outcome.executed_backend, outcome.dispatch_granularity, outcome.compiled_isa
+            );
+            println!(
                 "    {:<20} {:>8} {:>14} {:>12} {:>10} {:>10}",
                 "variant", "threads", "s/step", "ns/day", "rebuilds", "drift"
             );

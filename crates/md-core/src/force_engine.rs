@@ -107,6 +107,10 @@ impl Potential for Box<dyn RangePotential> {
     fn bind_runtime(&mut self, runtime: &ParallelRuntime) {
         self.as_mut().bind_runtime(runtime);
     }
+
+    fn executed_backend(&self) -> Option<&'static str> {
+        self.as_ref().executed_backend()
+    }
 }
 
 impl RangePotential for Box<dyn RangePotential> {
@@ -222,6 +226,10 @@ impl<P: RangePotential> Potential for ForceEngine<P> {
 
     fn bind_runtime(&mut self, runtime: &ParallelRuntime) {
         self.runtime = runtime.clone();
+    }
+
+    fn executed_backend(&self) -> Option<&'static str> {
+        self.potential.executed_backend()
     }
 
     fn compute(

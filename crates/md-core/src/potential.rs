@@ -105,6 +105,17 @@ pub trait Potential {
     /// called by [`crate::simulation::SimulationBuilder`] when the builder
     /// owns the runtime. Single-threaded potentials ignore it.
     fn bind_runtime(&mut self, _runtime: &ParallelRuntime) {}
+
+    /// The short name of the vector implementation this potential's kernel
+    /// instance executes (`"portable"`, `"avx2"`, `"avx512"`), if the
+    /// kernel is backend-dispatched. `None` for potentials without a
+    /// dispatched vector path (the reference implementation, LJ). Wrappers
+    /// such as the [`crate::force_engine::ForceEngine`] forward the inner
+    /// kernel's answer, so reports and tests can ask a built potential
+    /// what actually runs.
+    fn executed_backend(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 impl Potential for Box<dyn Potential> {
@@ -132,6 +143,10 @@ impl Potential for Box<dyn Potential> {
 
     fn bind_runtime(&mut self, runtime: &ParallelRuntime) {
         self.as_mut().bind_runtime(runtime);
+    }
+
+    fn executed_backend(&self) -> Option<&'static str> {
+        self.as_ref().executed_backend()
     }
 }
 

@@ -189,18 +189,19 @@ pub struct TersoffOptions {
     /// value is taken literally — the OpenMP-threads axis of the paper's
     /// single-node runs (Fig. 5).
     pub threads: usize,
-    /// The `vektor` implementation executing the dispatched vector
-    /// operations: `None` resolves automatically (the `VEKTOR_BACKEND`
-    /// environment variable, else build-aware detection — see
+    /// The `vektor` implementation executing the kernel: `None` resolves
+    /// automatically (the `VEKTOR_BACKEND` environment variable, else
+    /// runtime detection of the widest supported ISA — see
     /// `vektor::dispatch::default_backend`); `Some(_)` forces an
     /// implementation, clamped to what the host supports.
     ///
-    /// The dispatch state is **process-global**: it is resolved when
-    /// [`make_potential`] / [`make_range_potential`] runs, and the most
-    /// recent resolution wins for *every* potential in the process — two
-    /// coexisting potentials cannot run different backends. Since all
-    /// implementations are bitwise-equivalent, a later override changes
-    /// speed only, never results.
+    /// Dispatch is **kernel-granular**: [`make_range_potential`] resolves
+    /// the request once and stores it in the kernel instance, which then
+    /// executes its whole `compute_range` body as a per-ISA
+    /// monomorphization (`vektor::dispatch::run_kernel`). Two coexisting
+    /// potentials can run different backends; there is no process-global
+    /// state. Since all implementations are bitwise-equivalent, the choice
+    /// changes speed only, never results.
     pub backend: Option<BackendImpl>,
 }
 
@@ -270,33 +271,31 @@ impl TersoffOptions {
         self
     }
 
-    /// Convenience: the same options with a forced vektor backend (see
-    /// [`TersoffOptions::backend`] for the process-global semantics).
+    /// Convenience: the same options with a forced vektor backend (stored
+    /// per kernel instance — see [`TersoffOptions::backend`]).
     pub fn with_backend(mut self, backend: BackendImpl) -> Self {
         self.backend = Some(backend);
         self
     }
 
     /// The vektor implementation these options resolve to on this host
-    /// (what [`make_potential`] will activate): the explicit request if
-    /// supported, else the `VEKTOR_BACKEND`/auto-detected default.
+    /// (the instance [`make_potential`] will build): the explicit request
+    /// if supported, else the `VEKTOR_BACKEND`/auto-detected default.
     pub fn resolved_backend(&self) -> BackendImpl {
-        match self.backend {
-            Some(b) => vektor::dispatch::clamp(b),
-            None => vektor::dispatch::default_backend(),
-        }
+        vektor::dispatch::resolve(self.backend)
     }
 }
 
 macro_rules! build_vector_potential {
-    ($ctor:ident, $t:ty, $a:ty, $width:expr, $params:expr) => {
+    ($ctor:ident, $t:ty, $a:ty, $width:expr, $params:expr, $backend:expr) => {
         match $width {
-            1 => Box::new($ctor::<$t, $a, 1>::new($params)) as Box<dyn RangePotential>,
-            2 => Box::new($ctor::<$t, $a, 2>::new($params)),
-            4 => Box::new($ctor::<$t, $a, 4>::new($params)),
-            8 => Box::new($ctor::<$t, $a, 8>::new($params)),
-            16 => Box::new($ctor::<$t, $a, 16>::new($params)),
-            32 => Box::new($ctor::<$t, $a, 32>::new($params)),
+            1 => Box::new($ctor::<$t, $a, 1>::new($params).with_backend($backend))
+                as Box<dyn RangePotential>,
+            2 => Box::new($ctor::<$t, $a, 2>::new($params).with_backend($backend)),
+            4 => Box::new($ctor::<$t, $a, 4>::new($params).with_backend($backend)),
+            8 => Box::new($ctor::<$t, $a, 8>::new($params).with_backend($backend)),
+            16 => Box::new($ctor::<$t, $a, 16>::new($params).with_backend($backend)),
+            32 => Box::new($ctor::<$t, $a, 32>::new($params).with_backend($backend)),
             other => panic!("unsupported vector width {other} (use 1, 2, 4, 8, 16 or 32)"),
         }
     };
@@ -322,47 +321,51 @@ pub fn make_range_potential(
     params: TersoffParams,
     options: TersoffOptions,
 ) -> Box<dyn RangePotential> {
-    // Resolve the vektor implementation now, so the kernel built below runs
-    // against the requested (or detected) backend from its first step.
-    vektor::dispatch::resolve(options.backend);
+    // Resolve the vektor implementation once and hand it to the kernel
+    // instance: dispatch is kernel-granular, so the choice lives in the
+    // potential being built (no process-global state, and coexisting
+    // potentials may run different backends). The reference implementation
+    // is deliberately left out of the multiversioning — it is the
+    // unoptimized yardstick the paper compares against.
+    let backend = options.resolved_backend();
     let width = options.effective_width();
     match (options.mode, options.scheme) {
         (ExecutionMode::Ref, _) => Box::new(TersoffRef::new(params)),
         (ExecutionMode::OptD, Scheme::Scalar) => {
-            Box::new(TersoffScalarOpt::<f64, f64>::new(params))
+            Box::new(TersoffScalarOpt::<f64, f64>::new(params).with_backend(backend))
         }
         (ExecutionMode::OptS, Scheme::Scalar) => {
-            Box::new(TersoffScalarOpt::<f32, f32>::new(params))
+            Box::new(TersoffScalarOpt::<f32, f32>::new(params).with_backend(backend))
         }
         (ExecutionMode::OptM, Scheme::Scalar) => {
-            Box::new(TersoffScalarOpt::<f32, f64>::new(params))
+            Box::new(TersoffScalarOpt::<f32, f64>::new(params).with_backend(backend))
         }
         (ExecutionMode::OptD, Scheme::JLanes) => {
-            build_vector_potential!(TersoffSchemeA, f64, f64, width, params)
+            build_vector_potential!(TersoffSchemeA, f64, f64, width, params, backend)
         }
         (ExecutionMode::OptS, Scheme::JLanes) => {
-            build_vector_potential!(TersoffSchemeA, f32, f32, width, params)
+            build_vector_potential!(TersoffSchemeA, f32, f32, width, params, backend)
         }
         (ExecutionMode::OptM, Scheme::JLanes) => {
-            build_vector_potential!(TersoffSchemeA, f32, f64, width, params)
+            build_vector_potential!(TersoffSchemeA, f32, f64, width, params, backend)
         }
         (ExecutionMode::OptD, Scheme::FusedLanes) => {
-            build_vector_potential!(TersoffSchemeB, f64, f64, width, params)
+            build_vector_potential!(TersoffSchemeB, f64, f64, width, params, backend)
         }
         (ExecutionMode::OptS, Scheme::FusedLanes) => {
-            build_vector_potential!(TersoffSchemeB, f32, f32, width, params)
+            build_vector_potential!(TersoffSchemeB, f32, f32, width, params, backend)
         }
         (ExecutionMode::OptM, Scheme::FusedLanes) => {
-            build_vector_potential!(TersoffSchemeB, f32, f64, width, params)
+            build_vector_potential!(TersoffSchemeB, f32, f64, width, params, backend)
         }
         (ExecutionMode::OptD, Scheme::ILanes) => {
-            build_vector_potential!(TersoffSchemeC, f64, f64, width, params)
+            build_vector_potential!(TersoffSchemeC, f64, f64, width, params, backend)
         }
         (ExecutionMode::OptS, Scheme::ILanes) => {
-            build_vector_potential!(TersoffSchemeC, f32, f32, width, params)
+            build_vector_potential!(TersoffSchemeC, f32, f32, width, params, backend)
         }
         (ExecutionMode::OptM, Scheme::ILanes) => {
-            build_vector_potential!(TersoffSchemeC, f32, f64, width, params)
+            build_vector_potential!(TersoffSchemeC, f32, f64, width, params, backend)
         }
     }
 }

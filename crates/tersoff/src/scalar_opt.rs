@@ -30,7 +30,8 @@ use md_core::potential::{ComputeOutput, Potential};
 use md_core::simbox::SimBox;
 use std::any::Any;
 use std::ops::Range;
-use vektor::Real;
+use vektor::dispatch::{self, BackendImpl};
+use vektor::{Real, SimdBackend};
 
 /// Default bound on the pre-computed-derivative scratch list. The silicon
 /// benchmark needs 4; the default leaves generous room for liquids and
@@ -55,6 +56,12 @@ pub struct TersoffScalarOpt<T: Real, A: Real> {
     prep: Prepared<T>,
     /// Scratch for the single-threaded [`Potential::compute`] entry point.
     own_scratch: ScalarScratch<T, A>,
+    /// The ISA instance this kernel executes. The scalar-optimized loop
+    /// calls no explicit vector ops, but it is monomorphized into the same
+    /// per-ISA `#[target_feature]` entries as the vector schemes, so on an
+    /// `avx2`/`avx512` instance LLVM auto-vectorizes the loop with the
+    /// wide ISA even in a baseline build.
+    backend: BackendImpl,
     _acc: std::marker::PhantomData<A>,
 }
 
@@ -77,8 +84,21 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
             fallback_count: 0,
             prep: Prepared::default(),
             own_scratch: ScalarScratch::default(),
+            backend: dispatch::default_backend(),
             _acc: std::marker::PhantomData,
         }
+    }
+
+    /// Select the ISA instance this kernel executes (clamped to host
+    /// support; results are bitwise identical either way).
+    pub fn with_backend(mut self, backend: BackendImpl) -> Self {
+        self.backend = dispatch::clamp(backend);
+        self
+    }
+
+    /// The ISA instance this kernel executes.
+    pub fn backend(&self) -> BackendImpl {
+        self.backend
     }
 
     /// The parameter set in use.
@@ -130,6 +150,10 @@ impl<T: Real, A: Real> Potential for TersoffScalarOpt<T, A> {
         self.params.max_cutoff
     }
 
+    fn executed_backend(&self) -> Option<&'static str> {
+        Some(self.backend.name())
+    }
+
     fn compute(
         &mut self,
         atoms: &AtomData,
@@ -163,7 +187,7 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
         let mut energy = A::ZERO;
         let mut virial = A::ZERO;
         if let Some(forces) = array3_f64_forces::<A>(&mut out.forces) {
-            self.atom_loop(
+            self.atom_loop_dispatch(
                 atoms,
                 sim_box,
                 range,
@@ -181,7 +205,7 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
                 kentries,
                 fallbacks,
             } = scratch;
-            self.atom_loop(
+            self.atom_loop_dispatch(
                 atoms,
                 sim_box,
                 range,
@@ -203,8 +227,17 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
     }
 
     /// The per-atom J/K loops, writing into the given force buffer.
+    ///
+    /// `B` is the per-ISA instance tag: the body performs no explicit
+    /// vector calls, but `#[inline(always)]` places it inside the
+    /// `#[target_feature]` entry function, so the wide ISA is available to
+    /// LLVM's auto-vectorizer per instance.
     #[allow(clippy::too_many_arguments)]
-    fn atom_loop(
+    // B selects the ISA instance (codegen only); the scalar body never
+    // names it, which clippy would otherwise flag.
+    #[allow(clippy::extra_unused_type_parameters)]
+    #[inline(always)]
+    fn atom_loop<B: SimdBackend>(
         &self,
         atoms: &AtomData,
         sim_box: &SimBox,
@@ -399,6 +432,27 @@ impl<T: Real, A: Real> RangePotential for TersoffScalarOpt<T, A> {
             .downcast_mut::<ScalarScratch<T, A>>()
             .expect("scratch type mismatch");
         self.fallback_count += std::mem::take(&mut scratch.fallbacks);
+    }
+}
+
+impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
+    vektor::multiversion_entries! {
+        /// The per-ISA trampoline of the scalar-optimized kernel:
+        /// `atom_loop` is `#[inline(always)]`, so each generated
+        /// `#[target_feature]` entry hands the whole loop — with the
+        /// force buffer's `noalias` attribute intact — to LLVM's
+        /// auto-vectorizer under that entry's ISA.
+        fn atom_loop_dispatch / atom_loop_avx2 / atom_loop_avx512 = atom_loop(
+            &self,
+            atoms: &AtomData,
+            sim_box: &SimBox,
+            range: Range<usize>,
+            forces: &mut [[A; 3]],
+            energy: &mut A,
+            virial: &mut A,
+            kentries: &mut Vec<KEntry<T>>,
+            fallbacks: &mut u64,
+        );
     }
 }
 

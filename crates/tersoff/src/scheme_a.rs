@@ -27,8 +27,9 @@ use md_core::potential::{ComputeOutput, Potential};
 use md_core::simbox::SimBox;
 use std::any::Any;
 use std::ops::Range;
-use vektor::gather::{adjacent_gather3, adjacent_scatter_add3_distinct};
-use vektor::{Real, SimdF, SimdM};
+use vektor::dispatch::{self, BackendImpl};
+use vektor::gather::{adjacent_gather3_in, adjacent_scatter_add3_distinct_in};
+use vektor::{Real, SimdBackend, SimdF, SimdM};
 
 /// Scheme (1a): J across the vector lanes.
 #[derive(Clone, Debug)]
@@ -45,6 +46,9 @@ pub struct TersoffSchemeA<T: Real, A: Real, const W: usize> {
     prep: Prepared<T>,
     /// Scratch for the single-threaded [`Potential::compute`] entry point.
     own_scratch: SchemeAScratch<T, A, W>,
+    /// The vektor implementation this kernel instance executes (selected at
+    /// construction, kernel-granular — see `vektor::dispatch`).
+    backend: BackendImpl,
     _acc: std::marker::PhantomData<A>,
 }
 
@@ -78,6 +82,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
             collect_stats: false,
             prep: Prepared::default(),
             own_scratch: SchemeAScratch::default(),
+            backend: dispatch::default_backend(),
             _acc: std::marker::PhantomData,
         }
     }
@@ -86,6 +91,18 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
     pub fn with_stats(mut self) -> Self {
         self.collect_stats = true;
         self
+    }
+
+    /// Select the vektor implementation this kernel instance executes
+    /// (clamped to host support; results are bitwise identical either way).
+    pub fn with_backend(mut self, backend: BackendImpl) -> Self {
+        self.backend = dispatch::clamp(backend);
+        self
+    }
+
+    /// The vektor implementation this kernel instance executes.
+    pub fn backend(&self) -> BackendImpl {
+        self.backend
     }
 
     /// The parameter set in use.
@@ -101,6 +118,10 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeA<T, A, W> {
 
     fn cutoff(&self) -> f64 {
         self.params.max_cutoff
+    }
+
+    fn executed_backend(&self) -> Option<&'static str> {
+        Some(self.backend.name())
     }
 
     fn compute(
@@ -155,7 +176,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                 energy: &mut energy,
                 virial: &mut virial,
             };
-            self.atom_loop(
+            self.atom_loop_dispatch(
                 atoms,
                 range,
                 &mut acc,
@@ -176,7 +197,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                 energy: &mut energy,
                 virial: &mut virial,
             };
-            self.atom_loop(atoms, range, &mut acc, kslots, stats, sim_box);
+            self.atom_loop_dispatch(atoms, range, &mut acc, kslots, stats, sim_box);
             fold_flat_forces(forces, out);
         }
         out.energy += energy.to_f64();
@@ -184,8 +205,12 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
     }
 
     /// The per-atom J/K loops, writing into the borrowed accumulation
-    /// target.
-    fn atom_loop(
+    /// target. Generic over the executing backend `B` and
+    /// `#[inline(always)]` so the whole loop compiles inside the per-ISA
+    /// `#[target_feature]` entries below — one monomorphized instance per
+    /// ISA, wide vector code even in a baseline build.
+    #[inline(always)]
+    fn atom_loop<B: SimdBackend>(
         &self,
         atoms: &AtomData,
         range: Range<usize>,
@@ -259,8 +284,8 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                     *slot = jlist[jv + lane] as usize;
                 }
 
-                let xj = adjacent_gather3::<T, W, 4>(packed_x, &j_idx, lane_mask);
-                let del_ij = min_image_v(
+                let xj = adjacent_gather3_in::<B, T, W, 4>(packed_x, &j_idx, lane_mask);
+                let del_ij = min_image_v::<B, T, W>(
                     [xj[0] - xi_v[0], xj[1] - xi_v[1], xj[2] - xi_v[2]],
                     lengths,
                     periodic,
@@ -273,7 +298,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                     let tj = types[j_idx[lane]];
                     pair_idx[lane] = self.packed.index(ti, tj, tj);
                 }
-                let p_ij = self.packed.gather(&pair_idx, lane_mask);
+                let p_ij = self.packed.gather_in::<B, W>(&pair_idx, lane_mask);
                 lane_mask &= rsq.simd_lt(p_ij.cutsq);
                 if self.collect_stats {
                     stats.record_pair_vector(lane_mask.count());
@@ -303,7 +328,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                     for lane in 0..W {
                         trip_idx[lane] = self.packed.index(ti, types[j_idx[lane]], tk);
                     }
-                    let p_ijk = self.packed.gather(&trip_idx, lane_mask);
+                    let p_ijk = self.packed.gather_in::<B, W>(&trip_idx, lane_mask);
 
                     // Lane is active when j ≠ k and r_ik is inside the
                     // (possibly lane-dependent) cutoff.
@@ -330,12 +355,17 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                         SimdF::splat(del_ik_s[1]),
                         SimdF::splat(del_ik_s[2]),
                     ];
-                    let (z, grad_j, grad_k) =
-                        zeta_term_and_gradients_v(&p_ijk, del_ij, rij, del_ik_v, SimdF::splat(rik));
-                    zeta += z.masked(k_mask);
+                    let (z, grad_j, grad_k) = zeta_term_and_gradients_v::<B, T, W>(
+                        &p_ijk,
+                        del_ij,
+                        rij,
+                        del_ik_v,
+                        SimdF::splat(rik),
+                    );
+                    zeta += B::masked(z, k_mask);
                     for d in 0..3 {
-                        dzeta_j[d] += grad_j[d].masked(k_mask);
-                        dzeta_i[d] -= (grad_j[d] + grad_k[d]).masked(k_mask);
+                        dzeta_j[d] += B::masked(grad_j[d], k_mask);
+                        dzeta_i[d] -= B::masked(grad_j[d] + grad_k[d], k_mask);
                     }
                     kslots.push(KSlot {
                         k,
@@ -346,9 +376,9 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                 }
 
                 // Pair energy, force and δζ.
-                let (e_rep, de_rep) = repulsive_v(&p_ij, rij);
-                let (e_att, de_att, de_dzeta) = force_zeta_v(&p_ij, rij, zeta);
-                *energy += acc((e_rep + e_att).masked_sum(lane_mask));
+                let (e_rep, de_rep) = repulsive_v::<B, T, W>(&p_ij, rij);
+                let (e_att, de_att, de_dzeta) = force_zeta_v::<B, T, W>(&p_ij, rij, zeta);
+                *energy += acc(B::masked_sum(e_rep + e_att, lane_mask));
 
                 let fpair = (de_rep + de_att) / rij;
                 let prefactor = -de_dzeta;
@@ -362,27 +392,31 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                     fj_vec[d] = -pair_f + prefactor * dzeta_j[d];
                 }
                 for d in 0..3 {
-                    fi_acc[d] += acc(fi_vec[d].masked_sum(lane_mask));
+                    fi_acc[d] += acc(B::masked_sum(fi_vec[d], lane_mask));
                 }
-                // Force on the j atoms: distinct targets, plain scatter-add.
+                // Force on the j atoms: distinct targets, plain scatter-add
+                // (hardware scatter on the AVX-512 instance).
                 let fj_acc: [SimdF<A, W>; 3] = [
-                    fj_vec[0].masked(lane_mask).convert(),
-                    fj_vec[1].masked(lane_mask).convert(),
-                    fj_vec[2].masked(lane_mask).convert(),
+                    B::masked(fj_vec[0], lane_mask).convert(),
+                    B::masked(fj_vec[1], lane_mask).convert(),
+                    B::masked(fj_vec[2], lane_mask).convert(),
                 ];
-                adjacent_scatter_add3_distinct::<A, W, 3>(forces, &j_idx, lane_mask, fj_acc);
+                adjacent_scatter_add3_distinct_in::<B, A, W, 3>(forces, &j_idx, lane_mask, fj_acc);
 
                 // Virial: pair part + j-side three-body part.
-                *virial -= acc((fpair * rsq).masked_sum(lane_mask));
+                *virial -= acc(B::masked_sum(fpair * rsq, lane_mask));
                 for d in 0..3 {
-                    *virial += acc((del_ij[d] * (prefactor * dzeta_j[d])).masked_sum(lane_mask));
+                    *virial += acc(B::masked_sum(
+                        del_ij[d] * (prefactor * dzeta_j[d]),
+                        lane_mask,
+                    ));
                 }
 
                 // Force on the k atoms: uniform target per scratch entry,
                 // in-register reduction then one scalar update.
                 for slot in kslots.iter() {
                     for d in 0..3 {
-                        let fk = (prefactor * slot.grad_k[d]).masked_sum(slot.mask);
+                        let fk = B::masked_sum(prefactor * slot.grad_k[d], slot.mask);
                         forces[slot.k * 3 + d] += acc(fk);
                         *virial += acc(slot.del_ik[d] * fk);
                     }
@@ -434,6 +468,24 @@ impl<T: Real, A: Real, const W: usize> RangePotential for TersoffSchemeA<T, A, W
             .downcast_mut::<SchemeAScratch<T, A, W>>()
             .expect("scratch type mismatch");
         self.absorb(scratch);
+    }
+}
+
+impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
+    vektor::multiversion_entries! {
+        /// The per-ISA trampoline of scheme (1a): `atom_loop` is
+        /// `#[inline(always)]`, so each generated `#[target_feature]`
+        /// entry compiles the whole loop with its ISA enabled, and the
+        /// full parameter list keeps every slice's `noalias` attribute.
+        fn atom_loop_dispatch / atom_loop_avx2 / atom_loop_avx512 = atom_loop(
+            &self,
+            atoms: &AtomData,
+            range: Range<usize>,
+            acc: &mut AccView<'_, A>,
+            kslots: &mut Vec<KSlot<T, W>>,
+            stats: &mut KernelStats,
+            sim_box: &SimBox,
+        );
     }
 }
 

@@ -26,7 +26,8 @@ use md_core::potential::{ComputeOutput, Potential};
 use md_core::simbox::SimBox;
 use std::any::Any;
 use std::ops::Range;
-use vektor::{Real, SimdM};
+use vektor::dispatch::{self, BackendImpl};
+use vektor::{Real, SimdBackend, SimdM};
 
 /// Scheme (1b): fused I·J across the vector lanes.
 #[derive(Clone, Debug)]
@@ -47,6 +48,9 @@ pub struct TersoffSchemeB<T: Real, A: Real, const W: usize> {
     prep: Prepared<T>,
     /// Scratch for the single-threaded [`Potential::compute`] entry point.
     own_scratch: PairSchemeScratch<A>,
+    /// The vektor implementation this kernel instance executes (selected at
+    /// construction, kernel-granular — see `vektor::dispatch`).
+    backend: BackendImpl,
     _acc: std::marker::PhantomData<A>,
 }
 
@@ -72,8 +76,21 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
             fast_forward: true,
             prep: Prepared::default(),
             own_scratch: PairSchemeScratch::default(),
+            backend: dispatch::default_backend(),
             _acc: std::marker::PhantomData,
         }
+    }
+
+    /// Select the vektor implementation this kernel instance executes
+    /// (clamped to host support; results are bitwise identical either way).
+    pub fn with_backend(mut self, backend: BackendImpl) -> Self {
+        self.backend = dispatch::clamp(backend);
+        self
+    }
+
+    /// The vektor implementation this kernel instance executes.
+    pub fn backend(&self) -> BackendImpl {
+        self.backend
     }
 
     /// Enable statistics collection.
@@ -101,6 +118,10 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeB<T, A, W> {
 
     fn cutoff(&self) -> f64 {
         self.params.max_cutoff
+    }
+
+    fn executed_backend(&self) -> Option<&'static str> {
+        Some(self.backend.name())
     }
 
     fn compute(
@@ -177,7 +198,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
                 energy: &mut energy,
                 virial: &mut virial,
             };
-            self.pair_loop(&ctx, pair_lo, pair_hi, &mut acc, &mut scratch.stats);
+            self.pair_loop_dispatch(&ctx, pair_lo, pair_hi, &mut acc, &mut scratch.stats);
         } else {
             scratch.acc.reset(atoms.n_total());
             let mut acc = AccView {
@@ -185,7 +206,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
                 energy: &mut energy,
                 virial: &mut virial,
             };
-            self.pair_loop(&ctx, pair_lo, pair_hi, &mut acc, &mut scratch.stats);
+            self.pair_loop_dispatch(&ctx, pair_lo, pair_hi, &mut acc, &mut scratch.stats);
             scratch.acc.fold_into(out);
         }
         out.energy += energy.to_f64();
@@ -193,7 +214,11 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
     }
 
     /// The pair-vector loop, writing into the borrowed accumulation target.
-    fn pair_loop(
+    /// Generic over the executing backend `B` and `#[inline(always)]` so
+    /// the loop — including every [`process_pair_vector`] it drives —
+    /// compiles inside the per-ISA `#[target_feature]` entries below.
+    #[inline(always)]
+    fn pair_loop<B: SimdBackend>(
         &self,
         ctx: &PairKernelCtx<'_, T>,
         pair_lo: usize,
@@ -217,7 +242,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
             } else {
                 None
             };
-            process_pair_vector::<T, A, W>(ctx, &i_idx, &j_idx, lane_mask, acc, stats);
+            process_pair_vector::<B, T, A, W>(ctx, &i_idx, &j_idx, lane_mask, acc, stats);
             pv += W;
         }
     }
@@ -259,6 +284,23 @@ impl<T: Real, A: Real, const W: usize> RangePotential for TersoffSchemeB<T, A, W
             .downcast_mut::<PairSchemeScratch<A>>()
             .expect("scratch type mismatch");
         self.absorb(scratch);
+    }
+}
+
+impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
+    vektor::multiversion_entries! {
+        /// The per-ISA trampoline of scheme (1b): `pair_loop` is
+        /// `#[inline(always)]`, so each generated `#[target_feature]`
+        /// entry compiles the whole loop — including every
+        /// [`process_pair_vector`] it drives — with its ISA enabled.
+        fn pair_loop_dispatch / pair_loop_avx2 / pair_loop_avx512 = pair_loop(
+            &self,
+            ctx: &PairKernelCtx<'_, T>,
+            pair_lo: usize,
+            pair_hi: usize,
+            acc: &mut AccView<'_, A>,
+            stats: &mut KernelStats,
+        );
     }
 }
 

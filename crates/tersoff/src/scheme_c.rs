@@ -24,7 +24,8 @@ use md_core::potential::{ComputeOutput, Potential};
 use md_core::simbox::SimBox;
 use std::any::Any;
 use std::ops::Range;
-use vektor::{Real, SimdM};
+use vektor::dispatch::{self, BackendImpl};
+use vektor::{Real, SimdBackend, SimdM};
 
 /// Scheme (1c): I across the vector lanes (warp model).
 #[derive(Clone, Debug)]
@@ -43,6 +44,9 @@ pub struct TersoffSchemeC<T: Real, A: Real, const W: usize> {
     prep: Prepared<T>,
     /// Scratch for the single-threaded [`Potential::compute`] entry point.
     own_scratch: PairSchemeScratch<A>,
+    /// The vektor implementation this kernel instance executes (selected at
+    /// construction, kernel-granular — see `vektor::dispatch`).
+    backend: BackendImpl,
     _acc: std::marker::PhantomData<A>,
 }
 
@@ -58,8 +62,21 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
             fast_forward: true,
             prep: Prepared::default(),
             own_scratch: PairSchemeScratch::default(),
+            backend: dispatch::default_backend(),
             _acc: std::marker::PhantomData,
         }
+    }
+
+    /// Select the vektor implementation this kernel instance executes
+    /// (clamped to host support; results are bitwise identical either way).
+    pub fn with_backend(mut self, backend: BackendImpl) -> Self {
+        self.backend = dispatch::clamp(backend);
+        self
+    }
+
+    /// The vektor implementation this kernel instance executes.
+    pub fn backend(&self) -> BackendImpl {
+        self.backend
     }
 
     /// Enable statistics collection.
@@ -81,6 +98,10 @@ impl<T: Real, A: Real, const W: usize> Potential for TersoffSchemeC<T, A, W> {
 
     fn cutoff(&self) -> f64 {
         self.params.max_cutoff
+    }
+
+    fn executed_backend(&self) -> Option<&'static str> {
+        Some(self.backend.name())
     }
 
     fn compute(
@@ -148,7 +169,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
                 energy: &mut energy,
                 virial: &mut virial,
             };
-            self.warp_loop(&ctx, range, &mut acc, &mut scratch.stats);
+            self.warp_loop_dispatch(&ctx, range, &mut acc, &mut scratch.stats);
         } else {
             scratch.acc.reset(atoms.n_total());
             let mut acc = AccView {
@@ -156,7 +177,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
                 energy: &mut energy,
                 virial: &mut virial,
             };
-            self.warp_loop(&ctx, range, &mut acc, &mut scratch.stats);
+            self.warp_loop_dispatch(&ctx, range, &mut acc, &mut scratch.stats);
             scratch.acc.fold_into(out);
         }
         out.energy += energy.to_f64();
@@ -164,7 +185,12 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
     }
 
     /// The warp-block loop, writing into the borrowed accumulation target.
-    fn warp_loop(
+    /// Generic over the executing backend `B` and `#[inline(always)]` so
+    /// the lock-step J loop — including every [`process_pair_vector`] it
+    /// drives — compiles inside the per-ISA `#[target_feature]` entries
+    /// below.
+    #[inline(always)]
+    fn warp_loop<B: SimdBackend>(
         &self,
         ctx: &PairKernelCtx<'_, T>,
         range: Range<usize>,
@@ -209,7 +235,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
                 } else {
                     None
                 };
-                process_pair_vector::<T, A, W>(ctx, &i_idx, &j_idx, lane_mask, acc, stats);
+                process_pair_vector::<B, T, A, W>(ctx, &i_idx, &j_idx, lane_mask, acc, stats);
             }
             block += W;
         }
@@ -252,6 +278,22 @@ impl<T: Real, A: Real, const W: usize> RangePotential for TersoffSchemeC<T, A, W
             .downcast_mut::<PairSchemeScratch<A>>()
             .expect("scratch type mismatch");
         self.absorb(scratch);
+    }
+}
+
+impl<T: Real, A: Real, const W: usize> TersoffSchemeC<T, A, W> {
+    vektor::multiversion_entries! {
+        /// The per-ISA trampoline of scheme (1c): `warp_loop` is
+        /// `#[inline(always)]`, so each generated `#[target_feature]`
+        /// entry compiles the whole lock-step loop — including every
+        /// [`process_pair_vector`] it drives — with its ISA enabled.
+        fn warp_loop_dispatch / warp_loop_avx2 / warp_loop_avx512 = warp_loop(
+            &self,
+            ctx: &PairKernelCtx<'_, T>,
+            range: Range<usize>,
+            acc: &mut AccView<'_, A>,
+            stats: &mut KernelStats,
+        );
     }
 }
 

@@ -7,11 +7,18 @@
 //! packed structure-of-arrays table ([`PackedParams`]), with a fast uniform
 //! path for single-species systems where every lane shares the same entry
 //! (the silicon benchmark).
+//!
+//! Every function that touches a dispatched vector operation (select,
+//! gather, masked reductions) is generic over the executing
+//! `B: SimdBackend`, so the whole evaluation monomorphizes into the
+//! per-ISA kernel instances the `vektor::dispatch::run_kernel` trampoline
+//! launches — the backend threads through the call tree as a type
+//! parameter instead of any process-global state.
 
 use crate::functions::EXP_CLAMP;
 use crate::params::TersoffParams;
 use md_core::atom::AtomData;
-use vektor::{Real, SimdF, SimdM};
+use vektor::{PortableBackend, Real, SimdBackend, SimdF, SimdM};
 
 /// Pack atom positions (local + ghost) into a flat stride-4 buffer of the
 /// compute precision — the USER-INTEL-style packing step shared by every
@@ -110,14 +117,27 @@ impl<T: Real> PackedParams<T> {
         ti * self.nelements * self.nelements + tj * self.nelements + tk
     }
 
-    /// Gather a vector of parameter entries for per-lane triplet indices.
+    /// Gather a vector of parameter entries for per-lane triplet indices
+    /// (portable form of [`PackedParams::gather_in`]).
     #[inline(always)]
     pub fn gather<const W: usize>(&self, idx: &[usize; W], mask: SimdM<W>) -> ParamV<T, W> {
+        self.gather_in::<PortableBackend, W>(idx, mask)
+    }
+
+    /// Gather a vector of parameter entries for per-lane triplet indices on
+    /// an explicit backend — one (hardware, on the intrinsic
+    /// implementations) masked gather per field.
+    #[inline(always)]
+    pub fn gather_in<B: SimdBackend, const W: usize>(
+        &self,
+        idx: &[usize; W],
+        mask: SimdM<W>,
+    ) -> ParamV<T, W> {
         if self.nelements == 1 {
             // Uniform fast path: all lanes share entry 0.
             return self.splat(0);
         }
-        let g = |v: &Vec<T>| SimdF::gather_masked(v, idx, mask, v[0]);
+        let g = |v: &Vec<T>| B::gather_masked(v, idx, mask, v[0]);
         ParamV {
             cubic: self.cubic,
             gamma: g(&self.gamma),
@@ -251,41 +271,43 @@ fn exp_v<T: Real, const W: usize>(x: SimdF<T, W>) -> SimdF<T, W> {
 
 /// Vectorized cutoff function `f_C(r)`.
 #[inline(always)]
-pub fn fc_v<T: Real, const W: usize>(p: &ParamV<T, W>, r: SimdF<T, W>) -> SimdF<T, W> {
+pub fn fc_v<B: SimdBackend, T: Real, const W: usize>(
+    p: &ParamV<T, W>,
+    r: SimdF<T, W>,
+) -> SimdF<T, W> {
     let lower = p.bigr - p.bigd;
     let upper = p.bigr + p.bigd;
     let arg = (r - p.bigr) / p.bigd * T::from_f64(std::f64::consts::FRAC_PI_2);
     let mid = (SimdF::one() - sin_v(arg)) * T::HALF;
     let below = r.simd_lt(lower);
     let above = r.simd_gt(upper);
-    SimdF::select(
-        below,
-        SimdF::one(),
-        SimdF::select(above, SimdF::zero(), mid),
-    )
+    B::select(below, SimdF::one(), B::select(above, SimdF::zero(), mid))
 }
 
 /// Vectorized cutoff derivative `f_C'(r)`.
 #[inline(always)]
-pub fn fc_d_v<T: Real, const W: usize>(p: &ParamV<T, W>, r: SimdF<T, W>) -> SimdF<T, W> {
+pub fn fc_d_v<B: SimdBackend, T: Real, const W: usize>(
+    p: &ParamV<T, W>,
+    r: SimdF<T, W>,
+) -> SimdF<T, W> {
     let lower = p.bigr - p.bigd;
     let upper = p.bigr + p.bigd;
     let arg = (r - p.bigr) / p.bigd * T::from_f64(std::f64::consts::FRAC_PI_2);
     let mid = -(cos_v(arg) / p.bigd) * T::from_f64(std::f64::consts::FRAC_PI_4);
     let inside = r.simd_ge(lower) & r.simd_le(upper);
-    mid.masked(inside)
+    B::masked(mid, inside)
 }
 
 /// Vectorized repulsive term of one ordered pair: `(energy, dE/dr)` of
 /// `½ f_C A e^{−λ₁ r}`.
 #[inline(always)]
-pub fn repulsive_v<T: Real, const W: usize>(
+pub fn repulsive_v<B: SimdBackend, T: Real, const W: usize>(
     p: &ParamV<T, W>,
     r: SimdF<T, W>,
 ) -> (SimdF<T, W>, SimdF<T, W>) {
     let exp1 = exp_v(-(p.lam1 * r));
-    let f_c = fc_v(p, r);
-    let f_c_d = fc_d_v(p, r);
+    let f_c = fc_v::<B, T, W>(p, r);
+    let f_c_d = fc_d_v::<B, T, W>(p, r);
     let energy = f_c * p.biga * exp1 * T::HALF;
     let de_dr = p.biga * exp1 * (f_c_d - f_c * p.lam1) * T::HALF;
     (energy, de_dr)
@@ -293,23 +315,23 @@ pub fn repulsive_v<T: Real, const W: usize>(
 
 /// Vectorized attractive term `f_A(r)` and its derivative.
 #[inline(always)]
-pub fn fa_and_deriv_v<T: Real, const W: usize>(
+pub fn fa_and_deriv_v<B: SimdBackend, T: Real, const W: usize>(
     p: &ParamV<T, W>,
     r: SimdF<T, W>,
 ) -> (SimdF<T, W>, SimdF<T, W>) {
     let inside = r.simd_le(p.cut);
     let exp2 = exp_v(-(p.lam2 * r));
-    let f_c = fc_v(p, r);
-    let f_c_d = fc_d_v(p, r);
-    let fa = (-(p.bigb) * exp2 * f_c).masked(inside);
-    let fa_d = (p.bigb * exp2 * (p.lam2 * f_c - f_c_d)).masked(inside);
+    let f_c = fc_v::<B, T, W>(p, r);
+    let f_c_d = fc_d_v::<B, T, W>(p, r);
+    let fa = B::masked(-(p.bigb) * exp2 * f_c, inside);
+    let fa_d = B::masked(p.bigb * exp2 * (p.lam2 * f_c - f_c_d), inside);
     (fa, fa_d)
 }
 
 /// Vectorized bond order `b_ij(ζ)` and derivative `db/dζ`, with the same
 /// asymptotic regions as the scalar code implemented through lane selects.
 #[inline(always)]
-pub fn bij_and_deriv_v<T: Real, const W: usize>(
+pub fn bij_and_deriv_v<B: SimdBackend, T: Real, const W: usize>(
     p: &ParamV<T, W>,
     zeta: SimdF<T, W>,
 ) -> (SimdF<T, W>, SimdF<T, W>) {
@@ -355,14 +377,14 @@ pub fn bij_and_deriv_v<T: Real, const W: usize>(
 
     let mut b = central_b;
     let mut b_d = central_b_d;
-    b = SimdF::select(m_lo2, b_lo2, b);
-    b_d = SimdF::select(m_lo2, b_lo2_d, b_d);
-    b = SimdF::select(m_lo1, one, b);
-    b_d = SimdF::select(m_lo1, SimdF::zero(), b_d);
-    b = SimdF::select(m_hi2, b_hi2, b);
-    b_d = SimdF::select(m_hi2, b_hi2_d, b_d);
-    b = SimdF::select(m_hi1, b_hi1, b);
-    b_d = SimdF::select(m_hi1, b_hi1_d, b_d);
+    b = B::select(m_lo2, b_lo2, b);
+    b_d = B::select(m_lo2, b_lo2_d, b_d);
+    b = B::select(m_lo1, one, b);
+    b_d = B::select(m_lo1, SimdF::zero(), b_d);
+    b = B::select(m_hi2, b_hi2, b);
+    b_d = B::select(m_hi2, b_hi2_d, b_d);
+    b = B::select(m_hi1, b_hi1, b);
+    b_d = B::select(m_hi1, b_hi1_d, b_d);
     (b, b_d)
 }
 
@@ -404,13 +426,13 @@ pub fn ex_delr_v<T: Real, const W: usize>(
 /// Vectorized attractive/bond-order pair evaluation: `(energy, dE/dr, ∂E/∂ζ)`
 /// for `E = ½ b_ij(ζ) f_A(r)`.
 #[inline(always)]
-pub fn force_zeta_v<T: Real, const W: usize>(
+pub fn force_zeta_v<B: SimdBackend, T: Real, const W: usize>(
     p: &ParamV<T, W>,
     r: SimdF<T, W>,
     zeta: SimdF<T, W>,
 ) -> (SimdF<T, W>, SimdF<T, W>, SimdF<T, W>) {
-    let (fa, fa_d) = fa_and_deriv_v(p, r);
-    let (b, b_d) = bij_and_deriv_v(p, zeta);
+    let (fa, fa_d) = fa_and_deriv_v::<B, T, W>(p, r);
+    let (b, b_d) = bij_and_deriv_v::<B, T, W>(p, zeta);
     let energy = b * fa * T::HALF;
     let de_dr = b * fa_d * T::HALF;
     let de_dzeta = fa * b_d * T::HALF;
@@ -422,7 +444,7 @@ pub fn force_zeta_v<T: Real, const W: usize>(
 /// All displacement inputs are per-lane; returns `(ζ, ∇_j ζ, ∇_k ζ)`.
 #[inline(always)]
 #[allow(clippy::type_complexity)]
-pub fn zeta_term_and_gradients_v<T: Real, const W: usize>(
+pub fn zeta_term_and_gradients_v<B: SimdBackend, T: Real, const W: usize>(
     p: &ParamV<T, W>,
     del_ij: [SimdF<T, W>; 3],
     rij: SimdF<T, W>,
@@ -443,8 +465,8 @@ pub fn zeta_term_and_gradients_v<T: Real, const W: usize>(
     ];
     let cos_theta = hat_ij[0] * hat_ik[0] + hat_ij[1] * hat_ik[1] + hat_ij[2] * hat_ik[2];
 
-    let f_c = fc_v(p, rik);
-    let f_c_d = fc_d_v(p, rik);
+    let f_c = fc_v::<B, T, W>(p, rik);
+    let f_c_d = fc_d_v::<B, T, W>(p, rik);
     let (g, g_d) = gijk_and_deriv_v(p, cos_theta);
     let (e, e_d) = ex_delr_v(p, rij, rik);
 
@@ -469,7 +491,7 @@ pub fn zeta_term_and_gradients_v<T: Real, const W: usize>(
 /// most one box length — sufficient because displacements between neighbors
 /// are always far below 1.5 box lengths).
 #[inline(always)]
-pub fn min_image_v<T: Real, const W: usize>(
+pub fn min_image_v<B: SimdBackend, T: Real, const W: usize>(
     mut del: [SimdF<T, W>; 3],
     lengths: [T; 3],
     periodic: [bool; 3],
@@ -480,8 +502,8 @@ pub fn min_image_v<T: Real, const W: usize>(
             let half = SimdF::splat(lengths[d] * T::HALF);
             let too_high = del[d].simd_gt(half);
             let too_low = del[d].simd_lt(-half);
-            del[d] = SimdF::select(too_high, del[d] - l, del[d]);
-            del[d] = SimdF::select(too_low, del[d] + l, del[d]);
+            del[d] = B::select(too_high, del[d] - l, del[d]);
+            del[d] = B::select(too_low, del[d] + l, del[d]);
         }
     }
     del
@@ -491,6 +513,7 @@ pub fn min_image_v<T: Real, const W: usize>(
 mod tests {
     use super::*;
     use crate::functions::{self, ParamT};
+    use vektor::PortableBackend as PB;
 
     const W: usize = 8;
 
@@ -516,8 +539,8 @@ mod tests {
         let pv = pp.splat::<W>(0);
         let ps = scalar_param(&TersoffParams::silicon());
         let r = sample_radii();
-        let v = fc_v(&pv, r);
-        let vd = fc_d_v(&pv, r);
+        let v = fc_v::<PB, _, W>(&pv, r);
+        let vd = fc_d_v::<PB, _, W>(&pv, r);
         for lane in 0..W {
             assert!((v.lane(lane) - functions::fc(&ps, r.lane(lane))).abs() < 1e-14);
             assert!((vd.lane(lane) - functions::fc_d(&ps, r.lane(lane))).abs() < 1e-14);
@@ -530,8 +553,8 @@ mod tests {
         let pv = pp.splat::<W>(0);
         let ps = scalar_param(&TersoffParams::silicon());
         let r = sample_radii();
-        let (e, de) = repulsive_v(&pv, r);
-        let (fa, fad) = fa_and_deriv_v(&pv, r);
+        let (e, de) = repulsive_v::<PB, _, W>(&pv, r);
+        let (fa, fad) = fa_and_deriv_v::<PB, _, W>(&pv, r);
         for lane in 0..W {
             let (es, des) = functions::repulsive(&ps, r.lane(lane));
             assert!((e.lane(lane) - es).abs() < 1e-12);
@@ -550,7 +573,7 @@ mod tests {
             let pv = pp.splat::<W>(0);
             let ps = scalar_param(&params);
             let zeta = SimdF::from_array([0.0, 1e-12, 1e-6, 0.01, 0.5, 2.0, 50.0, 1e8]);
-            let (b, bd) = bij_and_deriv_v(&pv, zeta);
+            let (b, bd) = bij_and_deriv_v::<PB, _, W>(&pv, zeta);
             for lane in 0..W {
                 let bs = functions::bij(&ps, zeta.lane(lane));
                 let bds = functions::bij_d(&ps, zeta.lane(lane));
@@ -598,7 +621,7 @@ mod tests {
         let ps = scalar_param(&TersoffParams::silicon());
         let r = sample_radii();
         let zeta = SimdF::from_array([0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]);
-        let (e, der, dez) = force_zeta_v(&pv, r, zeta);
+        let (e, der, dez) = force_zeta_v::<PB, _, W>(&pv, r, zeta);
         for lane in 0..W {
             let (es, ders, dezs) = functions::force_zeta(&ps, r.lane(lane), zeta.lane(lane));
             assert!((e.lane(lane) - es).abs() < 1e-12);
@@ -630,7 +653,7 @@ mod tests {
                 (del_ij[0] * del_ij[0] + del_ij[1] * del_ij[1] + del_ij[2] * del_ij[2]).sqrt();
             let rik =
                 (del_ik[0] * del_ik[0] + del_ik[1] * del_ik[1] + del_ik[2] * del_ik[2]).sqrt();
-            let (z, gj, gk) = zeta_term_and_gradients_v(&pv, del_ij, rij, del_ik, rik);
+            let (z, gj, gk) = zeta_term_and_gradients_v::<PB, _, 4>(&pv, del_ij, rij, del_ik, rik);
             for lane in 0..4 {
                 let dij = [
                     del_ij[0].lane(lane),
@@ -665,11 +688,11 @@ mod tests {
             SimdF::splat(0.0),
             SimdF::from_array([4.9, 5.1, -5.1, 2.0]),
         ];
-        let wrapped = min_image_v(del, [10.0, 10.0, 10.0], [true, true, true]);
+        let wrapped = min_image_v::<PB, _, 4>(del, [10.0, 10.0, 10.0], [true, true, true]);
         assert_eq!(wrapped[0].to_array(), [-1.0, 1.0, 1.0, 0.0]);
         assert_eq!(wrapped[2].to_array(), [4.9, -4.9, 4.9, 2.0]);
         // Non-periodic dimensions pass through.
-        let unwrapped = min_image_v(del, [10.0, 10.0, 10.0], [false, false, false]);
+        let unwrapped = min_image_v::<PB, _, 4>(del, [10.0, 10.0, 10.0], [false, false, false]);
         assert_eq!(unwrapped[0].to_array(), [9.0, -9.0, 1.0, 0.0]);
     }
 

@@ -179,12 +179,14 @@ impl BackendKind {
     }
 
     /// Label extended with the implementation that actually executes the
-    /// dispatched vector operations right now, e.g. `AVX2/mixed@avx2`. The
-    /// part before `@` is the *modeled* ISA class (width/precision
-    /// configuration); the part after is the live
-    /// [`crate::dispatch::active`] code path.
-    pub fn executed_label(self) -> String {
-        format!("{}@{}", self.label(), crate::dispatch::active().name())
+    /// vector operations, e.g. `AVX2/mixed@avx2`. The part before `@` is
+    /// the *modeled* ISA class (width/precision configuration); the part
+    /// after is the executing [`crate::dispatch::BackendImpl`] — with
+    /// kernel-granularity dispatch that choice lives in each kernel
+    /// instance, so the caller passes it in (e.g. a kernel's
+    /// `backend()` accessor or [`crate::dispatch::default_backend`]).
+    pub fn executed_label(self, executed: crate::dispatch::BackendImpl) -> String {
+        format!("{}@{}", self.label(), executed.name())
     }
 }
 

@@ -1,37 +1,63 @@
-//! Runtime back-end dispatch.
+//! Kernel-granularity back-end dispatch.
 //!
-//! The library carries up to three *implementations* of its dispatched
-//! operations (gather family, blend/select, fused multiply-add, horizontal
-//! reductions, conflict-free scatter):
+//! The library carries three kernel *instances* per algorithm:
 //!
-//! 1. **portable** — the array lane loops (always available, every target);
-//! 2. **avx2** — explicit `std::arch` intrinsics for 4 × f64 / 8 × f32
-//!    vectors (hardware `vgatherdpd`/`vgatherdps`, `vblendvpd`, `vfmadd`),
-//!    used when the CPU reports `avx2` **and** `fma`;
-//! 3. **avx512** — 8 × f64 / 16 × f32 via `__m512` registers, `__mmask`
-//!    lane masks and hardware scatter, used when the CPU additionally
-//!    reports `avx512f`.
+//! 1. **portable** — the array lane loops at baseline codegen (always
+//!    available, every target);
+//! 2. **avx2** — the same lane loops monomorphized inside a
+//!    `#[target_feature(enable = "avx2,fma")]` entry, where LLVM
+//!    auto-vectorizes them with 256-bit registers, `vblendv` and `vfmadd`
+//!    ([`crate::Avx2Kernel`]); used when the CPU reports `avx2` **and**
+//!    `fma`;
+//! 3. **avx512** — 512-bit codegen plus the AVX-512 hardware scatter for
+//!    the conflict-free force update ([`crate::Avx512Kernel`]); used when
+//!    the CPU additionally reports `avx512f`.
 //!
-//! Selection happens once, lazily, and is cached in an atomic:
+//! Selection happens **once per kernel instance**, not once per operation:
+//! a kernel body is written generically over a [`crate::SimdBackend`] type
+//! parameter, wrapped in a [`KernelBody`] adapter, and launched through
+//! [`run_kernel`], which monomorphizes the whole body into one entry
+//! function per implementation. The wide entry functions carry
+//! `#[target_feature(enable = ...)]`, so every vektor operation — and the
+//! surrounding loop arithmetic — compiles with the wide ISA enabled and
+//! **inlines**, regardless of the crate's baseline `-C target-feature`
+//! flags. This is what the retired per-op dispatch could not do: a
+//! `#[target_feature]` function cannot inline into a baseline caller, so
+//! each routed op paid a call (plus mask/lane marshalling) in default
+//! builds, and the fast path only ran at speed when the whole crate was
+//! compiled with `+avx2`. With the kernel-granularity trampoline, a plain
+//! `cargo build --release` runs the wide-ISA path at full speed.
+//!
+//! The explicit `std::arch` implementations ([`crate::Avx2Backend`],
+//! [`crate::Avx512Backend`]) remain as the hand-vectorized reference —
+//! selectable directly and bitwise-tested against portable — but the
+//! production instances use an intrinsic only where it measures faster
+//! than what auto-vectorization produces under the same features (see
+//! `tests/perf_probe.rs`; today that is the AVX-512 scatter).
+//!
+//! There is **no process-global dispatch state**: each kernel instance owns
+//! its backend choice (the Tersoff driver stores it per potential), two
+//! coexisting kernels can run different implementations, and nothing is
+//! resolved behind an atomic. The selection inputs are:
 //!
 //! * the `VEKTOR_BACKEND` environment variable (`portable`, `avx2`,
-//!   `avx512`, `auto`) takes precedence — requesting an implementation the
-//!   CPU cannot run clamps down to the best supported one;
-//! * otherwise the default is build-aware: when the build enables AVX2 at
-//!   compile time (so the intrinsics inline), `is_x86_feature_detected!`
-//!   picks the widest supported implementation; baseline builds default
-//!   to portable, where the per-op `#[target_feature]` call overhead
-//!   outweighs the hardware gathers (see [`default_backend`]);
-//! * [`set_active`] overrides the cached choice programmatically (the
-//!   Tersoff driver resolves its `TersoffOptions::backend` field through
-//!   it), again clamped to what the host supports.
+//!   `avx512`, `auto`) — consulted by [`default_backend`]; requesting an
+//!   implementation the CPU cannot run clamps down to the best supported
+//!   one; unknown values warn once and fall through;
+//! * otherwise `is_x86_feature_detected!` picks the widest supported
+//!   implementation ([`detect_best`]) — in **every** build flavor, since
+//!   inlining no longer depends on compile-time features;
+//! * a driver-level request (e.g. `TersoffOptions::backend`) overrides the
+//!   default per kernel, again clamped to host support.
 //!
 //! All implementations are **bit-for-bit equivalent** (enforced by
-//! `tests/backend_equivalence.rs`), so switching back-ends — even mid-run —
-//! changes execution speed, never results.
+//! `tests/backend_equivalence.rs`), so the backend choice — per kernel or
+//! per process — changes execution speed, never results.
 
+#[cfg(target_arch = "x86_64")]
+use crate::simd_backend::{Avx2Kernel, Avx512Kernel};
+use crate::simd_backend::{PortableBackend, SimdBackend};
 use std::fmt;
-use std::sync::atomic::{AtomicU8, Ordering};
 
 /// The implementation strategy executing vektor's dispatched operations.
 ///
@@ -177,118 +203,195 @@ pub fn env_request() -> Option<BackendImpl> {
     }
 }
 
-/// Route one dispatched operation to the active backend. Expands to a
-/// *value-producing* match on [`active`] (no early returns, so the macro is
-/// safe anywhere an expression is); the intrinsic arms exist only on
-/// `x86_64` — every other target calls the portable implementation
-/// directly.
-macro_rules! route {
-    ($method:ident $(::<$($g:ty),*>)? ( $($arg:expr),* $(,)? )) => {{
-        #[cfg(target_arch = "x86_64")]
-        let routed = match $crate::dispatch::active() {
-            $crate::dispatch::BackendImpl::Avx2 => {
-                <$crate::simd_backend::Avx2Backend as $crate::simd_backend::SimdBackend>
-                    ::$method $(::<$($g),*>)? ($($arg),*)
-            }
-            $crate::dispatch::BackendImpl::Avx512 => {
-                <$crate::simd_backend::Avx512Backend as $crate::simd_backend::SimdBackend>
-                    ::$method $(::<$($g),*>)? ($($arg),*)
-            }
-            $crate::dispatch::BackendImpl::Portable => {
-                <$crate::simd_backend::PortableBackend as $crate::simd_backend::SimdBackend>
-                    ::$method $(::<$($g),*>)? ($($arg),*)
-            }
-        };
-        #[cfg(not(target_arch = "x86_64"))]
-        let routed = <$crate::simd_backend::PortableBackend as $crate::simd_backend::SimdBackend>
-            ::$method $(::<$($g),*>)? ($($arg),*);
-        routed
-    }};
-}
-pub(crate) use route;
-
-const UNINIT: u8 = u8::MAX;
-
-static ACTIVE: AtomicU8 = AtomicU8::new(UNINIT);
-
-fn to_u8(b: BackendImpl) -> u8 {
-    match b {
-        BackendImpl::Portable => 0,
-        BackendImpl::Avx2 => 1,
-        BackendImpl::Avx512 => 2,
-    }
-}
-
-fn from_u8(v: u8) -> BackendImpl {
-    match v {
-        1 => BackendImpl::Avx2,
-        2 => BackendImpl::Avx512,
-        _ => BackendImpl::Portable,
-    }
-}
-
-/// The default choice: environment override, else build-aware detection.
+/// The default choice for a new kernel instance: environment override, else
+/// runtime detection of the widest supported implementation.
 ///
-/// The intrinsics live in `#[target_feature]` functions; in a baseline
-/// build every dispatched op therefore crosses a non-inlinable call, and
-/// measurements (fig5, Opt-M) show that overhead costs more than the
-/// hardware gathers save. The auto default engages the intrinsic paths
-/// only when the **build itself** enables AVX2 (`-C
-/// target-feature=+avx2,+fma` or `-C target-cpu=native`), which lets them
-/// inline into the kernels; baseline builds default to portable.
-/// `VEKTOR_BACKEND` or a driver-level request can still force any
-/// supported implementation in any build.
+/// Unlike the retired per-op dispatch, this is **not** build-aware: the
+/// kernel trampoline ([`run_kernel`]) compiles each kernel body inside a
+/// `#[target_feature]` entry function, so the intrinsics inline in baseline
+/// builds too and the wide path is always the fastest supported one.
+/// `VEKTOR_BACKEND` or a driver-level request can still force any supported
+/// implementation.
 pub fn default_backend() -> BackendImpl {
-    if let Some(request) = env_request() {
-        return clamp(request);
-    }
-    if cfg!(target_feature = "avx2") {
-        detect_best()
-    } else {
-        BackendImpl::Portable
+    match env_request() {
+        Some(request) => clamp(request),
+        None => detect_best(),
     }
 }
 
-#[cold]
-fn init_active() -> BackendImpl {
-    let b = default_backend();
-    ACTIVE.store(to_u8(b), Ordering::Relaxed);
-    b
-}
-
-/// The implementation the dispatched operations currently execute.
-#[inline(always)]
-pub fn active() -> BackendImpl {
-    let v = ACTIVE.load(Ordering::Relaxed);
-    if v == UNINIT {
-        init_active()
-    } else {
-        from_u8(v)
-    }
-}
-
-/// Force an implementation (clamped to host support); returns the choice
-/// that actually took effect. All implementations produce bitwise-identical
-/// results, so this is safe to call at any time.
-pub fn set_active(backend: BackendImpl) -> BackendImpl {
-    let b = clamp(backend);
-    ACTIVE.store(to_u8(b), Ordering::Relaxed);
-    b
-}
-
-/// Resolve a backend request the way the drivers do: `Some(b)` forces `b`
-/// (clamped), `None` re-applies the environment/detection default. Returns
-/// the implementation now active.
+/// Resolve a driver-level backend request: `Some(b)` forces `b` (clamped to
+/// host support), `None` applies the environment/detection default. Pure —
+/// no global state is touched; the caller stores the result in its kernel.
 pub fn resolve(request: Option<BackendImpl>) -> BackendImpl {
     match request {
-        Some(b) => set_active(b),
-        None => set_active(default_backend()),
+        Some(b) => clamp(b),
+        None => default_backend(),
     }
+}
+
+/// Granularity at which this build of the library binds an ISA: `"kernel"`
+/// — one backend choice per kernel instance, monomorphized through
+/// [`run_kernel`]. (The previous design dispatched `"op"`-granular through
+/// process-global state; benchmark reports record this constant so the two
+/// eras stay distinguishable.)
+pub const DISPATCH_GRANULARITY: &str = "kernel";
+
+/// The widest vector ISA the **build itself** enables (`-C target-feature`
+/// / `-C target-cpu`): `"avx512"`, `"avx2"` or `"baseline"`. Purely
+/// informational — with kernel-granularity dispatch the executed backend no
+/// longer depends on it — and recorded in benchmark reports next to
+/// `executed_backend` so a report always says both what ran and how the
+/// binary was compiled.
+pub fn compiled_isa() -> &'static str {
+    if cfg!(all(target_arch = "x86_64", target_feature = "avx512f")) {
+        "avx512"
+    } else if cfg!(all(target_arch = "x86_64", target_feature = "avx2")) {
+        "avx2"
+    } else {
+        "baseline"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The kernel trampoline
+// ---------------------------------------------------------------------------
+
+/// A kernel body generic over the SIMD backend — the unit of
+/// kernel-granularity dispatch.
+///
+/// Implementations capture everything the kernel needs (usually a struct of
+/// references) and perform the whole computation in [`KernelBody::run`],
+/// calling the [`SimdBackend`] associated functions (`B::gather`,
+/// `B::select`, `B::masked_sum`, ...) instead of any globally routed API.
+///
+/// **`run` must be annotated `#[inline(always)]` by the implementor.** The
+/// intrinsic entry functions of [`run_kernel`] rely on it: the body inlines
+/// into the `#[target_feature(enable = "avx2,fma")]` (or `avx512f`)
+/// trampoline and is therefore *compiled with those features enabled*, which
+/// is exactly what lets the `std::arch` wrappers — and LLVM's
+/// auto-vectorization of the surrounding arithmetic — inline into the kernel
+/// loop in a baseline build. Without the annotation the body may stay a
+/// separate baseline-feature function and the fast path silently degrades to
+/// per-call overhead.
+pub trait KernelBody {
+    /// What the kernel returns.
+    type Output;
+
+    /// Execute the kernel with backend `B`.
+    fn run<B: SimdBackend>(self) -> Self::Output;
+}
+
+/// Launch a kernel body on the chosen implementation (clamped to host
+/// support, so an unsupported request degrades instead of hitting illegal
+/// instructions). This is the **only** place where an ISA decision is made:
+/// one branch per kernel launch, with the entire body monomorphized per
+/// implementation behind it.
+#[inline]
+pub fn run_kernel<K: KernelBody>(backend: BackendImpl, kernel: K) -> K::Output {
+    #[cfg(target_arch = "x86_64")]
+    match clamp(backend) {
+        // SAFETY: `clamp` verified via `is_x86_feature_detected!` that the
+        // host executes avx2+fma / avx512f before selecting these arms.
+        BackendImpl::Avx2 => unsafe { run_avx2(kernel) },
+        BackendImpl::Avx512 => unsafe { run_avx512(kernel) },
+        BackendImpl::Portable => kernel.run::<PortableBackend>(),
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = backend; // every request clamps to portable off x86_64
+        kernel.run::<PortableBackend>()
+    }
+}
+
+/// Generate a kernel's per-ISA trampoline: a dispatching method plus one
+/// `#[target_feature]` entry per wide instance, each repeating the
+/// kernel's **full parameter list** (so every slice keeps its `noalias`
+/// parameter attribute — the generic [`run_kernel`] adapter hides
+/// arguments behind an opaque struct and costs LLVM those aliasing facts,
+/// measured ~2.7× on the Tersoff loops).
+///
+/// Invoke inside an inherent `impl` block of a type with a
+/// `backend: BackendImpl` field **clamped to host support** (that
+/// invariant is the safety argument for the `unsafe` entry calls; clamp
+/// in the constructor via [`clamp`] / [`default_backend`]). The kernel
+/// body must be a generic `#[inline(always)]` method `fn body<B:
+/// SimdBackend>(&self, args...)` — each generated entry monomorphizes it
+/// with that entry's instance type, compiling the whole loop under the
+/// entry's ISA:
+///
+/// ```ignore
+/// impl MyKernel {
+///     vektor::multiversion_entries! {
+///         /// Launch `loop_body` on the instance selected at construction.
+///         fn loop_dispatch / loop_avx2 / loop_avx512 = loop_body(
+///             &self,
+///             positions: &[f64],
+///             forces: &mut [f64],
+///         );
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! multiversion_entries {
+    (
+        $(#[$meta:meta])*
+        fn $dispatch:ident / $avx2:ident / $avx512:ident = $body:ident (
+            &self $(, $arg:ident : $ty:ty)* $(,)?
+        );
+    ) => {
+        $(#[$meta])*
+        #[allow(clippy::too_many_arguments)]
+        fn $dispatch(&self $(, $arg: $ty)*) {
+            match self.backend {
+                // SAFETY: the `backend` field is clamped to host support
+                // at construction (the macro contract), so the CPU
+                // features each entry enables are present.
+                #[cfg(target_arch = "x86_64")]
+                $crate::BackendImpl::Avx2 => unsafe { self.$avx2($($arg),*) },
+                #[cfg(target_arch = "x86_64")]
+                $crate::BackendImpl::Avx512 => unsafe { self.$avx512($($arg),*) },
+                _ => self.$body::<$crate::PortableBackend>($($arg),*),
+            }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[allow(clippy::too_many_arguments)]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn $avx2(&self $(, $arg: $ty)*) {
+            self.$body::<$crate::Avx2Kernel>($($arg),*);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[allow(clippy::too_many_arguments)]
+        #[target_feature(enable = "avx2,fma,avx512f")]
+        unsafe fn $avx512(&self $(, $arg: $ty)*) {
+            self.$body::<$crate::Avx512Kernel>($($arg),*);
+        }
+    };
+}
+
+/// AVX2+FMA entry: the kernel body inlines here (its `run` is
+/// `#[inline(always)]`) and is compiled with 256-bit vectors, `vblendv`
+/// and FMA enabled — [`Avx2Kernel`] documents why the instance is the
+/// auto-vectorized lane loops rather than the explicit per-op intrinsics.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn run_avx2<K: KernelBody>(kernel: K) -> K::Output {
+    kernel.run::<Avx2Kernel>()
+}
+
+/// AVX-512F entry: 512-bit registers and mask codegen on top of the
+/// AVX2+FMA set, plus [`Avx512Kernel`]'s hardware scatter.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma,avx512f")]
+unsafe fn run_avx512<K: KernelBody>(kernel: K) -> K::Output {
+    kernel.run::<Avx512Kernel>()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vector::SimdF;
 
     #[test]
     fn portable_is_always_supported() {
@@ -297,15 +400,12 @@ mod tests {
     }
 
     #[test]
-    fn detect_best_is_supported_and_resolvable() {
+    fn detect_best_is_supported_and_default_resolves() {
         let best = detect_best();
         assert!(supported(best));
-        let forced = set_active(BackendImpl::Portable);
-        assert_eq!(forced, BackendImpl::Portable);
-        assert_eq!(active(), BackendImpl::Portable);
-        // Restore auto for the rest of the process.
-        let restored = resolve(None);
-        assert_eq!(restored, default_backend());
+        assert_eq!(resolve(Some(BackendImpl::Portable)), BackendImpl::Portable);
+        assert_eq!(resolve(None), default_backend());
+        assert!(supported(resolve(Some(BackendImpl::Avx512))));
     }
 
     #[test]
@@ -333,5 +433,105 @@ mod tests {
         for b in BackendImpl::ALL {
             assert!(supported(clamp(b)));
         }
+    }
+
+    #[test]
+    fn compiled_isa_names_a_known_level() {
+        assert!(["baseline", "avx2", "avx512"].contains(&compiled_isa()));
+        assert_eq!(DISPATCH_GRANULARITY, "kernel");
+    }
+
+    /// A minimal kernel: gather + masked sum, returning the backend name it
+    /// actually ran with so the trampoline's monomorphization is observable.
+    struct MiniKernel<'a> {
+        data: &'a [f64],
+        idx: &'a [usize; 4],
+    }
+
+    impl KernelBody for MiniKernel<'_> {
+        type Output = (f64, &'static str);
+
+        #[inline(always)]
+        fn run<B: crate::SimdBackend>(self) -> (f64, &'static str) {
+            let v = B::gather(self.data, self.idx);
+            (B::horizontal_sum(v), B::name())
+        }
+    }
+
+    /// A kernel using the `multiversion_entries!` trampoline: sums a slice
+    /// through `B::horizontal_sum`, recording which instance ran.
+    struct MacroKernel {
+        backend: BackendImpl,
+    }
+
+    impl MacroKernel {
+        #[inline(always)]
+        fn body<B: crate::SimdBackend>(&self, data: &[f64], out: &mut (f64, &'static str)) {
+            let v: SimdF<f64, 4> = B::load(data, 0);
+            *out = (B::horizontal_sum(v), B::name());
+        }
+
+        crate::multiversion_entries! {
+            /// Dispatching entry generated by the macro.
+            fn body_dispatch / body_avx2 / body_avx512 = body(
+                &self,
+                data: &[f64],
+                out: &mut (f64, &'static str),
+            );
+        }
+    }
+
+    #[test]
+    fn multiversion_entries_dispatch_on_the_clamped_field() {
+        let data = [1.0, 2.0, 4.0, 8.0, 0.0];
+        let reference = {
+            let mut out = (0.0, "");
+            MacroKernel {
+                backend: BackendImpl::Portable,
+            }
+            .body_dispatch(&data, &mut out);
+            out
+        };
+        assert_eq!(reference.1, "portable");
+        assert_eq!(reference.0, 15.0);
+        for b in BackendImpl::ALL {
+            let mut out = (0.0, "");
+            MacroKernel { backend: clamp(b) }.body_dispatch(&data, &mut out);
+            assert_eq!(out.1, clamp(b).name());
+            assert_eq!(out.0.to_bits(), reference.0.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_kernel_monomorphizes_per_backend_with_identical_results() {
+        let data: Vec<f64> = (0..32).map(|i| i as f64 * 0.5).collect();
+        let idx = [31usize, 0, 7, 7];
+        let (reference, name) = run_kernel(
+            BackendImpl::Portable,
+            MiniKernel {
+                data: &data,
+                idx: &idx,
+            },
+        );
+        assert_eq!(name, "portable");
+        for b in BackendImpl::ALL {
+            let (got, name) = run_kernel(
+                b,
+                MiniKernel {
+                    data: &data,
+                    idx: &idx,
+                },
+            );
+            // The clamped instance actually ran, and bit-identically.
+            assert_eq!(name, clamp(b).name());
+            assert_eq!(got.to_bits(), reference.to_bits());
+        }
+        // Sanity against the plain SimdF path.
+        assert_eq!(
+            reference.to_bits(),
+            SimdF::<f64, 4>::gather(&data, &idx)
+                .horizontal_sum()
+                .to_bits()
+        );
     }
 }

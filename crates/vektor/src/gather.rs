@@ -13,9 +13,9 @@
 //! directly; LLVM lowers it to shuffles when profitable, and on machines
 //! without fast native gathers this is exactly the code one wants.
 
-use crate::dispatch::route;
 use crate::mask::SimdM;
 use crate::real::Real;
+use crate::simd_backend::{PortableBackend, SimdBackend};
 use crate::vector::SimdF;
 
 /// Gather three adjacent values (e.g. x, y, z of a position) per lane from an
@@ -24,30 +24,53 @@ use crate::vector::SimdF;
 /// `buffer` is indexed as `buffer[idx[lane] * STRIDE + component]`. Returns
 /// one vector per component. Inactive lanes produce zeros.
 ///
-/// Dispatched: the intrinsic backends issue one hardware masked gather per
-/// component over scaled indices — the paper's "adjacent gather on machines
-/// with native gathers" strategy.
+/// Portable form of [`adjacent_gather3_in`] (backend-parameterized kernels
+/// use the latter; the intrinsic backends issue one hardware masked gather
+/// per component over scaled indices — the paper's "adjacent gather on
+/// machines with native gathers" strategy).
 #[inline(always)]
 pub fn adjacent_gather3<T: Real, const W: usize, const STRIDE: usize>(
     buffer: &[T],
     idx: &[usize; W],
     mask: SimdM<W>,
 ) -> [SimdF<T, W>; 3] {
-    route!(adjacent_gather3::<T, W, STRIDE>(buffer, idx, mask))
+    adjacent_gather3_in::<PortableBackend, T, W, STRIDE>(buffer, idx, mask)
+}
+
+/// [`adjacent_gather3`] on an explicit backend — what the trampolined
+/// kernels call.
+#[inline(always)]
+pub fn adjacent_gather3_in<B: SimdBackend, T: Real, const W: usize, const STRIDE: usize>(
+    buffer: &[T],
+    idx: &[usize; W],
+    mask: SimdM<W>,
+) -> [SimdF<T, W>; 3] {
+    B::adjacent_gather3::<T, W, STRIDE>(buffer, idx, mask)
 }
 
 /// Gather `N` adjacent values per lane (generic record gather used for the
 /// per-pair potential-parameter lookup, where a lane's record is the packed
 /// `(i-type, j-type)` parameter block).
 ///
-/// Dispatched like [`adjacent_gather3`]: one hardware gather per field.
+/// Portable form of [`adjacent_gather_n_in`].
 #[inline(always)]
 pub fn adjacent_gather_n<T: Real, const W: usize, const N: usize>(
     buffer: &[T],
     idx: &[usize; W],
     mask: SimdM<W>,
 ) -> [SimdF<T, W>; N] {
-    route!(adjacent_gather_n::<T, W, N>(buffer, idx, mask))
+    adjacent_gather_n_in::<PortableBackend, T, W, N>(buffer, idx, mask)
+}
+
+/// [`adjacent_gather_n`] on an explicit backend — one hardware gather per
+/// field on the intrinsic implementations.
+#[inline(always)]
+pub fn adjacent_gather_n_in<B: SimdBackend, T: Real, const W: usize, const N: usize>(
+    buffer: &[T],
+    idx: &[usize; W],
+    mask: SimdM<W>,
+) -> [SimdF<T, W>; N] {
+    B::adjacent_gather_n::<T, W, N>(buffer, idx, mask)
 }
 
 /// Scatter three per-lane values back to an AoS buffer (the inverse of
@@ -73,9 +96,29 @@ pub fn adjacent_scatter3<T: Real, const W: usize, const STRIDE: usize>(
 /// Scatter-*accumulate* three per-lane values into an AoS buffer, assuming
 /// the active lanes target distinct records. Debug builds assert the
 /// distinctness precondition; use [`crate::conflict::scatter_add3`] when the
-/// guarantee does not hold (scheme 1b).
+/// guarantee does not hold (scheme 1b). Portable form of
+/// [`adjacent_scatter_add3_distinct_in`].
 #[inline(always)]
 pub fn adjacent_scatter_add3_distinct<T: Real, const W: usize, const STRIDE: usize>(
+    buffer: &mut [T],
+    idx: &[usize; W],
+    mask: SimdM<W>,
+    values: [SimdF<T, W>; 3],
+) {
+    adjacent_scatter_add3_distinct_in::<PortableBackend, T, W, STRIDE>(buffer, idx, mask, values)
+}
+
+/// [`adjacent_scatter_add3_distinct`] on an explicit backend: distinct
+/// targets let the AVX-512 implementation use hardware scatter (gather,
+/// add, scatter — no ordering constraints). The debug-build distinctness
+/// assertion guards every backend.
+#[inline(always)]
+pub fn adjacent_scatter_add3_distinct_in<
+    B: SimdBackend,
+    T: Real,
+    const W: usize,
+    const STRIDE: usize,
+>(
     buffer: &mut [T],
     idx: &[usize; W],
     mask: SimdM<W>,
@@ -92,11 +135,7 @@ pub fn adjacent_scatter_add3_distinct<T: Real, const W: usize, const STRIDE: usi
             );
         }
     }
-    // Dispatched: distinct targets let the AVX-512 backend use hardware
-    // scatter (gather, add, scatter — no ordering constraints).
-    route!(scatter_add3_distinct::<T, W, STRIDE>(
-        buffer, idx, mask, values
-    ))
+    B::scatter_add3_distinct::<T, W, STRIDE>(buffer, idx, mask, values)
 }
 
 #[cfg(test)]

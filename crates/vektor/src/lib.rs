@@ -51,7 +51,7 @@ pub use index::SimdI;
 pub use mask::SimdM;
 pub use real::Real;
 #[cfg(target_arch = "x86_64")]
-pub use simd_backend::{Avx2Backend, Avx512Backend};
+pub use simd_backend::{Avx2Backend, Avx2Kernel, Avx512Backend, Avx512Kernel};
 pub use simd_backend::{PortableBackend, SimdBackend};
 pub use vector::SimdF;
 

@@ -6,9 +6,11 @@
 //! The trait deliberately mirrors the paper's "building blocks": contiguous
 //! load/store, (masked) gather, fused blend/select, fused multiply-add,
 //! in-register horizontal reduction, adjacent gather, and the conflict-free
-//! scatter of scheme (1a). Kernels never name a backend — they call the
-//! `SimdF`/`gather` APIs, which route through [`crate::dispatch`] to the
-//! implementation selected at run time. Because every override is
+//! scatter of scheme (1a). Kernels never name a *concrete* backend — they
+//! are written generically over a `B: SimdBackend` type parameter and
+//! launched through the [`crate::dispatch::run_kernel`] trampoline, which
+//! monomorphizes the whole kernel body per implementation inside a
+//! `#[target_feature]` entry function. Because every override is
 //! bit-for-bit equal to the portable default, the choice of backend is
 //! invisible to physics.
 //!
@@ -36,8 +38,9 @@ use std::any::TypeId;
 /// All methods are associated functions (backends are stateless tags); the
 /// defaults are the portable array implementation. Implementations carrying
 /// `std::arch` code may only be *invoked* when the matching CPU features
-/// are present — [`crate::dispatch`] guarantees this for routed calls, and
-/// tests gate direct calls on [`crate::dispatch::supported`].
+/// are present — [`crate::dispatch::run_kernel`] guarantees this for
+/// trampolined kernels (it clamps the request to host support), and tests
+/// gate direct calls on [`crate::dispatch::supported`].
 pub trait SimdBackend {
     /// The dispatch tag of this backend.
     const KIND: BackendImpl;
@@ -119,6 +122,22 @@ pub trait SimdBackend {
             }
         }
         SimdF(out)
+    }
+
+    /// Zero the lanes where the mask is not set (derived from [`select`],
+    /// so every backend's blend hardware is reused).
+    ///
+    /// [`select`]: SimdBackend::select
+    #[inline(always)]
+    fn masked<T: Real, const W: usize>(v: SimdF<T, W>, mask: SimdM<W>) -> SimdF<T, W> {
+        Self::select(mask, v, SimdF::zero())
+    }
+
+    /// Horizontal sum of the active lanes only (mask, then the pairwise
+    /// in-register reduction).
+    #[inline(always)]
+    fn masked_sum<T: Real, const W: usize>(v: SimdF<T, W>, mask: SimdM<W>) -> T {
+        Self::horizontal_sum(Self::masked(v, mask))
     }
 
     /// Fused multiply-add `a * b + c` per lane (always fused — both the
@@ -774,7 +793,8 @@ fn adjacent_gather_n_via<B: SimdBackend, T: Real, const W: usize, const N: usize
 /// fallback for everything else.
 ///
 /// Invoke only when `avx2` and `fma` are detected
-/// ([`crate::dispatch::supported`]) — the routed path guarantees this.
+/// ([`crate::dispatch::supported`]) — the [`crate::dispatch::run_kernel`]
+/// trampoline guarantees this.
 #[cfg(target_arch = "x86_64")]
 pub struct Avx2Backend;
 
@@ -944,6 +964,58 @@ impl SimdBackend for Avx512Backend {
         if !spec::avx512_scatter_add3_distinct::<T, W, STRIDE>(buffer, idx, mask, values) {
             PortableBackend::scatter_add3_distinct::<T, W, STRIDE>(buffer, idx, mask, values);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The kernel-instance tags the dispatch trampoline launches
+// ---------------------------------------------------------------------------
+
+/// The AVX2+FMA **kernel instance**: the implementation
+/// [`crate::dispatch::run_kernel`] monomorphizes inside its
+/// `#[target_feature(enable = "avx2,fma")]` entry.
+///
+/// Every op is the portable lane loop — deliberately. Compiled inside the
+/// feature envelope, LLVM auto-vectorizes those loops with 256-bit
+/// registers, `vblendv` and `vfmadd` directly on the kernel's live values;
+/// the explicit [`Avx2Backend`] wrappers have to marshal `SimdM` bool
+/// arrays and lane arrays into `__m256` per call, which measures ~3×
+/// slower for the blend/FMA mix and ~14× slower for the gather patterns
+/// (`tests/perf_probe.rs`, both sides compiled under identical features).
+/// The hand-written intrinsics remain available as [`Avx2Backend`] /
+/// [`Avx512Backend`] — the paper-faithful explicit building blocks, still
+/// bitwise-tested — but the production instances use them only where they
+/// win.
+#[cfg(target_arch = "x86_64")]
+pub struct Avx2Kernel;
+
+#[cfg(target_arch = "x86_64")]
+impl SimdBackend for Avx2Kernel {
+    const KIND: BackendImpl = BackendImpl::Avx2;
+}
+
+/// The AVX-512F **kernel instance** (see [`Avx2Kernel`] for the design):
+/// portable lane loops auto-vectorized to 512-bit inside the
+/// `#[target_feature(enable = "avx2,fma,avx512f")]` entry, plus the one
+/// explicit intrinsic that beats auto-vectorization — the hardware
+/// scatter of the conflict-free scheme-(1a) force update (measured ~1.5×
+/// faster than the scalar read-modify-write loop under the same
+/// features).
+#[cfg(target_arch = "x86_64")]
+pub struct Avx512Kernel;
+
+#[cfg(target_arch = "x86_64")]
+impl SimdBackend for Avx512Kernel {
+    const KIND: BackendImpl = BackendImpl::Avx512;
+
+    #[inline(always)]
+    fn scatter_add3_distinct<T: Real, const W: usize, const STRIDE: usize>(
+        buffer: &mut [T],
+        idx: &[usize; W],
+        mask: SimdM<W>,
+        values: [SimdF<T, W>; 3],
+    ) {
+        Avx512Backend::scatter_add3_distinct::<T, W, STRIDE>(buffer, idx, mask, values);
     }
 }
 

@@ -5,10 +5,17 @@
 //! vectors under a mask. This is the type the Tersoff computational kernels
 //! are written against; instantiating `W = 1` yields the scalar back-end and
 //! larger widths yield the SSE/AVX/IMCI/AVX-512/warp analogues.
+//!
+//! The inherent methods here are the **portable** implementations (the
+//! [`crate::PortableBackend`] defaults). Kernels that want the explicit
+//! intrinsic paths call the same operations through a `B: SimdBackend` type
+//! parameter (`B::gather`, `B::select`, ...) and are launched via the
+//! [`crate::dispatch::run_kernel`] trampoline, which monomorphizes the body
+//! per implementation — there is no per-op runtime routing anymore.
 
-use crate::dispatch::route;
 use crate::mask::SimdM;
 use crate::real::Real;
+use crate::simd_backend::{PortableBackend, SimdBackend};
 use std::ops::{
     Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
 };
@@ -105,32 +112,32 @@ impl<T: Real, const W: usize> SimdF<T, W> {
         slice[offset..offset + W].copy_from_slice(&self.0);
     }
 
-    /// Store only the lanes whose mask bit is set.
-    ///
-    /// Dispatched: the AVX2 backend uses `vmaskmov` when the whole vector
-    /// span is in bounds.
+    /// Store only the lanes whose mask bit is set (portable lane loop; the
+    /// AVX2 backend's `vmaskmov` is reached via `B::store_masked` inside a
+    /// trampolined kernel).
     #[inline(always)]
     pub fn store_masked(self, slice: &mut [T], offset: usize, mask: SimdM<W>) {
-        route!(store_masked(self, slice, offset, mask))
+        PortableBackend::store_masked(self, slice, offset, mask)
     }
 
     /// Gather `slice[idx[lane]]` into each lane. Out-of-use lanes should be
     /// masked by the caller; indices must be in bounds.
     ///
-    /// Dispatched: hardware `vgatherdpd`/`vgatherdps` on the AVX2/AVX-512
-    /// backends for supported lane configurations.
+    /// Portable lane loop; hardware `vgatherdpd`/`vgatherdps` are reached
+    /// via `B::gather` inside a trampolined kernel.
     #[inline(always)]
     pub fn gather(slice: &[T], idx: &[usize; W]) -> Self {
-        route!(gather(slice, idx))
+        PortableBackend::gather(slice, idx)
     }
 
     /// Masked gather: inactive lanes receive `fill` and their indices are not
     /// dereferenced (so they may be out of range).
     ///
-    /// Dispatched: hardware masked gathers on the AVX2/AVX-512 backends.
+    /// Portable lane loop; hardware masked gathers are reached via
+    /// `B::gather_masked` inside a trampolined kernel.
     #[inline(always)]
     pub fn gather_masked(slice: &[T], idx: &[usize; W], mask: SimdM<W>, fill: T) -> Self {
-        route!(gather_masked(slice, idx, mask, fill))
+        PortableBackend::gather_masked(slice, idx, mask, fill)
     }
 
     /// Lane-wise map with an arbitrary scalar function. The math wrappers in
@@ -154,12 +161,12 @@ impl<T: Real, const W: usize> SimdF<T, W> {
         SimdF(out)
     }
 
-    /// Lane-wise select: `mask ? self : other`.
-    ///
-    /// Dispatched: `vblendv` / AVX-512 mask blend on the intrinsic backends.
+    /// Lane-wise select: `mask ? self : other` (portable; `vblendv` /
+    /// AVX-512 mask blends are reached via `B::select` inside a trampolined
+    /// kernel).
     #[inline(always)]
     pub fn select(mask: SimdM<W>, if_true: Self, if_false: Self) -> Self {
-        route!(select(mask, if_true, if_false))
+        PortableBackend::select(mask, if_true, if_false)
     }
 
     /// Zero the lanes where the mask is not set.
@@ -168,13 +175,12 @@ impl<T: Real, const W: usize> SimdF<T, W> {
         Self::select(mask, self, Self::zero())
     }
 
-    /// Fused multiply-add: `self * a + b` per lane.
-    ///
-    /// Dispatched: `vfmadd` on the intrinsic backends (both paths fuse, so
-    /// results are bitwise identical).
+    /// Fused multiply-add: `self * a + b` per lane (portable scalar `fma`;
+    /// `vfmadd` is reached via `B::mul_add` inside a trampolined kernel —
+    /// both paths fuse, so results are bitwise identical).
     #[inline(always)]
     pub fn mul_add(self, a: Self, b: Self) -> Self {
-        route!(mul_add(self, a, b))
+        PortableBackend::mul_add(self, a, b)
     }
 
     /// Lane-wise square root.
@@ -260,10 +266,10 @@ impl<T: Real, const W: usize> SimdF<T, W> {
     /// The reduction is a pairwise tree (`buf[i] += buf[n-1-i]`, halving):
     /// better rounding behaviour than a straight left-to-right sum. The
     /// intrinsic backends reproduce exactly this association with shuffles,
-    /// so the result is bitwise independent of the dispatched backend.
+    /// so the result is bitwise independent of the backend a kernel runs.
     #[inline(always)]
     pub fn horizontal_sum(self) -> T {
-        route!(horizontal_sum(self))
+        PortableBackend::horizontal_sum(self)
     }
 
     /// Horizontal sum of the active lanes only.

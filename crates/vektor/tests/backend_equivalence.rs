@@ -6,12 +6,15 @@
 //! 1. **Direct trait calls** — every dispatched [`SimdBackend`] operation is
 //!    compared lane-by-lane against [`PortableBackend`] for both element
 //!    types at widths 1–32 (including widths with no hardware coverage,
-//!    which must fall back identically). No global state involved.
-//! 2. **Routed module functions** — the public free functions of
-//!    `gather.rs`, `conflict.rs`, `reduce.rs` and the `SimdF`/`SimdM` ops
-//!    are executed under each supported forced backend and compared against
-//!    a forced-portable run (serialized by a mutex so tests in this binary
-//!    never race the global dispatch state).
+//!    which must fall back identically).
+//! 2. **Trampolined kernel instances** — a full module-surface pass
+//!    (`gather.rs` `_in` functions, `conflict.rs`, `reduce.rs`, the backend
+//!    trait ops a real kernel uses) written generically over
+//!    `B: SimdBackend`, monomorphized through
+//!    [`vektor::dispatch::run_kernel`] exactly like the Tersoff kernels,
+//!    and compared bitwise against the portable instance. This is what
+//!    per-op wrapper tests cannot see: the whole body compiled inside the
+//!    `#[target_feature]` entry point.
 //!
 //! Equivalence is **bit-for-bit** for every operation: data movement is
 //! exact, both `mul_add` paths fuse, and the intrinsic horizontal sums
@@ -22,14 +25,15 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::marker::PhantomData;
 use std::sync::Mutex;
 use vektor::conflict::{
     reduce_add3_uniform, reduce_add_uniform, scatter_add, scatter_add3,
     scatter_add3_conflict_detect,
 };
-use vektor::dispatch::{self, BackendImpl};
+use vektor::dispatch::{self, BackendImpl, KernelBody};
 use vektor::gather::{
-    adjacent_gather3, adjacent_gather_n, adjacent_scatter3, adjacent_scatter_add3_distinct,
+    adjacent_gather3_in, adjacent_gather_n_in, adjacent_scatter3, adjacent_scatter_add3_distinct_in,
 };
 use vektor::reduce::{reduce3, sum_slice, KahanSum, VectorAccumulator};
 use vektor::{PortableBackend, Real, SimdBackend, SimdF, SimdI, SimdM};
@@ -224,24 +228,9 @@ fn avx512_matches_portable_bit_for_bit() {
 }
 
 // ---------------------------------------------------------------------------
-// Layer 2: routed public API under a forced global backend
+// Layer 2: trampolined kernel instances — the whole module surface as one
+// kernel body, monomorphized per backend through dispatch::run_kernel
 // ---------------------------------------------------------------------------
-
-static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
-
-/// Run `f` under a forced dispatch backend, restoring the previous choice.
-/// Serialized so concurrent tests in this binary observe a consistent
-/// global (results are backend-independent anyway — that is what these
-/// tests prove — but the serialization keeps failures deterministic).
-fn with_backend<R>(backend: BackendImpl, f: impl FnOnce() -> R) -> R {
-    let guard = DISPATCH_LOCK.lock().unwrap();
-    let previous = dispatch::active();
-    dispatch::set_active(backend);
-    let result = f();
-    dispatch::set_active(previous);
-    drop(guard);
-    result
-}
 
 fn supported_backends() -> Vec<BackendImpl> {
     BackendImpl::ALL
@@ -250,9 +239,13 @@ fn supported_backends() -> Vec<BackendImpl> {
         .collect()
 }
 
-/// One full pass over the routed module surface, returning every produced
-/// number so runs under different backends can be compared bitwise.
-fn routed_module_pass<T: Real, const W: usize>(seed: u64) -> Vec<f64> {
+/// One full pass over the kernel-facing module surface with an explicit
+/// backend, returning every produced number so instances monomorphized for
+/// different backends can be compared bitwise. `#[inline(always)]` so the
+/// pass genuinely compiles inside the trampoline's `#[target_feature]`
+/// entry function, exactly like a production kernel body.
+#[inline(always)]
+fn kernel_instance_pass<B: SimdBackend, T: Real, const W: usize>(seed: u64) -> Vec<f64> {
     let mut r = rng(seed);
     let mut trace: Vec<f64> = Vec::new();
     let n = 120usize;
@@ -260,14 +253,14 @@ fn routed_module_pass<T: Real, const W: usize>(seed: u64) -> Vec<f64> {
         let buf: Vec<T> = buffer(&mut r, n);
         let m: SimdM<W> = mask(&mut r);
 
-        // gather.rs surface.
+        // gather.rs surface (the `_in` forms the kernels call).
         let id4: [usize; W] = indices(&mut r, n / 4);
-        let [x, y, z] = adjacent_gather3::<T, W, 4>(&buf, &id4, m);
+        let [x, y, z] = adjacent_gather3_in::<B, T, W, 4>(&buf, &id4, m);
         trace.extend(x.to_f64_array());
         trace.extend(y.to_f64_array());
         trace.extend(z.to_f64_array());
         let id2: [usize; W] = indices(&mut r, n / 2);
-        let rec = adjacent_gather_n::<T, W, 2>(&buf, &id2, m);
+        let rec = adjacent_gather_n_in::<B, T, W, 2>(&buf, &id2, m);
         trace.extend(rec[0].to_f64_array());
         trace.extend(rec[1].to_f64_array());
 
@@ -275,10 +268,13 @@ fn routed_module_pass<T: Real, const W: usize>(seed: u64) -> Vec<f64> {
         let idd: [usize; W] = distinct_indices(&mut r, n / 3);
         let vals = [lanes::<T, W>(&mut r), lanes(&mut r), lanes(&mut r)];
         adjacent_scatter3::<T, W, 3>(&mut scatter_buf, &idd, m, vals);
-        adjacent_scatter_add3_distinct::<T, W, 3>(&mut scatter_buf, &idd, m, vals);
+        adjacent_scatter_add3_distinct_in::<B, T, W, 3>(&mut scatter_buf, &idd, m, vals);
         trace.extend(scatter_buf.iter().map(|v| v.to_f64()));
 
-        // conflict.rs surface (conflicting indices allowed).
+        // conflict.rs surface (conflicting indices allowed; serialized
+        // accumulation is ordering-defined, hence backend-independent, but
+        // it compiles inside the same target_feature body as everything
+        // else and must stay bitwise).
         let idc: [usize; W] = indices(&mut r, n / 3);
         let mut target = buf.clone();
         scatter_add::<T, W>(&mut target, &idc, m, vals[0]);
@@ -306,15 +302,20 @@ fn routed_module_pass<T: Real, const W: usize>(seed: u64) -> Vec<f64> {
         trace.extend(reduce3(vals, m).iter().map(|v| v.to_f64()));
         trace.push(sum_slice::<T, W>(&buf).to_f64());
 
-        // Dispatched SimdF methods.
+        // Backend trait ops the way a kernel body calls them.
         let a: SimdF<T, W> = lanes(&mut r);
         let b: SimdF<T, W> = lanes(&mut r);
         let c: SimdF<T, W> = lanes(&mut r);
-        trace.push(a.horizontal_sum().to_f64());
-        trace.push(a.masked_sum(m).to_f64());
-        trace.extend(SimdF::select(m, a, b).to_f64_array());
-        trace.extend(a.mul_add(b, c).to_f64_array());
-        trace.extend(a.masked(m).to_f64_array());
+        trace.push(B::horizontal_sum(a).to_f64());
+        trace.push(B::masked_sum(a, m).to_f64());
+        trace.extend(B::select(m, a, b).to_f64_array());
+        trace.extend(B::mul_add(a, b, c).to_f64_array());
+        trace.extend(B::masked(a, m).to_f64_array());
+        let id: [usize; W] = indices(&mut r, n);
+        trace.extend(B::gather(&buf, &id).to_f64_array());
+        let mut st = buf.clone();
+        B::store_masked(a, &mut st, 0, m);
+        trace.extend(st.iter().map(|v| v.to_f64()));
 
         // mask.rs surface: scalar bool semantics, backend-independent by
         // construction but part of the audited module set.
@@ -337,16 +338,42 @@ fn routed_module_pass<T: Real, const W: usize>(seed: u64) -> Vec<f64> {
     trace
 }
 
-fn check_routed_equivalence<T: Real, const W: usize>(seed: u64) {
-    let reference = with_backend(BackendImpl::Portable, || routed_module_pass::<T, W>(seed));
+/// The [`KernelBody`] adapter: what the Tersoff kernels do with their atom
+/// loops, done here with the synthetic module pass.
+struct ModulePass<T: Real, const W: usize> {
+    seed: u64,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Real, const W: usize> KernelBody for ModulePass<T, W> {
+    type Output = Vec<f64>;
+
+    #[inline(always)]
+    fn run<B: SimdBackend>(self) -> Vec<f64> {
+        kernel_instance_pass::<B, T, W>(self.seed)
+    }
+}
+
+fn pass_instance<T: Real, const W: usize>(backend: BackendImpl, seed: u64) -> Vec<f64> {
+    dispatch::run_kernel(
+        backend,
+        ModulePass::<T, W> {
+            seed,
+            _elem: PhantomData,
+        },
+    )
+}
+
+fn check_kernel_instance_equivalence<T: Real, const W: usize>(seed: u64) {
+    let reference = pass_instance::<T, W>(BackendImpl::Portable, seed);
     for backend in supported_backends() {
-        let got = with_backend(backend, || routed_module_pass::<T, W>(seed));
+        let got = pass_instance::<T, W>(backend, seed);
         assert_eq!(reference.len(), got.len());
         for (i, (a, b)) in reference.iter().zip(got.iter()).enumerate() {
             assert_eq!(
                 a.to_bits(),
                 b.to_bits(),
-                "routed op trace diverges under {backend} at position {i}: {a} vs {b} \
+                "kernel instance trace diverges under {backend} at position {i}: {a} vs {b} \
                  (T = {}, W = {W})",
                 std::any::type_name::<T>()
             );
@@ -355,34 +382,101 @@ fn check_routed_equivalence<T: Real, const W: usize>(seed: u64) {
 }
 
 #[test]
-fn routed_modules_are_backend_invariant_f64() {
-    check_routed_equivalence::<f64, 1>(41);
-    check_routed_equivalence::<f64, 4>(42);
-    check_routed_equivalence::<f64, 8>(43);
-    check_routed_equivalence::<f64, 16>(44);
-    check_routed_equivalence::<f64, 32>(45);
+fn kernel_instances_are_backend_invariant_f64() {
+    check_kernel_instance_equivalence::<f64, 1>(41);
+    check_kernel_instance_equivalence::<f64, 4>(42);
+    check_kernel_instance_equivalence::<f64, 8>(43);
+    check_kernel_instance_equivalence::<f64, 16>(44);
+    check_kernel_instance_equivalence::<f64, 32>(45);
 }
 
 #[test]
-fn routed_modules_are_backend_invariant_f32() {
-    check_routed_equivalence::<f32, 1>(51);
-    check_routed_equivalence::<f32, 4>(52);
-    check_routed_equivalence::<f32, 8>(53);
-    check_routed_equivalence::<f32, 16>(54);
-    check_routed_equivalence::<f32, 32>(55);
+fn kernel_instances_are_backend_invariant_f32() {
+    check_kernel_instance_equivalence::<f32, 1>(51);
+    check_kernel_instance_equivalence::<f32, 4>(52);
+    check_kernel_instance_equivalence::<f32, 8>(53);
+    check_kernel_instance_equivalence::<f32, 16>(54);
+    check_kernel_instance_equivalence::<f32, 32>(55);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch selection: VEKTOR_BACKEND → kernel instance
+// ---------------------------------------------------------------------------
+
+/// Serializes the tests that mutate the process environment.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_env_backend<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let previous = std::env::var("VEKTOR_BACKEND").ok();
+    match value {
+        Some(v) => std::env::set_var("VEKTOR_BACKEND", v),
+        None => std::env::remove_var("VEKTOR_BACKEND"),
+    }
+    let result = f();
+    match previous {
+        Some(v) => std::env::set_var("VEKTOR_BACKEND", v),
+        None => std::env::remove_var("VEKTOR_BACKEND"),
+    }
+    drop(guard);
+    result
 }
 
 #[test]
-fn forced_backend_round_trips() {
-    let _guard = DISPATCH_LOCK.lock().unwrap();
-    let previous = dispatch::active();
-    assert_eq!(
-        dispatch::set_active(BackendImpl::Portable),
-        BackendImpl::Portable
-    );
-    assert_eq!(dispatch::active(), BackendImpl::Portable);
-    // Requests above host capability clamp downward, never upward.
-    let forced = dispatch::set_active(BackendImpl::Avx512);
-    assert!(dispatch::supported(forced));
-    dispatch::set_active(previous);
+fn env_request_selects_the_kernel_instance() {
+    // A recognized value picks that implementation (clamped to host
+    // support) — verified end-to-end: the selected instance actually runs.
+    let observed = |backend| dispatch::run_kernel(backend, NameProbe);
+    for (value, expected) in [
+        ("portable", BackendImpl::Portable),
+        ("avx2", dispatch::clamp(BackendImpl::Avx2)),
+        ("avx512", dispatch::clamp(BackendImpl::Avx512)),
+    ] {
+        let selected = with_env_backend(Some(value), dispatch::default_backend);
+        assert_eq!(
+            selected,
+            dispatch::clamp(expected),
+            "VEKTOR_BACKEND={value}"
+        );
+        assert_eq!(observed(selected), selected.name());
+    }
+    // "auto", empty, and unset all mean: detect the widest supported.
+    for value in [Some("auto"), Some(""), None] {
+        let selected = with_env_backend(value, dispatch::default_backend);
+        assert_eq!(
+            selected,
+            dispatch::detect_best(),
+            "VEKTOR_BACKEND={value:?}"
+        );
+    }
+    // Unknown values warn (once, on stderr) and fall back to detection.
+    let selected = with_env_backend(Some("definitely-not-an-isa"), dispatch::default_backend);
+    assert_eq!(selected, dispatch::detect_best());
+    // Driver-level requests override the environment.
+    let forced = with_env_backend(Some("avx512"), || {
+        dispatch::resolve(Some(BackendImpl::Portable))
+    });
+    assert_eq!(forced, BackendImpl::Portable);
+}
+
+/// Kernel that just reports which backend instance it was monomorphized
+/// with.
+struct NameProbe;
+
+impl KernelBody for NameProbe {
+    type Output = &'static str;
+
+    #[inline(always)]
+    fn run<B: SimdBackend>(self) -> &'static str {
+        B::name()
+    }
+}
+
+#[test]
+fn run_kernel_clamps_unsupported_requests() {
+    for b in BackendImpl::ALL {
+        let ran = dispatch::run_kernel(b, NameProbe);
+        assert_eq!(ran, dispatch::clamp(b).name());
+        assert!(dispatch::supported(BackendImpl::parse(ran).unwrap()));
+    }
 }

@@ -331,6 +331,13 @@ pub struct ScenarioReport {
     pub variants: Vec<VariantReport>,
     /// The vektor implementation that executed the runs.
     pub executed_backend: String,
+    /// Granularity at which that implementation was bound (`"kernel"`:
+    /// one per-ISA monomorphized instance per potential).
+    pub dispatch_granularity: &'static str,
+    /// The widest vector ISA the binary itself was compiled with
+    /// (`"baseline"`, `"avx2"`, `"avx512"`) — informational; the executed
+    /// backend no longer depends on it.
+    pub compiled_isa: &'static str,
     /// Host CPU count.
     pub available_parallelism: usize,
 }
@@ -826,6 +833,8 @@ impl Scenario {
                 })
                 .resolved_backend()
                 .to_string(),
+            dispatch_granularity: vektor::dispatch::DISPATCH_GRANULARITY,
+            compiled_isa: vektor::dispatch::compiled_isa(),
             available_parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -933,6 +942,11 @@ impl ScenarioReport {
                 Json::Num(self.available_parallelism as f64),
             ),
             ("executed_backend", Json::Str(self.executed_backend.clone())),
+            (
+                "dispatch_granularity",
+                Json::Str(self.dispatch_granularity.to_string()),
+            ),
+            ("compiled_isa", Json::Str(self.compiled_isa.to_string())),
             ("series", Json::Arr(series)),
         ])
         .pretty()
