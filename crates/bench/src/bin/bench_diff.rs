@@ -50,6 +50,14 @@ fn series_metrics(report: &Json, metric: &str) -> Result<BTreeMap<(String, u64),
         .ok_or("report has no \"series\" array")?;
     let mut out = BTreeMap::new();
     for entry in series {
+        // Variants that diverged / panicked / timed out carry a status but
+        // no metrics; they are reported by `tersoff-run`'s exit code, not
+        // by the perf gate, so skip them here.
+        if let Some(status) = entry.get("status").and_then(|s| s.as_str()) {
+            if status != "ok" {
+                continue;
+            }
+        }
         let mode = entry
             .get("mode")
             .and_then(|m| m.as_str())

@@ -8,22 +8,41 @@
 //!
 //! ```text
 //! tersoff-run <scenario.json | scenarios-dir>... [--steps-cap N]
-//!             [--no-matrix] [--list] [--quiet]
+//!             [--no-matrix] [--list] [--quiet] [--keep-going]
+//!             [--retries N] [--timeout-secs S] [--resume]
 //! ```
 //!
-//! * `--steps-cap N`  run at most N steps per variant (CI smoke runs)
-//! * `--no-matrix`    ignore declared matrices, run only the base variant
-//! * `--list`         print the discovered scenarios and exit
-//! * `--quiet`        suppress the per-variant tables
+//! * `--steps-cap N`    run at most N steps per variant (CI smoke runs)
+//! * `--no-matrix`      ignore declared matrices, run only the base variant
+//! * `--list`           print the discovered scenarios and exit
+//! * `--quiet`          suppress the per-variant tables
+//! * `--keep-going`     keep running the remaining variants after a failure
+//! * `--retries N`      retry panicked/timed-out variants up to N extra times
+//! * `--timeout-secs S` wall-clock budget per variant attempt
+//! * `--resume`         resume each variant from its checkpoint file, if any
 //!
-//! Exit code 1 when any scenario fails to load or run, or when a variant's
-//! measured energy drift exceeds the scenario's declared `max_drift` bound —
-//! which is what lets CI smoke every shipped spec.
+//! Every variant runs isolated: a panic or divergence in one job is caught,
+//! typed, and reported per-variant (`ok | diverged | panicked | timeout |
+//! failed` in the table and report JSON) without poisoning the shared
+//! worker runtime. The `TERSOFF_FAULT` environment variable
+//! (`kind@step[@variant]`, e.g. `panic@5@Ref`) injects a test fault into
+//! matching variants, overriding any `fault` field in the scenario files.
+//!
+//! Exit codes distinguish the failure classes (worst one wins, in the order
+//! panic > timeout > health/drift > load):
+//!
+//! * `0` every variant ok and within its drift bound
+//! * `2` usage error
+//! * `3` a scenario failed to load or a variant failed to build
+//! * `4` a health guard aborted a variant or a drift bound was exceeded
+//! * `5` a variant panicked (crash)
+//! * `6` a variant exceeded its wall-clock budget
 
 use bench::write_bench_json;
-use lammps_tersoff_vector::scenario::Scenario;
+use lammps_tersoff_vector::scenario::{FaultSpec, RunPolicy, Scenario, VariantStatus};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     paths: Vec<PathBuf>,
@@ -31,66 +50,152 @@ struct Args {
     no_matrix: bool,
     list: bool,
     quiet: bool,
+    keep_going: bool,
+    retries: u32,
+    timeout_secs: Option<f64>,
+    resume: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tersoff-run <scenario.json | dir>... [--steps-cap N] \
-         [--no-matrix] [--list] [--quiet]"
+         [--no-matrix] [--list] [--quiet] [--keep-going] [--retries N] \
+         [--timeout-secs S] [--resume]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut paths = Vec::new();
-    let mut steps_cap = None;
-    let mut no_matrix = false;
-    let mut list = false;
-    let mut quiet = false;
+    let mut out = Args {
+        paths: Vec::new(),
+        steps_cap: None,
+        no_matrix: false,
+        list: false,
+        quiet: false,
+        keep_going: false,
+        retries: 0,
+        timeout_secs: None,
+        resume: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--steps-cap" => {
-                steps_cap = Some(
+                out.steps_cap = Some(
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 )
             }
-            "--no-matrix" => no_matrix = true,
-            "--list" => list = true,
-            "--quiet" => quiet = true,
+            "--retries" => {
+                out.retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--timeout-secs" => {
+                out.timeout_secs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--no-matrix" => out.no_matrix = true,
+            "--list" => out.list = true,
+            "--quiet" => out.quiet = true,
+            "--keep-going" => out.keep_going = true,
+            "--resume" => out.resume = true,
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => usage(),
-            other => paths.push(PathBuf::from(other)),
+            other => out.paths.push(PathBuf::from(other)),
         }
     }
-    if paths.is_empty() {
+    if out.paths.is_empty() {
         usage();
     }
-    Args {
-        paths,
-        steps_cap,
-        no_matrix,
-        list,
-        quiet,
+    out
+}
+
+/// Failure classes seen across the whole invocation; the exit code reports
+/// the worst one (panic > timeout > health/drift > load).
+#[derive(Default)]
+struct Severity {
+    load: bool,
+    health: bool,
+    panic: bool,
+    timeout: bool,
+}
+
+impl Severity {
+    fn record(&mut self, status: VariantStatus) {
+        match status {
+            VariantStatus::Ok => {}
+            VariantStatus::Diverged => self.health = true,
+            VariantStatus::Panicked => self.panic = true,
+            VariantStatus::Timeout => self.timeout = true,
+            VariantStatus::Failed => self.load = true,
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.load || self.health || self.panic || self.timeout
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        if self.panic {
+            ExitCode::from(5)
+        } else if self.timeout {
+            ExitCode::from(6)
+        } else if self.health {
+            ExitCode::from(4)
+        } else if self.load {
+            ExitCode::from(3)
+        } else {
+            ExitCode::SUCCESS
+        }
     }
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
+    let fault_override = match std::env::var("TERSOFF_FAULT") {
+        Err(_) => None,
+        Ok(text) => match FaultSpec::parse_env(&text) {
+            Ok(spec) => {
+                eprintln!("tersoff-run: TERSOFF_FAULT injecting {text}");
+                Some(spec)
+            }
+            Err(e) => {
+                eprintln!("tersoff-run: invalid TERSOFF_FAULT: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let policy = RunPolicy {
+        steps_cap: args.steps_cap,
+        retries: args.retries,
+        keep_going: args.keep_going,
+        timeout: args.timeout_secs.map(Duration::from_secs_f64),
+        fault_override,
+        resume: args.resume,
+    };
+
+    let mut severity = Severity::default();
+    let mut failures = 0usize;
 
     let mut scenarios: Vec<(PathBuf, Scenario)> = Vec::new();
-    let mut failures = 0usize;
     for path in &args.paths {
         match Scenario::discover(path) {
             Ok(found) if found.is_empty() => {
                 eprintln!("tersoff-run: {}: no *.json scenarios found", path.display());
+                severity.load = true;
                 failures += 1;
             }
             Ok(found) => scenarios.extend(found),
             Err(e) => {
                 eprintln!("tersoff-run: {e}");
+                severity.load = true;
                 failures += 1;
             }
         }
@@ -108,11 +213,7 @@ fn main() -> ExitCode {
                 path.display()
             );
         }
-        return if failures == 0 {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        };
+        return severity.exit_code();
     }
 
     for (path, scenario) in &scenarios {
@@ -137,10 +238,11 @@ fn main() -> ExitCode {
             );
         }
 
-        let outcome = match scenario.execute(args.steps_cap) {
+        let outcome = match scenario.execute_with(&policy) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("tersoff-run: {}: {e}", scenario.name);
+                severity.load = true;
                 failures += 1;
                 continue;
             }
@@ -152,19 +254,48 @@ fn main() -> ExitCode {
                 outcome.executed_backend, outcome.dispatch_granularity, outcome.compiled_isa
             );
             println!(
-                "    {:<20} {:>8} {:>14} {:>12} {:>10} {:>10}",
-                "variant", "threads", "s/step", "ns/day", "rebuilds", "drift"
+                "    {:<20} {:>8} {:>9} {:>14} {:>12} {:>10} {:>10}",
+                "variant", "threads", "status", "s/step", "ns/day", "rebuilds", "drift"
             );
             for v in &outcome.variants {
-                println!(
-                    "    {:<20} {:>8} {:>14.6} {:>12.3} {:>10} {:>10.2e}",
-                    v.label,
-                    v.resolved_threads,
-                    v.report.seconds_per_step(),
-                    v.report.ns_per_day,
-                    v.report.total_rebuilds,
-                    v.report.max_drift
-                );
+                match &v.report {
+                    Some(report) => println!(
+                        "    {:<20} {:>8} {:>9} {:>14.6} {:>12.3} {:>10} {:>10.2e}",
+                        v.label,
+                        v.resolved_threads,
+                        v.status.name(),
+                        report.seconds_per_step(),
+                        report.ns_per_day,
+                        report.total_rebuilds,
+                        report.max_drift
+                    ),
+                    None => println!(
+                        "    {:<20} {:>8} {:>9} {:>14} {:>12} {:>10} {:>10}",
+                        v.label,
+                        v.resolved_threads,
+                        v.status.name(),
+                        "-",
+                        "-",
+                        "-",
+                        "-"
+                    ),
+                }
+                if let Some(step) = v.resumed_from {
+                    println!("    {:<20}   resumed from checkpoint step {step}", "");
+                }
+                for w in &v.warnings {
+                    println!("    {:<20}   warning: {w}", "");
+                }
+            }
+        }
+
+        for v in &outcome.variants {
+            severity.record(v.status);
+            if v.status != VariantStatus::Ok {
+                failures += 1;
+                if let Some(error) = &v.error {
+                    eprintln!("tersoff-run: {}: {error}", scenario.name);
+                }
             }
         }
 
@@ -173,6 +304,7 @@ fn main() -> ExitCode {
                 "tersoff-run: {}: DRIFT VIOLATION: {violation}",
                 scenario.name
             );
+            severity.health = true;
             failures += 1;
         }
 
@@ -185,6 +317,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("tersoff-run: {}: cannot write report: {e}", scenario.name);
+                severity.load = true;
                 failures += 1;
             }
         }
@@ -197,9 +330,6 @@ fn main() -> ExitCode {
         "{} scenario(s) executed (backend auto-detection per run), {failures} failure(s).",
         scenarios.len()
     );
-    if failures == 0 {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    let _ = severity.any();
+    severity.exit_code()
 }

@@ -1,0 +1,458 @@
+//! Bit-exact checkpoint/resume: serialize a simulation's dynamic state so a
+//! killed run restarts and continues **bitwise identically**.
+//!
+//! A [`Checkpoint`] records the step counter, positions, velocities, and —
+//! crucially — the neighbor list's rebuild-time reference positions.
+//! Restoring naively (rebuilding the list from the *current* positions)
+//! would produce a different neighbor list than the original run had at
+//! that step, and since list contents and ordering feed the fixed
+//! floating-point summation order, the continuation would drift from the
+//! uninterrupted run in the last bits. Restoring instead rebuilds from the
+//! reference positions (reproducing the exact list) and then swaps the
+//! current positions back in — see
+//! [`SimulationBuilder::resume_from`](crate::simulation::SimulationBuilder::resume_from).
+//!
+//! The on-disk format is strict JSON with every `f64` spelled as the
+//! 16-hex-digit big-endian bit pattern of its IEEE-754 representation, so
+//! serialization round-trips exactly (no shortest-float printing or parsing
+//! in the loop). Files are written atomically (temp file + rename): a crash
+//! mid-write leaves the previous checkpoint intact.
+//!
+//! [`CheckpointWriter`] is the [`Observer`] that saves a checkpoint every
+//! `every` steps; IO failures disarm it but surface as [`RunReport`]
+//! warnings (never silently).
+
+use crate::observer::{Observer, RunReport, StepContext};
+use std::any::Any;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The format marker every checkpoint file carries.
+pub const CHECKPOINT_FORMAT: &str = "md-core-checkpoint-v1";
+
+/// A snapshot of a simulation's dynamic state (see module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Step counter at capture time.
+    pub step: u64,
+    /// Neighbor-list rebuild counter at capture time.
+    pub n_rebuilds: u64,
+    /// Local-atom positions (Å).
+    pub x: Vec<[f64; 3]>,
+    /// Local-atom velocities (Å/ps).
+    pub v: Vec<[f64; 3]>,
+    /// Positions the current neighbor list was built from.
+    pub reference_x: Vec<[f64; 3]>,
+}
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem error (message includes the path).
+    Io(String),
+    /// The file is not a valid checkpoint.
+    Parse(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint io error: {msg}"),
+            CheckpointError::Parse(msg) => write!(f, "invalid checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Capture the state visible in a step context (used by
+    /// [`CheckpointWriter`]; from user code prefer
+    /// [`Simulation::checkpoint`](crate::simulation::Simulation::checkpoint)).
+    pub fn capture(ctx: &StepContext<'_>) -> Self {
+        let n = ctx.atoms.n_local;
+        Checkpoint {
+            step: ctx.step,
+            n_rebuilds: ctx.n_rebuilds,
+            x: ctx.atoms.x[..n].to_vec(),
+            v: ctx.atoms.v[..n].to_vec(),
+            reference_x: ctx.neighbors.reference_x.clone(),
+        }
+    }
+
+    /// Serialize to the strict-JSON checkpoint format.
+    pub fn to_json(&self) -> String {
+        let n_components = 3 * (self.x.len() + self.v.len() + self.reference_x.len());
+        let mut out = String::with_capacity(64 + 19 * n_components);
+        out.push_str("{\n  \"format\": \"");
+        out.push_str(CHECKPOINT_FORMAT);
+        out.push_str("\",\n  \"step\": ");
+        out.push_str(&self.step.to_string());
+        out.push_str(",\n  \"n_rebuilds\": ");
+        out.push_str(&self.n_rebuilds.to_string());
+        for (key, array) in [
+            ("x", &self.x),
+            ("v", &self.v),
+            ("reference_x", &self.reference_x),
+        ] {
+            out.push_str(",\n  \"");
+            out.push_str(key);
+            out.push_str("\": [");
+            for (i, atom) in array.iter().enumerate() {
+                for (k, c) in atom.iter().enumerate() {
+                    if i + k > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    push_hex_f64(&mut out, *c);
+                    out.push('"');
+                }
+            }
+            out.push(']');
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parse the strict-JSON checkpoint format (rejects unknown keys,
+    /// duplicates, missing fields, malformed hex, and trailing garbage).
+    pub fn from_json(text: &str) -> Result<Self, CheckpointError> {
+        let mut p = Parser::new(text);
+        let cp = p.parse().map_err(CheckpointError::Parse)?;
+        Ok(cp)
+    }
+
+    /// Save atomically: write `<path>.tmp`, then rename over `path`.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, self.to_json())
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", tmp.display())))?;
+        fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Load a checkpoint from disk.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+        Checkpoint::from_json(&text)
+    }
+}
+
+fn push_hex_f64(out: &mut String, value: f64) {
+    let bits = value.to_bits();
+    for shift in (0..16).rev() {
+        let nibble = ((bits >> (shift * 4)) & 0xf) as u32;
+        out.push(char::from_digit(nibble, 16).unwrap());
+    }
+}
+
+fn hex_to_f64(s: &str) -> Result<f64, String> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("expected 16 hex digits, got {s:?}"));
+    }
+    let bits = u64::from_str_radix(s, 16).map_err(|e| e.to_string())?;
+    Ok(f64::from_bits(bits))
+}
+
+/// Minimal strict parser for exactly the object [`Checkpoint::to_json`]
+/// writes. Not a general JSON parser: strings carry no escapes (hex digits
+/// and the format marker only) and numbers are unsigned integers — both
+/// facts of the format, both enforced.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(&mut self) -> Result<Checkpoint, String> {
+        self.expect(b'{')?;
+        let mut format = None;
+        let mut step = None;
+        let mut n_rebuilds = None;
+        let mut x = None;
+        let mut v = None;
+        let mut reference_x = None;
+        loop {
+            let key = self.string()?.to_owned();
+            self.expect(b':')?;
+            let dup = match key.as_str() {
+                "format" => format.replace(self.string()?.to_owned()).is_some(),
+                "step" => step.replace(self.u64()?).is_some(),
+                "n_rebuilds" => n_rebuilds.replace(self.u64()?).is_some(),
+                "x" => x.replace(self.f64_array()?).is_some(),
+                "v" => v.replace(self.f64_array()?).is_some(),
+                "reference_x" => reference_x.replace(self.f64_array()?).is_some(),
+                other => return Err(format!("unknown key {other:?}")),
+            };
+            if dup {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            match self.next_token()? {
+                b',' => continue,
+                b'}' => break,
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err("trailing garbage after checkpoint object".to_owned());
+        }
+        let format = format.ok_or("missing key \"format\"")?;
+        if format != CHECKPOINT_FORMAT {
+            return Err(format!(
+                "unsupported format {format:?} (expected {CHECKPOINT_FORMAT:?})"
+            ));
+        }
+        let x = x.ok_or("missing key \"x\"")?;
+        let v = v.ok_or("missing key \"v\"")?;
+        let reference_x = reference_x.ok_or("missing key \"reference_x\"")?;
+        if x.len() != v.len() || x.len() != reference_x.len() {
+            return Err(format!(
+                "array length mismatch: x = {}, v = {}, reference_x = {} atoms",
+                x.len(),
+                v.len(),
+                reference_x.len()
+            ));
+        }
+        Ok(Checkpoint {
+            step: step.ok_or("missing key \"step\"")?,
+            n_rebuilds: n_rebuilds.ok_or("missing key \"n_rebuilds\"")?,
+            x,
+            v,
+            reference_x,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn next_token(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        let b = *self.bytes.get(self.pos).ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.next_token()?;
+        if got != want {
+            return Err(format!(
+                "expected {:?}, got {:?}",
+                want as char, got as char
+            ));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<&'a str, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => break,
+                Some(b'\\') => return Err("escapes are not part of the format".to_owned()),
+                Some(_) => self.pos += 1,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("invalid utf-8 in string: {e}"))?;
+        self.pos += 1;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err("expected an unsigned integer".to_owned());
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("invalid integer: {e}"))
+    }
+
+    fn f64_array(&mut self) -> Result<Vec<[f64; 3]>, String> {
+        self.expect(b'[')?;
+        let mut flat = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+        } else {
+            loop {
+                flat.push(hex_to_f64(self.string()?)?);
+                match self.next_token()? {
+                    b',' => continue,
+                    b']' => break,
+                    other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+                }
+            }
+        }
+        if !flat.len().is_multiple_of(3) {
+            return Err(format!(
+                "component count {} is not a multiple of 3",
+                flat.len()
+            ));
+        }
+        Ok(flat.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect())
+    }
+}
+
+/// Observer that saves a [`Checkpoint`] every `every` steps (atomically,
+/// overwriting the previous one). An IO failure disarms the writer but is
+/// reported through [`Observer::warnings`] into [`RunReport::warnings`].
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    path: PathBuf,
+    every: u64,
+    written: u64,
+    last_step: Option<u64>,
+    error: Option<String>,
+}
+
+impl CheckpointWriter {
+    /// Write to `path` every `every` steps (`0` disables periodic writes).
+    pub fn new(path: impl Into<PathBuf>, every: u64) -> Self {
+        CheckpointWriter {
+            path: path.into(),
+            every,
+            written: 0,
+            last_step: None,
+            error: None,
+        }
+    }
+
+    /// The checkpoint file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of checkpoints written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Step of the last successfully written checkpoint.
+    pub fn last_step(&self) -> Option<u64> {
+        self.last_step
+    }
+
+    /// The IO error that disarmed the writer, if any.
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+}
+
+impl Observer for CheckpointWriter {
+    fn on_step(&mut self, ctx: &StepContext<'_>) {
+        if self.error.is_some() || self.every == 0 || !ctx.step.is_multiple_of(self.every) {
+            return;
+        }
+        match Checkpoint::capture(ctx).save(&self.path) {
+            Ok(()) => {
+                self.written += 1;
+                self.last_step = Some(ctx.step);
+            }
+            Err(e) => self.error = Some(e.to_string()),
+        }
+    }
+
+    fn on_finish(&mut self, _report: &RunReport) {}
+
+    fn warnings(&self) -> Vec<String> {
+        self.error
+            .iter()
+            .map(|e| format!("checkpoint writer disarmed: {e}"))
+            .collect()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            step: 42,
+            n_rebuilds: 3,
+            x: vec![[0.1, -2.5e-17, f64::MIN_POSITIVE], [1.0, 2.0, 3.0]],
+            v: vec![[-0.0, 1.5, f64::MAX], [0.25, -0.125, 1e-300]],
+            reference_x: vec![[0.1, 0.0, 0.0], [1.0, 2.0, 3.0]],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bitwise_exact() {
+        let cp = sample();
+        let parsed = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(parsed.step, cp.step);
+        assert_eq!(parsed.n_rebuilds, cp.n_rebuilds);
+        for (a, b) in [(&parsed.x, &cp.x), (&parsed.v, &cp.v)] {
+            for (pa, pb) in a.iter().zip(b.iter()) {
+                for k in 0..3 {
+                    assert_eq!(pa[k].to_bits(), pb[k].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        let good = sample().to_json();
+        assert!(Checkpoint::from_json(&good).is_ok());
+        for bad in [
+            "",
+            "{}",
+            "[]",
+            &good.replace("md-core-checkpoint-v1", "md-core-checkpoint-v0"),
+            &good.replace("\"step\"", "\"stap\""),
+            &(good.clone() + "x"),
+            &good.replace("\"n_rebuilds\": 3", "\"n_rebuilds\": -3"),
+        ] {
+            assert!(Checkpoint::from_json(bad).is_err(), "accepted: {bad:?}");
+        }
+        // A truncated hex literal must be rejected too.
+        let truncated = good.replacen("\",\"", "\",\"dead\",\"", 1);
+        assert!(Checkpoint::from_json(&truncated).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("md-core-checkpoint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        let cp = sample();
+        cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        fs::remove_file(&path).ok();
+    }
+}

@@ -20,7 +20,9 @@ use std::path::{Path, PathBuf};
 /// Element symbols are looked up per atom type; types beyond the supplied
 /// table fall back to `"X"`. Write errors do not panic the simulation loop:
 /// the dump disarms itself and reports the first error through
-/// [`XyzDump::error`] (the scenario runner turns that into a failure).
+/// [`XyzDump::error`] **and** as an [`Observer::warnings`] entry, so the
+/// truncated trajectory surfaces in [`RunReport::warnings`] and the
+/// scenario runner's per-variant table instead of vanishing silently.
 pub struct XyzDump {
     path: PathBuf,
     every: u64,
@@ -117,6 +119,13 @@ impl Observer for XyzDump {
         }
     }
 
+    fn warnings(&self) -> Vec<String> {
+        self.error
+            .iter()
+            .map(|e| format!("xyz dump disarmed (trajectory truncated): {e}"))
+            .collect()
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -177,12 +186,14 @@ mod tests {
         atoms.push_local([1.0; 3], [0.0; 3], 0, 1);
         atoms.push_local([2.0; 3], [0.0; 3], 5, 2); // type with no symbol
         let sim_box = crate::simbox::SimBox::cubic(10.0);
+        let neighbors = crate::neighbor::NeighborList::default();
         let mut dump = XyzDump::create(&path, 1, vec!["Si".into()]).unwrap();
         let ctx = StepContext {
             step: 1,
             atoms: &atoms,
             sim_box: &sim_box,
             masses: &[1.0],
+            neighbors: &neighbors,
             n_rebuilds: 0,
         };
         dump.on_step(&ctx);
@@ -197,6 +208,8 @@ mod tests {
             last_drift: 0.0,
             final_thermo: Default::default(),
             timers: Default::default(),
+            status: Default::default(),
+            warnings: Vec::new(),
         });
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();

@@ -1,0 +1,91 @@
+//! Test-only fault injection: make a chosen timestep panic or corrupt a
+//! velocity into NaN.
+//!
+//! A [`FaultPlan`] is attached to a simulation through
+//! [`SimulationBuilder::inject_fault`](crate::simulation::SimulationBuilder::inject_fault)
+//! (or to a scenario variant through the `fault` scenario field / the
+//! `TERSOFF_FAULT` environment variable at the facade layer). It exists so
+//! tests and CI can *prove* the fault-tolerance contract: the injected
+//! fault surfaces as the right typed error, every other job's results are
+//! bitwise unchanged, and the shared runtime is reusable afterwards.
+//! Production runs simply never set it — the injection check in the step
+//! loop is a single branch on an `Option` that is `None`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// What kind of fault to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the runtime's parallel section (a genuine worker panic
+    /// when the simulation runs threaded), exercising pool self-healing and
+    /// the [`RunError::Panicked`](crate::simulation::RunError) path.
+    Panic,
+    /// Overwrite one velocity component with NaN at the start of the step,
+    /// exercising the [`HealthGuard`](crate::health::HealthGuard) /
+    /// [`RunError::Diverged`](crate::simulation::RunError) path.
+    Nan,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Nan => "nan",
+        })
+    }
+}
+
+impl FromStr for FaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "panic" => Ok(FaultKind::Panic),
+            "nan" => Ok(FaultKind::Nan),
+            other => Err(format!("unknown fault kind {other:?} (expected panic|nan)")),
+        }
+    }
+}
+
+/// Inject `kind` when the simulation reaches `step` (1-based; the fault
+/// fires at the start of that step, before integration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// The step at whose start the fault fires.
+    pub step: u64,
+}
+
+impl FaultPlan {
+    /// A plan injecting `kind` at `step`.
+    pub fn new(kind: FaultKind, step: u64) -> Self {
+        FaultPlan { kind, step }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind, self.step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kind_round_trips_through_strings() {
+        for kind in [FaultKind::Panic, FaultKind::Nan] {
+            assert_eq!(kind.to_string().parse::<FaultKind>(), Ok(kind));
+        }
+        assert_eq!(" PANIC ".parse::<FaultKind>(), Ok(FaultKind::Panic));
+        assert!("explode".parse::<FaultKind>().is_err());
+    }
+
+    #[test]
+    fn fault_plan_displays_kind_and_step() {
+        assert_eq!(FaultPlan::new(FaultKind::Nan, 7).to_string(), "nan@7");
+    }
+}

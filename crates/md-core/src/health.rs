@@ -1,0 +1,318 @@
+//! Numerical health guards: catch divergence early instead of letting a
+//! blown-up trajectory run silently to completion.
+//!
+//! [`HealthGuard`] is an [`Observer`] that scans positions, velocities and
+//! forces for non-finite values at a configurable cadence, checks optional
+//! temperature and per-interval displacement bounds, and reports the first
+//! violation through the observer [`fault`](Observer::fault) channel. The
+//! simulation loop polls that channel after every step and aborts the run
+//! with a typed [`RunError::Diverged`](crate::simulation::RunError), so a
+//! NaN force or an exploding thermostat becomes a recoverable, reportable
+//! outcome instead of garbage output.
+//!
+//! Every check reads only deterministic simulation state (which is bitwise
+//! identical across thread counts and SIMD backends — see
+//! `crate::runtime`), so the abort step and reason are identical for every
+//! execution configuration. That determinism is load-bearing: it is what
+//! lets a batch driver retry or compare faulted variants meaningfully.
+
+use crate::observer::{Observer, RunFault, StepContext};
+use crate::thermo::ThermoState;
+use std::any::Any;
+
+/// What [`HealthGuard`] checks and how often.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthSettings {
+    /// Check cadence in steps (`0` disables the per-step scans; the
+    /// thermo-sample checks still run). Default: every step.
+    pub every: u64,
+    /// Abort when the sampled temperature exceeds this bound (K).
+    pub max_temperature: Option<f64>,
+    /// Abort when any atom moves further than this (Å, minimum image)
+    /// between two consecutive checks.
+    pub max_displacement: Option<f64>,
+}
+
+impl Default for HealthSettings {
+    fn default() -> Self {
+        HealthSettings {
+            every: 1,
+            max_temperature: None,
+            max_displacement: None,
+        }
+    }
+}
+
+/// Observer that aborts a run on the first sign of numerical divergence.
+///
+/// ```
+/// use md_core::prelude::*;
+///
+/// let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.02, 3);
+/// let lj = LennardJones::new(0.1, 2.0, 4.0);
+/// let mut sim = Simulation::builder(atoms, sim_box, lj)
+///     .masses(vec![units::mass::SI])
+///     .temperature(300.0, 11)
+///     .observe(HealthGuard::new(HealthSettings {
+///         every: 5,
+///         max_temperature: Some(10_000.0),
+///         max_displacement: None,
+///     }))
+///     .build()
+///     .unwrap();
+/// assert!(sim.try_run(20).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct HealthGuard {
+    settings: HealthSettings,
+    fault: Option<RunFault>,
+    /// Positions at the previous displacement check (lazily sized once;
+    /// steady-state checks reuse the storage and do not allocate).
+    prev_x: Vec<[f64; 3]>,
+    prev_step: u64,
+    checks: u64,
+}
+
+impl HealthGuard {
+    /// A guard with the given settings.
+    pub fn new(settings: HealthSettings) -> Self {
+        HealthGuard {
+            settings,
+            ..HealthGuard::default()
+        }
+    }
+
+    /// The guard's settings.
+    pub fn settings(&self) -> &HealthSettings {
+        &self.settings
+    }
+
+    /// Number of per-step scans performed so far.
+    pub fn checks_performed(&self) -> u64 {
+        self.checks
+    }
+
+    /// The first recorded violation, if any.
+    pub fn violation(&self) -> Option<&RunFault> {
+        self.fault.as_ref()
+    }
+
+    fn scan(&mut self, ctx: &StepContext<'_>) -> Option<RunFault> {
+        let n = ctx.atoms.n_local;
+        let arrays: [(&str, &[[f64; 3]]); 3] = [
+            ("position", &ctx.atoms.x),
+            ("velocity", &ctx.atoms.v),
+            ("force", &ctx.atoms.f),
+        ];
+        for (name, array) in arrays {
+            for (i, value) in array.iter().take(n).enumerate() {
+                if value.iter().any(|c| !c.is_finite()) {
+                    return Some(RunFault {
+                        step: ctx.step,
+                        reason: format!(
+                            "non-finite {name} at atom {i}: [{}, {}, {}]",
+                            value[0], value[1], value[2]
+                        ),
+                    });
+                }
+            }
+        }
+
+        if let Some(bound) = self.settings.max_displacement {
+            if self.prev_x.len() == n {
+                for i in 0..n {
+                    let d = ctx.sim_box.min_image(self.prev_x[i], ctx.atoms.x[i]);
+                    let dist = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                    if dist > bound {
+                        return Some(RunFault {
+                            step: ctx.step,
+                            reason: format!(
+                                "atom {i} moved {dist:.6} Å between steps {} and {} \
+                                 (bound {bound} Å)",
+                                self.prev_step, ctx.step
+                            ),
+                        });
+                    }
+                }
+            }
+            self.prev_x.clear();
+            self.prev_x.extend_from_slice(&ctx.atoms.x[..n]);
+            self.prev_step = ctx.step;
+        }
+        None
+    }
+}
+
+impl Observer for HealthGuard {
+    fn on_step(&mut self, ctx: &StepContext<'_>) {
+        if self.fault.is_some()
+            || self.settings.every == 0
+            || !ctx.step.is_multiple_of(self.settings.every)
+        {
+            return;
+        }
+        self.checks += 1;
+        self.fault = self.scan(ctx);
+    }
+
+    fn on_thermo(&mut self, state: &ThermoState) {
+        if self.fault.is_some() {
+            return;
+        }
+        if !state.total.is_finite() || !state.temperature.is_finite() {
+            self.fault = Some(RunFault {
+                step: state.step,
+                reason: format!(
+                    "non-finite thermo sample: T = {} K, E = {} eV",
+                    state.temperature, state.total
+                ),
+            });
+            return;
+        }
+        if let Some(bound) = self.settings.max_temperature {
+            if state.temperature > bound {
+                self.fault = Some(RunFault {
+                    step: state.step,
+                    reason: format!(
+                        "temperature {:.3} K exceeds bound {bound} K",
+                        state.temperature
+                    ),
+                });
+            }
+        }
+    }
+
+    fn fault(&self) -> Option<RunFault> {
+        self.fault.clone()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Lattice;
+    use crate::pair_lj::LennardJones;
+    use crate::simulation::{RunError, Simulation};
+    use crate::units;
+
+    fn guarded_sim(settings: HealthSettings, temperature: f64) -> Simulation<LennardJones> {
+        let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.02, 3);
+        let lj = LennardJones::new(0.1, 2.0, 4.0);
+        Simulation::builder(atoms, sim_box, lj)
+            .masses(vec![units::mass::SI])
+            .temperature(temperature, 11)
+            .thermo_every(2)
+            .observe(HealthGuard::new(settings))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn healthy_run_passes_all_checks() {
+        let mut sim = guarded_sim(
+            HealthSettings {
+                every: 1,
+                max_temperature: Some(10_000.0),
+                max_displacement: Some(5.0),
+            },
+            300.0,
+        );
+        let report = sim.try_run(20).expect("healthy run");
+        assert!(report.status.is_ok());
+        let guard = sim.observer::<HealthGuard>().unwrap();
+        assert_eq!(guard.checks_performed(), 20);
+        assert!(guard.violation().is_none());
+    }
+
+    #[test]
+    fn nan_velocity_aborts_with_diverged() {
+        let mut sim = guarded_sim(HealthSettings::default(), 300.0);
+        sim.atoms.v[3][1] = f64::NAN;
+        match sim.try_run(10) {
+            Err(RunError::Diverged {
+                step,
+                reason,
+                report,
+            }) => {
+                assert_eq!(step, 1, "detected on the first checked step");
+                assert!(reason.contains("non-finite"), "reason: {reason}");
+                assert!(!report.status.is_ok());
+                assert_eq!(report.steps, 1);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temperature_bound_aborts() {
+        let mut sim = guarded_sim(
+            HealthSettings {
+                every: 1,
+                max_temperature: Some(100.0),
+                max_displacement: None,
+            },
+            5_000.0,
+        );
+        let err = sim.try_run(10).unwrap_err();
+        match err {
+            RunError::Diverged { reason, .. } => {
+                assert!(reason.contains("exceeds bound"), "reason: {reason}")
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn displacement_bound_aborts() {
+        let mut sim = guarded_sim(
+            HealthSettings {
+                every: 1,
+                max_temperature: None,
+                max_displacement: Some(1e-6),
+            },
+            2_000.0,
+        );
+        let err = sim.try_run(10).unwrap_err();
+        match err {
+            RunError::Diverged { reason, .. } => {
+                assert!(reason.contains("moved"), "reason: {reason}")
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_step_and_reason_are_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.02, 3);
+            let lj = LennardJones::new(0.1, 2.0, 4.0);
+            let mut sim = Simulation::builder(atoms, sim_box, lj)
+                .masses(vec![units::mass::SI])
+                .temperature(3_000.0, 11)
+                .threads(threads)
+                .observe(HealthGuard::new(HealthSettings {
+                    every: 1,
+                    max_temperature: None,
+                    max_displacement: Some(0.02),
+                }))
+                .build()
+                .unwrap();
+            match sim.try_run(100) {
+                Err(RunError::Diverged { step, reason, .. }) => (step, reason),
+                other => panic!("expected Diverged, got {other:?}"),
+            }
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+    }
+}

@@ -31,7 +31,13 @@
 //!   writer ([`dump`]) and LAMMPS-style per-stage timers with a separate
 //!   integration phase ([`simulation`], [`observer`], [`timer`]),
 //! * a spatial domain decomposition whose ghost-atom exchange runs on the
-//!   same shared runtime ([`decomposition`]).
+//!   same shared runtime ([`decomposition`]),
+//! * a fault-tolerance layer: worker panics surface as typed
+//!   [`runtime::RuntimeError`]s from a self-healing pool, numerical
+//!   divergence is caught by the [`health::HealthGuard`] observer and
+//!   reported as [`simulation::RunError::Diverged`], runs checkpoint and
+//!   resume **bitwise identically** ([`checkpoint`]), and test-only fault
+//!   injection proves the isolation contract ([`fault`]).
 //!
 //! See `README.md` in this directory for the runtime-owns-threads
 //! architecture in detail. Units follow LAMMPS' `metal` convention: lengths
@@ -44,9 +50,12 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod atom;
+pub mod checkpoint;
 pub mod decomposition;
 pub mod dump;
+pub mod fault;
 pub mod force_engine;
+pub mod health;
 pub mod integrate;
 pub mod lattice;
 pub mod neighbor;
@@ -62,36 +71,43 @@ pub mod units;
 pub mod velocity;
 
 pub use atom::AtomData;
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointWriter};
 pub use dump::XyzDump;
+pub use fault::{FaultKind, FaultPlan};
 pub use force_engine::{ForceEngine, RangePotential};
+pub use health::{HealthGuard, HealthSettings};
 pub use lattice::{Lattice, LatticeKind};
 pub use neighbor::{NeighborList, NeighborSettings};
 pub use observer::{
-    EnergyDrift, Observer, RunPlan, RunReport, StepContext, ThermoLog, ThermoPrinter, TimingPrinter,
+    EnergyDrift, Observer, RunFault, RunPlan, RunReport, RunStatus, StepContext, ThermoLog,
+    ThermoPrinter, TimingPrinter,
 };
 pub use potential::{ComputeOutput, Potential};
-pub use runtime::{ParallelRuntime, WorkerPool};
+pub use runtime::{ParallelRuntime, RuntimeError, WorkerPool};
 pub use simbox::SimBox;
-pub use simulation::{BuildError, Simulation, SimulationBuilder};
+pub use simulation::{BuildError, RunError, Simulation, SimulationBuilder};
 pub use timer::{Stage, Timers};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::atom::AtomData;
+    pub use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointWriter};
     pub use crate::dump::XyzDump;
+    pub use crate::fault::{FaultKind, FaultPlan};
     pub use crate::force_engine::{ForceEngine, RangePotential};
+    pub use crate::health::{HealthGuard, HealthSettings};
     pub use crate::integrate::VelocityVerlet;
     pub use crate::lattice::{Lattice, LatticeKind};
     pub use crate::neighbor::{NeighborList, NeighborSettings};
     pub use crate::observer::{
-        EnergyDrift, Observer, RunPlan, RunReport, StepContext, ThermoLog, ThermoPrinter,
-        TimingPrinter,
+        EnergyDrift, Observer, RunFault, RunPlan, RunReport, RunStatus, StepContext, ThermoLog,
+        ThermoPrinter, TimingPrinter,
     };
     pub use crate::pair_lj::LennardJones;
     pub use crate::potential::{ComputeOutput, Potential};
-    pub use crate::runtime::ParallelRuntime;
+    pub use crate::runtime::{ParallelRuntime, RuntimeError};
     pub use crate::simbox::SimBox;
-    pub use crate::simulation::{BuildError, Simulation, SimulationBuilder};
+    pub use crate::simulation::{BuildError, RunError, Simulation, SimulationBuilder};
     pub use crate::thermo::ThermoState;
     pub use crate::timer::{Stage, Timers};
     pub use crate::units;

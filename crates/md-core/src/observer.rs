@@ -15,6 +15,7 @@
 //! allocations (audited by `tests/alloc_free.rs`).
 
 use crate::atom::AtomData;
+use crate::neighbor::NeighborList;
 use crate::simbox::SimBox;
 use crate::thermo::{EnergyDriftTracker, ThermoState};
 use crate::timer::Timers;
@@ -56,8 +57,47 @@ pub struct StepContext<'a> {
     pub sim_box: &'a SimBox,
     /// Per-type masses (g/mol).
     pub masses: &'a [f64],
+    /// The current neighbor list (its `reference_x` snapshot is what a
+    /// checkpoint needs for bitwise-identical resume).
+    pub neighbors: &'a NeighborList,
     /// Neighbor-list rebuilds performed so far (whole simulation).
     pub n_rebuilds: u64,
+}
+
+/// A condition an observer detected that must abort the run — what
+/// [`Observer::fault`] reports and the loop turns into
+/// [`crate::simulation::RunError::Diverged`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunFault {
+    /// The step at which the condition was detected.
+    pub step: u64,
+    /// Deterministic human-readable description (identical across thread
+    /// counts and backends, because the state it derives from is bitwise
+    /// identical across them).
+    pub reason: String,
+}
+
+/// How a run ended — recorded on every [`RunReport`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum RunStatus {
+    /// The run completed every requested step.
+    #[default]
+    Completed,
+    /// An observer fault (e.g. a [`crate::health::HealthGuard`] violation)
+    /// aborted the run at `step`.
+    Diverged {
+        /// The step the abort was triggered at.
+        step: u64,
+        /// The fault's deterministic description.
+        reason: String,
+    },
+}
+
+impl RunStatus {
+    /// True when the run completed every requested step.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
 }
 
 /// Summary of one [`crate::simulation::Simulation::run`] call — what `run`
@@ -84,6 +124,11 @@ pub struct RunReport {
     pub final_thermo: ThermoState,
     /// Snapshot of the cumulative per-stage timers.
     pub timers: Timers,
+    /// How the run ended ([`RunStatus::Completed`], or the recorded abort).
+    pub status: RunStatus,
+    /// Non-fatal problems observers reported at the end of the run (e.g. an
+    /// IO error that silently disarmed a trajectory dump).
+    pub warnings: Vec<String>,
 }
 
 impl RunReport {
@@ -113,6 +158,20 @@ pub trait Observer: Any {
     fn on_rebuild(&mut self, _step: u64, _n_rebuilds: u64) {}
     /// A `run` call finished.
     fn on_finish(&mut self, _report: &RunReport) {}
+    /// Polled by the loop after every step's `on_step` dispatch: return
+    /// `Some` to abort the run deterministically — the loop stops, drives
+    /// `on_finish`, and `try_run` returns
+    /// [`crate::simulation::RunError::Diverged`] with this fault. The
+    /// default (`None`) keeps the polling allocation-free.
+    fn fault(&self) -> Option<RunFault> {
+        None
+    }
+    /// Polled once when a run ends: non-fatal problems to surface in
+    /// [`RunReport::warnings`] (e.g. a dump that disarmed itself on an IO
+    /// error). Only called at run end, so implementations may allocate.
+    fn warnings(&self) -> Vec<String> {
+        Vec::new()
+    }
     /// Upcast for concrete-type retrieval.
     fn as_any(&self) -> &dyn Any;
     /// Mutable upcast for concrete-type retrieval.

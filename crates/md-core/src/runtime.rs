@@ -30,11 +30,92 @@
 //! thread count ([`resolve_threads`]) — CI uses it to force the entire test
 //! suite through the multi-threaded code paths, which the bitwise contract
 //! above makes safe.
+//!
+//! **Fault model.** A panic inside a dispatched job is caught on the
+//! participant it happened on; every participant still runs to the epoch
+//! barrier, the first payload is captured, and the failure surfaces as a
+//! typed [`RuntimeError::WorkerPanic`] ([`ParallelRuntime::try_dispatch`] /
+//! [`WorkerPool::try_run`]; the infallible forms re-panic the *caller* with
+//! that message). The pool **self-heals**: workers stay alive in their
+//! dispatch loop, all internal locks recover from poisoning explicitly
+//! ([`lock_recover`]), and the same handle runs the next job — one
+//! panicking simulation can never wedge or kill the shared runtime
+//! (`tests/fault_tolerance.rs`).
 
+use std::any::Any;
+use std::fmt;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+// ---------------------------------------------------------------------------
+// Typed runtime failures + poison-proof locking
+// ---------------------------------------------------------------------------
+
+/// A parallel section failed. The runtime guarantees that after any
+/// [`RuntimeError`] the pool is **fully operational**: every worker is still
+/// alive (workers catch job panics and return to their dispatch loop), no
+/// mutex is left poisoned, and the same [`ParallelRuntime`] /
+/// [`WorkerPool`] handle accepts the next job as if nothing happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// One or more participants panicked while running the dispatched job.
+    WorkerPanic {
+        /// Total participants of the dispatch (workers + caller).
+        participants: usize,
+        /// How many of them panicked.
+        panics: usize,
+        /// The payload of the first panic observed (stringified).
+        first_payload: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::WorkerPanic {
+                participants,
+                panics,
+                first_payload,
+            } => write!(
+                f,
+                "parallel section failed: {panics} of {participants} participant(s) \
+                 panicked (first payload: {first_payload})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Stringify a caught panic payload (the two shapes `panic!` produces, with
+/// a fallback for exotic payloads).
+pub fn panic_payload_string(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lock a mutex, explicitly recovering from poisoning. The pool catches
+/// every job panic on the thread it happens on, so its mutexes are never
+/// poisoned *by job code* — but a panic in pool-internal code (or a caller
+/// panicking while the lazy-init lock of [`ParallelRuntime::dispatch`] is
+/// held) must not wedge every later job on a `PoisonError`. All pool state
+/// guarded by these locks is kept consistent before any panic can unwind
+/// through, so recovery is sound.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait`] with the same explicit poison recovery.
+fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
 
 /// Resolve a requested thread count into the count a runtime will actually
 /// use: the `TERSOFF_THREADS` environment variable (a positive integer)
@@ -132,8 +213,10 @@ struct PoolState {
     active: usize,
     /// Tells workers to exit.
     shutdown: bool,
-    /// Set when a worker's job panicked.
-    poisoned: bool,
+    /// Participants whose job invocation panicked during the current epoch.
+    panics: usize,
+    /// Stringified payload of the first panic of the current epoch.
+    first_payload: Option<String>,
 }
 
 struct PoolShared {
@@ -166,7 +249,8 @@ impl WorkerPool {
                 job: None,
                 active: 0,
                 shutdown: false,
-                poisoned: false,
+                panics: 0,
+                first_payload: None,
             }),
             go: Condvar::new(),
             done: Condvar::new(),
@@ -195,8 +279,25 @@ impl WorkerPool {
     /// dispatches — which would race the shared job slot and could leave a
     /// worker holding a dangling closure pointer — unrepresentable in safe
     /// code.
+    ///
+    /// Panics (with the [`RuntimeError`] message, carrying the first
+    /// participant's payload) if any participant panicked; use
+    /// [`WorkerPool::try_run`] for the typed form. Either way the pool is
+    /// reusable afterwards.
     pub fn run(&mut self, f: &(dyn Fn(usize) + Sync)) {
-        // SAFETY: erase the borrow lifetime; `run` does not return until
+        if let Err(e) = self.try_run(f) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`WorkerPool::run`], surfacing participant panics as a typed
+    /// [`RuntimeError::WorkerPanic`] instead of unwinding the caller.
+    ///
+    /// Every participant — panicked or not — runs to the epoch barrier, so
+    /// on return the job is finished everywhere, the workers are back in
+    /// their dispatch loop, and the pool accepts the next job.
+    pub fn try_run(&mut self, f: &(dyn Fn(usize) + Sync)) -> Result<(), RuntimeError> {
+        // SAFETY: erase the borrow lifetime; `try_run` does not return until
         // `active == 0`, so no worker touches the pointer afterwards, and
         // `&mut self` guarantees no second dispatch overlaps this one.
         let job = Job(unsafe {
@@ -205,7 +306,7 @@ impl WorkerPool {
             )
         });
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_recover(&self.shared.state);
             debug_assert_eq!(st.active, 0, "pool dispatched while busy");
             st.job = Some(job);
             st.active = self.handles.len();
@@ -213,29 +314,40 @@ impl WorkerPool {
             self.shared.go.notify_all();
         }
 
-        // The caller is participant 0.
+        // The caller is participant 0. Its panic is captured like any
+        // worker's, so the epoch always completes and the pool state stays
+        // consistent.
         let caller_panic = panic::catch_unwind(AssertUnwindSafe(|| f(0)));
 
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_recover(&self.shared.state);
         while st.active != 0 {
-            st = self.shared.done.wait(st).unwrap();
+            st = wait_recover(&self.shared.done, st);
         }
         st.job = None;
-        let poisoned = std::mem::replace(&mut st.poisoned, false);
+        let mut panics = std::mem::replace(&mut st.panics, 0);
+        let mut first_payload = st.first_payload.take();
         drop(st);
-        if let Err(e) = caller_panic {
-            panic::resume_unwind(e);
+        if let Err(payload) = caller_panic {
+            panics += 1;
+            if first_payload.is_none() {
+                first_payload = Some(panic_payload_string(payload.as_ref()));
+            }
         }
-        if poisoned {
-            panic!("a runtime worker panicked during the parallel section");
+        if panics > 0 {
+            return Err(RuntimeError::WorkerPanic {
+                participants: self.participants(),
+                panics,
+                first_payload: first_payload.unwrap_or_else(|| "unknown".to_string()),
+            });
         }
+        Ok(())
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_recover(&self.shared.state);
             st.shutdown = true;
             self.shared.go.notify_all();
         }
@@ -249,7 +361,7 @@ fn worker_loop(shared: &PoolShared, index: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_recover(&shared.state);
             loop {
                 if st.shutdown {
                     return;
@@ -258,15 +370,22 @@ fn worker_loop(shared: &PoolShared, index: usize) {
                     seen_epoch = st.epoch;
                     break st.job.expect("job set when epoch advances");
                 }
-                st = shared.go.wait(st).unwrap();
+                st = wait_recover(&shared.go, st);
             }
         };
         // SAFETY: the dispatcher keeps the closure alive until `active == 0`.
         let f = unsafe { &*job.0 };
+        // A panicking job is caught *on the worker*: the worker survives
+        // (back to the dispatch loop for the next epoch), the payload is
+        // captured for the dispatcher's typed error, and the epoch barrier
+        // is honored so the dispatcher never hangs.
         let result = panic::catch_unwind(AssertUnwindSafe(|| f(index)));
-        let mut st = shared.state.lock().unwrap();
-        if result.is_err() {
-            st.poisoned = true;
+        let mut st = lock_recover(&shared.state);
+        if let Err(payload) = result {
+            st.panics += 1;
+            if st.first_payload.is_none() {
+                st.first_payload = Some(panic_payload_string(payload.as_ref()));
+            }
         }
         st.active -= 1;
         if st.active == 0 {
@@ -389,14 +508,42 @@ impl ParallelRuntime {
     /// Run `f(i)` once for every participant index `i` in `0..threads()`;
     /// index 0 runs on the calling thread. The low-level primitive the
     /// chunked helpers are built on.
+    ///
+    /// If any participant panics, this panics the caller with the
+    /// [`RuntimeError`] message (payload preserved in the text); the runtime
+    /// handle remains fully usable afterwards. Use
+    /// [`try_dispatch`](ParallelRuntime::try_dispatch) for the typed form.
     pub fn dispatch(&self, f: &(dyn Fn(usize) + Sync)) {
-        if self.threads == 1 {
-            f(0);
-            return;
+        if let Err(e) = self.try_dispatch(f) {
+            panic!("{e}");
         }
-        let mut guard = self.pool.lock().unwrap();
+    }
+
+    /// [`dispatch`](ParallelRuntime::dispatch) with participant panics
+    /// surfaced as a typed [`RuntimeError::WorkerPanic`] instead of an
+    /// unwinding caller. After an error the pool has self-healed: workers
+    /// are alive, no lock is poisoned, and the same handle runs the next
+    /// job (`tests/fault_tolerance.rs` holds the runtime to this).
+    pub fn try_dispatch(&self, f: &(dyn Fn(usize) + Sync)) -> Result<(), RuntimeError> {
+        if self.threads == 1 {
+            // Serial runtimes have no pool; capture the caller's panic so a
+            // 1-thread job fails exactly like an n-thread one.
+            return match panic::catch_unwind(AssertUnwindSafe(|| f(0))) {
+                Ok(()) => Ok(()),
+                Err(payload) => Err(RuntimeError::WorkerPanic {
+                    participants: 1,
+                    panics: 1,
+                    first_payload: panic_payload_string(payload.as_ref()),
+                }),
+            };
+        }
+        // The lazy-init lock is held across the whole parallel section (that
+        // is what serializes dispatches from cloned handles); recover it
+        // explicitly so a job panic that unwound through `dispatch` can
+        // never wedge a later job on a poisoned mutex.
+        let mut guard = lock_recover(&self.pool);
         let pool = guard.get_or_insert_with(|| WorkerPool::new(self.threads - 1));
-        pool.run(f);
+        pool.try_run(f)
     }
 
     /// Run `body(chunk_index, chunk_range)` for every fixed chunk of `0..n`
@@ -576,22 +723,99 @@ mod tests {
     }
 
     #[test]
-    fn pool_propagates_worker_panics() {
+    fn pool_surfaces_worker_panics_as_typed_errors() {
         let mut pool = WorkerPool::new(2);
-        let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            pool.run(&|who| {
+        let err = pool
+            .try_run(&|who| {
                 if who == 2 {
                     panic!("boom");
                 }
-            });
-        }));
-        assert!(result.is_err());
-        // The pool stays usable after a poisoned dispatch.
+            })
+            .unwrap_err();
+        match &err {
+            RuntimeError::WorkerPanic {
+                participants,
+                panics,
+                first_payload,
+            } => {
+                assert_eq!(*participants, 3);
+                assert_eq!(*panics, 1);
+                assert_eq!(first_payload, "boom");
+            }
+        }
+        assert!(err.to_string().contains("boom"));
+        // The pool self-heals: the same workers run the next job.
         let hits = AtomicUsize::new(0);
         pool.run(&|_| {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pool_captures_caller_panics_too() {
+        let mut pool = WorkerPool::new(1);
+        let err = pool
+            .try_run(&|who| {
+                if who == 0 {
+                    panic!("caller went down");
+                }
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("caller went down"));
+        // `run` panics with the typed message instead of a bare payload.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|_| panic!("second failure"));
+        }));
+        let payload = result.unwrap_err();
+        assert!(panic_payload_string(payload.as_ref()).contains("second failure"));
+        let hits = AtomicUsize::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn runtime_is_reusable_after_repeated_panics() {
+        for threads in [1usize, 3] {
+            let rt = ParallelRuntime {
+                threads,
+                pool: Arc::new(Mutex::new(None)),
+            };
+            for round in 0..3 {
+                let err = rt
+                    .try_dispatch(&|who| {
+                        if who == threads - 1 {
+                            panic!("injected round {round}");
+                        }
+                    })
+                    .unwrap_err();
+                assert!(
+                    err.to_string().contains(&format!("injected round {round}")),
+                    "{err}"
+                );
+                // Every round after a panic must run normally on the same
+                // handle — workers alive, no poisoned locks.
+                let hits = AtomicUsize::new(0);
+                rt.dispatch(&|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(hits.load(Ordering::Relaxed), threads);
+            }
+            // A panicking chunked primitive heals the same way.
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                rt.par_chunks(10 * MIN_CHUNK_ITEMS, |c, _| {
+                    if c == 0 {
+                        panic!("chunk fault");
+                    }
+                });
+            }));
+            assert!(caught.is_err());
+            let mut slots = Vec::new();
+            rt.par_chunk_map(10 * MIN_CHUNK_ITEMS, &mut slots, 0usize, |_c, r| r.len());
+            assert_eq!(slots.iter().sum::<usize>(), 10 * MIN_CHUNK_ITEMS);
+        }
     }
 
     #[test]

@@ -15,19 +15,22 @@
 //! [`crate::observer`].
 
 use crate::atom::AtomData;
+use crate::checkpoint::Checkpoint;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::integrate::VelocityVerlet;
 use crate::neighbor::{NeighborList, NeighborSettings};
 use crate::observer::{
-    run_ns_per_day, EnergyDrift, Observer, RunPlan, RunReport, StepContext, ThermoLog,
+    run_ns_per_day, EnergyDrift, Observer, RunPlan, RunReport, RunStatus, StepContext, ThermoLog,
 };
 use crate::potential::{ComputeOutput, Potential};
-use crate::runtime::ParallelRuntime;
+use crate::runtime::{panic_payload_string, ParallelRuntime};
 use crate::simbox::SimBox;
 use crate::thermo::ThermoState;
 use crate::timer::{Stage, Timers};
 use crate::units;
 use crate::velocity;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Why a [`SimulationBuilder`] refused to build.
@@ -35,8 +38,22 @@ use std::time::Instant;
 pub enum BuildError {
     /// The timestep must be positive (ps).
     NonPositiveTimestep(f64),
+    /// The timestep is not a finite number (NaN or ±∞).
+    NonFiniteTimestep(f64),
     /// The neighbor skin must be positive (Å).
     NonPositiveSkin(f64),
+    /// The neighbor skin is not a finite number (NaN or ±∞).
+    NonFiniteSkin(f64),
+    /// The requested initial temperature is NaN, infinite, or negative.
+    InvalidTemperature(f64),
+    /// A resume checkpoint holds a different number of atoms than the
+    /// system it is being applied to.
+    CheckpointMismatch {
+        /// Local atoms in the system under construction.
+        expected: usize,
+        /// Atoms recorded in the checkpoint.
+        found: usize,
+    },
     /// An atom type has no mass: `masses[atom_type]` is out of bounds.
     MissingMass {
         /// The offending atom type index.
@@ -46,6 +63,13 @@ pub enum BuildError {
     },
     /// A supplied mass is zero or negative.
     NonPositiveMass {
+        /// Index into the masses table.
+        atom_type: usize,
+        /// The offending value (g/mol).
+        mass: f64,
+    },
+    /// A supplied mass is not a finite number (NaN or ±∞).
+    NonFiniteMass {
         /// Index into the masses table.
         atom_type: usize,
         /// The offending value (g/mol).
@@ -71,8 +95,26 @@ impl fmt::Display for BuildError {
             BuildError::NonPositiveTimestep(dt) => {
                 write!(f, "timestep must be positive, got {dt} ps")
             }
+            BuildError::NonFiniteTimestep(dt) => {
+                write!(f, "timestep must be finite, got {dt} ps")
+            }
             BuildError::NonPositiveSkin(skin) => {
                 write!(f, "neighbor skin must be positive, got {skin} Å")
+            }
+            BuildError::NonFiniteSkin(skin) => {
+                write!(f, "neighbor skin must be finite, got {skin} Å")
+            }
+            BuildError::InvalidTemperature(t) => {
+                write!(
+                    f,
+                    "initial temperature must be finite and non-negative, got {t} K"
+                )
+            }
+            BuildError::CheckpointMismatch { expected, found } => {
+                write!(
+                    f,
+                    "resume checkpoint records {found} atoms but the system has {expected}"
+                )
             }
             BuildError::MissingMass {
                 atom_type,
@@ -85,6 +127,12 @@ impl fmt::Display for BuildError {
                 write!(
                     f,
                     "mass of atom type {atom_type} must be positive, got {mass} g/mol"
+                )
+            }
+            BuildError::NonFiniteMass { atom_type, mass } => {
+                write!(
+                    f,
+                    "mass of atom type {atom_type} must be finite, got {mass} g/mol"
                 )
             }
             BuildError::BoxSmallerThanCutoff {
@@ -103,6 +151,59 @@ impl fmt::Display for BuildError {
 }
 
 impl std::error::Error for BuildError {}
+
+/// Why a fallible run ([`Simulation::try_run`]) stopped early.
+#[derive(Debug)]
+pub enum RunError {
+    /// A health observer (e.g. [`crate::health::HealthGuard`]) reported a
+    /// fault; the run was aborted deterministically after the offending
+    /// step. The partial [`RunReport`] (status
+    /// [`RunStatus::Diverged`]) is attached — observers saw `on_finish`,
+    /// so dumps and checkpoints were flushed.
+    Diverged {
+        /// Step at which the fault was detected.
+        step: u64,
+        /// Human-readable description of the violation.
+        reason: String,
+        /// The partial report for the steps that did run.
+        report: Box<RunReport>,
+    },
+    /// A panic unwound out of a timestep — a worker panic surfaced by the
+    /// runtime, an injected fault, or a bug in a potential. The atom state
+    /// is unspecified mid-step, so the simulation refuses further runs
+    /// (see [`RunError::AlreadyFaulted`]); the [`ParallelRuntime`] itself
+    /// has self-healed and remains reusable.
+    Panicked {
+        /// Step whose execution panicked.
+        step: u64,
+        /// The stringified panic payload.
+        message: String,
+    },
+    /// A previous run panicked mid-step; this simulation's state is not
+    /// trustworthy and it permanently refuses to run.
+    AlreadyFaulted,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Diverged { step, reason, .. } => {
+                write!(f, "run diverged at step {step}: {reason}")
+            }
+            RunError::Panicked { step, message } => {
+                write!(f, "step {step} panicked: {message}")
+            }
+            RunError::AlreadyFaulted => {
+                write!(
+                    f,
+                    "simulation previously panicked mid-step and cannot be reused"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// Declarative constructor for [`Simulation`] — replaces the old positional
 /// `Simulation::new(atoms, box, potential, config)` plus `SimulationConfig`
@@ -134,6 +235,8 @@ pub struct SimulationBuilder<P: Potential> {
     observers: Vec<Box<dyn Observer>>,
     default_observers: bool,
     runtime: Option<ParallelRuntime>,
+    resume_from: Option<Checkpoint>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<P: Potential> SimulationBuilder<P> {
@@ -151,6 +254,8 @@ impl<P: Potential> SimulationBuilder<P> {
             observers: Vec::new(),
             default_observers: true,
             runtime: None,
+            resume_from: None,
+            fault_plan: None,
         }
     }
 
@@ -231,6 +336,25 @@ impl<P: Potential> SimulationBuilder<P> {
         self
     }
 
+    /// Restore a previous run's state from a [`Checkpoint`] instead of
+    /// starting fresh: step counter, positions and velocities are restored
+    /// and the neighbor list is rebuilt from the checkpoint's rebuild-time
+    /// reference positions, so the continuation is **bitwise identical** to
+    /// the uninterrupted run. Any [`SimulationBuilder::temperature`] request
+    /// is ignored — the checkpoint's velocities win.
+    pub fn resume_from(mut self, checkpoint: Checkpoint) -> Self {
+        self.resume_from = Some(checkpoint);
+        self
+    }
+
+    /// Test-only fault injection: make a chosen step panic or corrupt a
+    /// velocity into NaN (see [`FaultPlan`]). Used by the fault-tolerance
+    /// tests and CI to prove batch isolation; leave unset in real runs.
+    pub fn inject_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Validate the configuration and construct the simulation: velocities
     /// are initialized (if requested), the initial neighbor list is built
     /// and forces are computed so step 0 starts from a consistent state.
@@ -247,18 +371,35 @@ impl<P: Potential> SimulationBuilder<P> {
             mut observers,
             default_observers,
             runtime,
+            resume_from,
+            fault_plan,
         } = self;
 
-        // NaN fails each of these checks too (NaN comparisons are false).
-        if timestep.is_nan() || timestep <= 0.0 {
+        // Finiteness first (NaN/±∞ would only blow up mid-run), then sign.
+        // NaN fails the sign checks too (NaN comparisons are false).
+        if !timestep.is_finite() {
+            return Err(BuildError::NonFiniteTimestep(timestep));
+        }
+        if timestep <= 0.0 {
             return Err(BuildError::NonPositiveTimestep(timestep));
         }
-        if skin.is_nan() || skin <= 0.0 {
+        if !skin.is_finite() {
+            return Err(BuildError::NonFiniteSkin(skin));
+        }
+        if skin <= 0.0 {
             return Err(BuildError::NonPositiveSkin(skin));
         }
         for (atom_type, &mass) in masses.iter().enumerate() {
-            if mass.is_nan() || mass <= 0.0 {
+            if !mass.is_finite() {
+                return Err(BuildError::NonFiniteMass { atom_type, mass });
+            }
+            if mass <= 0.0 {
                 return Err(BuildError::NonPositiveMass { atom_type, mass });
+            }
+        }
+        if let Some((temperature, _)) = temperature {
+            if !temperature.is_finite() || temperature < 0.0 {
+                return Err(BuildError::InvalidTemperature(temperature));
             }
         }
         if let Some(&worst) = atoms.type_.iter().max() {
@@ -294,8 +435,10 @@ impl<P: Potential> SimulationBuilder<P> {
                 .unwrap_or_else(ParallelRuntime::serial),
         };
 
-        if let Some((temperature, seed)) = temperature {
-            velocity::init_velocities(&mut atoms, &masses, temperature, seed);
+        if resume_from.is_none() {
+            if let Some((temperature, seed)) = temperature {
+                velocity::init_velocities(&mut atoms, &masses, temperature, seed);
+            }
         }
 
         if default_observers {
@@ -325,10 +468,17 @@ impl<P: Potential> SimulationBuilder<P> {
             integrator,
             runtime,
             ke_slots: Vec::new(),
+            faulted: false,
+            fault_plan,
         };
-        sim.rebuild_neighbors();
-        sim.compute_forces();
-        sim.record_thermo();
+        match resume_from {
+            None => {
+                sim.rebuild_neighbors();
+                sim.compute_forces();
+                sim.record_thermo();
+            }
+            Some(checkpoint) => sim.restore(checkpoint)?,
+        }
         Ok(sim)
     }
 }
@@ -367,6 +517,12 @@ pub struct Simulation<P: Potential> {
     /// Reduction scratch of the chunked kinetic-energy sum (reused so the
     /// steady-state step allocates nothing).
     ke_slots: Vec<f64>,
+    /// Set when a panic unwound out of a timestep: the atom state is
+    /// unspecified mid-step, so every later run refuses with
+    /// [`RunError::AlreadyFaulted`].
+    faulted: bool,
+    /// Test-only injected fault (see [`SimulationBuilder::inject_fault`]).
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<P: Potential> Simulation<P> {
@@ -430,9 +586,171 @@ impl<P: Potential> Simulation<P> {
         }
     }
 
+    /// Restore a checkpoint: rebuild the neighbor list from the positions it
+    /// was originally built from (list contents and ordering feed the fixed
+    /// floating-point summation order, so "same list" is a bitwise
+    /// requirement), then restore the checkpointed positions/velocities and
+    /// recompute forces/thermo from them.
+    fn restore(&mut self, checkpoint: Checkpoint) -> Result<(), BuildError> {
+        let n = self.atoms.n_local;
+        let found = checkpoint
+            .x
+            .len()
+            .min(checkpoint.v.len())
+            .min(checkpoint.reference_x.len());
+        if checkpoint.x.len() != n || checkpoint.v.len() != n || checkpoint.reference_x.len() != n {
+            return Err(BuildError::CheckpointMismatch { expected: n, found });
+        }
+        self.atoms.x[..n].copy_from_slice(&checkpoint.reference_x);
+        self.rebuild_neighbors();
+        self.atoms.x[..n].copy_from_slice(&checkpoint.x);
+        self.atoms.v[..n].copy_from_slice(&checkpoint.v);
+        self.step = checkpoint.step;
+        self.n_rebuilds = checkpoint.n_rebuilds;
+        self.compute_forces();
+        self.record_thermo();
+        Ok(())
+    }
+
+    /// Snapshot the current state into a [`Checkpoint`] that
+    /// [`SimulationBuilder::resume_from`] can restore bitwise (see
+    /// [`crate::checkpoint`] for the automatic
+    /// [`crate::checkpoint::CheckpointWriter`] observer).
+    pub fn checkpoint(&self) -> Checkpoint {
+        let n = self.atoms.n_local;
+        Checkpoint {
+            step: self.step,
+            n_rebuilds: self.n_rebuilds,
+            x: self.atoms.x[..n].to_vec(),
+            v: self.atoms.v[..n].to_vec(),
+            reference_x: self.neighbors.reference_x.clone(),
+        }
+    }
+
+    /// One velocity-Verlet timestep: half-kick + drift, neighbor rebuild if
+    /// needed, forces, second half-kick, thermo sampling, observer dispatch.
+    fn advance_one_step(&mut self) {
+        self.step += 1;
+
+        if let Some(plan) = self.fault_plan {
+            if plan.step == self.step {
+                self.trip_fault(plan.kind);
+            }
+        }
+
+        {
+            // Disjoint field borrows so the integrator can read the
+            // masses in place — the steady-state step must not allocate.
+            let atoms = &mut self.atoms;
+            let sim_box = &self.sim_box;
+            let integrator = &self.integrator;
+            let masses = &self.masses;
+            let runtime = &self.runtime;
+            self.timers.time(Stage::Integrate, || {
+                integrator.initial_integrate_on(atoms, masses, sim_box, runtime);
+            });
+        }
+
+        if self.neighbors.needs_rebuild(&self.atoms, &self.sim_box) {
+            self.rebuild_neighbors();
+            let (step, n_rebuilds) = (self.step, self.n_rebuilds);
+            for obs in &mut self.observers {
+                obs.on_rebuild(step, n_rebuilds);
+            }
+        }
+
+        self.compute_forces();
+
+        {
+            let atoms = &mut self.atoms;
+            let integrator = &self.integrator;
+            let masses = &self.masses;
+            let runtime = &self.runtime;
+            self.timers.time(Stage::Integrate, || {
+                integrator.final_integrate_on(atoms, masses, runtime);
+            });
+        }
+
+        let sample = self.thermo_every > 0 && self.step.is_multiple_of(self.thermo_every);
+        if sample {
+            self.record_thermo();
+        }
+
+        {
+            let Simulation {
+                observers,
+                atoms,
+                sim_box,
+                masses,
+                neighbors,
+                ..
+            } = self;
+            let ctx = StepContext {
+                step: self.step,
+                atoms,
+                sim_box,
+                masses,
+                neighbors,
+                n_rebuilds: self.n_rebuilds,
+            };
+            for obs in observers.iter_mut() {
+                obs.on_step(&ctx);
+            }
+        }
+    }
+
+    /// Execute an injected fault (test-only; see
+    /// [`SimulationBuilder::inject_fault`]).
+    fn trip_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Panic => {
+                // Panic inside a parallel section so that with threads > 1
+                // this exercises a genuine worker panic: the pool catches
+                // it, self-heals, and dispatch re-raises it as a typed
+                // RuntimeError message that try_run catches per-step.
+                let step = self.step;
+                let participants = self.runtime.threads();
+                self.runtime.dispatch(&|who| {
+                    if who + 1 == participants {
+                        panic!("injected fault: panic at step {step}");
+                    }
+                });
+            }
+            FaultKind::Nan => {
+                if let Some(v) = self.atoms.v.first_mut() {
+                    v[0] = f64::NAN;
+                }
+            }
+        }
+    }
+
     /// Advance the simulation by `n_steps` timesteps, driving the observers,
-    /// and report what happened.
+    /// and report what happened. Panics if a timestep panics; a
+    /// health-guard abort is reported through [`RunReport::status`] instead
+    /// of an error. Use [`try_run`](Simulation::try_run) for typed errors.
     pub fn run(&mut self, n_steps: u64) -> RunReport {
+        match self.try_run(n_steps) {
+            Ok(report) => report,
+            Err(RunError::Diverged { report, .. }) => *report,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible variant of [`run`](Simulation::run): advance by up to
+    /// `n_steps` timesteps.
+    ///
+    /// - A panic unwinding out of a timestep (worker panic, injected fault,
+    ///   potential bug) is caught and returned as [`RunError::Panicked`];
+    ///   the simulation is marked faulted and refuses further runs, but the
+    ///   shared [`ParallelRuntime`] stays healthy and reusable.
+    /// - If an observer reports a fault (see [`Observer::fault`]) the run
+    ///   stops after that step, observers still see `on_finish` (dumps and
+    ///   checkpoints flush), and [`RunError::Diverged`] carries the partial
+    ///   report with [`RunStatus::Diverged`].
+    pub fn try_run(&mut self, n_steps: u64) -> Result<RunReport, RunError> {
+        if self.faulted {
+            return Err(RunError::AlreadyFaulted);
+        }
         let wall_start = Instant::now();
         let rebuilds_before = self.n_rebuilds;
         let plan = RunPlan {
@@ -445,65 +763,22 @@ impl<P: Potential> Simulation<P> {
             obs.on_run_start(&plan);
         }
 
+        let mut fault = None;
+        let mut steps_taken = 0u64;
         for _ in 0..n_steps {
-            self.step += 1;
-
-            {
-                // Disjoint field borrows so the integrator can read the
-                // masses in place — the steady-state step must not allocate.
-                let atoms = &mut self.atoms;
-                let sim_box = &self.sim_box;
-                let integrator = &self.integrator;
-                let masses = &self.masses;
-                let runtime = &self.runtime;
-                self.timers.time(Stage::Integrate, || {
-                    integrator.initial_integrate_on(atoms, masses, sim_box, runtime);
-                });
-            }
-
-            if self.neighbors.needs_rebuild(&self.atoms, &self.sim_box) {
-                self.rebuild_neighbors();
-                let (step, n_rebuilds) = (self.step, self.n_rebuilds);
-                for obs in &mut self.observers {
-                    obs.on_rebuild(step, n_rebuilds);
-                }
-            }
-
-            self.compute_forces();
-
-            {
-                let atoms = &mut self.atoms;
-                let integrator = &self.integrator;
-                let masses = &self.masses;
-                let runtime = &self.runtime;
-                self.timers.time(Stage::Integrate, || {
-                    integrator.final_integrate_on(atoms, masses, runtime);
-                });
-            }
-
-            let sample = self.thermo_every > 0 && self.step.is_multiple_of(self.thermo_every);
-            if sample {
-                self.record_thermo();
-            }
-
-            {
-                let Simulation {
-                    observers,
-                    atoms,
-                    sim_box,
-                    masses,
-                    ..
-                } = self;
-                let ctx = StepContext {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.advance_one_step())) {
+                self.faulted = true;
+                return Err(RunError::Panicked {
                     step: self.step,
-                    atoms,
-                    sim_box,
-                    masses,
-                    n_rebuilds: self.n_rebuilds,
-                };
-                for obs in observers.iter_mut() {
-                    obs.on_step(&ctx);
-                }
+                    message: panic_payload_string(payload.as_ref()),
+                });
+            }
+            steps_taken += 1;
+            // Poll the observers' fault channel (allocation-free: the
+            // default impl returns None without touching the heap).
+            fault = self.observers.iter().find_map(|o| o.fault());
+            if fault.is_some() {
+                break;
             }
         }
         // Always record the final state so callers can inspect conservation.
@@ -515,23 +790,40 @@ impl<P: Potential> Simulation<P> {
             .observer::<EnergyDrift>()
             .map(|d| (d.max_relative_drift(), d.last_relative_drift()))
             .unwrap_or((0.0, 0.0));
+        let status = match &fault {
+            None => RunStatus::Completed,
+            Some(f) => RunStatus::Diverged {
+                step: f.step,
+                reason: f.reason.clone(),
+            },
+        };
+        let warnings: Vec<String> = self.observers.iter().flat_map(|o| o.warnings()).collect();
         let wall_seconds = wall_start.elapsed().as_secs_f64();
         let report = RunReport {
-            steps: n_steps,
+            steps: steps_taken,
             total_steps: self.step,
             rebuilds: self.n_rebuilds - rebuilds_before,
             total_rebuilds: self.n_rebuilds,
             wall_seconds,
-            ns_per_day: run_ns_per_day(self.timestep, n_steps, wall_seconds),
+            ns_per_day: run_ns_per_day(self.timestep, steps_taken, wall_seconds),
             max_drift,
             last_drift,
             final_thermo: self.last_thermo,
             timers: self.timers.clone(),
+            status,
+            warnings,
         };
         for obs in &mut self.observers {
             obs.on_finish(&report);
         }
-        report
+        match fault {
+            None => Ok(report),
+            Some(f) => Err(RunError::Diverged {
+                step: f.step,
+                reason: f.reason,
+                report: Box::new(report),
+            }),
+        }
     }
 
     /// Initialize velocities to a temperature (convenience wrapper).

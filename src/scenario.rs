@@ -20,18 +20,25 @@
 //! typo in a spec file fails loudly instead of silently running defaults.
 
 use crate::json::{obj, parse, Json};
+use md_core::checkpoint::{Checkpoint, CheckpointWriter};
 use md_core::dump::XyzDump;
+use md_core::fault::{FaultKind, FaultPlan};
+use md_core::health::{HealthGuard, HealthSettings};
 use md_core::lattice::Lattice;
 use md_core::observer::RunReport;
 use md_core::potential::Potential;
-use md_core::simulation::{BuildError, Simulation};
+use md_core::runtime::{panic_payload_string, ParallelRuntime};
+use md_core::simulation::{BuildError, RunError, Simulation};
 use md_core::thermo::ThermoState;
 use md_core::timer::Stage;
 use md_core::units;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::Duration;
 use tersoff::driver::{make_potential, BackendImpl, ExecutionMode, Scheme, TersoffOptions};
 use tersoff::params::TersoffParams;
 
@@ -50,6 +57,18 @@ pub enum ScenarioError {
     Parse(String),
     /// The described simulation failed validation in the builder.
     Build(BuildError),
+    /// A variant's execution did not complete cleanly (diverged, panicked
+    /// or timed out) — produced by the compatibility wrapper
+    /// [`Scenario::execute`]; [`Scenario::execute_with`] reports the same
+    /// condition per-variant instead of failing the batch.
+    Run {
+        /// The variant's options label.
+        label: String,
+        /// How the variant ended.
+        status: VariantStatus,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -58,6 +77,11 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Io { path, error } => write!(f, "{path}: {error}"),
             ScenarioError::Parse(msg) => write!(f, "{msg}"),
             ScenarioError::Build(e) => write!(f, "invalid simulation: {e}"),
+            ScenarioError::Run {
+                label,
+                status,
+                message,
+            } => write!(f, "{label}: {status}: {message}"),
         }
     }
 }
@@ -272,6 +296,93 @@ pub struct MatrixSpec {
     pub threads: Vec<usize>,
 }
 
+/// Optional numerical health guard: a [`HealthGuard`] observer aborting the
+/// run on non-finite state or violated temperature/displacement bounds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HealthSpec {
+    /// Check cadence in steps (default 1; 0 disables the per-step scans but
+    /// keeps the thermo-sample checks).
+    pub every: u64,
+    /// Abort when the sampled temperature exceeds this bound (K).
+    pub max_temperature: Option<f64>,
+    /// Abort when any atom moves further than this between two checks (Å).
+    pub max_displacement: Option<f64>,
+}
+
+impl HealthSpec {
+    /// The md-core settings this spec describes.
+    pub fn settings(&self) -> HealthSettings {
+        HealthSettings {
+            every: self.every,
+            max_temperature: self.max_temperature,
+            max_displacement: self.max_displacement,
+        }
+    }
+}
+
+/// Optional checkpointing: a [`CheckpointWriter`] observer saving a
+/// bit-exact [`Checkpoint`] every `every` steps, and the file
+/// [`RunPolicy::resume`] restarts from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSpec {
+    /// Checkpoint file. Matrix variants write
+    /// `<stem>_<mode>_t<threads>.<ext>` (like `dump.path`).
+    pub path: String,
+    /// Checkpoint interval in steps (must be positive).
+    pub every: u64,
+}
+
+/// Test-only fault injection (see [`md_core::fault`]): makes a chosen step
+/// of matching variants panic or go NaN so CI can prove batch isolation.
+/// The `TERSOFF_FAULT` environment variable (`kind@step[@variant]`)
+/// overrides this field from the `tersoff-run` CLI.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// What to inject (`panic` or `nan`).
+    pub kind: FaultKind,
+    /// The step at whose start the fault fires.
+    pub step: u64,
+    /// Only inject into variants whose options label contains this
+    /// substring (e.g. `"Ref"` or `"t4"`); `None` = every variant.
+    pub variant: Option<String>,
+}
+
+impl FaultSpec {
+    /// Parse the `TERSOFF_FAULT` environment override:
+    /// `kind@step[@variant-substring]`, e.g. `panic@5` or `nan@3@Ref`.
+    pub fn parse_env(text: &str) -> Result<FaultSpec, String> {
+        let mut parts = text.splitn(3, '@');
+        let kind: FaultKind = parts.next().unwrap_or("").parse()?;
+        let step = parts
+            .next()
+            .ok_or_else(|| format!("missing step in fault spec {text:?} (kind@step[@variant])"))?
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| format!("invalid step in fault spec {text:?}: {e}"))?;
+        let variant = parts
+            .next()
+            .map(|s| s.to_string())
+            .filter(|s| !s.is_empty());
+        Ok(FaultSpec {
+            kind,
+            step,
+            variant,
+        })
+    }
+
+    /// Does this fault apply to the variant with the given options label?
+    pub fn applies_to(&self, label: &str) -> bool {
+        self.variant
+            .as_deref()
+            .is_none_or(|needle| label.contains(needle))
+    }
+
+    /// The md-core injection plan.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new(self.kind, self.step)
+    }
+}
+
 /// A complete, serializable experiment description.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -291,6 +402,12 @@ pub struct Scenario {
     pub matrix: Option<MatrixSpec>,
     /// Declared bound on |ΔE/E₀|; violations fail `tersoff-run`.
     pub max_drift: Option<f64>,
+    /// Optional numerical health guard.
+    pub health: Option<HealthSpec>,
+    /// Optional periodic checkpointing.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Test-only fault injection.
+    pub fault: Option<FaultSpec>,
 }
 
 /// One (mode, threads) point of a scenario's matrix.
@@ -300,6 +417,65 @@ pub struct Variant {
     pub mode: ExecutionMode,
     /// Requested engine threads (0 = all CPUs).
     pub threads: usize,
+}
+
+/// How one variant of a batch ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum VariantStatus {
+    /// Ran to completion within bounds.
+    Ok,
+    /// A health guard aborted the run (deterministic step and reason).
+    Diverged,
+    /// A panic unwound out of the run; the shared runtime self-healed and
+    /// was reused by later variants.
+    Panicked,
+    /// The wall-clock timeout expired (the worker thread is abandoned and
+    /// its runtime handle discarded).
+    Timeout,
+    /// The variant could not be set up (build or IO error).
+    Failed,
+}
+
+impl VariantStatus {
+    /// Stable lower-case name used in report JSON and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            VariantStatus::Ok => "ok",
+            VariantStatus::Diverged => "diverged",
+            VariantStatus::Panicked => "panicked",
+            VariantStatus::Timeout => "timeout",
+            VariantStatus::Failed => "failed",
+        }
+    }
+}
+
+impl fmt::Display for VariantStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How [`Scenario::execute_with`] runs a batch: per-variant isolation,
+/// retries, timeout and resume.
+#[derive(Clone, Debug, Default)]
+pub struct RunPolicy {
+    /// Cap on the number of steps (e.g. `tersoff-run --steps-cap`).
+    pub steps_cap: Option<u64>,
+    /// Re-run a panicked / timed-out / failed variant up to this many extra
+    /// times from fresh seed-deterministic state (divergence is
+    /// deterministic, so diverged variants are not retried).
+    pub retries: u32,
+    /// Continue with the remaining variants after a failure instead of
+    /// stopping the batch.
+    pub keep_going: bool,
+    /// Wall-clock budget per attempt; on expiry the attempt's thread is
+    /// abandoned and the variant reports [`VariantStatus::Timeout`].
+    pub timeout: Option<Duration>,
+    /// Fault injection override (the `TERSOFF_FAULT` environment variable
+    /// parsed by the CLI); wins over the scenario's `fault` field.
+    pub fault_override: Option<FaultSpec>,
+    /// Resume each variant from its checkpoint file if one exists.
+    pub resume: bool,
 }
 
 /// The outcome of one executed variant.
@@ -312,12 +488,32 @@ pub struct VariantReport {
     pub resolved_threads: usize,
     /// The options label ("Opt-M/1b/w16/t2").
     pub label: String,
+    /// How the variant ended.
+    pub status: VariantStatus,
+    /// Attempts used (1 = first try; > 1 means retries happened).
+    pub attempts: u32,
+    /// The typed failure for non-`ok` statuses.
+    pub error: Option<ScenarioError>,
     /// The run report (steps, rebuilds, ns/day, drift, per-phase timers).
-    pub report: RunReport,
+    /// Present for `ok` and `diverged` (partial) outcomes.
+    pub report: Option<RunReport>,
     /// The recorded thermo trace.
     pub trace: Vec<ThermoState>,
     /// Trajectory dump written by this variant: `(path, frames)`.
     pub dump: Option<(PathBuf, u64)>,
+    /// Observer warnings (e.g. a disarmed trajectory dump).
+    pub warnings: Vec<String>,
+    /// The checkpoint step this run resumed from, if any.
+    pub resumed_from: Option<u64>,
+}
+
+impl VariantReport {
+    /// The run report, for callers that require a completed variant.
+    pub fn report(&self) -> &RunReport {
+        self.report
+            .as_ref()
+            .expect("variant did not produce a report")
+    }
 }
 
 /// The outcome of a whole scenario: every variant plus host facts.
@@ -361,6 +557,9 @@ impl Scenario {
                 "dump",
                 "matrix",
                 "max_drift",
+                "health",
+                "checkpoint",
+                "fault",
             ],
         )?;
         let name = req_str(top, "name", "scenario")?;
@@ -537,6 +736,87 @@ impl Scenario {
             ),
         };
 
+        let health = match top.get("health") {
+            None | Some(Json::Null) => None,
+            Some(h) => {
+                let h = expect_obj(h, "health")?;
+                check_keys(
+                    h,
+                    "health",
+                    &["every", "max_temperature", "max_displacement"],
+                )?;
+                let opt_bound = |key: &str| -> Result<Option<f64>, ScenarioError> {
+                    match h.get(key) {
+                        None | Some(Json::Null) => Ok(None),
+                        Some(v) => {
+                            let x = v.as_f64().ok_or_else(|| {
+                                ScenarioError::Parse(format!("health.{key} must be a number"))
+                            })?;
+                            if !x.is_finite() || x <= 0.0 {
+                                return Err(ScenarioError::Parse(format!(
+                                    "health.{key} must be a positive finite bound, got {x}"
+                                )));
+                            }
+                            Ok(Some(x))
+                        }
+                    }
+                };
+                let every = opt_u64(h, "every", 1, "health")?;
+                if every == 0 {
+                    return Err(ScenarioError::Parse(
+                        "health.every must be a positive number of steps".into(),
+                    ));
+                }
+                Some(HealthSpec {
+                    every,
+                    max_temperature: opt_bound("max_temperature")?,
+                    max_displacement: opt_bound("max_displacement")?,
+                })
+            }
+        };
+
+        let checkpoint = match top.get("checkpoint") {
+            None | Some(Json::Null) => None,
+            Some(c) => {
+                let c = expect_obj(c, "checkpoint")?;
+                check_keys(c, "checkpoint", &["path", "every"])?;
+                let path = req_str(c, "path", "checkpoint")?;
+                if path.is_empty() {
+                    return Err(ScenarioError::Parse(
+                        "checkpoint.path must be non-empty".into(),
+                    ));
+                }
+                let every = req_u64(c, "every", "checkpoint")?;
+                if every == 0 {
+                    return Err(ScenarioError::Parse(
+                        "checkpoint.every must be a positive number of steps".into(),
+                    ));
+                }
+                Some(CheckpointSpec { path, every })
+            }
+        };
+
+        let fault = match top.get("fault") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let v = expect_obj(v, "fault")?;
+                check_keys(v, "fault", &["kind", "step", "variant"])?;
+                let kind = parse_name(&req_str(v, "kind", "fault")?, "fault.kind")?;
+                let step = req_u64(v, "step", "fault")?;
+                let variant = match v.get("variant") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(s.as_str().map(|s| s.to_string()).ok_or_else(|| {
+                        ScenarioError::Parse("fault.variant must be a string".into())
+                    })?),
+                };
+                Some(FaultSpec {
+                    kind,
+                    step,
+                    variant,
+                })
+            }
+        };
+
         Ok(Scenario {
             name,
             description,
@@ -546,6 +826,9 @@ impl Scenario {
             dump,
             matrix,
             max_drift,
+            health,
+            checkpoint,
+            fault,
         })
     }
 
@@ -645,6 +928,35 @@ impl Scenario {
         if let Some(bound) = self.max_drift {
             top.push(("max_drift", Json::Num(bound)));
         }
+        if let Some(health) = &self.health {
+            let mut entry = vec![("every", Json::Num(health.every as f64))];
+            if let Some(t) = health.max_temperature {
+                entry.push(("max_temperature", Json::Num(t)));
+            }
+            if let Some(d) = health.max_displacement {
+                entry.push(("max_displacement", Json::Num(d)));
+            }
+            top.push(("health", obj(entry)));
+        }
+        if let Some(checkpoint) = &self.checkpoint {
+            top.push((
+                "checkpoint",
+                obj([
+                    ("path", Json::Str(checkpoint.path.clone())),
+                    ("every", Json::Num(checkpoint.every as f64)),
+                ]),
+            ));
+        }
+        if let Some(fault) = &self.fault {
+            let mut entry = vec![
+                ("kind", Json::Str(fault.kind.to_string())),
+                ("step", Json::Num(fault.step as f64)),
+            ];
+            if let Some(variant) = &fault.variant {
+                entry.push(("variant", Json::Str(variant.clone())));
+            }
+            top.push(("fault", obj(entry)));
+        }
         obj(top).pretty()
     }
 
@@ -729,14 +1041,45 @@ impl Scenario {
     /// scenario multi-variant (so variants do not clobber each other).
     pub fn dump_path_for(&self, variant: Variant) -> Option<PathBuf> {
         let dump = self.dump.as_ref()?;
-        let base = Path::new(&dump.path);
+        Some(self.variant_path(&dump.path, variant, "dump", "xyz"))
+    }
+
+    /// The checkpoint file one variant writes (and resumes from), suffixed
+    /// per-variant exactly like [`Scenario::dump_path_for`].
+    pub fn checkpoint_path_for(&self, variant: Variant) -> Option<PathBuf> {
+        let checkpoint = self.checkpoint.as_ref()?;
+        Some(self.variant_path(&checkpoint.path, variant, "checkpoint", "json"))
+    }
+
+    fn variant_path(
+        &self,
+        base: &str,
+        variant: Variant,
+        default_stem: &str,
+        default_ext: &str,
+    ) -> PathBuf {
+        let base = Path::new(base);
         if self.matrix.is_none() {
-            return Some(base.to_path_buf());
+            return base.to_path_buf();
         }
-        let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("dump");
-        let ext = base.extension().and_then(|e| e.to_str()).unwrap_or("xyz");
+        let stem = base
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(default_stem);
+        let ext = base
+            .extension()
+            .and_then(|e| e.to_str())
+            .unwrap_or(default_ext);
         let file = format!("{stem}_{}_t{}.{ext}", variant.mode.label(), variant.threads);
-        Some(base.with_file_name(file))
+        base.with_file_name(file)
+    }
+
+    /// The fault (if any) that applies to `variant` under `policy`: the
+    /// policy's override (the `TERSOFF_FAULT` environment variable) wins
+    /// over the scenario's declared `fault` field.
+    fn fault_for(&self, label: &str, policy: &RunPolicy) -> Option<FaultPlan> {
+        let spec = policy.fault_override.as_ref().or(self.fault.as_ref())?;
+        spec.applies_to(label).then(|| spec.plan())
     }
 
     /// Build the simulation of one variant through
@@ -747,6 +1090,18 @@ impl Scenario {
     pub fn build_simulation(
         &self,
         variant: Variant,
+    ) -> Result<Simulation<Box<dyn Potential>>, ScenarioError> {
+        self.build_simulation_with(variant, None, None, None)
+    }
+
+    /// [`Scenario::build_simulation`] with batch-execution extras: run on a
+    /// shared `runtime`, inject `fault`, or restore a `resume` checkpoint.
+    fn build_simulation_with(
+        &self,
+        variant: Variant,
+        runtime: Option<&ParallelRuntime>,
+        fault: Option<FaultPlan>,
+        resume: Option<Checkpoint>,
     ) -> Result<Simulation<Box<dyn Potential>>, ScenarioError> {
         let (sim_box, atoms) = self
             .system
@@ -760,6 +1115,24 @@ impl Scenario {
             .masses(self.potential.params.masses())
             .temperature(self.system.temperature, self.system.velocity_seed)
             .thermo_every(self.run.thermo_every);
+        if let Some(rt) = runtime {
+            builder = builder.runtime(rt);
+        }
+        if let Some(plan) = fault {
+            builder = builder.inject_fault(plan);
+        }
+        if let Some(checkpoint) = resume {
+            builder = builder.resume_from(checkpoint);
+        }
+        if let Some(health) = &self.health {
+            builder = builder.observe(HealthGuard::new(health.settings()));
+        }
+        if let Some(checkpoint) = &self.checkpoint {
+            let path = self
+                .checkpoint_path_for(variant)
+                .expect("checkpoint path exists when checkpointing is declared");
+            builder = builder.observe(CheckpointWriter::new(path, checkpoint.every));
+        }
         if let Some(dump) = &self.dump {
             let path = self
                 .dump_path_for(variant)
@@ -779,50 +1152,274 @@ impl Scenario {
         Ok(sim)
     }
 
+    /// One attempt at one variant, run to a [`VariantReport`] whatever
+    /// happens: build errors, panics and health aborts all land in
+    /// `status`/`error` instead of unwinding into the batch loop.
+    fn attempt_variant(
+        &self,
+        variant: Variant,
+        steps: u64,
+        policy: &RunPolicy,
+        runtime: Option<&ParallelRuntime>,
+    ) -> VariantReport {
+        let label = self.options_for(variant).label();
+        let mut out = VariantReport {
+            variant,
+            resolved_threads: md_core::runtime::resolve_threads(variant.threads),
+            label: label.clone(),
+            status: VariantStatus::Failed,
+            attempts: 1,
+            error: None,
+            report: None,
+            trace: Vec::new(),
+            dump: None,
+            warnings: Vec::new(),
+            resumed_from: None,
+        };
+
+        let resume = if policy.resume {
+            match self.checkpoint_path_for(variant) {
+                Some(path) if path.exists() => match Checkpoint::load(&path) {
+                    Ok(cp) => {
+                        out.resumed_from = Some(cp.step);
+                        Some(cp)
+                    }
+                    Err(e) => {
+                        out.error = Some(ScenarioError::Io {
+                            path: path.display().to_string(),
+                            error: e.to_string(),
+                        });
+                        return out;
+                    }
+                },
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let fault = self.fault_for(&label, policy);
+
+        // The whole attempt runs under catch_unwind: try_run already
+        // contains per-step panics, this contains everything else (e.g. a
+        // build-time panic) so one variant can never abort the batch.
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            let mut sim = self.build_simulation_with(variant, runtime, fault, resume)?;
+            let remaining = steps.saturating_sub(sim.step);
+            let run_result = sim.try_run(remaining);
+            let dump = sim
+                .observer::<XyzDump>()
+                .map(|d| (d.path().to_path_buf(), d.frames_written()));
+            let trace = sim.thermo_history().to_vec();
+            Ok::<_, ScenarioError>((run_result, trace, dump))
+        }));
+        match attempt {
+            Err(payload) => {
+                out.status = VariantStatus::Panicked;
+                out.error = Some(ScenarioError::Run {
+                    label,
+                    status: VariantStatus::Panicked,
+                    message: panic_payload_string(payload.as_ref()),
+                });
+            }
+            Ok(Err(e)) => {
+                out.status = VariantStatus::Failed;
+                out.error = Some(e);
+            }
+            Ok(Ok((run_result, trace, dump))) => {
+                out.trace = trace;
+                out.dump = dump;
+                match run_result {
+                    Ok(report) => {
+                        out.status = VariantStatus::Ok;
+                        out.warnings = report.warnings.clone();
+                        out.report = Some(report);
+                    }
+                    Err(RunError::Diverged {
+                        step,
+                        reason,
+                        report,
+                    }) => {
+                        out.status = VariantStatus::Diverged;
+                        out.warnings = report.warnings.clone();
+                        out.report = Some(*report);
+                        out.error = Some(ScenarioError::Run {
+                            label,
+                            status: VariantStatus::Diverged,
+                            message: format!("step {step}: {reason}"),
+                        });
+                    }
+                    Err(RunError::Panicked { step, message }) => {
+                        out.status = VariantStatus::Panicked;
+                        out.error = Some(ScenarioError::Run {
+                            label,
+                            status: VariantStatus::Panicked,
+                            message: format!("step {step}: {message}"),
+                        });
+                    }
+                    Err(RunError::AlreadyFaulted) => {
+                        out.status = VariantStatus::Failed;
+                        out.error = Some(ScenarioError::Run {
+                            label,
+                            status: VariantStatus::Failed,
+                            message: RunError::AlreadyFaulted.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// [`Scenario::attempt_variant`] under the policy's wall-clock budget:
+    /// the attempt runs on a worker thread and an expired budget abandons
+    /// that thread (documented leak — the detached worker may finish later,
+    /// its results discarded) and reports [`VariantStatus::Timeout`].
+    fn attempt_with_timeout(
+        &self,
+        variant: Variant,
+        steps: u64,
+        policy: &RunPolicy,
+        runtime: Option<ParallelRuntime>,
+    ) -> VariantReport {
+        let Some(limit) = policy.timeout else {
+            return self.attempt_variant(variant, steps, policy, runtime.as_ref());
+        };
+        let (tx, rx) = mpsc::channel();
+        let scenario = self.clone();
+        let policy = policy.clone();
+        std::thread::spawn(move || {
+            let report = scenario.attempt_variant(variant, steps, &policy, runtime.as_ref());
+            let _ = tx.send(report);
+        });
+        match rx.recv_timeout(limit) {
+            Ok(report) => report,
+            Err(_) => {
+                let label = self.options_for(variant).label();
+                VariantReport {
+                    variant,
+                    resolved_threads: md_core::runtime::resolve_threads(variant.threads),
+                    label: label.clone(),
+                    status: VariantStatus::Timeout,
+                    attempts: 1,
+                    error: Some(ScenarioError::Run {
+                        label,
+                        status: VariantStatus::Timeout,
+                        message: format!(
+                            "exceeded the wall-clock budget of {:.1} s",
+                            limit.as_secs_f64()
+                        ),
+                    }),
+                    report: None,
+                    trace: Vec::new(),
+                    dump: None,
+                    warnings: Vec::new(),
+                    resumed_from: None,
+                }
+            }
+        }
+    }
+
+    /// Run one variant in isolation with retries, on (and proving the
+    /// reusability of) the batch's shared per-thread-count runtimes.
+    fn run_variant_isolated(
+        &self,
+        variant: Variant,
+        steps: u64,
+        policy: &RunPolicy,
+        runtimes: &mut BTreeMap<usize, ParallelRuntime>,
+    ) -> VariantReport {
+        let resolved = md_core::runtime::resolve_threads(variant.threads);
+        let mut last = None;
+        for attempt in 0..=policy.retries {
+            // One runtime per resolved thread count, shared across variants
+            // and retries: a variant that panicked must not poison the
+            // worker team the next variant runs on.
+            let runtime = runtimes
+                .entry(resolved)
+                .or_insert_with(|| ParallelRuntime::new(variant.threads))
+                .clone();
+            let mut report = self.attempt_with_timeout(variant, steps, policy, Some(runtime));
+            report.attempts = attempt + 1;
+            match report.status {
+                // Divergence is deterministic — a retry would reproduce it
+                // bit for bit, so don't waste the attempts.
+                VariantStatus::Ok | VariantStatus::Diverged => return report,
+                VariantStatus::Timeout => {
+                    // The abandoned worker thread may still hold the pool;
+                    // evict the handle so the next job gets a fresh team.
+                    runtimes.remove(&resolved);
+                }
+                VariantStatus::Panicked | VariantStatus::Failed => {}
+            }
+            last = Some(report);
+        }
+        last.expect("at least one attempt ran")
+    }
+
     /// Run one variant for `steps` (normally `self.run.steps`, possibly
-    /// capped by the caller).
+    /// capped by the caller). Compatibility wrapper over the policy-driven
+    /// path: any non-`ok` outcome is returned as the typed error.
     pub fn run_variant(
         &self,
         variant: Variant,
         steps: u64,
     ) -> Result<VariantReport, ScenarioError> {
-        let options = self.options_for(variant);
-        let mut sim = self.build_simulation(variant)?;
-        let report = sim.run(steps);
-        let dump = match sim.observer::<XyzDump>() {
-            None => None,
-            Some(d) => {
-                if let Some(error) = d.error() {
-                    return Err(ScenarioError::Io {
-                        path: d.path().display().to_string(),
-                        error: error.to_string(),
-                    });
-                }
-                Some((d.path().to_path_buf(), d.frames_written()))
-            }
-        };
-        Ok(VariantReport {
-            variant,
-            resolved_threads: md_core::runtime::resolve_threads(variant.threads),
-            label: options.label(),
-            report,
-            trace: sim.thermo_history().to_vec(),
-            dump,
-        })
+        let policy = RunPolicy::default();
+        let report = self.run_variant_isolated(variant, steps, &policy, &mut BTreeMap::new());
+        match report.status {
+            VariantStatus::Ok => Ok(report),
+            status => Err(report.error.clone().unwrap_or(ScenarioError::Run {
+                label: report.label.clone(),
+                status,
+                message: "variant did not complete".into(),
+            })),
+        }
     }
 
     /// Execute every variant. `steps_cap` (e.g. from `tersoff-run
     /// --steps-cap`) limits the run length for smoke testing.
+    /// Compatibility wrapper over [`Scenario::execute_with`]: the first
+    /// non-`ok` variant fails the whole scenario with its typed error.
     pub fn execute(&self, steps_cap: Option<u64>) -> Result<ScenarioReport, ScenarioError> {
-        let steps = match steps_cap {
+        let report = self.execute_with(&RunPolicy {
+            steps_cap,
+            ..RunPolicy::default()
+        })?;
+        if let Some(v) = report
+            .variants
+            .iter()
+            .find(|v| v.status != VariantStatus::Ok)
+        {
+            return Err(v.error.clone().unwrap_or(ScenarioError::Run {
+                label: v.label.clone(),
+                status: v.status,
+                message: "variant did not complete".into(),
+            }));
+        }
+        Ok(report)
+    }
+
+    /// Execute every variant under a [`RunPolicy`]: per-variant panic
+    /// isolation, retries, optional wall-clock timeout, checkpoint resume
+    /// and `keep_going`. Never fails the batch — each variant's outcome is
+    /// its `status` in the returned report. Without `keep_going`, the batch
+    /// stops after the first non-`ok` variant (already-run variants are
+    /// reported either way).
+    pub fn execute_with(&self, policy: &RunPolicy) -> Result<ScenarioReport, ScenarioError> {
+        let steps = match policy.steps_cap {
             Some(cap) => self.run.steps.min(cap),
             None => self.run.steps,
         };
-        let variants = self
-            .variants()
-            .into_iter()
-            .map(|v| self.run_variant(v, steps))
-            .collect::<Result<Vec<_>, _>>()?;
+        let mut runtimes = BTreeMap::new();
+        let mut variants = Vec::new();
+        for v in self.variants() {
+            let report = self.run_variant_isolated(v, steps, policy, &mut runtimes);
+            let stop = report.status != VariantStatus::Ok && !policy.keep_going;
+            variants.push(report);
+            if stop {
+                break;
+            }
+        }
         Ok(ScenarioReport {
             scenario: self.clone(),
             steps,
@@ -857,11 +1454,12 @@ impl ScenarioReport {
         };
         self.variants
             .iter()
-            .filter(|v| v.report.max_drift > bound)
-            .map(|v| {
+            .filter_map(|v| v.report.as_ref().map(|r| (v, r)))
+            .filter(|(_, r)| r.max_drift > bound)
+            .map(|(v, r)| {
                 format!(
                     "{}: |ΔE/E₀| = {:.3e} exceeds declared bound {bound:.3e}",
-                    v.label, v.report.max_drift
+                    v.label, r.max_drift
                 )
             })
             .collect()
@@ -876,38 +1474,65 @@ impl ScenarioReport {
         let ref_seconds: BTreeMap<usize, f64> = self
             .variants
             .iter()
-            .filter(|v| v.variant.mode == ExecutionMode::Ref)
-            .map(|v| (v.resolved_threads, v.report.seconds_per_step()))
+            .filter(|v| v.variant.mode == ExecutionMode::Ref && v.status == VariantStatus::Ok)
+            .filter_map(|v| {
+                v.report
+                    .as_ref()
+                    .map(|r| (v.resolved_threads, r.seconds_per_step()))
+            })
             .collect();
         let series: Vec<Json> = self
             .variants
             .iter()
             .map(|v| {
-                let seconds = v.report.seconds_per_step();
                 let mut entry = vec![
                     ("mode", Json::Str(v.variant.mode.to_string())),
                     ("scheme", Json::Str(s.potential.scheme.to_string())),
                     ("threads", Json::Num(v.resolved_threads as f64)),
                     ("label", Json::Str(v.label.clone())),
-                    ("seconds_per_step", Json::Num(seconds)),
-                    ("ns_per_day", Json::Num(v.report.ns_per_day)),
-                    ("max_drift", Json::Num(v.report.max_drift)),
-                    ("rebuilds", Json::Num(v.report.total_rebuilds as f64)),
-                    ("final_total_energy", Json::Num(v.report.final_thermo.total)),
-                    (
-                        // Per-phase breakdown (force / neighbor / comm /
-                        // integrate / other) so the runtime-parallel phases
-                        // are measurable from the report alone.
-                        "timers",
-                        obj(Stage::ALL
-                            .iter()
-                            .map(|&stage| (stage.name(), Json::Num(v.report.timers.seconds(stage))))
-                            .collect::<Vec<_>>()),
-                    ),
+                    ("status", Json::Str(v.status.to_string())),
+                    ("attempts", Json::Num(v.attempts as f64)),
                 ];
-                if let Some(&r) = ref_seconds.get(&v.resolved_threads) {
-                    if seconds > 0.0 {
-                        entry.push(("speedup_vs_ref", Json::Num(r / seconds)));
+                if let Some(step) = v.resumed_from {
+                    entry.push(("resumed_from", Json::Num(step as f64)));
+                }
+                if let Some(error) = &v.error {
+                    entry.push(("error", Json::Str(error.to_string())));
+                }
+                if !v.warnings.is_empty() {
+                    entry.push((
+                        "warnings",
+                        Json::Arr(v.warnings.iter().map(|w| Json::Str(w.clone())).collect()),
+                    ));
+                }
+                // Metrics only for variants that produced a report (ok, or
+                // the partial report of a diverged run) — bench_diff skips
+                // non-ok entries entirely.
+                if let Some(report) = &v.report {
+                    let seconds = report.seconds_per_step();
+                    entry.extend([
+                        ("seconds_per_step", Json::Num(seconds)),
+                        ("ns_per_day", Json::Num(report.ns_per_day)),
+                        ("max_drift", Json::Num(report.max_drift)),
+                        ("rebuilds", Json::Num(report.total_rebuilds as f64)),
+                        ("final_total_energy", Json::Num(report.final_thermo.total)),
+                        (
+                            // Per-phase breakdown (force / neighbor / comm /
+                            // integrate / other) so the runtime-parallel
+                            // phases are measurable from the report alone.
+                            "timers",
+                            obj(Stage::ALL
+                                .iter()
+                                .map(|&stage| {
+                                    (stage.name(), Json::Num(report.timers.seconds(stage)))
+                                })
+                                .collect::<Vec<_>>()),
+                        ),
+                    ]);
+                    if let Some(&r) = ref_seconds.get(&v.resolved_threads) {
+                        if seconds > 0.0 && v.status == VariantStatus::Ok {
+                            entry.push(("speedup_vs_ref", Json::Num(r / seconds)));
+                        }
                     }
                 }
                 obj(entry)
@@ -1106,6 +1731,9 @@ mod tests {
                 threads: vec![1, 2],
             }),
             max_drift: Some(1e-3),
+            health: None,
+            checkpoint: None,
+            fault: None,
         }
     }
 
@@ -1120,6 +1748,59 @@ mod tests {
         bare.matrix = None;
         bare.max_drift = None;
         assert_eq!(Scenario::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn fault_tolerance_fields_round_trip() {
+        let mut s = sample();
+        s.health = Some(HealthSpec {
+            every: 10,
+            max_temperature: Some(1e5),
+            max_displacement: Some(0.5),
+        });
+        s.checkpoint = Some(CheckpointSpec {
+            path: "state.ckpt".into(),
+            every: 50,
+        });
+        s.fault = Some(FaultSpec {
+            kind: FaultKind::Panic,
+            step: 5,
+            variant: Some("Ref".into()),
+        });
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+        // Bounds left out round-trip as absent, not as defaults.
+        s.health = Some(HealthSpec {
+            every: 1,
+            max_temperature: None,
+            max_displacement: None,
+        });
+        s.fault = Some(FaultSpec {
+            kind: FaultKind::Nan,
+            step: 0,
+            variant: None,
+        });
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn invalid_fault_tolerance_fields_are_rejected() {
+        let with = |patch: &str| {
+            let text = sample().to_json();
+            let insert = format!("{patch},\n  \"max_drift\"");
+            Scenario::from_json(&text.replace("\"max_drift\"", &insert))
+        };
+        // Non-positive / non-finite health bounds fail loudly.
+        let err = with("\"health\": {\"max_temperature\": -5.0}").unwrap_err();
+        assert!(err.to_string().contains("max_temperature"), "{err}");
+        let err = with("\"health\": {\"every\": 0}").unwrap_err();
+        assert!(err.to_string().contains("every"), "{err}");
+        let err = with("\"checkpoint\": {\"path\": \"x\", \"every\": 0}").unwrap_err();
+        assert!(err.to_string().contains("every"), "{err}");
+        let err = with("\"fault\": {\"kind\": \"segfault\", \"step\": 1}").unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+        // Unknown keys inside the nested specs are typos, not extensions.
+        let err = with("\"health\": {\"max_temp\": 10.0}").unwrap_err();
+        assert!(err.to_string().contains("max_temp"), "{err}");
     }
 
     #[test]
@@ -1275,7 +1956,7 @@ mod tests {
         s.matrix = None;
         let report = s.execute(Some(3)).unwrap();
         assert_eq!(report.steps, 3);
-        assert_eq!(report.variants[0].report.total_steps, 3);
+        assert_eq!(report.variants[0].report().total_steps, 3);
     }
 
     #[test]

@@ -46,6 +46,9 @@ fn sample_scenario() -> Scenario {
         dump: None,
         matrix: None,
         max_drift: Some(1e-3),
+        health: None,
+        checkpoint: None,
+        fault: None,
     }
 }
 
@@ -157,7 +160,7 @@ fn shipped_scenarios_load_and_run_briefly() {
         assert_eq!(outcome.steps, 2);
         for v in &outcome.variants {
             assert!(
-                v.report.final_thermo.potential < 0.0,
+                v.report().final_thermo.potential < 0.0,
                 "{}: {} ended unbound",
                 path.display(),
                 v.label
