@@ -118,6 +118,13 @@ fn parallelism(r: &Json) -> u64 {
 /// Compare one baseline report against one current report, printing the
 /// markdown table. Returns `(failures, warnings)`; failures only count when
 /// the gate is armed (host fingerprints match, or `--strict`).
+/// Direction of regression for a metric: time-like metrics regress when
+/// they grow; rate-like metrics (speedups, ns/day, the throughput gate's
+/// `*_per_hour` rates) regress when they shrink.
+fn larger_is_worse(metric: &str) -> bool {
+    !metric.starts_with("speedup") && metric != "ns_per_day" && !metric.ends_with("_per_hour")
+}
+
 fn compare_reports(baseline: &Json, current: &Json, args: &Args) -> Result<(usize, usize), String> {
     let base_metrics = series_metrics(baseline, &args.metric)?;
     let cur_metrics = series_metrics(current, &args.metric)?;
@@ -147,8 +154,7 @@ fn compare_reports(baseline: &Json, current: &Json, args: &Args) -> Result<(usiz
     println!("| mode | threads | baseline | current | Δ | status |");
     println!("|------|---------|----------|---------|----|--------|");
 
-    // For time-like metrics larger is worse; for speedups larger is better.
-    let larger_is_worse = !args.metric.starts_with("speedup") && args.metric != "ns_per_day";
+    let larger_is_worse = larger_is_worse(&args.metric);
 
     let mut failures = 0usize;
     let mut warnings = 0usize;
@@ -490,6 +496,19 @@ mod tests {
         assert_eq!(arr[5].as_str(), Some("x\n\"y\""));
         assert!(parse_json("{\"unterminated\": ").is_err());
         assert!(parse_json("[1,] trailing").is_err());
+    }
+
+    #[test]
+    fn regression_direction_follows_the_metric() {
+        // Time-like: growing is a regression.
+        assert!(larger_is_worse("seconds_per_step"));
+        assert!(larger_is_worse("seconds_per_scenario"));
+        assert!(larger_is_worse("max_drift"));
+        // Rate-like: shrinking is a regression.
+        assert!(!larger_is_worse("speedup_vs_ref"));
+        assert!(!larger_is_worse("ns_per_day"));
+        assert!(!larger_is_worse("scenarios_per_hour"));
+        assert!(!larger_is_worse("variants_per_hour"));
     }
 
     #[test]

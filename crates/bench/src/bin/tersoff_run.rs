@@ -1,15 +1,17 @@
-//! `tersoff-run` — the scenario batch runner.
+//! `tersoff-run` — the scenario batch runner, as a job-engine client.
 //!
 //! Loads one scenario file or every `*.json` in a directory, optionally
-//! expands each scenario's declared mode×threads matrix, runs every variant
-//! through the `SimulationBuilder` API, prints a per-variant table, and
-//! writes one `BENCH_scenario_<name>.json` report per scenario in the same
-//! shape the `bench_diff` regression gate consumes.
+//! expands each scenario's declared mode×threads matrix, submits every
+//! variant to one shared `JobEngine` (one runtime pool, one artifact cache
+//! for the whole invocation), prints a per-variant table, and writes one
+//! `BENCH_scenario_<name>.json` report per scenario in the same shape the
+//! `bench_diff` regression gate consumes.
 //!
 //! ```text
 //! tersoff-run <scenario.json | scenarios-dir>... [--steps-cap N]
 //!             [--no-matrix] [--list] [--quiet] [--keep-going]
 //!             [--retries N] [--timeout-secs S] [--resume]
+//!             [--jobs N] [--throughput]
 //! ```
 //!
 //! * `--steps-cap N`    run at most N steps per variant (CI smoke runs)
@@ -20,6 +22,11 @@
 //! * `--retries N`      retry panicked/timed-out variants up to N extra times
 //! * `--timeout-secs S` wall-clock budget per variant attempt
 //! * `--resume`         resume each variant from its checkpoint file, if any
+//! * `--jobs N`         engine worker lanes: how many variants run
+//!   concurrently (results are bitwise independent of N)
+//! * `--throughput`     submit every variant of every scenario up front,
+//!   measure scenarios/hour at engine saturation, and write
+//!   `BENCH_throughput.json` (implies `--keep-going`)
 //!
 //! Every variant runs isolated: a panic or divergence in one job is caught,
 //! typed, and reported per-variant (`ok | diverged | panicked | timeout |
@@ -29,7 +36,8 @@
 //! matching variants, overriding any `fault` field in the scenario files.
 //!
 //! Exit codes distinguish the failure classes (worst one wins, in the order
-//! panic > timeout > health/drift > load):
+//! panic > timeout > health/drift > load) — the mapping lives in the
+//! library's `BatchSeverity`:
 //!
 //! * `0` every variant ok and within its drift bound
 //! * `2` usage error
@@ -39,7 +47,11 @@
 //! * `6` a variant exceeded its wall-clock budget
 
 use bench::write_bench_json;
-use lammps_tersoff_vector::scenario::{FaultSpec, RunPolicy, Scenario, VariantStatus};
+use lammps_tersoff_vector::scenario::{
+    measure_throughput, BatchSeverity, FaultSpec, RunPolicy, Scenario, ScenarioReport,
+    VariantStatus,
+};
+use md_core::jobs::{EngineConfig, JobEngine};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -54,13 +66,15 @@ struct Args {
     retries: u32,
     timeout_secs: Option<f64>,
     resume: bool,
+    jobs: usize,
+    throughput: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tersoff-run <scenario.json | dir>... [--steps-cap N] \
          [--no-matrix] [--list] [--quiet] [--keep-going] [--retries N] \
-         [--timeout-secs S] [--resume]"
+         [--timeout-secs S] [--resume] [--jobs N] [--throughput]"
     );
     std::process::exit(2);
 }
@@ -76,6 +90,8 @@ fn parse_args() -> Args {
         retries: 0,
         timeout_secs: None,
         resume: false,
+        jobs: 1,
+        throughput: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -101,11 +117,19 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--jobs" => {
+                out.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
             "--no-matrix" => out.no_matrix = true,
             "--list" => out.list = true,
             "--quiet" => out.quiet = true,
             "--keep-going" => out.keep_going = true,
             "--resume" => out.resume = true,
+            "--throughput" => out.throughput = true,
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => usage(),
             other => out.paths.push(PathBuf::from(other)),
@@ -117,42 +141,84 @@ fn parse_args() -> Args {
     out
 }
 
-/// Failure classes seen across the whole invocation; the exit code reports
-/// the worst one (panic > timeout > health/drift > load).
-#[derive(Default)]
-struct Severity {
-    load: bool,
-    health: bool,
-    panic: bool,
-    timeout: bool,
-}
-
-impl Severity {
-    fn record(&mut self, status: VariantStatus) {
-        match status {
-            VariantStatus::Ok => {}
-            VariantStatus::Diverged => self.health = true,
-            VariantStatus::Panicked => self.panic = true,
-            VariantStatus::Timeout => self.timeout = true,
-            VariantStatus::Failed => self.load = true,
+/// Print the per-variant table plus the engine/backend facts for one
+/// executed scenario.
+fn print_report(outcome: &ScenarioReport) {
+    println!(
+        "    vektor backend: {} ({}-granular dispatch, {} build)",
+        outcome.executed_backend, outcome.dispatch_granularity, outcome.compiled_isa
+    );
+    println!(
+        "    {:<20} {:>8} {:>9} {:>14} {:>12} {:>10} {:>10}",
+        "variant", "threads", "status", "s/step", "ns/day", "rebuilds", "drift"
+    );
+    for v in &outcome.variants {
+        match &v.report {
+            Some(report) => println!(
+                "    {:<20} {:>8} {:>9} {:>14.6} {:>12.3} {:>10} {:>10.2e}",
+                v.label,
+                v.resolved_threads,
+                v.status.name(),
+                report.seconds_per_step(),
+                report.ns_per_day,
+                report.total_rebuilds,
+                report.max_drift
+            ),
+            None => println!(
+                "    {:<20} {:>8} {:>9} {:>14} {:>12} {:>10} {:>10}",
+                v.label,
+                v.resolved_threads,
+                v.status.name(),
+                "-",
+                "-",
+                "-",
+                "-"
+            ),
+        }
+        if let Some(step) = v.resumed_from {
+            println!("    {:<20}   resumed from checkpoint step {step}", "");
+        }
+        for w in &v.warnings {
+            println!("    {:<20}   warning: {w}", "");
         }
     }
+}
 
-    fn any(&self) -> bool {
-        self.load || self.health || self.panic || self.timeout
+/// Fold one executed scenario into the invocation's severity and failure
+/// count, surface its errors and drift violations, and write its
+/// `BENCH_scenario_<name>.json` report.
+fn account_and_write(
+    outcome: &ScenarioReport,
+    quiet: bool,
+    severity: &mut BatchSeverity,
+    failures: &mut usize,
+) {
+    let name = &outcome.scenario.name;
+    for v in &outcome.variants {
+        severity.record(v.status);
+        if v.status != VariantStatus::Ok {
+            *failures += 1;
+            if let Some(error) = &v.error {
+                eprintln!("tersoff-run: {name}: {error}");
+            }
+        }
     }
-
-    fn exit_code(&self) -> ExitCode {
-        if self.panic {
-            ExitCode::from(5)
-        } else if self.timeout {
-            ExitCode::from(6)
-        } else if self.health {
-            ExitCode::from(4)
-        } else if self.load {
-            ExitCode::from(3)
-        } else {
-            ExitCode::SUCCESS
+    for violation in outcome.drift_violations() {
+        eprintln!("tersoff-run: {name}: DRIFT VIOLATION: {violation}");
+        severity.record_drift_violation();
+        *failures += 1;
+    }
+    let report_name = format!("scenario_{name}");
+    match write_bench_json(&report_name, &outcome.to_report_json()) {
+        Ok(out_path) => {
+            if !quiet {
+                println!("    wrote {out_path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("tersoff-run: {name}: cannot write report: {e}");
+            severity.record_load_failure();
+            *failures += 1;
         }
     }
 }
@@ -173,15 +239,18 @@ fn main() -> ExitCode {
         },
     };
     let policy = RunPolicy {
+        jobs: args.jobs,
         steps_cap: args.steps_cap,
         retries: args.retries,
-        keep_going: args.keep_going,
+        // Throughput measurement is a whole-batch rate: one failed variant
+        // must not starve the rest of the queue.
+        keep_going: args.keep_going || args.throughput,
         timeout: args.timeout_secs.map(Duration::from_secs_f64),
         fault_override,
         resume: args.resume,
     };
 
-    let mut severity = Severity::default();
+    let mut severity = BatchSeverity::new();
     let mut failures = 0usize;
 
     let mut scenarios: Vec<(PathBuf, Scenario)> = Vec::new();
@@ -189,15 +258,20 @@ fn main() -> ExitCode {
         match Scenario::discover(path) {
             Ok(found) if found.is_empty() => {
                 eprintln!("tersoff-run: {}: no *.json scenarios found", path.display());
-                severity.load = true;
+                severity.record_load_failure();
                 failures += 1;
             }
             Ok(found) => scenarios.extend(found),
             Err(e) => {
                 eprintln!("tersoff-run: {e}");
-                severity.load = true;
+                severity.record_load_failure();
                 failures += 1;
             }
+        }
+    }
+    if args.no_matrix {
+        for (_, s) in &mut scenarios {
+            s.matrix = None;
         }
     }
 
@@ -213,14 +287,61 @@ fn main() -> ExitCode {
                 path.display()
             );
         }
-        return severity.exit_code();
+        return ExitCode::from(severity.exit_code());
+    }
+
+    // One engine for the whole invocation: the runtime pool and artifact
+    // cache are shared across scenarios, so a repeated lattice or parameter
+    // set is only prepared once.
+    let engine = JobEngine::new(EngineConfig {
+        workers: args.jobs,
+        ..EngineConfig::default()
+    });
+
+    if args.throughput {
+        let (summary, reports) = match measure_throughput(&scenarios, &engine, &policy) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("tersoff-run: {e}");
+                severity.record_load_failure();
+                return ExitCode::from(severity.exit_code());
+            }
+        };
+        for (path, outcome) in &reports {
+            if !args.quiet {
+                println!("=== {} ({}) ===", outcome.scenario.name, path.display());
+                print_report(outcome);
+            }
+            account_and_write(outcome, args.quiet, &mut severity, &mut failures);
+            if !args.quiet {
+                println!();
+            }
+        }
+        match write_bench_json("throughput", &summary.to_report_json()) {
+            Ok(out_path) => println!("wrote {out_path}"),
+            Err(e) => {
+                eprintln!("tersoff-run: cannot write throughput report: {e}");
+                severity.record_load_failure();
+                failures += 1;
+            }
+        }
+        println!(
+            "{} scenario(s), {} variant(s) in {:.2} s at --jobs {}: \
+             {:.1} scenarios/hour, {:.1} variants/hour \
+             ({} cache hits, {} misses), {failures} failure(s).",
+            summary.scenarios,
+            summary.variants,
+            summary.wall_seconds,
+            summary.jobs,
+            summary.scenarios_per_hour,
+            summary.variants_per_hour,
+            summary.engine.cache.hits,
+            summary.engine.cache.misses,
+        );
+        return ExitCode::from(severity.exit_code());
     }
 
     for (path, scenario) in &scenarios {
-        let mut scenario = scenario.clone();
-        if args.no_matrix {
-            scenario.matrix = None;
-        }
         if !args.quiet {
             println!("=== {} ({}) ===", scenario.name, path.display());
             if !scenario.description.is_empty() {
@@ -238,98 +359,34 @@ fn main() -> ExitCode {
             );
         }
 
-        let outcome = match scenario.execute_with(&policy) {
+        let outcome = match scenario.execute_on(&engine, &policy) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("tersoff-run: {}: {e}", scenario.name);
-                severity.load = true;
+                severity.record_load_failure();
                 failures += 1;
                 continue;
             }
         };
 
         if !args.quiet {
-            println!(
-                "    vektor backend: {} ({}-granular dispatch, {} build)",
-                outcome.executed_backend, outcome.dispatch_granularity, outcome.compiled_isa
-            );
-            println!(
-                "    {:<20} {:>8} {:>9} {:>14} {:>12} {:>10} {:>10}",
-                "variant", "threads", "status", "s/step", "ns/day", "rebuilds", "drift"
-            );
-            for v in &outcome.variants {
-                match &v.report {
-                    Some(report) => println!(
-                        "    {:<20} {:>8} {:>9} {:>14.6} {:>12.3} {:>10} {:>10.2e}",
-                        v.label,
-                        v.resolved_threads,
-                        v.status.name(),
-                        report.seconds_per_step(),
-                        report.ns_per_day,
-                        report.total_rebuilds,
-                        report.max_drift
-                    ),
-                    None => println!(
-                        "    {:<20} {:>8} {:>9} {:>14} {:>12} {:>10} {:>10}",
-                        v.label,
-                        v.resolved_threads,
-                        v.status.name(),
-                        "-",
-                        "-",
-                        "-",
-                        "-"
-                    ),
-                }
-                if let Some(step) = v.resumed_from {
-                    println!("    {:<20}   resumed from checkpoint step {step}", "");
-                }
-                for w in &v.warnings {
-                    println!("    {:<20}   warning: {w}", "");
-                }
-            }
+            print_report(&outcome);
         }
-
-        for v in &outcome.variants {
-            severity.record(v.status);
-            if v.status != VariantStatus::Ok {
-                failures += 1;
-                if let Some(error) = &v.error {
-                    eprintln!("tersoff-run: {}: {error}", scenario.name);
-                }
-            }
-        }
-
-        for violation in outcome.drift_violations() {
-            eprintln!(
-                "tersoff-run: {}: DRIFT VIOLATION: {violation}",
-                scenario.name
-            );
-            severity.health = true;
-            failures += 1;
-        }
-
-        let report_name = format!("scenario_{}", scenario.name);
-        match write_bench_json(&report_name, &outcome.to_report_json()) {
-            Ok(out_path) => {
-                if !args.quiet {
-                    println!("    wrote {out_path}");
-                }
-            }
-            Err(e) => {
-                eprintln!("tersoff-run: {}: cannot write report: {e}", scenario.name);
-                severity.load = true;
-                failures += 1;
-            }
-        }
+        account_and_write(&outcome, args.quiet, &mut severity, &mut failures);
         if !args.quiet {
             println!();
         }
     }
 
+    let stats = engine.stats();
     println!(
-        "{} scenario(s) executed (backend auto-detection per run), {failures} failure(s).",
-        scenarios.len()
+        "{} scenario(s) executed at --jobs {} ({} runtime(s) pooled, \
+         {} cache hits, {} misses), {failures} failure(s).",
+        scenarios.len(),
+        stats.workers,
+        stats.runtimes_created,
+        stats.cache.hits,
+        stats.cache.misses,
     );
-    let _ = severity.any();
-    severity.exit_code()
+    ExitCode::from(severity.exit_code())
 }

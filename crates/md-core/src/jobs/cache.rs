@@ -1,0 +1,216 @@
+//! The artifact cache: prepared inputs keyed by spec hash.
+//!
+//! Repeated variants of one scenario (and repeated submissions of one
+//! scenario) rebuild the same inputs over and over: the perturbed lattice,
+//! the packed parameter tables, the neighbor-list capacity the system
+//! settles at. All of these are deterministic functions of the spec, so the
+//! engine caches them under an [`ArtifactKey`] — a 64-bit FNV-1a hash of
+//! the spec fields that *define* the artifact — and hands out shared
+//! [`Arc`] clones. Because every cached value is the output of a
+//! deterministic builder, a cache hit is bit-identical to a rebuild; the
+//! bitwise-equivalence suite in `tests/job_engine.rs` holds the engine to
+//! that.
+//!
+//! The map is keyed by `(ArtifactKey, TypeId)` so two artifact families may
+//! share a key prefix without aliasing: a lattice and a capacity hint for
+//! the same system never collide even if a caller hashes the same fields.
+
+use crate::runtime::lock_recover;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A 64-bit content hash identifying one cached artifact.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactKey(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+impl ArtifactKey {
+    /// Hash raw bytes (FNV-1a).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut h = FNV_OFFSET;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        ArtifactKey(h)
+    }
+
+    /// Hash a sequence of string parts with separators, so `["ab", "c"]`
+    /// and `["a", "bc"]` hash differently.
+    pub fn of(parts: &[&str]) -> Self {
+        let mut key = ArtifactKey(FNV_OFFSET);
+        for part in parts {
+            key = key.and(part);
+        }
+        key
+    }
+
+    /// Extend the key with one more part (order-sensitive).
+    pub fn and(self, part: &str) -> Self {
+        let mut h = self.0;
+        for &b in part.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // Separator byte: keeps part boundaries in the digest.
+        h ^= 0x1f;
+        h = h.wrapping_mul(FNV_PRIME);
+        ArtifactKey(h)
+    }
+
+    /// The raw 64-bit digest.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Hit/miss/entry counters, reported in `ScenarioReport` JSON and
+/// `BENCH_throughput.json` so cache effectiveness is a gated, visible metric.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Lookups that found a prepared artifact.
+    pub hits: u64,
+    /// Lookups that had to build (or found nothing).
+    pub misses: u64,
+}
+
+/// A concurrent, type-heterogeneous artifact store.
+///
+/// [`ArtifactCache::get_or_insert_with`] holds the map lock across the
+/// build closure, so each artifact is built exactly once no matter how many
+/// jobs race for it — the right trade for artifacts that are expensive to
+/// build and cheap to hold (a lattice, a parameter table). The cache never
+/// evicts; its lifetime is the engine's.
+#[derive(Default)]
+pub struct ArtifactCache {
+    entries: Mutex<HashMap<(ArtifactKey, TypeId), Arc<dyn Any + Send + Sync>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The artifact under `key`, building (and caching) it on first use.
+    pub fn get_or_insert_with<T, F>(&self, key: ArtifactKey, build: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let mut entries = lock_recover(&self.entries);
+        match entries.get(&(key, TypeId::of::<T>())) {
+            Some(found) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                found
+                    .clone()
+                    .downcast::<T>()
+                    .expect("cache entry type is pinned by its TypeId key")
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let built = Arc::new(build());
+                entries.insert((key, TypeId::of::<T>()), built.clone());
+                built
+            }
+        }
+    }
+
+    /// Look up without building. Counts as a hit or a miss.
+    pub fn get<T: Send + Sync + 'static>(&self, key: ArtifactKey) -> Option<Arc<T>> {
+        let entries = lock_recover(&self.entries);
+        match entries.get(&(key, TypeId::of::<T>())) {
+            Some(found) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(
+                    found
+                        .clone()
+                        .downcast::<T>()
+                        .expect("cache entry type is pinned by its TypeId key"),
+                )
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert or overwrite (for artifacts that evolve, like capacity
+    /// hints). Does not touch the hit/miss counters.
+    pub fn put<T: Send + Sync + 'static>(&self, key: ArtifactKey, value: T) -> Arc<T> {
+        let stored = Arc::new(value);
+        lock_recover(&self.entries).insert((key, TypeId::of::<T>()), stored.clone());
+        stored
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: lock_recover(&self.entries).len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_once_then_hits() {
+        let cache = ArtifactCache::new();
+        let key = ArtifactKey::of(&["lattice", "silicon", "4x4x4"]);
+        let mut builds = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_insert_with(key, || {
+                builds += 1;
+                vec![1.0f64, 2.0, 3.0]
+            });
+            assert_eq!(v.len(), 3);
+        }
+        assert_eq!(builds, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.hits, stats.misses), (1, 2, 1));
+    }
+
+    #[test]
+    fn same_key_different_types_do_not_alias() {
+        let cache = ArtifactCache::new();
+        let key = ArtifactKey::of(&["system"]);
+        cache.put(key, 42u64);
+        cache.put(key, "hint".to_string());
+        assert_eq!(*cache.get::<u64>(key).unwrap(), 42);
+        assert_eq!(*cache.get::<String>(key).unwrap(), "hint");
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let cache = ArtifactCache::new();
+        let key = ArtifactKey::of(&["capacity"]);
+        cache.put(key, 100usize);
+        cache.put(key, 250usize);
+        assert_eq!(*cache.get::<usize>(key).unwrap(), 250);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn key_parts_are_boundary_sensitive() {
+        assert_ne!(ArtifactKey::of(&["ab", "c"]), ArtifactKey::of(&["a", "bc"]));
+        assert_eq!(
+            ArtifactKey::of(&["a", "b"]),
+            ArtifactKey::of(&["a"]).and("b")
+        );
+        assert_ne!(ArtifactKey::from_bytes(b"x"), ArtifactKey::from_bytes(b"y"));
+    }
+}

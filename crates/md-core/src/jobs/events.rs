@@ -1,0 +1,206 @@
+//! The job-event stream: what the engine tells the outside world.
+//!
+//! Every lifecycle transition of a job — and, through
+//! [`JobContext::emit_thermo`](super::engine::JobContext::emit_thermo) /
+//! [`emit_checkpoint`](super::engine::JobContext::emit_checkpoint), the
+//! in-run observer callbacks a job chooses to forward — is published as a
+//! [`JobEvent`] on the engine's [`EventBus`]. Subscribers get an ordinary
+//! [`std::sync::mpsc::Receiver`]; a dropped receiver is pruned on the next
+//! emit, so an abandoned subscription never wedges the engine.
+//!
+//! Ordering guarantee: events *of one job* arrive in lifecycle order
+//! (`Queued` before `Started` before in-run events before the terminal
+//! `Finished`/`Faulted`/`Cancelled`). Events of different jobs interleave
+//! arbitrarily — they come from concurrent lanes.
+
+use crate::runtime::lock_recover;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+/// Engine-unique job identifier, assigned at submission.
+pub type JobId = u64;
+
+/// One published engine event. Terminal events (`Finished`, `Faulted`,
+/// `Cancelled`) carry the job name so log-style subscribers need no lookup
+/// table; high-rate in-run events (`Thermo`, `Checkpoint`) carry only the id.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobEvent {
+    /// The job was accepted into the queue.
+    Queued {
+        /// The submitted job.
+        job: JobId,
+        /// The job's display name.
+        name: String,
+    },
+    /// A lane popped the job and leased it a runtime.
+    Started {
+        /// The running job.
+        job: JobId,
+        /// The job's display name.
+        name: String,
+        /// Resolved thread count of the leased runtime.
+        threads: usize,
+        /// Whether the job claimed the runtime exclusively.
+        exclusive: bool,
+    },
+    /// A thermo sample the job chose to stream (see
+    /// [`JobContext::emit_thermo`](super::engine::JobContext::emit_thermo)).
+    Thermo {
+        /// The running job.
+        job: JobId,
+        /// Step index of the sample.
+        step: u64,
+        /// Total energy (eV).
+        total_energy: f64,
+        /// Instantaneous temperature (K).
+        temperature: f64,
+    },
+    /// The job wrote a checkpoint.
+    Checkpoint {
+        /// The running job.
+        job: JobId,
+        /// Step index of the checkpoint.
+        step: u64,
+    },
+    /// The job's closure returned normally.
+    Finished {
+        /// The finished job.
+        job: JobId,
+        /// The job's display name.
+        name: String,
+        /// Wall-clock seconds between `Started` and completion.
+        seconds: f64,
+    },
+    /// A panic unwound out of the job's closure (the lease's runtime
+    /// self-heals; the engine keeps draining).
+    Faulted {
+        /// The faulted job.
+        job: JobId,
+        /// The job's display name.
+        name: String,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// The job was cancelled while still queued and will never run.
+    Cancelled {
+        /// The cancelled job.
+        job: JobId,
+        /// The job's display name.
+        name: String,
+    },
+}
+
+impl JobEvent {
+    /// The id of the job the event belongs to.
+    pub fn job(&self) -> JobId {
+        match self {
+            JobEvent::Queued { job, .. }
+            | JobEvent::Started { job, .. }
+            | JobEvent::Thermo { job, .. }
+            | JobEvent::Checkpoint { job, .. }
+            | JobEvent::Finished { job, .. }
+            | JobEvent::Faulted { job, .. }
+            | JobEvent::Cancelled { job, .. } => *job,
+        }
+    }
+
+    /// Stable lower-case event-kind name (for logs and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobEvent::Queued { .. } => "queued",
+            JobEvent::Started { .. } => "started",
+            JobEvent::Thermo { .. } => "thermo",
+            JobEvent::Checkpoint { .. } => "checkpoint",
+            JobEvent::Finished { .. } => "finished",
+            JobEvent::Faulted { .. } => "faulted",
+            JobEvent::Cancelled { .. } => "cancelled",
+        }
+    }
+}
+
+/// A multi-subscriber broadcast channel for [`JobEvent`]s.
+///
+/// Emission is best-effort fan-out: every live subscriber receives a clone
+/// of every event emitted after its [`EventBus::subscribe`] call;
+/// subscribers whose receiver was dropped are pruned. With no subscribers,
+/// `emit` is a cheap no-op (one short lock), so instrumentation costs
+/// nothing unless someone listens.
+#[derive(Default)]
+pub struct EventBus {
+    subscribers: Mutex<Vec<Sender<JobEvent>>>,
+}
+
+impl EventBus {
+    /// A bus with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a new subscription; events emitted from now on are delivered.
+    pub fn subscribe(&self) -> Receiver<JobEvent> {
+        let (tx, rx) = channel();
+        lock_recover(&self.subscribers).push(tx);
+        rx
+    }
+
+    /// Broadcast one event to every live subscriber.
+    pub fn emit(&self, event: JobEvent) {
+        let mut subs = lock_recover(&self.subscribers);
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Number of live subscriptions (dropped receivers still count until
+    /// the next `emit` prunes them).
+    pub fn subscriber_count(&self) -> usize {
+        lock_recover(&self.subscribers).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fan_out_to_every_subscriber() {
+        let bus = EventBus::new();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        bus.emit(JobEvent::Queued {
+            job: 7,
+            name: "x".into(),
+        });
+        for rx in [&a, &b] {
+            let ev = rx.try_recv().unwrap();
+            assert_eq!(ev.job(), 7);
+            assert_eq!(ev.kind(), "queued");
+        }
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_on_emit() {
+        let bus = EventBus::new();
+        let keep = bus.subscribe();
+        drop(bus.subscribe());
+        assert_eq!(bus.subscriber_count(), 2);
+        bus.emit(JobEvent::Checkpoint { job: 1, step: 10 });
+        assert_eq!(bus.subscriber_count(), 1);
+        assert_eq!(keep.try_recv().unwrap().kind(), "checkpoint");
+    }
+
+    #[test]
+    fn subscription_only_sees_later_events() {
+        let bus = EventBus::new();
+        bus.emit(JobEvent::Queued {
+            job: 1,
+            name: "early".into(),
+        });
+        let rx = bus.subscribe();
+        bus.emit(JobEvent::Finished {
+            job: 1,
+            name: "early".into(),
+            seconds: 0.5,
+        });
+        assert_eq!(rx.try_recv().unwrap().kind(), "finished");
+        assert!(rx.try_recv().is_err());
+    }
+}

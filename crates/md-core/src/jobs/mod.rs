@@ -1,0 +1,28 @@
+//! Simulation-as-a-service: the job engine.
+//!
+//! This module family turns the one-shot "loop over variants" execution
+//! model into a long-running submission service (see `README.md` in this
+//! directory for the architecture):
+//!
+//! - [`engine`] — the [`JobEngine`]: lane threads, the runtime pool with
+//!   shared/exclusive leases, typed [`JobHandle`]s.
+//! - [`queue`] — the bounded, backpressured [`JobQueue`].
+//! - [`cache`] — the [`ArtifactCache`] keyed by spec hash.
+//! - [`events`] — the [`JobEvent`] stream and its [`EventBus`].
+//!
+//! The engine is deliberately payload-generic: it schedules closures, not
+//! scenarios. The scenario layer (`lammps-tersoff-vector`'s
+//! `scenario::exec`) builds `JobSpec`s from scenario variants and is the
+//! canonical client; tests and tools can submit arbitrary work.
+
+pub mod cache;
+pub mod engine;
+pub mod events;
+pub mod queue;
+
+pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
+pub use engine::{
+    EngineConfig, EngineStats, JobContext, JobEngine, JobHandle, JobOutcome, JobSpec, JobStatus,
+};
+pub use events::{EventBus, JobEvent, JobId};
+pub use queue::{JobQueue, SubmitError};

@@ -1,0 +1,236 @@
+//! The bounded, backpressured job queue.
+//!
+//! A [`JobQueue`] is a fixed-capacity FIFO with condvar-blocking on both
+//! ends: [`JobQueue::push`] blocks while the queue is full (this *is* the
+//! engine's backpressure — a producer that outruns the lanes is slowed to
+//! their pace instead of growing an unbounded backlog), and
+//! [`JobQueue::pop`] blocks while it is empty. [`JobQueue::try_push`]
+//! returns [`SubmitError::Full`] instead of blocking, for producers that
+//! would rather shed load. [`JobQueue::close`] wakes everyone: pushes start
+//! failing with [`SubmitError::Closed`], pops drain what remains and then
+//! return `None` — the lane shutdown signal.
+//!
+//! Pending entries can be removed by id ([`JobQueue::cancel`]), which is
+//! the whole cancellation story for queued jobs: a job that never reaches a
+//! lane never runs.
+
+use super::events::JobId;
+use crate::runtime::{lock_recover, wait_recover};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was not accepted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity (only from [`JobQueue::try_push`];
+    /// [`JobQueue::push`] blocks instead).
+    Full,
+    /// The queue was closed; no further submissions are accepted.
+    Closed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full => f.write_str("job queue is full"),
+            SubmitError::Closed => f.write_str("job queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct QueueState<T> {
+    items: VecDeque<(JobId, T)>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO of `(JobId, payload)`.
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` pending entries (min 1).
+    pub fn bounded(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pending entries right now.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.state).items.len()
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue, blocking while the queue is full. Fails only once the
+    /// queue is closed; the payload rides back in the error so the caller
+    /// keeps ownership.
+    pub fn push(&self, id: JobId, item: T) -> Result<(), (SubmitError, T)> {
+        let mut state = lock_recover(&self.state);
+        loop {
+            if state.closed {
+                return Err((SubmitError::Closed, item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back((id, item));
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = wait_recover(&self.not_full, state);
+        }
+    }
+
+    /// Enqueue without blocking: [`SubmitError::Full`] when at capacity.
+    pub fn try_push(&self, id: JobId, item: T) -> Result<(), (SubmitError, T)> {
+        let mut state = lock_recover(&self.state);
+        if state.closed {
+            return Err((SubmitError::Closed, item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((SubmitError::Full, item));
+        }
+        state.items.push_back((id, item));
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the oldest entry, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<(JobId, T)> {
+        let mut state = lock_recover(&self.state);
+        loop {
+            if let Some(entry) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(entry);
+            }
+            if state.closed {
+                return None;
+            }
+            state = wait_recover(&self.not_empty, state);
+        }
+    }
+
+    /// Remove a pending entry by id, returning its payload — the caller
+    /// decides what a cancelled job's terminal state looks like. `None`
+    /// when the id already left the queue (running, finished, or never
+    /// submitted): cancellation of queued work is exact, of started work
+    /// impossible at this layer.
+    pub fn cancel(&self, id: JobId) -> Option<T> {
+        let mut state = lock_recover(&self.state);
+        let at = state.items.iter().position(|(q, _)| *q == id)?;
+        let (_, item) = state.items.remove(at).expect("position() found the entry");
+        drop(state);
+        self.not_full.notify_one();
+        Some(item)
+    }
+
+    /// Close the queue: wake every blocked producer and consumer, reject
+    /// future pushes, let pops drain the backlog then return `None`.
+    pub fn close(&self) {
+        lock_recover(&self.state).closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`JobQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        lock_recover(&self.state).closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = JobQueue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1, "a").unwrap();
+        q.try_push(2, "b").unwrap();
+        let (err, item) = q.try_push(3, "c").unwrap_err();
+        assert_eq!(err, SubmitError::Full);
+        assert_eq!(item, "c");
+        assert_eq!(q.pop(), Some((1, "a")));
+        assert_eq!(q.pop(), Some((2, "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_blocks_until_a_slot_frees() {
+        let q = Arc::new(JobQueue::bounded(1));
+        q.push(1, 10).unwrap();
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(2, 20).is_ok())
+        };
+        // The producer is blocked on a full queue; popping unblocks it.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some((1, 10)));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some((2, 20)));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = JobQueue::bounded(4);
+        q.push(1, "x").unwrap();
+        q.close();
+        assert!(q.is_closed());
+        let (err, _) = q.push(2, "y").unwrap_err();
+        assert_eq!(err, SubmitError::Closed);
+        assert_eq!(q.pop(), Some((1, "x")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(JobQueue::<u32>::bounded(1));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn cancel_removes_only_pending_entries() {
+        let q = JobQueue::bounded(4);
+        q.push(1, "a").unwrap();
+        q.push(2, "b").unwrap();
+        q.push(3, "c").unwrap();
+        assert_eq!(q.cancel(2), Some("b"));
+        assert_eq!(q.cancel(2), None); // already gone
+        assert_eq!(q.pop(), Some((1, "a")));
+        assert_eq!(q.cancel(1), None); // already popped
+        assert_eq!(q.pop(), Some((3, "c")));
+    }
+}

@@ -32,6 +32,9 @@
 //!   integration phase ([`simulation`], [`observer`], [`timer`]),
 //! * a spatial domain decomposition whose ghost-atom exchange runs on the
 //!   same shared runtime ([`decomposition`]),
+//! * a submission-first job engine — pooled runtimes draining a bounded,
+//!   backpressured queue of typed jobs, with an event stream and an
+//!   artifact cache keyed by spec hash ([`jobs`]),
 //! * a fault-tolerance layer: worker panics surface as typed
 //!   [`runtime::RuntimeError`]s from a self-healing pool, numerical
 //!   divergence is caught by the [`health::HealthGuard`] observer and
@@ -57,6 +60,7 @@ pub mod fault;
 pub mod force_engine;
 pub mod health;
 pub mod integrate;
+pub mod jobs;
 pub mod lattice;
 pub mod neighbor;
 pub mod observer;
@@ -76,6 +80,10 @@ pub use dump::XyzDump;
 pub use fault::{FaultKind, FaultPlan};
 pub use force_engine::{ForceEngine, RangePotential};
 pub use health::{HealthGuard, HealthSettings};
+pub use jobs::{
+    ArtifactCache, ArtifactKey, CacheStats, EngineConfig, EngineStats, EventBus, JobContext,
+    JobEngine, JobEvent, JobHandle, JobId, JobOutcome, JobSpec, JobStatus, SubmitError,
+};
 pub use lattice::{Lattice, LatticeKind};
 pub use neighbor::{NeighborList, NeighborSettings};
 pub use observer::{
@@ -97,6 +105,10 @@ pub mod prelude {
     pub use crate::force_engine::{ForceEngine, RangePotential};
     pub use crate::health::{HealthGuard, HealthSettings};
     pub use crate::integrate::VelocityVerlet;
+    pub use crate::jobs::{
+        ArtifactCache, ArtifactKey, EngineConfig, EngineStats, JobContext, JobEngine, JobEvent,
+        JobHandle, JobOutcome, JobSpec, JobStatus,
+    };
     pub use crate::lattice::{Lattice, LatticeKind};
     pub use crate::neighbor::{NeighborList, NeighborSettings};
     pub use crate::observer::{

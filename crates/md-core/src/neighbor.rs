@@ -121,6 +121,20 @@ impl NeighborList {
         (0..self.n_local).map(|i| self.count(i)).max().unwrap_or(0)
     }
 
+    /// Pre-size the list's storage for `n_atoms` atoms with
+    /// `total_neighbors` entries in all — a capacity *hint* (e.g. the
+    /// settled size of a previous run of the same system, recorded in the
+    /// job engine's artifact cache) that lets the first build skip the
+    /// doubling reallocations. Contents are untouched; capacity only grows.
+    pub fn reserve_capacity(&mut self, total_neighbors: usize, n_atoms: usize) {
+        self.neighbors
+            .reserve(total_neighbors.saturating_sub(self.neighbors.len()));
+        self.firstneigh
+            .reserve((n_atoms + 1).saturating_sub(self.firstneigh.len()));
+        self.reference_x
+            .reserve(n_atoms.saturating_sub(self.reference_x.len()));
+    }
+
     /// Does the list need rebuilding given current positions? True when any
     /// local atom moved more than half the skin since the list was built.
     ///

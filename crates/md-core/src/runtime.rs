@@ -108,12 +108,12 @@ pub fn panic_payload_string(payload: &(dyn Any + Send)) -> String {
 /// held) must not wedge every later job on a `PoisonError`. All pool state
 /// guarded by these locks is kept consistent before any panic can unwind
 /// through, so recovery is sound.
-fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// [`Condvar::wait`] with the same explicit poison recovery.
-fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+pub(crate) fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(guard).unwrap_or_else(|e| e.into_inner())
 }
 

@@ -237,6 +237,7 @@ pub struct SimulationBuilder<P: Potential> {
     runtime: Option<ParallelRuntime>,
     resume_from: Option<Checkpoint>,
     fault_plan: Option<FaultPlan>,
+    neighbor_capacity: Option<usize>,
 }
 
 impl<P: Potential> SimulationBuilder<P> {
@@ -256,6 +257,7 @@ impl<P: Potential> SimulationBuilder<P> {
             runtime: None,
             resume_from: None,
             fault_plan: None,
+            neighbor_capacity: None,
         }
     }
 
@@ -355,6 +357,16 @@ impl<P: Potential> SimulationBuilder<P> {
         self
     }
 
+    /// Pre-size the neighbor list for about `total_neighbors` entries (a
+    /// capacity hint, e.g. the settled size of a previous run of the same
+    /// system from the job engine's artifact cache), so the initial build
+    /// skips the doubling reallocations. Harmless if wrong: capacity only
+    /// grows, contents and results are unaffected.
+    pub fn neighbor_capacity(mut self, total_neighbors: usize) -> Self {
+        self.neighbor_capacity = Some(total_neighbors);
+        self
+    }
+
     /// Validate the configuration and construct the simulation: velocities
     /// are initialized (if requested), the initial neighbor list is built
     /// and forces are computed so step 0 starts from a consistent state.
@@ -373,6 +385,7 @@ impl<P: Potential> SimulationBuilder<P> {
             runtime,
             resume_from,
             fault_plan,
+            neighbor_capacity,
         } = self;
 
         // Finiteness first (NaN/±∞ would only blow up mid-run), then sign.
@@ -450,11 +463,15 @@ impl<P: Potential> SimulationBuilder<P> {
 
         let integrator = VelocityVerlet::new(timestep);
         let n = atoms.n_total();
+        let mut neighbors = NeighborList::default();
+        if let Some(hint) = neighbor_capacity {
+            neighbors.reserve_capacity(hint, n);
+        }
         let mut sim = Simulation {
             atoms,
             sim_box,
             potential,
-            neighbors: NeighborList::default(),
+            neighbors,
             compute_out: ComputeOutput::zeros(n),
             timers: Timers::new(),
             step: 0,

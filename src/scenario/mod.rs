@@ -1,0 +1,28 @@
+//! Declarative benchmark scenarios: JSON specs for the workloads behind the
+//! paper's figures, executed through the job engine.
+//!
+//! Split in two halves behind this facade:
+//!
+//! * [`spec`] — the declarative surface: the [`Scenario`] struct and its
+//!   sub-specs, strict JSON parsing/serialization, discovery, and the
+//!   variant matrix.
+//! * [`exec`] — the execution surface: submission onto a
+//!   [`md_core::jobs::JobEngine`] ([`Scenario::submit`] /
+//!   [`Scenario::execute_on`]), the synchronous
+//!   [`Scenario::execute`]/[`Scenario::execute_with`] wrappers, reporting
+//!   ([`ScenarioReport`], [`ThroughputReport`]) and the
+//!   [`BatchSeverity`] exit-code mapping.
+//!
+//! Everything is re-exported flat, so `scenario::Scenario` and friends keep
+//! working exactly as before the split.
+
+pub mod exec;
+pub mod spec;
+
+pub use exec::{
+    measure_throughput, BatchSeverity, RunPolicy, ScenarioReport, ThroughputReport, VariantReport,
+};
+pub use spec::{
+    CheckpointSpec, DumpSpec, FaultSpec, HealthSpec, LatticeSpec, MatrixSpec, ParamSet,
+    PotentialSpec, RunSpec, Scenario, ScenarioError, SystemSpec, Variant, VariantStatus,
+};

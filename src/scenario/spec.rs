@@ -1,16 +1,13 @@
-//! The declarative scenario layer: serializable run descriptions.
+//! The declarative half of the scenario layer: the serializable spec types
+//! and their strict JSON parsing.
 //!
-//! The paper evaluates a fixed matrix of codes (Ref / Opt-D / Opt-S / Opt-M
-//! × schemes 1a/1b/1c) over a fixed set of workloads. A [`Scenario`]
-//! captures one such experiment as *data* — lattice, perturbation,
-//! temperature and seeds; potential mode/scheme/width/threads/backend;
-//! timestep, skin, step count and sampling — so the whole matrix can live in
-//! version-controlled spec files (see `scenarios/`) instead of one-off
-//! binaries. The `tersoff-run` binary (in the `bench` crate) loads a file or
-//! a directory of them, optionally expands the declared mode×threads
-//! matrix, runs every variant through [`md_core::SimulationBuilder`], and
-//! writes the same JSON report shape the `bench_diff` regression gate
-//! consumes.
+//! Everything in this module is *data*: what to simulate (lattice,
+//! perturbation, temperature, seeds), how (parameter set, execution
+//! mode/scheme/width/threads, backend request), for how long (timestep,
+//! skin, steps, sampling), and the optional extras (trajectory dump,
+//! mode×threads matrix, drift bound, health guard, checkpointing, fault
+//! injection). Execution lives in [`super::exec`], which turns these specs
+//! into jobs on the [`md_core::jobs::JobEngine`].
 //!
 //! Serialization is plain JSON via [`crate::json`]: the vendored serde shim
 //! generates no code (see `crates/shims/serde`), so the `Serialize` /
@@ -20,26 +17,16 @@
 //! typo in a spec file fails loudly instead of silently running defaults.
 
 use crate::json::{obj, parse, Json};
-use md_core::checkpoint::{Checkpoint, CheckpointWriter};
-use md_core::dump::XyzDump;
 use md_core::fault::{FaultKind, FaultPlan};
-use md_core::health::{HealthGuard, HealthSettings};
+use md_core::health::HealthSettings;
 use md_core::lattice::Lattice;
-use md_core::observer::RunReport;
-use md_core::potential::Potential;
-use md_core::runtime::{panic_payload_string, ParallelRuntime};
-use md_core::simulation::{BuildError, RunError, Simulation};
-use md_core::thermo::ThermoState;
-use md_core::timer::Stage;
+use md_core::simulation::BuildError;
 use md_core::units;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
-use std::time::Duration;
-use tersoff::driver::{make_potential, BackendImpl, ExecutionMode, Scheme, TersoffOptions};
+use tersoff::driver::{BackendImpl, ExecutionMode, Scheme, TersoffOptions};
 use tersoff::params::TersoffParams;
 
 /// Errors from loading, validating or executing a scenario.
@@ -69,6 +56,9 @@ pub enum ScenarioError {
         /// Human-readable detail.
         message: String,
     },
+    /// The job engine refused a submission (queue closed, or a full queue
+    /// under [`md_core::jobs::JobEngine::try_submit`]).
+    Engine(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -82,6 +72,7 @@ impl fmt::Display for ScenarioError {
                 status,
                 message,
             } => write!(f, "{label}: {status}: {message}"),
+            ScenarioError::Engine(msg) => write!(f, "job engine: {msg}"),
         }
     }
 }
@@ -273,8 +264,8 @@ pub struct RunSpec {
     pub thermo_every: u64,
 }
 
-/// Optional trajectory dump: an [`XyzDump`] observer writing one XYZ frame
-/// every `every` steps of each variant's run.
+/// Optional trajectory dump: an [`md_core::XyzDump`] observer writing one
+/// XYZ frame every `every` steps of each variant's run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DumpSpec {
     /// Output file. When the scenario declares a matrix, each variant writes
@@ -296,8 +287,9 @@ pub struct MatrixSpec {
     pub threads: Vec<usize>,
 }
 
-/// Optional numerical health guard: a [`HealthGuard`] observer aborting the
-/// run on non-finite state or violated temperature/displacement bounds.
+/// Optional numerical health guard: a [`md_core::HealthGuard`] observer
+/// aborting the run on non-finite state or violated temperature/displacement
+/// bounds.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HealthSpec {
     /// Check cadence in steps (default 1; 0 disables the per-step scans but
@@ -320,9 +312,9 @@ impl HealthSpec {
     }
 }
 
-/// Optional checkpointing: a [`CheckpointWriter`] observer saving a
-/// bit-exact [`Checkpoint`] every `every` steps, and the file
-/// [`RunPolicy::resume`] restarts from.
+/// Optional checkpointing: a [`md_core::CheckpointWriter`] observer saving a
+/// bit-exact [`md_core::Checkpoint`] every `every` steps, and the file
+/// [`super::RunPolicy::resume`] restarts from.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointSpec {
     /// Checkpoint file. Matrix variants write
@@ -453,89 +445,6 @@ impl fmt::Display for VariantStatus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
-}
-
-/// How [`Scenario::execute_with`] runs a batch: per-variant isolation,
-/// retries, timeout and resume.
-#[derive(Clone, Debug, Default)]
-pub struct RunPolicy {
-    /// Cap on the number of steps (e.g. `tersoff-run --steps-cap`).
-    pub steps_cap: Option<u64>,
-    /// Re-run a panicked / timed-out / failed variant up to this many extra
-    /// times from fresh seed-deterministic state (divergence is
-    /// deterministic, so diverged variants are not retried).
-    pub retries: u32,
-    /// Continue with the remaining variants after a failure instead of
-    /// stopping the batch.
-    pub keep_going: bool,
-    /// Wall-clock budget per attempt; on expiry the attempt's thread is
-    /// abandoned and the variant reports [`VariantStatus::Timeout`].
-    pub timeout: Option<Duration>,
-    /// Fault injection override (the `TERSOFF_FAULT` environment variable
-    /// parsed by the CLI); wins over the scenario's `fault` field.
-    pub fault_override: Option<FaultSpec>,
-    /// Resume each variant from its checkpoint file if one exists.
-    pub resume: bool,
-}
-
-/// The outcome of one executed variant.
-#[derive(Clone, Debug)]
-pub struct VariantReport {
-    /// The variant that ran.
-    pub variant: Variant,
-    /// Threads actually used (0 resolved to the CPU count; the
-    /// `TERSOFF_THREADS` environment override wins over both).
-    pub resolved_threads: usize,
-    /// The options label ("Opt-M/1b/w16/t2").
-    pub label: String,
-    /// How the variant ended.
-    pub status: VariantStatus,
-    /// Attempts used (1 = first try; > 1 means retries happened).
-    pub attempts: u32,
-    /// The typed failure for non-`ok` statuses.
-    pub error: Option<ScenarioError>,
-    /// The run report (steps, rebuilds, ns/day, drift, per-phase timers).
-    /// Present for `ok` and `diverged` (partial) outcomes.
-    pub report: Option<RunReport>,
-    /// The recorded thermo trace.
-    pub trace: Vec<ThermoState>,
-    /// Trajectory dump written by this variant: `(path, frames)`.
-    pub dump: Option<(PathBuf, u64)>,
-    /// Observer warnings (e.g. a disarmed trajectory dump).
-    pub warnings: Vec<String>,
-    /// The checkpoint step this run resumed from, if any.
-    pub resumed_from: Option<u64>,
-}
-
-impl VariantReport {
-    /// The run report, for callers that require a completed variant.
-    pub fn report(&self) -> &RunReport {
-        self.report
-            .as_ref()
-            .expect("variant did not produce a report")
-    }
-}
-
-/// The outcome of a whole scenario: every variant plus host facts.
-#[derive(Clone, Debug)]
-pub struct ScenarioReport {
-    /// The scenario that ran.
-    pub scenario: Scenario,
-    /// Steps actually run (after any cap).
-    pub steps: u64,
-    /// Per-variant outcomes, in matrix order.
-    pub variants: Vec<VariantReport>,
-    /// The vektor implementation that executed the runs.
-    pub executed_backend: String,
-    /// Granularity at which that implementation was bound (`"kernel"`:
-    /// one per-ISA monomorphized instance per potential).
-    pub dispatch_granularity: &'static str,
-    /// The widest vector ISA the binary itself was compiled with
-    /// (`"baseline"`, `"avx2"`, `"avx512"`) — informational; the executed
-    /// backend no longer depends on it.
-    pub compiled_isa: &'static str,
-    /// Host CPU count.
-    pub available_parallelism: usize,
 }
 
 impl Scenario {
@@ -996,7 +905,7 @@ impl Scenario {
         }
     }
 
-    // -- execution ---------------------------------------------------------
+    // -- matrix expansion and derived paths --------------------------------
 
     /// The variants this scenario runs: the declared matrix expansion, or
     /// the single base (mode, threads) when no matrix is declared.
@@ -1074,507 +983,9 @@ impl Scenario {
         base.with_file_name(file)
     }
 
-    /// The fault (if any) that applies to `variant` under `policy`: the
-    /// policy's override (the `TERSOFF_FAULT` environment variable) wins
-    /// over the scenario's declared `fault` field.
-    fn fault_for(&self, label: &str, policy: &RunPolicy) -> Option<FaultPlan> {
-        let spec = policy.fault_override.as_ref().or(self.fault.as_ref())?;
-        spec.applies_to(label).then(|| spec.plan())
-    }
-
-    /// Build the simulation of one variant through
-    /// [`md_core::SimulationBuilder`] — exactly the construction a user
-    /// would write by hand (the golden equivalence test in
-    /// `tests/scenario.rs` holds this path to bitwise agreement with a
-    /// hand-built run).
-    pub fn build_simulation(
-        &self,
-        variant: Variant,
-    ) -> Result<Simulation<Box<dyn Potential>>, ScenarioError> {
-        self.build_simulation_with(variant, None, None, None)
-    }
-
-    /// [`Scenario::build_simulation`] with batch-execution extras: run on a
-    /// shared `runtime`, inject `fault`, or restore a `resume` checkpoint.
-    fn build_simulation_with(
-        &self,
-        variant: Variant,
-        runtime: Option<&ParallelRuntime>,
-        fault: Option<FaultPlan>,
-        resume: Option<Checkpoint>,
-    ) -> Result<Simulation<Box<dyn Potential>>, ScenarioError> {
-        let (sim_box, atoms) = self
-            .system
-            .lattice
-            .lattice(self.system.cells)
-            .build_perturbed(self.system.perturbation, self.system.lattice_seed);
-        let potential = make_potential(self.potential.params.params(), self.options_for(variant));
-        let mut builder = Simulation::builder(atoms, sim_box, potential)
-            .timestep(self.run.timestep)
-            .skin(self.run.skin)
-            .masses(self.potential.params.masses())
-            .temperature(self.system.temperature, self.system.velocity_seed)
-            .thermo_every(self.run.thermo_every);
-        if let Some(rt) = runtime {
-            builder = builder.runtime(rt);
-        }
-        if let Some(plan) = fault {
-            builder = builder.inject_fault(plan);
-        }
-        if let Some(checkpoint) = resume {
-            builder = builder.resume_from(checkpoint);
-        }
-        if let Some(health) = &self.health {
-            builder = builder.observe(HealthGuard::new(health.settings()));
-        }
-        if let Some(checkpoint) = &self.checkpoint {
-            let path = self
-                .checkpoint_path_for(variant)
-                .expect("checkpoint path exists when checkpointing is declared");
-            builder = builder.observe(CheckpointWriter::new(path, checkpoint.every));
-        }
-        if let Some(dump) = &self.dump {
-            let path = self
-                .dump_path_for(variant)
-                .expect("dump path exists when dump is declared");
-            let elements = dump
-                .elements
-                .clone()
-                .unwrap_or_else(|| self.potential.params.elements());
-            let observer =
-                XyzDump::create(&path, dump.every, elements).map_err(|e| ScenarioError::Io {
-                    path: path.display().to_string(),
-                    error: e.to_string(),
-                })?;
-            builder = builder.observe(observer);
-        }
-        let sim = builder.build()?;
-        Ok(sim)
-    }
-
-    /// One attempt at one variant, run to a [`VariantReport`] whatever
-    /// happens: build errors, panics and health aborts all land in
-    /// `status`/`error` instead of unwinding into the batch loop.
-    fn attempt_variant(
-        &self,
-        variant: Variant,
-        steps: u64,
-        policy: &RunPolicy,
-        runtime: Option<&ParallelRuntime>,
-    ) -> VariantReport {
-        let label = self.options_for(variant).label();
-        let mut out = VariantReport {
-            variant,
-            resolved_threads: md_core::runtime::resolve_threads(variant.threads),
-            label: label.clone(),
-            status: VariantStatus::Failed,
-            attempts: 1,
-            error: None,
-            report: None,
-            trace: Vec::new(),
-            dump: None,
-            warnings: Vec::new(),
-            resumed_from: None,
-        };
-
-        let resume = if policy.resume {
-            match self.checkpoint_path_for(variant) {
-                Some(path) if path.exists() => match Checkpoint::load(&path) {
-                    Ok(cp) => {
-                        out.resumed_from = Some(cp.step);
-                        Some(cp)
-                    }
-                    Err(e) => {
-                        out.error = Some(ScenarioError::Io {
-                            path: path.display().to_string(),
-                            error: e.to_string(),
-                        });
-                        return out;
-                    }
-                },
-                _ => None,
-            }
-        } else {
-            None
-        };
-        let fault = self.fault_for(&label, policy);
-
-        // The whole attempt runs under catch_unwind: try_run already
-        // contains per-step panics, this contains everything else (e.g. a
-        // build-time panic) so one variant can never abort the batch.
-        let attempt = catch_unwind(AssertUnwindSafe(|| {
-            let mut sim = self.build_simulation_with(variant, runtime, fault, resume)?;
-            let remaining = steps.saturating_sub(sim.step);
-            let run_result = sim.try_run(remaining);
-            let dump = sim
-                .observer::<XyzDump>()
-                .map(|d| (d.path().to_path_buf(), d.frames_written()));
-            let trace = sim.thermo_history().to_vec();
-            Ok::<_, ScenarioError>((run_result, trace, dump))
-        }));
-        match attempt {
-            Err(payload) => {
-                out.status = VariantStatus::Panicked;
-                out.error = Some(ScenarioError::Run {
-                    label,
-                    status: VariantStatus::Panicked,
-                    message: panic_payload_string(payload.as_ref()),
-                });
-            }
-            Ok(Err(e)) => {
-                out.status = VariantStatus::Failed;
-                out.error = Some(e);
-            }
-            Ok(Ok((run_result, trace, dump))) => {
-                out.trace = trace;
-                out.dump = dump;
-                match run_result {
-                    Ok(report) => {
-                        out.status = VariantStatus::Ok;
-                        out.warnings = report.warnings.clone();
-                        out.report = Some(report);
-                    }
-                    Err(RunError::Diverged {
-                        step,
-                        reason,
-                        report,
-                    }) => {
-                        out.status = VariantStatus::Diverged;
-                        out.warnings = report.warnings.clone();
-                        out.report = Some(*report);
-                        out.error = Some(ScenarioError::Run {
-                            label,
-                            status: VariantStatus::Diverged,
-                            message: format!("step {step}: {reason}"),
-                        });
-                    }
-                    Err(RunError::Panicked { step, message }) => {
-                        out.status = VariantStatus::Panicked;
-                        out.error = Some(ScenarioError::Run {
-                            label,
-                            status: VariantStatus::Panicked,
-                            message: format!("step {step}: {message}"),
-                        });
-                    }
-                    Err(RunError::AlreadyFaulted) => {
-                        out.status = VariantStatus::Failed;
-                        out.error = Some(ScenarioError::Run {
-                            label,
-                            status: VariantStatus::Failed,
-                            message: RunError::AlreadyFaulted.to_string(),
-                        });
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    /// [`Scenario::attempt_variant`] under the policy's wall-clock budget:
-    /// the attempt runs on a worker thread and an expired budget abandons
-    /// that thread (documented leak — the detached worker may finish later,
-    /// its results discarded) and reports [`VariantStatus::Timeout`].
-    fn attempt_with_timeout(
-        &self,
-        variant: Variant,
-        steps: u64,
-        policy: &RunPolicy,
-        runtime: Option<ParallelRuntime>,
-    ) -> VariantReport {
-        let Some(limit) = policy.timeout else {
-            return self.attempt_variant(variant, steps, policy, runtime.as_ref());
-        };
-        let (tx, rx) = mpsc::channel();
-        let scenario = self.clone();
-        let policy = policy.clone();
-        std::thread::spawn(move || {
-            let report = scenario.attempt_variant(variant, steps, &policy, runtime.as_ref());
-            let _ = tx.send(report);
-        });
-        match rx.recv_timeout(limit) {
-            Ok(report) => report,
-            Err(_) => {
-                let label = self.options_for(variant).label();
-                VariantReport {
-                    variant,
-                    resolved_threads: md_core::runtime::resolve_threads(variant.threads),
-                    label: label.clone(),
-                    status: VariantStatus::Timeout,
-                    attempts: 1,
-                    error: Some(ScenarioError::Run {
-                        label,
-                        status: VariantStatus::Timeout,
-                        message: format!(
-                            "exceeded the wall-clock budget of {:.1} s",
-                            limit.as_secs_f64()
-                        ),
-                    }),
-                    report: None,
-                    trace: Vec::new(),
-                    dump: None,
-                    warnings: Vec::new(),
-                    resumed_from: None,
-                }
-            }
-        }
-    }
-
-    /// Run one variant in isolation with retries, on (and proving the
-    /// reusability of) the batch's shared per-thread-count runtimes.
-    fn run_variant_isolated(
-        &self,
-        variant: Variant,
-        steps: u64,
-        policy: &RunPolicy,
-        runtimes: &mut BTreeMap<usize, ParallelRuntime>,
-    ) -> VariantReport {
-        let resolved = md_core::runtime::resolve_threads(variant.threads);
-        let mut last = None;
-        for attempt in 0..=policy.retries {
-            // One runtime per resolved thread count, shared across variants
-            // and retries: a variant that panicked must not poison the
-            // worker team the next variant runs on.
-            let runtime = runtimes
-                .entry(resolved)
-                .or_insert_with(|| ParallelRuntime::new(variant.threads))
-                .clone();
-            let mut report = self.attempt_with_timeout(variant, steps, policy, Some(runtime));
-            report.attempts = attempt + 1;
-            match report.status {
-                // Divergence is deterministic — a retry would reproduce it
-                // bit for bit, so don't waste the attempts.
-                VariantStatus::Ok | VariantStatus::Diverged => return report,
-                VariantStatus::Timeout => {
-                    // The abandoned worker thread may still hold the pool;
-                    // evict the handle so the next job gets a fresh team.
-                    runtimes.remove(&resolved);
-                }
-                VariantStatus::Panicked | VariantStatus::Failed => {}
-            }
-            last = Some(report);
-        }
-        last.expect("at least one attempt ran")
-    }
-
-    /// Run one variant for `steps` (normally `self.run.steps`, possibly
-    /// capped by the caller). Compatibility wrapper over the policy-driven
-    /// path: any non-`ok` outcome is returned as the typed error.
-    pub fn run_variant(
-        &self,
-        variant: Variant,
-        steps: u64,
-    ) -> Result<VariantReport, ScenarioError> {
-        let policy = RunPolicy::default();
-        let report = self.run_variant_isolated(variant, steps, &policy, &mut BTreeMap::new());
-        match report.status {
-            VariantStatus::Ok => Ok(report),
-            status => Err(report.error.clone().unwrap_or(ScenarioError::Run {
-                label: report.label.clone(),
-                status,
-                message: "variant did not complete".into(),
-            })),
-        }
-    }
-
-    /// Execute every variant. `steps_cap` (e.g. from `tersoff-run
-    /// --steps-cap`) limits the run length for smoke testing.
-    /// Compatibility wrapper over [`Scenario::execute_with`]: the first
-    /// non-`ok` variant fails the whole scenario with its typed error.
-    pub fn execute(&self, steps_cap: Option<u64>) -> Result<ScenarioReport, ScenarioError> {
-        let report = self.execute_with(&RunPolicy {
-            steps_cap,
-            ..RunPolicy::default()
-        })?;
-        if let Some(v) = report
-            .variants
-            .iter()
-            .find(|v| v.status != VariantStatus::Ok)
-        {
-            return Err(v.error.clone().unwrap_or(ScenarioError::Run {
-                label: v.label.clone(),
-                status: v.status,
-                message: "variant did not complete".into(),
-            }));
-        }
-        Ok(report)
-    }
-
-    /// Execute every variant under a [`RunPolicy`]: per-variant panic
-    /// isolation, retries, optional wall-clock timeout, checkpoint resume
-    /// and `keep_going`. Never fails the batch — each variant's outcome is
-    /// its `status` in the returned report. Without `keep_going`, the batch
-    /// stops after the first non-`ok` variant (already-run variants are
-    /// reported either way).
-    pub fn execute_with(&self, policy: &RunPolicy) -> Result<ScenarioReport, ScenarioError> {
-        let steps = match policy.steps_cap {
-            Some(cap) => self.run.steps.min(cap),
-            None => self.run.steps,
-        };
-        let mut runtimes = BTreeMap::new();
-        let mut variants = Vec::new();
-        for v in self.variants() {
-            let report = self.run_variant_isolated(v, steps, policy, &mut runtimes);
-            let stop = report.status != VariantStatus::Ok && !policy.keep_going;
-            variants.push(report);
-            if stop {
-                break;
-            }
-        }
-        Ok(ScenarioReport {
-            scenario: self.clone(),
-            steps,
-            executed_backend: self
-                .options_for(Variant {
-                    mode: self.potential.mode,
-                    threads: self.potential.threads,
-                })
-                .resolved_backend()
-                .to_string(),
-            dispatch_granularity: vektor::dispatch::DISPATCH_GRANULARITY,
-            compiled_isa: vektor::dispatch::compiled_isa(),
-            available_parallelism: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            variants,
-        })
-    }
-
     /// Number of atoms the scenario's lattice generates.
     pub fn n_atoms(&self) -> usize {
         self.system.lattice.lattice(self.system.cells).n_atoms()
-    }
-}
-
-impl ScenarioReport {
-    /// Variants whose measured drift exceeds the scenario's declared
-    /// `max_drift` bound (empty when no bound is declared).
-    pub fn drift_violations(&self) -> Vec<String> {
-        let Some(bound) = self.scenario.max_drift else {
-            return Vec::new();
-        };
-        self.variants
-            .iter()
-            .filter_map(|v| v.report.as_ref().map(|r| (v, r)))
-            .filter(|(_, r)| r.max_drift > bound)
-            .map(|(v, r)| {
-                format!(
-                    "{}: |ΔE/E₀| = {:.3e} exceeds declared bound {bound:.3e}",
-                    v.label, r.max_drift
-                )
-            })
-            .collect()
-    }
-
-    /// The report in the JSON shape `bench_diff` consumes: a top-level
-    /// `series` array keyed by (mode, threads) with per-entry metrics.
-    pub fn to_report_json(&self) -> String {
-        let s = &self.scenario;
-        // seconds-per-step of the Ref variant at each thread count, for the
-        // speedup_vs_ref column (mirrors fig5's reporting).
-        let ref_seconds: BTreeMap<usize, f64> = self
-            .variants
-            .iter()
-            .filter(|v| v.variant.mode == ExecutionMode::Ref && v.status == VariantStatus::Ok)
-            .filter_map(|v| {
-                v.report
-                    .as_ref()
-                    .map(|r| (v.resolved_threads, r.seconds_per_step()))
-            })
-            .collect();
-        let series: Vec<Json> = self
-            .variants
-            .iter()
-            .map(|v| {
-                let mut entry = vec![
-                    ("mode", Json::Str(v.variant.mode.to_string())),
-                    ("scheme", Json::Str(s.potential.scheme.to_string())),
-                    ("threads", Json::Num(v.resolved_threads as f64)),
-                    ("label", Json::Str(v.label.clone())),
-                    ("status", Json::Str(v.status.to_string())),
-                    ("attempts", Json::Num(v.attempts as f64)),
-                ];
-                if let Some(step) = v.resumed_from {
-                    entry.push(("resumed_from", Json::Num(step as f64)));
-                }
-                if let Some(error) = &v.error {
-                    entry.push(("error", Json::Str(error.to_string())));
-                }
-                if !v.warnings.is_empty() {
-                    entry.push((
-                        "warnings",
-                        Json::Arr(v.warnings.iter().map(|w| Json::Str(w.clone())).collect()),
-                    ));
-                }
-                // Metrics only for variants that produced a report (ok, or
-                // the partial report of a diverged run) — bench_diff skips
-                // non-ok entries entirely.
-                if let Some(report) = &v.report {
-                    let seconds = report.seconds_per_step();
-                    entry.extend([
-                        ("seconds_per_step", Json::Num(seconds)),
-                        ("ns_per_day", Json::Num(report.ns_per_day)),
-                        ("max_drift", Json::Num(report.max_drift)),
-                        ("rebuilds", Json::Num(report.total_rebuilds as f64)),
-                        ("final_total_energy", Json::Num(report.final_thermo.total)),
-                        (
-                            // Per-phase breakdown (force / neighbor / comm /
-                            // integrate / other) so the runtime-parallel
-                            // phases are measurable from the report alone.
-                            "timers",
-                            obj(Stage::ALL
-                                .iter()
-                                .map(|&stage| {
-                                    (stage.name(), Json::Num(report.timers.seconds(stage)))
-                                })
-                                .collect::<Vec<_>>()),
-                        ),
-                    ]);
-                    if let Some(&r) = ref_seconds.get(&v.resolved_threads) {
-                        if seconds > 0.0 && v.status == VariantStatus::Ok {
-                            entry.push(("speedup_vs_ref", Json::Num(r / seconds)));
-                        }
-                    }
-                }
-                obj(entry)
-            })
-            .collect();
-        obj([
-            ("figure", Json::Str(format!("scenario_{}", s.name))),
-            ("scenario", Json::Str(s.name.clone())),
-            ("description", Json::Str(s.description.clone())),
-            (
-                "workload",
-                obj([
-                    ("lattice", Json::Str(s.system.lattice.to_string())),
-                    (
-                        "cells",
-                        Json::Arr(
-                            s.system
-                                .cells
-                                .iter()
-                                .map(|&c| Json::Num(c as f64))
-                                .collect(),
-                        ),
-                    ),
-                    ("atoms", Json::Num(s.n_atoms() as f64)),
-                    ("perturbation", Json::Num(s.system.perturbation)),
-                    ("temperature", Json::Num(s.system.temperature)),
-                ]),
-            ),
-            ("steps", Json::Num(self.steps as f64)),
-            (
-                "available_parallelism",
-                Json::Num(self.available_parallelism as f64),
-            ),
-            ("executed_backend", Json::Str(self.executed_backend.clone())),
-            (
-                "dispatch_granularity",
-                Json::Str(self.dispatch_granularity.to_string()),
-            ),
-            ("compiled_isa", Json::Str(self.compiled_isa.to_string())),
-            ("series", Json::Arr(series)),
-        ])
-        .pretty()
     }
 }
 
@@ -1696,7 +1107,7 @@ where
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     pub(crate) fn sample() -> Scenario {
@@ -1841,33 +1252,10 @@ mod tests {
     }
 
     #[test]
-    fn executes_and_reports_in_bench_diff_shape() {
+    fn dump_spec_round_trips_and_suffixes_variants() {
         let mut s = sample();
-        s.matrix = Some(MatrixSpec {
-            modes: vec![ExecutionMode::Ref, ExecutionMode::OptM],
-            threads: vec![1],
-        });
-        s.run.steps = 4;
-        let report = s.execute(None).unwrap();
-        assert_eq!(report.variants.len(), 2);
-        assert!(report.drift_violations().is_empty());
-        let json = report.to_report_json();
-        let parsed = parse(&json).unwrap();
-        let series = parsed.get("series").unwrap().as_arr().unwrap();
-        assert_eq!(series.len(), 2);
-        assert_eq!(series[0].get("mode").unwrap().as_str(), Some("Ref"));
-        assert!(series[0].get("seconds_per_step").unwrap().as_f64().unwrap() > 0.0);
-        // Opt-M row carries the speedup against the Ref row.
-        assert!(series[1].get("speedup_vs_ref").is_some());
-    }
-
-    #[test]
-    fn dump_spec_round_trips_and_writes_frames() {
-        let mut s = sample();
-        let mut path = std::env::temp_dir();
-        path.push(format!("scenario_dump_{}.xyz", std::process::id()));
         s.dump = Some(DumpSpec {
-            path: path.display().to_string(),
+            path: "traj.xyz".into(),
             every: 2,
             elements: None,
         });
@@ -1889,16 +1277,9 @@ mod tests {
             .unwrap()
             .ends_with("_Opt-M_t2.xyz"));
 
-        // A single-variant run writes the declared path and counts frames.
+        // Without a matrix the declared path is used untouched.
         s.matrix = None;
-        s.run.steps = 6;
-        let report = s.execute(None).unwrap();
-        let (written, frames) = report.variants[0].dump.clone().unwrap();
-        assert_eq!(written, path);
-        assert_eq!(frames, 3); // steps 2, 4, 6
-        let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.starts_with(&format!("{}\n", s.n_atoms())));
-        let _ = std::fs::remove_file(&path);
+        assert_eq!(s.dump_path_for(v).unwrap(), PathBuf::from("traj.xyz"));
     }
 
     #[test]
@@ -1919,55 +1300,6 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("cadence"));
-    }
-
-    #[test]
-    fn report_json_carries_per_phase_timers() {
-        let mut s = sample();
-        s.matrix = None;
-        s.run.steps = 4;
-        let report = s.execute(None).unwrap();
-        let json = parse(&report.to_report_json()).unwrap();
-        let series = json.get("series").unwrap().as_arr().unwrap();
-        let timers = series[0].get("timers").unwrap();
-        for stage in Stage::ALL {
-            let v = timers.get(stage.name()).and_then(|t| t.as_f64());
-            assert!(v.is_some(), "missing timer for {}", stage.name());
-        }
-        assert!(
-            timers.get("integrate").unwrap().as_f64().unwrap() > 0.0,
-            "integration must be timed separately"
-        );
-    }
-
-    #[test]
-    fn drift_violations_are_detected() {
-        let mut s = sample();
-        s.matrix = None;
-        s.run.steps = 10;
-        s.max_drift = Some(1e-30); // unattainably tight
-        let report = s.execute(None).unwrap();
-        assert_eq!(report.drift_violations().len(), 1);
-    }
-
-    #[test]
-    fn steps_cap_limits_the_run() {
-        let mut s = sample();
-        s.matrix = None;
-        let report = s.execute(Some(3)).unwrap();
-        assert_eq!(report.steps, 3);
-        assert_eq!(report.variants[0].report().total_steps, 3);
-    }
-
-    #[test]
-    fn invalid_physical_setup_surfaces_the_build_error() {
-        let mut s = sample();
-        s.matrix = None;
-        s.run.timestep = -1.0;
-        match s.execute(None) {
-            Err(ScenarioError::Build(BuildError::NonPositiveTimestep(_))) => {}
-            other => panic!("expected build error, got {other:?}"),
-        }
     }
 
     #[test]

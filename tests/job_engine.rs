@@ -1,0 +1,267 @@
+//! The job engine's cross-crate guarantees, through the scenario layer:
+//!
+//! * **bitwise equivalence across `--jobs`** — a batch executed through the
+//!   engine at 1, 2 and 4 worker lanes produces per-variant thermo traces
+//!   bitwise identical to each other (a job's bits depend only on its own
+//!   inputs and its leased runtime, never on scheduling),
+//! * **fault isolation** — a variant panicking under a `TERSOFF_FAULT`-style
+//!   injection is typed `panicked` while every surviving variant of the
+//!   same batch stays bitwise identical to a clean run,
+//! * **cancellation** — cancelling a queued job leaves the already-running
+//!   and completed variants intact and bitwise correct,
+//! * the event stream narrates the batch (queued → started → thermo →
+//!   finished) and the artifact cache actually hits on repeated systems.
+
+use lammps_tersoff_vector::prelude::*;
+use lammps_tersoff_vector::scenario::{
+    FaultSpec, LatticeSpec, MatrixSpec, ParamSet, PotentialSpec, RunPolicy, RunSpec, Scenario,
+    ScenarioReport, SystemSpec, VariantStatus,
+};
+use md_core::jobs::{JobEngine, JobOutcome, JobSpec, JobStatus};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+fn sample_scenario() -> Scenario {
+    Scenario {
+        name: "engine_fixture".into(),
+        description: "job-engine equivalence fixture".into(),
+        system: SystemSpec {
+            lattice: LatticeSpec::Silicon,
+            cells: [2, 2, 2],
+            perturbation: 0.04,
+            lattice_seed: 21,
+            temperature: 400.0,
+            velocity_seed: 5,
+        },
+        potential: PotentialSpec {
+            params: ParamSet::Silicon,
+            mode: ExecutionMode::OptM,
+            scheme: Scheme::FusedLanes,
+            width: 0,
+            threads: 1,
+            backend: None,
+        },
+        run: RunSpec {
+            timestep: 0.001,
+            skin: 1.0,
+            steps: 10,
+            thermo_every: 2,
+        },
+        dump: None,
+        matrix: Some(MatrixSpec {
+            modes: vec![ExecutionMode::Ref, ExecutionMode::OptM],
+            threads: vec![1, 2],
+        }),
+        max_drift: None,
+        health: None,
+        checkpoint: None,
+        fault: None,
+    }
+}
+
+/// One variant's identity: label, status, and the exact bits of its
+/// thermo trace as (step, potential bits, total bits) triples.
+type VariantBits = (String, VariantStatus, Vec<(u64, u64, u64)>);
+
+fn trace_bits(report: &ScenarioReport) -> Vec<VariantBits> {
+    report
+        .variants
+        .iter()
+        .map(|v| {
+            (
+                v.label.clone(),
+                v.status,
+                v.trace
+                    .iter()
+                    .map(|t| (t.step, t.potential.to_bits(), t.total.to_bits()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn batches_are_bitwise_identical_at_every_jobs_count() {
+    let scenario = sample_scenario();
+    let run_at = |jobs: usize| {
+        let policy = RunPolicy {
+            jobs,
+            keep_going: true,
+            ..RunPolicy::default()
+        };
+        trace_bits(&scenario.execute_with(&policy).expect("batch runs"))
+    };
+    let serial = run_at(1);
+    assert_eq!(serial.len(), 4, "2 modes x 2 thread counts");
+    for (_, status, bits) in &serial {
+        assert_eq!(*status, VariantStatus::Ok);
+        assert!(!bits.is_empty());
+    }
+    for jobs in [2, 4] {
+        assert_eq!(
+            run_at(jobs),
+            serial,
+            "--jobs {jobs} diverged bitwise from the serial drain"
+        );
+    }
+}
+
+#[test]
+fn faulted_variants_are_isolated_and_survivors_stay_bitwise() {
+    let scenario = sample_scenario();
+    let clean = trace_bits(
+        &scenario
+            .execute_with(&RunPolicy {
+                jobs: 1,
+                keep_going: true,
+                ..RunPolicy::default()
+            })
+            .expect("clean batch runs"),
+    );
+
+    // The TERSOFF_FAULT format: panic at step 3 in every Ref variant.
+    let policy = RunPolicy {
+        jobs: 4,
+        keep_going: true,
+        fault_override: Some(FaultSpec::parse_env("panic@3@Ref").expect("valid fault spec")),
+        ..RunPolicy::default()
+    };
+    let faulted = scenario.execute_with(&policy).expect("faulted batch runs");
+    assert_eq!(faulted.variants.len(), clean.len());
+
+    let mut panicked = 0;
+    for (v, (label, _, clean_bits)) in faulted.variants.iter().zip(&clean) {
+        assert_eq!(&v.label, label, "variant order must not depend on faults");
+        if v.label.contains("Ref") {
+            assert_eq!(v.status, VariantStatus::Panicked, "{}", v.label);
+            assert!(v.error.is_some());
+            panicked += 1;
+        } else {
+            assert_eq!(v.status, VariantStatus::Ok, "{}", v.label);
+            let bits: Vec<(u64, u64, u64)> = v
+                .trace
+                .iter()
+                .map(|t| (t.step, t.potential.to_bits(), t.total.to_bits()))
+                .collect();
+            assert_eq!(
+                &bits, clean_bits,
+                "{}: survivor diverged from the clean run",
+                v.label
+            );
+        }
+    }
+    assert_eq!(panicked, 2, "both Ref thread counts must have faulted");
+}
+
+#[test]
+fn cancelling_queued_jobs_leaves_completed_variants_intact() {
+    let scenario = sample_scenario();
+    let serial = trace_bits(
+        &scenario
+            .execute_with(&RunPolicy {
+                jobs: 1,
+                keep_going: true,
+                ..RunPolicy::default()
+            })
+            .expect("serial batch runs"),
+    );
+
+    // One lane, plugged by a blocker job: everything submitted after it
+    // queues behind it, so cancellation targets a job that has not started.
+    let engine = JobEngine::with_workers(1);
+    let (release, gate) = mpsc::channel::<()>();
+    let blocker = engine
+        .submit(JobSpec::new("blocker", move |_ctx| {
+            gate.recv().expect("released");
+            0u32
+        }))
+        .expect("blocker submits");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while blocker.poll() != JobStatus::Running {
+        assert!(Instant::now() < deadline, "blocker never started");
+        std::thread::yield_now();
+    }
+
+    let policy = RunPolicy {
+        keep_going: true,
+        ..RunPolicy::default()
+    };
+    let variants = scenario.variants();
+    let mut handles = Vec::new();
+    for &v in &variants {
+        handles.push(
+            scenario
+                .submit(&engine, v, scenario.run.steps, &policy)
+                .expect("variant submits"),
+        );
+    }
+    let last = handles.pop().expect("four variants queued");
+    assert!(last.cancel(), "a queued job must accept cancellation");
+    release.send(()).expect("blocker releases");
+    assert!(matches!(blocker.wait(), JobOutcome::Finished(0)));
+
+    // The cancelled job never ran; every completed variant matches the
+    // serial drain bit for bit.
+    assert!(matches!(last.wait(), JobOutcome::Cancelled));
+    for (handle, (label, _, serial_bits)) in handles.into_iter().zip(&serial) {
+        let JobOutcome::Finished(report) = handle.wait() else {
+            panic!("{label}: completed variant lost to cancellation");
+        };
+        assert_eq!(&report.label, label);
+        assert_eq!(report.status, VariantStatus::Ok);
+        let bits: Vec<(u64, u64, u64)> = report
+            .trace
+            .iter()
+            .map(|t| (t.step, t.potential.to_bits(), t.total.to_bits()))
+            .collect();
+        assert_eq!(
+            &bits, serial_bits,
+            "{label}: bits changed under cancellation"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.cancelled, 1);
+}
+
+#[test]
+fn event_stream_narrates_the_batch_and_the_cache_hits() {
+    let mut scenario = sample_scenario();
+    scenario.matrix = Some(MatrixSpec {
+        modes: vec![ExecutionMode::Ref, ExecutionMode::OptM],
+        threads: vec![1],
+    });
+    let engine = JobEngine::with_workers(2);
+    let events = engine.subscribe();
+    let policy = RunPolicy {
+        keep_going: true,
+        ..RunPolicy::default()
+    };
+    let report = scenario
+        .execute_on(&engine, &policy)
+        .expect("batch runs on shared engine");
+    assert!(report
+        .variants
+        .iter()
+        .all(|v| v.status == VariantStatus::Ok));
+
+    let kinds: Vec<&'static str> = events.try_iter().map(|e| e.kind()).collect();
+    for expected in ["queued", "started", "thermo", "finished"] {
+        assert!(
+            kinds.contains(&expected),
+            "missing {expected:?} in event stream: {kinds:?}"
+        );
+    }
+    // Every recorded thermo sample was also published on the stream.
+    let expected: usize = report.variants.iter().map(|v| v.trace.len()).sum();
+    assert_eq!(kinds.iter().filter(|k| **k == "thermo").count(), expected);
+
+    // Both variants share one lattice and one parameter table: the second
+    // build must hit the artifact cache.
+    let stats = engine.stats();
+    assert!(
+        stats.cache.hits >= 2,
+        "expected lattice+params cache hits, got {:?}",
+        stats.cache
+    );
+    assert_eq!(report.engine.workers, 2);
+}
