@@ -1,23 +1,188 @@
-//! Figure 9: strong scalability on a cluster of Xeon-Phi-augmented nodes
-//! (SuperMIC: IV + 2 KNC per node), 2 million atoms, 1–8 nodes, three
-//! configurations: Ref (CPU only), Opt-D (CPU only), Opt-D (CPU + 2 KNC).
-//! The paper reports 2.5× (CPU only) and 6.5× (with accelerators) at 8 nodes
-//! / 196 MPI ranks.
+//! Figure 9: strong scalability — the same system spread over more and more
+//! ranks. The paper runs 2 million Si atoms on 1–8 SuperMIC nodes (196 MPI
+//! ranks at the top end) and reports 2.5× (CPU only) / 6.5× (with
+//! accelerators) over Ref at 8 nodes, with the communication share of the
+//! timestep growing as the per-rank subdomain shrinks.
+//!
+//! This reproduction measures the **real distributed timestep** — the
+//! in-process rank-parallel [`DomainSimulation`] (per-rank integration and
+//! neighbor builds, atom migration, ghost exchange as halo messages) — over
+//! a grid sweep of the committed `scenarios/fig9_strong_scaling.json`
+//! workload, verifying every decomposition is **bitwise identical** to the
+//! single-domain driver and reporting the measured communication fraction
+//! from the per-stage timers. Results go to `BENCH_fig9_strong_scaling.json`
+//! for the `bench_diff` gate (each grid is its own series row, keyed
+//! `mode/grid`). The cost-model projection for the paper's cluster is
+//! printed afterwards as context. Pass a cell count to scale up (e.g.
+//! `fig9_strong_scaling 40` ≈ 512 000 atoms).
 
 use arch_model::cost::{CostModel, Mode, WorkloadShape};
 use arch_model::machines::Machine;
-use bench::figure_header;
+use bench::{figure_header, ns_per_day, row, row_header, write_bench_json};
+use lammps_tersoff_vector::scenario::{Scenario, Variant};
+use md_core::domain::DomainSimulation;
+use md_core::timer::Stage;
+use std::time::Instant;
+
+/// The spec is embedded so the binary runs from any working directory; the
+/// file in `scenarios/` stays the single source of truth.
+const SPEC: &str = include_str!("../../../../scenarios/fig9_strong_scaling.json");
+
+/// The rank grids swept, smallest first. Grids whose subdomain cells would
+/// be thinner than the neighbor build cutoff for the chosen system are
+/// skipped (reported, not failed) — the same validation `tersoff-run`
+/// applies to a declared `decomposition`.
+const GRIDS: [[usize; 3]; 4] = [[1, 1, 1], [2, 1, 1], [2, 2, 1], [2, 2, 2]];
 
 fn main() {
+    let mut scenario = Scenario::from_json(SPEC).expect("embedded scenario is valid");
+    if let Some(cells) = std::env::args().nth(1).and_then(|s| s.parse().ok()) {
+        let cells: usize = std::cmp::max(cells, 1);
+        scenario.system.cells = [cells, cells, cells];
+    }
+    // The sweep below sets the grid per run; the declared decomposition only
+    // picks the default grid `tersoff-run` executes.
+    scenario.decomposition = None;
+    let cells = scenario.system.cells;
+    let n_atoms = scenario.n_atoms();
+    let steps = scenario.run.steps;
+    let variant = Variant {
+        mode: scenario.potential.mode,
+        threads: scenario.potential.threads,
+    };
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let executed_backend = scenario.options_for(variant).resolved_backend();
+
     figure_header(
         "Figure 9",
-        "strong scaling on the IV+2KNC cluster: Ref(IV), Opt-D(IV), Opt-D(IV+2KNC)",
-        "2 000 000 Si atoms; projections from the cost model",
+        "strong scaling over the rank-parallel domain decomposition (measured)",
+        &format!(
+            "{}x{}x{} cells = {n_atoms} perturbed Si atoms, {} mode, \
+             {} engine thread(s), {steps} steps per run",
+            cells[0],
+            cells[1],
+            cells[2],
+            variant.mode.label(),
+            variant.threads
+        ),
     );
+
+    // Single-domain reference trajectory: the bitwise anchor every grid must
+    // reproduce, and the denominator of the efficiency column.
+    let mut single = scenario
+        .simulation_builder(variant)
+        .expect("embedded scenario builds")
+        .build()
+        .expect("embedded scenario builds");
+    let start = Instant::now();
+    let reference = single.run(steps);
+    let single_seconds = start.elapsed().as_secs_f64();
+    let ref_bits = reference.final_thermo.total.to_bits();
+    println!(
+        "single-domain reference: E = {:.6} eV, {:.3} s wall\n",
+        reference.final_thermo.total, single_seconds
+    );
+
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>10} {:>10} {:>9} {:>8}",
+        "grid", "ranks", "s/step", "ns/day", "comm %", "ghost", "migrated", "bitwise"
+    );
+    println!("{:-<82}", "");
+
+    let mut json_rows = String::new();
+    for grid in GRIDS {
+        let builder = scenario
+            .simulation_builder(variant)
+            .expect("embedded scenario builds");
+        let mut dom = match DomainSimulation::new(builder, grid) {
+            Ok(dom) => dom,
+            Err(e) => {
+                println!(
+                    "{:<8} skipped: {e}",
+                    format!("{}x{}x{}", grid[0], grid[1], grid[2])
+                );
+                continue;
+            }
+        };
+        let start = Instant::now();
+        let report = dom.run(steps);
+        let wall = start.elapsed().as_secs_f64();
+        let seconds_per_step = wall / steps.max(1) as f64;
+
+        let timers = &dom.sim().timers;
+        let total: f64 = Stage::ALL.iter().map(|&s| timers.seconds(s)).sum();
+        let comm = timers.seconds(Stage::Comm) + timers.seconds(Stage::Migrate);
+        let comm_fraction = comm / total.max(1e-12);
+        let ghost_fraction = dom.ghost_fraction();
+        let migrations = dom.migrations();
+        let bitwise = report.final_thermo.total.to_bits() == ref_bits;
+
+        println!(
+            "{:<8} {:>6} {:>12.6} {:>12.3} {:>10.2} {:>10.3} {:>9} {:>8}",
+            format!("{}x{}x{}", grid[0], grid[1], grid[2]),
+            dom.n_ranks(),
+            seconds_per_step,
+            ns_per_day(seconds_per_step),
+            100.0 * comm_fraction,
+            ghost_fraction,
+            migrations,
+            if bitwise { "yes" } else { "NO" },
+        );
+        assert!(
+            bitwise,
+            "grid {grid:?} diverged from the single-domain trajectory"
+        );
+
+        if !json_rows.is_empty() {
+            json_rows.push_str(",\n");
+        }
+        // Each grid is its own `(mode, threads)` series key for the
+        // bench_diff gate, so the grid label rides in the mode string.
+        json_rows.push_str(&format!(
+            "    {{\"mode\": \"{}/{}x{}x{}\", \"threads\": {}, \"grid\": [{}, {}, {}], \
+             \"ranks\": {}, \"seconds_per_step\": {:.9e}, \"ns_per_day\": {:.6}, \
+             \"atom_steps_per_sec\": {:.3}, \"comm_fraction\": {:.6}, \
+             \"ghost_fraction\": {:.6}, \"migrations\": {}}}",
+            variant.mode.label(),
+            grid[0],
+            grid[1],
+            grid[2],
+            variant.threads,
+            grid[0],
+            grid[1],
+            grid[2],
+            dom.n_ranks(),
+            seconds_per_step,
+            ns_per_day(seconds_per_step),
+            n_atoms as f64 / seconds_per_step.max(1e-12),
+            comm_fraction,
+            ghost_fraction,
+            migrations,
+        ));
+    }
+
+    let body = format!(
+        "{{\n  \"figure\": \"fig9_strong_scaling\",\n  \"scenario\": \"{}\",\n  \
+         \"workload\": {{\"cells\": [{}, {}, {}], \"atoms\": {n_atoms}, \"perturbation\": \
+         {}}},\n  \"steps\": {steps},\n  \"available_parallelism\": {parallelism},\n  \
+         \"executed_backend\": \"{executed_backend}\",\n  \
+         \"single_domain_seconds\": {:.6},\n  \
+         \"series\": [\n{json_rows}\n  ]\n}}\n",
+        scenario.name, cells[0], cells[1], cells[2], scenario.system.perturbation, single_seconds
+    );
+    match write_bench_json("fig9_strong_scaling", &body) {
+        Ok(path) => println!("\n(wrote {path})"),
+        Err(e) => eprintln!("\nwarning: could not write JSON report: {e}"),
+    }
+
+    // Context: the analytic projection for the paper's cluster (SuperMIC:
+    // IV + 2 KNC per node) at the paper's 2-million-atom size.
+    println!("\ncost-model projection, 2 000 000 atoms on the paper's cluster (context):");
     let model = CostModel::default();
     let node = Machine::iv_2knc();
     let shape = WorkloadShape::silicon(2_000_000);
-
     println!(
         "{:<8} {:>14} {:>14} {:>18}",
         "#nodes", "Ref (IV)", "Opt-D (IV)", "Opt-D (IV+2KNC)"
@@ -37,13 +202,29 @@ fn main() {
         );
     }
 
-    println!("\nimprovement at 8 nodes relative to Ref (IV):");
-    println!(
-        "  Opt-D (IV)      : {:.2}x   (paper: 2.5x at 196 ranks)",
-        at8.1 / at8.0
+    println!();
+    row_header();
+    row(
+        "trajectory across ranks",
+        "one physical answer",
+        "bitwise identical (asserted)",
     );
-    println!("  Opt-D (IV+2KNC) : {:.2}x   (paper: 6.5x)", at8.2 / at8.0);
-    println!("\nshape: all three curves keep rising through 8 nodes and keep their ordering,");
-    println!("matching the paper's conclusion that the vector optimizations 'port to large");
-    println!("scale computations seamlessly'.");
+    row(
+        "comm share as ranks grow",
+        "rises (surface/volume)",
+        "see measured comm % column",
+    );
+    row(
+        "Opt-D (IV) at 8 nodes",
+        "2.5x over Ref",
+        &format!("{:.2}x (cost model)", at8.1 / at8.0),
+    );
+    row(
+        "Opt-D (IV+2KNC) at 8 nodes",
+        "6.5x over Ref",
+        &format!("{:.2}x (cost model)", at8.2 / at8.0),
+    );
+    println!("\nNote: in-process ranks share one host, so s/step measures decomposition");
+    println!("overhead rather than cluster speedup; the paper's scaling claim is carried");
+    println!("by the bitwise-identical distributed timestep plus the cost-model columns.");
 }

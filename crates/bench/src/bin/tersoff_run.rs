@@ -9,13 +9,16 @@
 //!
 //! ```text
 //! tersoff-run <scenario.json | scenarios-dir>... [--steps-cap N]
-//!             [--no-matrix] [--list] [--quiet] [--keep-going]
-//!             [--retries N] [--timeout-secs S] [--resume]
+//!             [--no-matrix] [--grid X,Y,Z] [--list] [--quiet]
+//!             [--keep-going] [--retries N] [--timeout-secs S] [--resume]
 //!             [--jobs N] [--throughput]
 //! ```
 //!
 //! * `--steps-cap N`    run at most N steps per variant (CI smoke runs)
 //! * `--no-matrix`      ignore declared matrices, run only the base variant
+//! * `--grid X,Y,Z`     run every scenario domain-decomposed over this rank
+//!   grid (overrides any declared `decomposition`; `1,1,1` forces
+//!   single-domain). Results are bitwise identical for any feasible grid.
 //! * `--list`           print the discovered scenarios and exit
 //! * `--quiet`          suppress the per-variant tables
 //! * `--keep-going`     keep running the remaining variants after a failure
@@ -48,8 +51,8 @@
 
 use bench::write_bench_json;
 use lammps_tersoff_vector::scenario::{
-    measure_throughput, BatchSeverity, FaultSpec, RunPolicy, Scenario, ScenarioReport,
-    VariantStatus,
+    measure_throughput, BatchSeverity, DecompositionSpec, FaultSpec, RunPolicy, Scenario,
+    ScenarioReport, VariantStatus,
 };
 use md_core::jobs::{EngineConfig, JobEngine};
 use std::path::PathBuf;
@@ -60,6 +63,7 @@ struct Args {
     paths: Vec<PathBuf>,
     steps_cap: Option<u64>,
     no_matrix: bool,
+    grid: Option<[usize; 3]>,
     list: bool,
     quiet: bool,
     keep_going: bool,
@@ -73,8 +77,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: tersoff-run <scenario.json | dir>... [--steps-cap N] \
-         [--no-matrix] [--list] [--quiet] [--keep-going] [--retries N] \
-         [--timeout-secs S] [--resume] [--jobs N] [--throughput]"
+         [--no-matrix] [--grid X,Y,Z] [--list] [--quiet] [--keep-going] \
+         [--retries N] [--timeout-secs S] [--resume] [--jobs N] \
+         [--throughput]"
     );
     std::process::exit(2);
 }
@@ -84,6 +89,7 @@ fn parse_args() -> Args {
         paths: Vec::new(),
         steps_cap: None,
         no_matrix: false,
+        grid: None,
         list: false,
         quiet: false,
         keep_going: false,
@@ -124,6 +130,13 @@ fn parse_args() -> Args {
                     .filter(|&n: &usize| n >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--grid" => {
+                out.grid = Some(
+                    args.next()
+                        .and_then(|v| parse_grid(&v))
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--no-matrix" => out.no_matrix = true,
             "--list" => out.list = true,
             "--quiet" => out.quiet = true,
@@ -139,6 +152,18 @@ fn parse_args() -> Args {
         usage();
     }
     out
+}
+
+/// Parse `--grid X,Y,Z` (each entry a positive rank count).
+fn parse_grid(text: &str) -> Option<[usize; 3]> {
+    let parts: Vec<usize> = text
+        .split(',')
+        .map(|t| t.trim().parse().ok().filter(|&g: &usize| g > 0))
+        .collect::<Option<_>>()?;
+    let [x, y, z] = parts.as_slice() else {
+        return None;
+    };
+    Some([*x, *y, *z])
 }
 
 /// Print the per-variant table plus the engine/backend facts for one
@@ -177,6 +202,18 @@ fn print_report(outcome: &ScenarioReport) {
         }
         if let Some(step) = v.resumed_from {
             println!("    {:<20}   resumed from checkpoint step {step}", "");
+        }
+        if let Some(d) = &v.decomposition {
+            println!(
+                "    {:<20}   {}x{}x{} ranks: {} migrated, ghost {:.3}, comm {:.1}%",
+                "",
+                d.grid[0],
+                d.grid[1],
+                d.grid[2],
+                d.migrations,
+                d.ghost_fraction,
+                100.0 * d.comm_fraction
+            );
         }
         for w in &v.warnings {
             println!("    {:<20}   warning: {w}", "");
@@ -272,6 +309,14 @@ fn main() -> ExitCode {
     if args.no_matrix {
         for (_, s) in &mut scenarios {
             s.matrix = None;
+        }
+    }
+    if let Some(grid) = args.grid {
+        // `--grid 1,1,1` strips declared decompositions (single-domain);
+        // anything else decomposes every scenario over that rank grid.
+        let spec = (grid != [1, 1, 1]).then_some(DecompositionSpec { grid });
+        for (_, s) in &mut scenarios {
+            s.decomposition = spec;
         }
     }
 

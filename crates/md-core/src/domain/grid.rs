@@ -1,0 +1,212 @@
+//! The rank grid: how the global box tiles into per-rank subdomains.
+//!
+//! LAMMPS assigns each MPI rank a brick-shaped subdomain of the global
+//! box; atoms belong to the rank whose brick contains them. [`DomainGrid`]
+//! is that assignment as pure geometry: rank indexing (row-major over the
+//! grid), subdomain construction (via [`SimBox::subdomain`]) and the
+//! owner lookup used by atom migration. Validation is typed: a grid whose
+//! cells are thinner than the neighbor build cutoff (`cutoff + skin`)
+//! cannot guarantee that a halo one cell deep covers every interaction,
+//! so [`DomainGrid::validate_cells`] rejects it with a [`GridError`]
+//! instead of producing silently wrong forces.
+
+use crate::simbox::SimBox;
+use std::fmt;
+
+/// Why a decomposition grid was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GridError {
+    /// A grid dimension is zero; every dimension needs at least one rank.
+    ZeroDimension {
+        /// The offending dimension (0 = x, 1 = y, 2 = z).
+        dim: usize,
+    },
+    /// A subdomain cell is thinner than the neighbor build cutoff
+    /// (`cutoff + skin`), so the one-cell-deep halo exchange could miss
+    /// interactions that reach across a whole cell.
+    CellSmallerThanCutoff {
+        /// The offending dimension (0 = x, 1 = y, 2 = z).
+        dim: usize,
+        /// Cell extent along that dimension (Å).
+        cell: f64,
+        /// The required minimum: the neighbor build cutoff `cutoff + skin`
+        /// (Å).
+        required: f64,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::ZeroDimension { dim } => {
+                write!(
+                    f,
+                    "decomposition grid dimension {} must be >= 1",
+                    ["x", "y", "z"][*dim]
+                )
+            }
+            GridError::CellSmallerThanCutoff {
+                dim,
+                cell,
+                required,
+            } => write!(
+                f,
+                "decomposition cell along {} ({cell:.3} Å) is thinner than the \
+                 neighbor build cutoff + skin ({required:.3} Å); use a \
+                 coarser grid or a larger box",
+                ["x", "y", "z"][*dim]
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// An `nx × ny × nz` grid of ranks tiling the global box. Ranks are indexed
+/// row-major: `rank = cx·ny·nz + cy·nz + cz`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DomainGrid {
+    /// Ranks per dimension.
+    pub dims: [usize; 3],
+}
+
+impl DomainGrid {
+    /// A validated grid (every dimension ≥ 1).
+    pub fn new(dims: [usize; 3]) -> Result<Self, GridError> {
+        for (dim, &g) in dims.iter().enumerate() {
+            if g == 0 {
+                return Err(GridError::ZeroDimension { dim });
+            }
+        }
+        Ok(DomainGrid { dims })
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn n_ranks(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Row-major rank index of a grid coordinate.
+    #[inline]
+    pub fn rank_of(&self, coord: [usize; 3]) -> usize {
+        coord[0] * self.dims[1] * self.dims[2] + coord[1] * self.dims[2] + coord[2]
+    }
+
+    /// Grid coordinate of a rank index (inverse of [`DomainGrid::rank_of`]).
+    #[inline]
+    pub fn coord_of(&self, rank: usize) -> [usize; 3] {
+        let plane = self.dims[1] * self.dims[2];
+        [
+            rank / plane,
+            (rank % plane) / self.dims[2],
+            rank % self.dims[2],
+        ]
+    }
+
+    /// The subdomain box owned by `rank` (non-periodic view; periodicity of
+    /// the parent box is carried by the ghost exchange).
+    pub fn subdomain(&self, global: &SimBox, rank: usize) -> SimBox {
+        global.subdomain(self.dims, self.coord_of(rank))
+    }
+
+    /// The rank whose subdomain contains position `x`. The position is
+    /// wrapped into the global box first, so any integrator output is a
+    /// valid query.
+    pub fn locate(&self, global: &SimBox, x: [f64; 3]) -> usize {
+        let p = global.wrap(x);
+        let lengths = global.lengths();
+        let mut coord = [0usize; 3];
+        for d in 0..3 {
+            let rel = (p[d] - global.lo[d]) / lengths[d];
+            coord[d] = ((rel * self.dims[d] as f64).floor() as usize).min(self.dims[d] - 1);
+        }
+        self.rank_of(coord)
+    }
+
+    /// Check that every subdomain cell is at least `build_cutoff`
+    /// (= `cutoff + skin`) wide in every dimension — the condition under
+    /// which a one-cell halo covers all interactions of a rank's atoms.
+    pub fn validate_cells(&self, global: &SimBox, build_cutoff: f64) -> Result<(), GridError> {
+        let lengths = global.lengths();
+        for dim in 0..3 {
+            let cell = lengths[dim] / self.dims[dim] as f64;
+            if cell < build_cutoff {
+                return Err(GridError::CellSmallerThanCutoff {
+                    dim,
+                    cell,
+                    required: build_cutoff,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_indexing_round_trips() {
+        let grid = DomainGrid::new([2, 3, 4]).unwrap();
+        assert_eq!(grid.n_ranks(), 24);
+        for rank in 0..grid.n_ranks() {
+            assert_eq!(grid.rank_of(grid.coord_of(rank)), rank);
+        }
+        assert_eq!(grid.rank_of([0, 0, 0]), 0);
+        assert_eq!(grid.rank_of([1, 2, 3]), 23);
+    }
+
+    #[test]
+    fn zero_dimension_is_rejected() {
+        assert_eq!(
+            DomainGrid::new([2, 0, 1]),
+            Err(GridError::ZeroDimension { dim: 1 })
+        );
+    }
+
+    #[test]
+    fn locate_agrees_with_subdomain_membership() {
+        let global = SimBox::cubic(12.0);
+        let grid = DomainGrid::new([2, 2, 3]).unwrap();
+        for &x in &[
+            [0.1, 0.1, 0.1],
+            [11.9, 11.9, 11.9],
+            [6.0, 5.9, 4.0],
+            [-1.0, 25.0, 6.0], // out of the box: wrapped first
+        ] {
+            let rank = grid.locate(&global, x);
+            let sub = grid.subdomain(&global, rank);
+            assert!(sub.contains(global.wrap(x)), "x={x:?} rank={rank}");
+        }
+    }
+
+    #[test]
+    fn subdomains_tile_the_box() {
+        let global = SimBox::cubic(10.0);
+        let grid = DomainGrid::new([2, 1, 2]).unwrap();
+        let total: f64 = (0..grid.n_ranks())
+            .map(|r| grid.subdomain(&global, r).volume())
+            .sum();
+        assert!((total - global.volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thin_cells_are_rejected_with_the_dimension() {
+        let global = SimBox::orthogonal([0.0; 3], [16.0, 16.0, 8.0]);
+        let grid = DomainGrid::new([2, 2, 2]).unwrap();
+        // 8/2 = 4.0 < 4.2 along z only.
+        let err = grid.validate_cells(&global, 4.2).unwrap_err();
+        assert_eq!(
+            err,
+            GridError::CellSmallerThanCutoff {
+                dim: 2,
+                cell: 4.0,
+                required: 4.2
+            }
+        );
+        assert!(err.to_string().contains('z'));
+        assert!(grid.validate_cells(&global, 4.0).is_ok());
+    }
+}

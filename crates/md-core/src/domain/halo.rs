@@ -1,0 +1,521 @@
+//! Halo (ghost) exchange between ranks, phrased as explicit messages.
+//!
+//! Every piece of inter-rank traffic is a [`HaloMsg`]: a `(src, dst)`
+//! addressed envelope whose payload is either the ghost *plan* — which of
+//! `src`'s atoms (and which periodic images) fall inside `dst`'s halo
+//! region — or the per-step *position refresh* for exactly those atoms, in
+//! plan order. Today the transport is shared memory: ranks live in one
+//! address space and the "send" is filling a mailbox slot that the
+//! destination rank reads on the same timestep. The message types are
+//! nevertheless fully serializable ([`HaloMsg::encode`] /
+//! [`HaloMsg::decode`], a fixed little-endian layout with `f64` payloads
+//! carried bit-exactly) so a socket transport can replace the mailboxes
+//! without reshaping the timestep.
+//!
+//! The exchange itself runs rank-parallel on the shared runtime: plan
+//! building and refresh packing dispatch one closure per *source* rank
+//! (each source owns its row of mailboxes), and the receive side in
+//! `domain::sim` dispatches per *destination* rank. Plans are rebuilt from
+//! scratch at every re-neighboring, right after atom migration; between
+//! rebuilds only positions flow.
+
+use crate::runtime::{DisjointSlice, ParallelRuntime};
+use crate::simbox::SimBox;
+use std::fmt;
+
+/// One ghost atom in a plan: which source atom it is, and which periodic
+/// image of it the destination should see.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GhostRef {
+    /// Row of the source atom in the canonical (global) atom arrays. A
+    /// future wire transport would map this through `id` instead; in the
+    /// shared-memory transport it doubles as the refresh lookup.
+    pub index: usize,
+    /// Stable atom id (what a remote peer would key on).
+    pub id: u64,
+    /// Atom type index.
+    pub type_: usize,
+    /// Periodic image shift to add to the source position (0 or ±L per
+    /// dimension).
+    pub shift: [f64; 3],
+    /// The shifted position at plan time.
+    pub x: [f64; 3],
+}
+
+/// Payload of a halo message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HaloPayload {
+    /// A ghost plan: sent at re-neighboring, establishes which images `dst`
+    /// imports from `src` and in what order.
+    Ghosts(Vec<GhostRef>),
+    /// A position refresh: sent every step, one position per planned ghost,
+    /// in plan order.
+    Positions(Vec<[f64; 3]>),
+}
+
+impl HaloPayload {
+    /// The ghost plan entries (empty for a positions payload).
+    pub fn ghosts(&self) -> &[GhostRef] {
+        match self {
+            HaloPayload::Ghosts(v) => v,
+            HaloPayload::Positions(_) => &[],
+        }
+    }
+
+    /// The refreshed positions (empty for a ghosts payload).
+    pub fn positions(&self) -> &[[f64; 3]] {
+        match self {
+            HaloPayload::Positions(v) => v,
+            HaloPayload::Ghosts(_) => &[],
+        }
+    }
+}
+
+/// A message between two ranks of a decomposed run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HaloMsg {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// What is being sent.
+    pub payload: HaloPayload,
+}
+
+/// Why a [`HaloMsg`] byte stream failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HaloDecodeError {
+    /// The buffer ended before the declared payload was complete.
+    Truncated,
+    /// Unknown payload tag byte.
+    BadTag(u8),
+    /// Bytes remained after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for HaloDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaloDecodeError::Truncated => write!(f, "halo message truncated"),
+            HaloDecodeError::BadTag(t) => write!(f, "unknown halo payload tag {t}"),
+            HaloDecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after halo message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HaloDecodeError {}
+
+const TAG_GHOSTS: u8 = 0;
+const TAG_POSITIONS: u8 = 1;
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], HaloDecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(HaloDecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, HaloDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, HaloDecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, HaloDecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn vec3(&mut self) -> Result<[f64; 3], HaloDecodeError> {
+        Ok([self.f64()?, self.f64()?, self.f64()?])
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_vec3(out: &mut Vec<u8>, v: [f64; 3]) {
+    for c in v {
+        put_u64(out, c.to_bits());
+    }
+}
+
+impl HaloMsg {
+    /// An empty message of the given payload kind (mailbox initialisation).
+    pub(crate) fn empty_ghosts(src: usize, dst: usize) -> Self {
+        HaloMsg {
+            src,
+            dst,
+            payload: HaloPayload::Ghosts(Vec::new()),
+        }
+    }
+
+    /// See [`HaloMsg::empty_ghosts`].
+    pub(crate) fn empty_positions(src: usize, dst: usize) -> Self {
+        HaloMsg {
+            src,
+            dst,
+            payload: HaloPayload::Positions(Vec::new()),
+        }
+    }
+
+    fn ghosts_mut(&mut self) -> &mut Vec<GhostRef> {
+        match &mut self.payload {
+            HaloPayload::Ghosts(v) => v,
+            HaloPayload::Positions(_) => unreachable!("ghost mailbox holds a Ghosts payload"),
+        }
+    }
+
+    fn positions_mut(&mut self) -> &mut Vec<[f64; 3]> {
+        match &mut self.payload {
+            HaloPayload::Positions(v) => v,
+            HaloPayload::Ghosts(_) => unreachable!("refresh mailbox holds a Positions payload"),
+        }
+    }
+
+    /// Append the wire encoding of this message to `out`. The layout is
+    /// fixed little-endian — tag byte, `src`, `dst`, entry count, entries —
+    /// with every `f64` carried as its IEEE-754 bit pattern, so a decoded
+    /// message is *bitwise* identical to the original.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match &self.payload {
+            HaloPayload::Ghosts(ghosts) => {
+                out.push(TAG_GHOSTS);
+                put_u64(out, self.src as u64);
+                put_u64(out, self.dst as u64);
+                put_u64(out, ghosts.len() as u64);
+                for g in ghosts {
+                    put_u64(out, g.index as u64);
+                    put_u64(out, g.id);
+                    put_u64(out, g.type_ as u64);
+                    put_vec3(out, g.shift);
+                    put_vec3(out, g.x);
+                }
+            }
+            HaloPayload::Positions(xs) => {
+                out.push(TAG_POSITIONS);
+                put_u64(out, self.src as u64);
+                put_u64(out, self.dst as u64);
+                put_u64(out, xs.len() as u64);
+                for &x in xs {
+                    put_vec3(out, x);
+                }
+            }
+        }
+    }
+
+    /// Decode a message produced by [`HaloMsg::encode`]. The whole buffer
+    /// must be exactly one message.
+    pub fn decode(buf: &[u8]) -> Result<HaloMsg, HaloDecodeError> {
+        let mut c = Cursor { buf, pos: 0 };
+        let tag = c.u8()?;
+        let src = c.u64()? as usize;
+        let dst = c.u64()? as usize;
+        let count = c.u64()? as usize;
+        let payload = match tag {
+            TAG_GHOSTS => {
+                let mut ghosts = Vec::with_capacity(count.min(buf.len() / 8));
+                for _ in 0..count {
+                    ghosts.push(GhostRef {
+                        index: c.u64()? as usize,
+                        id: c.u64()?,
+                        type_: c.u64()? as usize,
+                        shift: c.vec3()?,
+                        x: c.vec3()?,
+                    });
+                }
+                HaloPayload::Ghosts(ghosts)
+            }
+            TAG_POSITIONS => {
+                let mut xs = Vec::with_capacity(count.min(buf.len() / 24));
+                for _ in 0..count {
+                    xs.push(c.vec3()?);
+                }
+                HaloPayload::Positions(xs)
+            }
+            t => return Err(HaloDecodeError::BadTag(t)),
+        };
+        if c.pos != buf.len() {
+            return Err(HaloDecodeError::TrailingBytes(buf.len() - c.pos));
+        }
+        Ok(HaloMsg { src, dst, payload })
+    }
+}
+
+/// The full mailbox grid of a decomposed run: one plan message and one
+/// refresh message per ordered `(src, dst)` rank pair, buffers reused
+/// across steps so the steady-state exchange allocates nothing.
+pub(crate) struct HaloExchange {
+    n_ranks: usize,
+    /// Ghost plans, indexed `src * n_ranks + dst`.
+    plans: Vec<HaloMsg>,
+    /// Position refreshes, same indexing.
+    refresh: Vec<HaloMsg>,
+    /// Whether plans have been built since construction.
+    planned: bool,
+}
+
+/// Periodic image shifts along one dimension: `{-L, 0, +L}` if periodic,
+/// `{0}` otherwise.
+fn shifts_for(sim_box: &SimBox, d: usize) -> ([f64; 3], usize) {
+    if sim_box.periodic[d] {
+        let l = sim_box.hi[d] - sim_box.lo[d];
+        ([-l, 0.0, l], 3)
+    } else {
+        ([0.0; 3], 1)
+    }
+}
+
+impl HaloExchange {
+    pub(crate) fn new(n_ranks: usize) -> Self {
+        let mut plans = Vec::with_capacity(n_ranks * n_ranks);
+        let mut refresh = Vec::with_capacity(n_ranks * n_ranks);
+        for src in 0..n_ranks {
+            for dst in 0..n_ranks {
+                plans.push(HaloMsg::empty_ghosts(src, dst));
+                refresh.push(HaloMsg::empty_positions(src, dst));
+            }
+        }
+        HaloExchange {
+            n_ranks,
+            plans,
+            refresh,
+            planned: false,
+        }
+    }
+
+    pub(crate) fn planned(&self) -> bool {
+        self.planned
+    }
+
+    /// The current ghost plan from `src` to `dst`.
+    pub(crate) fn plan(&self, src: usize, dst: usize) -> &[GhostRef] {
+        self.plans[src * self.n_ranks + dst].payload.ghosts()
+    }
+
+    /// The latest position refresh from `src` to `dst`.
+    pub(crate) fn refreshed(&self, src: usize, dst: usize) -> &[[f64; 3]] {
+        self.refresh[src * self.n_ranks + dst].payload.positions()
+    }
+
+    /// Rebuild every ghost plan from the current canonical positions. The
+    /// send side of re-neighboring: each source rank scans its owned atoms
+    /// against every destination's halo bounds (`[lo - halo, hi + halo]`
+    /// per dimension, with periodic images of the global box) and fills its
+    /// row of plan mailboxes. Ranks run concurrently; each source owns a
+    /// disjoint mailbox row, and each mailbox's content depends only on the
+    /// canonical state, so the result is independent of thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build_plans(
+        &mut self,
+        runtime: &ParallelRuntime,
+        global: &SimBox,
+        halo: f64,
+        x: &[[f64; 3]],
+        type_: &[usize],
+        id: &[u64],
+        owned: &[Vec<usize>],
+        domains: &[SimBox],
+    ) {
+        let n = self.n_ranks;
+        let (sx, nx) = shifts_for(global, 0);
+        let (sy, ny) = shifts_for(global, 1);
+        let (sz, nz) = shifts_for(global, 2);
+        let mailboxes = DisjointSlice::new(&mut self.plans);
+        runtime.par_parts(n, |srcs| {
+            for src in srcs {
+                // SAFETY: each participant handles distinct `src` values, so
+                // mailbox rows are disjoint.
+                let row = unsafe { mailboxes.slice_mut(src * n..(src + 1) * n) };
+                for msg in row.iter_mut() {
+                    msg.ghosts_mut().clear();
+                }
+                for &gid in &owned[src] {
+                    let p = x[gid];
+                    for &dx in &sx[..nx] {
+                        for &dy in &sy[..ny] {
+                            for &dz in &sz[..nz] {
+                                let img = [p[0] + dx, p[1] + dy, p[2] + dz];
+                                let zero_shift = dx == 0.0 && dy == 0.0 && dz == 0.0;
+                                for (dst, dom) in domains.iter().enumerate() {
+                                    if dst == src && zero_shift {
+                                        continue;
+                                    }
+                                    let inside = (0..3).all(|d| {
+                                        img[d] >= dom.lo[d] - halo && img[d] <= dom.hi[d] + halo
+                                    });
+                                    if inside {
+                                        row[dst].ghosts_mut().push(GhostRef {
+                                            index: gid,
+                                            id: id[gid],
+                                            type_: type_[gid],
+                                            shift: [dx, dy, dz],
+                                            x: img,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        self.planned = true;
+    }
+
+    /// Pack the per-step position refresh: for every planned ghost, the
+    /// current canonical position plus the planned image shift, in plan
+    /// order. The shift arithmetic is the same expression used at plan
+    /// time, so a refresh on an unmoved atom reproduces the plan position
+    /// bit for bit.
+    pub(crate) fn refresh_positions(&mut self, runtime: &ParallelRuntime, x: &[[f64; 3]]) {
+        let n = self.n_ranks;
+        let plans = &self.plans;
+        let mailboxes = DisjointSlice::new(&mut self.refresh);
+        runtime.par_parts(n, |srcs| {
+            for src in srcs {
+                // SAFETY: disjoint mailbox rows per `src`, as in build_plans.
+                let row = unsafe { mailboxes.slice_mut(src * n..(src + 1) * n) };
+                for (dst, msg) in row.iter_mut().enumerate() {
+                    let buf = msg.positions_mut();
+                    buf.clear();
+                    for g in plans[src * n + dst].payload.ghosts() {
+                        let p = x[g.index];
+                        buf.push([p[0] + g.shift[0], p[1] + g.shift[1], p[2] + g.shift[2]]);
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::grid::DomainGrid;
+
+    #[test]
+    fn ghost_message_round_trips_bitwise() {
+        let msg = HaloMsg {
+            src: 1,
+            dst: 3,
+            payload: HaloPayload::Ghosts(vec![
+                GhostRef {
+                    index: 7,
+                    id: 42,
+                    type_: 1,
+                    shift: [-10.0, 0.0, 10.0],
+                    x: [0.125, -3.5, 9.875],
+                },
+                GhostRef {
+                    index: 0,
+                    id: 1,
+                    type_: 0,
+                    shift: [0.0, -0.0, 0.0],
+                    x: [1.0e-300, f64::MAX, -0.0],
+                },
+            ]),
+        };
+        let mut bytes = Vec::new();
+        msg.encode(&mut bytes);
+        let back = HaloMsg::decode(&bytes).unwrap();
+        // Bitwise: re-encoding the decoded message must reproduce the bytes
+        // (PartialEq alone would conflate 0.0 and -0.0).
+        let mut bytes2 = Vec::new();
+        back.encode(&mut bytes2);
+        assert_eq!(bytes, bytes2);
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn positions_message_round_trips() {
+        let msg = HaloMsg {
+            src: 0,
+            dst: 2,
+            payload: HaloPayload::Positions(vec![[1.5, 2.5, -3.5], [0.0, -0.0, 1.0e-12]]),
+        };
+        let mut bytes = Vec::new();
+        msg.encode(&mut bytes);
+        assert_eq!(HaloMsg::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_bad_tags_and_trailing_bytes() {
+        let msg = HaloMsg {
+            src: 0,
+            dst: 1,
+            payload: HaloPayload::Positions(vec![[1.0, 2.0, 3.0]]),
+        };
+        let mut bytes = Vec::new();
+        msg.encode(&mut bytes);
+        assert_eq!(
+            HaloMsg::decode(&bytes[..bytes.len() - 1]),
+            Err(HaloDecodeError::Truncated)
+        );
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert_eq!(HaloMsg::decode(&bad), Err(HaloDecodeError::BadTag(9)));
+        bytes.push(0);
+        assert_eq!(
+            HaloMsg::decode(&bytes),
+            Err(HaloDecodeError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn plans_cover_halo_regions_and_skip_self() {
+        let global = SimBox::cubic(10.0);
+        let grid = DomainGrid::new([2, 1, 1]).unwrap();
+        let n = grid.n_ranks();
+        let domains: Vec<SimBox> = (0..n).map(|r| grid.subdomain(&global, r)).collect();
+        // One atom near the lower x face, one mid-cell, one near x = 5.
+        let x = vec![[0.3, 5.0, 5.0], [2.5, 5.0, 5.0], [4.9, 5.0, 5.0]];
+        let type_ = vec![0, 0, 0];
+        let id = vec![1, 2, 3];
+        let owned = vec![vec![0, 1, 2], vec![]];
+        let runtime = ParallelRuntime::serial();
+        let mut halo = HaloExchange::new(n);
+        halo.build_plans(&runtime, &global, 1.0, &x, &type_, &id, &owned, &domains);
+        assert!(halo.planned());
+        // Atom 0 reaches rank 1 through the periodic -x face (shift +L puts
+        // its image at 10.3, inside [5-1, 10+1]); atom 2 reaches rank 1
+        // directly. Atom 1 is interior and exports nowhere.
+        let to_other = halo.plan(0, 1);
+        let ids: Vec<u64> = to_other.iter().map(|g| g.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(to_other[0].shift, [10.0, 0.0, 0.0]);
+        assert_eq!(to_other[1].shift, [0.0, 0.0, 0.0]);
+        // Self-plan holds only shifted images, never the atom itself.
+        for g in halo.plan(0, 0) {
+            assert_ne!(g.shift, [0.0, 0.0, 0.0]);
+        }
+        // Every planned image really lies inside the destination halo.
+        for src in 0..n {
+            for dst in 0..n {
+                for g in halo.plan(src, dst) {
+                    for d in 0..3 {
+                        assert!(g.x[d] >= domains[dst].lo[d] - 1.0);
+                        assert!(g.x[d] <= domains[dst].hi[d] + 1.0);
+                    }
+                }
+            }
+        }
+        // Refresh on unmoved atoms reproduces plan positions bit for bit.
+        halo.refresh_positions(&runtime, &x);
+        for (k, g) in halo.plan(0, 1).iter().enumerate() {
+            assert_eq!(halo.refreshed(0, 1)[k], g.x);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Rank-parallel spatial domain decomposition — the distributed timestep.
+//!
+//! The paper's strong-scaling results (Fig. 9) come from running the
+//! vectorized Tersoff kernels inside LAMMPS's spatial decomposition: the
+//! box is tiled into per-rank subdomains, each rank owns the atoms inside
+//! its brick, integrates and neighbor-builds them locally, imports *ghost*
+//! copies of boundary atoms from neighboring ranks every step, and hands
+//! atoms over when they cross a boundary. This module is that machinery,
+//! in-process: N ranks sharing one [`crate::runtime::ParallelRuntime`],
+//! with ghost traffic phrased as explicit serializable messages so the
+//! same timestep can later run over sockets.
+//!
+//! - [`grid`] — the rank lattice: indexing, subdomains, owner lookup, and
+//!   typed validation ([`GridError`]) of grids whose cells are thinner
+//!   than the neighbor build cutoff.
+//! - [`halo`] — ghost exchange as [`HaloMsg`] send/recv pairs: plan
+//!   messages at re-neighboring, position-refresh messages every step,
+//!   both with a bit-exact little-endian wire encoding.
+//! - [`sim`] — [`DomainSimulation`]: the full decomposed timestep
+//!   (integrate → halo refresh → migrate/exchange/rebuild → forces →
+//!   integrate), **bitwise identical** to the single-domain
+//!   [`crate::simulation::Simulation`] for any grid at any thread count.
+//!
+//! See the [`sim`] module docs for the rank lifecycle and the proof
+//! obligations behind the bitwise contract.
+
+pub mod grid;
+pub mod halo;
+pub mod sim;
+
+pub use grid::{DomainGrid, GridError};
+pub use halo::{GhostRef, HaloDecodeError, HaloMsg, HaloPayload};
+pub use sim::{DomainBuildError, DomainSimulation};

@@ -1,0 +1,918 @@
+//! The rank-parallel distributed timestep.
+//!
+//! [`DomainSimulation`] owns a canonical [`Simulation`] plus N rank
+//! domains and drives a complete decomposed step: per-rank velocity-Verlet
+//! integration over owned atoms, halo position refresh, atom migration and
+//! ghost re-exchange at re-neighboring, genuinely per-rank neighbor-list
+//! builds, and force computation — with ranks executing concurrently on
+//! the shared [`ParallelRuntime`].
+//!
+//! ## The bitwise contract
+//!
+//! A decomposed run produces **bit-for-bit** the thermo trace, trajectory
+//! and final state of the single-domain [`Simulation`], for any grid at
+//! any thread count. The discipline (continuing PR 4's fixed-chunk rule)
+//! is: *every floating-point reduction runs in canonical form, and the
+//! rank layer only ever produces data whose value is independent of the
+//! partition*:
+//!
+//! - **Integration** is per-atom arithmetic with no cross-atom reduction,
+//!   so each rank integrating its owned rows — concurrently, through a
+//!   [`DisjointSlice`] over the canonical arrays — produces the exact bits
+//!   of the canonical loop.
+//! - **Forces** merge per-chunk scatter buffers in a fixed chunk order
+//!   derived from the *global* atom count; any per-rank regrouping would
+//!   change summation order. The decomposed step therefore runs the same
+//!   canonical force pass, unchanged, over the canonically ordered list.
+//! - **Neighbor lists** are where the ranks do real distributed work: each
+//!   rank builds a genuine local list over its packed owned+ghost atoms
+//!   with a slightly *padded* cutoff, and the canonical list is then
+//!   assembled by re-filtering every candidate with the exact single-domain
+//!   predicate (`sim_box.distance_sq(x[i], x[j]) <= (cutoff+skin)²`),
+//!   sorted ascending and deduplicated (periodic images collapse onto one
+//!   canonical row entry). The padding absorbs the ulp-level difference
+//!   between the rank's plain-difference distances on shifted ghost images
+//!   and the canonical minimum-image distances, making the candidate set a
+//!   guaranteed superset — and the canonical filter then reproduces the
+//!   single-domain list bit for bit, entry for entry.
+//! - **Rebuild cadence** is decided by the canonical half-skin test on the
+//!   canonical positions, so rebuilds (and hence everything downstream)
+//!   happen at the same steps as single-domain runs.
+//!
+//! ## Rank lifecycle
+//!
+//! Construction partitions atoms by [`DomainGrid::locate`], then primes
+//! each rank: ghost plans are built ([`HaloExchange`]), ghosts imported,
+//! and per-rank lists built. Every step the ranks integrate their rows and
+//! receive a position refresh for their planned ghosts; at re-neighboring,
+//! leavers migrate to their new owner (count-conserving, order-restoring),
+//! plans are rebuilt from the current positions, ghosts are re-imported
+//! and the per-rank lists rebuilt and re-assembled. All rank phases are
+//! dispatched with `par_parts(n_ranks)` so ranks run concurrently wherever
+//! the runtime has threads, and every phase writes values that depend only
+//! on the canonical state — never on which participant ran which rank.
+
+use crate::atom::AtomData;
+use crate::domain::grid::{DomainGrid, GridError};
+use crate::domain::halo::HaloExchange;
+use crate::integrate::VelocityVerlet;
+use crate::neighbor::{NeighborList, NeighborSettings};
+use crate::observer::RunReport;
+use crate::potential::Potential;
+use crate::runtime::{DisjointSlice, ParallelRuntime};
+use crate::simbox::SimBox;
+use crate::simulation::{BuildError, RunError, Simulation, SimulationBuilder};
+use crate::timer::Stage;
+use std::fmt;
+
+/// Padding (Å) added to the rank-local build cutoff and the halo import
+/// distance. Rank-local candidate distances are plain differences against
+/// shifted ghost images; the canonical filter uses minimum-image
+/// arithmetic. The two differ by floating-point rounding only (≪ 1e-9 Å),
+/// so this comfortably guarantees the rank candidate set is a superset of
+/// the canonical neighbor set.
+const HALO_PAD: f64 = 1e-6;
+
+/// Why a [`DomainSimulation`] refused to build.
+#[derive(Debug)]
+pub enum DomainBuildError {
+    /// The decomposition grid is invalid for this box and potential.
+    Grid(GridError),
+    /// The underlying simulation configuration is invalid.
+    Simulation(BuildError),
+}
+
+impl fmt::Display for DomainBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainBuildError::Grid(e) => e.fmt(f),
+            DomainBuildError::Simulation(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DomainBuildError {}
+
+impl From<GridError> for DomainBuildError {
+    fn from(e: GridError) -> Self {
+        DomainBuildError::Grid(e)
+    }
+}
+
+impl From<BuildError> for DomainBuildError {
+    fn from(e: BuildError) -> Self {
+        DomainBuildError::Simulation(e)
+    }
+}
+
+/// Per-rank state: the packed local+ghost atom workspace, the rank's own
+/// neighbor list, and reusable scratch. Everything here is rebuilt from
+/// canonical state at re-neighboring and refreshed (positions only)
+/// between rebuilds; buffers are retained so the steady-state step
+/// allocates nothing.
+struct RankDomain {
+    /// Packed atoms: this rank's owned atoms (ascending canonical order),
+    /// then its imported ghosts (source-rank order).
+    atoms: AtomData,
+    /// Canonical row of each ghost, parallel to the ghost tail of `atoms`.
+    ghost_src: Vec<usize>,
+    /// The rank's own neighbor list over the packed atoms (padded cutoff).
+    list: NeighborList,
+    /// Inline executor for this rank's list builds: a one-participant
+    /// runtime runs the build on whichever worker owns the rank, so rank
+    /// builds nest safely inside the shared runtime's rank dispatch.
+    serial: ParallelRuntime,
+    /// Assembly scratch: concatenated canonical-row candidates
+    /// (filtered/sorted/deduplicated) and per-owned-atom row lengths.
+    row_gids: Vec<usize>,
+    row_counts: Vec<usize>,
+}
+
+impl RankDomain {
+    fn new() -> Self {
+        RankDomain {
+            atoms: AtomData::new(),
+            ghost_src: Vec::new(),
+            list: NeighborList::default(),
+            serial: ParallelRuntime::serial(),
+            row_gids: Vec::new(),
+            row_counts: Vec::new(),
+        }
+    }
+}
+
+/// The decomposition state driven alongside the canonical [`Simulation`].
+struct Shard {
+    grid: DomainGrid,
+    /// Per-rank subdomain boxes (row-major rank order).
+    domains: Vec<SimBox>,
+    /// Per-rank owned canonical rows, ascending.
+    owned: Vec<Vec<usize>>,
+    /// Migration scratch: per-rank stayers and the `src × dst` matrix of
+    /// leavers (row-major, `src * n_ranks + dst`).
+    stay: Vec<Vec<usize>>,
+    migrate_out: Vec<Vec<usize>>,
+    /// Owner map: canonical row → (rank, slot in that rank's owned list).
+    owner_of: Vec<(u32, u32)>,
+    ranks: Vec<RankDomain>,
+    halo: HaloExchange,
+    /// Canonical neighbor settings — the single-domain build cutoff that
+    /// the assembly filter reproduces exactly.
+    canon_settings: NeighborSettings,
+    /// Padded settings for the rank-local candidate builds.
+    rank_settings: NeighborSettings,
+    /// Ghost import distance: rank build cutoff plus padding.
+    halo_dist: f64,
+    /// Total atoms that changed owner over the run.
+    migrations: u64,
+}
+
+impl Shard {
+    /// One decomposed timestep. Mirrors `Simulation::advance_one_step`
+    /// phase for phase; only the *execution* of each phase is rank-shaped.
+    fn step<P: Potential>(&mut self, sim: &mut Simulation<P>) {
+        sim.begin_step();
+
+        self.integrate_initial(sim);
+        self.refresh_halo(sim);
+
+        if sim.neighbors.needs_rebuild(&sim.atoms, &sim.sim_box) {
+            self.migrate(sim);
+            self.exchange_ghosts(sim);
+            self.rebuild_rank_lists(sim);
+            self.assemble_canonical_list(sim);
+            sim.n_rebuilds += 1;
+            sim.notify_rebuild();
+        }
+
+        sim.compute_forces();
+        self.integrate_final(sim);
+
+        sim.end_step();
+    }
+
+    /// First velocity-Verlet half step: each rank kicks and drifts its
+    /// owned rows of the canonical arrays. Per-atom arithmetic — identical
+    /// bits to the canonical loop under any partition.
+    fn integrate_initial<P: Potential>(&self, sim: &mut Simulation<P>) {
+        let n_ranks = self.ranks.len();
+        let owned = &self.owned;
+        let Simulation {
+            atoms,
+            sim_box,
+            integrator,
+            masses,
+            runtime,
+            timers,
+            ..
+        } = sim;
+        let n = atoms.n_local;
+        let sim_box: &SimBox = sim_box;
+        let integrator: &VelocityVerlet = integrator;
+        let masses: &[f64] = masses;
+        let runtime: &ParallelRuntime = runtime;
+        timers.time(Stage::Integrate, || {
+            let AtomData { x, v, f, type_, .. } = &mut *atoms;
+            let xs = DisjointSlice::new(&mut x[..n]);
+            let vs = DisjointSlice::new(&mut v[..n]);
+            let f: &[[f64; 3]] = f;
+            let type_: &[usize] = type_;
+            runtime.par_parts(n_ranks, |ranks| {
+                for r in ranks {
+                    // SAFETY: ownership partitions the rows — each canonical
+                    // row appears in exactly one rank's owned list.
+                    unsafe {
+                        integrator
+                            .initial_integrate_rows(&xs, &vs, f, type_, masses, sim_box, &owned[r]);
+                    }
+                }
+            });
+        });
+    }
+
+    /// Second half step (velocity kick only), rank-partitioned like
+    /// [`Shard::integrate_initial`].
+    fn integrate_final<P: Potential>(&self, sim: &mut Simulation<P>) {
+        let n_ranks = self.ranks.len();
+        let owned = &self.owned;
+        let Simulation {
+            atoms,
+            integrator,
+            masses,
+            runtime,
+            timers,
+            ..
+        } = sim;
+        let n = atoms.n_local;
+        let integrator: &VelocityVerlet = integrator;
+        let masses: &[f64] = masses;
+        let runtime: &ParallelRuntime = runtime;
+        timers.time(Stage::Integrate, || {
+            let AtomData { v, f, type_, .. } = &mut *atoms;
+            let vs = DisjointSlice::new(&mut v[..n]);
+            let f: &[[f64; 3]] = f;
+            let type_: &[usize] = type_;
+            runtime.par_parts(n_ranks, |ranks| {
+                for r in ranks {
+                    // SAFETY: disjoint owned rows, as above.
+                    unsafe {
+                        integrator.final_integrate_rows(&vs, f, type_, masses, &owned[r]);
+                    }
+                }
+            });
+        });
+    }
+
+    /// Per-step halo traffic: every source rank packs the current positions
+    /// of its planned exports into refresh messages, then every destination
+    /// rank copies its owned rows and received ghost positions into its
+    /// packed workspace. No-op until the first plans exist.
+    fn refresh_halo<P: Potential>(&mut self, sim: &mut Simulation<P>) {
+        if !self.halo.planned() {
+            return;
+        }
+        let Shard {
+            halo, ranks, owned, ..
+        } = self;
+        let n_ranks = ranks.len();
+        let Simulation {
+            atoms,
+            runtime,
+            timers,
+            ..
+        } = sim;
+        let runtime: &ParallelRuntime = runtime;
+        timers.time(Stage::Comm, || {
+            // Send: pack refresh messages (rank-parallel over sources).
+            halo.refresh_positions(runtime, &atoms.x);
+            // Receive: apply to the packed rank workspaces.
+            let halo: &HaloExchange = halo;
+            let owned: &[Vec<usize>] = owned;
+            let x = &atoms.x;
+            let rs = DisjointSlice::new(ranks);
+            runtime.par_parts(n_ranks, |dsts| {
+                for dst in dsts {
+                    // SAFETY: one participant per destination rank.
+                    let r = unsafe { rs.get_mut(dst) };
+                    for (slot, &gid) in owned[dst].iter().enumerate() {
+                        r.atoms.x[slot] = x[gid];
+                    }
+                    let mut cursor = r.atoms.n_local;
+                    for src in 0..n_ranks {
+                        for &p in halo.refreshed(src, dst) {
+                            r.atoms.x[cursor] = p;
+                            cursor += 1;
+                        }
+                    }
+                    debug_assert_eq!(cursor, r.atoms.n_total());
+                }
+            });
+        });
+    }
+
+    /// Transfer ownership of atoms that crossed a rank boundary. Three
+    /// rank-parallel phases — leaver detection, destination-side merge
+    /// (sorted, so owned lists stay ascending), owner-map rebuild — each
+    /// writing partition-independent values. Conserves the atom count or
+    /// panics.
+    fn migrate<P: Potential>(&mut self, sim: &mut Simulation<P>) {
+        let Shard {
+            grid,
+            owned,
+            stay,
+            migrate_out,
+            owner_of,
+            migrations,
+            ..
+        } = self;
+        let n_ranks = grid.n_ranks();
+        let grid: &DomainGrid = grid;
+        let Simulation {
+            atoms,
+            sim_box,
+            runtime,
+            timers,
+            ..
+        } = sim;
+        let sim_box: &SimBox = sim_box;
+        let runtime: &ParallelRuntime = runtime;
+        let x = &atoms.x;
+        timers.time(Stage::Migrate, || {
+            // Phase 1: each rank splits its owned atoms into stayers and
+            // per-destination leavers.
+            {
+                let owned: &[Vec<usize>] = owned;
+                let stays = DisjointSlice::new(stay);
+                let outs = DisjointSlice::new(migrate_out);
+                runtime.par_parts(n_ranks, |srcs| {
+                    for src in srcs {
+                        // SAFETY: each participant handles distinct source
+                        // ranks; `stay[src]` and row `src` of the matrix
+                        // belong to it alone.
+                        let st = unsafe { stays.get_mut(src) };
+                        let out_row = unsafe { outs.slice_mut(src * n_ranks..(src + 1) * n_ranks) };
+                        st.clear();
+                        for o in out_row.iter_mut() {
+                            o.clear();
+                        }
+                        for &gid in &owned[src] {
+                            let dst = grid.locate(sim_box, x[gid]);
+                            if dst == src {
+                                st.push(gid);
+                            } else {
+                                out_row[dst].push(gid);
+                            }
+                        }
+                    }
+                });
+            }
+            let moved: usize = (0..n_ranks)
+                .flat_map(|src| (0..n_ranks).map(move |dst| (src, dst)))
+                .filter(|&(src, dst)| src != dst)
+                .map(|(src, dst)| migrate_out[src * n_ranks + dst].len())
+                .sum();
+            *migrations += moved as u64;
+
+            // Phase 2: each destination merges stayers and arrivals and
+            // restores ascending canonical order.
+            {
+                let stay: &[Vec<usize>] = stay;
+                let outs: &[Vec<usize>] = migrate_out;
+                let owns = DisjointSlice::new(owned);
+                runtime.par_parts(n_ranks, |dsts| {
+                    for dst in dsts {
+                        // SAFETY: one participant per destination rank.
+                        let od = unsafe { owns.get_mut(dst) };
+                        od.clear();
+                        od.extend_from_slice(&stay[dst]);
+                        for src in 0..n_ranks {
+                            if src != dst {
+                                od.extend_from_slice(&outs[src * n_ranks + dst]);
+                            }
+                        }
+                        od.sort_unstable();
+                    }
+                });
+            }
+            let total: usize = owned.iter().map(|o| o.len()).sum();
+            assert_eq!(
+                total, atoms.n_local,
+                "atom migration lost or duplicated atoms"
+            );
+
+            // Phase 3: rebuild the owner map from the new owned lists.
+            {
+                let owned: &[Vec<usize>] = owned;
+                let owners = DisjointSlice::new(owner_of);
+                runtime.par_parts(n_ranks, |dsts| {
+                    for dst in dsts {
+                        for (slot, &gid) in owned[dst].iter().enumerate() {
+                            // SAFETY: each canonical row is owned by exactly
+                            // one rank post-migration.
+                            unsafe { *owners.get_mut(gid) = (dst as u32, slot as u32) };
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Rebuild ghost plans from current positions and re-import ghosts:
+    /// the send side fills the plan mailboxes (see [`HaloExchange`]), the
+    /// receive side repacks each rank's atom workspace — owned atoms in
+    /// ascending canonical order, then ghosts in (source rank, plan) order.
+    fn exchange_ghosts<P: Potential>(&mut self, sim: &mut Simulation<P>) {
+        let Shard {
+            halo,
+            ranks,
+            owned,
+            domains,
+            halo_dist,
+            ..
+        } = self;
+        let n_ranks = ranks.len();
+        let halo_dist = *halo_dist;
+        let Simulation {
+            atoms,
+            sim_box,
+            runtime,
+            timers,
+            ..
+        } = sim;
+        let runtime: &ParallelRuntime = runtime;
+        timers.time(Stage::Comm, || {
+            halo.build_plans(
+                runtime,
+                sim_box,
+                halo_dist,
+                &atoms.x,
+                &atoms.type_,
+                &atoms.id,
+                owned,
+                domains,
+            );
+            let halo: &HaloExchange = halo;
+            let owned: &[Vec<usize>] = owned;
+            let AtomData {
+                x, v, type_, id, ..
+            } = &*atoms;
+            let rs = DisjointSlice::new(ranks);
+            runtime.par_parts(n_ranks, |dsts| {
+                for dst in dsts {
+                    // SAFETY: one participant per destination rank.
+                    let r = unsafe { rs.get_mut(dst) };
+                    let ra = &mut r.atoms;
+                    ra.x.clear();
+                    ra.v.clear();
+                    ra.f.clear();
+                    ra.type_.clear();
+                    ra.id.clear();
+                    ra.n_local = 0;
+                    for &gid in &owned[dst] {
+                        ra.push_local(x[gid], v[gid], type_[gid], id[gid]);
+                    }
+                    r.ghost_src.clear();
+                    for src in 0..n_ranks {
+                        for g in halo.plan(src, dst) {
+                            ra.push_ghost(g.x, g.type_, g.id);
+                            r.ghost_src.push(g.index);
+                        }
+                    }
+                }
+            });
+        });
+    }
+
+    /// Every rank rebuilds its own neighbor list over its packed atoms with
+    /// the padded cutoff — genuine distributed list construction, ranks
+    /// concurrent, each build running inline on its rank's one-participant
+    /// runtime.
+    fn rebuild_rank_lists<P: Potential>(&mut self, sim: &mut Simulation<P>) {
+        let Shard {
+            ranks,
+            rank_settings,
+            ..
+        } = self;
+        let n_ranks = ranks.len();
+        let settings = *rank_settings;
+        let Simulation {
+            sim_box,
+            runtime,
+            timers,
+            ..
+        } = sim;
+        let sim_box: &SimBox = sim_box;
+        let runtime: &ParallelRuntime = runtime;
+        timers.time(Stage::Neighbor, || {
+            let rs = DisjointSlice::new(ranks);
+            runtime.par_parts(n_ranks, |ks| {
+                for k in ks {
+                    // SAFETY: one participant per rank.
+                    let r = unsafe { rs.get_mut(k) };
+                    let RankDomain {
+                        atoms,
+                        list,
+                        serial,
+                        ..
+                    } = r;
+                    list.rebuild_on(atoms, sim_box, settings, serial);
+                }
+            });
+        });
+    }
+
+    /// Assemble the canonical neighbor list from the rank lists. Each rank
+    /// maps its rows to canonical indices, re-filters every candidate with
+    /// the exact single-domain predicate, sorts ascending and deduplicates
+    /// periodic images; a serial pass lays out the canonical CRS prefix in
+    /// global atom order; the ranks then copy their rows into place. The
+    /// result is bit-identical to what `NeighborList::rebuild_on` would
+    /// have produced on the canonical arrays.
+    fn assemble_canonical_list<P: Potential>(&mut self, sim: &mut Simulation<P>) {
+        let Shard {
+            ranks,
+            owned,
+            owner_of,
+            canon_settings,
+            ..
+        } = self;
+        let n_ranks = ranks.len();
+        let settings = *canon_settings;
+        let cut = settings.build_cutoff();
+        let cut_sq = cut * cut;
+        let Simulation {
+            atoms,
+            sim_box,
+            neighbors,
+            runtime,
+            timers,
+            ..
+        } = sim;
+        let n = atoms.n_local;
+        let x = &atoms.x;
+        let sim_box: &SimBox = sim_box;
+        let runtime: &ParallelRuntime = runtime;
+        timers.time(Stage::Neighbor, || {
+            // Phase 1: rank rows → filtered, ascending, deduplicated
+            // canonical rows (rank-parallel; values depend only on the rank
+            // list and canonical positions).
+            {
+                let owned: &[Vec<usize>] = owned;
+                let rs = DisjointSlice::new(ranks);
+                runtime.par_parts(n_ranks, |ks| {
+                    for k in ks {
+                        // SAFETY: one participant per rank.
+                        let r = unsafe { rs.get_mut(k) };
+                        let RankDomain {
+                            atoms: ratoms,
+                            ghost_src,
+                            list,
+                            row_gids,
+                            row_counts,
+                            ..
+                        } = r;
+                        let n_loc = ratoms.n_local;
+                        row_gids.clear();
+                        row_counts.clear();
+                        for (slot, &gid_i) in owned[k].iter().enumerate() {
+                            let start = row_gids.len();
+                            for &j in list.neighbors_of(slot) {
+                                let gid_j = if j < n_loc {
+                                    owned[k][j]
+                                } else {
+                                    ghost_src[j - n_loc]
+                                };
+                                // A periodic self-image maps back to the atom
+                                // itself; the canonical list never contains i
+                                // in its own row.
+                                if gid_j == gid_i {
+                                    continue;
+                                }
+                                // The single-domain predicate, verbatim.
+                                if sim_box.distance_sq(x[gid_i], x[gid_j]) <= cut_sq {
+                                    row_gids.push(gid_j);
+                                }
+                            }
+                            row_gids[start..].sort_unstable();
+                            // In-place dedup of the freshly sorted row: two
+                            // ghost images of one atom can both pass the
+                            // filter but form a single canonical entry.
+                            let mut w = start;
+                            for rd in start..row_gids.len() {
+                                if w == start || row_gids[rd] != row_gids[w - 1] {
+                                    row_gids[w] = row_gids[rd];
+                                    w += 1;
+                                }
+                            }
+                            row_gids.truncate(w);
+                            row_counts.push(w - start);
+                        }
+                    }
+                });
+            }
+
+            // Phase 2 (serial): canonical CRS prefix in global atom order.
+            neighbors.firstneigh.clear();
+            neighbors.firstneigh.reserve(n + 1);
+            neighbors.firstneigh.push(0);
+            let mut total = 0usize;
+            for gid in 0..n {
+                let (rk, slot) = owner_of[gid];
+                total += ranks[rk as usize].row_counts[slot as usize];
+                neighbors.firstneigh.push(total);
+            }
+            neighbors.neighbors.clear();
+            neighbors.neighbors.resize(total, 0);
+
+            // Phase 3: ranks copy their rows into the canonical CRS
+            // (disjoint row spans).
+            {
+                let firstneigh = &neighbors.firstneigh;
+                let ranks: &[RankDomain] = ranks;
+                let owned: &[Vec<usize>] = owned;
+                let out = DisjointSlice::new(&mut neighbors.neighbors);
+                runtime.par_parts(n_ranks, |ks| {
+                    for k in ks {
+                        let mut off = 0usize;
+                        for (slot, &gid) in owned[k].iter().enumerate() {
+                            let cnt = ranks[k].row_counts[slot];
+                            // SAFETY: each canonical row span belongs to the
+                            // one rank that owns the atom.
+                            let row =
+                                unsafe { out.slice_mut(firstneigh[gid]..firstneigh[gid] + cnt) };
+                            row.copy_from_slice(&ranks[k].row_gids[off..off + cnt]);
+                            off += cnt;
+                        }
+                    }
+                });
+            }
+
+            // Phase 4: the same bookkeeping rebuild_on performs.
+            neighbors.reference_x.clear();
+            neighbors.reference_x.extend_from_slice(&x[..n]);
+            neighbors.settings = settings;
+            neighbors.n_local = n;
+        });
+    }
+}
+
+/// A decomposed simulation: N rank domains over one canonical
+/// [`Simulation`], advancing a full distributed timestep per step. See the
+/// module docs for the rank lifecycle and the bitwise contract.
+pub struct DomainSimulation<P: Potential> {
+    sim: Simulation<P>,
+    shard: Shard,
+}
+
+impl<P: Potential> DomainSimulation<P> {
+    /// Build a decomposed simulation from a [`SimulationBuilder`] and a
+    /// rank grid. The grid is validated against the box and the
+    /// potential's cutoff (every subdomain cell must be at least
+    /// `cutoff + skin` wide; see [`GridError`]); the underlying simulation
+    /// is constructed exactly as the builder would alone, so the initial
+    /// state — velocities, forces, thermo — is identical to the
+    /// single-domain run.
+    pub fn new(
+        builder: SimulationBuilder<P>,
+        grid_dims: [usize; 3],
+    ) -> Result<Self, DomainBuildError> {
+        let grid = DomainGrid::new(grid_dims)?;
+        let mut sim = builder.build()?;
+        let canon_settings = NeighborSettings::new(sim.potential.cutoff(), sim.skin());
+        grid.validate_cells(&sim.sim_box, canon_settings.build_cutoff())?;
+        let rank_settings =
+            NeighborSettings::new(canon_settings.cutoff, canon_settings.skin + HALO_PAD);
+        let halo_dist = rank_settings.build_cutoff() + HALO_PAD;
+
+        let n_ranks = grid.n_ranks();
+        let n = sim.atoms.n_local;
+        let domains: Vec<SimBox> = (0..n_ranks)
+            .map(|r| grid.subdomain(&sim.sim_box, r))
+            .collect();
+        let mut shard = Shard {
+            grid,
+            domains,
+            owned: vec![Vec::new(); n_ranks],
+            stay: vec![Vec::new(); n_ranks],
+            migrate_out: vec![Vec::new(); n_ranks * n_ranks],
+            owner_of: vec![(0, 0); n],
+            ranks: (0..n_ranks).map(|_| RankDomain::new()).collect(),
+            halo: HaloExchange::new(n_ranks),
+            canon_settings,
+            rank_settings,
+            halo_dist,
+            migrations: 0,
+        };
+
+        // Initial partition by subdomain membership (construction is the
+        // one serial pass; every later repartition is the rank-parallel
+        // migration).
+        for gid in 0..n {
+            let r = shard.grid.locate(&sim.sim_box, sim.atoms.x[gid]);
+            shard.owner_of[gid] = (r as u32, shard.owned[r].len() as u32);
+            shard.owned[r].push(gid);
+        }
+
+        // Prime the rank layer: plans, ghosts, per-rank lists. The
+        // canonical neighbor list from the builder stays authoritative (on
+        // a resumed run it is rebuilt from checkpoint reference positions,
+        // which the rank lists deliberately do not disturb); the first
+        // re-neighboring replaces everything through the full exchange +
+        // assembly path.
+        shard.exchange_ghosts(&mut sim);
+        shard.rebuild_rank_lists(&mut sim);
+
+        Ok(DomainSimulation { sim, shard })
+    }
+
+    /// The decomposition grid.
+    pub fn grid(&self) -> DomainGrid {
+        self.shard.grid
+    }
+
+    /// Number of rank domains.
+    pub fn n_ranks(&self) -> usize {
+        self.shard.ranks.len()
+    }
+
+    /// The canonical simulation (atoms, box, thermo history, observers).
+    pub fn sim(&self) -> &Simulation<P> {
+        &self.sim
+    }
+
+    /// Mutable access to the canonical simulation (e.g. to re-seed
+    /// velocities or register observers). The rank layer re-derives its
+    /// state from the canonical arrays at every re-neighboring, so
+    /// canonical mutations stay coherent.
+    pub fn sim_mut(&mut self) -> &mut Simulation<P> {
+        &mut self.sim
+    }
+
+    /// Advance `n_steps` decomposed timesteps (panicking counterpart of
+    /// [`DomainSimulation::try_run`], mirroring [`Simulation::run`]).
+    pub fn run(&mut self, n_steps: u64) -> RunReport {
+        match self.try_run(n_steps) {
+            Ok(report) => report,
+            Err(RunError::Diverged { report, .. }) => *report,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Advance `n_steps` decomposed timesteps through the shared run loop:
+    /// same observers, fault handling, report assembly — and bit-identical
+    /// results — as the single-domain [`Simulation::try_run`].
+    pub fn try_run(&mut self, n_steps: u64) -> Result<RunReport, RunError> {
+        let DomainSimulation { sim, shard } = self;
+        sim.run_driver(n_steps, |s| shard.step(s))
+    }
+
+    /// Total number of atoms that changed owner rank so far.
+    pub fn migrations(&self) -> u64 {
+        self.shard.migrations
+    }
+
+    /// Owned-atom count per rank (row-major rank order).
+    pub fn atoms_per_rank(&self) -> Vec<usize> {
+        self.shard.owned.iter().map(|o| o.len()).collect()
+    }
+
+    /// Imported ghosts as a fraction of local atoms — the communication
+    /// surface the paper's Fig. 9 discussion attributes the strong-scaling
+    /// overhead to.
+    pub fn ghost_fraction(&self) -> f64 {
+        let ghosts: usize = self.shard.ranks.iter().map(|r| r.atoms.n_ghost()).sum();
+        ghosts as f64 / self.sim.atoms.n_local.max(1) as f64
+    }
+
+    /// Copy the current forces into `out`, ordered by canonical atom index
+    /// (deterministic, allocation-free once `out` has capacity).
+    pub fn collect_forces_into(&self, out: &mut Vec<[f64; 3]>) {
+        out.clear();
+        out.extend_from_slice(&self.sim.atoms.f[..self.sim.atoms.n_local]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Lattice;
+    use crate::pair_lj::LennardJones;
+    use crate::simulation::SimulationBuilder;
+    use crate::units;
+
+    fn lj_builder(threads: usize) -> SimulationBuilder<LennardJones> {
+        let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.02, 3);
+        let lj = LennardJones::new(0.1, 2.0, 4.0);
+        Simulation::builder(atoms, sim_box, lj)
+            .masses(vec![units::mass::SI])
+            .temperature(4000.0, 11)
+            .thermo_every(5)
+            .threads(threads)
+    }
+
+    fn bits(x: &[[f64; 3]]) -> Vec<[u64; 3]> {
+        x.iter()
+            .map(|p| [p[0].to_bits(), p[1].to_bits(), p[2].to_bits()])
+            .collect()
+    }
+
+    #[test]
+    fn decomposed_run_is_bitwise_identical_to_single_domain() {
+        let mut single = lj_builder(2).build().unwrap();
+        let r1 = single.run(60);
+
+        let mut dom = DomainSimulation::new(lj_builder(2), [2, 1, 1]).unwrap();
+        let r2 = dom.run(60);
+
+        // The hot system must actually re-neighbor, otherwise this test
+        // would not exercise migration/exchange/assembly.
+        assert!(r1.total_rebuilds > 1, "test system failed to re-neighbor");
+        assert_eq!(r1.total_rebuilds, r2.total_rebuilds);
+        assert_eq!(
+            r1.final_thermo.total.to_bits(),
+            r2.final_thermo.total.to_bits()
+        );
+        assert_eq!(bits(&single.atoms.x), bits(&dom.sim().atoms.x));
+        assert_eq!(bits(&single.atoms.v), bits(&dom.sim().atoms.v));
+        let h1: Vec<u64> = single
+            .thermo_history()
+            .iter()
+            .map(|t| t.total.to_bits())
+            .collect();
+        let h2: Vec<u64> = dom
+            .sim()
+            .thermo_history()
+            .iter()
+            .map(|t| t.total.to_bits())
+            .collect();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn migration_conserves_atoms_and_counts_transfers() {
+        let mut dom = DomainSimulation::new(lj_builder(4), [2, 2, 1]).unwrap();
+        let before: usize = dom.atoms_per_rank().iter().sum();
+        dom.run(80);
+        let after: usize = dom.atoms_per_rank().iter().sum();
+        assert_eq!(before, dom.sim().atoms.n_local);
+        assert_eq!(after, dom.sim().atoms.n_local);
+        assert!(
+            dom.migrations() > 0,
+            "hot system should move atoms across rank boundaries"
+        );
+        // Ownership must agree with the grid for every atom after the run's
+        // last migration... only guaranteed right after a rebuild, so check
+        // the weaker invariant: every atom is owned exactly once.
+        let mut seen = vec![false; dom.sim().atoms.n_local];
+        for r in 0..dom.n_ranks() {
+            for &gid in &dom.shard.owned[r] {
+                assert!(!seen[gid], "atom {gid} owned twice");
+                seen[gid] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ghost_machinery_is_live_and_comm_time_is_recorded() {
+        let mut dom = DomainSimulation::new(lj_builder(1), [2, 2, 2]).unwrap();
+        assert!(dom.ghost_fraction() > 0.0);
+        assert_eq!(dom.atoms_per_rank().len(), 8);
+        dom.run(40);
+        assert!(dom.sim().timers.seconds(Stage::Comm) > 0.0);
+        let mut forces = Vec::new();
+        dom.collect_forces_into(&mut forces);
+        assert_eq!(forces.len(), dom.sim().atoms.n_local);
+        assert_eq!(bits(&forces), bits(&dom.sim().atoms.f));
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected_with_typed_errors() {
+        // 16.29 Å / 4 ranks ≈ 4.07 Å < cutoff+skin = 5.0 Å.
+        let Err(err) = DomainSimulation::new(lj_builder(1), [4, 1, 1]) else {
+            panic!("thin cells should be rejected");
+        };
+        assert!(
+            matches!(
+                err,
+                DomainBuildError::Grid(GridError::CellSmallerThanCutoff { dim: 0, .. })
+            ),
+            "got {err:?}"
+        );
+        let Err(err) = DomainSimulation::new(lj_builder(1), [1, 0, 1]) else {
+            panic!("zero grid dimension should be rejected");
+        };
+        assert!(matches!(
+            err,
+            DomainBuildError::Grid(GridError::ZeroDimension { dim: 1 })
+        ));
+        // Builder errors pass through typed.
+        let Err(err) = DomainSimulation::new(lj_builder(1).timestep(-1.0), [1, 1, 1]) else {
+            panic!("builder errors should pass through");
+        };
+        assert!(matches!(
+            err,
+            DomainBuildError::Simulation(BuildError::NonPositiveTimestep(_))
+        ));
+    }
+}

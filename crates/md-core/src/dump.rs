@@ -1,12 +1,23 @@
 //! Trajectory writers: observers that dump atom configurations to disk.
 //!
-//! [`XyzDump`] writes the ubiquitous XYZ format — one frame per sampling
-//! interval, each frame an atom count, a comment line carrying the step
-//! number and box lengths, and one `element x y z` line per local atom —
-//! which every common visualizer (OVITO, VMD, ASE) reads directly. It plugs
-//! into the simulation loop as an [`Observer`], the same extension point as
-//! the thermo log and timing printers; the `scenario` layer of the facade
-//! crate exposes it as the `dump` field of a scenario spec.
+//! Two formats share one buffered, self-disarming writer ([`FrameFile`]):
+//!
+//! * [`XyzDump`] — the ubiquitous XYZ format: an atom count, a comment line
+//!   carrying the step number and box lengths, and one `element x y z` line
+//!   per local atom. Every common visualizer (OVITO, VMD, ASE) reads it
+//!   directly.
+//! * [`LammpsDump`] — the LAMMPS text dump format (`ITEM: TIMESTEP` /
+//!   `NUMBER OF ATOMS` / `BOX BOUNDS` / `ATOMS`): the same frames with
+//!   explicit box bounds and 1-based atom ids/types, readable by OVITO, VMD
+//!   and LAMMPS' own `read_dump`.
+//!
+//! Both plug into the simulation loop as [`Observer`]s, the same extension
+//! point as the thermo log and timing printers; the `scenario` layer of the
+//! facade crate exposes them as the `dump` field of a scenario spec (with a
+//! `format` selector). Write errors do not panic the simulation loop: the
+//! dump disarms itself and reports the first error through `error()` **and**
+//! as an [`Observer::warnings`] entry, so the truncated trajectory surfaces
+//! in [`RunReport::warnings`] instead of vanishing silently.
 
 use crate::observer::{Observer, RunReport, StepContext};
 use std::any::Any;
@@ -14,22 +25,70 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+/// The machinery both dump formats share: a buffered file that counts the
+/// frames it writes and disarms itself on the first IO error, keeping the
+/// error text for `warnings()`.
+struct FrameFile {
+    path: PathBuf,
+    writer: Option<BufWriter<File>>,
+    frames: u64,
+    error: Option<String>,
+}
+
+impl FrameFile {
+    fn create(path: PathBuf) -> std::io::Result<Self> {
+        let file = File::create(&path)?;
+        Ok(FrameFile {
+            path,
+            writer: Some(BufWriter::new(file)),
+            frames: 0,
+            error: None,
+        })
+    }
+
+    /// Run `frame` against the writer (a no-op once disarmed); count the
+    /// frame on success, disarm on error.
+    fn write_frame(&mut self, frame: impl FnOnce(&mut BufWriter<File>) -> std::io::Result<()>) {
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
+        match frame(writer) {
+            Ok(()) => self.frames += 1,
+            Err(e) => self.disarm(e),
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.flush() {
+                self.disarm(e);
+            }
+        }
+    }
+
+    fn disarm(&mut self, e: std::io::Error) {
+        self.error = Some(format!("{}: {e}", self.path.display()));
+        self.writer = None;
+    }
+
+    fn warnings(&self, format: &str) -> Vec<String> {
+        self.error
+            .iter()
+            .map(|e| format!("{format} dump disarmed (trajectory truncated): {e}"))
+            .collect()
+    }
+}
+
 /// An [`Observer`] that appends an XYZ frame at every step whose index is a
 /// multiple of `every`, writing through a buffered file.
 ///
 /// Element symbols are looked up per atom type; types beyond the supplied
-/// table fall back to `"X"`. Write errors do not panic the simulation loop:
-/// the dump disarms itself and reports the first error through
-/// [`XyzDump::error`] **and** as an [`Observer::warnings`] entry, so the
-/// truncated trajectory surfaces in [`RunReport::warnings`] and the
-/// scenario runner's per-variant table instead of vanishing silently.
+/// table fall back to `"X"`. See the module docs for the disarm-on-error
+/// contract shared with [`LammpsDump`].
 pub struct XyzDump {
-    path: PathBuf,
+    file: FrameFile,
     every: u64,
     elements: Vec<String>,
-    writer: Option<BufWriter<File>>,
-    frames: u64,
-    error: Option<String>,
 }
 
 impl XyzDump {
@@ -42,39 +101,32 @@ impl XyzDump {
         every: u64,
         elements: Vec<String>,
     ) -> std::io::Result<Self> {
-        let path = path.into();
-        let file = File::create(&path)?;
         Ok(XyzDump {
-            path,
+            file: FrameFile::create(path.into())?,
             every,
             elements,
-            writer: Some(BufWriter::new(file)),
-            frames: 0,
-            error: None,
         })
     }
 
     /// The file the dump writes to.
     pub fn path(&self) -> &Path {
-        &self.path
+        &self.file.path
     }
 
     /// Frames written so far.
     pub fn frames_written(&self) -> u64 {
-        self.frames
+        self.file.frames
     }
 
     /// The first write error, if any (the dump stops writing after one).
     pub fn error(&self) -> Option<&str> {
-        self.error.as_deref()
+        self.file.error.as_deref()
     }
 
     fn write_frame(&mut self, ctx: &StepContext<'_>) {
-        let Some(writer) = self.writer.as_mut() else {
-            return;
-        };
         let lengths = ctx.sim_box.lengths();
-        let result = (|| -> std::io::Result<()> {
+        let elements = &self.elements;
+        self.file.write_frame(|writer| {
             writeln!(writer, "{}", ctx.atoms.n_local)?;
             writeln!(
                 writer,
@@ -83,22 +135,14 @@ impl XyzDump {
             )?;
             for i in 0..ctx.atoms.n_local {
                 let p = ctx.atoms.x[i];
-                let element = self
-                    .elements
+                let element = elements
                     .get(ctx.atoms.type_[i])
                     .map(String::as_str)
                     .unwrap_or("X");
                 writeln!(writer, "{element} {:.8} {:.8} {:.8}", p[0], p[1], p[2])?;
             }
             Ok(())
-        })();
-        match result {
-            Ok(()) => self.frames += 1,
-            Err(e) => {
-                self.error = Some(format!("{}: {e}", self.path.display()));
-                self.writer = None;
-            }
-        }
+        });
     }
 }
 
@@ -111,19 +155,116 @@ impl Observer for XyzDump {
     }
 
     fn on_finish(&mut self, _report: &RunReport) {
-        if let Some(w) = self.writer.as_mut() {
-            if let Err(e) = w.flush() {
-                self.error = Some(format!("{}: {e}", self.path.display()));
-                self.writer = None;
-            }
-        }
+        self.file.flush();
     }
 
     fn warnings(&self) -> Vec<String> {
-        self.error
-            .iter()
-            .map(|e| format!("xyz dump disarmed (trajectory truncated): {e}"))
-            .collect()
+        self.file.warnings("xyz")
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An [`Observer`] writing frames in the LAMMPS text dump format
+/// (`ITEM: TIMESTEP` / `NUMBER OF ATOMS` / `BOX BOUNDS pp pp pp` /
+/// `ATOMS id type element x y z`), with the box bounds the XYZ format
+/// lacks. Atom ids and types are 1-based as LAMMPS expects; the element
+/// column uses the same type → symbol table as [`XyzDump`].
+pub struct LammpsDump {
+    file: FrameFile,
+    every: u64,
+    elements: Vec<String>,
+}
+
+impl LammpsDump {
+    /// Create (truncating) the dump file at `path`; same contract as
+    /// [`XyzDump::create`].
+    pub fn create(
+        path: impl Into<PathBuf>,
+        every: u64,
+        elements: Vec<String>,
+    ) -> std::io::Result<Self> {
+        Ok(LammpsDump {
+            file: FrameFile::create(path.into())?,
+            every,
+            elements,
+        })
+    }
+
+    /// The file the dump writes to.
+    pub fn path(&self) -> &Path {
+        &self.file.path
+    }
+
+    /// Frames written so far.
+    pub fn frames_written(&self) -> u64 {
+        self.file.frames
+    }
+
+    /// The first write error, if any (the dump stops writing after one).
+    pub fn error(&self) -> Option<&str> {
+        self.file.error.as_deref()
+    }
+
+    fn write_frame(&mut self, ctx: &StepContext<'_>) {
+        let (lo, hi) = (ctx.sim_box.lo, ctx.sim_box.hi);
+        let boundary = |p: bool| if p { "pp" } else { "ff" };
+        let elements = &self.elements;
+        self.file.write_frame(|writer| {
+            writeln!(writer, "ITEM: TIMESTEP")?;
+            writeln!(writer, "{}", ctx.step)?;
+            writeln!(writer, "ITEM: NUMBER OF ATOMS")?;
+            writeln!(writer, "{}", ctx.atoms.n_local)?;
+            writeln!(
+                writer,
+                "ITEM: BOX BOUNDS {} {} {}",
+                boundary(ctx.sim_box.periodic[0]),
+                boundary(ctx.sim_box.periodic[1]),
+                boundary(ctx.sim_box.periodic[2]),
+            )?;
+            for d in 0..3 {
+                writeln!(writer, "{:.8} {:.8}", lo[d], hi[d])?;
+            }
+            writeln!(writer, "ITEM: ATOMS id type element x y z")?;
+            for i in 0..ctx.atoms.n_local {
+                let p = ctx.atoms.x[i];
+                let type_ = ctx.atoms.type_[i];
+                let element = elements.get(type_).map(String::as_str).unwrap_or("X");
+                writeln!(
+                    writer,
+                    "{} {} {element} {:.8} {:.8} {:.8}",
+                    i + 1,
+                    type_ + 1,
+                    p[0],
+                    p[1],
+                    p[2]
+                )?;
+            }
+            Ok(())
+        });
+    }
+}
+
+impl Observer for LammpsDump {
+    fn on_step(&mut self, ctx: &StepContext<'_>) {
+        let due = self.every > 0 && ctx.step.is_multiple_of(self.every);
+        if due {
+            self.write_frame(ctx);
+        }
+    }
+
+    fn on_finish(&mut self, _report: &RunReport) {
+        self.file.flush();
+    }
+
+    fn warnings(&self) -> Vec<String> {
+        self.file.warnings("lammps")
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -176,6 +317,46 @@ mod tests {
         assert!(lines[1].starts_with("step=5 box="));
         assert!(lines[2].starts_with("Si "));
         assert!(lines[n_atoms + 3].starts_with("step=10"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lammps_dump_writes_box_bounds_and_one_based_ids() {
+        let path = temp_path("lammps");
+        let (sim_box, atoms) = Lattice::silicon([2, 2, 2]).build_perturbed(0.02, 3);
+        let n_atoms = atoms.n_local;
+        let box_hi = sim_box.hi;
+        let lj = LennardJones::new(0.1, 2.0, 4.0);
+        let dump = LammpsDump::create(&path, 5, vec!["Si".to_string()]).expect("create dump");
+        let mut sim = Simulation::builder(atoms, sim_box, lj)
+            .masses(vec![units::mass::SI])
+            .observe(dump)
+            .build()
+            .expect("valid setup");
+        sim.run(12);
+
+        let dump = sim.observer::<LammpsDump>().expect("dump registered");
+        assert_eq!(dump.frames_written(), 2); // steps 5 and 10
+        assert!(dump.error().is_none());
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Each frame: 9 header lines + one line per atom.
+        assert_eq!(lines.len(), 2 * (9 + n_atoms));
+        assert_eq!(lines[0], "ITEM: TIMESTEP");
+        assert_eq!(lines[1], "5");
+        assert_eq!(lines[3].parse::<usize>().unwrap(), n_atoms);
+        assert_eq!(lines[4], "ITEM: BOX BOUNDS pp pp pp");
+        let bounds: Vec<f64> = lines[5]
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert_eq!(bounds[0], 0.0);
+        assert!((bounds[1] - box_hi[0]).abs() < 1e-8);
+        assert_eq!(lines[8], "ITEM: ATOMS id type element x y z");
+        // 1-based id and type, with the element symbol.
+        assert!(lines[9].starts_with("1 1 Si "));
+        assert!(lines[9 + n_atoms].starts_with("ITEM: TIMESTEP"));
         let _ = std::fs::remove_file(&path);
     }
 

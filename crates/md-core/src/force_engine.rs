@@ -10,7 +10,7 @@
 //!   only on the atom count, never on the thread count. Lattice builders
 //!   emit atoms in spatial (cell-major) order, so contiguous chunks are also
 //!   spatial slabs — the same locality argument as the rank decomposition in
-//!   [`crate::decomposition`], without ghost exchange.
+//!   [`crate::domain`], without ghost exchange.
 //! * Every chunk accumulates into its **own** full-length force array, so
 //!   the conflict-handled scatters of vectorization scheme (1b) never cross
 //!   a chunk boundary and no atomics appear in the hot loop.

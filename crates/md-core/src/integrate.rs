@@ -101,6 +101,68 @@ impl VelocityVerlet {
         });
     }
 
+    /// [`initial_integrate`](VelocityVerlet::initial_integrate) over an
+    /// explicit set of canonical atom rows — the form the rank-parallel
+    /// domain loop uses, where each rank owns a non-contiguous subset of the
+    /// canonical arrays. Every atom's update is exactly the serial op
+    /// sequence, so the result is bitwise identical under any partition of
+    /// the rows across ranks/threads.
+    ///
+    /// # Safety
+    /// Concurrent calls must use disjoint `rows`, all in bounds of `xs`/`vs`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) unsafe fn initial_integrate_rows(
+        &self,
+        xs: &DisjointSlice<[f64; 3]>,
+        vs: &DisjointSlice<[f64; 3]>,
+        f: &[[f64; 3]],
+        type_: &[usize],
+        masses: &[f64],
+        sim_box: &SimBox,
+        rows: &[usize],
+    ) {
+        let dtf = 0.5 * self.dt * units::FTM2V;
+        for &i in rows {
+            // SAFETY: ownership rows are disjoint across concurrent calls.
+            let v = unsafe { vs.get_mut(i) };
+            let x = unsafe { xs.get_mut(i) };
+            let inv_m = 1.0 / masses[type_[i]];
+            for d in 0..3 {
+                v[d] += dtf * f[i][d] * inv_m;
+            }
+            let mut p = *x;
+            for d in 0..3 {
+                p[d] += self.dt * v[d];
+            }
+            *x = sim_box.wrap(p);
+        }
+    }
+
+    /// [`final_integrate`](VelocityVerlet::final_integrate) over an explicit
+    /// set of canonical atom rows (see
+    /// [`initial_integrate_rows`](VelocityVerlet::initial_integrate_rows)).
+    ///
+    /// # Safety
+    /// Concurrent calls must use disjoint `rows`, all in bounds of `vs`.
+    pub(crate) unsafe fn final_integrate_rows(
+        &self,
+        vs: &DisjointSlice<[f64; 3]>,
+        f: &[[f64; 3]],
+        type_: &[usize],
+        masses: &[f64],
+        rows: &[usize],
+    ) {
+        let dtf = 0.5 * self.dt * units::FTM2V;
+        for &i in rows {
+            // SAFETY: ownership rows are disjoint across concurrent calls.
+            let v = unsafe { vs.get_mut(i) };
+            let inv_m = 1.0 / masses[type_[i]];
+            for d in 0..3 {
+                v[d] += dtf * f[i][d] * inv_m;
+            }
+        }
+    }
+
     /// [`final_integrate`](VelocityVerlet::final_integrate) on the shared
     /// runtime. Bitwise identical to the serial form.
     pub fn final_integrate_on(

@@ -27,11 +27,13 @@
 //!   Lennard-Jones pair potential as the contrasting baseline ([`pair_lj`]),
 //! * a simulation driver built through [`simulation::SimulationBuilder`]
 //!   (whose `.threads(n)` creates the runtime the whole step runs on),
-//!   reporting through [`observer::Observer`] hooks, an XYZ trajectory
-//!   writer ([`dump`]) and LAMMPS-style per-stage timers with a separate
-//!   integration phase ([`simulation`], [`observer`], [`timer`]),
-//! * a spatial domain decomposition whose ghost-atom exchange runs on the
-//!   same shared runtime ([`decomposition`]),
+//!   reporting through [`observer::Observer`] hooks, XYZ and LAMMPS-format
+//!   trajectory writers ([`dump`]) and LAMMPS-style per-stage timers with a
+//!   separate integration phase ([`simulation`], [`observer`], [`timer`]),
+//! * a rank-parallel spatial domain decomposition running a complete
+//!   distributed timestep — per-rank integration and neighbor builds, atom
+//!   migration, ghost exchange as serializable halo messages — **bitwise
+//!   identical** to the single-domain driver for any grid ([`domain`]),
 //! * a submission-first job engine — pooled runtimes draining a bounded,
 //!   backpressured queue of typed jobs, with an event stream and an
 //!   artifact cache keyed by spec hash ([`jobs`]),
@@ -54,7 +56,7 @@
 
 pub mod atom;
 pub mod checkpoint;
-pub mod decomposition;
+pub mod domain;
 pub mod dump;
 pub mod fault;
 pub mod force_engine;
@@ -76,7 +78,8 @@ pub mod velocity;
 
 pub use atom::AtomData;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointWriter};
-pub use dump::XyzDump;
+pub use domain::{DomainBuildError, DomainGrid, DomainSimulation, GridError, HaloMsg};
+pub use dump::{LammpsDump, XyzDump};
 pub use fault::{FaultKind, FaultPlan};
 pub use force_engine::{ForceEngine, RangePotential};
 pub use health::{HealthGuard, HealthSettings};
@@ -100,7 +103,8 @@ pub use timer::{Stage, Timers};
 pub mod prelude {
     pub use crate::atom::AtomData;
     pub use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointWriter};
-    pub use crate::dump::XyzDump;
+    pub use crate::domain::{DomainBuildError, DomainGrid, DomainSimulation, GridError};
+    pub use crate::dump::{LammpsDump, XyzDump};
     pub use crate::fault::{FaultKind, FaultPlan};
     pub use crate::force_engine::{ForceEngine, RangePotential};
     pub use crate::health::{HealthGuard, HealthSettings};

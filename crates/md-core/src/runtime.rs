@@ -11,9 +11,9 @@
 //! * [`SimulationBuilder`](crate::simulation::SimulationBuilder) creates the
 //!   runtime (`.threads(n)`), the [`ForceEngine`](crate::force_engine::
 //!   ForceEngine) *borrows* it (a cheap cloneable handle to the same pool),
-//!   and neighbor rebuilds, [`exchange_ghosts`](crate::decomposition::
-//!   DecomposedSystem), velocity-Verlet updates and kinetic-energy
-//!   reductions all run on the same worker team — one pool per simulation,
+//!   and neighbor rebuilds, the rank phases of
+//!   [`crate::domain::DomainSimulation`], velocity-Verlet updates and
+//!   kinetic-energy reductions all run on the same worker team — one pool per simulation,
 //!   never one pool per subsystem.
 //! * Work is split into **fixed chunks whose boundaries depend only on the
 //!   problem size, never on the thread count** ([`fixed_chunk_count`]), and
@@ -403,7 +403,7 @@ fn worker_loop(shared: &PoolShared, index: usize) {
 ///
 /// Crate-internal: the safe surface of the runtime is the chunked primitives
 /// on [`ParallelRuntime`]; the kernel-style modules (`force_engine`,
-/// `neighbor`, `integrate`, `decomposition`) use this to hand workers
+/// `neighbor`, `integrate`, `domain`) use this to hand workers
 /// aliasing-free access to distinct elements of their arrays.
 pub(crate) struct DisjointSlice<T> {
     ptr: *mut T,

@@ -224,13 +224,15 @@ impl std::error::Error for RunError {}
 /// assert_eq!(report.steps, 10);
 /// ```
 pub struct SimulationBuilder<P: Potential> {
-    atoms: AtomData,
-    sim_box: SimBox,
-    potential: P,
-    timestep: f64,
-    skin: f64,
-    masses: Vec<f64>,
-    thermo_every: u64,
+    // Field visibility is crate-level so `crate::domain` can inspect the
+    // configuration (cutoff, skin, box) for grid validation before building.
+    pub(crate) atoms: AtomData,
+    pub(crate) sim_box: SimBox,
+    pub(crate) potential: P,
+    pub(crate) timestep: f64,
+    pub(crate) skin: f64,
+    pub(crate) masses: Vec<f64>,
+    pub(crate) thermo_every: u64,
     temperature: Option<(f64, u64)>,
     observers: Vec<Box<dyn Observer>>,
     default_observers: bool,
@@ -522,15 +524,18 @@ pub struct Simulation<P: Potential> {
     pub step: u64,
     /// Number of neighbor-list rebuilds performed.
     pub n_rebuilds: u64,
-    timestep: f64,
-    skin: f64,
-    masses: Vec<f64>,
-    thermo_every: u64,
-    last_thermo: ThermoState,
-    observers: Vec<Box<dyn Observer>>,
-    integrator: VelocityVerlet,
+    // The remaining state is crate-visible: `crate::domain` drives the same
+    // step machinery (observers, thermo sampling, fault injection) through a
+    // rank-parallel timestep of its own.
+    pub(crate) timestep: f64,
+    pub(crate) skin: f64,
+    pub(crate) masses: Vec<f64>,
+    pub(crate) thermo_every: u64,
+    pub(crate) last_thermo: ThermoState,
+    pub(crate) observers: Vec<Box<dyn Observer>>,
+    pub(crate) integrator: VelocityVerlet,
     /// The shared runtime every phase of the step dispatches through.
-    runtime: ParallelRuntime,
+    pub(crate) runtime: ParallelRuntime,
     /// Reduction scratch of the chunked kinetic-energy sum (reused so the
     /// steady-state step allocates nothing).
     ke_slots: Vec<f64>,
@@ -539,7 +544,7 @@ pub struct Simulation<P: Potential> {
     /// [`RunError::AlreadyFaulted`].
     faulted: bool,
     /// Test-only injected fault (see [`SimulationBuilder::inject_fault`]).
-    fault_plan: Option<FaultPlan>,
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 impl<P: Potential> Simulation<P> {
@@ -550,7 +555,7 @@ impl<P: Potential> Simulation<P> {
 
     /// Rebuild the neighbor list unconditionally on the shared runtime (in
     /// place: bin and CRS storage from the previous build is reused).
-    fn rebuild_neighbors(&mut self) {
+    pub(crate) fn rebuild_neighbors(&mut self) {
         let settings = NeighborSettings::new(self.potential.cutoff(), self.skin);
         let Simulation {
             timers,
@@ -567,7 +572,7 @@ impl<P: Potential> Simulation<P> {
     }
 
     /// Run the force field and copy the forces into the atom arrays.
-    fn compute_forces(&mut self) {
+    pub(crate) fn compute_forces(&mut self) {
         let atoms = &self.atoms;
         let sim_box = &self.sim_box;
         let neighbors = &self.neighbors;
@@ -579,7 +584,7 @@ impl<P: Potential> Simulation<P> {
         self.atoms.f.copy_from_slice(&self.compute_out.forces);
     }
 
-    fn record_thermo(&mut self) {
+    pub(crate) fn record_thermo(&mut self) {
         // The kinetic energy is a chunked reduction on the shared runtime:
         // per-chunk partials folded in fixed chunk order, so the sampled
         // thermo state is bitwise identical for every thread count.
@@ -644,9 +649,10 @@ impl<P: Potential> Simulation<P> {
         }
     }
 
-    /// One velocity-Verlet timestep: half-kick + drift, neighbor rebuild if
-    /// needed, forces, second half-kick, thermo sampling, observer dispatch.
-    fn advance_one_step(&mut self) {
+    /// Open a timestep: bump the step counter and fire any injected fault.
+    /// Shared with the rank-parallel loop of [`crate::domain`], so faults
+    /// trip at the identical step for any decomposition grid.
+    pub(crate) fn begin_step(&mut self) {
         self.step += 1;
 
         if let Some(plan) = self.fault_plan {
@@ -654,40 +660,19 @@ impl<P: Potential> Simulation<P> {
                 self.trip_fault(plan.kind);
             }
         }
+    }
 
-        {
-            // Disjoint field borrows so the integrator can read the
-            // masses in place — the steady-state step must not allocate.
-            let atoms = &mut self.atoms;
-            let sim_box = &self.sim_box;
-            let integrator = &self.integrator;
-            let masses = &self.masses;
-            let runtime = &self.runtime;
-            self.timers.time(Stage::Integrate, || {
-                integrator.initial_integrate_on(atoms, masses, sim_box, runtime);
-            });
+    /// Notify observers of a neighbor-list rebuild during the current step.
+    pub(crate) fn notify_rebuild(&mut self) {
+        let (step, n_rebuilds) = (self.step, self.n_rebuilds);
+        for obs in &mut self.observers {
+            obs.on_rebuild(step, n_rebuilds);
         }
+    }
 
-        if self.neighbors.needs_rebuild(&self.atoms, &self.sim_box) {
-            self.rebuild_neighbors();
-            let (step, n_rebuilds) = (self.step, self.n_rebuilds);
-            for obs in &mut self.observers {
-                obs.on_rebuild(step, n_rebuilds);
-            }
-        }
-
-        self.compute_forces();
-
-        {
-            let atoms = &mut self.atoms;
-            let integrator = &self.integrator;
-            let masses = &self.masses;
-            let runtime = &self.runtime;
-            self.timers.time(Stage::Integrate, || {
-                integrator.final_integrate_on(atoms, masses, runtime);
-            });
-        }
-
+    /// Close a timestep: take a thermo sample when due and dispatch the
+    /// per-step observer hooks. Shared with [`crate::domain`]'s loop.
+    pub(crate) fn end_step(&mut self) {
         let sample = self.thermo_every > 0 && self.step.is_multiple_of(self.thermo_every);
         if sample {
             self.record_thermo();
@@ -714,6 +699,44 @@ impl<P: Potential> Simulation<P> {
                 obs.on_step(&ctx);
             }
         }
+    }
+
+    /// One velocity-Verlet timestep: half-kick + drift, neighbor rebuild if
+    /// needed, forces, second half-kick, thermo sampling, observer dispatch.
+    fn advance_one_step(&mut self) {
+        self.begin_step();
+
+        {
+            // Disjoint field borrows so the integrator can read the
+            // masses in place — the steady-state step must not allocate.
+            let atoms = &mut self.atoms;
+            let sim_box = &self.sim_box;
+            let integrator = &self.integrator;
+            let masses = &self.masses;
+            let runtime = &self.runtime;
+            self.timers.time(Stage::Integrate, || {
+                integrator.initial_integrate_on(atoms, masses, sim_box, runtime);
+            });
+        }
+
+        if self.neighbors.needs_rebuild(&self.atoms, &self.sim_box) {
+            self.rebuild_neighbors();
+            self.notify_rebuild();
+        }
+
+        self.compute_forces();
+
+        {
+            let atoms = &mut self.atoms;
+            let integrator = &self.integrator;
+            let masses = &self.masses;
+            let runtime = &self.runtime;
+            self.timers.time(Stage::Integrate, || {
+                integrator.final_integrate_on(atoms, masses, runtime);
+            });
+        }
+
+        self.end_step();
     }
 
     /// Execute an injected fault (test-only; see
@@ -765,6 +788,19 @@ impl<P: Potential> Simulation<P> {
     ///   checkpoints flush), and [`RunError::Diverged`] carries the partial
     ///   report with [`RunStatus::Diverged`].
     pub fn try_run(&mut self, n_steps: u64) -> Result<RunReport, RunError> {
+        self.run_driver(n_steps, Self::advance_one_step)
+    }
+
+    /// The run loop shared between [`try_run`](Simulation::try_run) and the
+    /// rank-parallel [`crate::domain::DomainSimulation`]: drives `advance`
+    /// once per step inside a panic guard, polls observer faults, and
+    /// assembles the [`RunReport`]. `advance` is the whole timestep — the
+    /// single-domain and decomposed loops differ only in what it does.
+    pub(crate) fn run_driver(
+        &mut self,
+        n_steps: u64,
+        mut advance: impl FnMut(&mut Self),
+    ) -> Result<RunReport, RunError> {
         if self.faulted {
             return Err(RunError::AlreadyFaulted);
         }
@@ -783,7 +819,7 @@ impl<P: Potential> Simulation<P> {
         let mut fault = None;
         let mut steps_taken = 0u64;
         for _ in 0..n_steps {
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.advance_one_step())) {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| advance(self))) {
                 self.faulted = true;
                 return Err(RunError::Panicked {
                     step: self.step,
@@ -870,8 +906,8 @@ impl<P: Potential> Simulation<P> {
     }
 
     /// The shared [`ParallelRuntime`] every phase of the step runs on —
-    /// clone the handle to dispatch auxiliary work (e.g. a
-    /// [`crate::decomposition::DecomposedSystem`]) onto the same pool.
+    /// clone the handle to dispatch auxiliary work (e.g. the rank loop of a
+    /// [`crate::domain::DomainSimulation`]) onto the same pool.
     pub fn runtime(&self) -> &ParallelRuntime {
         &self.runtime
     }

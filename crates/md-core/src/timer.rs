@@ -19,6 +19,9 @@ pub enum Stage {
     Neighbor,
     /// Communication: ghost exchange, force reverse communication, packing.
     Comm,
+    /// Atom migration between ranks of a decomposed run (ownership
+    /// transfers at re-neighboring; always zero for single-domain runs).
+    Migrate,
     /// Velocity-Verlet time integration (position/velocity updates).
     Integrate,
     /// Everything else (rebuild checks, thermo sampling, bookkeeping).
@@ -27,10 +30,11 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in reporting order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::Force,
         Stage::Neighbor,
         Stage::Comm,
+        Stage::Migrate,
         Stage::Integrate,
         Stage::Other,
     ];
@@ -41,6 +45,7 @@ impl Stage {
             Stage::Force => "force",
             Stage::Neighbor => "neighbor",
             Stage::Comm => "comm",
+            Stage::Migrate => "migrate",
             Stage::Integrate => "integrate",
             Stage::Other => "other",
         }
@@ -50,7 +55,7 @@ impl Stage {
 /// Accumulated wall-clock time per stage.
 #[derive(Clone, Debug, Default)]
 pub struct Timers {
-    accum: [Duration; 5],
+    accum: [Duration; 6],
 }
 
 impl Timers {
@@ -64,8 +69,9 @@ impl Timers {
             Stage::Force => 0,
             Stage::Neighbor => 1,
             Stage::Comm => 2,
-            Stage::Integrate => 3,
-            Stage::Other => 4,
+            Stage::Migrate => 3,
+            Stage::Integrate => 4,
+            Stage::Other => 5,
         }
     }
 
@@ -132,7 +138,7 @@ impl Timers {
 
     /// Reset all stages to zero.
     pub fn reset(&mut self) {
-        self.accum = [Duration::ZERO; 5];
+        self.accum = [Duration::ZERO; 6];
     }
 }
 

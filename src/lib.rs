@@ -14,8 +14,11 @@
 //!   write handling, adjacent gathers).
 //! * [`md_core`] — the molecular-dynamics substrate standing in for LAMMPS
 //!   (atoms, box, lattices, neighbor lists, velocity-Verlet, thermo, timers,
-//!   domain decomposition, and the observer-driven simulation loop behind
-//!   [`md_core::SimulationBuilder`]). Its [`md_core::runtime`] module is
+//!   the observer-driven simulation loop behind
+//!   [`md_core::SimulationBuilder`], and the rank-parallel
+//!   [`md_core::domain`] decomposition whose distributed timestep is
+//!   bitwise identical to the single-domain driver). Its
+//!   [`md_core::runtime`] module is
 //!   the one thread owner in the system: the whole timestep — the
 //!   allocation-free [`md_core::force_engine`], neighbor rebuilds, ghost
 //!   exchange, integration, reductions — dispatches through one shared
@@ -27,7 +30,8 @@
 //! * [`arch_model`] — the machines of Tables I–III and the analytic cost
 //!   model used to project the cross-architecture figures.
 //! * [`scenario`] — serializable experiment descriptions: the specs in
-//!   `scenarios/` that the `tersoff-run` binary executes.
+//!   `scenarios/` that the `tersoff-run` binary executes (including an
+//!   optional `decomposition` rank grid and `dump.format` selection).
 //!
 //! ## Quickstart
 //!

@@ -22,11 +22,12 @@
 //! inputs and its leased runtime, and runtimes are bitwise identical across
 //! thread counts (see `crates/md-core/src/jobs/README.md`).
 
-use super::spec::{FaultSpec, Scenario, ScenarioError, Variant, VariantStatus};
+use super::spec::{DumpFormat, FaultSpec, Scenario, ScenarioError, Variant, VariantStatus};
 use crate::json::{obj, Json};
 use md_core::atom::AtomData;
 use md_core::checkpoint::{Checkpoint, CheckpointWriter};
-use md_core::dump::XyzDump;
+use md_core::domain::{DomainBuildError, DomainSimulation};
+use md_core::dump::{LammpsDump, XyzDump};
 use md_core::fault::FaultPlan;
 use md_core::health::HealthGuard;
 use md_core::jobs::{
@@ -37,7 +38,7 @@ use md_core::observer::{Observer, RunReport, StepContext};
 use md_core::potential::Potential;
 use md_core::runtime::{panic_payload_string, resolve_threads, ParallelRuntime};
 use md_core::simbox::SimBox;
-use md_core::simulation::{RunError, Simulation};
+use md_core::simulation::{RunError, Simulation, SimulationBuilder};
 use md_core::thermo::ThermoState;
 use md_core::timer::Stage;
 use std::any::Any;
@@ -105,6 +106,80 @@ pub struct VariantReport {
     pub warnings: Vec<String>,
     /// The checkpoint step this run resumed from, if any.
     pub resumed_from: Option<u64>,
+    /// Rank-parallel statistics, when the scenario declares a
+    /// `decomposition` grid.
+    pub decomposition: Option<DomainStats>,
+}
+
+/// Per-variant statistics of a decomposed run: how the box was split, how
+/// much state crossed rank boundaries, and what share of the step the
+/// communication phases took — the quantity the paper's Fig. 9
+/// strong-scaling study tracks.
+#[derive(Clone, Debug)]
+pub struct DomainStats {
+    /// Ranks along x, y, z.
+    pub grid: [usize; 3],
+    /// Total rank count (the grid product).
+    pub ranks: usize,
+    /// Atoms handed between ranks over the whole run.
+    pub migrations: u64,
+    /// Owned atoms per rank at the end of the run.
+    pub atoms_per_rank: Vec<usize>,
+    /// Ghost (halo) atoms as a fraction of owned atoms at the end of the
+    /// run — the surface-to-volume communication cost of the grid.
+    pub ghost_fraction: f64,
+    /// Seconds spent in halo/ghost exchange (the `comm` timer).
+    pub comm_seconds: f64,
+    /// Seconds spent migrating atoms between ranks (the `migrate` timer).
+    pub migrate_seconds: f64,
+    /// (comm + migrate) seconds over the total timed step — the
+    /// communication share of the run.
+    pub comm_fraction: f64,
+}
+
+/// The driver one attempt steps: the single-domain [`Simulation`] or the
+/// rank-parallel [`DomainSimulation`], behind one dispatch surface. Both
+/// produce bitwise identical trajectories; the decomposed runner
+/// additionally reports [`DomainStats`].
+enum Runner {
+    Single(Box<Simulation<Box<dyn Potential>>>),
+    Domain(Box<DomainSimulation<Box<dyn Potential>>>),
+}
+
+impl Runner {
+    fn sim(&self) -> &Simulation<Box<dyn Potential>> {
+        match self {
+            Runner::Single(sim) => sim,
+            Runner::Domain(dom) => dom.sim(),
+        }
+    }
+
+    fn try_run(&mut self, steps: u64) -> Result<RunReport, RunError> {
+        match self {
+            Runner::Single(sim) => sim.try_run(steps),
+            Runner::Domain(dom) => dom.try_run(steps),
+        }
+    }
+
+    fn domain_stats(&self) -> Option<DomainStats> {
+        let Runner::Domain(dom) = self else {
+            return None;
+        };
+        let timers = &dom.sim().timers;
+        let total: f64 = Stage::ALL.iter().map(|&stage| timers.seconds(stage)).sum();
+        let comm = timers.seconds(Stage::Comm);
+        let migrate = timers.seconds(Stage::Migrate);
+        Some(DomainStats {
+            grid: dom.grid().dims,
+            ranks: dom.n_ranks(),
+            migrations: dom.migrations(),
+            atoms_per_rank: dom.atoms_per_rank(),
+            ghost_fraction: dom.ghost_fraction(),
+            comm_seconds: comm,
+            migrate_seconds: migrate,
+            comm_fraction: (comm + migrate) / total.max(1e-12),
+        })
+    }
 }
 
 impl VariantReport {
@@ -316,24 +391,61 @@ impl Scenario {
     /// [`md_core::SimulationBuilder`] — exactly the construction a user
     /// would write by hand (the golden equivalence test in
     /// `tests/scenario.rs` holds this path to bitwise agreement with a
-    /// hand-built run).
+    /// hand-built run). Always single-domain; batch execution wraps the
+    /// same builder in a [`DomainSimulation`] when the scenario declares a
+    /// `decomposition` grid (bitwise identical either way).
     pub fn build_simulation(
         &self,
         variant: Variant,
     ) -> Result<Simulation<Box<dyn Potential>>, ScenarioError> {
-        self.build_simulation_with(variant, &AttemptEnv::default(), None, None)
+        let builder = self.variant_builder(variant, &AttemptEnv::default(), None, None)?;
+        Ok(builder.build()?)
     }
 
-    /// [`Scenario::build_simulation`] with batch-execution extras: run on
-    /// the leased runtime, reuse cached artifacts, feed the event stream,
-    /// inject `fault`, or restore a `resume` checkpoint.
-    fn build_simulation_with(
+    /// The configured [`md_core::SimulationBuilder`] of one variant, not yet
+    /// built — the entry point for callers that wrap the scenario's system
+    /// in their own driver (the fig9 bench sweeps
+    /// [`DomainSimulation`] grids over this builder).
+    pub fn simulation_builder(
+        &self,
+        variant: Variant,
+    ) -> Result<SimulationBuilder<Box<dyn Potential>>, ScenarioError> {
+        self.variant_builder(variant, &AttemptEnv::default(), None, None)
+    }
+
+    /// The driver one attempt steps: the plain [`Simulation`], or a
+    /// [`DomainSimulation`] over the declared rank grid. Grid violations
+    /// (a rank cell thinner than cutoff + skin) surface as the typed
+    /// [`ScenarioError::Decomposition`].
+    fn build_runner_with(
         &self,
         variant: Variant,
         env: &AttemptEnv,
         fault: Option<FaultPlan>,
         resume: Option<Checkpoint>,
-    ) -> Result<Simulation<Box<dyn Potential>>, ScenarioError> {
+    ) -> Result<Runner, ScenarioError> {
+        let builder = self.variant_builder(variant, env, fault, resume)?;
+        match &self.decomposition {
+            None => Ok(Runner::Single(Box::new(builder.build()?))),
+            Some(dec) => DomainSimulation::new(builder, dec.grid)
+                .map(|dom| Runner::Domain(Box::new(dom)))
+                .map_err(|e| match e {
+                    DomainBuildError::Simulation(b) => ScenarioError::Build(b),
+                    DomainBuildError::Grid(g) => ScenarioError::Decomposition(g.to_string()),
+                }),
+        }
+    }
+
+    /// The configured builder of one variant, with batch-execution extras:
+    /// run on the leased runtime, reuse cached artifacts, feed the event
+    /// stream, inject `fault`, or restore a `resume` checkpoint.
+    fn variant_builder(
+        &self,
+        variant: Variant,
+        env: &AttemptEnv,
+        fault: Option<FaultPlan>,
+        resume: Option<Checkpoint>,
+    ) -> Result<SimulationBuilder<Box<dyn Potential>>, ScenarioError> {
         let build_system = || {
             let (sim_box, atoms) = self
                 .system
@@ -396,12 +508,17 @@ impl Scenario {
                 .elements
                 .clone()
                 .unwrap_or_else(|| self.potential.params.elements());
-            let observer =
-                XyzDump::create(&path, dump.every, elements).map_err(|e| ScenarioError::Io {
-                    path: path.display().to_string(),
-                    error: e.to_string(),
-                })?;
-            builder = builder.observe(observer);
+            let io_err = |e: std::io::Error| ScenarioError::Io {
+                path: path.display().to_string(),
+                error: e.to_string(),
+            };
+            builder = match dump.format {
+                DumpFormat::Xyz => {
+                    builder.observe(XyzDump::create(&path, dump.every, elements).map_err(io_err)?)
+                }
+                DumpFormat::Lammps => builder
+                    .observe(LammpsDump::create(&path, dump.every, elements).map_err(io_err)?),
+            };
         }
         if let Some((events, job)) = &env.events {
             builder = builder.observe(JobEventTap {
@@ -410,8 +527,7 @@ impl Scenario {
                 checkpoint_every: self.checkpoint.as_ref().map(|c| c.every).unwrap_or(0),
             });
         }
-        let sim = builder.build()?;
-        Ok(sim)
+        Ok(builder)
     }
 
     // -- one attempt, one variant ------------------------------------------
@@ -431,6 +547,7 @@ impl Scenario {
             dump: None,
             warnings: Vec::new(),
             resumed_from: None,
+            decomposition: None,
         }
     }
 
@@ -473,20 +590,30 @@ impl Scenario {
         // contains per-step panics, this contains everything else (e.g. a
         // build-time panic) so one variant can never abort the batch.
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            let mut sim = self.build_simulation_with(variant, env, fault, resume)?;
-            let remaining = steps.saturating_sub(sim.step);
-            let run_result = sim.try_run(remaining);
+            let mut runner = self.build_runner_with(variant, env, fault, resume)?;
+            let remaining = steps.saturating_sub(runner.sim().step);
+            let run_result = runner.try_run(remaining);
             if let Some(cache) = &env.cache {
                 // The capacity this system settled at; the next build of the
                 // same system pre-reserves it and skips the growth
                 // reallocations.
-                cache.put(self.neighbor_hint_key(), sim.neighbors.neighbors.len());
+                cache.put(
+                    self.neighbor_hint_key(),
+                    runner.sim().neighbors.neighbors.len(),
+                );
             }
-            let dump = sim
-                .observer::<XyzDump>()
-                .map(|d| (d.path().to_path_buf(), d.frames_written()));
+            let sim = runner.sim();
+            let dump = match self.dump.as_ref().map(|d| d.format) {
+                Some(DumpFormat::Lammps) => sim
+                    .observer::<LammpsDump>()
+                    .map(|d| (d.path().to_path_buf(), d.frames_written())),
+                _ => sim
+                    .observer::<XyzDump>()
+                    .map(|d| (d.path().to_path_buf(), d.frames_written())),
+            };
             let trace = sim.thermo_history().to_vec();
-            Ok::<_, ScenarioError>((run_result, trace, dump))
+            let stats = runner.domain_stats();
+            Ok::<_, ScenarioError>((run_result, trace, dump, stats))
         }));
         match attempt {
             Err(payload) => {
@@ -501,9 +628,10 @@ impl Scenario {
                 out.status = VariantStatus::Failed;
                 out.error = Some(e);
             }
-            Ok(Ok((run_result, trace, dump))) => {
+            Ok(Ok((run_result, trace, dump, stats))) => {
                 out.trace = trace;
                 out.dump = dump;
+                out.decomposition = stats;
                 match run_result {
                     Ok(report) => {
                         out.status = VariantStatus::Ok;
@@ -907,10 +1035,36 @@ impl ScenarioReport {
                         }
                     }
                 }
+                if let Some(d) = &v.decomposition {
+                    entry.push((
+                        "decomposition",
+                        obj([
+                            (
+                                "grid",
+                                Json::Arr(d.grid.iter().map(|&g| Json::Num(g as f64)).collect()),
+                            ),
+                            ("ranks", Json::Num(d.ranks as f64)),
+                            ("migrations", Json::Num(d.migrations as f64)),
+                            (
+                                "atoms_per_rank",
+                                Json::Arr(
+                                    d.atoms_per_rank
+                                        .iter()
+                                        .map(|&n| Json::Num(n as f64))
+                                        .collect(),
+                                ),
+                            ),
+                            ("ghost_fraction", Json::Num(d.ghost_fraction)),
+                            ("comm_seconds", Json::Num(d.comm_seconds)),
+                            ("migrate_seconds", Json::Num(d.migrate_seconds)),
+                            ("comm_fraction", Json::Num(d.comm_fraction)),
+                        ]),
+                    ));
+                }
                 obj(entry)
             })
             .collect();
-        obj([
+        let mut top = vec![
             ("figure", Json::Str(format!("scenario_{}", s.name))),
             ("scenario", Json::Str(s.name.clone())),
             ("description", Json::Str(s.description.clone())),
@@ -961,8 +1115,20 @@ impl ScenarioReport {
                 ]),
             ),
             ("series", Json::Arr(series)),
-        ])
-        .pretty()
+        ];
+        if let Some(dec) = &s.decomposition {
+            top.push((
+                "decomposition",
+                obj([
+                    (
+                        "grid",
+                        Json::Arr(dec.grid.iter().map(|&g| Json::Num(g as f64)).collect()),
+                    ),
+                    ("ranks", Json::Num(dec.n_ranks() as f64)),
+                ]),
+            ));
+        }
+        obj(top).pretty()
     }
 }
 
@@ -1201,6 +1367,7 @@ mod tests {
             path: path.display().to_string(),
             every: 2,
             elements: None,
+            format: DumpFormat::Xyz,
         });
         s.matrix = None;
         s.run.steps = 6;
@@ -1230,6 +1397,56 @@ mod tests {
             timers.get("integrate").unwrap().as_f64().unwrap() > 0.0,
             "integration must be timed separately"
         );
+    }
+
+    #[test]
+    fn decomposed_execution_is_bitwise_identical_and_reports_stats() {
+        let mut s = sample();
+        s.matrix = None;
+        s.run.steps = 6;
+        let single = s.execute(None).unwrap();
+        s.decomposition = Some(super::super::spec::DecompositionSpec { grid: [2, 1, 1] });
+        let dec = s.execute(None).unwrap();
+
+        let e = |r: &ScenarioReport| r.variants[0].report().final_thermo.total.to_bits();
+        assert_eq!(
+            e(&single),
+            e(&dec),
+            "decomposed run must match the single-domain energy bit for bit"
+        );
+
+        let stats = dec.variants[0].decomposition.as_ref().unwrap();
+        assert_eq!(stats.grid, [2, 1, 1]);
+        assert_eq!(stats.ranks, 2);
+        assert!(stats.ghost_fraction > 0.0);
+        assert_eq!(
+            stats.atoms_per_rank.iter().sum::<usize>(),
+            s.n_atoms(),
+            "ranks must partition the system: {:?}",
+            stats.atoms_per_rank
+        );
+        assert!(stats.comm_fraction > 0.0 && stats.comm_fraction < 1.0);
+
+        let json = parse(&dec.to_report_json()).unwrap();
+        let top = json.get("decomposition").unwrap();
+        assert_eq!(top.get("ranks").unwrap().as_f64(), Some(2.0));
+        let series = json.get("series").unwrap().as_arr().unwrap();
+        let entry = series[0].get("decomposition").unwrap();
+        assert!(entry.get("comm_fraction").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            entry.get("grid").unwrap().as_arr().unwrap().len(),
+            3,
+            "per-variant entry must carry the grid"
+        );
+
+        // An infeasible grid surfaces as the typed decomposition error.
+        s.decomposition = Some(super::super::spec::DecompositionSpec { grid: [64, 1, 1] });
+        match s.execute(None) {
+            Err(ScenarioError::Decomposition(msg)) => {
+                assert!(msg.contains("cutoff"), "{msg}");
+            }
+            other => panic!("expected a decomposition error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -20,9 +20,11 @@ pub mod exec;
 pub mod spec;
 
 pub use exec::{
-    measure_throughput, BatchSeverity, RunPolicy, ScenarioReport, ThroughputReport, VariantReport,
+    measure_throughput, BatchSeverity, DomainStats, RunPolicy, ScenarioReport, ThroughputReport,
+    VariantReport,
 };
 pub use spec::{
-    CheckpointSpec, DumpSpec, FaultSpec, HealthSpec, LatticeSpec, MatrixSpec, ParamSet,
-    PotentialSpec, RunSpec, Scenario, ScenarioError, SystemSpec, Variant, VariantStatus,
+    CheckpointSpec, DecompositionSpec, DumpFormat, DumpSpec, FaultSpec, HealthSpec, LatticeSpec,
+    MatrixSpec, ParamSet, PotentialSpec, RunSpec, Scenario, ScenarioError, SystemSpec, Variant,
+    VariantStatus,
 };

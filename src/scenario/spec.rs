@@ -44,6 +44,9 @@ pub enum ScenarioError {
     Parse(String),
     /// The described simulation failed validation in the builder.
     Build(BuildError),
+    /// The declared decomposition grid does not fit the scenario's box
+    /// (a rank cell thinner than the interaction cutoff + skin).
+    Decomposition(String),
     /// A variant's execution did not complete cleanly (diverged, panicked
     /// or timed out) — produced by the compatibility wrapper
     /// [`Scenario::execute`]; [`Scenario::execute_with`] reports the same
@@ -67,6 +70,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Io { path, error } => write!(f, "{path}: {error}"),
             ScenarioError::Parse(msg) => write!(f, "{msg}"),
             ScenarioError::Build(e) => write!(f, "invalid simulation: {e}"),
+            ScenarioError::Decomposition(msg) => write!(f, "invalid decomposition: {msg}"),
             ScenarioError::Run {
                 label,
                 status,
@@ -264,8 +268,50 @@ pub struct RunSpec {
     pub thermo_every: u64,
 }
 
-/// Optional trajectory dump: an [`md_core::XyzDump`] observer writing one
-/// XYZ frame every `every` steps of each variant's run.
+/// Trajectory file format of a [`DumpSpec`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DumpFormat {
+    /// Plain XYZ frames ([`md_core::XyzDump`]).
+    #[default]
+    Xyz,
+    /// LAMMPS text dump with box bounds ([`md_core::LammpsDump`]), readable
+    /// by OVITO/VMD and LAMMPS' `read_dump`.
+    Lammps,
+}
+
+impl DumpFormat {
+    /// Stable lower-case name used in spec files.
+    pub fn name(self) -> &'static str {
+        match self {
+            DumpFormat::Xyz => "xyz",
+            DumpFormat::Lammps => "lammps",
+        }
+    }
+}
+
+impl fmt::Display for DumpFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DumpFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "xyz" => Ok(DumpFormat::Xyz),
+            "lammps" | "lammpstrj" | "dump" => Ok(DumpFormat::Lammps),
+            other => Err(format!(
+                "unknown dump format {other:?} (expected xyz or lammps)"
+            )),
+        }
+    }
+}
+
+/// Optional trajectory dump: an [`md_core::XyzDump`] or
+/// [`md_core::LammpsDump`] observer writing one frame every `every` steps of
+/// each variant's run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DumpSpec {
     /// Output file. When the scenario declares a matrix, each variant writes
@@ -275,6 +321,34 @@ pub struct DumpSpec {
     pub every: u64,
     /// Per-type element symbols; defaults to the parameter set's species.
     pub elements: Option<Vec<String>>,
+    /// File format (default `xyz`).
+    pub format: DumpFormat,
+}
+
+/// Optional rank-parallel domain decomposition: the scenario runs through
+/// [`md_core::DomainSimulation`] on a grid of ranks — the in-process analog
+/// of LAMMPS' MPI decomposition behind the paper's Fig. 9 strong-scaling
+/// study — instead of the single-domain driver. The trajectory is **bitwise
+/// identical** either way; the decomposed run additionally reports
+/// per-rank/communication statistics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecompositionSpec {
+    /// Ranks along x, y, z. Every entry must be ≥ 1 and each rank cell must
+    /// stay wider than the interaction cutoff + skin (validated against the
+    /// actual box when the run is built; violations fail with a grid error).
+    pub grid: [usize; 3],
+}
+
+impl DecompositionSpec {
+    /// Total rank count (the grid product).
+    pub fn n_ranks(&self) -> usize {
+        self.grid.iter().product()
+    }
+
+    /// `"XxYxZ"` — the label used in tables and report JSON.
+    pub fn label(&self) -> String {
+        format!("{}x{}x{}", self.grid[0], self.grid[1], self.grid[2])
+    }
 }
 
 /// Optional mode × threads expansion: `tersoff-run` executes the cartesian
@@ -390,6 +464,8 @@ pub struct Scenario {
     pub run: RunSpec,
     /// Optional trajectory dump.
     pub dump: Option<DumpSpec>,
+    /// Optional rank-parallel domain decomposition.
+    pub decomposition: Option<DecompositionSpec>,
     /// Optional mode×threads matrix.
     pub matrix: Option<MatrixSpec>,
     /// Declared bound on |ΔE/E₀|; violations fail `tersoff-run`.
@@ -464,6 +540,7 @@ impl Scenario {
                 "potential",
                 "run",
                 "dump",
+                "decomposition",
                 "matrix",
                 "max_drift",
                 "health",
@@ -555,7 +632,7 @@ impl Scenario {
             None | Some(Json::Null) => None,
             Some(d) => {
                 let d = expect_obj(d, "dump")?;
-                check_keys(d, "dump", &["path", "every", "elements"])?;
+                check_keys(d, "dump", &["path", "every", "elements", "format"])?;
                 let path = req_str(d, "path", "dump")?;
                 if path.is_empty() {
                     return Err(ScenarioError::Parse("dump.path must be non-empty".into()));
@@ -584,11 +661,46 @@ impl Scenario {
                             .collect::<Result<Vec<String>, _>>()?,
                     ),
                 };
+                let format = match d.get("format") {
+                    None | Some(Json::Null) => DumpFormat::Xyz,
+                    Some(v) => {
+                        let s = v.as_str().ok_or_else(|| {
+                            ScenarioError::Parse("dump.format must be a string".into())
+                        })?;
+                        parse_name(s, "dump.format")?
+                    }
+                };
                 Some(DumpSpec {
                     path,
                     every,
                     elements,
+                    format,
                 })
+            }
+        };
+
+        let decomposition = match top.get("decomposition") {
+            None | Some(Json::Null) => None,
+            Some(d) => {
+                let d = expect_obj(d, "decomposition")?;
+                check_keys(d, "decomposition", &["grid"])?;
+                let arr = req(d, "grid", "decomposition")?.as_arr().ok_or_else(|| {
+                    ScenarioError::Parse("decomposition.grid must be an array of 3 integers".into())
+                })?;
+                if arr.len() != 3 {
+                    return Err(ScenarioError::Parse(
+                        "decomposition.grid must have exactly 3 entries".into(),
+                    ));
+                }
+                let mut grid = [0usize; 3];
+                for (dim, v) in arr.iter().enumerate() {
+                    grid[dim] = v.as_usize().filter(|&g| g > 0).ok_or_else(|| {
+                        ScenarioError::Parse(
+                            "decomposition.grid entries must be positive integers".into(),
+                        )
+                    })?;
+                }
+                Some(DecompositionSpec { grid })
             }
         };
 
@@ -733,6 +845,7 @@ impl Scenario {
             potential,
             run,
             dump,
+            decomposition,
             matrix,
             max_drift,
             health,
@@ -805,7 +918,19 @@ impl Scenario {
                     Json::Arr(elements.iter().map(|e| Json::Str(e.clone())).collect()),
                 ));
             }
+            if dump.format != DumpFormat::Xyz {
+                entry.push(("format", Json::Str(dump.format.to_string())));
+            }
             top.push(("dump", obj(entry)));
+        }
+        if let Some(dec) = &self.decomposition {
+            top.push((
+                "decomposition",
+                obj([(
+                    "grid",
+                    Json::Arr(dec.grid.iter().map(|&g| Json::Num(g as f64)).collect()),
+                )]),
+            ));
         }
         if let Some(matrix) = &self.matrix {
             top.push((
@@ -1137,6 +1262,7 @@ pub(crate) mod tests {
                 thermo_every: 5,
             },
             dump: None,
+            decomposition: None,
             matrix: Some(MatrixSpec {
                 modes: vec![ExecutionMode::Ref, ExecutionMode::OptM],
                 threads: vec![1, 2],
@@ -1258,11 +1384,16 @@ pub(crate) mod tests {
             path: "traj.xyz".into(),
             every: 2,
             elements: None,
+            format: DumpFormat::Xyz,
         });
         // Round-trips through JSON (with and without explicit elements).
         assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
         s.dump.as_mut().unwrap().elements = Some(vec!["Si".into()]);
         assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+        // The non-default format round-trips too.
+        s.dump.as_mut().unwrap().format = DumpFormat::Lammps;
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+        s.dump.as_mut().unwrap().format = DumpFormat::Xyz;
 
         // Matrix variants write distinct suffixed files.
         let v = Variant {
@@ -1289,6 +1420,7 @@ pub(crate) mod tests {
             path: "traj.xyz".into(),
             every: 2,
             elements: None,
+            format: DumpFormat::Lammps,
         });
         let zero = s.to_json().replace("\"every\": 2", "\"every\": 0");
         assert!(Scenario::from_json(&zero)
@@ -1300,6 +1432,37 @@ pub(crate) mod tests {
             .unwrap_err()
             .to_string()
             .contains("cadence"));
+        let bad_format = s.to_json().replace("\"lammps\"", "\"pdb\"");
+        assert!(Scenario::from_json(&bad_format)
+            .unwrap_err()
+            .to_string()
+            .contains("dump.format"));
+    }
+
+    #[test]
+    fn decomposition_spec_round_trips_and_validates() {
+        let mut s = sample();
+        s.decomposition = Some(DecompositionSpec { grid: [2, 2, 1] });
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+        assert_eq!(s.decomposition.unwrap().n_ranks(), 4);
+        assert_eq!(s.decomposition.unwrap().label(), "2x2x1");
+
+        // Zero entries, wrong arity and unknown keys fail loudly.
+        let zero = s.to_json().replace("[2, 2, 1]", "[2, 0, 1]");
+        assert!(Scenario::from_json(&zero)
+            .unwrap_err()
+            .to_string()
+            .contains("positive"));
+        let arity = s.to_json().replace("[2, 2, 1]", "[2, 2]");
+        assert!(Scenario::from_json(&arity)
+            .unwrap_err()
+            .to_string()
+            .contains("3 entries"));
+        let unknown = s.to_json().replace("\"grid\"", "\"ranks\"");
+        assert!(Scenario::from_json(&unknown)
+            .unwrap_err()
+            .to_string()
+            .contains("ranks"));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! The decomposed-timestep contract, end to end: a [`DomainSimulation`]
+//! produces a **bitwise identical** trajectory to the single-domain
+//! [`Simulation`] for every rank grid at every thread count, migrates atoms
+//! between ranks without losing any, and aborts on an injected fault at the
+//! same deterministic step regardless of how the box is decomposed.
+
+use lammps_tersoff_vector::prelude::*;
+
+const STEPS: u64 = 60;
+
+/// A hot Lennard-Jones silicon lattice: cheap enough to sweep the whole
+/// grid × threads matrix, hot enough that the run rebuilds its neighbor
+/// list and migrates atoms across rank boundaries.
+fn lj_builder(threads: usize) -> SimulationBuilder<LennardJones> {
+    let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.02, 13);
+    Simulation::builder(atoms, sim_box, LennardJones::new(0.1, 2.0, 4.0))
+        .masses(vec![units::mass::SI])
+        .temperature(3000.0, 11)
+        .thermo_every(5)
+        .threads(threads)
+}
+
+/// Everything a trajectory can disagree on, bit for bit.
+#[derive(PartialEq, Debug)]
+struct Trace {
+    thermo: Vec<(u64, [u64; 4])>,
+    x: Vec<[u64; 3]>,
+    v: Vec<[u64; 3]>,
+    final_total: u64,
+    rebuilds: u64,
+}
+
+fn trace_of(sim: &Simulation<impl Potential>, report: &RunReport) -> Trace {
+    let bits = |rows: &[[f64; 3]]| {
+        rows.iter()
+            .map(|r| [r[0].to_bits(), r[1].to_bits(), r[2].to_bits()])
+            .collect::<Vec<_>>()
+    };
+    Trace {
+        thermo: sim
+            .thermo_history()
+            .iter()
+            .map(|t| {
+                (
+                    t.step,
+                    [
+                        t.kinetic.to_bits(),
+                        t.potential.to_bits(),
+                        t.total.to_bits(),
+                        t.pressure.to_bits(),
+                    ],
+                )
+            })
+            .collect(),
+        x: bits(&sim.atoms.x[..sim.atoms.n_local]),
+        v: bits(&sim.atoms.v[..sim.atoms.n_local]),
+        final_total: report.final_thermo.total.to_bits(),
+        rebuilds: report.total_rebuilds,
+    }
+}
+
+fn single_domain_trace(threads: usize) -> Trace {
+    let mut sim = lj_builder(threads).build().expect("valid setup");
+    let report = sim.run(STEPS);
+    trace_of(&sim, &report)
+}
+
+#[test]
+fn decomposed_runs_are_bitwise_identical_for_every_grid_and_thread_count() {
+    let reference = single_domain_trace(1);
+    assert!(
+        reference.rebuilds > 1,
+        "trajectory must exercise rebuilds (got {})",
+        reference.rebuilds
+    );
+    for grid in [[2, 1, 1], [2, 2, 1], [2, 2, 2]] {
+        for threads in [1usize, 2, 4, 8] {
+            let mut dom = DomainSimulation::new(lj_builder(threads), grid).expect("valid grid");
+            let report = dom.run(STEPS);
+            let trace = trace_of(dom.sim(), &report);
+            assert_eq!(
+                trace, reference,
+                "grid {grid:?} at {threads} threads diverged from single-domain"
+            );
+        }
+    }
+}
+
+#[test]
+fn migration_conserves_atoms_and_reproduces_the_single_domain_trajectory() {
+    let reference = single_domain_trace(1);
+    let mut dom = DomainSimulation::new(lj_builder(4), [2, 2, 1]).expect("valid grid");
+    let n_atoms = dom.sim().atoms.n_local;
+    let report = dom.run(STEPS);
+
+    assert!(
+        dom.migrations() > 0,
+        "a hot run must hand atoms across rank boundaries"
+    );
+    let per_rank = dom.atoms_per_rank();
+    assert_eq!(per_rank.len(), 4);
+    assert_eq!(
+        per_rank.iter().sum::<usize>(),
+        n_atoms,
+        "migration lost or duplicated atoms: {per_rank:?}"
+    );
+    assert!(
+        per_rank.iter().all(|&n| n > 0),
+        "every rank should keep a share of the lattice: {per_rank:?}"
+    );
+    assert_eq!(
+        trace_of(dom.sim(), &report),
+        reference,
+        "migrating run diverged from the single-domain trajectory"
+    );
+}
+
+#[test]
+fn health_fault_aborts_the_decomposed_run_at_the_same_step_for_every_grid() {
+    let diverge = |grid: Option<[usize; 3]>| {
+        let builder = lj_builder(2)
+            .inject_fault(FaultPlan::new(FaultKind::Nan, 4))
+            .observe(HealthGuard::new(HealthSettings::default()));
+        let result = match grid {
+            None => builder.build().expect("valid setup").try_run(20),
+            Some(g) => DomainSimulation::new(builder, g)
+                .expect("valid grid")
+                .try_run(20),
+        };
+        match result {
+            Err(RunError::Diverged {
+                step,
+                reason,
+                report,
+            }) => {
+                assert!(
+                    matches!(report.status, RunStatus::Diverged { .. }),
+                    "partial report must record the abort"
+                );
+                assert!(report.steps < 20, "the run must stop early");
+                (step, reason)
+            }
+            other => panic!("expected Diverged for grid {grid:?}, got {other:?}"),
+        }
+    };
+
+    let (step, reason) = diverge(None);
+    assert_eq!(step, 4, "NaN injected at step 4 must be caught at step 4");
+    for grid in [[2, 1, 1], [2, 2, 1], [2, 2, 2]] {
+        let (dec_step, dec_reason) = diverge(Some(grid));
+        assert_eq!(
+            (dec_step, &dec_reason),
+            (step, &reason),
+            "grid {grid:?}: fault abort must not depend on the decomposition"
+        );
+    }
+}

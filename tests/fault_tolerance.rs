@@ -247,6 +247,7 @@ fn two_variant_scenario() -> Scenario {
             thermo_every: 4,
         },
         dump: None,
+        decomposition: None,
         matrix: Some(MatrixSpec {
             modes: vec![ExecutionMode::Ref, ExecutionMode::OptD],
             threads: vec![2],

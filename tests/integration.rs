@@ -5,7 +5,6 @@
 #![allow(clippy::needless_range_loop)] // stencil-style 0..3 loops are intentional
 
 use lammps_tersoff_vector::prelude::*;
-use md_core::decomposition::DecomposedSystem;
 use md_core::neighbor::{NeighborList, NeighborSettings};
 use md_core::potential::ComputeOutput;
 
@@ -133,75 +132,80 @@ fn all_execution_modes_agree_on_the_trajectory_start() {
     }
 }
 
+/// Silicon setup shared by the decomposed-run tests: hot enough to migrate
+/// atoms and rebuild neighbor lists within a short run.
+fn decomposed_setup<P: Potential>(potential: P) -> SimulationBuilder<P> {
+    let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.04, 31);
+    Simulation::builder(atoms, sim_box, potential)
+        .masses(vec![units::mass::SI])
+        .temperature(1200.0, 5)
+        .thermo_every(10)
+        .skin(0.7)
+}
+
+fn force_bits(sim: &Simulation<impl Potential>) -> Vec<[u64; 3]> {
+    sim.atoms.f[..sim.atoms.n_local]
+        .iter()
+        .map(|f| [f[0].to_bits(), f[1].to_bits(), f[2].to_bits()])
+        .collect()
+}
+
 #[test]
-fn decomposed_tersoff_forces_match_single_domain() {
-    let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.05, 31);
+fn decomposed_tersoff_run_is_bitwise_identical_to_single_domain() {
     let params = TersoffParams::silicon();
-    let skin = 0.7;
+    let mut single = decomposed_setup(TersoffRef::new(params.clone()))
+        .build()
+        .expect("valid setup");
+    let reference = single.run(40);
 
-    let mut single = TersoffRef::new(params.clone());
-    let list = NeighborList::build_binned(
-        &atoms,
-        &sim_box,
-        NeighborSettings::new(params.max_cutoff, skin),
-    );
-    let mut reference = ComputeOutput::zeros(atoms.n_total());
-    single.compute(&atoms, &sim_box, &list, &mut reference);
+    let mut dom = DomainSimulation::new(decomposed_setup(TersoffRef::new(params)), [2, 2, 2])
+        .expect("valid grid");
+    let report = dom.run(40);
 
-    let mut dec = DecomposedSystem::new(&atoms, sim_box, [2, 2, 2]);
-    dec.exchange_ghosts(params.max_cutoff + skin);
-    dec.compute_forces(|| TersoffRef::new(params.clone()), skin);
-
-    assert!(
-        (dec.total_energy() - reference.energy).abs() < 1e-8 * reference.energy.abs(),
+    assert_eq!(
+        report.final_thermo.total.to_bits(),
+        reference.final_thermo.total.to_bits(),
         "decomposed energy {} vs {}",
-        dec.total_energy(),
-        reference.energy
+        report.final_thermo.total,
+        reference.final_thermo.total
     );
-    let forces = dec.collect_forces();
-    for i in 0..atoms.n_local {
-        let f = forces[&atoms.id[i]];
-        for d in 0..3 {
-            assert!(
-                (f[d] - reference.forces[i][d]).abs() < 1e-8,
-                "atom {i} dim {d}: {} vs {}",
-                f[d],
-                reference.forces[i][d]
-            );
-        }
-    }
+    assert_eq!(report.total_rebuilds, reference.total_rebuilds);
+    assert_eq!(
+        force_bits(dom.sim()),
+        force_bits(&single),
+        "decomposed forces are not bitwise identical"
+    );
 }
 
 #[test]
 fn decomposed_vectorized_tersoff_matches_too() {
-    // The three-body force writes to ghost atoms, so this exercises the
-    // reverse communication path together with the conflict-handled scatter
-    // of scheme 1b.
-    let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.04, 37);
+    // The vectorized kernel runs on the canonical arrays inside the
+    // decomposed timestep, so the conflict-handled scatter of scheme 1b must
+    // also reproduce the single-domain trajectory bit for bit.
     let params = TersoffParams::silicon();
-    let skin = 0.7;
+    let mut single = decomposed_setup(TersoffSchemeB::<f64, f64, 8>::new(params.clone()))
+        .build()
+        .expect("valid setup");
+    let reference = single.run(40);
 
-    let mut single = TersoffSchemeB::<f64, f64, 8>::new(params.clone());
-    let list = NeighborList::build_binned(
-        &atoms,
-        &sim_box,
-        NeighborSettings::new(params.max_cutoff, skin),
+    let mut dom = DomainSimulation::new(
+        decomposed_setup(TersoffSchemeB::<f64, f64, 8>::new(params)),
+        [2, 1, 2],
+    )
+    .expect("valid grid");
+    let report = dom.run(40);
+
+    assert_eq!(
+        report.final_thermo.total.to_bits(),
+        reference.final_thermo.total.to_bits()
     );
-    let mut reference = ComputeOutput::zeros(atoms.n_total());
-    single.compute(&atoms, &sim_box, &list, &mut reference);
+    assert_eq!(force_bits(dom.sim()), force_bits(&single));
 
-    let mut dec = DecomposedSystem::new(&atoms, sim_box, [2, 1, 2]);
-    dec.exchange_ghosts(params.max_cutoff + skin);
-    dec.compute_forces(|| TersoffSchemeB::<f64, f64, 8>::new(params.clone()), skin);
-
-    assert!((dec.total_energy() - reference.energy).abs() < 1e-8 * reference.energy.abs());
-    let forces = dec.collect_forces();
-    for i in 0..atoms.n_local {
-        let f = forces[&atoms.id[i]];
-        for d in 0..3 {
-            assert!((f[d] - reference.forces[i][d]).abs() < 1e-8);
-        }
-    }
+    // The decomposition must be live machinery, not a pass-through.
+    assert!(dom.ghost_fraction() > 0.0, "ranks must hold ghost atoms");
+    let mut collected = Vec::new();
+    dom.collect_forces_into(&mut collected);
+    assert_eq!(collected.len(), dom.sim().atoms.n_local);
 }
 
 #[test]

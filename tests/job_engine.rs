@@ -48,6 +48,7 @@ fn sample_scenario() -> Scenario {
             thermo_every: 2,
         },
         dump: None,
+        decomposition: None,
         matrix: Some(MatrixSpec {
             modes: vec![ExecutionMode::Ref, ExecutionMode::OptM],
             threads: vec![1, 2],

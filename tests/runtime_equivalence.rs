@@ -12,8 +12,6 @@
 //! suite multi-threaded.)
 
 use lammps_tersoff_vector::prelude::*;
-use md_core::decomposition::DecomposedSystem;
-use md_core::runtime::ParallelRuntime;
 
 /// A thermo trace with every energy field bit-exact, from a hot trajectory
 /// that rebuilds its neighbor list during the measured window.
@@ -89,47 +87,87 @@ fn builder_owned_runtime_matches_engine_owned_runtime_bitwise() {
 }
 
 #[test]
-fn ghost_exchange_and_decomposed_forces_are_bitwise_across_thread_counts() {
-    let (global_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.05, 17);
-    let skin = 0.5;
-
+fn decomposed_timestep_is_bitwise_across_thread_counts() {
+    // The full distributed timestep — per-rank integration, halo refresh,
+    // atom migration, ghost exchange, per-rank neighbor builds — dispatches
+    // through the same shared runtime as the single-domain step, so its
+    // trajectory must also be bitwise identical for every thread count.
     let run = |threads: usize| {
-        let runtime = ParallelRuntime::new(threads);
-        let mut dec = DecomposedSystem::new(&atoms, global_box, [2, 2, 1]);
-        dec.use_runtime(&runtime);
-        dec.exchange_ghosts(3.2 + skin);
-        dec.compute_forces(
-            || {
-                make_potential(
-                    TersoffParams::silicon(),
-                    TersoffOptions::default().with_threads(threads),
-                )
-            },
-            skin,
+        let (sim_box, atoms) = Lattice::silicon([3, 3, 3]).build_perturbed(0.03, 41);
+        let potential = make_potential(
+            TersoffParams::silicon(),
+            TersoffOptions::default().with_threads(1),
         );
-        let ghosts: Vec<usize> = dec.ranks.iter().map(|r| r.atoms.n_ghost()).collect();
-        let energy = dec.total_energy().to_bits();
-        let mut forces: Vec<(u64, [u64; 3])> = dec
-            .collect_forces()
-            .into_iter()
-            .map(|(id, f)| (id, [f[0].to_bits(), f[1].to_bits(), f[2].to_bits()]))
+        let builder = Simulation::builder(atoms, sim_box, potential)
+            .masses(vec![units::mass::SI])
+            .temperature(1500.0, 17) // hot: forces rebuilds and migrations
+            .thermo_every(10)
+            .threads(threads);
+        let mut dom = DomainSimulation::new(builder, [2, 2, 1]).expect("valid grid");
+        let report = dom.run(120);
+
+        let trace: Vec<(u64, [u64; 4])> = dom
+            .sim()
+            .thermo_history()
+            .iter()
+            .map(|t| {
+                (
+                    t.step,
+                    [
+                        t.kinetic.to_bits(),
+                        t.potential.to_bits(),
+                        t.total.to_bits(),
+                        t.pressure.to_bits(),
+                    ],
+                )
+            })
             .collect();
-        forces.sort_unstable();
-        (ghosts, energy, forces)
+        let mut forces = Vec::new();
+        dom.collect_forces_into(&mut forces);
+        let force_bits: Vec<[u64; 3]> = forces
+            .iter()
+            .map(|f| [f[0].to_bits(), f[1].to_bits(), f[2].to_bits()])
+            .collect();
+        (
+            trace,
+            force_bits,
+            report.total_rebuilds,
+            dom.migrations(),
+            dom.atoms_per_rank(),
+            dom.ghost_fraction().to_bits(),
+        )
     };
 
     let reference = run(1);
-    assert!(reference.0.iter().all(|&g| g > 0), "ranks must have ghosts");
+    assert!(
+        reference.2 > 1,
+        "trajectory must exercise neighbor rebuilds (got {})",
+        reference.2
+    );
+    assert!(
+        reference.3 > 0,
+        "trajectory must migrate atoms across ranks"
+    );
+    assert!(f64::from_bits(reference.5) > 0.0, "ranks must have ghosts");
     for threads in [2usize, 4, 8] {
         let result = run(threads);
-        assert_eq!(result.0, reference.0, "t{threads}: ghost counts diverged");
+        assert_eq!(
+            result.0, reference.0,
+            "t{threads}: decomposed thermo trace not bitwise identical"
+        );
         assert_eq!(
             result.1, reference.1,
-            "t{threads}: decomposed energy not bitwise identical"
+            "t{threads}: decomposed forces not bitwise identical"
         );
         assert_eq!(
             result.2, reference.2,
-            "t{threads}: decomposed forces not bitwise identical"
+            "t{threads}: rebuild schedule diverged"
         );
+        assert_eq!(
+            result.3, reference.3,
+            "t{threads}: migration count diverged"
+        );
+        assert_eq!(result.4, reference.4, "t{threads}: rank occupancy diverged");
+        assert_eq!(result.5, reference.5, "t{threads}: ghost fraction diverged");
     }
 }

@@ -44,6 +44,7 @@ fn sample_scenario() -> Scenario {
             thermo_every: 5,
         },
         dump: None,
+        decomposition: None,
         matrix: None,
         max_drift: Some(1e-3),
         health: None,
