@@ -423,7 +423,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let stats = engine.stats();
+    let stats = engine.stats_snapshot();
     println!(
         "{} scenario(s) executed at --jobs {} ({} runtime(s) pooled, \
          {} cache hits, {} misses), {failures} failure(s).",

@@ -1,0 +1,171 @@
+//! `tersoff-serve` — the scenario job engine as a long-running HTTP server.
+//!
+//! Binds a loopback (by default) listener and serves the `server` module's
+//! wire API: `POST /v1/jobs` takes the same strict scenario JSON that
+//! `tersoff-run` executes from disk (matrix expansion included), `GET
+//! /v1/jobs/{id}` polls typed status and — once terminal — the resolved
+//! per-variant report with exact energy bits, `DELETE` cancels a queued
+//! job, `GET /v1/jobs/{id}/events` streams the job's events as chunked
+//! NDJSON, `GET /metrics` exposes the engine counters in Prometheus text
+//! format, and `POST /v1/shutdown` (or SIGINT/SIGTERM) begins a graceful
+//! drain. Results are bitwise identical to a `tersoff-run` invocation of
+//! the same scenario.
+//!
+//! ```text
+//! tersoff-serve [--addr HOST:PORT] [--jobs N] [--queue-depth N]
+//!               [--cache-entries N] [--cache-bytes N]
+//! ```
+//!
+//! * `--addr HOST:PORT`  bind address (default `127.0.0.1:7171`; port 0
+//!   picks a free port, printed on startup)
+//! * `--jobs N`          engine worker lanes (default: engine default)
+//! * `--queue-depth N`   engine queue capacity — the backpressure bound
+//!   behind `429` (default: engine default)
+//! * `--cache-entries N` artifact-cache entry budget (default 256)
+//! * `--cache-bytes N`   artifact-cache byte budget (default 256 MiB)
+//!
+//! Exit code `0` after a graceful drain, `2` on usage errors, `1` when the
+//! listener cannot bind.
+
+use lammps_tersoff_vector::server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    jobs: usize,
+    queue_depth: usize,
+    cache_entries: usize,
+    cache_bytes: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tersoff-serve [--addr HOST:PORT] [--jobs N] [--queue-depth N] \
+         [--cache-entries N] [--cache-bytes N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let defaults = ServerConfig::default();
+    let mut out = Args {
+        addr: "127.0.0.1:7171".to_string(),
+        jobs: 0,
+        queue_depth: 0,
+        cache_entries: defaults.cache_budget.max_entries,
+        cache_bytes: defaults.cache_budget.max_bytes,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => out.addr = args.next().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                out.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--queue-depth" => {
+                out.queue_depth = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--cache-entries" => {
+                out.cache_entries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--cache-bytes" => {
+                out.cache_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    out
+}
+
+/// Set on SIGINT / SIGTERM by the (async-signal-safe) handler; a bridge
+/// thread forwards it to the server's shutdown flag.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // std already links libc; `signal(2)` is enough for a store-a-flag
+    // handler, so no new crate is needed.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    install_signal_handlers();
+
+    let mut config = ServerConfig {
+        addr: args.addr,
+        workers: args.jobs,
+        queue_depth: args.queue_depth,
+        ..ServerConfig::default()
+    };
+    config.cache_budget.max_entries = args.cache_entries;
+    config.cache_budget.max_bytes = args.cache_bytes;
+
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("tersoff-serve: cannot bind: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("tersoff-serve: listening on http://{}", server.local_addr());
+
+    // Bridge the signal flag into the server's shutdown flag.
+    let shutdown = server.shutdown_handle();
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    // Blocks until SIGINT/SIGTERM or POST /v1/shutdown, then drains every
+    // in-flight and queued job before returning the final counters.
+    let stats = server.join();
+    println!(
+        "tersoff-serve: drained: {} submitted, {} finished, {} faulted, \
+         {} cancelled ({} runtime(s) pooled, {} cache hits, {} misses, \
+         {} evictions) over {:.1} s.",
+        stats.submitted,
+        stats.finished,
+        stats.faulted,
+        stats.cancelled,
+        stats.runtimes_created,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+        stats.uptime.as_secs_f64(),
+    );
+    ExitCode::SUCCESS
+}

@@ -20,8 +20,8 @@
 //! bitwise-equivalence suite (`tests/job_engine.rs` at the workspace root)
 //! pins this.
 
-use super::cache::{ArtifactCache, CacheStats};
-use super::events::{EventBus, JobEvent, JobId};
+use super::cache::{ArtifactCache, CacheBudget, CacheStats};
+use super::events::{EventBus, EventSub, JobEvent, JobId};
 use super::queue::{JobQueue, SubmitError};
 use crate::runtime::{
     lock_recover, panic_payload_string, resolve_threads, wait_recover, ParallelRuntime,
@@ -31,10 +31,9 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Configuration and stats
@@ -49,6 +48,10 @@ pub struct EngineConfig {
     /// Bounded queue capacity; a full queue blocks [`JobEngine::submit`]
     /// (backpressure) and fails [`JobEngine::try_submit`] (min 1).
     pub queue_depth: usize,
+    /// Retention budget of the engine's [`ArtifactCache`]. Effectively
+    /// unbounded by default (right for one-shot batches); a long-running
+    /// server sets real bounds so the cache cannot leak.
+    pub cache_budget: CacheBudget,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +59,7 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 1,
             queue_depth: 64,
+            cache_budget: CacheBudget::default(),
         }
     }
 }
@@ -65,18 +69,24 @@ impl EngineConfig {
         EngineConfig {
             workers: self.workers.max(1),
             queue_depth: self.queue_depth.max(1),
+            cache_budget: self.cache_budget,
         }
     }
 }
 
 /// A point-in-time snapshot of the engine's counters, embedded in
-/// `ScenarioReport` JSON and `BENCH_throughput.json`.
+/// `ScenarioReport` JSON and `BENCH_throughput.json` and exposed by
+/// `tersoff-serve`'s `/metrics`. Take one with
+/// [`JobEngine::stats_snapshot`] — a single consistent read, cheap enough
+/// for a metrics endpoint to call per scrape.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Lane threads (pool size).
     pub workers: usize,
     /// Queue capacity.
     pub queue_depth: usize,
+    /// Jobs waiting in the queue right now.
+    pub queue_len: usize,
     /// Jobs accepted by `submit`/`try_submit`.
     pub submitted: u64,
     /// Jobs whose closure returned normally.
@@ -92,6 +102,8 @@ pub struct EngineStats {
     pub live_runtimes: usize,
     /// Artifact-cache counters.
     pub cache: CacheStats,
+    /// Wall-clock time since the engine started.
+    pub uptime: Duration,
 }
 
 // ---------------------------------------------------------------------------
@@ -403,12 +415,10 @@ impl RuntimePool {
         }
     }
 
-    fn created(&self) -> u64 {
-        lock_recover(&self.state).created
-    }
-
-    fn live(&self) -> usize {
-        lock_recover(&self.state).slots.len()
+    /// `(runtimes_created, live_runtimes)` under one lock acquisition.
+    fn counters(&self) -> (u64, usize) {
+        let state = lock_recover(&self.state);
+        (state.created, state.slots.len())
     }
 }
 
@@ -439,6 +449,7 @@ struct EngineShared {
     finished: AtomicU64,
     faulted: AtomicU64,
     cancelled: AtomicU64,
+    started: Instant,
 }
 
 impl EngineShared {
@@ -608,13 +619,14 @@ impl JobEngine {
             config,
             queue: JobQueue::bounded(config.queue_depth),
             events: Arc::new(EventBus::new()),
-            cache: Arc::new(ArtifactCache::new()),
+            cache: Arc::new(ArtifactCache::with_budget(config.cache_budget)),
             pool: RuntimePool::new(config.workers),
             next_id: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             finished: AtomicU64::new(0),
             faulted: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            started: Instant::now(),
         });
         let lanes = (0..config.workers)
             .map(|lane| {
@@ -701,9 +713,18 @@ impl JobEngine {
         }
     }
 
-    /// Subscribe to the engine's [`JobEvent`] stream.
-    pub fn subscribe(&self) -> Receiver<JobEvent> {
+    /// Subscribe to the engine's [`JobEvent`] stream with the default
+    /// per-subscriber buffer bound (see
+    /// [`EventSub`](super::events::EventSub): drop-oldest on overflow, so a
+    /// stalled subscriber never blocks job progress).
+    pub fn subscribe(&self) -> EventSub {
         self.shared.events.subscribe()
+    }
+
+    /// Subscribe with an explicit buffer capacity — larger for recorders
+    /// that must not miss events, smaller for best-effort tails.
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> EventSub {
+        self.shared.events.subscribe_with_capacity(capacity)
     }
 
     /// The shared artifact cache.
@@ -721,26 +742,39 @@ impl JobEngine {
         self.shared.queue.len()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. Alias of [`JobEngine::stats_snapshot`].
     pub fn stats(&self) -> EngineStats {
+        self.stats_snapshot()
+    }
+
+    /// A single consistent snapshot of every engine counter: one pool-lock
+    /// read, one cache-lock read, the atomics, the live queue length and
+    /// the uptime — no lock juggling at call sites. What the `tersoff-run`
+    /// footer and `tersoff-serve`'s `/metrics` report.
+    pub fn stats_snapshot(&self) -> EngineStats {
         let s = &self.shared;
+        let (runtimes_created, live_runtimes) = s.pool.counters();
         EngineStats {
             workers: s.config.workers,
             queue_depth: s.config.queue_depth,
+            queue_len: s.queue.len(),
             submitted: s.submitted.load(Ordering::Relaxed),
             finished: s.finished.load(Ordering::Relaxed),
             faulted: s.faulted.load(Ordering::Relaxed),
             cancelled: s.cancelled.load(Ordering::Relaxed),
-            runtimes_created: s.pool.created(),
-            live_runtimes: s.pool.live(),
+            runtimes_created,
+            live_runtimes,
             cache: s.cache.stats(),
+            uptime: s.started.elapsed(),
         }
     }
 
-    /// Stop accepting jobs, drain the backlog, join the lanes. Also what
-    /// `Drop` does; this form just names the intent.
-    pub fn shutdown(self) {
-        drop(self);
+    /// Stop accepting jobs, drain the backlog, join the lanes, and return
+    /// the final counter snapshot (what a server's drain footer reports).
+    /// `Drop` does the same minus the snapshot; this form names the intent.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.close_and_join();
+        self.stats_snapshot()
     }
 
     fn close_and_join(&mut self) {
@@ -748,6 +782,10 @@ impl JobEngine {
         for lane in self.lanes.drain(..) {
             let _ = lane.join();
         }
+        // Every job is terminal and every event emitted: close the bus so
+        // blocked subscribers (a server's event recorder, a streaming
+        // client's tail) see a definitive end-of-stream.
+        self.shared.events.close();
     }
 }
 
@@ -894,6 +932,7 @@ mod tests {
         let engine = JobEngine::new(EngineConfig {
             workers: 1,
             queue_depth: 1,
+            ..EngineConfig::default()
         });
         let (gate_tx, gate_rx) = mpsc::channel::<()>();
         let blocker = engine
@@ -936,6 +975,50 @@ mod tests {
             kinds,
             vec!["queued", "started", "thermo", "checkpoint", "finished"]
         );
+    }
+
+    #[test]
+    fn a_stalled_subscriber_never_blocks_job_progress() {
+        // A subscriber with a 2-event buffer that never drains: if
+        // emission could block on it, the batch below would wedge. It
+        // must instead finish completely, with the stalled subscriber
+        // holding only the newest 2 events and an honest lag count.
+        let engine = JobEngine::with_workers(2);
+        let stalled = engine.subscribe_with_capacity(2);
+        let handles: Vec<_> = (0..10)
+            .map(|i| {
+                engine
+                    .submit(JobSpec::new(format!("burst-{i}"), |ctx| {
+                        ctx.emit_thermo(0, -1.0, 300.0);
+                    }))
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            assert!(matches!(handle.wait(), JobOutcome::Finished(())));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.finished, 10, "every job finished despite the stall");
+        // 10 jobs x (queued + started + thermo + finished) = 40 events
+        // were emitted; the stalled subscriber kept 2 and lagged the rest.
+        let kept = stalled.try_iter().count();
+        assert_eq!(kept, 2);
+        assert_eq!(stalled.lagged(), 38);
+    }
+
+    #[test]
+    fn shutdown_returns_final_stats_and_closes_the_event_stream() {
+        let engine = JobEngine::with_workers(1);
+        let events = engine.subscribe();
+        let handle = engine.submit(JobSpec::new("only", |_ctx| 3u8)).unwrap();
+        assert!(matches!(handle.wait(), JobOutcome::Finished(3)));
+        let stats = engine.shutdown();
+        assert_eq!((stats.submitted, stats.finished), (1, 1));
+        assert_eq!(stats.queue_len, 0);
+        // Buffered events drain, then the closed bus is definitive.
+        let kinds: Vec<_> = events.try_iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["queued", "started", "finished"]);
+        assert_eq!(events.recv(), Err(super::super::events::RecvError::Closed));
     }
 
     #[test]

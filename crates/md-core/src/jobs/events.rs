@@ -4,18 +4,26 @@
 //! [`JobContext::emit_thermo`](super::engine::JobContext::emit_thermo) /
 //! [`emit_checkpoint`](super::engine::JobContext::emit_checkpoint), the
 //! in-run observer callbacks a job chooses to forward — is published as a
-//! [`JobEvent`] on the engine's [`EventBus`]. Subscribers get an ordinary
-//! [`std::sync::mpsc::Receiver`]; a dropped receiver is pruned on the next
-//! emit, so an abandoned subscription never wedges the engine.
+//! [`JobEvent`] on the engine's [`EventBus`]. Subscribers get an
+//! [`EventSub`]: a **bounded** ring buffer with drop-oldest overflow, so a
+//! subscriber that stops draining (a stalled HTTP streaming client, an
+//! abandoned test receiver) can buffer at most its capacity of events and
+//! can never block emission — and therefore never blocks job progress.
+//! Overflow is counted per subscriber ([`EventSub::lagged`]); a dropped
+//! subscription is pruned on the next emit.
 //!
 //! Ordering guarantee: events *of one job* arrive in lifecycle order
 //! (`Queued` before `Started` before in-run events before the terminal
 //! `Finished`/`Faulted`/`Cancelled`). Events of different jobs interleave
-//! arbitrarily — they come from concurrent lanes.
+//! arbitrarily — they come from concurrent lanes. Drop-oldest overflow can
+//! lose a lagging subscriber's *oldest* events but never reorders the
+//! survivors.
 
-use crate::runtime::lock_recover;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use crate::runtime::{lock_recover, wait_recover};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Engine-unique job identifier, assigned at submission.
 pub type JobId = u64;
@@ -118,16 +126,120 @@ impl JobEvent {
     }
 }
 
+/// Why an [`EventSub`] receive returned without an event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// No event is buffered right now (or the timeout expired). The
+    /// subscription is still live; later events will arrive.
+    Empty,
+    /// The bus closed (its engine shut down) and the buffer is drained:
+    /// no further event can ever arrive.
+    Closed,
+}
+
+/// Default per-subscriber buffer capacity ([`EventBus::subscribe`]).
+pub const DEFAULT_SUB_CAPACITY: usize = 4096;
+
+struct SubState {
+    buf: VecDeque<JobEvent>,
+    closed: bool,
+}
+
+struct SubShared {
+    state: Mutex<SubState>,
+    ready: Condvar,
+    capacity: usize,
+    lagged: AtomicU64,
+}
+
+/// One bounded subscription to an [`EventBus`].
+///
+/// Holds at most `capacity` undelivered events. When the producer outruns
+/// the consumer the **oldest** buffered event is dropped to make room and
+/// [`EventSub::lagged`] is incremented — emission never blocks on a slow
+/// subscriber. Dropping the `EventSub` ends the subscription (pruned on the
+/// bus's next emit).
+pub struct EventSub {
+    shared: Arc<SubShared>,
+}
+
+impl EventSub {
+    /// Pop the oldest buffered event without blocking.
+    pub fn try_recv(&self) -> Result<JobEvent, RecvError> {
+        let mut state = lock_recover(&self.shared.state);
+        match state.buf.pop_front() {
+            Some(ev) => Ok(ev),
+            None if state.closed => Err(RecvError::Closed),
+            None => Err(RecvError::Empty),
+        }
+    }
+
+    /// Block until an event arrives or the bus closes.
+    pub fn recv(&self) -> Result<JobEvent, RecvError> {
+        let mut state = lock_recover(&self.shared.state);
+        loop {
+            if let Some(ev) = state.buf.pop_front() {
+                return Ok(ev);
+            }
+            if state.closed {
+                return Err(RecvError::Closed);
+            }
+            state = wait_recover(&self.shared.ready, state);
+        }
+    }
+
+    /// Block up to `timeout` for an event. [`RecvError::Empty`] means the
+    /// timeout expired with the subscription still live.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<JobEvent, RecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = lock_recover(&self.shared.state);
+        loop {
+            if let Some(ev) = state.buf.pop_front() {
+                return Ok(ev);
+            }
+            if state.closed {
+                return Err(RecvError::Closed);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvError::Empty);
+            }
+            let (guard, _) = self
+                .shared
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+    }
+
+    /// Drain every currently buffered event without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = JobEvent> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+
+    /// Events this subscriber lost to drop-oldest overflow so far.
+    pub fn lagged(&self) -> u64 {
+        self.shared.lagged.load(Ordering::Relaxed)
+    }
+
+    /// This subscription's buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
 /// A multi-subscriber broadcast channel for [`JobEvent`]s.
 ///
 /// Emission is best-effort fan-out: every live subscriber receives a clone
-/// of every event emitted after its [`EventBus::subscribe`] call;
-/// subscribers whose receiver was dropped are pruned. With no subscribers,
-/// `emit` is a cheap no-op (one short lock), so instrumentation costs
-/// nothing unless someone listens.
+/// of every event emitted after its [`EventBus::subscribe`] call, subject
+/// to its own buffer bound (see [`EventSub`]); subscribers whose receiver
+/// was dropped are pruned. With no subscribers, `emit` is a cheap no-op
+/// (one short lock), so instrumentation costs nothing unless someone
+/// listens.
 #[derive(Default)]
 pub struct EventBus {
-    subscribers: Mutex<Vec<Sender<JobEvent>>>,
+    subscribers: Mutex<Vec<Arc<SubShared>>>,
 }
 
 impl EventBus {
@@ -136,23 +248,75 @@ impl EventBus {
         Self::default()
     }
 
-    /// Open a new subscription; events emitted from now on are delivered.
-    pub fn subscribe(&self) -> Receiver<JobEvent> {
-        let (tx, rx) = channel();
-        lock_recover(&self.subscribers).push(tx);
-        rx
+    /// Open a new subscription with the default buffer capacity
+    /// ([`DEFAULT_SUB_CAPACITY`]); events emitted from now on are
+    /// delivered.
+    pub fn subscribe(&self) -> EventSub {
+        self.subscribe_with_capacity(DEFAULT_SUB_CAPACITY)
     }
 
-    /// Broadcast one event to every live subscriber.
+    /// Open a new subscription buffering at most `capacity` undelivered
+    /// events (min 1); beyond that the oldest is dropped and the
+    /// subscriber's [`EventSub::lagged`] count grows.
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> EventSub {
+        let shared = Arc::new(SubShared {
+            state: Mutex::new(SubState {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            lagged: AtomicU64::new(0),
+        });
+        lock_recover(&self.subscribers).push(shared.clone());
+        EventSub { shared }
+    }
+
+    /// Broadcast one event to every live subscriber. Never blocks: a full
+    /// subscriber buffer sheds its oldest event instead.
     pub fn emit(&self, event: JobEvent) {
         let mut subs = lock_recover(&self.subscribers);
-        subs.retain(|tx| tx.send(event.clone()).is_ok());
+        subs.retain(|sub| {
+            // The EventSub side holds one Arc; ours is the other. A lone
+            // strong count means the receiver is gone — prune.
+            if Arc::strong_count(sub) == 1 {
+                return false;
+            }
+            let mut state = lock_recover(&sub.state);
+            if state.buf.len() >= sub.capacity {
+                state.buf.pop_front();
+                sub.lagged.fetch_add(1, Ordering::Relaxed);
+            }
+            state.buf.push_back(event.clone());
+            drop(state);
+            sub.ready.notify_all();
+            true
+        });
+    }
+
+    /// Close every subscription: blocked receivers wake, drain what is
+    /// buffered, then see [`RecvError::Closed`]. Called on engine
+    /// shutdown; emitting afterwards is a no-op for closed subscribers.
+    pub fn close(&self) {
+        let mut subs = lock_recover(&self.subscribers);
+        for sub in subs.drain(..) {
+            lock_recover(&sub.state).closed = true;
+            sub.ready.notify_all();
+        }
     }
 
     /// Number of live subscriptions (dropped receivers still count until
     /// the next `emit` prunes them).
     pub fn subscriber_count(&self) -> usize {
         lock_recover(&self.subscribers).len()
+    }
+}
+
+impl Drop for EventBus {
+    fn drop(&mut self) {
+        // Wake any receiver still blocked in recv(): no event can ever
+        // arrive once the bus is gone.
+        self.close();
     }
 }
 
@@ -201,6 +365,50 @@ mod tests {
             seconds: 0.5,
         });
         assert_eq!(rx.try_recv().unwrap().kind(), "finished");
-        assert!(rx.try_recv().is_err());
+        assert_eq!(rx.try_recv(), Err(RecvError::Empty));
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts_lag() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe_with_capacity(3);
+        for job in 0..5 {
+            bus.emit(JobEvent::Checkpoint { job, step: job });
+        }
+        // Jobs 0 and 1 were shed; 2, 3, 4 survive in order.
+        let survivors: Vec<JobId> = rx.try_iter().map(|e| e.job()).collect();
+        assert_eq!(survivors, vec![2, 3, 4]);
+        assert_eq!(rx.lagged(), 2);
+        // A lagging subscriber never slowed the producer; a fresh one is
+        // unaffected by its neighbor's overflow.
+        let fresh = bus.subscribe_with_capacity(3);
+        bus.emit(JobEvent::Checkpoint { job: 9, step: 0 });
+        assert_eq!(fresh.lagged(), 0);
+        assert_eq!(fresh.try_recv().unwrap().job(), 9);
+    }
+
+    #[test]
+    fn closed_bus_wakes_blocked_receivers() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        bus.emit(JobEvent::Checkpoint { job: 1, step: 1 });
+        drop(bus);
+        // Buffered events still drain after close, then Closed is final.
+        assert_eq!(rx.recv().unwrap().kind(), "checkpoint");
+        assert_eq!(rx.recv(), Err(RecvError::Closed));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvError::Closed)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_reports_empty_on_a_live_bus() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvError::Empty)
+        );
     }
 }

@@ -20,9 +20,9 @@ pub mod engine;
 pub mod events;
 pub mod queue;
 
-pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
+pub use cache::{ArtifactCache, ArtifactKey, CacheBudget, CacheStats};
 pub use engine::{
     EngineConfig, EngineStats, JobContext, JobEngine, JobHandle, JobOutcome, JobSpec, JobStatus,
 };
-pub use events::{EventBus, JobEvent, JobId};
+pub use events::{EventBus, EventSub, JobEvent, JobId, RecvError, DEFAULT_SUB_CAPACITY};
 pub use queue::{JobQueue, SubmitError};

@@ -32,6 +32,10 @@
 //! * [`scenario`] — serializable experiment descriptions: the specs in
 //!   `scenarios/` that the `tersoff-run` binary executes (including an
 //!   optional `decomposition` rank grid and `dump.format` selection).
+//! * [`server`] — the `tersoff-serve` HTTP front end: scenario submission
+//!   over the wire, typed job status, streamed NDJSON events, and
+//!   Prometheus `/metrics`, all on the long-running
+//!   [`md_core::jobs::JobEngine`].
 //!
 //! ## Quickstart
 //!
@@ -90,6 +94,7 @@ pub use vektor;
 
 pub mod json;
 pub mod scenario;
+pub mod server;
 
 /// One-stop prelude for the examples and downstream users.
 pub mod prelude {

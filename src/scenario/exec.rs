@@ -32,7 +32,7 @@ use md_core::fault::FaultPlan;
 use md_core::health::HealthGuard;
 use md_core::jobs::{
     ArtifactCache, ArtifactKey, EngineConfig, EngineStats, EventBus, JobContext, JobEngine,
-    JobEvent, JobHandle, JobId, JobOutcome, JobSpec,
+    JobEvent, JobHandle, JobId, JobOutcome, JobSpec, SubmitError,
 };
 use md_core::observer::{Observer, RunReport, StepContext};
 use md_core::potential::Potential;
@@ -456,7 +456,15 @@ impl Scenario {
         };
         let (sim_box, atoms) = match &env.cache {
             Some(cache) => {
-                let prepared = cache.get_or_insert_with(self.system_key(), build_system);
+                // Measured insertion: the atom arrays dominate a prepared
+                // system's footprint, so the cache's byte budget (and the
+                // resident_bytes counter in /metrics) sees their real size.
+                let prepared = cache.get_or_insert_measured(self.system_key(), build_system, |p| {
+                    std::mem::size_of::<PreparedSystem>()
+                        + p.atoms.x.len() * (3 * std::mem::size_of::<[f64; 3]>())
+                        + p.atoms.type_.len() * std::mem::size_of::<usize>()
+                        + p.atoms.id.len() * std::mem::size_of::<u64>()
+                });
                 (prepared.sim_box, prepared.atoms.clone())
             }
             None => {
@@ -781,11 +789,28 @@ impl Scenario {
             .map_err(|e| ScenarioError::Engine(e.to_string()))
     }
 
+    /// [`Scenario::submit`] without the backpressure block: a full queue
+    /// returns [`SubmitError::Full`] instead of waiting for a slot. The
+    /// load-shedding primitive `tersoff-serve` maps to HTTP 429.
+    pub fn try_submit(
+        &self,
+        engine: &JobEngine,
+        variant: Variant,
+        steps: u64,
+        policy: &RunPolicy,
+    ) -> Result<JobHandle<VariantReport>, SubmitError> {
+        engine.try_submit(self.variant_job(variant, steps, policy))
+    }
+
     /// A drained handle's outcome as a [`VariantReport`]. `Faulted` can only
     /// mean a panic that escaped the attempt's own isolation (it is caught
     /// by the engine's `catch_unwind` instead); `Cancelled` means the job
     /// never ran.
-    fn resolve(&self, variant: Variant, outcome: JobOutcome<VariantReport>) -> VariantReport {
+    pub(crate) fn resolve(
+        &self,
+        variant: Variant,
+        outcome: JobOutcome<VariantReport>,
+    ) -> VariantReport {
         match outcome {
             JobOutcome::Finished(report) => report,
             JobOutcome::Faulted(message) => {
@@ -839,7 +864,7 @@ impl Scenario {
     }
 
     /// Steps to run under `policy` (the declared length after any cap).
-    fn capped_steps(&self, policy: &RunPolicy) -> u64 {
+    pub(crate) fn capped_steps(&self, policy: &RunPolicy) -> u64 {
         match policy.steps_cap {
             Some(cap) => self.run.steps.min(cap),
             None => self.run.steps,
@@ -1112,6 +1137,14 @@ impl ScenarioReport {
                     ),
                     ("cache_hits", Json::Num(self.engine.cache.hits as f64)),
                     ("cache_misses", Json::Num(self.engine.cache.misses as f64)),
+                    (
+                        "cache_evictions",
+                        Json::Num(self.engine.cache.evictions as f64),
+                    ),
+                    (
+                        "cache_resident_bytes",
+                        Json::Num(self.engine.cache.resident_bytes as f64),
+                    ),
                 ]),
             ),
             ("series", Json::Arr(series)),
@@ -1208,6 +1241,14 @@ impl ThroughputReport {
                     ),
                     ("cache_hits", Json::Num(self.engine.cache.hits as f64)),
                     ("cache_misses", Json::Num(self.engine.cache.misses as f64)),
+                    (
+                        "cache_evictions",
+                        Json::Num(self.engine.cache.evictions as f64),
+                    ),
+                    (
+                        "cache_resident_bytes",
+                        Json::Num(self.engine.cache.resident_bytes as f64),
+                    ),
                 ]),
             ),
             (
