@@ -84,7 +84,7 @@ fn main() {
     let (sim_box, atoms) = scenario
         .system
         .lattice
-        .lattice(scenario.system.cells)
+        .lattice(scenario.system.cells, scenario.system.lattice_seed)
         .build_perturbed(scenario.system.perturbation, scenario.system.lattice_seed);
     let neighbors = NeighborList::build_binned(
         &atoms,

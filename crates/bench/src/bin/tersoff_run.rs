@@ -42,10 +42,11 @@
 //! panic > timeout > health/drift > load) — the mapping lives in the
 //! library's `BatchSeverity`:
 //!
-//! * `0` every variant ok and within its drift bound
+//! * `0` every variant ok, within its drift bound and property tolerances
 //! * `2` usage error
 //! * `3` a scenario failed to load or a variant failed to build
-//! * `4` a health guard aborted a variant or a drift bound was exceeded
+//! * `4` a health guard aborted a variant, a drift bound was exceeded or a
+//!   measured property missed its published value
 //! * `5` a variant panicked (crash)
 //! * `6` a variant exceeded its wall-clock budget
 
@@ -218,6 +219,34 @@ fn print_report(outcome: &ScenarioReport) {
         for w in &v.warnings {
             println!("    {:<20}   warning: {w}", "");
         }
+        if let Some(p) = &v.properties {
+            if let Some(e) = &p.elastic {
+                let fmt = |c: Option<f64>| match c {
+                    Some(v) => format!("{v:.1}"),
+                    None => "-".to_string(),
+                };
+                println!(
+                    "    {:<20}   a0 {:.4} A, E_coh {:.4} eV, C11 {} C12 {} C44 {} GPa",
+                    "",
+                    e.lattice_a,
+                    e.cohesive_ev,
+                    fmt(e.c11_gpa),
+                    fmt(e.c12_gpa),
+                    fmt(e.c44_gpa)
+                );
+            }
+            for c in &p.checks {
+                println!(
+                    "    {:<20}   check {}: measured {:.4} vs published {:.4} ({:.2}% off) {}",
+                    "",
+                    c.name,
+                    c.measured,
+                    c.expected,
+                    c.rel_err_pct,
+                    if c.ok { "ok" } else { "FAIL" }
+                );
+            }
+        }
     }
 }
 
@@ -242,6 +271,11 @@ fn account_and_write(
     }
     for violation in outcome.drift_violations() {
         eprintln!("tersoff-run: {name}: DRIFT VIOLATION: {violation}");
+        severity.record_drift_violation();
+        *failures += 1;
+    }
+    for violation in outcome.property_violations() {
+        eprintln!("tersoff-run: {name}: PROPERTY CHECK FAILED: {violation}");
         severity.record_drift_violation();
         *failures += 1;
     }

@@ -376,6 +376,9 @@ mod tests {
             masses: &[1.0],
             neighbors: &neighbors,
             n_rebuilds: 0,
+            potential_energy: 0.0,
+            virial: 0.0,
+            virial_tensor: &[0.0; 6],
         };
         dump.on_step(&ctx);
         dump.on_finish(&RunReport {

@@ -1,0 +1,516 @@
+//! Elastic constants and equilibrium lattice properties by finite strain.
+//!
+//! The driver measures what a materials paper tabulates for a Tersoff
+//! parameter set: the equilibrium lattice constant `a₀`, the cohesive energy
+//! per atom, and the cubic elastic constants C11/C12/C44. Everything is
+//! derived from total energies of small strained supercells:
+//!
+//! * `a₀`, `E_coh` — parabola refinement of the isotropic energy-volume
+//!   curve,
+//! * C11 — uniaxial strain `ε_xx = ±δ` on the cubic cell:
+//!   `E₊ + E₋ − 2E₀ = C11 · δ² · V`,
+//! * C12 — biaxial strain `ε_xx = ε_yy = ±δ`:
+//!   `E₊ + E₋ − 2E₀ = 2(C11 + C12) · δ² · V`,
+//! * C44 — uniaxial strain on the rotated [110] cell
+//!   ([`LatticeKind::Diamond110`]), whose effective uniaxial modulus is
+//!   `C11' = (C11 + C12 + 2·C44)/2`; the simulation box stays orthogonal.
+//!
+//! Cube-axis strains of the diamond structure leave the two sub-lattices
+//! fixed by symmetry, but a [110] strain couples to the internal degree of
+//! freedom (the Kleinman displacement), so the C44 cells are relaxed with
+//! the [`minimize`] FIRE minimizer before their energies are differenced —
+//! skipping that step overestimates C44 by roughly 2× for silicon.
+//!
+//! Every energy evaluation is an independent [`JobSpec`] submitted to a
+//! [`JobEngine`], so the strained replicas of one measurement run as
+//! parallel jobs.
+
+use crate::atom::AtomData;
+use crate::jobs::{JobEngine, JobOutcome, JobSpec};
+use crate::lattice::{Lattice, LatticeKind};
+use crate::neighbor::{NeighborList, NeighborSettings};
+use crate::potential::{ComputeOutput, Potential};
+use crate::simbox::SimBox;
+use crate::units;
+use std::sync::Arc;
+
+/// Neighbor-list skin used by every static evaluation (Å).
+const SKIN: f64 = 0.5;
+
+/// Knobs of the finite-strain measurement.
+#[derive(Copy, Clone, Debug)]
+pub struct ElasticSettings {
+    /// Strain amplitude δ for the second-difference quotients.
+    pub strain: f64,
+    /// FIRE iteration cap for the relaxed (C44) cells; 0 disables
+    /// relaxation entirely.
+    pub minimize_steps: u64,
+}
+
+impl Default for ElasticSettings {
+    fn default() -> Self {
+        ElasticSettings {
+            strain: 5e-3,
+            minimize_steps: 1000,
+        }
+    }
+}
+
+/// Result of [`measure_cubic`].
+#[derive(Copy, Clone, Debug)]
+pub struct ElasticReport {
+    /// Equilibrium conventional-cell lattice constant (Å).
+    pub lattice_a: f64,
+    /// Cohesive energy per atom at `a₀` (eV, negative for a bound crystal).
+    pub cohesive_ev: f64,
+    /// C11 (GPa). `None` for random alloys (see [`measure_cubic`]).
+    pub c11_gpa: Option<f64>,
+    /// C12 (GPa). `None` for random alloys.
+    pub c12_gpa: Option<f64>,
+    /// C44, internally relaxed (GPa). `None` for random alloys.
+    pub c44_gpa: Option<f64>,
+    /// Total strained-cell energy evaluations submitted as jobs.
+    pub energy_evals: u64,
+}
+
+/// Convergence summary of one [`minimize`] call.
+#[derive(Copy, Clone, Debug)]
+pub struct MinimizeResult {
+    /// Potential energy after the final step (eV).
+    pub energy: f64,
+    /// Largest force component after the final step (eV/Å).
+    pub max_force: f64,
+    /// FIRE iterations actually performed.
+    pub steps: u64,
+}
+
+/// FIRE relaxation of atom positions at fixed cell. Unit-mass dynamics: the
+/// positions follow the force field with an adaptive timestep and velocity
+/// mixing, which is all a static relaxation needs — no physical masses, no
+/// thermostat. Rebuilds the neighbor list whenever the skin criterion
+/// triggers. Returns after `max_steps` iterations or once every force
+/// component is below `ftol`.
+pub fn minimize(
+    potential: &mut dyn Potential,
+    sim_box: &SimBox,
+    atoms: &mut AtomData,
+    max_steps: u64,
+    ftol: f64,
+) -> MinimizeResult {
+    let settings = NeighborSettings::new(potential.cutoff(), SKIN);
+    let mut list = NeighborList::build_binned(atoms, sim_box, settings);
+    let mut out = ComputeOutput::zeros(atoms.n_total());
+    let n = atoms.n_local;
+    let mut vel = vec![[0.0f64; 3]; n];
+
+    // Standard FIRE parameters; dt is in arbitrary (unit-mass) time units.
+    let mut dt = 0.05;
+    let dt_max = 0.2;
+    let mut alpha = 0.1;
+    let mut steps_since_downhill = 0u32;
+    // Cap the per-step displacement so an aggressive dt cannot tunnel atoms
+    // through each other on a stiff potential.
+    let d_max = 0.05;
+
+    let mut steps = 0;
+    for _ in 0..max_steps {
+        potential.compute(atoms, sim_box, &list, &mut out);
+        if out.max_force_component() < ftol {
+            break;
+        }
+        steps += 1;
+
+        let mut power = 0.0;
+        let mut v_norm_sq = 0.0;
+        let mut f_norm_sq = 0.0;
+        for i in 0..n {
+            for d in 0..3 {
+                vel[i][d] += out.forces[i][d] * dt;
+                power += out.forces[i][d] * vel[i][d];
+                v_norm_sq += vel[i][d] * vel[i][d];
+                f_norm_sq += out.forces[i][d] * out.forces[i][d];
+            }
+        }
+        if power > 0.0 {
+            let mix = alpha * (v_norm_sq / f_norm_sq.max(1e-300)).sqrt();
+            for i in 0..n {
+                for d in 0..3 {
+                    vel[i][d] = (1.0 - alpha) * vel[i][d] + mix * out.forces[i][d];
+                }
+            }
+            steps_since_downhill += 1;
+            if steps_since_downhill > 5 {
+                dt = (dt * 1.1).min(dt_max);
+                alpha *= 0.99;
+            }
+        } else {
+            vel.iter_mut().for_each(|v| *v = [0.0; 3]);
+            dt *= 0.5;
+            alpha = 0.1;
+            steps_since_downhill = 0;
+        }
+        for i in 0..n {
+            let mut pos = atoms.x[i];
+            for d in 0..3 {
+                pos[d] += (vel[i][d] * dt).clamp(-d_max, d_max);
+            }
+            atoms.x[i] = sim_box.wrap(pos);
+        }
+        if list.needs_rebuild(atoms, sim_box) {
+            list.rebuild(atoms, sim_box, settings);
+        }
+    }
+    potential.compute(atoms, sim_box, &list, &mut out);
+    MinimizeResult {
+        energy: out.energy,
+        max_force: out.max_force_component(),
+        steps,
+    }
+}
+
+/// Total potential energy of `lattice` with the affine diagonal strain
+/// `ε = (strain[0], strain[1], strain[2])` applied to box and positions,
+/// optionally FIRE-relaxed. Returns `(energy, n_atoms, strained_volume)`.
+pub fn strained_energy(
+    potential: &mut dyn Potential,
+    lattice: &Lattice,
+    strain: [f64; 3],
+    minimize_steps: u64,
+) -> (f64, usize, f64) {
+    let (sim_box, mut atoms) = lattice.build();
+    let lengths = sim_box.lengths();
+    let hi = [
+        lengths[0] * (1.0 + strain[0]),
+        lengths[1] * (1.0 + strain[1]),
+        lengths[2] * (1.0 + strain[2]),
+    ];
+    let strained_box = SimBox::orthogonal([0.0; 3], hi);
+    for i in 0..atoms.n_local {
+        let mut pos = atoms.x[i];
+        for d in 0..3 {
+            pos[d] *= 1.0 + strain[d];
+        }
+        atoms.x[i] = strained_box.wrap(pos);
+    }
+    if minimize_steps > 0 {
+        let result = minimize(potential, &strained_box, &mut atoms, minimize_steps, 1e-8);
+        return (result.energy, atoms.n_local, strained_box.volume());
+    }
+    let settings = NeighborSettings::new(potential.cutoff(), SKIN);
+    let list = NeighborList::build_binned(&atoms, &strained_box, settings);
+    let mut out = ComputeOutput::zeros(atoms.n_total());
+    potential.compute(&atoms, &strained_box, &list, &mut out);
+    (out.energy, atoms.n_local, strained_box.volume())
+}
+
+/// The factory the driver clones into each job: a fresh potential per
+/// strained replica (jobs run concurrently, `compute` takes `&mut self`).
+pub type PotentialFactory = Arc<dyn Fn() -> Box<dyn Potential> + Send + Sync>;
+
+struct EvalPlan {
+    lattice: Lattice,
+    strain: [f64; 3],
+    minimize_steps: u64,
+}
+
+/// Submit one strained-energy evaluation per plan and wait for all of them —
+/// the strained replicas of a measurement run as parallel jobs.
+fn run_jobs(
+    engine: &JobEngine,
+    factory: &PotentialFactory,
+    name: &str,
+    plans: Vec<EvalPlan>,
+) -> Result<Vec<(f64, usize, f64)>, String> {
+    let mut handles = Vec::with_capacity(plans.len());
+    for (k, plan) in plans.into_iter().enumerate() {
+        let factory = Arc::clone(factory);
+        let spec = JobSpec::new(format!("{name}[{k}]"), move |_ctx| {
+            let mut potential = factory();
+            strained_energy(
+                potential.as_mut(),
+                &plan.lattice,
+                plan.strain,
+                plan.minimize_steps,
+            )
+        });
+        let handle = engine
+            .submit(spec)
+            .map_err(|e| format!("elastic: submit {name}[{k}] failed: {e:?}"))?;
+        handles.push(handle);
+    }
+    let mut results = Vec::with_capacity(handles.len());
+    for handle in handles {
+        match handle.wait() {
+            JobOutcome::Finished(value) => results.push(value),
+            JobOutcome::Faulted(msg) => return Err(format!("elastic: job faulted: {msg}")),
+            JobOutcome::Cancelled => return Err("elastic: job cancelled".to_string()),
+        }
+    }
+    Ok(results)
+}
+
+/// Smallest cell count per dimension so that every box edge is at least two
+/// interaction ranges long (the minimum-image requirement), never below 2.
+fn cells_for(cell_lengths: [f64; 3], reach: f64) -> [usize; 3] {
+    let mut cells = [2usize; 3];
+    for d in 0..3 {
+        let need = (2.0 * reach / cell_lengths[d]).ceil() as usize;
+        cells[d] = need.max(2);
+    }
+    cells
+}
+
+/// Measure `a₀`, cohesive energy and C11/C12/C44 of a cubic diamond-family
+/// crystal described by `lattice` (its `a` is the initial guess; its cell
+/// counts are ignored and re-derived from the potential's reach). C44 uses
+/// the rotated [110] cell, so the driver requires `LatticeKind::Diamond`.
+///
+/// Random alloys ([`crate::SpeciesMix`]) get the scan only — every scan cell
+/// is FIRE-relaxed (species disorder leaves the ideal sites off-equilibrium)
+/// and the elastic constants come back `None`: at these cell sizes one seed
+/// of disorder has no well-defined cubic constants.
+pub fn measure_cubic(
+    engine: &JobEngine,
+    factory: PotentialFactory,
+    lattice: &Lattice,
+    settings: ElasticSettings,
+) -> Result<ElasticReport, String> {
+    if lattice.kind != LatticeKind::Diamond {
+        return Err(format!(
+            "elastic: measure_cubic needs a Diamond lattice, got {:?}",
+            lattice.kind
+        ));
+    }
+    let alloy = lattice.species_mix.is_some();
+    let scan_relax = if alloy { settings.minimize_steps } else { 0 };
+    let reach = factory().cutoff() + SKIN;
+    let mut evals = 0u64;
+
+    // --- 1. equilibrium lattice constant: three parabola refinements -------
+    let mut center = lattice.a;
+    let mut width = 0.02 * lattice.a;
+    let mut a0 = center;
+    for _round in 0..3 {
+        let offsets = [-1.0, -0.5, 0.0, 0.5, 1.0];
+        let plans = offsets
+            .iter()
+            .map(|&o| {
+                let a = center + o * width;
+                EvalPlan {
+                    lattice: Lattice {
+                        cells: cells_for([a; 3], reach),
+                        ..*lattice
+                    }
+                    .with_a(a),
+                    strain: [0.0; 3],
+                    minimize_steps: scan_relax,
+                }
+            })
+            .collect();
+        let results = run_jobs(engine, &factory, "scan", plans)?;
+        evals += 5;
+        // Least-squares parabola through the 5 per-atom energies.
+        let pts: Vec<(f64, f64)> = offsets
+            .iter()
+            .zip(&results)
+            .map(|(&o, &(e, n, _))| (center + o * width, e / n as f64))
+            .collect();
+        a0 = parabola_minimum(&pts).clamp(center - width, center + width);
+        center = a0;
+        width /= 5.0;
+    }
+
+    // --- 2. reference cells, strained replicas ------------------------------
+    let cubic = Lattice {
+        cells: cells_for([a0; 3], reach),
+        ..*lattice
+    }
+    .with_a(a0);
+    if alloy {
+        let plans = vec![EvalPlan {
+            lattice: cubic,
+            strain: [0.0; 3],
+            minimize_steps: scan_relax,
+        }];
+        let r = run_jobs(engine, &factory, "cohesive", plans)?;
+        evals += 1;
+        let (e0, n0, _) = r[0];
+        return Ok(ElasticReport {
+            lattice_a: a0,
+            cohesive_ev: e0 / n0 as f64,
+            c11_gpa: None,
+            c12_gpa: None,
+            c44_gpa: None,
+            energy_evals: evals,
+        });
+    }
+    let rot = Lattice::diamond_110(a0, [1, 1, 1]);
+    let rot = Lattice {
+        cells: cells_for(rot.cell_lengths(), reach),
+        ..rot
+    };
+    let d = settings.strain;
+    let relax = settings.minimize_steps;
+    let plans = vec![
+        EvalPlan {
+            lattice: cubic,
+            strain: [0.0; 3],
+            minimize_steps: 0,
+        }, // 0: E0
+        EvalPlan {
+            lattice: cubic,
+            strain: [d, 0.0, 0.0],
+            minimize_steps: 0,
+        }, // 1: C11 +
+        EvalPlan {
+            lattice: cubic,
+            strain: [-d, 0.0, 0.0],
+            minimize_steps: 0,
+        }, // 2: C11 −
+        EvalPlan {
+            lattice: cubic,
+            strain: [d, d, 0.0],
+            minimize_steps: 0,
+        }, // 3: C12 +
+        EvalPlan {
+            lattice: cubic,
+            strain: [-d, -d, 0.0],
+            minimize_steps: 0,
+        }, // 4: C12 −
+        EvalPlan {
+            lattice: rot,
+            strain: [0.0; 3],
+            minimize_steps: relax,
+        }, // 5: E0 (110)
+        EvalPlan {
+            lattice: rot,
+            strain: [d, 0.0, 0.0],
+            minimize_steps: relax,
+        }, // 6: C44 +
+        EvalPlan {
+            lattice: rot,
+            strain: [-d, 0.0, 0.0],
+            minimize_steps: relax,
+        }, // 7: C44 −
+    ];
+    let r = run_jobs(engine, &factory, "strain", plans)?;
+    evals += r.len() as u64;
+
+    let (e0, n0, v0) = r[0];
+    let d2 = d * d;
+    // Second differences in eV/Å³, converted to GPa.
+    let c11 = (r[1].0 + r[2].0 - 2.0 * e0) / (d2 * v0) * units::EV_A3_TO_GPA;
+    let c11_plus_c12 = (r[3].0 + r[4].0 - 2.0 * e0) / (2.0 * d2 * v0) * units::EV_A3_TO_GPA;
+    let c12 = c11_plus_c12 - c11;
+    let (e0r, _, v0r) = r[5];
+    let c11_110 = (r[6].0 + r[7].0 - 2.0 * e0r) / (d2 * v0r) * units::EV_A3_TO_GPA;
+    // C11' of the rotated cell = (C11 + C12 + 2·C44) / 2.
+    let c44 = c11_110 - (c11 + c12) / 2.0;
+
+    Ok(ElasticReport {
+        lattice_a: a0,
+        cohesive_ev: e0 / n0 as f64,
+        c11_gpa: Some(c11),
+        c12_gpa: Some(c12),
+        c44_gpa: Some(c44),
+        energy_evals: evals,
+    })
+}
+
+/// Vertex abscissa of the least-squares parabola through `pts`; falls back
+/// to the lowest-energy point when the fit is degenerate or non-convex.
+fn parabola_minimum(pts: &[(f64, f64)]) -> f64 {
+    let n = pts.len() as f64;
+    // Center x for conditioning.
+    let x_mean = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let (mut s1, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0);
+    let (mut sy, mut sxy, mut sx2y) = (0.0, 0.0, 0.0);
+    for &(x, y) in pts {
+        let u = x - x_mean;
+        let u2 = u * u;
+        s1 += u;
+        s2 += u2;
+        s3 += u2 * u;
+        s4 += u2 * u2;
+        sy += y;
+        sxy += u * y;
+        sx2y += u2 * y;
+    }
+    // Normal equations for y = a·u² + b·u + c.
+    let det = s4 * (s2 * n - s1 * s1) - s3 * (s3 * n - s1 * s2) + s2 * (s3 * s1 - s2 * s2);
+    let fallback = pts
+        .iter()
+        .fold(pts[0], |best, &p| if p.1 < best.1 { p } else { best })
+        .0;
+    if det.abs() < 1e-300 {
+        return fallback;
+    }
+    let a =
+        (sx2y * (s2 * n - s1 * s1) - s3 * (sxy * n - s1 * sy) + s2 * (sxy * s1 - s2 * sy)) / det;
+    let b =
+        (s4 * (sxy * n - s1 * sy) - sx2y * (s3 * n - s1 * s2) + s2 * (s3 * sy - s2 * sxy)) / det;
+    if a <= 0.0 {
+        return fallback;
+    }
+    x_mean - b / (2.0 * a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair_lj::LennardJones;
+
+    #[test]
+    fn parabola_fit_recovers_the_vertex() {
+        // y = 3(x − 1.2)² + 0.5 sampled away from the vertex.
+        let pts: Vec<(f64, f64)> = [-1.0, 0.0, 0.5, 2.0, 3.0]
+            .iter()
+            .map(|&x| (x, 3.0 * (x - 1.2f64).powi(2) + 0.5))
+            .collect();
+        assert!((parabola_minimum(&pts) - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parabola_fit_falls_back_on_concave_data() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (3.0, -2.0)];
+        assert_eq!(parabola_minimum(&pts), 3.0);
+    }
+
+    #[test]
+    fn minimize_relaxes_a_stretched_dimer() {
+        // Two LJ atoms placed off the minimum must relax to r_min = 2^(1/6)σ.
+        let sim_box = SimBox::cubic(50.0);
+        let mut atoms = AtomData::new();
+        atoms.push_local([20.0, 20.0, 20.0], [0.0; 3], 0, 1);
+        atoms.push_local([21.4, 20.0, 20.0], [0.0; 3], 0, 2);
+        let mut lj = LennardJones::new(0.8, 1.0, 5.0);
+        let result = minimize(&mut lj, &sim_box, &mut atoms, 2000, 1e-9);
+        assert!(
+            result.max_force < 1e-9,
+            "residual force {}",
+            result.max_force
+        );
+        let r = sim_box.min_image(atoms.x[0], atoms.x[1]);
+        let dist = (r[0] * r[0] + r[1] * r[1] + r[2] * r[2]).sqrt();
+        assert!((dist - 2.0f64.powf(1.0 / 6.0)).abs() < 1e-6, "r = {dist}");
+        assert!((result.energy - (-0.8)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn strained_energy_scales_the_box() {
+        let lattice = Lattice::silicon([2, 2, 2]);
+        let mut lj = LennardJones::new(0.1, 2.0, 5.0);
+        let (_, n, v) = strained_energy(&mut lj, &lattice, [0.01, 0.0, 0.0], 0);
+        assert_eq!(n, 64);
+        let v0 = lattice.simbox().volume();
+        assert!((v - v0 * 1.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cells_for_respects_minimum_image() {
+        let cells = cells_for([5.431; 3], 3.5);
+        assert_eq!(cells, [2, 2, 2]);
+        let cells = cells_for([2.5, 5.0, 10.0], 3.5);
+        assert_eq!(cells, [3, 2, 2]);
+    }
+}

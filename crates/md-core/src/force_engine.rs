@@ -296,6 +296,9 @@ impl<P: RangePotential> Potential for ForceEngine<P> {
         for chunk in chunk_out.iter().take(n_chunks) {
             out.energy += chunk.energy;
             out.virial += chunk.virial;
+            for (dst, src) in out.virial_tensor.iter_mut().zip(chunk.virial_tensor.iter()) {
+                *dst += src;
+            }
         }
         for scratch in scratches.iter_mut() {
             potential.absorb_scratch(scratch.as_mut());

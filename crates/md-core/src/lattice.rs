@@ -27,6 +27,41 @@ const DIAMOND_BASIS: [[f64; 3]; 8] = [
     [0.75, 0.75, 0.25],
 ];
 
+/// Fractional coordinates of the 4 atoms in the orthorhombic cell of the
+/// diamond structure rotated so that the cubic [110] direction lies along x.
+/// Cell vectors are `(a/√2, a/√2, a)`: half the conventional-cell volume, so
+/// 4 atoms. The first two sites are the FCC sub-lattice, the second two the
+/// displaced sub-lattice — the cell used by the C44 shear probe, where a
+/// uniaxial x-strain of this cell is a [110] strain of the cubic crystal.
+const DIAMOND110_BASIS: [[f64; 3]; 4] = [
+    [0.00, 0.00, 0.00],
+    [0.50, 0.50, 0.50],
+    [0.50, 0.00, 0.25],
+    [0.00, 0.50, 0.75],
+];
+
+/// Fractional coordinates of the 8 atoms in the orthorhombic AB-stacked
+/// graphite cell. With bond length `d` the cell is `(3d, √3·d, 2·h)` where
+/// `h` is [`GRAPHITE_INTERLAYER`]: two honeycomb layers of 4 atoms, the B
+/// layer shifted by one bond length along x (Bernal stacking).
+const GRAPHITE_AB_BASIS: [[f64; 3]; 8] = [
+    // layer A, z = 0
+    [0.0, 0.0, 0.0],
+    [1.0 / 3.0, 0.0, 0.0],
+    [0.5, 0.5, 0.0],
+    [5.0 / 6.0, 0.5, 0.0],
+    // layer B, z = h, shifted by +1/3 in fractional x
+    [1.0 / 3.0, 0.0, 0.5],
+    [2.0 / 3.0, 0.0, 0.5],
+    [5.0 / 6.0, 0.5, 0.5],
+    [1.0 / 6.0, 0.5, 0.5],
+];
+
+/// Interlayer spacing of AB graphite in Å. Well outside the Tersoff carbon
+/// cutoff (2.1 Å), so the layers are non-interacting under this potential —
+/// exactly the anisotropy the graphite stress scenario probes.
+pub const GRAPHITE_INTERLAYER: f64 = 3.35;
+
 /// Which crystal structure to generate.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum LatticeKind {
@@ -36,6 +71,25 @@ pub enum LatticeKind {
     /// species (SiC example). Type 0 on the FCC sub-lattice, type 1 on the
     /// displaced sub-lattice.
     Zincblende,
+    /// Diamond cubic in the rotated orthorhombic cell with cubic [110]
+    /// along x (4 atoms per cell, cell `(a/√2, a/√2, a)`). Single species.
+    Diamond110,
+    /// AB (Bernal) stacked graphite: `a` is the in-plane bond length, the
+    /// interlayer spacing is [`GRAPHITE_INTERLAYER`]. 8 atoms per cell,
+    /// cell `(3a, √3·a, 2·interlayer)`. Single species.
+    GraphiteAB,
+}
+
+/// Random substitutional disorder on the lattice: each site independently
+/// becomes type 1 with probability `fraction` (deterministic in `seed`, and
+/// independent of the positional perturbation stream, so the same geometry
+/// hosts the ordered and the alloyed crystal).
+#[derive(Copy, Clone, Debug)]
+pub struct SpeciesMix {
+    /// Probability that a site is occupied by type 1.
+    pub fraction: f64,
+    /// Seed of the species RNG stream.
+    pub seed: u64,
 }
 
 /// A lattice description: structure, lattice constant and cell counts.
@@ -43,10 +97,14 @@ pub enum LatticeKind {
 pub struct Lattice {
     /// Crystal structure.
     pub kind: LatticeKind,
-    /// Conventional-cell lattice constant in Å.
+    /// Conventional-cell lattice constant in Å (bond length for
+    /// [`LatticeKind::GraphiteAB`]).
     pub a: f64,
     /// Number of conventional cells in x, y, z.
     pub cells: [usize; 3],
+    /// Random substitutional disorder (the SiGe alloy), applied after the
+    /// structural type assignment.
+    pub species_mix: Option<SpeciesMix>,
 }
 
 impl Lattice {
@@ -56,7 +114,72 @@ impl Lattice {
             kind: LatticeKind::Diamond,
             a: crate::units::lattice_constant::SI,
             cells,
+            species_mix: None,
         }
+    }
+
+    /// Diamond-cubic carbon (the diamond crystal proper).
+    pub fn carbon_diamond(cells: [usize; 3]) -> Self {
+        Lattice {
+            kind: LatticeKind::Diamond,
+            a: crate::units::lattice_constant::C,
+            cells,
+            species_mix: None,
+        }
+    }
+
+    /// Diamond-cubic germanium.
+    pub fn germanium(cells: [usize; 3]) -> Self {
+        Lattice {
+            kind: LatticeKind::Diamond,
+            a: crate::units::lattice_constant::GE,
+            cells,
+            species_mix: None,
+        }
+    }
+
+    /// Si₀.₅Ge₀.₅ random alloy on a diamond lattice at the Vegard-average
+    /// lattice constant: type 0 = Si, type 1 = Ge, species assigned by an
+    /// RNG stream independent of the positional perturbation.
+    pub fn silicon_germanium(cells: [usize; 3], seed: u64) -> Self {
+        Lattice {
+            kind: LatticeKind::Diamond,
+            a: crate::units::lattice_constant::SIGE,
+            cells,
+            species_mix: Some(SpeciesMix {
+                fraction: 0.5,
+                seed,
+            }),
+        }
+    }
+
+    /// The diamond structure in its rotated [110]-along-x orthorhombic cell
+    /// (4 atoms per cell) — the geometry the elastic-constant driver strains
+    /// to measure C44.
+    pub fn diamond_110(a: f64, cells: [usize; 3]) -> Self {
+        Lattice {
+            kind: LatticeKind::Diamond110,
+            a,
+            cells,
+            species_mix: None,
+        }
+    }
+
+    /// AB-stacked graphite with in-plane bond length `bond` Å.
+    pub fn graphite_ab(bond: f64, cells: [usize; 3]) -> Self {
+        Lattice {
+            kind: LatticeKind::GraphiteAB,
+            a: bond,
+            cells,
+            species_mix: None,
+        }
+    }
+
+    /// The same lattice with a different lattice constant — how the elastic
+    /// driver scans the cohesive-energy curve.
+    pub fn with_a(mut self, a: f64) -> Self {
+        self.a = a;
+        self
     }
 
     /// A silicon lattice sized to contain *at least* `n_atoms` atoms, keeping
@@ -83,6 +206,7 @@ impl Lattice {
             kind: LatticeKind::Diamond,
             a: crate::units::lattice_constant::SI,
             cells,
+            species_mix: None,
         }
     }
 
@@ -92,22 +216,54 @@ impl Lattice {
             kind: LatticeKind::Zincblende,
             a: crate::units::lattice_constant::SIC,
             cells,
+            species_mix: None,
         }
+    }
+
+    /// The fractional basis of one conventional cell of this structure.
+    fn basis(&self) -> &'static [[f64; 3]] {
+        match self.kind {
+            LatticeKind::Diamond | LatticeKind::Zincblende => &DIAMOND_BASIS,
+            LatticeKind::Diamond110 => &DIAMOND110_BASIS,
+            LatticeKind::GraphiteAB => &GRAPHITE_AB_BASIS,
+        }
+    }
+
+    /// Edge lengths of one conventional cell in Å.
+    pub fn cell_lengths(&self) -> [f64; 3] {
+        match self.kind {
+            LatticeKind::Diamond | LatticeKind::Zincblende => [self.a; 3],
+            LatticeKind::Diamond110 => {
+                let s = self.a / 2.0_f64.sqrt();
+                [s, s, self.a]
+            }
+            LatticeKind::GraphiteAB => [
+                3.0 * self.a,
+                3.0_f64.sqrt() * self.a,
+                2.0 * GRAPHITE_INTERLAYER,
+            ],
+        }
+    }
+
+    /// Atoms per conventional cell of this structure.
+    pub fn atoms_per_cell(&self) -> usize {
+        self.basis().len()
     }
 
     /// Number of atoms this lattice generates.
     pub fn n_atoms(&self) -> usize {
-        8 * self.cells[0] * self.cells[1] * self.cells[2]
+        self.atoms_per_cell() * self.cells[0] * self.cells[1] * self.cells[2]
     }
 
     /// The periodic box that exactly contains the lattice.
     pub fn simbox(&self) -> SimBox {
+        let cell = self.cell_lengths();
         SimBox::orthogonal(
             [0.0; 3],
             [
-                self.a * self.cells[0] as f64,
-                self.a * self.cells[1] as f64,
-                self.a * self.cells[2] as f64,
+                cell[0] * self.cells[0] as f64,
+                cell[1] * self.cells[1] as f64,
+                cell[2] * self.cells[2] as f64,
             ],
         )
     }
@@ -124,17 +280,25 @@ impl Lattice {
     /// forces are non-trivial from step 0.
     pub fn build_perturbed(&self, amplitude: f64, seed: u64) -> (SimBox, AtomData) {
         let sim_box = self.simbox();
+        let cell = self.cell_lengths();
+        let basis = self.basis();
         let mut atoms = AtomData::with_capacity(self.n_atoms());
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // The species stream is separate from the perturbation stream (and
+        // decorrelated from it even for equal seed values), so an alloy and
+        // its ordered counterpart share identical geometry.
+        let mut mix_rng = self
+            .species_mix
+            .map(|mix| ChaCha8Rng::seed_from_u64(mix.seed ^ 0x9e37_79b9_7f4a_7c15));
         let mut id = 1u64;
         for cx in 0..self.cells[0] {
             for cy in 0..self.cells[1] {
                 for cz in 0..self.cells[2] {
-                    for (site, frac) in DIAMOND_BASIS.iter().enumerate() {
+                    for (site, frac) in basis.iter().enumerate() {
                         let mut pos = [
-                            (cx as f64 + frac[0]) * self.a,
-                            (cy as f64 + frac[1]) * self.a,
-                            (cz as f64 + frac[2]) * self.a,
+                            (cx as f64 + frac[0]) * cell[0],
+                            (cy as f64 + frac[1]) * cell[1],
+                            (cz as f64 + frac[2]) * cell[2],
                         ];
                         if amplitude > 0.0 {
                             for p in pos.iter_mut() {
@@ -142,10 +306,15 @@ impl Lattice {
                             }
                         }
                         let pos = sim_box.wrap(pos);
-                        let type_ = match self.kind {
-                            LatticeKind::Diamond => 0,
+                        let mut type_ = match self.kind {
                             LatticeKind::Zincblende => usize::from(site >= 4),
+                            _ => 0,
                         };
+                        if let (Some(mix_rng), Some(mix)) =
+                            (mix_rng.as_mut(), self.species_mix.as_ref())
+                        {
+                            type_ = usize::from(mix_rng.gen_bool(mix.fraction));
+                        }
                         atoms.push_local(pos, [0.0; 3], type_, id);
                         id += 1;
                     }
@@ -238,6 +407,78 @@ mod tests {
         let (_, a3) = Lattice::silicon([2, 2, 2]).build_perturbed(0.05, 8);
         assert_eq!(a1.x, a2.x);
         assert_ne!(a1.x, a3.x);
+    }
+
+    #[test]
+    fn diamond_110_is_the_same_crystal() {
+        // The rotated cell must reproduce the diamond environment: 4 nearest
+        // neighbors at a·√3/4, same density as the cubic cell.
+        let a = crate::units::lattice_constant::SI;
+        let l = Lattice::diamond_110(a, [3, 3, 2]);
+        assert_eq!(l.n_atoms(), 4 * 18);
+        let (b, atoms) = l.build();
+        let nn = diamond_nearest_neighbor(a);
+        let cubic_density = 8.0 / a.powi(3);
+        assert!((atoms.n_total() as f64 / b.volume() - cubic_density).abs() < 1e-12);
+        for i in 0..atoms.n_total() {
+            let mut count = 0;
+            for j in 0..atoms.n_total() {
+                if i != j && b.distance_sq(atoms.x[i], atoms.x[j]) < (nn + 0.1) * (nn + 0.1) {
+                    count += 1;
+                }
+            }
+            assert_eq!(count, 4, "atom {i} has {count} nearest neighbors");
+        }
+    }
+
+    #[test]
+    fn graphite_layers_are_honeycomb_and_separated() {
+        let d = 1.42;
+        let l = Lattice::graphite_ab(d, [2, 2, 1]);
+        assert_eq!(l.n_atoms(), 8 * 4);
+        let (b, atoms) = l.build();
+        // Every atom has exactly 3 in-plane neighbors at the bond length and
+        // no neighbor closer than the interlayer spacing out of plane.
+        for i in 0..atoms.n_total() {
+            let mut bonds = 0;
+            for j in 0..atoms.n_total() {
+                if i == j {
+                    continue;
+                }
+                let del = b.min_image(atoms.x[i], atoms.x[j]);
+                let r = (del[0] * del[0] + del[1] * del[1] + del[2] * del[2]).sqrt();
+                if r < d + 0.1 {
+                    bonds += 1;
+                    assert!(del[2].abs() < 1e-9, "bond {i}-{j} leaves the plane");
+                }
+            }
+            assert_eq!(bonds, 3, "atom {i} has {bonds} bonds");
+        }
+        let lengths = b.lengths();
+        assert!((lengths[2] - 2.0 * GRAPHITE_INTERLAYER).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alloy_mixes_species_without_moving_atoms() {
+        let cells = [3, 3, 3];
+        let alloy = Lattice::silicon_germanium(cells, 11);
+        let ordered = Lattice {
+            species_mix: None,
+            ..alloy
+        };
+        let (_, a1) = alloy.build_perturbed(0.02, 5);
+        let (_, a2) = ordered.build_perturbed(0.02, 5);
+        assert_eq!(a1.x, a2.x, "species mix must not perturb the geometry");
+        assert!(a2.type_.iter().all(|&t| t == 0));
+        let n_ge = a1.type_.iter().filter(|&&t| t == 1).count();
+        let n = a1.type_.len();
+        // Binomial(216, 0.5): anything outside ~[64, 152] signals a broken RNG.
+        assert!(n_ge > n / 4 && n_ge < 3 * n / 4, "n_ge = {n_ge} of {n}");
+        // Deterministic in the species seed, different across seeds.
+        let (_, a3) = Lattice::silicon_germanium(cells, 11).build_perturbed(0.02, 5);
+        assert_eq!(a1.type_, a3.type_);
+        let (_, a4) = Lattice::silicon_germanium(cells, 12).build_perturbed(0.02, 5);
+        assert_ne!(a1.type_, a4.type_);
     }
 
     #[test]

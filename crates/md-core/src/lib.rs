@@ -58,6 +58,7 @@ pub mod atom;
 pub mod checkpoint;
 pub mod domain;
 pub mod dump;
+pub mod elastic;
 pub mod fault;
 pub mod force_engine;
 pub mod health;
@@ -68,6 +69,7 @@ pub mod neighbor;
 pub mod observer;
 pub mod pair_lj;
 pub mod potential;
+pub mod properties;
 pub mod runtime;
 pub mod simbox;
 pub mod simulation;
@@ -80,6 +82,7 @@ pub use atom::AtomData;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointWriter};
 pub use domain::{DomainBuildError, DomainGrid, DomainSimulation, GridError, HaloMsg};
 pub use dump::{LammpsDump, XyzDump};
+pub use elastic::{ElasticReport, ElasticSettings};
 pub use fault::{FaultKind, FaultPlan};
 pub use force_engine::{ForceEngine, RangePotential};
 pub use health::{HealthGuard, HealthSettings};
@@ -87,13 +90,14 @@ pub use jobs::{
     ArtifactCache, ArtifactKey, CacheStats, EngineConfig, EngineStats, EventBus, JobContext,
     JobEngine, JobEvent, JobHandle, JobId, JobOutcome, JobSpec, JobStatus, SubmitError,
 };
-pub use lattice::{Lattice, LatticeKind};
+pub use lattice::{Lattice, LatticeKind, SpeciesMix};
 pub use neighbor::{NeighborList, NeighborSettings};
 pub use observer::{
     EnergyDrift, Observer, RunFault, RunPlan, RunReport, RunStatus, StepContext, ThermoLog,
     ThermoPrinter, TimingPrinter,
 };
 pub use potential::{ComputeOutput, Potential};
+pub use properties::{RadialDistribution, StressTensor};
 pub use runtime::{ParallelRuntime, RuntimeError, WorkerPool};
 pub use simbox::SimBox;
 pub use simulation::{BuildError, RunError, Simulation, SimulationBuilder};
@@ -105,6 +109,7 @@ pub mod prelude {
     pub use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointWriter};
     pub use crate::domain::{DomainBuildError, DomainGrid, DomainSimulation, GridError};
     pub use crate::dump::{LammpsDump, XyzDump};
+    pub use crate::elastic::{ElasticReport, ElasticSettings};
     pub use crate::fault::{FaultKind, FaultPlan};
     pub use crate::force_engine::{ForceEngine, RangePotential};
     pub use crate::health::{HealthGuard, HealthSettings};
@@ -113,7 +118,7 @@ pub mod prelude {
         ArtifactCache, ArtifactKey, EngineConfig, EngineStats, JobContext, JobEngine, JobEvent,
         JobHandle, JobOutcome, JobSpec, JobStatus,
     };
-    pub use crate::lattice::{Lattice, LatticeKind};
+    pub use crate::lattice::{Lattice, LatticeKind, SpeciesMix};
     pub use crate::neighbor::{NeighborList, NeighborSettings};
     pub use crate::observer::{
         EnergyDrift, Observer, RunFault, RunPlan, RunReport, RunStatus, StepContext, ThermoLog,
@@ -121,6 +126,7 @@ pub mod prelude {
     };
     pub use crate::pair_lj::LennardJones;
     pub use crate::potential::{ComputeOutput, Potential};
+    pub use crate::properties::{RadialDistribution, StressTensor};
     pub use crate::runtime::{ParallelRuntime, RuntimeError};
     pub use crate::simbox::SimBox;
     pub use crate::simulation::{BuildError, RunError, Simulation, SimulationBuilder};

@@ -62,6 +62,15 @@ pub struct StepContext<'a> {
     pub neighbors: &'a NeighborList,
     /// Neighbor-list rebuilds performed so far (whole simulation).
     pub n_rebuilds: u64,
+    /// Total potential energy of the step's force computation (eV).
+    pub potential_energy: f64,
+    /// Scalar virial of the step's force computation (eV) — the trace
+    /// channel the pressure flows from.
+    pub virial: f64,
+    /// Per-interaction virial tensor of the step in Voigt order
+    /// `[xx, yy, zz, xy, xz, yz]` (eV) — what the
+    /// [`crate::properties::StressTensor`] observer consumes.
+    pub virial_tensor: &'a [f64; 6],
 }
 
 /// A condition an observer detected that must abort the run — what

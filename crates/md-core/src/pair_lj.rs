@@ -120,6 +120,9 @@ impl LennardJones {
                 // from j, or folded back from the ghost copy).
                 out.energy += 0.5 * energy;
                 out.virial += 0.5 * fpair * r2;
+                for (c, (a, b)) in crate::potential::VOIGT.iter().enumerate() {
+                    out.virial_tensor[c] += 0.5 * fpair * del[*a] * del[*b];
+                }
                 for d in 0..3 {
                     // del = xj - xi, force on i is -fpair * del.
                     out.forces[i][d] -= fpair * del[d];

@@ -12,6 +12,12 @@ use crate::neighbor::NeighborList;
 use crate::runtime::ParallelRuntime;
 use crate::simbox::SimBox;
 
+/// The (row, column) index pairs of the Voigt components
+/// `[xx, yy, zz, xy, xz, yz]` — the layout of
+/// [`ComputeOutput::virial_tensor`]. Shared by every kernel that tallies the
+/// tensor so the component order can never drift between implementations.
+pub const VOIGT: [(usize, usize); 6] = [(0, 0), (1, 1), (2, 2), (0, 1), (0, 2), (1, 2)];
+
 /// Output of one force computation.
 #[derive(Clone, Debug, Default)]
 pub struct ComputeOutput {
@@ -22,8 +28,18 @@ pub struct ComputeOutput {
     /// Total potential energy of the locally owned atoms (eV).
     pub energy: f64,
     /// Scalar virial Σ r·f over the interactions computed here (eV), used
-    /// for the pressure.
+    /// for the pressure. This is the **trace channel** of
+    /// [`ComputeOutput::virial_tensor`]: kernels accumulate it per
+    /// interaction as the fused dot product `del·f` (the historical scalar
+    /// path), which keeps its floating-point summation order — and therefore
+    /// its bits — independent of the tensor promotion.
     pub virial: f64,
+    /// Per-interaction virial tensor `W_ab = Σ del_a · f_b` in Voigt order
+    /// `[xx, yy, zz, xy, xz, yz]` (eV). The diagonal agrees with
+    /// [`ComputeOutput::virial`] up to floating-point reassociation (the
+    /// scalar folds each interaction's three products before accumulating;
+    /// the tensor accumulates the components separately).
+    pub virial_tensor: [f64; 6],
 }
 
 impl ComputeOutput {
@@ -33,6 +49,7 @@ impl ComputeOutput {
             forces: vec![[0.0; 3]; n],
             energy: 0.0,
             virial: 0.0,
+            virial_tensor: [0.0; 6],
         }
     }
 
@@ -42,6 +59,14 @@ impl ComputeOutput {
         self.forces.resize(n, [0.0; 3]);
         self.energy = 0.0;
         self.virial = 0.0;
+        self.virial_tensor = [0.0; 6];
+    }
+
+    /// Sum of the tensor diagonal (Σ W_aa). Equals [`ComputeOutput::virial`]
+    /// up to floating-point reassociation; the scalar channel stays the
+    /// pressure source so thermo traces are bitwise stable.
+    pub fn virial_tensor_trace(&self) -> f64 {
+        self.virial_tensor[0] + self.virial_tensor[1] + self.virial_tensor[2]
     }
 
     /// Largest per-component absolute force difference against another
@@ -161,11 +186,20 @@ mod tests {
         o.forces[1] = [1.0, 2.0, 3.0];
         o.energy = 5.0;
         o.virial = 2.0;
+        o.virial_tensor = [1.0; 6];
         o.reset(5);
         assert_eq!(o.forces.len(), 5);
         assert!(o.forces.iter().all(|f| *f == [0.0; 3]));
         assert_eq!(o.energy, 0.0);
         assert_eq!(o.virial, 0.0);
+        assert_eq!(o.virial_tensor, [0.0; 6]);
+    }
+
+    #[test]
+    fn tensor_trace_sums_the_diagonal() {
+        let mut o = ComputeOutput::zeros(1);
+        o.virial_tensor = [1.0, 2.0, 4.0, 9.0, 9.0, 9.0];
+        assert_eq!(o.virial_tensor_trace(), 7.0);
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Materials-property observers: the stress tensor and the radial
+//! distribution function.
+//!
+//! The per-interaction virial tensor that PR 10 threads through every kernel
+//! surfaces here as physics: [`StressTensor`] combines it with the kinetic
+//! tensor into the full 3×3 pressure tensor (time-averaged at a sampling
+//! cadence), and [`RadialDistribution`] bins the neighbor-list pair
+//! distances into g(r). Both follow the observer contract of this crate:
+//! buffers are sized at construction / `on_run_start`, so a steady-state
+//! sampled step performs zero heap allocations.
+//!
+//! Voigt component order everywhere: `[xx, yy, zz, xy, xz, yz]`, matching
+//! [`crate::potential::VOIGT`].
+
+use crate::observer::{Observer, StepContext};
+use crate::units;
+use std::any::Any;
+
+/// Accumulates the full pressure tensor `P_ab = (Σᵢ mᵢ v_a v_b · mvv2e
+/// + W_ab) / V · nktv2p` (bar) every `every` steps and reports the time
+/// average. The trace/3 of a sample reproduces the scalar thermo pressure up
+/// to floating-point association — the scalar pressure itself still flows
+/// from the fused trace channel (`StepContext::virial`), which stays bitwise
+///   identical to the pre-tensor code.
+#[derive(Clone, Debug)]
+pub struct StressTensor {
+    every: u64,
+    samples: u64,
+    sum: [f64; 6],
+    last: [f64; 6],
+}
+
+impl StressTensor {
+    /// Sample every `every` steps (min 1).
+    pub fn new(every: u64) -> Self {
+        StressTensor {
+            every: every.max(1),
+            samples: 0,
+            sum: [0.0; 6],
+            last: [0.0; 6],
+        }
+    }
+
+    /// Number of samples accumulated so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The sampling cadence.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Most recent instantaneous pressure tensor in bar (Voigt order).
+    pub fn last(&self) -> [f64; 6] {
+        self.last
+    }
+
+    /// Time-averaged pressure tensor in bar (Voigt order); zeros before the
+    /// first sample.
+    pub fn time_averaged(&self) -> [f64; 6] {
+        if self.samples == 0 {
+            return [0.0; 6];
+        }
+        let inv = 1.0 / self.samples as f64;
+        let mut avg = [0.0; 6];
+        for c in 0..6 {
+            avg[c] = self.sum[c] * inv;
+        }
+        avg
+    }
+
+    /// Scalar pressure (bar): trace/3 of the time-averaged tensor.
+    pub fn pressure(&self) -> f64 {
+        let avg = self.time_averaged();
+        (avg[0] + avg[1] + avg[2]) / 3.0
+    }
+}
+
+impl Observer for StressTensor {
+    fn on_step(&mut self, ctx: &StepContext<'_>) {
+        if !ctx.step.is_multiple_of(self.every) {
+            return;
+        }
+        // Kinetic part of the tensor: Σᵢ mᵢ v_a v_b (eV after mvv2e). Its
+        // trace is 2·KE, so trace/3 matches the N·kB·T term of the scalar
+        // pressure.
+        let mut kinetic = [0.0; 6];
+        for i in 0..ctx.atoms.n_local {
+            let m = ctx.masses[ctx.atoms.type_[i]];
+            let v = ctx.atoms.v[i];
+            for (c, (a, b)) in crate::potential::VOIGT.iter().enumerate() {
+                kinetic[c] += m * v[*a] * v[*b];
+            }
+        }
+        let scale = units::NKTV2P / ctx.sim_box.volume();
+        for c in 0..6 {
+            self.last[c] = scale * (units::MVV2E * kinetic[c] + ctx.virial_tensor[c]);
+            self.sum[c] += self.last[c];
+        }
+        self.samples += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Bins neighbor-list pair distances into a radial distribution function
+/// g(r), sampled every `every` steps. The histogram is pre-sized at
+/// construction, so sampling never allocates; the normalized g(r) is
+/// computed on read-out.
+///
+/// The neighbor list only holds pairs out to `cutoff + skin`, so `r_max`
+/// must not exceed that — the scenario layer clamps it.
+#[derive(Clone, Debug)]
+pub struct RadialDistribution {
+    every: u64,
+    r_max: f64,
+    dr: f64,
+    counts: Vec<u64>,
+    samples: u64,
+    n_atoms: usize,
+    volume: f64,
+}
+
+impl RadialDistribution {
+    /// Histogram of `bins` bins over `[0, r_max]`, sampled every `every`
+    /// steps (min 1 bin, min cadence 1).
+    pub fn new(every: u64, bins: usize, r_max: f64) -> Self {
+        let bins = bins.max(1);
+        assert!(r_max > 0.0, "g(r) needs a positive r_max");
+        RadialDistribution {
+            every: every.max(1),
+            r_max,
+            dr: r_max / bins as f64,
+            counts: vec![0; bins],
+            samples: 0,
+            n_atoms: 0,
+            volume: 0.0,
+        }
+    }
+
+    /// Number of samples accumulated so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The histogram extent in Å.
+    pub fn r_max(&self) -> f64 {
+        self.r_max
+    }
+
+    /// Number of histogram bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw ordered-pair counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Center radius of bin `b` in Å.
+    pub fn bin_center(&self, b: usize) -> f64 {
+        (b as f64 + 0.5) * self.dr
+    }
+
+    /// The normalized g(r): pair counts divided by the ideal-gas expectation
+    /// `N · ρ · 4π r² dr` per sample. Full neighbor lists count every pair
+    /// twice (once from each side), which is exactly the ordered-pair count
+    /// this normalization expects. Empty before the first sample.
+    pub fn g(&self) -> Vec<f64> {
+        if self.samples == 0 || self.n_atoms == 0 || self.volume <= 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let rho = self.n_atoms as f64 / self.volume;
+        let norm = self.samples as f64 * self.n_atoms as f64 * rho;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(b, &count)| {
+                let r = self.bin_center(b);
+                let shell = 4.0 * std::f64::consts::PI * r * r * self.dr;
+                count as f64 / (norm * shell)
+            })
+            .collect()
+    }
+}
+
+impl Observer for RadialDistribution {
+    fn on_step(&mut self, ctx: &StepContext<'_>) {
+        if !ctx.step.is_multiple_of(self.every) {
+            return;
+        }
+        self.n_atoms = ctx.atoms.n_local;
+        self.volume = ctx.sim_box.volume();
+        let r_max_sq = self.r_max * self.r_max;
+        let inv_dr = 1.0 / self.dr;
+        for i in 0..ctx.atoms.n_local {
+            let xi = ctx.atoms.x[i];
+            for &j in ctx.neighbors.neighbors_of(i) {
+                let del = ctx.sim_box.min_image(xi, ctx.atoms.x[j]);
+                let r2 = del[0] * del[0] + del[1] * del[1] + del[2] * del[2];
+                if r2 >= r_max_sq || r2 == 0.0 {
+                    continue;
+                }
+                let bin = (r2.sqrt() * inv_dr) as usize;
+                if bin < self.counts.len() {
+                    self.counts[bin] += 1;
+                }
+            }
+        }
+        self.samples += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomData;
+    use crate::neighbor::{NeighborList, NeighborSettings};
+    use crate::simbox::SimBox;
+
+    fn step_ctx<'a>(
+        step: u64,
+        atoms: &'a AtomData,
+        sim_box: &'a SimBox,
+        masses: &'a [f64],
+        neighbors: &'a NeighborList,
+        virial_tensor: &'a [f64; 6],
+    ) -> StepContext<'a> {
+        StepContext {
+            step,
+            atoms,
+            sim_box,
+            masses,
+            neighbors,
+            n_rebuilds: 0,
+            potential_energy: 0.0,
+            virial: 0.0,
+            virial_tensor,
+        }
+    }
+
+    #[test]
+    fn stress_trace_matches_ideal_gas_pressure() {
+        // One atom with velocity only along x in a unit-density box: the
+        // tensor must be purely xx and its trace/3 the scalar pressure.
+        let sim_box = SimBox::cubic(10.0);
+        let mut atoms = AtomData::new();
+        atoms.push_local([5.0, 5.0, 5.0], [3.0, 0.0, 0.0], 0, 1);
+        let masses = [10.0];
+        let neighbors =
+            NeighborList::build_naive(&atoms, &sim_box, NeighborSettings::new(2.0, 0.5));
+        let tensor = [0.0; 6];
+        let mut stress = StressTensor::new(1);
+        stress.on_step(&step_ctx(0, &atoms, &sim_box, &masses, &neighbors, &tensor));
+        let avg = stress.time_averaged();
+        let expect_xx = units::NKTV2P * units::MVV2E * 10.0 * 9.0 / 1000.0;
+        assert!((avg[0] - expect_xx).abs() < 1e-9);
+        assert_eq!(avg[1], 0.0);
+        assert_eq!(avg[5], 0.0);
+        assert!((stress.pressure() - expect_xx / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stress_respects_cadence_and_averages() {
+        let sim_box = SimBox::cubic(10.0);
+        let mut atoms = AtomData::new();
+        atoms.push_local([5.0, 5.0, 5.0], [0.0; 3], 0, 1);
+        let masses = [1.0];
+        let neighbors =
+            NeighborList::build_naive(&atoms, &sim_box, NeighborSettings::new(2.0, 0.5));
+        let mut stress = StressTensor::new(5);
+        for step in 0..=10u64 {
+            // Virial-only samples: 2 eV at sampled steps.
+            let tensor = [2.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+            stress.on_step(&step_ctx(
+                step, &atoms, &sim_box, &masses, &neighbors, &tensor,
+            ));
+        }
+        assert_eq!(stress.samples(), 3); // steps 0, 5, 10
+        let avg = stress.time_averaged();
+        assert!((avg[0] - units::NKTV2P * 2.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rdf_of_an_isolated_pair_lands_in_one_bin() {
+        let sim_box = SimBox::cubic(20.0);
+        let mut atoms = AtomData::new();
+        atoms.push_local([5.0, 5.0, 5.0], [0.0; 3], 0, 1);
+        atoms.push_local([6.5, 5.0, 5.0], [0.0; 3], 0, 2);
+        let masses = [1.0];
+        let neighbors =
+            NeighborList::build_naive(&atoms, &sim_box, NeighborSettings::new(3.0, 0.5));
+        let mut rdf = RadialDistribution::new(1, 20, 2.0);
+        let tensor = [0.0; 6];
+        rdf.on_step(&step_ctx(0, &atoms, &sim_box, &masses, &neighbors, &tensor));
+        assert_eq!(rdf.samples(), 1);
+        // r = 1.5 with dr = 0.1 → bin 15, counted once from each side.
+        assert_eq!(rdf.counts()[15], 2);
+        assert_eq!(rdf.counts().iter().sum::<u64>(), 2);
+        let g = rdf.g();
+        let r = rdf.bin_center(15);
+        let shell = 4.0 * std::f64::consts::PI * r * r * 0.1;
+        let rho = 2.0 / sim_box.volume();
+        let expected = 2.0 / (2.0 * rho * shell);
+        assert!((g[15] - expected).abs() < 1e-9 * expected);
+        assert!(g[0] == 0.0 && g[19] == 0.0);
+    }
+
+    #[test]
+    fn rdf_never_allocates_after_construction() {
+        // The histogram is fully sized up front; sampling touches only the
+        // preallocated counts.
+        let rdf = RadialDistribution::new(10, 64, 3.0);
+        assert_eq!(rdf.bins(), 64);
+        assert_eq!(rdf.counts().len(), 64);
+        assert!(rdf.g().iter().all(|&g| g == 0.0));
+    }
+}

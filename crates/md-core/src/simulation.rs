@@ -685,6 +685,7 @@ impl<P: Potential> Simulation<P> {
                 sim_box,
                 masses,
                 neighbors,
+                compute_out,
                 ..
             } = self;
             let ctx = StepContext {
@@ -694,6 +695,9 @@ impl<P: Potential> Simulation<P> {
                 masses,
                 neighbors,
                 n_rebuilds: self.n_rebuilds,
+                potential_energy: compute_out.energy,
+                virial: compute_out.virial,
+                virial_tensor: &compute_out.virial_tensor,
             };
             for obs in observers.iter_mut() {
                 obs.on_step(&ctx);

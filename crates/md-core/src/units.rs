@@ -21,6 +21,10 @@ pub const FTM2V: f64 = 1.0 / MVV2E;
 /// Conversion factor for the virial pressure: `eV/Å³ → bar`.
 pub const NKTV2P: f64 = 1.602_176_6e6;
 
+/// Conversion factor for elastic moduli: `eV/Å³ → GPa` (= NKTV2P / 10⁴,
+/// since 1 GPa = 10⁴ bar).
+pub const EV_A3_TO_GPA: f64 = NKTV2P / 1.0e4;
+
 /// Default timestep for metal units, in ps (1 fs).
 pub const DEFAULT_TIMESTEP: f64 = 0.001;
 
@@ -45,6 +49,8 @@ pub mod lattice_constant {
     pub const GE: f64 = 5.658;
     /// Cubic SiC (zincblende).
     pub const SIC: f64 = 4.3596;
+    /// Si₀.₅Ge₀.₅ alloy, Vegard interpolation between Si and Ge.
+    pub const SIGE: f64 = (SI + GE) / 2.0;
 }
 
 /// Kinetic energy of one particle: `½ · mvv2e · m · |v|²` (eV).

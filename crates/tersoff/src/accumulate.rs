@@ -54,8 +54,11 @@ pub struct AccView<'a, A: Real> {
     pub forces: &'a mut [A],
     /// Total energy accumulator.
     pub energy: &'a mut A,
-    /// Scalar virial accumulator.
+    /// Scalar virial accumulator (the fused-trace channel — see
+    /// `ComputeOutput::virial`).
     pub virial: &'a mut A,
+    /// Virial-tensor accumulators in Voigt order `[xx, yy, zz, xy, xz, yz]`.
+    pub tensor: &'a mut [A; 6],
 }
 
 /// Fold an `A`-precision flat force buffer into the `f64` output (the
@@ -114,16 +117,20 @@ mod tests {
         let mut f = vec![0.0f64; 6];
         let mut e = 0.0f64;
         let mut v = 0.0f64;
+        let mut w = [0.0f64; 6];
         let view = AccView {
             forces: &mut f,
             energy: &mut e,
             virial: &mut v,
+            tensor: &mut w,
         };
         view.forces[0] = 1.0;
         *view.energy += 2.0;
         *view.virial -= 3.0;
+        view.tensor[5] += 4.0;
         assert_eq!(f[0], 1.0);
         assert_eq!(e, 2.0);
         assert_eq!(v, -3.0);
+        assert_eq!(w[5], 4.0);
     }
 }

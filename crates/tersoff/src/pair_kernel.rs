@@ -20,7 +20,7 @@ use crate::stats::KernelStats;
 use crate::vector_kernel::{
     force_zeta_v, min_image_v, repulsive_v, zeta_term_and_gradients_v, PackedParams,
 };
-use md_core::potential::ComputeOutput;
+use md_core::potential::{ComputeOutput, VOIGT};
 use vektor::conflict::scatter_add3;
 use vektor::gather::adjacent_gather3_in;
 use vektor::{Real, SimdBackend, SimdF, SimdI, SimdM};
@@ -252,23 +252,33 @@ pub fn process_pair_vector<B: SimdBackend, T: Real, A: Real, const W: usize>(
         fj_vec[d] = -(fpair * del_ij[d]);
     }
     *acc.virial -= to_acc(B::masked_sum(fpair * rsq, lane_mask));
+    for (c, (a, b)) in VOIGT.iter().enumerate() {
+        acc.tensor[c] -= to_acc(B::masked_sum(fpair * del_ij[*a] * del_ij[*b], lane_mask));
+    }
 
     // ---- Pass 2: ζ gradients → forces. ----
     let mut virial_k = T::ZERO;
+    let mut tensor_k = [T::ZERO; 6];
     {
         let forces = &mut *acc.forces;
         let virial_k_ref = &mut virial_k;
+        let tensor_k_ref = &mut tensor_k;
         k_iterate(&mut stats, &mut |ready, k_cand, del_ik, rik, p_ijk| {
             let (_, grad_j, grad_k) =
                 zeta_term_and_gradients_v::<B, T, W>(p_ijk, del_ij, rij, del_ik, rik);
             let mut fk = [SimdF::<A, W>::zero(); 3];
+            let mut gk_vec = [SimdF::<T, W>::zero(); 3];
             for d in 0..3 {
                 let gj = B::masked(prefactor * grad_j[d], ready);
                 let gk = B::masked(prefactor * grad_k[d], ready);
                 fj_vec[d] += gj;
                 fi_vec[d] = fi_vec[d] - gj - gk;
                 fk[d] = gk.convert();
+                gk_vec[d] = gk;
                 *virial_k_ref += B::masked_sum(del_ik[d] * gk, ready);
+            }
+            for (c, (a, b)) in VOIGT.iter().enumerate() {
+                tensor_k_ref[c] += B::masked_sum(del_ik[*a] * gk_vec[*b], ready);
             }
             // Force on k: lanes may collide with each other (and with i/j of
             // other lanes), so the accumulation is conflict-handled.
@@ -276,12 +286,19 @@ pub fn process_pair_vector<B: SimdBackend, T: Real, A: Real, const W: usize>(
         });
     }
     *acc.virial += to_acc(virial_k);
+    for (c, v) in tensor_k.iter().enumerate() {
+        acc.tensor[c] += to_acc(*v);
+    }
 
     // Virial contribution of the j-side three-body force (pair part already
     // tallied above): Σ del_ij · (F_j − pair part).
     for d in 0..3 {
         let three_body_j = fj_vec[d] + fpair * del_ij[d];
         *acc.virial += to_acc(B::masked_sum(del_ij[d] * three_body_j, lane_mask));
+    }
+    for (c, (a, b)) in VOIGT.iter().enumerate() {
+        let three_body_j = fj_vec[*b] + fpair * del_ij[*b];
+        acc.tensor[c] += to_acc(B::masked_sum(del_ij[*a] * three_body_j, lane_mask));
     }
 
     // ---- Scatter the i / j forces (conflicts possible in both). ----

@@ -280,9 +280,28 @@ impl TersoffParams {
     pub fn silicon_carbide() -> Self {
         let si = *Self::silicon().pair(0, 0);
         let c = *Self::carbon().pair(0, 0);
-        let chi_sic = 0.9776;
-        let elements = vec!["Si".to_string(), "C".to_string()];
-        let elem_entry = |t: usize| if t == 0 { si } else { c };
+        Self::mixed_two_element(("Si", si), ("C", c), 0.9776)
+    }
+
+    /// Two-element Si/Ge parameter set: the same 1989 mixing rules with the
+    /// published χ(Si,Ge) = 1.00061. Atom type 0 is Si, type 1 is Ge —
+    /// matching the alloy lattice builder's species mix.
+    pub fn silicon_germanium() -> Self {
+        let si = *Self::silicon().pair(0, 0);
+        let ge = *Self::germanium().pair(0, 0);
+        Self::mixed_two_element(("Si", si), ("Ge", ge), 1.00061)
+    }
+
+    /// Tersoff-1989 interpolation of two elemental parameter sets into the
+    /// full 8-entry two-element table, with the χ scaling applied to the
+    /// mixed attractive term.
+    fn mixed_two_element(
+        (name0, p0): (&str, TersoffParam),
+        (name1, p1): (&str, TersoffParam),
+        chi_mixed: f64,
+    ) -> Self {
+        let elements = vec![name0.to_string(), name1.to_string()];
+        let elem_entry = |t: usize| if t == 0 { p0 } else { p1 };
 
         let mut map = HashMap::new();
         for i in 0..2usize {
@@ -291,7 +310,7 @@ impl TersoffParams {
                     let pi = elem_entry(i);
                     let pj = elem_entry(j);
                     let pk = elem_entry(k);
-                    let chi = if i != j { chi_sic } else { 1.0 };
+                    let chi = if i != j { chi_mixed } else { 1.0 };
                     // Two-body constants mix over (i, j); the cutoff of the
                     // (i, k) leg of the ζ term mixes over (i, k), which is
                     // what the (i, j, k) entry's R/D are used for in LAMMPS.
@@ -428,6 +447,48 @@ mod tests {
         assert_ne!(b.biga, c.biga);
         assert!(b.lam3 > 0.0);
         assert_eq!(c.lam3, 0.0);
+    }
+
+    #[test]
+    fn sige_mixing_rules_follow_tersoff_1989() {
+        let params = TersoffParams::silicon_germanium();
+        let si = *TersoffParams::silicon().pair(0, 0);
+        let ge = *TersoffParams::germanium().pair(0, 0);
+        // Pure diagonal entries are the elemental ones, bit for bit.
+        assert_eq!(*params.pair(0, 0), si);
+        assert_eq!(*params.pair(1, 1), ge);
+        // Mixed pair entries: geometric/arithmetic means with the published
+        // χ(Si,Ge) = 1.00061 scaling on the attractive prefactor only.
+        let chi = 1.00061;
+        for (i, j) in [(0usize, 1usize), (1, 0)] {
+            let m = params.pair(i, j);
+            assert_eq!(m.bigb, chi * (si.bigb * ge.bigb).sqrt());
+            assert_eq!(m.biga, (si.biga * ge.biga).sqrt());
+            assert_eq!(m.lam1, 0.5 * (si.lam1 + ge.lam1));
+            assert_eq!(m.lam2, 0.5 * (si.lam2 + ge.lam2));
+            assert_eq!(m.bigr, (si.bigr * ge.bigr).sqrt());
+        }
+        // Three-body constants come from the center atom i alone: the
+        // (i, j, k) entry's angular/bond-order block matches element i.
+        for j in 0..2 {
+            for k in 0..2 {
+                let t = params.triplet(0, j, k);
+                assert_eq!(
+                    (t.c, t.d, t.h, t.powern, t.beta),
+                    (si.c, si.d, si.h, si.powern, si.beta)
+                );
+                let t = params.triplet(1, j, k);
+                assert_eq!(
+                    (t.c, t.d, t.h, t.powern, t.beta),
+                    (ge.c, ge.d, ge.h, ge.powern, ge.beta)
+                );
+            }
+        }
+        // The ζ-leg cutoff mixes over (i, k): the (0, 0, 1) entry reaches
+        // the geometric-mean R/D even though its pair block is pure Si.
+        let t = params.triplet(0, 0, 1);
+        assert_eq!(t.bigr, (si.bigr * ge.bigr).sqrt());
+        assert_eq!(params.max_cutoff, ge.cut);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::params::TersoffParams;
 use md_core::atom::AtomData;
 use md_core::force_engine::RangePotential;
 use md_core::neighbor::NeighborList;
-use md_core::potential::{ComputeOutput, Potential};
+use md_core::potential::{ComputeOutput, Potential, VOIGT};
 use md_core::simbox::SimBox;
 use std::any::Any;
 use std::ops::Range;
@@ -100,6 +100,9 @@ impl TersoffRef {
                     out.forces[j][d] -= fpair * del_ij[d];
                 }
                 out.virial -= fpair * rsq_ij;
+                for (c, (a, b)) in VOIGT.iter().enumerate() {
+                    out.virial_tensor[c] -= fpair * del_ij[*a] * del_ij[*b];
+                }
 
                 // Second K loop: apply the ζ-gradient forces with the
                 // prefactor δζ = ∂E/∂ζ.
@@ -119,14 +122,19 @@ impl TersoffRef {
                     let rik = rsq_ik.sqrt();
                     let (_, grad_j, grad_k) =
                         functions::zeta_term_and_gradients(&p_ijk, del_ij, rij, del_ik, rik);
+                    let mut fj = [0.0; 3];
+                    let mut fk = [0.0; 3];
                     for d in 0..3 {
-                        let fj = prefactor * grad_j[d];
-                        let fk = prefactor * grad_k[d];
-                        let fi = -(fj + fk);
+                        fj[d] = prefactor * grad_j[d];
+                        fk[d] = prefactor * grad_k[d];
+                        let fi = -(fj[d] + fk[d]);
                         out.forces[i][d] += fi;
-                        out.forces[j][d] += fj;
-                        out.forces[k][d] += fk;
-                        out.virial += del_ij[d] * fj + del_ik[d] * fk;
+                        out.forces[j][d] += fj[d];
+                        out.forces[k][d] += fk[d];
+                        out.virial += del_ij[d] * fj[d] + del_ik[d] * fk[d];
+                    }
+                    for (c, (a, b)) in VOIGT.iter().enumerate() {
+                        out.virial_tensor[c] += del_ij[*a] * fj[*b] + del_ik[*a] * fk[*b];
                     }
                 }
             }

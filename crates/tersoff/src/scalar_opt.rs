@@ -26,7 +26,7 @@ use crate::params::TersoffParams;
 use md_core::atom::AtomData;
 use md_core::force_engine::RangePotential;
 use md_core::neighbor::NeighborList;
-use md_core::potential::{ComputeOutput, Potential};
+use md_core::potential::{ComputeOutput, Potential, VOIGT};
 use md_core::simbox::SimBox;
 use std::any::Any;
 use std::ops::Range;
@@ -186,6 +186,7 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
     ) {
         let mut energy = A::ZERO;
         let mut virial = A::ZERO;
+        let mut tensor = [A::ZERO; 6];
         if let Some(forces) = array3_f64_forces::<A>(&mut out.forces) {
             self.atom_loop_dispatch(
                 atoms,
@@ -194,6 +195,7 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
                 forces,
                 &mut energy,
                 &mut virial,
+                &mut tensor,
                 &mut scratch.kentries,
                 &mut scratch.fallbacks,
             );
@@ -212,6 +214,7 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
                 forces,
                 &mut energy,
                 &mut virial,
+                &mut tensor,
                 kentries,
                 fallbacks,
             );
@@ -224,6 +227,9 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
         }
         out.energy += energy.to_f64();
         out.virial += virial.to_f64();
+        for (dst, src) in out.virial_tensor.iter_mut().zip(tensor.iter()) {
+            *dst += src.to_f64();
+        }
     }
 
     /// The per-atom J/K loops, writing into the given force buffer.
@@ -245,6 +251,7 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
         forces: &mut [[A; 3]],
         energy: &mut A,
         virial: &mut A,
+        tensor: &mut [A; 6],
         kentries: &mut Vec<KEntry<T>>,
         fallbacks: &mut u64,
     ) {
@@ -349,6 +356,9 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
                     forces[j][d] -= acc(fpair * del_ij[d]);
                 }
                 *virial -= acc(fpair * rsq_ij);
+                for (c, (a, b)) in VOIGT.iter().enumerate() {
+                    tensor[c] -= acc(fpair * del_ij[*a] * del_ij[*b]);
+                }
 
                 // Apply the pre-computed gradients scaled by δζ.
                 let prefactor = -de_dzeta;
@@ -357,12 +367,18 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
                     forces[j][d] += acc(prefactor * dzeta_j[d]);
                     *virial += acc(del_ij[d] * prefactor * dzeta_j[d]);
                 }
+                for (c, (a, b)) in VOIGT.iter().enumerate() {
+                    tensor[c] += acc(del_ij[*a] * prefactor * dzeta_j[*b]);
+                }
                 for entry in kentries.iter() {
                     let del_ik = min_image(xi, position(entry.k));
                     for d in 0..3 {
                         let fk = prefactor * entry.grad_k[d];
                         forces[entry.k][d] += acc(fk);
                         *virial += acc(del_ik[d] * fk);
+                    }
+                    for (c, (a, b)) in VOIGT.iter().enumerate() {
+                        tensor[c] += acc(del_ik[*a] * prefactor * entry.grad_k[*b]);
                     }
                 }
 
@@ -394,6 +410,9 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
                             let fk = prefactor * grad_k[d];
                             forces[k][d] += acc(fk);
                             *virial += acc(del_ik[d] * fk);
+                        }
+                        for (c, (a, b)) in VOIGT.iter().enumerate() {
+                            tensor[c] += acc(del_ik[*a] * prefactor * grad_k[*b]);
                         }
                     }
                 }
@@ -450,6 +469,7 @@ impl<T: Real, A: Real> TersoffScalarOpt<T, A> {
             forces: &mut [[A; 3]],
             energy: &mut A,
             virial: &mut A,
+            tensor: &mut [A; 6],
             kentries: &mut Vec<KEntry<T>>,
             fallbacks: &mut u64,
         );

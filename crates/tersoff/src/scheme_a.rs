@@ -23,7 +23,7 @@ use crate::vector_kernel::{
 use md_core::atom::AtomData;
 use md_core::force_engine::RangePotential;
 use md_core::neighbor::NeighborList;
-use md_core::potential::{ComputeOutput, Potential};
+use md_core::potential::{ComputeOutput, Potential, VOIGT};
 use md_core::simbox::SimBox;
 use std::any::Any;
 use std::ops::Range;
@@ -170,11 +170,13 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
         }
         let mut energy = A::ZERO;
         let mut virial = A::ZERO;
+        let mut tensor = [A::ZERO; 6];
         if let Some(direct) = flat_f64_forces::<A>(&mut out.forces) {
             let mut acc = AccView {
                 forces: direct,
                 energy: &mut energy,
                 virial: &mut virial,
+                tensor: &mut tensor,
             };
             self.atom_loop_dispatch(
                 atoms,
@@ -196,12 +198,16 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                 forces: forces.as_mut_slice(),
                 energy: &mut energy,
                 virial: &mut virial,
+                tensor: &mut tensor,
             };
             self.atom_loop_dispatch(atoms, range, &mut acc, kslots, stats, sim_box);
             fold_flat_forces(forces, out);
         }
         out.energy += energy.to_f64();
         out.virial += virial.to_f64();
+        for (dst, src) in out.virial_tensor.iter_mut().zip(tensor.iter()) {
+            *dst += src.to_f64();
+        }
     }
 
     /// The per-atom J/K loops, writing into the borrowed accumulation
@@ -225,6 +231,7 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
         let forces = &mut *acc.forces;
         let energy = &mut *acc.energy;
         let virial = &mut *acc.virial;
+        let tensor = &mut *acc.tensor;
 
         let lengths_f64 = sim_box.lengths();
         let lengths = [
@@ -403,7 +410,8 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                 ];
                 adjacent_scatter_add3_distinct_in::<B, A, W, 3>(forces, &j_idx, lane_mask, fj_acc);
 
-                // Virial: pair part + j-side three-body part.
+                // Virial: pair part + j-side three-body part, scalar trace
+                // and tensor components side by side.
                 *virial -= acc(B::masked_sum(fpair * rsq, lane_mask));
                 for d in 0..3 {
                     *virial += acc(B::masked_sum(
@@ -411,14 +419,25 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeA<T, A, W> {
                         lane_mask,
                     ));
                 }
+                for (c, (a, b)) in VOIGT.iter().enumerate() {
+                    tensor[c] -= acc(B::masked_sum(fpair * del_ij[*a] * del_ij[*b], lane_mask));
+                    tensor[c] += acc(B::masked_sum(
+                        del_ij[*a] * (prefactor * dzeta_j[*b]),
+                        lane_mask,
+                    ));
+                }
 
                 // Force on the k atoms: uniform target per scratch entry,
                 // in-register reduction then one scalar update.
                 for slot in kslots.iter() {
+                    let mut fk = [T::ZERO; 3];
                     for d in 0..3 {
-                        let fk = B::masked_sum(prefactor * slot.grad_k[d], slot.mask);
-                        forces[slot.k * 3 + d] += acc(fk);
-                        *virial += acc(slot.del_ik[d] * fk);
+                        fk[d] = B::masked_sum(prefactor * slot.grad_k[d], slot.mask);
+                        forces[slot.k * 3 + d] += acc(fk[d]);
+                        *virial += acc(slot.del_ik[d] * fk[d]);
+                    }
+                    for (c, (a, b)) in VOIGT.iter().enumerate() {
+                        tensor[c] += acc(slot.del_ik[*a] * fk[*b]);
                     }
                 }
 

@@ -192,11 +192,13 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
 
         let mut energy = A::ZERO;
         let mut virial = A::ZERO;
+        let mut tensor = [A::ZERO; 6];
         if let Some(direct) = flat_f64_forces::<A>(&mut out.forces) {
             let mut acc = AccView {
                 forces: direct,
                 energy: &mut energy,
                 virial: &mut virial,
+                tensor: &mut tensor,
             };
             self.pair_loop_dispatch(&ctx, pair_lo, pair_hi, &mut acc, &mut scratch.stats);
         } else {
@@ -205,12 +207,16 @@ impl<T: Real, A: Real, const W: usize> TersoffSchemeB<T, A, W> {
                 forces: scratch.acc.forces.as_mut_slice(),
                 energy: &mut energy,
                 virial: &mut virial,
+                tensor: &mut tensor,
             };
             self.pair_loop_dispatch(&ctx, pair_lo, pair_hi, &mut acc, &mut scratch.stats);
             scratch.acc.fold_into(out);
         }
         out.energy += energy.to_f64();
         out.virial += virial.to_f64();
+        for (dst, src) in out.virial_tensor.iter_mut().zip(tensor.iter()) {
+            *dst += src.to_f64();
+        }
     }
 
     /// The pair-vector loop, writing into the borrowed accumulation target.

@@ -28,6 +28,7 @@ use md_core::atom::AtomData;
 use md_core::checkpoint::{Checkpoint, CheckpointWriter};
 use md_core::domain::{DomainBuildError, DomainSimulation};
 use md_core::dump::{LammpsDump, XyzDump};
+use md_core::elastic::{self, ElasticReport};
 use md_core::fault::FaultPlan;
 use md_core::health::HealthGuard;
 use md_core::jobs::{
@@ -36,6 +37,7 @@ use md_core::jobs::{
 };
 use md_core::observer::{Observer, RunReport, StepContext};
 use md_core::potential::Potential;
+use md_core::properties::{RadialDistribution, StressTensor};
 use md_core::runtime::{panic_payload_string, resolve_threads, ParallelRuntime};
 use md_core::simbox::SimBox;
 use md_core::simulation::{RunError, Simulation, SimulationBuilder};
@@ -109,6 +111,69 @@ pub struct VariantReport {
     /// Rank-parallel statistics, when the scenario declares a
     /// `decomposition` grid.
     pub decomposition: Option<DomainStats>,
+    /// Measured materials properties, when the scenario declares a
+    /// `properties` block (only produced for `ok` runs).
+    pub properties: Option<PropertiesReport>,
+}
+
+/// Measured materials properties of one variant: the in-run observers'
+/// read-back, the post-run elastic driver, and the expected-value checks.
+#[derive(Clone, Debug)]
+pub struct PropertiesReport {
+    /// Time-averaged and final pressure tensor (bar).
+    pub stress: Option<StressReport>,
+    /// Binned radial distribution function.
+    pub rdf: Option<RdfReport>,
+    /// Equilibrium lattice constant, cohesive energy and elastic constants.
+    pub elastic: Option<ElasticReport>,
+    /// One entry per declared expected value that could be measured.
+    pub checks: Vec<PropertyCheck>,
+}
+
+/// Read-back of the [`StressTensor`] observer. Voigt order: xx yy zz xy xz
+/// yz; units are bar.
+#[derive(Clone, Debug)]
+pub struct StressReport {
+    /// Sampling cadence (steps).
+    pub every: u64,
+    /// Samples folded into the average.
+    pub samples: u64,
+    /// Time-averaged pressure tensor (bar).
+    pub time_averaged: [f64; 6],
+    /// Final sampled pressure tensor (bar).
+    pub last: [f64; 6],
+}
+
+/// Read-back of the [`RadialDistribution`] observer.
+#[derive(Clone, Debug)]
+pub struct RdfReport {
+    /// Sampling cadence (steps).
+    pub every: u64,
+    /// Histogram bins.
+    pub bins: usize,
+    /// Histogram range actually used (Å) — the declared `r_max` clamped to
+    /// the neighbor-list reach.
+    pub r_max: f64,
+    /// Samples folded into the histogram.
+    pub samples: u64,
+    /// Normalized g(r) per bin (bin centers at `(i + ½)·r_max/bins`).
+    pub g: Vec<f64>,
+}
+
+/// One measured-vs-published comparison from the scenario's
+/// `properties.expected` block.
+#[derive(Clone, Debug)]
+pub struct PropertyCheck {
+    /// Which quantity (`lattice_a`, `cohesive_ev`, `c11_gpa`, ...).
+    pub name: &'static str,
+    /// The declared published value.
+    pub expected: f64,
+    /// What this run measured.
+    pub measured: f64,
+    /// |measured − expected| / |expected| in percent.
+    pub rel_err_pct: f64,
+    /// Within the declared `tolerance_pct`?
+    pub ok: bool,
 }
 
 /// Per-variant statistics of a decomposed run: how the box was split, how
@@ -450,7 +515,7 @@ impl Scenario {
             let (sim_box, atoms) = self
                 .system
                 .lattice
-                .lattice(self.system.cells)
+                .lattice(self.system.cells, self.system.lattice_seed)
                 .build_perturbed(self.system.perturbation, self.system.lattice_seed);
             PreparedSystem { sim_box, atoms }
         };
@@ -479,6 +544,7 @@ impl Scenario {
             None => self.potential.params.params(),
         };
         let potential = make_potential(params, self.options_for(variant));
+        let reach = potential.cutoff() + self.run.skin;
         let mut builder = Simulation::builder(atoms, sim_box, potential)
             .timestep(self.run.timestep)
             .skin(self.run.skin)
@@ -528,6 +594,21 @@ impl Scenario {
                     .observe(LammpsDump::create(&path, dump.every, elements).map_err(io_err)?),
             };
         }
+        if let Some(props) = &self.properties {
+            if let Some(stress) = &props.stress {
+                builder = builder.observe(StressTensor::new(stress.every));
+            }
+            if let Some(rdf) = &props.rdf {
+                // The neighbor list is the distance oracle, so its reach is
+                // the hard upper bound of the histogram (0 = use the reach).
+                let r_max = if rdf.r_max > 0.0 {
+                    rdf.r_max.min(reach)
+                } else {
+                    reach
+                };
+                builder = builder.observe(RadialDistribution::new(rdf.every, rdf.bins, r_max));
+            }
+        }
         if let Some((events, job)) = &env.events {
             builder = builder.observe(JobEventTap {
                 events: events.clone(),
@@ -556,7 +637,107 @@ impl Scenario {
             warnings: Vec::new(),
             resumed_from: None,
             decomposition: None,
+            properties: None,
         }
+    }
+
+    /// The measured `properties` block of one finished variant: observer
+    /// read-back plus the post-run elastic driver, whose strained replicas
+    /// run as parallel jobs on a nested engine.
+    fn measure_properties(
+        &self,
+        sim: &Simulation<Box<dyn Potential>>,
+        variant: Variant,
+    ) -> Result<Option<PropertiesReport>, ScenarioError> {
+        let Some(props) = &self.properties else {
+            return Ok(None);
+        };
+        let stress = props.stress.as_ref().and_then(|spec| {
+            sim.observer::<StressTensor>().map(|s| StressReport {
+                every: spec.every,
+                samples: s.samples(),
+                time_averaged: s.time_averaged(),
+                last: s.last(),
+            })
+        });
+        let rdf = props.rdf.as_ref().and_then(|spec| {
+            sim.observer::<RadialDistribution>().map(|r| RdfReport {
+                every: spec.every,
+                bins: r.bins(),
+                r_max: r.r_max(),
+                samples: r.samples(),
+                g: r.g(),
+            })
+        });
+        let elastic = match &props.elastic {
+            None => None,
+            Some(spec) => {
+                let lattice = self
+                    .system
+                    .lattice
+                    .lattice(self.system.cells, self.system.lattice_seed);
+                let params = self.potential.params.params();
+                let mut options = self.options_for(variant);
+                // The strained replicas are small static cells — parallelism
+                // comes from running them as concurrent jobs, each
+                // single-threaded.
+                options.threads = 1;
+                let factory: elastic::PotentialFactory =
+                    Arc::new(move || make_potential(params.clone(), options));
+                let engine = JobEngine::new(EngineConfig {
+                    workers: resolve_threads(0).min(8),
+                    ..EngineConfig::default()
+                });
+                let report = elastic::measure_cubic(&engine, factory, &lattice, spec.settings())
+                    .map_err(|message| ScenarioError::Run {
+                        label: self.options_for(variant).label(),
+                        status: VariantStatus::Failed,
+                        message,
+                    })?;
+                Some(report)
+            }
+        };
+        let mut checks = Vec::new();
+        if let Some(exp) = &props.expected {
+            let tol = exp.tolerance_pct;
+            let mut check = |name: &'static str, expected: Option<f64>, measured: Option<f64>| {
+                if let (Some(e), Some(m)) = (expected, measured) {
+                    let rel_err_pct = ((m - e) / e).abs() * 100.0;
+                    checks.push(PropertyCheck {
+                        name,
+                        expected: e,
+                        measured: m,
+                        rel_err_pct,
+                        ok: rel_err_pct <= tol,
+                    });
+                }
+            };
+            match &elastic {
+                Some(r) => {
+                    check("lattice_a", exp.lattice_a, Some(r.lattice_a));
+                    check("cohesive_ev", exp.cohesive_ev, Some(r.cohesive_ev));
+                    check("c11_gpa", exp.c11_gpa, r.c11_gpa);
+                    check("c12_gpa", exp.c12_gpa, r.c12_gpa);
+                    check("c44_gpa", exp.c44_gpa, r.c44_gpa);
+                }
+                None => {
+                    // No elastic driver: the cohesive energy falls back to
+                    // the initial (step-0) potential energy per atom of the
+                    // as-built cell.
+                    let measured = sim
+                        .thermo_history()
+                        .first()
+                        .map(|t| t.potential / sim.atoms.n_local as f64);
+                    check("cohesive_ev", exp.cohesive_ev, measured);
+                }
+            }
+        }
+        Ok(Some(PropertiesReport {
+            stress,
+            rdf,
+            elastic,
+            checks,
+        }))
     }
 
     /// One attempt at one variant, run to a [`VariantReport`] whatever
@@ -621,7 +802,18 @@ impl Scenario {
             };
             let trace = sim.thermo_history().to_vec();
             let stats = runner.domain_stats();
-            Ok::<_, ScenarioError>((run_result, trace, dump, stats))
+            // Properties are only meaningful for a run that finished: a
+            // diverged/panicked trajectory has no steady state to report,
+            // and the elastic driver would just burn time. A step-capped
+            // run (`--steps-cap` smoke) skips them too — the capped trace
+            // is not the declared experiment, and the smoke jobs must not
+            // pay for FIRE relaxations.
+            let properties = if run_result.is_ok() && steps >= self.run.steps {
+                self.measure_properties(sim, variant)?
+            } else {
+                None
+            };
+            Ok::<_, ScenarioError>((run_result, trace, dump, stats, properties))
         }));
         match attempt {
             Err(payload) => {
@@ -636,10 +828,11 @@ impl Scenario {
                 out.status = VariantStatus::Failed;
                 out.error = Some(e);
             }
-            Ok(Ok((run_result, trace, dump, stats))) => {
+            Ok(Ok((run_result, trace, dump, stats, properties))) => {
                 out.trace = trace;
                 out.dump = dump;
                 out.decomposition = stats;
+                out.properties = properties;
                 match run_result {
                     Ok(report) => {
                         out.status = VariantStatus::Ok;
@@ -990,6 +1183,23 @@ impl ScenarioReport {
             .collect()
     }
 
+    /// Failed property checks across all variants (empty when the scenario
+    /// declares no `properties.expected` values).
+    pub fn property_violations(&self) -> Vec<String> {
+        self.variants
+            .iter()
+            .filter_map(|v| v.properties.as_ref().map(|p| (v, p)))
+            .flat_map(|(v, p)| {
+                p.checks.iter().filter(|c| !c.ok).map(move |c| {
+                    format!(
+                        "{}: {} = {:.4} deviates {:.2}% from published {:.4}",
+                        v.label, c.name, c.measured, c.rel_err_pct, c.expected
+                    )
+                })
+            })
+            .collect()
+    }
+
     /// The report in the JSON shape `bench_diff` consumes: a top-level
     /// `series` array keyed by (mode, threads) with per-entry metrics.
     pub fn to_report_json(&self) -> String {
@@ -1085,6 +1295,9 @@ impl ScenarioReport {
                             ("comm_fraction", Json::Num(d.comm_fraction)),
                         ]),
                     ));
+                }
+                if let Some(p) = &v.properties {
+                    entry.push(("properties", properties_json(p)));
                 }
                 obj(entry)
             })
@@ -1270,6 +1483,82 @@ impl ThroughputReport {
         ])
         .pretty()
     }
+}
+
+/// A symmetric 3×3 tensor in Voigt order as a named JSON object.
+fn voigt_json(t: &[f64; 6]) -> Json {
+    obj([
+        ("xx", Json::Num(t[0])),
+        ("yy", Json::Num(t[1])),
+        ("zz", Json::Num(t[2])),
+        ("xy", Json::Num(t[3])),
+        ("xz", Json::Num(t[4])),
+        ("yz", Json::Num(t[5])),
+    ])
+}
+
+/// The `properties` section of one variant's report entry (also what
+/// `/v1/jobs/{id}` serves in its `result`).
+pub(crate) fn properties_json(p: &PropertiesReport) -> Json {
+    let mut entry = Vec::new();
+    if let Some(s) = &p.stress {
+        entry.push((
+            "stress_bar",
+            obj([
+                ("every", Json::Num(s.every as f64)),
+                ("samples", Json::Num(s.samples as f64)),
+                ("time_averaged", voigt_json(&s.time_averaged)),
+                ("last", voigt_json(&s.last)),
+            ]),
+        ));
+    }
+    if let Some(r) = &p.rdf {
+        entry.push((
+            "rdf",
+            obj([
+                ("every", Json::Num(r.every as f64)),
+                ("bins", Json::Num(r.bins as f64)),
+                ("r_max", Json::Num(r.r_max)),
+                ("samples", Json::Num(r.samples as f64)),
+                ("g", Json::Arr(r.g.iter().map(|&g| Json::Num(g)).collect())),
+            ]),
+        ));
+    }
+    if let Some(e) = &p.elastic {
+        let mut x = vec![
+            ("lattice_a", Json::Num(e.lattice_a)),
+            ("cohesive_ev", Json::Num(e.cohesive_ev)),
+        ];
+        for (key, val) in [
+            ("c11_gpa", e.c11_gpa),
+            ("c12_gpa", e.c12_gpa),
+            ("c44_gpa", e.c44_gpa),
+        ] {
+            if let Some(v) = val {
+                x.push((key, Json::Num(v)));
+            }
+        }
+        x.push(("energy_evals", Json::Num(e.energy_evals as f64)));
+        entry.push(("elastic", obj(x)));
+    }
+    entry.push((
+        "checks",
+        Json::Arr(
+            p.checks
+                .iter()
+                .map(|c| {
+                    obj([
+                        ("name", Json::Str(c.name.to_string())),
+                        ("expected", Json::Num(c.expected)),
+                        ("measured", Json::Num(c.measured)),
+                        ("rel_err_pct", Json::Num(c.rel_err_pct)),
+                        ("ok", Json::Bool(c.ok)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    obj(entry)
 }
 
 /// Measure batch throughput at saturation: submit every variant of every

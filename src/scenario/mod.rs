@@ -20,11 +20,11 @@ pub mod exec;
 pub mod spec;
 
 pub use exec::{
-    measure_throughput, BatchSeverity, DomainStats, RunPolicy, ScenarioReport, ThroughputReport,
-    VariantReport,
+    measure_throughput, BatchSeverity, DomainStats, PropertiesReport, PropertyCheck, RdfReport,
+    RunPolicy, ScenarioReport, StressReport, ThroughputReport, VariantReport,
 };
 pub use spec::{
-    CheckpointSpec, DecompositionSpec, DumpFormat, DumpSpec, FaultSpec, HealthSpec, LatticeSpec,
-    MatrixSpec, ParamSet, PotentialSpec, RunSpec, Scenario, ScenarioError, SystemSpec, Variant,
-    VariantStatus,
+    CheckpointSpec, DecompositionSpec, DumpFormat, DumpSpec, ElasticSpec, ExpectedProperties,
+    FaultSpec, HealthSpec, LatticeSpec, MatrixSpec, ParamSet, PotentialSpec, PropertiesSpec,
+    RdfSpec, RunSpec, Scenario, ScenarioError, StressSpec, SystemSpec, Variant, VariantStatus,
 };

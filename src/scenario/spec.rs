@@ -96,6 +96,15 @@ pub enum LatticeSpec {
     Silicon,
     /// Zincblende SiC (two species).
     SiliconCarbide,
+    /// Diamond-cubic carbon (the diamond crystal).
+    Carbon,
+    /// Diamond-cubic germanium.
+    Germanium,
+    /// Si₀.₅Ge₀.₅ random alloy on the Vegard-average diamond lattice; the
+    /// species draw is seeded by the scenario's `lattice_seed`.
+    SiliconGermanium,
+    /// AB-stacked graphite at the experimental bond length (1.42 Å).
+    Graphite,
 }
 
 impl LatticeSpec {
@@ -104,14 +113,23 @@ impl LatticeSpec {
         match self {
             LatticeSpec::Silicon => "silicon",
             LatticeSpec::SiliconCarbide => "silicon_carbide",
+            LatticeSpec::Carbon => "carbon",
+            LatticeSpec::Germanium => "germanium",
+            LatticeSpec::SiliconGermanium => "silicon_germanium",
+            LatticeSpec::Graphite => "graphite",
         }
     }
 
-    /// The lattice builder for `cells` conventional cells.
-    pub fn lattice(self, cells: [usize; 3]) -> Lattice {
+    /// The lattice builder for `cells` conventional cells. `species_seed`
+    /// seeds the alloy species draw (ignored by the ordered structures).
+    pub fn lattice(self, cells: [usize; 3], species_seed: u64) -> Lattice {
         match self {
             LatticeSpec::Silicon => Lattice::silicon(cells),
             LatticeSpec::SiliconCarbide => Lattice::silicon_carbide(cells),
+            LatticeSpec::Carbon => Lattice::carbon_diamond(cells),
+            LatticeSpec::Germanium => Lattice::germanium(cells),
+            LatticeSpec::SiliconGermanium => Lattice::silicon_germanium(cells, species_seed),
+            LatticeSpec::Graphite => Lattice::graphite_ab(1.42, cells),
         }
     }
 }
@@ -129,8 +147,13 @@ impl std::str::FromStr for LatticeSpec {
         match s.trim().to_ascii_lowercase().as_str() {
             "silicon" | "si" | "diamond" => Ok(LatticeSpec::Silicon),
             "silicon_carbide" | "sic" | "zincblende" => Ok(LatticeSpec::SiliconCarbide),
+            "carbon" | "c" => Ok(LatticeSpec::Carbon),
+            "germanium" | "ge" => Ok(LatticeSpec::Germanium),
+            "silicon_germanium" | "sige" => Ok(LatticeSpec::SiliconGermanium),
+            "graphite" => Ok(LatticeSpec::Graphite),
             other => Err(format!(
-                "unknown lattice {other:?} (expected silicon or silicon_carbide)"
+                "unknown lattice {other:?} (expected silicon, silicon_carbide, \
+                 carbon, germanium, silicon_germanium or graphite)"
             )),
         }
     }
@@ -149,6 +172,8 @@ pub enum ParamSet {
     Germanium,
     /// The Tersoff-1989 Si/C mixed set.
     SiliconCarbide,
+    /// The Tersoff-1989 Si/Ge mixed set.
+    SiliconGermanium,
 }
 
 impl ParamSet {
@@ -160,6 +185,7 @@ impl ParamSet {
             ParamSet::Carbon => "carbon",
             ParamSet::Germanium => "germanium",
             ParamSet::SiliconCarbide => "silicon_carbide",
+            ParamSet::SiliconGermanium => "silicon_germanium",
         }
     }
 
@@ -171,6 +197,7 @@ impl ParamSet {
             ParamSet::Carbon => TersoffParams::carbon(),
             ParamSet::Germanium => TersoffParams::germanium(),
             ParamSet::SiliconCarbide => TersoffParams::silicon_carbide(),
+            ParamSet::SiliconGermanium => TersoffParams::silicon_germanium(),
         }
     }
 
@@ -181,6 +208,7 @@ impl ParamSet {
             ParamSet::Carbon => vec![units::mass::C],
             ParamSet::Germanium => vec![units::mass::GE],
             ParamSet::SiliconCarbide => vec![units::mass::SI, units::mass::C],
+            ParamSet::SiliconGermanium => vec![units::mass::SI, units::mass::GE],
         }
     }
 
@@ -192,6 +220,7 @@ impl ParamSet {
             ParamSet::Carbon => vec!["C".to_string()],
             ParamSet::Germanium => vec!["Ge".to_string()],
             ParamSet::SiliconCarbide => vec!["Si".to_string(), "C".to_string()],
+            ParamSet::SiliconGermanium => vec!["Si".to_string(), "Ge".to_string()],
         }
     }
 }
@@ -212,9 +241,10 @@ impl std::str::FromStr for ParamSet {
             "carbon" | "c" => Ok(ParamSet::Carbon),
             "germanium" | "ge" => Ok(ParamSet::Germanium),
             "silicon_carbide" | "sic" => Ok(ParamSet::SiliconCarbide),
+            "silicon_germanium" | "sige" => Ok(ParamSet::SiliconGermanium),
             other => Err(format!(
                 "unknown parameter set {other:?} (expected silicon, silicon_b, \
-                 carbon, germanium or silicon_carbide)"
+                 carbon, germanium, silicon_carbide or silicon_germanium)"
             )),
         }
     }
@@ -449,6 +479,87 @@ impl FaultSpec {
     }
 }
 
+/// Stress-tensor sampling: attaches a [`md_core::StressTensor`] observer and
+/// reports the time-averaged and final 6-component pressure tensor (bar).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StressSpec {
+    /// Sampling cadence in steps (must be positive).
+    pub every: u64,
+}
+
+/// Radial-distribution sampling: attaches a [`md_core::RadialDistribution`]
+/// observer and reports the normalized g(r) histogram.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RdfSpec {
+    /// Sampling cadence in steps (must be positive).
+    pub every: u64,
+    /// Histogram bin count (must be positive).
+    pub bins: usize,
+    /// Histogram range (Å). `0` = automatic: the interaction cutoff + skin
+    /// (the reach of the neighbor list, which is also the hard upper bound —
+    /// larger requests are clamped to it).
+    pub r_max: f64,
+}
+
+/// Elastic-constants driver: after the run, [`md_core::elastic`] relaxes the
+/// cell, refines the lattice constant, and measures C11/C12/C44 from
+/// finite-strain energy differences (strained replicas run as parallel jobs
+/// on a nested engine). Cubic (diamond-kind) lattices only; for the random
+/// alloy the shear/uniaxial stage is skipped and only the lattice constant
+/// and cohesive energy are reported.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ElasticSpec {
+    /// Finite-strain amplitude δ (default 5·10⁻³).
+    pub strain: f64,
+    /// FIRE relaxation step budget for the internally-relaxed (C44)
+    /// evaluations (default 1000).
+    pub minimize_steps: u64,
+}
+
+impl ElasticSpec {
+    /// The md-core driver settings this spec describes.
+    pub fn settings(&self) -> md_core::ElasticSettings {
+        md_core::ElasticSettings {
+            strain: self.strain,
+            minimize_steps: self.minimize_steps,
+        }
+    }
+}
+
+/// Published reference values the measured properties are checked against.
+/// Each declared value produces one pass/fail entry in the report's
+/// `properties.checks` array; `tersoff-run` fails when any check fails.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExpectedProperties {
+    /// Cohesive energy per atom (eV, negative).
+    pub cohesive_ev: Option<f64>,
+    /// Equilibrium lattice constant (Å).
+    pub lattice_a: Option<f64>,
+    /// Elastic constant C11 (GPa).
+    pub c11_gpa: Option<f64>,
+    /// Elastic constant C12 (GPa).
+    pub c12_gpa: Option<f64>,
+    /// Elastic constant C44 (GPa).
+    pub c44_gpa: Option<f64>,
+    /// Allowed relative deviation in percent (default 2).
+    pub tolerance_pct: f64,
+}
+
+/// Optional materials-property block: observers sampled during the run
+/// (stress tensor, g(r)), the post-run elastic-constants driver, and the
+/// published values to check the measurements against.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PropertiesSpec {
+    /// Stress-tensor sampling.
+    pub stress: Option<StressSpec>,
+    /// Radial-distribution sampling.
+    pub rdf: Option<RdfSpec>,
+    /// Elastic-constants driver.
+    pub elastic: Option<ElasticSpec>,
+    /// Published reference values to check against.
+    pub expected: Option<ExpectedProperties>,
+}
+
 /// A complete, serializable experiment description.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -476,6 +587,8 @@ pub struct Scenario {
     pub checkpoint: Option<CheckpointSpec>,
     /// Test-only fault injection.
     pub fault: Option<FaultSpec>,
+    /// Optional materials-property observers, elastic driver and checks.
+    pub properties: Option<PropertiesSpec>,
 }
 
 /// One (mode, threads) point of a scenario's matrix.
@@ -546,6 +659,7 @@ impl Scenario {
                 "health",
                 "checkpoint",
                 "fault",
+                "properties",
             ],
         )?;
         let name = req_str(top, "name", "scenario")?;
@@ -838,6 +952,132 @@ impl Scenario {
             }
         };
 
+        let properties = match top.get("properties") {
+            None | Some(Json::Null) => None,
+            Some(p) => {
+                let p = expect_obj(p, "properties")?;
+                check_keys(p, "properties", &["stress", "rdf", "elastic", "expected"])?;
+                let stress = match p.get("stress") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => {
+                        let s = expect_obj(s, "properties.stress")?;
+                        check_keys(s, "properties.stress", &["every"])?;
+                        let every = opt_u64(s, "every", 10, "properties.stress")?;
+                        if every == 0 {
+                            return Err(ScenarioError::Parse(
+                                "properties.stress.every must be a positive number of steps".into(),
+                            ));
+                        }
+                        Some(StressSpec { every })
+                    }
+                };
+                let rdf = match p.get("rdf") {
+                    None | Some(Json::Null) => None,
+                    Some(r) => {
+                        let r = expect_obj(r, "properties.rdf")?;
+                        check_keys(r, "properties.rdf", &["every", "bins", "r_max"])?;
+                        let every = opt_u64(r, "every", 10, "properties.rdf")?;
+                        if every == 0 {
+                            return Err(ScenarioError::Parse(
+                                "properties.rdf.every must be a positive number of steps".into(),
+                            ));
+                        }
+                        let bins = opt_u64(r, "bins", 200, "properties.rdf")? as usize;
+                        if bins == 0 {
+                            return Err(ScenarioError::Parse(
+                                "properties.rdf.bins must be positive".into(),
+                            ));
+                        }
+                        let r_max = opt_f64(r, "r_max", 0.0, "properties.rdf")?;
+                        if !r_max.is_finite() || r_max < 0.0 {
+                            return Err(ScenarioError::Parse(format!(
+                                "properties.rdf.r_max must be a non-negative length \
+                                 (0 = cutoff + skin), got {r_max}"
+                            )));
+                        }
+                        Some(RdfSpec { every, bins, r_max })
+                    }
+                };
+                let elastic = match p.get("elastic") {
+                    None | Some(Json::Null) => None,
+                    Some(e) => {
+                        let e = expect_obj(e, "properties.elastic")?;
+                        check_keys(e, "properties.elastic", &["strain", "minimize_steps"])?;
+                        let strain = opt_f64(e, "strain", 5.0e-3, "properties.elastic")?;
+                        if !strain.is_finite() || strain <= 0.0 || strain >= 0.1 {
+                            return Err(ScenarioError::Parse(format!(
+                                "properties.elastic.strain must be in (0, 0.1), got {strain}"
+                            )));
+                        }
+                        let minimize_steps =
+                            opt_u64(e, "minimize_steps", 1000, "properties.elastic")?;
+                        Some(ElasticSpec {
+                            strain,
+                            minimize_steps,
+                        })
+                    }
+                };
+                let expected = match p.get("expected") {
+                    None | Some(Json::Null) => None,
+                    Some(x) => {
+                        let x = expect_obj(x, "properties.expected")?;
+                        check_keys(
+                            x,
+                            "properties.expected",
+                            &[
+                                "cohesive_ev",
+                                "lattice_a",
+                                "c11_gpa",
+                                "c12_gpa",
+                                "c44_gpa",
+                                "tolerance_pct",
+                            ],
+                        )?;
+                        let opt_val = |key: &str| -> Result<Option<f64>, ScenarioError> {
+                            match x.get(key) {
+                                None | Some(Json::Null) => Ok(None),
+                                Some(v) => {
+                                    let val = v.as_f64().ok_or_else(|| {
+                                        ScenarioError::Parse(format!(
+                                            "properties.expected.{key} must be a number"
+                                        ))
+                                    })?;
+                                    if !val.is_finite() {
+                                        return Err(ScenarioError::Parse(format!(
+                                            "properties.expected.{key} must be finite"
+                                        )));
+                                    }
+                                    Ok(Some(val))
+                                }
+                            }
+                        };
+                        let tolerance_pct =
+                            opt_f64(x, "tolerance_pct", 2.0, "properties.expected")?;
+                        if !tolerance_pct.is_finite() || tolerance_pct <= 0.0 {
+                            return Err(ScenarioError::Parse(format!(
+                                "properties.expected.tolerance_pct must be positive, \
+                                 got {tolerance_pct}"
+                            )));
+                        }
+                        Some(ExpectedProperties {
+                            cohesive_ev: opt_val("cohesive_ev")?,
+                            lattice_a: opt_val("lattice_a")?,
+                            c11_gpa: opt_val("c11_gpa")?,
+                            c12_gpa: opt_val("c12_gpa")?,
+                            c44_gpa: opt_val("c44_gpa")?,
+                            tolerance_pct,
+                        })
+                    }
+                };
+                Some(PropertiesSpec {
+                    stress,
+                    rdf,
+                    elastic,
+                    expected,
+                })
+            }
+        };
+
         Ok(Scenario {
             name,
             description,
@@ -851,6 +1091,7 @@ impl Scenario {
             health,
             checkpoint,
             fault,
+            properties,
         })
     }
 
@@ -991,6 +1232,48 @@ impl Scenario {
             }
             top.push(("fault", obj(entry)));
         }
+        if let Some(props) = &self.properties {
+            let mut entry = Vec::new();
+            if let Some(stress) = &props.stress {
+                entry.push(("stress", obj([("every", Json::Num(stress.every as f64))])));
+            }
+            if let Some(rdf) = &props.rdf {
+                entry.push((
+                    "rdf",
+                    obj([
+                        ("every", Json::Num(rdf.every as f64)),
+                        ("bins", Json::Num(rdf.bins as f64)),
+                        ("r_max", Json::Num(rdf.r_max)),
+                    ]),
+                ));
+            }
+            if let Some(elastic) = &props.elastic {
+                entry.push((
+                    "elastic",
+                    obj([
+                        ("strain", Json::Num(elastic.strain)),
+                        ("minimize_steps", Json::Num(elastic.minimize_steps as f64)),
+                    ]),
+                ));
+            }
+            if let Some(expected) = &props.expected {
+                let mut x = Vec::new();
+                for (key, val) in [
+                    ("cohesive_ev", expected.cohesive_ev),
+                    ("lattice_a", expected.lattice_a),
+                    ("c11_gpa", expected.c11_gpa),
+                    ("c12_gpa", expected.c12_gpa),
+                    ("c44_gpa", expected.c44_gpa),
+                ] {
+                    if let Some(v) = val {
+                        x.push((key, Json::Num(v)));
+                    }
+                }
+                x.push(("tolerance_pct", Json::Num(expected.tolerance_pct)));
+                entry.push(("expected", obj(x)));
+            }
+            top.push(("properties", obj(entry)));
+        }
         obj(top).pretty()
     }
 
@@ -1110,7 +1393,10 @@ impl Scenario {
 
     /// Number of atoms the scenario's lattice generates.
     pub fn n_atoms(&self) -> usize {
-        self.system.lattice.lattice(self.system.cells).n_atoms()
+        self.system
+            .lattice
+            .lattice(self.system.cells, self.system.lattice_seed)
+            .n_atoms()
     }
 }
 
@@ -1271,6 +1557,7 @@ pub(crate) mod tests {
             health: None,
             checkpoint: None,
             fault: None,
+            properties: None,
         }
     }
 
@@ -1440,6 +1727,95 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn properties_spec_round_trips_and_validates() {
+        let mut s = sample();
+        s.properties = Some(PropertiesSpec {
+            stress: Some(StressSpec { every: 5 }),
+            rdf: Some(RdfSpec {
+                every: 10,
+                bins: 150,
+                r_max: 0.0,
+            }),
+            elastic: Some(ElasticSpec {
+                strain: 5.0e-3,
+                minimize_steps: 500,
+            }),
+            expected: Some(ExpectedProperties {
+                cohesive_ev: Some(-4.63),
+                lattice_a: Some(5.432),
+                c11_gpa: Some(142.0),
+                c12_gpa: Some(75.0),
+                c44_gpa: Some(69.0),
+                tolerance_pct: 2.0,
+            }),
+        });
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+
+        // Partial blocks round-trip too (only some observers / some expected
+        // values declared).
+        s.properties = Some(PropertiesSpec {
+            stress: None,
+            rdf: None,
+            elastic: Some(ElasticSpec {
+                strain: 1.0e-3,
+                minimize_steps: 1000,
+            }),
+            expected: Some(ExpectedProperties {
+                cohesive_ev: Some(-7.37),
+                lattice_a: None,
+                c11_gpa: None,
+                c12_gpa: None,
+                c44_gpa: None,
+                tolerance_pct: 5.0,
+            }),
+        });
+        assert_eq!(Scenario::from_json(&s.to_json()).unwrap(), s);
+
+        // Defaults fill unspecified observer fields.
+        let text = r#"{
+            "name": "p", "system": {"lattice": "silicon", "cells": [2,2,2]},
+            "potential": {"params": "silicon", "mode": "ref", "scheme": "scalar"},
+            "run": {"steps": 10},
+            "properties": {"stress": {}, "rdf": {}, "elastic": {}}
+        }"#;
+        let parsed = Scenario::from_json(text).unwrap();
+        let props = parsed.properties.unwrap();
+        assert_eq!(props.stress.unwrap().every, 10);
+        let rdf = props.rdf.unwrap();
+        assert_eq!((rdf.every, rdf.bins), (10, 200));
+        assert_eq!(rdf.r_max, 0.0);
+        let elastic = props.elastic.unwrap();
+        assert_eq!(elastic.strain, 5.0e-3);
+        assert_eq!(elastic.minimize_steps, 1000);
+        assert!(props.expected.is_none());
+
+        // Invalid values and unknown keys fail loudly.
+        for (body, needle) in [
+            (r#"{"stress": {"every": 0}}"#, "properties.stress.every"),
+            (r#"{"rdf": {"bins": 0}}"#, "properties.rdf.bins"),
+            (r#"{"rdf": {"r_max": -1.0}}"#, "properties.rdf.r_max"),
+            (
+                r#"{"elastic": {"strain": 0.5}}"#,
+                "properties.elastic.strain",
+            ),
+            (r#"{"expected": {"tolerance_pct": -2}}"#, "tolerance_pct"),
+            (r#"{"expected": {"c99_gpa": 1.0}}"#, "c99_gpa"),
+            (r#"{"viscosity": {}}"#, "viscosity"),
+        ] {
+            let text = format!(
+                r#"{{
+                    "name": "p", "system": {{"lattice": "silicon", "cells": [2,2,2]}},
+                    "potential": {{"params": "silicon", "mode": "ref", "scheme": "scalar"}},
+                    "run": {{"steps": 10}},
+                    "properties": {body}
+                }}"#
+            );
+            let err = Scenario::from_json(&text).unwrap_err().to_string();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
     fn decomposition_spec_round_trips_and_validates() {
         let mut s = sample();
         s.decomposition = Some(DecompositionSpec { grid: [2, 2, 1] });
@@ -1467,7 +1843,14 @@ pub(crate) mod tests {
 
     #[test]
     fn lattice_and_param_names_round_trip() {
-        for l in [LatticeSpec::Silicon, LatticeSpec::SiliconCarbide] {
+        for l in [
+            LatticeSpec::Silicon,
+            LatticeSpec::SiliconCarbide,
+            LatticeSpec::Carbon,
+            LatticeSpec::Germanium,
+            LatticeSpec::SiliconGermanium,
+            LatticeSpec::Graphite,
+        ] {
             assert_eq!(l.name().parse::<LatticeSpec>().unwrap(), l);
         }
         for p in [
@@ -1476,6 +1859,7 @@ pub(crate) mod tests {
             ParamSet::Carbon,
             ParamSet::Germanium,
             ParamSet::SiliconCarbide,
+            ParamSet::SiliconGermanium,
         ] {
             assert_eq!(p.name().parse::<ParamSet>().unwrap(), p);
         }

@@ -275,6 +275,9 @@ fn result_json(report: &VariantReport) -> Json {
     if let Some(step) = report.resumed_from {
         fields.push(("resumed_from", Json::Num(step as f64)));
     }
+    if let Some(props) = &report.properties {
+        fields.push(("properties", crate::scenario::exec::properties_json(props)));
+    }
     if let Some(run) = &report.report {
         fields.push(("seconds_per_step", Json::Num(run.seconds_per_step())));
         fields.push(("ns_per_day", Json::Num(run.ns_per_day)));

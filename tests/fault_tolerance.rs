@@ -256,6 +256,7 @@ fn two_variant_scenario() -> Scenario {
         health: None,
         checkpoint: None,
         fault: None,
+        properties: None,
     }
 }
 

@@ -57,6 +57,7 @@ fn sample_scenario() -> Scenario {
         health: None,
         checkpoint: None,
         fault: None,
+        properties: None,
     }
 }
 

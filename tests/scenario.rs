@@ -50,6 +50,7 @@ fn sample_scenario() -> Scenario {
         health: None,
         checkpoint: None,
         fault: None,
+        properties: None,
     }
 }
 
@@ -168,6 +169,80 @@ fn shipped_scenarios_load_and_run_briefly() {
             );
         }
     }
+}
+
+/// A `properties` block rides a declarative run end to end: the observers
+/// attach, the expected-value checks land in the report, and the report
+/// JSON (the shape `tersoff-run` writes and `tersoff-serve` returns)
+/// carries the `properties` object. Elastic constants are exercised by the
+/// release-mode CI materials job; here the cheap observer + fallback
+/// cohesive path keeps the debug suite fast.
+#[test]
+fn properties_block_attaches_observers_and_reports() {
+    use lammps_tersoff_vector::scenario::{
+        ExpectedProperties, PropertiesSpec, RdfSpec, StressSpec,
+    };
+
+    let mut scenario = sample_scenario();
+    scenario.name = "props".into();
+    scenario.max_drift = None;
+    scenario.properties = Some(PropertiesSpec {
+        stress: Some(StressSpec { every: 5 }),
+        rdf: Some(RdfSpec {
+            every: 5,
+            bins: 64,
+            r_max: 0.0,
+        }),
+        elastic: None,
+        // Perturbed 400 K silicon sits near the cohesive minimum; a loose
+        // tolerance keeps the check deterministic-pass without pinning a
+        // thermalized energy too tightly.
+        expected: Some(ExpectedProperties {
+            cohesive_ev: Some(-4.63),
+            lattice_a: None,
+            c11_gpa: None,
+            c12_gpa: None,
+            c44_gpa: None,
+            tolerance_pct: 5.0,
+        }),
+    });
+
+    let outcome = scenario.execute(None).expect("scenario runs");
+    let report = &outcome.variants[0];
+    let props = report
+        .properties
+        .as_ref()
+        .expect("full-length run measures properties");
+
+    let stress = props.stress.as_ref().expect("stress observer attached");
+    assert_eq!(stress.every, 5);
+    assert!(stress.samples > 0);
+    assert!(stress.time_averaged.iter().any(|&v| v != 0.0));
+
+    let rdf = props.rdf.as_ref().expect("rdf observer attached");
+    assert_eq!(rdf.bins, 64);
+    assert!(rdf.r_max > 0.0, "r_max = 0 must resolve to cutoff + skin");
+    assert!(rdf.samples > 0);
+    assert!(rdf.g.iter().any(|&g| g > 0.0), "g(r) must see neighbors");
+
+    assert!(props.elastic.is_none());
+    let check = props
+        .checks
+        .iter()
+        .find(|c| c.name == "cohesive_ev")
+        .expect("expected block generates a cohesive check");
+    assert!(check.ok, "cohesive check failed: {check:?}");
+    assert!(outcome.property_violations().is_empty());
+
+    let json = outcome.to_report_json();
+    for key in ["\"properties\"", "\"stress_bar\"", "\"rdf\"", "\"checks\""] {
+        assert!(json.contains(key), "report JSON missing {key}");
+    }
+
+    // A step-capped smoke run of the same spec must SKIP the measurement:
+    // the capped trace is not the declared experiment.
+    let capped = scenario.execute(Some(5)).expect("capped run");
+    assert!(capped.variants[0].properties.is_none());
 }
 
 #[test]
